@@ -1,0 +1,51 @@
+// Ablation (§3.4.1): asynchronous FPGAReader (deep cmd FIFO, aggressive
+// submit + best-effort drain) vs a synchronous submit-and-wait host loop
+// (FIFO depth 1). Async submission is what keeps every pipeline stage fed.
+#include <cstdio>
+
+#include "fpga/fpga_decoder_sim.h"
+#include "workflow/report.h"
+
+using namespace dlb;
+using namespace dlb::fpga;
+using namespace dlb::workflow;
+
+namespace {
+
+double Measure(int fifo_depth) {
+  sim::Scheduler sched;
+  DecoderConfig config;
+  config.cmd_fifo_depth = fifo_depth;
+  FpgaDecoderSim decoder(&sched, config);
+  DecodeJob job;
+  job.encoded_bytes = 60 * 1024;
+  job.pixels = 500 * 375;
+  job.out_bytes = 256 * 256 * 3;
+  int completed = 0;
+  for (int i = 0; i < 600; ++i) {
+    while (!decoder.SubmitDecode(job, [&] { ++completed; })) sched.Step();
+  }
+  sched.Run();
+  return 600 / sim::ToSeconds(sched.Now());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: async FPGAReader vs synchronous submit-wait ===\n\n");
+  Table t({"cmd FIFO depth", "img/s", "vs sync"});
+  const double sync_rate = Measure(1);
+  for (int depth : {1, 2, 4, 8, 16, 64}) {
+    const double rate = Measure(depth);
+    t.AddRow({std::to_string(depth), FmtCount(rate),
+              Fmt(rate / sync_rate, 2) + "x"});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "depth 1 is a synchronous host loop: one image traverses the whole\n"
+      "pipeline before the next is admitted. Algorithm 1's asynchronous\n"
+      "submit keeps all units busy once the FIFO covers the pipeline\n"
+      "depth.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation (§5.2 reason 1): batched large-block H2D copies vs per-item
+// small copies. The paper credits DLBooster's batch-granular memory with
+// ~20% of LeNet-5 training throughput relative to backends that copy each
+// datum separately.
+#include <cstdio>
+
+#include "workflow/report.h"
+#include "workflow/training_sim.h"
+
+using namespace dlb;
+using namespace dlb::workflow;
+
+int main() {
+  std::printf("=== Ablation: H2D copy granularity (LeNet-5, bs 512) ===\n\n");
+  Table t({"copy scheme", "img/s", "vs block copy"});
+  double block_tp = 0;
+  for (bool per_item : {false, true}) {
+    TrainConfig config;
+    config.model = &gpu::LeNet5();
+    config.backend = TrainBackend::kDlbooster;
+    config.dataset_fits_memory = true;  // isolate the copy effect
+    config.force_per_item_copies = per_item;
+    config.sim_seconds = 10;
+    const double tp = SimulateTraining(config).throughput;
+    if (!per_item) block_tp = tp;
+    t.AddRow({per_item ? "per-item (512 copies/batch)" : "one block per batch",
+              FmtCount(tp),
+              per_item ? Fmt(100.0 * (1.0 - tp / block_tp), 0) + "% slower"
+                       : "baseline"});
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  std::printf("same ablation on AlexNet (copies amortised by compute):\n");
+  Table t2({"copy scheme", "img/s"});
+  for (bool per_item : {false, true}) {
+    TrainConfig config;
+    config.model = &gpu::AlexNet();
+    config.backend = TrainBackend::kDlbooster;
+    config.force_per_item_copies = per_item;
+    config.sim_seconds = 10;
+    t2.AddRow({per_item ? "per-item" : "block",
+               FmtCount(SimulateTraining(config).throughput)});
+  }
+  std::printf("%s\n", t2.Render().c_str());
+  std::printf(
+      "paper shape: ~20%% loss on LeNet-5 from small-piece copies; heavy\n"
+      "models hide the overhead behind compute.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Extension (§7 future work, item 2): "directly writing the processed data
+// to GPU devices for lower latency". The decoder's output DMA targets GPU
+// memory (GPUDirect-style peer writes) instead of the host pool, skipping
+// the staging copy. This bench quantifies what the paper anticipated.
+#include <cstdio>
+
+#include "workflow/inference_sim.h"
+#include "workflow/report.h"
+
+using namespace dlb;
+using namespace dlb::workflow;
+
+int main() {
+  std::printf(
+      "=== Extension: decoder DMA direct to GPU memory (GoogLeNet) ===\n\n");
+  Table t({"batch", "host-staged lat (ms)", "direct lat (ms)", "saved",
+           "host tput", "direct tput"});
+  for (int batch : {1, 2, 4, 8, 16, 32}) {
+    InferConfig staged;
+    staged.model = &gpu::GoogLeNet();
+    staged.backend = InferBackend::kDlbooster;
+    staged.batch_size = batch;
+    staged.sim_seconds = 8.0;
+    InferConfig direct = staged;
+    direct.direct_gpu_write = true;
+    const InferResult a = SimulateInference(staged);
+    const InferResult b = SimulateInference(direct);
+    t.AddRow({std::to_string(batch), Fmt(a.latency_ms_mean, 2),
+              Fmt(b.latency_ms_mean, 2),
+              Fmt(a.latency_ms_mean - b.latency_ms_mean, 2) + "ms",
+              FmtCount(a.throughput), FmtCount(b.throughput)});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "direct writes shave the per-batch staging copy off the critical\n"
+      "path; the win is largest at small batches where the copy overhead\n"
+      "is not amortised (the latency-sensitive serving regime).\n");
+  return 0;
+}

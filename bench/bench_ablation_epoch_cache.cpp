@@ -1,0 +1,82 @@
+// Ablation (§3.1 hybrid service): first-epoch memory cache on/off, measured
+// on the REAL runtime pipeline (actual decode threads, actual bytes).
+// With the cache, epoch 2+ serve from memory at memcpy speed; without it,
+// every epoch pays full decode cost.
+#include <chrono>
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "dataplane/synthetic_dataset.h"
+#include "workflow/report.h"
+
+using namespace dlb;
+using namespace dlb::workflow;
+
+namespace {
+
+double EpochSeconds(core::Pipeline& pipeline, size_t batches) {
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t b = 0; b < batches; ++b) {
+    auto batch = pipeline.NextBatch();
+    if (!batch.ok()) break;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: first-epoch memory cache (runtime) ===\n\n");
+  constexpr size_t kImages = 192;
+  constexpr size_t kBatch = 16;
+  constexpr size_t kBatches = kImages / kBatch;
+  constexpr int kEpochs = 3;
+
+  DatasetSpec spec = ImageNetLikeSpec(kImages);
+  spec.width = 160;
+  spec.height = 120;
+  auto dataset = GenerateDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  Table t({"config", "epoch 1 (s)", "epoch 2 (s)", "epoch 3 (s)",
+           "epoch-2 speedup"});
+  for (bool cache : {false, true}) {
+    core::PipelineConfig config;
+    config.backend = "cpu";
+    config.options.batch_size = kBatch;
+    config.options.resize_w = 64;
+    config.options.resize_h = 64;
+    config.options.shuffle = false;
+    config.options.num_threads = 2;
+    config.max_images = kImages * kEpochs;
+    config.cache_epochs = cache;
+    auto pipeline = core::PipelineBuilder()
+                        .WithConfig(config)
+                        .WithDataset(&dataset.value().manifest,
+                                     dataset.value().store.get())
+                        .Build();
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "pipeline: %s\n",
+                   pipeline.status().ToString().c_str());
+      return 1;
+    }
+    double seconds[kEpochs];
+    for (int e = 0; e < kEpochs; ++e) {
+      seconds[e] = EpochSeconds(*pipeline.value(), kBatches);
+    }
+    t.AddRow({cache ? "cache on (DLBooster hybrid)" : "cache off",
+              Fmt(seconds[0], 3), Fmt(seconds[1], 3), Fmt(seconds[2], 3),
+              Fmt(seconds[0] / std::max(seconds[1], 1e-9), 1) + "x"});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "with the cache, epochs after the first replay decoded batches from\n"
+      "memory — the reason every backend trains MNIST at full speed in\n"
+      "Fig. 5(a) while ILSVRC (too big to cache) separates them.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation (§3.3 step 2): sizing the decoder units. Sweeps Huffman and
+// resizer way counts under the Arria-10 ALM budget and reports decoder
+// throughput plus per-unit utilisation — showing why the paper ships a
+// 4-way Huffman + 2-way resizer: the heavy unit gets the parallelism.
+#include <cstdio>
+#include <functional>
+
+#include "fpga/fpga_decoder_sim.h"
+#include "workflow/report.h"
+
+using namespace dlb;
+using namespace dlb::fpga;
+using namespace dlb::workflow;
+
+int main() {
+  std::printf("=== Ablation: FPGA unit way counts (500x375 JPEGs) ===\n\n");
+  Table t({"huffman", "idct", "resizer", "ALMs", "fits?", "img/s",
+           "huff util", "idct util", "rsz util"});
+  for (int huffman : {1, 2, 4, 8}) {
+    for (int resizer : {1, 2, 4}) {
+      DecoderConfig config;
+      config.huffman_ways = huffman;
+      config.resizer_ways = resizer;
+      const int alms = AlmUsage(config);
+      const bool fits = ValidateConfig(config).ok();
+      std::string rate = "-", hu = "-", iu = "-", ru = "-";
+      if (fits) {
+        sim::Scheduler sched;
+        FpgaDecoderSim decoder(&sched, config);
+        DecodeJob job;
+        job.encoded_bytes = 60 * 1024;
+        job.pixels = 500 * 375;
+        job.out_bytes = 256 * 256 * 3;
+        int completed = 0;
+        for (int i = 0; i < 600; ++i) {
+          while (!decoder.SubmitDecode(job, [&] { ++completed; }))
+            sched.Step();
+        }
+        sched.Run();
+        rate = FmtCount(600 / sim::ToSeconds(sched.Now()));
+        hu = Fmt(decoder.HuffmanUtilization(), 2);
+        iu = Fmt(decoder.IdctUtilization(), 2);
+        ru = Fmt(decoder.ResizerUtilization(), 2);
+      }
+      t.AddRow({std::to_string(huffman), "1", std::to_string(resizer),
+                FmtCount(alms), fits ? "yes" : "NO", rate, hu, iu, ru});
+    }
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "reading: with 1 Huffman way the Huffman unit saturates (util ~1.0)\n"
+      "and throughput stalls; widening it shifts the bottleneck. The\n"
+      "shipped 4/1/2 design balances utilisation inside the ALM budget\n"
+      "(%d ALMs available).\n",
+      cal::kFpgaAlmBudget);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 7 — online inference throughput on TensorRT-style engines for
+// GoogLeNet, VGG-16 and ResNet-50 with the CPU-based, nvJPEG and DLBooster
+// backends across batch sizes. fp16, 5 clients over a 40 Gbps fabric,
+// 500x375 JPEGs. Panel (c) runs 2 GPUs + 2 decoder pipelines (see
+// EXPERIMENTS.md for why).
+#include <cstdio>
+#include <vector>
+
+#include "workflow/inference_sim.h"
+#include "workflow/report.h"
+
+using namespace dlb;
+using namespace dlb::workflow;
+
+namespace {
+
+void RunPanel(const char* title, const gpu::DlModel* model, int max_batch,
+              int num_gpus, int pipelines) {
+  std::printf("(%s)%s\n", title,
+              num_gpus > 1 ? " [2 GPUs, 2 decoder pipelines]" : "");
+  std::vector<int> batches;
+  for (int b = 1; b <= max_batch; b *= 2) batches.push_back(b);
+  std::vector<std::string> headers = {"backend"};
+  for (int b : batches) headers.push_back("bs" + std::to_string(b));
+  Table t(headers);
+  for (auto backend :
+       {InferBackend::kCpu, InferBackend::kNvjpeg, InferBackend::kDlbooster}) {
+    std::vector<std::string> row{InferBackendName(backend)};
+    for (int b : batches) {
+      InferConfig config;
+      config.model = model;
+      config.backend = backend;
+      config.batch_size = b;
+      config.num_gpus = num_gpus;
+      config.fpga_pipelines = pipelines;
+      config.sim_seconds = 8.0;
+      row.push_back(FmtCount(SimulateInference(config).throughput));
+    }
+    t.AddRow(row);
+  }
+  std::printf("%s\n", t.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Figure 7: inference throughput (img/s) vs batch size ===\n\n");
+  RunPanel("a: GoogLeNet", &gpu::GoogLeNet(), 32, 1, 1);
+  RunPanel("b: VGG-16", &gpu::Vgg16(), 32, 1, 1);
+  RunPanel("c: ResNet-50", &gpu::ResNet50(), 64, 2, 2);
+  std::printf(
+      "paper shape: DLBooster 1.2x-2.4x over the baselines; nvJPEG lowest\n"
+      "(decode steals 30-40%% of the GPU); DLBooster saturates near the\n"
+      "decoder bound (~2.4k img/s per pipeline) beyond batch 16 on\n"
+      "GoogLeNet; adding pipelines lifts the bound (panel c).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Micro-benchmarks of the real JPEG codec stages on this machine — the
+// functional payload the runtime pipeline executes. (The paper's absolute
+// rates come from Xeon E5 / Arria-10 hardware; these numbers characterise
+// the reproduction's software decoder.)
+#include <benchmark/benchmark.h>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "codec/png.h"
+#include "dataplane/synthetic_dataset.h"
+
+namespace {
+
+dlb::Bytes EncodedScene(int w, int h) {
+  dlb::DatasetSpec spec = dlb::ImageNetLikeSpec(1, 7);
+  spec.width = w;
+  spec.height = h;
+  spec.dim_jitter = 0;
+  dlb::Image img = dlb::RenderScene(spec, 0, nullptr);
+  auto encoded = dlb::jpeg::Encode(img);
+  return encoded.value();
+}
+
+void BM_JpegFullDecode(benchmark::State& state) {
+  const dlb::Bytes data = EncodedScene(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto img = dlb::jpeg::Decode(data);
+    benchmark::DoNotOptimize(img);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_JpegFullDecode)
+    ->Args({500, 375})   // paper's average inference input
+    ->Args({224, 224})
+    ->Args({28, 28});    // MNIST
+
+void BM_JpegParseHeaders(benchmark::State& state) {
+  const dlb::Bytes data = EncodedScene(500, 375);
+  for (auto _ : state) {
+    auto header = dlb::jpeg::ParseHeaders(data);
+    benchmark::DoNotOptimize(header);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JpegParseHeaders);
+
+void BM_JpegEntropyDecode(benchmark::State& state) {
+  const dlb::Bytes data = EncodedScene(500, 375);
+  auto header = dlb::jpeg::ParseHeaders(data);
+  for (auto _ : state) {
+    auto coeffs = dlb::jpeg::EntropyDecode(header.value(), data);
+    benchmark::DoNotOptimize(coeffs);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_JpegEntropyDecode);
+
+void BM_JpegInverseTransform(benchmark::State& state) {
+  const dlb::Bytes data = EncodedScene(500, 375);
+  auto header = dlb::jpeg::ParseHeaders(data);
+  auto coeffs = dlb::jpeg::EntropyDecode(header.value(), data);
+  for (auto _ : state) {
+    auto planes = dlb::jpeg::InverseTransform(header.value(), coeffs.value());
+    benchmark::DoNotOptimize(planes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JpegInverseTransform);
+
+void BM_JpegColorReconstruct(benchmark::State& state) {
+  const dlb::Bytes data = EncodedScene(500, 375);
+  auto header = dlb::jpeg::ParseHeaders(data);
+  auto coeffs = dlb::jpeg::EntropyDecode(header.value(), data);
+  auto planes = dlb::jpeg::InverseTransform(header.value(), coeffs.value());
+  for (auto _ : state) {
+    auto img = dlb::jpeg::ColorReconstruct(header.value(), planes.value());
+    benchmark::DoNotOptimize(img);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JpegColorReconstruct);
+
+void BM_PngDecode(benchmark::State& state) {
+  dlb::DatasetSpec spec = dlb::ImageNetLikeSpec(1, 8);
+  spec.width = static_cast<int>(state.range(0));
+  spec.height = static_cast<int>(state.range(1));
+  spec.dim_jitter = 0;
+  dlb::Image img = dlb::RenderScene(spec, 0, nullptr);
+  const dlb::Bytes data = dlb::png::Encode(img).value();
+  for (auto _ : state) {
+    auto decoded = dlb::png::Decode(data);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_PngDecode)->Args({500, 375})->Args({224, 224});
+
+void BM_JpegEncode(benchmark::State& state) {
+  dlb::DatasetSpec spec = dlb::ImageNetLikeSpec(1, 9);
+  spec.width = 500;
+  spec.height = 375;
+  spec.dim_jitter = 0;
+  dlb::Image img = dlb::RenderScene(spec, 0, nullptr);
+  for (auto _ : state) {
+    auto encoded = dlb::jpeg::Encode(img);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JpegEncode);
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Micro-benchmarks of the channel primitives the host bridger runs on.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/bounded_queue.h"
+#include "common/spsc_ring.h"
+
+namespace {
+
+void BM_BoundedQueuePushPop(benchmark::State& state) {
+  dlb::BoundedQueue<int> queue(1024);
+  int v = 0;
+  for (auto _ : state) {
+    (void)queue.TryPush(v++);
+    benchmark::DoNotOptimize(queue.TryPop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoundedQueuePushPop);
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  dlb::SpscRing<int> ring(1024);
+  int v = 0;
+  for (auto _ : state) {
+    ring.TryPush(v++);
+    benchmark::DoNotOptimize(ring.TryPop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_BoundedQueueProducerConsumer(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    dlb::BoundedQueue<int> queue(256);
+    constexpr int kItems = 20000;
+    state.ResumeTiming();
+    std::thread producer([&queue] {
+      for (int i = 0; i < kItems; ++i) (void)queue.Push(i);
+      queue.Close();
+    });
+    long sum = 0;
+    while (auto v = queue.Pop()) sum += *v;
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.items_processed() + kItems);
+  }
+}
+BENCHMARK(BM_BoundedQueueProducerConsumer)->Unit(benchmark::kMillisecond);
+
+void BM_SpscRingStream(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    dlb::SpscRing<int> ring(1024);
+    constexpr int kItems = 20000;
+    state.ResumeTiming();
+    std::thread producer([&ring] {
+      for (int i = 0; i < kItems;) {
+        if (ring.TryPush(i)) ++i;
+      }
+    });
+    int received = 0;
+    long sum = 0;
+    while (received < kItems) {
+      if (auto v = ring.TryPop()) {
+        sum += *v;
+        ++received;
+      }
+    }
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.items_processed() + kItems);
+  }
+}
+BENCHMARK(BM_SpscRingStream)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Micro-benchmarks of the resampling kernels (the resizer unit's software
+// twin): filter choice and scale factor.
+#include <benchmark/benchmark.h>
+
+#include "dataplane/synthetic_dataset.h"
+#include "image/resize.h"
+
+namespace {
+
+dlb::Image Scene(int w, int h) {
+  dlb::DatasetSpec spec = dlb::ImageNetLikeSpec(1, 3);
+  spec.width = w;
+  spec.height = h;
+  spec.dim_jitter = 0;
+  return dlb::RenderScene(spec, 0, nullptr);
+}
+
+void BM_Resize(benchmark::State& state) {
+  const dlb::Image src = Scene(500, 375);
+  const auto filter = static_cast<dlb::ResizeFilter>(state.range(0));
+  const int target = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto out = dlb::Resize(src, target, target, filter);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Resize)
+    ->ArgNames({"filter", "target"})
+    ->Args({0, 224})  // nearest
+    ->Args({1, 224})  // bilinear
+    ->Args({2, 224})  // area
+    ->Args({1, 64})
+    ->Args({2, 64});
+
+void BM_ResizeShorterSide(benchmark::State& state) {
+  const dlb::Image src = Scene(500, 375);
+  for (auto _ : state) {
+    auto out = dlb::ResizeShorterSide(src, 256);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResizeShorterSide);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Micro-benchmark of the DES kernel itself: event throughput bounds how
+// big a figure sweep can be. Millions of events per second keeps every
+// bench under a second per data point.
+#include <benchmark/benchmark.h>
+
+#include "sim/processor_sharing.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace {
+
+void BM_SchedulerEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    dlb::sim::Scheduler sched;
+    constexpr int kEvents = 100000;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      sched.At(static_cast<dlb::sim::SimTime>((i * 37) % 5000),
+               [&fired] { ++fired; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.items_processed() + kEvents);
+  }
+}
+BENCHMARK(BM_SchedulerEventChurn)->Unit(benchmark::kMillisecond);
+
+void BM_ResourcePipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    dlb::sim::Scheduler sched;
+    dlb::sim::Resource a(&sched, 4, "a"), b(&sched, 1, "b");
+    constexpr int kJobs = 20000;
+    int done = 0;
+    for (int i = 0; i < kJobs; ++i) {
+      a.Submit(100, [&] { b.Submit(25, [&done] { ++done; }); });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(done);
+    state.SetItemsProcessed(state.items_processed() + kJobs);
+  }
+}
+BENCHMARK(BM_ResourcePipeline)->Unit(benchmark::kMillisecond);
+
+void BM_ProcessorSharingChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    dlb::sim::Scheduler sched;
+    dlb::sim::ProcessorSharing ps(&sched, 1000.0, "gpu");
+    constexpr int kJobs = 5000;
+    int done = 0;
+    for (int i = 0; i < kJobs; ++i) {
+      sched.At(static_cast<dlb::sim::SimTime>(i) * 1000, [&ps, &done] {
+        ps.Submit(0.5, 1.0, [&done] { ++done; });
+      });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(done);
+    state.SetItemsProcessed(state.items_processed() + kJobs);
+  }
+}
+BENCHMARK(BM_ProcessorSharingChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace

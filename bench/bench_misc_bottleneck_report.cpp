@@ -1,0 +1,74 @@
+// Bottleneck report: where each configuration's time actually goes — per
+// FPGA unit, GPU compute, and CPU categories. The operational companion to
+// the figures: it answers "what would I upgrade next?".
+#include <cstdio>
+
+#include "workflow/inference_sim.h"
+#include "workflow/report.h"
+#include "workflow/training_sim.h"
+
+using namespace dlb;
+using namespace dlb::workflow;
+
+int main() {
+  std::printf("=== Bottleneck report ===\n\n");
+
+  std::printf("training, DLBooster, AlexNet, 2 GPUs:\n");
+  {
+    TrainConfig config;
+    config.model = &gpu::AlexNet();
+    config.backend = TrainBackend::kDlbooster;
+    config.num_gpus = 2;
+    config.sim_seconds = 10;
+    TrainResult r = SimulateTraining(config);
+    Table t({"component", "utilisation / cores"});
+    t.AddRow({"GPU compute (mean)", Fmt(r.gpu_compute_util, 2)});
+    t.AddRow({"FPGA busiest unit", Fmt(r.fpga_util, 2)});
+    for (const auto& [category, cores] : r.cpu_by_category) {
+      t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+    }
+    std::printf("%s", t.Render().c_str());
+    std::printf("-> GPU-bound (util ~1.0): exactly where DLBooster wants "
+                "the bottleneck.\n\n");
+  }
+
+  std::printf("inference, DLBooster, GoogLeNet, bs 32:\n");
+  {
+    InferConfig config;
+    config.model = &gpu::GoogLeNet();
+    config.backend = InferBackend::kDlbooster;
+    config.batch_size = 32;
+    config.sim_seconds = 8;
+    InferResult r = SimulateInference(config);
+    Table t({"component", "utilisation / cores"});
+    t.AddRow({"GPU compute", Fmt(r.gpu_compute_util, 2)});
+    for (const auto& [category, cores] : r.cpu_by_category) {
+      t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+    }
+    std::printf("%s", t.Render().c_str());
+    std::printf(
+        "-> GPU idles (util < 1.0): the DRAM DataReader is the bound here\n"
+        "   (Fig. 7(a) saturation); add a decoder pipeline to fix it.\n\n");
+  }
+
+  std::printf("inference, nvJPEG, GoogLeNet, bs 32:\n");
+  {
+    InferConfig config;
+    config.model = &gpu::GoogLeNet();
+    config.backend = InferBackend::kNvjpeg;
+    config.batch_size = 32;
+    config.sim_seconds = 8;
+    InferResult r = SimulateInference(config);
+    Table t({"component", "utilisation / cores"});
+    t.AddRow({"GPU compute (infer + decode)", Fmt(r.gpu_compute_util, 2)});
+    for (const auto& [category, cores] : r.cpu_by_category) {
+      t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+    }
+    std::printf("%s", t.Render().c_str());
+    std::printf(
+        "-> GPU saturated but throughput is the LOWEST of the three\n"
+        "   backends: decode kernels burn the cycles inference needs\n"
+        "   (the §5.3 nvJPEG contention finding).\n");
+  }
+  return 0;
+}

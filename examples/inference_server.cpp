@@ -1,0 +1,141 @@
+// Online inference server over the network path (Fig. 1 / §5.3):
+// client threads stream JPEGs into a receive queue (the NIC), the DLBooster
+// pipeline decodes them on the emulated FPGA, and a serving loop returns
+// "predictions" (the toy classifier's argmax over pooled pixels) tagged
+// with the originating request id. Latency is measured per request.
+//
+// Usage: inference_server [requests=200 clients=5 batch=8 backend=dlbooster]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/pipeline.h"
+#include "dataplane/synthetic_dataset.h"
+
+int main(int argc, char** argv) {
+  auto config_or = dlb::Config::FromArgs({argv + 1, argv + argc});
+  if (!config_or.ok()) {
+    std::fprintf(stderr, "bad args: %s\n",
+                 config_or.status().ToString().c_str());
+    return 1;
+  }
+  const dlb::Config& args = config_or.value();
+  const uint64_t total_requests = args.GetInt("requests", 200);
+  const int num_clients = static_cast<int>(args.GetInt("clients", 5));
+  const int batch = static_cast<int>(args.GetInt("batch", 8));
+
+  // Pre-render the client-side images (each client cycles its own set).
+  dlb::DatasetSpec spec = dlb::ImageNetLikeSpec(32);
+  spec.width = 160;
+  spec.height = 120;
+  auto dataset = dlb::GenerateDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // The "NIC": a bounded receive queue the pipeline drains.
+  dlb::BoundedQueue<dlb::NetworkImage> rx_queue(64);
+
+  // Request book-keeping: id -> send timestamp.
+  std::mutex book_mu;
+  std::map<uint64_t, std::chrono::steady_clock::time_point> in_flight;
+  dlb::Histogram latency_us;
+
+  // Client threads stream images in real time.
+  std::atomic<uint64_t> next_request{0};
+  std::vector<std::jthread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      while (true) {
+        const uint64_t id = next_request.fetch_add(1);
+        if (id >= total_requests) return;
+        const auto& rec =
+            dataset.value().manifest.At((id + c) %
+                                        dataset.value().manifest.Size());
+        auto bytes = dataset.value().store->Read(rec);
+        if (!bytes.ok()) return;
+        dlb::NetworkImage img;
+        img.payload.assign(bytes.value().begin(), bytes.value().end());
+        img.request_id = id;
+        {
+          std::scoped_lock lock(book_mu);
+          in_flight[id] = std::chrono::steady_clock::now();
+        }
+        if (!rx_queue.Push(std::move(img)).ok()) return;
+      }
+    });
+  }
+
+  // Once every client has sent its share, close the NIC queue: queued
+  // images still drain, and the pipeline then flushes its partial final
+  // batch instead of waiting for more traffic.
+  std::jthread closer([&] {
+    for (auto& c : clients) c.join();
+    rx_queue.Close();
+  });
+
+  // Server: DLBooster pipeline on the network source.
+  dlb::core::PipelineConfig config;
+  config.backend = args.GetString("backend", "dlbooster");
+  config.options.batch_size = batch;
+  config.options.resize_w = 64;
+  config.options.resize_h = 64;
+  config.options.queue_depth = 4;
+  auto pipeline = dlb::core::PipelineBuilder()
+                      .WithConfig(config)
+                      .WithNetworkSource(&rx_queue)
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
+    return 1;
+  }
+
+  // Serving loop: "infer" (pooled-pixel argmax) and acknowledge requests.
+  uint64_t answered = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (answered < total_requests) {
+    auto decoded = pipeline.value()->NextBatch();
+    if (!decoded.ok()) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < decoded.value()->Size(); ++i) {
+      const dlb::ImageRef ref = decoded.value()->At(i);
+      if (!ref.ok) continue;
+      // Toy "prediction": mean intensity bucket.
+      long sum = 0;
+      for (size_t p = 0; p < ref.SizeBytes(); p += 97) sum += ref.data[p];
+      const int prediction =
+          static_cast<int>((sum / (ref.SizeBytes() / 97 + 1)) / 26);
+      (void)prediction;
+      std::scoped_lock lock(book_mu);
+      auto it = in_flight.find(ref.cookie);
+      if (it != in_flight.end()) {
+        latency_us.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                                  it->second)
+                .count()));
+        in_flight.erase(it);
+        ++answered;
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::printf("answered %llu requests in %.2fs (%.0f req/s)\n",
+              static_cast<unsigned long long>(answered), seconds,
+              answered / seconds);
+  std::printf("request latency: p50=%.2fms p99=%.2fms max=%.2fms\n",
+              latency_us.Quantile(0.5) / 1e3, latency_us.Quantile(0.99) / 1e3,
+              latency_us.Max() / 1e3);
+  return answered == total_requests ? 0 : 1;
+}

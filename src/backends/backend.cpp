@@ -1,0 +1,54 @@
+#include "backends/backend.h"
+
+#include <cstring>
+
+namespace dlb {
+
+Image ImageRef::ToImage() const {
+  Image img(width, height, channels);
+  if (data != nullptr && !img.Empty()) {
+    std::memcpy(img.Data(), data, img.SizeBytes());
+  }
+  return img;
+}
+
+PreprocessBatch::PreprocessBatch(std::vector<BatchItem> items,
+                                 const uint8_t* base,
+                                 std::function<void()> recycle)
+    : items_(std::move(items)), base_(base), recycle_(std::move(recycle)) {}
+
+PreprocessBatch::PreprocessBatch(std::vector<BatchItem> items,
+                                 std::vector<uint8_t> storage)
+    : items_(std::move(items)),
+      base_(nullptr),
+      storage_(std::move(storage)) {
+  base_ = storage_.data();
+}
+
+PreprocessBatch::~PreprocessBatch() {
+  if (recycle_) recycle_();
+}
+
+ImageRef PreprocessBatch::At(size_t i) const {
+  ImageRef ref;
+  if (i >= items_.size()) return ref;
+  const BatchItem& item = items_[i];
+  ref.data = base_ + item.offset;
+  ref.width = item.width;
+  ref.height = item.height;
+  ref.channels = item.channels;
+  ref.label = item.label;
+  ref.cookie = item.cookie;
+  ref.ok = item.ok;
+  return ref;
+}
+
+size_t PreprocessBatch::OkCount() const {
+  size_t n = 0;
+  for (const auto& item : items_) {
+    if (item.ok) ++n;
+  }
+  return n;
+}
+
+}  // namespace dlb

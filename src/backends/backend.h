@@ -1,0 +1,106 @@
+// The preprocessing-backend abstraction (§3.1, §4.2).
+//
+// A backend turns a stream of encoded samples into decoded, resized,
+// batch-granular pixel data that a compute engine consumes. DLBooster, the
+// CPU-based baseline and the LMDB-style offline baseline all implement this
+// interface, so an engine (or the core Pipeline API) can swap them with one
+// line — the "coexist with other preprocessing backends" property the paper
+// demonstrates on NVCaffe and TensorRT.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hostbridge/hugepage_pool.h"
+#include "image/image.h"
+
+namespace dlb {
+
+/// Non-owning view of one decoded sample inside a batch.
+struct ImageRef {
+  const uint8_t* data = nullptr;  // interleaved HWC pixels
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+  int32_t label = 0;
+  uint64_t cookie = 0;  // request id on the inference path
+  bool ok = false;      // decode succeeded
+
+  size_t SizeBytes() const {
+    return static_cast<size_t>(width) * height * channels;
+  }
+  /// Deep copy into an Image (tests / augmentation steps that mutate).
+  Image ToImage() const;
+};
+
+/// One decoded batch. Destroying the batch recycles its memory to whatever
+/// pool produced it (pool buffer, device buffer, or owned heap storage).
+class PreprocessBatch {
+ public:
+  /// Borrowed storage: pixels live at `base` with per-item offsets; the
+  /// recycle callback runs on destruction.
+  PreprocessBatch(std::vector<BatchItem> items, const uint8_t* base,
+                  std::function<void()> recycle);
+
+  /// Owned storage: the batch carries its own pixel arena.
+  PreprocessBatch(std::vector<BatchItem> items, std::vector<uint8_t> storage);
+
+  ~PreprocessBatch();
+  PreprocessBatch(const PreprocessBatch&) = delete;
+  PreprocessBatch& operator=(const PreprocessBatch&) = delete;
+
+  size_t Size() const { return items_.size(); }
+  ImageRef At(size_t i) const;
+
+  /// Count of successfully decoded items.
+  size_t OkCount() const;
+
+ private:
+  std::vector<BatchItem> items_;
+  const uint8_t* base_;
+  std::vector<uint8_t> storage_;
+  std::function<void()> recycle_;
+};
+
+using BatchPtr = std::unique_ptr<PreprocessBatch>;
+
+struct BackendOptions {
+  size_t batch_size = 32;
+  int resize_w = 256;
+  int resize_h = 256;
+  int channels = 3;
+  int num_engines = 1;   // consumers pulling batches
+  int num_threads = 4;   // decode parallelism (CPU/LMDB backends)
+  uint64_t seed = 42;
+  bool shuffle = true;
+  size_t queue_depth = 4;  // decoded batches buffered per engine
+  /// Aspect-preserving cover-resize + centre crop (ImageNet recipe) instead
+  /// of a plain stretch to (resize_w, resize_h).
+  bool aspect_preserving_crop = false;
+
+  size_t SlotStride() const {
+    return static_cast<size_t>(resize_w) * resize_h * channels;
+  }
+};
+
+class PreprocessBackend {
+ public:
+  virtual ~PreprocessBackend() = default;
+
+  /// Spin up worker threads. Must be called exactly once before NextBatch.
+  virtual Status Start() = 0;
+
+  /// Pull the next decoded batch for `engine` (blocking). kClosed when the
+  /// sample stream ended and every buffered batch was drained.
+  virtual Result<BatchPtr> NextBatch(int engine) = 0;
+
+  /// Stop all workers and release resources. Idempotent.
+  virtual void Stop() = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,94 @@
+#include "backends/cached_backend.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace dlb {
+
+CachedBackend::CachedBackend(std::unique_ptr<PreprocessBackend> inner,
+                             uint64_t cache_budget_bytes)
+    : inner_(std::move(inner)), budget_(cache_budget_bytes) {
+  DLB_CHECK(inner_ != nullptr);
+}
+
+Status CachedBackend::Start() { return inner_->Start(); }
+
+std::string CachedBackend::Name() const {
+  return inner_->Name() + "+cache";
+}
+
+Result<BatchPtr> CachedBackend::NextBatch(int engine) {
+  // Replay phase: the whole dataset is resident.
+  if (cache_complete_.load(std::memory_order_acquire)) {
+    std::scoped_lock lock(mu_);
+    if (cache_.empty()) return Closed("nothing cached");
+    const size_t idx = replay_cursor_.fetch_add(1) % cache_.size();
+    const CachedBatch& cb = *cache_[idx];
+    hits_.Add();
+    return std::make_unique<PreprocessBatch>(cb.items, cb.storage.data(),
+                                             nullptr);
+  }
+
+  auto batch = inner_->NextBatch(engine);
+  if (!batch.ok()) {
+    if (batch.status().code() == StatusCode::kClosed) {
+      std::scoped_lock lock(mu_);
+      if (!cache_abandoned_ && !cache_.empty()) {
+        // First pass done: every later "epoch" replays from memory.
+        cache_complete_.store(true, std::memory_order_release);
+        const size_t idx = replay_cursor_.fetch_add(1) % cache_.size();
+        const CachedBatch& cb = *cache_[idx];
+        hits_.Add();
+        return std::make_unique<PreprocessBatch>(cb.items, cb.storage.data(),
+                                                 nullptr);
+      }
+    }
+    return batch.status();
+  }
+
+  // Cache-fill phase: deep-copy the batch while handing it out.
+  BatchPtr out = std::move(batch).value();
+  std::scoped_lock lock(mu_);
+  if (!cache_abandoned_) {
+    uint64_t batch_bytes = 0;
+    for (size_t i = 0; i < out->Size(); ++i) {
+      batch_bytes += out->At(i).SizeBytes();
+    }
+    if (cached_bytes_.load() + batch_bytes > budget_) {
+      // Dataset does not fit (the ILSVRC case): stop caching entirely so
+      // epochs keep hitting the real backend.
+      cache_abandoned_ = true;
+      cache_.clear();
+      cached_bytes_.store(0);
+    } else {
+      auto cb = std::make_unique<CachedBatch>();
+      size_t offset = 0;
+      cb->storage.resize(batch_bytes);
+      for (size_t i = 0; i < out->Size(); ++i) {
+        const ImageRef ref = out->At(i);
+        BatchItem item;
+        item.offset = static_cast<uint32_t>(offset);
+        item.bytes = static_cast<uint32_t>(ref.SizeBytes());
+        item.width = static_cast<uint16_t>(ref.width);
+        item.height = static_cast<uint16_t>(ref.height);
+        item.channels = static_cast<uint8_t>(ref.channels);
+        item.label = ref.label;
+        item.cookie = ref.cookie;
+        item.ok = ref.ok;
+        if (ref.ok && ref.data != nullptr) {
+          std::memcpy(cb->storage.data() + offset, ref.data, ref.SizeBytes());
+        }
+        offset += ref.SizeBytes();
+        cb->items.push_back(item);
+      }
+      cached_bytes_.fetch_add(batch_bytes);
+      cache_.push_back(std::move(cb));
+    }
+  }
+  return out;
+}
+
+void CachedBackend::Stop() { inner_->Stop(); }
+
+}  // namespace dlb

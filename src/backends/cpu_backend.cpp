@@ -1,0 +1,123 @@
+#include "backends/cpu_backend.h"
+
+#include <cstring>
+
+#include "codec/jpeg_decoder.h"
+#include "common/log.h"
+#include "image/resize.h"
+
+namespace dlb {
+
+CpuBackend::CpuBackend(DataCollector* collector, const BackendOptions& options,
+                       uint64_t max_images)
+    : collector_(collector),
+      options_(options),
+      max_images_(max_images),
+      out_queue_(options.queue_depth * std::max(1, options.num_engines)) {
+  DLB_CHECK(collector_ != nullptr);
+}
+
+CpuBackend::~CpuBackend() { Stop(); }
+
+Status CpuBackend::Start() {
+  if (started_.exchange(true)) {
+    return FailedPrecondition("backend already started");
+  }
+  const int n = std::max(1, options_.num_threads);
+  active_workers_.store(n);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+  return Status::Ok();
+}
+
+std::vector<OwnedSample> CpuBackend::PullBatch() {
+  std::scoped_lock lock(collector_mu_);
+  std::vector<OwnedSample> out;
+  if (source_done_) return out;
+  out.reserve(options_.batch_size);
+  while (out.size() < options_.batch_size) {
+    if (max_images_ > 0 && images_pulled_ >= max_images_) {
+      source_done_ = true;
+      break;
+    }
+    auto file = collector_->Next();
+    if (!file.ok()) {
+      source_done_ = true;
+      break;
+    }
+    OwnedSample sample;
+    sample.bytes.assign(file.value().bytes.begin(), file.value().bytes.end());
+    sample.label = file.value().label;
+    sample.request_id = file.value().request_id;
+    out.push_back(std::move(sample));
+    ++images_pulled_;
+  }
+  return out;
+}
+
+void CpuBackend::Worker() {
+  const size_t stride = options_.SlotStride();
+  while (true) {
+    std::vector<OwnedSample> samples = PullBatch();
+    if (samples.empty()) break;
+
+    std::vector<uint8_t> storage(stride * samples.size());
+    std::vector<BatchItem> items(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      BatchItem& item = items[i];
+      item.offset = static_cast<uint32_t>(i * stride);
+      item.label = samples[i].label;
+      item.cookie = samples[i].request_id;
+      auto decoded =
+          jpeg::Decode(ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()));
+      if (!decoded.ok()) {
+        failures_.Add();
+        continue;
+      }
+      auto resized =
+          options_.aspect_preserving_crop
+              ? ResizeCoverCrop(decoded.value(), options_.resize_w,
+                                options_.resize_h, ResizeFilter::kArea)
+              : Resize(decoded.value(), options_.resize_w, options_.resize_h,
+                       ResizeFilter::kArea);
+      if (!resized.ok()) {
+        failures_.Add();
+        continue;
+      }
+      const Image& img = resized.value();
+      // Grayscale sources produce 1-channel output; that still fits the
+      // slot (slot stride assumes the max channel count).
+      if (img.SizeBytes() > stride) {
+        failures_.Add();
+        continue;
+      }
+      std::memcpy(storage.data() + item.offset, img.Data(), img.SizeBytes());
+      item.bytes = static_cast<uint32_t>(img.SizeBytes());
+      item.width = static_cast<uint16_t>(img.Width());
+      item.height = static_cast<uint16_t>(img.Height());
+      item.channels = static_cast<uint8_t>(img.Channels());
+      item.ok = true;
+      decoded_.Add();
+    }
+    auto batch =
+        std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
+    if (!out_queue_.Push(std::move(batch)).ok()) return;  // shut down
+  }
+  // Last worker out closes the queue so engines see end-of-stream.
+  if (active_workers_.fetch_sub(1) == 1) out_queue_.Close();
+}
+
+Result<BatchPtr> CpuBackend::NextBatch(int /*engine*/) {
+  auto batch = out_queue_.Pop();
+  if (!batch.has_value()) return Closed("sample stream ended");
+  return std::move(*batch);
+}
+
+void CpuBackend::Stop() {
+  out_queue_.Close();
+  workers_.clear();
+}
+
+}  // namespace dlb

@@ -1,0 +1,114 @@
+#include "backends/dlbooster_backend.h"
+
+#include "common/log.h"
+
+namespace dlb {
+
+DlboosterBackend::DlboosterBackend(DataCollector* collector,
+                                   const DlboosterOptions& options)
+    : options_(options) {
+  DLB_CHECK(collector != nullptr);
+  const BackendOptions& b = options_.backend;
+  const int num_devices = std::max(1, options_.num_devices);
+
+  pool_ = std::make_unique<HugePagePool>(
+      b.SlotStride() * b.batch_size,
+      std::max(options_.pool_buffers, static_cast<size_t>(num_devices) * 2));
+
+  // Several readers share one sample stream; serialise access.
+  shared_collector_ = std::make_unique<LockedCollector>(collector);
+
+  FpgaReaderOptions reader_opts;
+  reader_opts.batch_size = b.batch_size;
+  reader_opts.resize_w = b.resize_w;
+  reader_opts.resize_h = b.resize_h;
+  reader_opts.channels = b.channels;
+  reader_opts.aspect_crop = b.aspect_preserving_crop;
+  for (int d = 0; d < num_devices; ++d) {
+    devices_.push_back(std::make_unique<fpga::FpgaDevice>(options_.device));
+    readers_.push_back(std::make_unique<FpgaReader>(
+        devices_.back().get(), shared_collector_.get(), pool_.get(),
+        reader_opts));
+  }
+
+  DispatcherOptions disp_opts;
+  disp_opts.queue_depth = b.queue_depth;
+  disp_opts.per_item_copies = options_.per_item_copies;
+  dispatcher_ = std::make_unique<Dispatcher>(pool_.get(), disp_opts);
+  for (int e = 0; e < std::max(1, b.num_engines); ++e) {
+    dispatcher_->RegisterEngine();
+  }
+}
+
+DlboosterBackend::~DlboosterBackend() { Stop(); }
+
+Status DlboosterBackend::Start() {
+  if (started_) return FailedPrecondition("backend already started");
+  started_ = true;
+  dispatcher_->Start();
+  for (auto& reader : readers_) reader->Start();
+  return Status::Ok();
+}
+
+uint64_t DlboosterBackend::ImagesDecoded() const {
+  uint64_t total = 0;
+  for (const auto& reader : readers_) total += reader->ImagesCompleted();
+  return total;
+}
+
+uint64_t DlboosterBackend::DecodeFailures() const {
+  uint64_t total = 0;
+  for (const auto& reader : readers_) total += reader->DecodeFailures();
+  return total;
+}
+
+uint64_t DlboosterBackend::BatchesProduced() const {
+  uint64_t total = 0;
+  for (const auto& reader : readers_) total += reader->BatchesProduced();
+  return total;
+}
+
+bool DlboosterBackend::AllReadersFinished() const {
+  for (const auto& reader : readers_) {
+    if (!reader->Finished()) return false;
+  }
+  return true;
+}
+
+Result<BatchPtr> DlboosterBackend::NextBatch(int engine) {
+  using namespace std::chrono_literals;
+  TransQueues* queues = dispatcher_->Engine(engine);
+  std::optional<DeviceBatch*> batch;
+  while (true) {
+    batch = queues->full_q.PopFor(2ms);
+    if (batch.has_value()) break;
+    if (queues->full_q.IsClosed()) return Closed("pipeline drained");
+    // End-of-stream: every reader drained its source, every produced batch
+    // was dispatched somewhere, and nothing is queued for this engine.
+    if (AllReadersFinished() &&
+        dispatcher_->TotalBatchesDispatched() >= BatchesProduced() &&
+        queues->full_q.Empty()) {
+      return Closed("sample stream ended");
+    }
+  }
+  DeviceBatch* db = *batch;
+  // The engine borrows the device buffer; destruction pushes it back to
+  // the engine's free Trans Queue (Fig. 3 recycle path).
+  return std::make_unique<PreprocessBatch>(
+      db->items, db->mem.data(), [queues, db] {
+        (void)queues->free_q.TryPush(db);
+      });
+}
+
+void DlboosterBackend::Stop() {
+  if (!started_) {
+    for (auto& device : devices_) device->Shutdown();
+    return;
+  }
+  for (auto& reader : readers_) reader->Stop();
+  for (auto& device : devices_) device->Shutdown();
+  dispatcher_->Stop();
+  pool_->Close();
+}
+
+}  // namespace dlb

@@ -1,0 +1,66 @@
+// DLBooster: the paper's contribution, assembled.
+//
+// Wires the full Fig. 3 stack together behind the PreprocessBackend
+// interface: DataCollector (disk or NIC) -> FPGAReader (Algorithm 1) ->
+// FPGA decoder (emulated device running the real decode stages) ->
+// HugePage batch pool (Algorithm 2) -> Dispatcher (Algorithm 3) ->
+// per-engine Trans Queues. Engines pull decoded batches; batch destruction
+// recycles the device buffer — the recycle path of Fig. 3.
+#pragma once
+
+#include <memory>
+
+#include "backends/backend.h"
+#include "fpga/fpga_device.h"
+#include "hostbridge/data_collector.h"
+#include "hostbridge/dispatcher.h"
+#include "hostbridge/fpga_reader.h"
+#include "hostbridge/hugepage_pool.h"
+
+namespace dlb {
+
+struct DlboosterOptions {
+  BackendOptions backend;
+  fpga::FpgaDeviceOptions device;
+  /// Host-side batch buffers in the HugePage pool.
+  size_t pool_buffers = 6;
+  /// Per-item copies in the dispatcher (ablation knob; default is the
+  /// paper's large-block copy).
+  bool per_item_copies = false;
+  /// Decoder devices. "Plugging more FPGA devices" (§5.3) raises the
+  /// decode bound: each device gets its own FPGAReader; all share the
+  /// sample stream, the batch pool and the dispatcher.
+  int num_devices = 1;
+};
+
+class DlboosterBackend : public PreprocessBackend {
+ public:
+  /// `collector` feeds the FPGAReader; `max_images` is enforced upstream by
+  /// the collector (wrap it with a bounded collector when needed).
+  DlboosterBackend(DataCollector* collector, const DlboosterOptions& options);
+  ~DlboosterBackend() override;
+
+  Status Start() override;
+  Result<BatchPtr> NextBatch(int engine) override;
+  void Stop() override;
+  std::string Name() const override { return "dlbooster"; }
+
+  uint64_t ImagesDecoded() const;
+  uint64_t DecodeFailures() const;
+  const fpga::FpgaDevice& Device(int i = 0) const { return *devices_[i]; }
+  int NumDevices() const { return static_cast<int>(devices_.size()); }
+
+ private:
+  uint64_t BatchesProduced() const;
+  bool AllReadersFinished() const;
+
+  DlboosterOptions options_;
+  std::unique_ptr<LockedCollector> shared_collector_;
+  std::vector<std::unique_ptr<fpga::FpgaDevice>> devices_;
+  std::unique_ptr<HugePagePool> pool_;
+  std::vector<std::unique_ptr<FpgaReader>> readers_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  bool started_ = false;
+};
+
+}  // namespace dlb

@@ -1,0 +1,120 @@
+#include "backends/lmdb_backend.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "image/resize.h"
+#include "storagedb/dataset_convert.h"
+
+namespace dlb {
+
+LmdbBackend::LmdbBackend(const Manifest* manifest, const db::KvStore* db,
+                         const BackendOptions& options, uint64_t max_images)
+    : manifest_(manifest),
+      db_(db),
+      options_(options),
+      max_images_(max_images),
+      out_queue_(options.queue_depth * std::max(1, options.num_engines)) {
+  DLB_CHECK(manifest_ != nullptr && db_ != nullptr);
+  loader_ = std::make_unique<BatchLoader>(manifest_, options.batch_size,
+                                          options.shuffle, options.seed);
+}
+
+LmdbBackend::~LmdbBackend() { Stop(); }
+
+Status LmdbBackend::Start() {
+  if (started_.exchange(true)) {
+    return FailedPrecondition("backend already started");
+  }
+  const int n = std::max(1, options_.num_threads);
+  active_workers_.store(n);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { Worker(); });
+  }
+  return Status::Ok();
+}
+
+std::vector<uint32_t> LmdbBackend::PullBatchIndices() {
+  std::scoped_lock lock(loader_mu_);
+  if (source_done_) return {};
+  if (max_images_ > 0 && images_pulled_ >= max_images_) {
+    source_done_ = true;
+    return {};
+  }
+  auto batch = loader_->NextBatch();
+  if (max_images_ > 0 && images_pulled_ + batch.size() > max_images_) {
+    batch.resize(max_images_ - images_pulled_);
+  }
+  images_pulled_ += batch.size();
+  if (batch.empty()) source_done_ = true;
+  return batch;
+}
+
+void LmdbBackend::Worker() {
+  const size_t stride = options_.SlotStride();
+  while (true) {
+    std::vector<uint32_t> indices = PullBatchIndices();
+    if (indices.empty()) break;
+
+    std::vector<uint8_t> storage(stride * indices.size());
+    std::vector<BatchItem> items(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const FileRecord& rec = manifest_->At(indices[i]);
+      BatchItem& item = items[i];
+      item.offset = static_cast<uint32_t>(i * stride);
+      item.label = rec.label;
+      // Shared reader path — this Get is where multi-engine contention
+      // happens (shared_mutex + chained page walks).
+      auto value = db_->Get(rec.name);
+      if (!value.ok()) {
+        failures_.Add();
+        continue;
+      }
+      auto datum = db::DecodeDatum(value.value());
+      if (!datum.ok()) {
+        failures_.Add();
+        continue;
+      }
+      Image img = std::move(datum.value().second);
+      if (img.Width() != options_.resize_w ||
+          img.Height() != options_.resize_h) {
+        auto resized = Resize(img, options_.resize_w, options_.resize_h,
+                              ResizeFilter::kBilinear);
+        if (!resized.ok()) {
+          failures_.Add();
+          continue;
+        }
+        img = std::move(resized).value();
+      }
+      if (img.SizeBytes() > stride) {
+        failures_.Add();
+        continue;
+      }
+      std::memcpy(storage.data() + item.offset, img.Data(), img.SizeBytes());
+      item.bytes = static_cast<uint32_t>(img.SizeBytes());
+      item.width = static_cast<uint16_t>(img.Width());
+      item.height = static_cast<uint16_t>(img.Height());
+      item.channels = static_cast<uint8_t>(img.Channels());
+      item.ok = true;
+      served_.Add();
+    }
+    auto batch =
+        std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
+    if (!out_queue_.Push(std::move(batch)).ok()) return;
+  }
+  if (active_workers_.fetch_sub(1) == 1) out_queue_.Close();
+}
+
+Result<BatchPtr> LmdbBackend::NextBatch(int /*engine*/) {
+  auto batch = out_queue_.Pop();
+  if (!batch.has_value()) return Closed("record stream ended");
+  return std::move(*batch);
+}
+
+void LmdbBackend::Stop() {
+  out_queue_.Close();
+  workers_.clear();
+}
+
+}  // namespace dlb

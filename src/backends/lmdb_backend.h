@@ -1,0 +1,61 @@
+// LMDB-style offline preprocessing backend.
+//
+// Serves pre-decoded datums out of the shared KvStore that an offline
+// conversion pass produced (§2.2). Reader threads share the store's reader
+// path — the same shared environment that causes the multi-GPU contention
+// the paper measures — then only deserialise + stage, which is why this
+// backend is cheap on CPU but pays conversion time up front and degrades
+// when several engines hammer one DB.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "backends/backend.h"
+#include "common/stats.h"
+#include "dataplane/batch_loader.h"
+#include "dataplane/manifest.h"
+#include "storagedb/kv_store.h"
+
+namespace dlb {
+
+class LmdbBackend : public PreprocessBackend {
+ public:
+  /// `db` must already contain a datum per manifest record (keyed by the
+  /// record name; see db::ConvertDataset). `max_images` bounds the run.
+  LmdbBackend(const Manifest* manifest, const db::KvStore* db,
+              const BackendOptions& options, uint64_t max_images = 0);
+  ~LmdbBackend() override;
+
+  Status Start() override;
+  Result<BatchPtr> NextBatch(int engine) override;
+  void Stop() override;
+  std::string Name() const override { return "lmdb"; }
+
+  uint64_t RecordsServed() const { return served_.Value(); }
+  uint64_t Failures() const { return failures_.Value(); }
+
+ private:
+  void Worker();
+  std::vector<uint32_t> PullBatchIndices();
+
+  const Manifest* manifest_;
+  const db::KvStore* db_;
+  BackendOptions options_;
+  uint64_t max_images_;
+  uint64_t images_pulled_ = 0;
+  bool source_done_ = false;
+  std::mutex loader_mu_;
+  std::unique_ptr<BatchLoader> loader_;
+
+  BoundedQueue<BatchPtr> out_queue_;
+  std::vector<std::jthread> workers_;
+  std::atomic<int> active_workers_{0};
+  std::atomic<bool> started_{false};
+  Counter served_;
+  Counter failures_;
+};
+
+}  // namespace dlb

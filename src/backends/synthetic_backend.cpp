@@ -1,0 +1,35 @@
+#include "backends/synthetic_backend.h"
+
+namespace dlb {
+
+SyntheticBackend::SyntheticBackend(const BackendOptions& options,
+                                   uint64_t max_batches)
+    : options_(options), max_batches_(max_batches) {
+  const size_t stride = options_.SlotStride();
+  pixels_.assign(stride * options_.batch_size, 127);
+  items_.resize(options_.batch_size);
+  for (size_t i = 0; i < items_.size(); ++i) {
+    BatchItem& item = items_[i];
+    item.offset = static_cast<uint32_t>(i * stride);
+    item.bytes = static_cast<uint32_t>(stride);
+    item.width = static_cast<uint16_t>(options_.resize_w);
+    item.height = static_cast<uint16_t>(options_.resize_h);
+    item.channels = static_cast<uint8_t>(options_.channels);
+    item.label = static_cast<int32_t>(i % 10);
+    item.ok = true;
+  }
+}
+
+Status SyntheticBackend::Start() { return Status::Ok(); }
+
+Result<BatchPtr> SyntheticBackend::NextBatch(int /*engine*/) {
+  if (max_batches_ > 0) {
+    const uint64_t n = batches_served_.fetch_add(1) + 1;
+    if (n > max_batches_) return Closed("synthetic budget exhausted");
+  }
+  // Borrowed storage pointing at the shared immutable payload; no recycle
+  // action is needed.
+  return std::make_unique<PreprocessBatch>(items_, pixels_.data(), nullptr);
+}
+
+}  // namespace dlb

@@ -1,0 +1,32 @@
+// Synthetic-data backend: the "performance upper boundary" of Figs. 2/5.
+//
+// Returns a pre-generated batch instantly, with no decode or IO at all —
+// the same trick the fast-training papers the authors criticise use
+// (footnote 4). It bounds what the compute engine alone can do.
+#pragma once
+
+#include <atomic>
+
+#include "backends/backend.h"
+
+namespace dlb {
+
+class SyntheticBackend : public PreprocessBackend {
+ public:
+  /// Serves `max_batches` batches (0 = unbounded) of constant pixels.
+  SyntheticBackend(const BackendOptions& options, uint64_t max_batches = 0);
+
+  Status Start() override;
+  Result<BatchPtr> NextBatch(int engine) override;
+  void Stop() override {}
+  std::string Name() const override { return "synthetic"; }
+
+ private:
+  BackendOptions options_;
+  uint64_t max_batches_;
+  std::atomic<uint64_t> batches_served_{0};
+  std::vector<uint8_t> pixels_;  // shared immutable payload
+  std::vector<BatchItem> items_;
+};
+
+}  // namespace dlb

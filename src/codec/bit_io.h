@@ -1,0 +1,127 @@
+// MSB-first bit streams with JPEG byte stuffing.
+//
+// The entropy-coded segment of a JPEG escapes every 0xFF data byte with a
+// following 0x00; readers must strip the escape and stop at real markers
+// (0xFF followed by anything else).
+#pragma once
+
+#include <cstdint>
+
+#include "codec/jpeg_common.h"
+#include "common/bytes.h"
+#include "common/log.h"
+
+namespace dlb::jpeg {
+
+/// Writer: accumulates bits MSB-first, performs 0xFF00 stuffing.
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes* out) : out_(out) {}
+
+  /// Append the low `count` bits of `bits` (MSB of those first).
+  void Put(uint32_t bits, int count) {
+    DLB_CHECK(count >= 0 && count <= 24);
+    acc_ = (acc_ << count) | (bits & ((1u << count) - 1));
+    bit_count_ += count;
+    while (bit_count_ >= 8) {
+      const uint8_t byte = static_cast<uint8_t>(acc_ >> (bit_count_ - 8));
+      out_->push_back(byte);
+      if (byte == 0xFF) out_->push_back(0x00);  // stuffing
+      bit_count_ -= 8;
+    }
+  }
+
+  /// Pad the final partial byte with 1-bits (per T.81) and flush.
+  void Flush() {
+    if (bit_count_ > 0) {
+      const int pad = 8 - bit_count_;
+      Put((1u << pad) - 1, pad);
+    }
+  }
+
+ private:
+  Bytes* out_;
+  uint64_t acc_ = 0;
+  int bit_count_ = 0;
+};
+
+/// Reader over an entropy-coded segment. Un-stuffs 0xFF00 and treats any
+/// other 0xFF-prefixed byte as end-of-data (a marker), leaving the cursor
+/// on the 0xFF.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  /// Read `count` bits; returns -1 on exhausted data (caller treats as
+  /// corrupt stream or expected marker).
+  int32_t Get(int count) {
+    while (bit_count_ < count) {
+      if (!FillByte()) return -1;
+    }
+    const int32_t v =
+        static_cast<int32_t>((acc_ >> (bit_count_ - count)) & ((1u << count) - 1));
+    bit_count_ -= count;
+    return v;
+  }
+
+  /// Read a single bit (hot path of Huffman decode); -1 when exhausted.
+  int GetBit() {
+    if (bit_count_ == 0 && !FillByte()) return -1;
+    --bit_count_;
+    return static_cast<int>((acc_ >> bit_count_) & 1u);
+  }
+
+  /// Byte position of the cursor within the span (next unread byte).
+  size_t Position() const { return pos_; }
+
+  /// Discard buffered bits and re-align to the next byte boundary
+  /// (used at restart markers).
+  void AlignToByte() {
+    acc_ = 0;
+    bit_count_ = 0;
+  }
+
+  /// True if the next two bytes are a restart marker; advances past it.
+  /// Skips any stuffed padding bytes (0xFF00) that precede the marker.
+  bool ConsumeRestartMarker(int expected_index) {
+    while (pos_ + 1 < data_.size() && data_[pos_] == 0xFF &&
+           data_[pos_ + 1] == 0x00) {
+      pos_ += 2;
+    }
+    if (pos_ + 1 >= data_.size()) return false;
+    if (data_[pos_] != 0xFF) return false;
+    const uint8_t m = data_[pos_ + 1];
+    if (m != (kRST0 + (expected_index & 7))) return false;
+    pos_ += 2;
+    AlignToByte();
+    return true;
+  }
+
+  bool Exhausted() const { return pos_ >= data_.size() && bit_count_ == 0; }
+
+ private:
+  /// Load one (un-stuffed) data byte into the accumulator.
+  bool FillByte() {
+    if (pos_ >= data_.size()) return false;
+    uint8_t byte = data_[pos_];
+    if (byte == 0xFF) {
+      if (pos_ + 1 < data_.size() && data_[pos_ + 1] == 0x00) {
+        pos_ += 2;  // stuffed 0xFF
+      } else {
+        return false;  // real marker: stop (cursor stays on 0xFF)
+      }
+    } else {
+      ++pos_;
+    }
+    acc_ = (acc_ << 8) | byte;
+    bit_count_ += 8;
+    return true;
+  }
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+  uint64_t acc_ = 0;
+  int bit_count_ = 0;
+};
+
+}  // namespace dlb::jpeg

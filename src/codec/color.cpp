@@ -1,0 +1,84 @@
+#include "codec/color.h"
+
+#include <algorithm>
+
+namespace dlb::jpeg {
+
+namespace {
+inline uint8_t ClampU8(int v) {
+  return static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+}  // namespace
+
+void RgbToYcbcr(const Image& rgb, std::vector<uint8_t>* y,
+                std::vector<uint8_t>* cb, std::vector<uint8_t>* cr) {
+  const int w = rgb.Width(), h = rgb.Height();
+  y->resize(static_cast<size_t>(w) * h);
+  cb->resize(static_cast<size_t>(w) * h);
+  cr->resize(static_cast<size_t>(w) * h);
+  // Fixed-point BT.601 (JFIF): scale by 2^16.
+  constexpr int kYr = 19595, kYg = 38470, kYb = 7471;        // 0.299/0.587/0.114
+  constexpr int kCbR = -11059, kCbG = -21709, kCbB = 32768;  // -0.1687/-0.3313/0.5
+  constexpr int kCrR = 32768, kCrG = -27439, kCrB = -5329;   // 0.5/-0.4187/-0.0813
+  size_t idx = 0;
+  for (int yy = 0; yy < h; ++yy) {
+    const uint8_t* row = rgb.Row(yy);
+    for (int xx = 0; xx < w; ++xx, ++idx) {
+      const int r = row[xx * 3 + 0];
+      const int g = row[xx * 3 + 1];
+      const int b = row[xx * 3 + 2];
+      (*y)[idx] = ClampU8((kYr * r + kYg * g + kYb * b + 32768) >> 16);
+      (*cb)[idx] = ClampU8(((kCbR * r + kCbG * g + kCbB * b + 32768) >> 16) + 128);
+      (*cr)[idx] = ClampU8(((kCrR * r + kCrG * g + kCrB * b + 32768) >> 16) + 128);
+    }
+  }
+}
+
+void YcbcrToRgbPixel(int y, int cb, int cr, uint8_t* r, uint8_t* g,
+                     uint8_t* b) {
+  // Fixed-point inverse BT.601: R = Y + 1.402(Cr-128), etc.
+  const int c = cr - 128;
+  const int d = cb - 128;
+  *r = ClampU8(y + ((91881 * c + 32768) >> 16));
+  *g = ClampU8(y - ((22554 * d + 46802 * c + 32768) >> 16));
+  *b = ClampU8(y + ((116130 * d + 32768) >> 16));
+}
+
+std::vector<uint8_t> Downsample2x2(const std::vector<uint8_t>& plane, int w,
+                                   int h) {
+  const int ow = (w + 1) / 2;
+  const int oh = (h + 1) / 2;
+  std::vector<uint8_t> out(static_cast<size_t>(ow) * oh);
+  for (int y = 0; y < oh; ++y) {
+    const int y0 = 2 * y;
+    const int y1 = std::min(2 * y + 1, h - 1);
+    for (int x = 0; x < ow; ++x) {
+      const int x0 = 2 * x;
+      const int x1 = std::min(2 * x + 1, w - 1);
+      const int sum = plane[static_cast<size_t>(y0) * w + x0] +
+                      plane[static_cast<size_t>(y0) * w + x1] +
+                      plane[static_cast<size_t>(y1) * w + x0] +
+                      plane[static_cast<size_t>(y1) * w + x1];
+      out[static_cast<size_t>(y) * ow + x] = static_cast<uint8_t>((sum + 2) / 4);
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> Downsample2x1(const std::vector<uint8_t>& plane, int w,
+                                   int h) {
+  const int ow = (w + 1) / 2;
+  std::vector<uint8_t> out(static_cast<size_t>(ow) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < ow; ++x) {
+      const int x0 = 2 * x;
+      const int x1 = std::min(2 * x + 1, w - 1);
+      const int sum = plane[static_cast<size_t>(y) * w + x0] +
+                      plane[static_cast<size_t>(y) * w + x1];
+      out[static_cast<size_t>(y) * ow + x] = static_cast<uint8_t>((sum + 1) / 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace dlb::jpeg

@@ -1,0 +1,29 @@
+// JFIF colour-space conversion and chroma resampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace dlb::jpeg {
+
+/// RGB -> YCbCr (BT.601 full range, JFIF convention). Planes are sized
+/// w*h each.
+void RgbToYcbcr(const Image& rgb, std::vector<uint8_t>* y,
+                std::vector<uint8_t>* cb, std::vector<uint8_t>* cr);
+
+/// One YCbCr triple -> packed RGB (used by the per-pixel reconstruction).
+void YcbcrToRgbPixel(int y, int cb, int cr, uint8_t* r, uint8_t* g, uint8_t* b);
+
+/// 2x2 box down-sample of a plane (chroma subsampling for 4:2:0).
+/// Output is ceil(w/2) x ceil(h/2).
+std::vector<uint8_t> Downsample2x2(const std::vector<uint8_t>& plane, int w,
+                                   int h);
+
+/// Horizontal-only 2x1 down-sample (chroma subsampling for 4:2:2).
+/// Output is ceil(w/2) x h.
+std::vector<uint8_t> Downsample2x1(const std::vector<uint8_t>& plane, int w,
+                                   int h);
+
+}  // namespace dlb::jpeg

@@ -1,0 +1,84 @@
+#include "codec/dct.h"
+
+#include <cmath>
+
+#include "codec/jpeg_common.h"
+
+namespace dlb::jpeg {
+
+namespace {
+
+// Precomputed DCT-II basis: basis[u][x] = C(u)/2 * cos((2x+1)u*pi/16).
+struct Basis {
+  float b[8][8];
+  Basis() {
+    const double pi = 3.14159265358979323846;
+    for (int u = 0; u < 8; ++u) {
+      const double cu = (u == 0) ? std::sqrt(0.5) : 1.0;
+      for (int x = 0; x < 8; ++x) {
+        b[u][x] = static_cast<float>(
+            0.5 * cu * std::cos((2.0 * x + 1.0) * u * pi / 16.0));
+      }
+    }
+  }
+};
+
+const Basis& GetBasis() {
+  static const Basis basis;
+  return basis;
+}
+
+}  // namespace
+
+void ForwardDct8x8(const float in[64], float out[64]) {
+  const Basis& B = GetBasis();
+  float tmp[64];
+  // Rows: tmp[y][u] = sum_x in[y][x] * b[u][x]
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float acc = 0.0f;
+      for (int x = 0; x < 8; ++x) acc += in[y * 8 + x] * B.b[u][x];
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  // Columns: out[v][u] = sum_y tmp[y][u] * b[v][y]
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      float acc = 0.0f;
+      for (int y = 0; y < 8; ++y) acc += tmp[y * 8 + u] * B.b[v][y];
+      out[v * 8 + u] = acc;
+    }
+  }
+}
+
+void InverseDct8x8(const float coeffs[64], uint8_t out[64]) {
+  const Basis& B = GetBasis();
+  float tmp[64];
+  // Columns first: tmp[y][u] = sum_v coeffs[v][u] * b[v][y]
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0.0f;
+      for (int v = 0; v < 8; ++v) acc += coeffs[v * 8 + u] * B.b[v][y];
+      tmp[y * 8 + u] = acc;
+    }
+  }
+  // Rows: sample[y][x] = sum_u tmp[y][u] * b[u][x]
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0.0f;
+      for (int u = 0; u < 8; ++u) acc += tmp[y * 8 + u] * B.b[u][x];
+      const int v = static_cast<int>(std::lrintf(acc + 128.0f));
+      out[y * 8 + x] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+  }
+}
+
+void DequantizeZigZag(const int16_t zz[64], const uint16_t quant[64],
+                      float out[64]) {
+  for (int i = 0; i < 64; ++i) {
+    const int natural = kZigZag[i];
+    out[natural] = static_cast<float>(zz[i]) * static_cast<float>(quant[natural]);
+  }
+}
+
+}  // namespace dlb::jpeg

@@ -1,0 +1,28 @@
+// 8x8 forward and inverse DCT (type II / III) for the JPEG codec.
+//
+// The inverse transform is the AAN (Arai-Agui-Nakajima) factorisation — the
+// same structure hardware implementations (including the paper's FPGA iDCT
+// unit) use, with the scale factors folded into the dequantisation table.
+// For clarity and testability we keep an unscaled float reference path too.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dlb::jpeg {
+
+/// Forward DCT of a level-shifted 8x8 sample block (inputs in [-128,127]).
+/// Output coefficients in natural order, unquantised.
+void ForwardDct8x8(const float in[64], float out[64]);
+
+/// Inverse DCT: `coeffs` are dequantised coefficients in natural order;
+/// output samples are clamped to [0,255] after the +128 level shift.
+void InverseDct8x8(const float coeffs[64], uint8_t out[64]);
+
+/// Dequantise a zig-zag-ordered int16 coefficient block into natural-order
+/// floats ready for InverseDct8x8. (This is the "dequant" half of the FPGA
+/// iDCT unit.)
+void DequantizeZigZag(const int16_t zz[64], const uint16_t quant[64],
+                      float out[64]);
+
+}  // namespace dlb::jpeg

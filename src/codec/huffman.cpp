@@ -1,0 +1,133 @@
+#include "codec/huffman.h"
+
+namespace dlb::jpeg {
+
+namespace {
+
+/// Generate the canonical (code, length) list in symbol order per Annex C.
+struct CodeList {
+  std::vector<uint16_t> codes;
+  std::vector<uint8_t> lengths;
+};
+
+Result<CodeList> GenerateCodes(const HuffmanSpec& spec) {
+  CodeList out;
+  size_t total = 0;
+  for (int l = 0; l < 16; ++l) total += spec.bits[l];
+  if (total != spec.vals.size()) {
+    return CorruptData("huffman spec: BITS sum != number of values");
+  }
+  if (total == 0 || total > 256) {
+    return CorruptData("huffman spec: invalid symbol count");
+  }
+  out.codes.reserve(total);
+  out.lengths.reserve(total);
+  uint32_t code = 0;
+  for (int length = 1; length <= 16; ++length) {
+    for (int i = 0; i < spec.bits[length - 1]; ++i) {
+      if (code >= (1u << length)) {
+        return CorruptData("huffman spec: code space overflow");
+      }
+      out.codes.push_back(static_cast<uint16_t>(code));
+      out.lengths.push_back(static_cast<uint8_t>(length));
+      ++code;
+    }
+    code <<= 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<HuffmanEncoder> HuffmanEncoder::Build(const HuffmanSpec& spec) {
+  auto codes = GenerateCodes(spec);
+  if (!codes.ok()) return codes.status();
+  HuffmanEncoder enc;
+  for (size_t i = 0; i < spec.vals.size(); ++i) {
+    Entry& e = enc.entries_[spec.vals[i]];
+    if (e.length != 0) return CorruptData("huffman spec: duplicate symbol");
+    e.code = codes.value().codes[i];
+    e.length = codes.value().lengths[i];
+  }
+  return enc;
+}
+
+Result<HuffmanDecoder> HuffmanDecoder::Build(const HuffmanSpec& spec) {
+  auto codes = GenerateCodes(spec);
+  if (!codes.ok()) return codes.status();
+  HuffmanDecoder dec;
+  dec.vals_ = spec.vals;
+
+  // MINCODE/MAXCODE/VALPTR per code length (T.81 F.2.2.3).
+  size_t k = 0;
+  for (int length = 1; length <= 16; ++length) {
+    if (spec.bits[length - 1] == 0) {
+      dec.max_code_[length] = -1;
+      continue;
+    }
+    dec.val_ptr_[length] = static_cast<int32_t>(k);
+    dec.min_code_[length] = codes.value().codes[k];
+    k += spec.bits[length - 1];
+    dec.max_code_[length] = codes.value().codes[k - 1];
+  }
+
+  // Fast table: expand every code of length <= 8 across its suffix bits.
+  for (size_t i = 0; i < spec.vals.size(); ++i) {
+    const int length = codes.value().lengths[i];
+    if (length > 8) continue;
+    const uint32_t code = codes.value().codes[i];
+    const int fill = 8 - length;
+    const uint32_t base = code << fill;
+    for (uint32_t suffix = 0; suffix < (1u << fill); ++suffix) {
+      FastEntry& fe = dec.fast_[base | suffix];
+      fe.symbol = spec.vals[i];
+      fe.length = static_cast<uint8_t>(length);
+    }
+  }
+  return dec;
+}
+
+int HuffmanDecoder::Decode(BitReader& br) const {
+  // The fast path needs 8 lookahead bits; near the end of the stream we
+  // fall back to bit-by-bit. Peeking is implemented by reading bit-by-bit
+  // here to keep BitReader simple; the fast table still pays off through
+  // the slow path's early exit below.
+  int code = br.GetBit();
+  if (code < 0) return -1;
+  for (int length = 1; length <= 16; ++length) {
+    if (max_code_[length] >= 0 && code <= max_code_[length]) {
+      const int index = val_ptr_[length] + (code - min_code_[length]);
+      if (index < 0 || index >= static_cast<int>(vals_.size())) return -1;
+      return vals_[index];
+    }
+    const int bit = br.GetBit();
+    if (bit < 0) return -1;
+    code = (code << 1) | bit;
+  }
+  return -1;  // no code longer than 16 bits exists
+}
+
+int MagnitudeCategory(int value) {
+  int mag = value < 0 ? -value : value;
+  int ssss = 0;
+  while (mag) {
+    mag >>= 1;
+    ++ssss;
+  }
+  return ssss;
+}
+
+uint32_t MagnitudeBits(int value, int ssss) {
+  if (value >= 0) return static_cast<uint32_t>(value);
+  // Negative values are stored as value - 1 in ssss bits (one's complement).
+  return static_cast<uint32_t>(value + (1 << ssss) - 1);
+}
+
+int ExtendValue(int bits, int ssss) {
+  if (ssss == 0) return 0;
+  // T.81 EXTEND: if the leading bit is 0 the value is negative.
+  if (bits < (1 << (ssss - 1))) return bits - (1 << ssss) + 1;
+  return bits;
+}
+
+}  // namespace dlb::jpeg

@@ -1,0 +1,72 @@
+// Canonical Huffman coding per ITU-T T.81 Annex C (table construction),
+// Annex F (encode/decode procedures).
+//
+// The decoder mirrors the FPGA "Huffman decoding unit" (Fig. 4): it is a
+// pure function from a bitstream to (run,size)/coefficient symbols, so the
+// same code runs inside the emulated FPGA device and the CPU backend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "codec/bit_io.h"
+#include "codec/jpeg_common.h"
+#include "common/status.h"
+
+namespace dlb::jpeg {
+
+/// Encoder-side table: code word + length per symbol value.
+class HuffmanEncoder {
+ public:
+  static Result<HuffmanEncoder> Build(const HuffmanSpec& spec);
+
+  /// Emit the code word for `symbol` (must exist in the table).
+  void Encode(BitWriter& bw, uint8_t symbol) const {
+    const Entry& e = entries_[symbol];
+    bw.Put(e.code, e.length);
+  }
+
+  bool HasSymbol(uint8_t symbol) const { return entries_[symbol].length != 0; }
+
+ private:
+  struct Entry {
+    uint16_t code = 0;
+    uint8_t length = 0;
+  };
+  std::array<Entry, 256> entries_{};
+};
+
+/// Decoder-side table using the T.81 MINCODE/MAXCODE/VALPTR scheme plus an
+/// 8-bit fast lookup for short codes (the common case: >90% of symbols).
+class HuffmanDecoder {
+ public:
+  static Result<HuffmanDecoder> Build(const HuffmanSpec& spec);
+
+  /// Decode one symbol; returns -1 on malformed stream / exhausted input.
+  int Decode(BitReader& br) const;
+
+ private:
+  // Slow path state (per code length 1..16).
+  std::array<int32_t, 17> min_code_{};
+  std::array<int32_t, 17> max_code_{};  // -1 when no codes of that length
+  std::array<int32_t, 17> val_ptr_{};
+  std::vector<uint8_t> vals_;
+  // Fast path: index by next 8 bits -> (symbol, length) or miss.
+  struct FastEntry {
+    int16_t symbol = -1;  // -1 = miss (code longer than 8 bits)
+    uint8_t length = 0;
+  };
+  std::array<FastEntry, 256> fast_{};
+};
+
+/// Magnitude category ("SSSS") of a coefficient per T.81 F.1.2.1.1.
+int MagnitudeCategory(int value);
+
+/// Encode `value` of category `ssss` as its variable-length integer bits.
+uint32_t MagnitudeBits(int value, int ssss);
+
+/// Reconstruct a value from `ssss` bits read off the stream ("EXTEND").
+int ExtendValue(int bits, int ssss);
+
+}  // namespace dlb::jpeg

@@ -1,0 +1,394 @@
+#include "codec/inflate.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace dlb::flate {
+
+namespace {
+
+// --- LSB-first bit reader (DEFLATE bit order, unlike JPEG's MSB-first) ----
+class LsbBitReader {
+ public:
+  explicit LsbBitReader(ByteSpan data) : data_(data) {}
+
+  /// Read `count` bits (count <= 24); -1 on exhausted input.
+  int32_t Get(int count) {
+    while (bit_count_ < count) {
+      if (pos_ >= data_.size()) return -1;
+      acc_ |= static_cast<uint32_t>(data_[pos_++]) << bit_count_;
+      bit_count_ += 8;
+    }
+    const int32_t v = static_cast<int32_t>(acc_ & ((1u << count) - 1));
+    acc_ >>= count;
+    bit_count_ -= count;
+    return v;
+  }
+
+  /// Discard bits to the next byte boundary (stored-block alignment).
+  void AlignToByte() {
+    acc_ = 0;
+    bit_count_ = 0;
+  }
+
+  /// Copy `n` raw bytes (must be byte-aligned); false on underrun.
+  bool CopyBytes(uint8_t* dst, size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t Position() const { return pos_; }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+  uint32_t acc_ = 0;
+  int bit_count_ = 0;
+};
+
+// --- Canonical Huffman decoding over code lengths (RFC 1951 §3.2.2) ------
+class LengthHuffman {
+ public:
+  /// Build from per-symbol code lengths (0 = unused).
+  Status Build(const uint8_t* lengths, int count) {
+    count_ = count;
+    std::array<int, 16> bl_count{};
+    for (int i = 0; i < count; ++i) {
+      if (lengths[i] > 15) return CorruptData("code length > 15");
+      ++bl_count[lengths[i]];
+    }
+    bl_count[0] = 0;
+    int code = 0;
+    std::array<int, 16> next_code{};
+    for (int bits = 1; bits <= 15; ++bits) {
+      code = (code + bl_count[bits - 1]) << 1;
+      next_code[bits] = code;
+      first_code_[bits] = code;
+      if (code + bl_count[bits] > (1 << bits)) {
+        return CorruptData("over-subscribed Huffman code");
+      }
+    }
+    // Symbols sorted by (length, symbol) — canonical order.
+    int offset = 0;
+    for (int bits = 1; bits <= 15; ++bits) {
+      offset_[bits] = offset;
+      for (int sym = 0; sym < count; ++sym) {
+        if (lengths[sym] == bits) symbols_[offset++] = static_cast<uint16_t>(sym);
+      }
+      counts_[bits] = offset - offset_[bits];
+    }
+    if (offset == 0) return CorruptData("empty Huffman table");
+    return Status::Ok();
+  }
+
+  /// Decode one symbol; -1 on error. DEFLATE codes are MSB-first within
+  /// the LSB-first byte stream, so we accumulate bit by bit.
+  int Decode(LsbBitReader& br) const {
+    int code = 0;
+    for (int bits = 1; bits <= 15; ++bits) {
+      const int b = br.Get(1);
+      if (b < 0) return -1;
+      code = (code << 1) | b;
+      const int first = first_code_[bits];
+      const int count = counts_[bits];
+      if (code - first < count) {
+        return symbols_[offset_[bits] + (code - first)];
+      }
+    }
+    return -1;
+  }
+
+ private:
+  int count_ = 0;
+  std::array<int, 16> first_code_{};
+  std::array<int, 16> offset_{};
+  std::array<int, 16> counts_{};
+  std::array<uint16_t, 320> symbols_{};
+};
+
+// Length/distance base tables (RFC 1951 §3.2.5).
+constexpr int kLengthBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                 15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr int kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                  2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr int kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,    13,
+                               17,   25,   33,   49,   65,   97,    129,  193,
+                               257,  385,  513,  769,  1025, 1537,  2049, 3073,
+                               4097, 6145, 8193, 12289, 16385, 24577};
+constexpr int kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4, 5, 5, 6,
+                                6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+Status BuildFixedTables(LengthHuffman* lit, LengthHuffman* dist) {
+  uint8_t lit_lengths[288];
+  for (int i = 0; i < 144; ++i) lit_lengths[i] = 8;
+  for (int i = 144; i < 256; ++i) lit_lengths[i] = 9;
+  for (int i = 256; i < 280; ++i) lit_lengths[i] = 7;
+  for (int i = 280; i < 288; ++i) lit_lengths[i] = 8;
+  DLB_RETURN_IF_ERROR(lit->Build(lit_lengths, 288));
+  uint8_t dist_lengths[30];
+  for (auto& l : dist_lengths) l = 5;
+  return dist->Build(dist_lengths, 30);
+}
+
+Status ReadDynamicTables(LsbBitReader& br, LengthHuffman* lit,
+                         LengthHuffman* dist) {
+  const int hlit = br.Get(5);
+  const int hdist = br.Get(5);
+  const int hclen = br.Get(4);
+  if (hlit < 0 || hdist < 0 || hclen < 0) return CorruptData("truncated header");
+  const int nlit = hlit + 257;
+  const int ndist = hdist + 1;
+  const int ncode = hclen + 4;
+  if (nlit > 286 || ndist > 30) return CorruptData("bad table sizes");
+
+  static const int kOrder[19] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                 11, 4,  12, 3, 13, 2, 14, 1, 15};
+  uint8_t cl_lengths[19] = {0};
+  for (int i = 0; i < ncode; ++i) {
+    const int v = br.Get(3);
+    if (v < 0) return CorruptData("truncated code lengths");
+    cl_lengths[kOrder[i]] = static_cast<uint8_t>(v);
+  }
+  LengthHuffman cl_table;
+  DLB_RETURN_IF_ERROR(cl_table.Build(cl_lengths, 19));
+
+  uint8_t lengths[286 + 30] = {0};
+  int i = 0;
+  while (i < nlit + ndist) {
+    const int sym = cl_table.Decode(br);
+    if (sym < 0) return CorruptData("bad code-length symbol");
+    if (sym < 16) {
+      lengths[i++] = static_cast<uint8_t>(sym);
+    } else if (sym == 16) {
+      if (i == 0) return CorruptData("repeat with no previous length");
+      const int extra = br.Get(2);
+      if (extra < 0) return CorruptData("truncated repeat");
+      const int repeat = 3 + extra;
+      if (i + repeat > nlit + ndist) return CorruptData("repeat overflow");
+      for (int r = 0; r < repeat; ++r, ++i) lengths[i] = lengths[i - 1];
+    } else {
+      const int extra = br.Get(sym == 17 ? 3 : 7);
+      if (extra < 0) return CorruptData("truncated zero run");
+      const int repeat = (sym == 17 ? 3 : 11) + extra;
+      if (i + repeat > nlit + ndist) return CorruptData("zero-run overflow");
+      i += repeat;  // lengths already zero
+    }
+  }
+  DLB_RETURN_IF_ERROR(lit->Build(lengths, nlit));
+  return dist->Build(lengths + nlit, ndist);
+}
+
+}  // namespace
+
+Result<Bytes> Inflate(ByteSpan compressed, size_t expected_size) {
+  LsbBitReader br(compressed);
+  Bytes out;
+  if (expected_size) out.reserve(expected_size);
+  // Hard cap against decompression bombs on corrupt input.
+  const size_t max_size =
+      expected_size ? expected_size : (64ull << 20);
+
+  while (true) {
+    const int bfinal = br.Get(1);
+    const int btype = br.Get(2);
+    if (bfinal < 0 || btype < 0) return CorruptData("truncated block header");
+
+    if (btype == 0) {
+      // Stored block.
+      br.AlignToByte();
+      uint8_t header[4];
+      if (!br.CopyBytes(header, 4)) return CorruptData("truncated LEN");
+      const uint16_t len = static_cast<uint16_t>(header[0] | (header[1] << 8));
+      const uint16_t nlen = static_cast<uint16_t>(header[2] | (header[3] << 8));
+      if ((len ^ nlen) != 0xFFFF) return CorruptData("LEN/NLEN mismatch");
+      if (out.size() + len > max_size) return CorruptData("output too large");
+      const size_t at = out.size();
+      out.resize(at + len);
+      if (!br.CopyBytes(out.data() + at, len)) {
+        return CorruptData("truncated stored data");
+      }
+    } else if (btype == 3) {
+      return CorruptData("reserved block type");
+    } else {
+      LengthHuffman lit, dist;
+      if (btype == 1) {
+        DLB_RETURN_IF_ERROR(BuildFixedTables(&lit, &dist));
+      } else {
+        DLB_RETURN_IF_ERROR(ReadDynamicTables(br, &lit, &dist));
+      }
+      while (true) {
+        const int sym = lit.Decode(br);
+        if (sym < 0) return CorruptData("bad literal/length symbol");
+        if (sym < 256) {
+          if (out.size() + 1 > max_size) return CorruptData("output too large");
+          out.push_back(static_cast<uint8_t>(sym));
+        } else if (sym == 256) {
+          break;  // end of block
+        } else {
+          const int li = sym - 257;
+          if (li >= 29) return CorruptData("bad length symbol");
+          const int extra_l = br.Get(kLengthExtra[li]);
+          if (extra_l < 0) return CorruptData("truncated length extra");
+          const int length = kLengthBase[li] + extra_l;
+          const int dsym = dist.Decode(br);
+          if (dsym < 0 || dsym >= 30) return CorruptData("bad distance symbol");
+          const int extra_d = br.Get(kDistExtra[dsym]);
+          if (extra_d < 0) return CorruptData("truncated distance extra");
+          const size_t distance =
+              static_cast<size_t>(kDistBase[dsym]) + extra_d;
+          if (distance > out.size()) return CorruptData("distance too far");
+          if (out.size() + length > max_size) {
+            return CorruptData("output too large");
+          }
+          // Byte-by-byte copy: overlapping copies are the LZ77 semantics.
+          size_t from = out.size() - distance;
+          for (int k = 0; k < length; ++k) out.push_back(out[from + k]);
+        }
+      }
+    }
+    if (bfinal) break;
+  }
+  return out;
+}
+
+namespace {
+
+/// LSB-first bit writer for the compressor.
+class LsbBitWriter {
+ public:
+  explicit LsbBitWriter(Bytes* out) : out_(out) {}
+  void Put(uint32_t bits, int count) {
+    acc_ |= static_cast<uint64_t>(bits & ((1u << count) - 1)) << bit_count_;
+    bit_count_ += count;
+    while (bit_count_ >= 8) {
+      out_->push_back(static_cast<uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      bit_count_ -= 8;
+    }
+  }
+  /// Write a fixed-table code (codes are MSB-first on the wire).
+  void PutHuffman(uint32_t code, int length) {
+    for (int i = length - 1; i >= 0; --i) Put((code >> i) & 1, 1);
+  }
+  void AlignToByte() {
+    if (bit_count_ > 0) Put(0, 8 - bit_count_);
+  }
+
+ private:
+  Bytes* out_;
+  uint64_t acc_ = 0;
+  int bit_count_ = 0;
+};
+
+/// Fixed-Huffman code for a literal byte (RFC 1951 §3.2.6).
+void FixedLiteralCode(int sym, uint32_t* code, int* length) {
+  if (sym < 144) {
+    *code = 0x30 + sym;  // 8 bits, 00110000..10111111
+    *length = 8;
+  } else {
+    *code = 0x190 + (sym - 144);  // 9 bits
+    *length = 9;
+  }
+}
+
+}  // namespace
+
+Bytes Deflate(ByteSpan data) {
+  Bytes out;
+  LsbBitWriter bw(&out);
+  if (data.empty()) {
+    // One empty stored final block.
+    bw.Put(1, 1);
+    bw.Put(0, 2);
+    bw.AlignToByte();
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0xFF);
+    out.push_back(0xFF);
+    return out;
+  }
+  // Choose per 32 KiB block between stored and fixed-Huffman literals.
+  constexpr size_t kBlock = 32 * 1024;
+  size_t pos = 0;
+  do {
+    const size_t n = std::min(kBlock, data.size() - pos);
+    const bool final_block = pos + n == data.size();
+    // Estimate fixed-literal cost: ~8.5 bits/byte; stored: 8 bits + 5 bytes.
+    size_t fixed_bits = 10;  // block header + EOB
+    for (size_t i = 0; i < n; ++i) {
+      fixed_bits += data[pos + i] < 144 ? 8 : 9;
+    }
+    const size_t stored_bits = 3 + 32 + n * 8 + 7 /*alignment*/;
+    if (fixed_bits < stored_bits) {
+      bw.Put(final_block ? 1 : 0, 1);
+      bw.Put(1, 2);  // fixed Huffman
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t code;
+        int length;
+        FixedLiteralCode(data[pos + i], &code, &length);
+        bw.PutHuffman(code, length);
+      }
+      bw.PutHuffman(0, 7);  // end-of-block (symbol 256, code 0000000)
+      if (final_block) bw.AlignToByte();
+    } else {
+      bw.Put(final_block ? 1 : 0, 1);
+      bw.Put(0, 2);  // stored
+      bw.AlignToByte();
+      const uint16_t len = static_cast<uint16_t>(n);
+      out.push_back(static_cast<uint8_t>(len & 0xFF));
+      out.push_back(static_cast<uint8_t>(len >> 8));
+      out.push_back(static_cast<uint8_t>(~len & 0xFF));
+      out.push_back(static_cast<uint8_t>((~len >> 8) & 0xFF));
+      out.insert(out.end(), data.begin() + pos, data.begin() + pos + n);
+    }
+    pos += n;
+  } while (pos < data.size());
+  return out;
+}
+
+uint32_t Adler32(ByteSpan data) {
+  uint32_t a = 1, b = 0;
+  for (uint8_t byte : data) {
+    a = (a + byte) % 65521;
+    b = (b + a) % 65521;
+  }
+  return (b << 16) | a;
+}
+
+Result<Bytes> ZlibDecompress(ByteSpan compressed, size_t expected_size) {
+  if (compressed.size() < 6) return CorruptData("zlib stream too short");
+  const uint8_t cmf = compressed[0];
+  const uint8_t flg = compressed[1];
+  if ((cmf & 0x0F) != 8) return CorruptData("not DEFLATE");
+  if ((cmf * 256 + flg) % 31 != 0) return CorruptData("bad zlib header check");
+  if (flg & 0x20) return Status(StatusCode::kUnimplemented, "preset dictionary");
+  auto data = Inflate(compressed.subspan(2, compressed.size() - 6),
+                      expected_size);
+  if (!data.ok()) return data.status();
+  const uint8_t* tail = compressed.data() + compressed.size() - 4;
+  const uint32_t expected_adler =
+      (static_cast<uint32_t>(tail[0]) << 24) | (tail[1] << 16) |
+      (tail[2] << 8) | tail[3];
+  if (Adler32(data.value()) != expected_adler) {
+    return CorruptData("Adler-32 mismatch");
+  }
+  return data;
+}
+
+Bytes ZlibCompress(ByteSpan data) {
+  Bytes out = {0x78, 0x01};  // CMF/FLG: 32K window, fastest, check ok (mod 31)
+  Bytes deflated = Deflate(data);
+  out.insert(out.end(), deflated.begin(), deflated.end());
+  const uint32_t adler = Adler32(data);
+  out.push_back(static_cast<uint8_t>(adler >> 24));
+  out.push_back(static_cast<uint8_t>((adler >> 16) & 0xFF));
+  out.push_back(static_cast<uint8_t>((adler >> 8) & 0xFF));
+  out.push_back(static_cast<uint8_t>(adler & 0xFF));
+  return out;
+}
+
+}  // namespace dlb::flate

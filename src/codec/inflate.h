@@ -1,0 +1,30 @@
+// DEFLATE (RFC 1951) decompression and a minimal compressor, plus the zlib
+// (RFC 1950) wrapper — the substrate under the PNG codec.
+//
+// The inflater supports all three block types (stored, fixed-Huffman,
+// dynamic-Huffman) and the full LZ77 window. The compressor emits valid
+// streams using stored and fixed-Huffman-literal blocks (no match search);
+// that is enough for the PNG encoder, and every decoder must accept it.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dlb::flate {
+
+/// Inflate a raw DEFLATE stream. `expected_size` (if nonzero) reserves
+/// output and bounds memory growth against corrupt streams.
+Result<Bytes> Inflate(ByteSpan compressed, size_t expected_size = 0);
+
+/// Deflate `data` (stored or fixed-Huffman-literal blocks, whichever is
+/// smaller per block).
+Bytes Deflate(ByteSpan data);
+
+/// zlib wrapper: 0x78 header + DEFLATE + Adler-32.
+Result<Bytes> ZlibDecompress(ByteSpan compressed, size_t expected_size = 0);
+Bytes ZlibCompress(ByteSpan data);
+
+/// Adler-32 checksum (RFC 1950).
+uint32_t Adler32(ByteSpan data);
+
+}  // namespace dlb::flate

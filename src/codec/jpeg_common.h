@@ -1,0 +1,119 @@
+// Shared definitions for the from-scratch baseline JPEG (ITU-T T.81) codec.
+//
+// Scope: baseline sequential DCT, 8-bit samples, Huffman entropy coding,
+// grayscale or YCbCr 4:4:4 / 4:2:0, optional restart markers. That covers
+// every image DLBooster's pipeline handles (the paper's datasets are JFIF
+// baseline files).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dlb::jpeg {
+
+// --- Marker bytes (second byte after 0xFF) -------------------------------
+inline constexpr uint8_t kSOI = 0xD8;
+inline constexpr uint8_t kEOI = 0xD9;
+inline constexpr uint8_t kSOF0 = 0xC0;  // baseline DCT
+inline constexpr uint8_t kSOF2 = 0xC2;  // progressive (rejected)
+inline constexpr uint8_t kDHT = 0xC4;
+inline constexpr uint8_t kDQT = 0xDB;
+inline constexpr uint8_t kDRI = 0xDD;
+inline constexpr uint8_t kSOS = 0xDA;
+inline constexpr uint8_t kAPP0 = 0xE0;
+inline constexpr uint8_t kCOM = 0xFE;
+inline constexpr uint8_t kRST0 = 0xD0;  // .. kRST0+7
+
+/// Zig-zag scan order: index = zigzag position, value = natural position.
+extern const std::array<uint8_t, 64> kZigZag;
+
+/// Inverse map: natural position -> zigzag position.
+extern const std::array<uint8_t, 64> kZigZagInv;
+
+/// Annex K luminance/chrominance quantisation tables (quality 50 baseline).
+extern const std::array<uint16_t, 64> kStdLumaQuant;
+extern const std::array<uint16_t, 64> kStdChromaQuant;
+
+/// Huffman table specification: BITS (codes per length 1..16) + HUFFVAL.
+struct HuffmanSpec {
+  std::array<uint8_t, 16> bits{};
+  std::vector<uint8_t> vals;
+};
+
+/// Annex K typical Huffman tables.
+const HuffmanSpec& StdLumaDc();
+const HuffmanSpec& StdLumaAc();
+const HuffmanSpec& StdChromaDc();
+const HuffmanSpec& StdChromaAc();
+
+/// Scale an Annex-K base table by libjpeg-style quality in [1,100].
+std::array<uint16_t, 64> ScaleQuantTable(const std::array<uint16_t, 64>& base,
+                                         int quality);
+
+/// Chroma subsampling modes supported by the codec.
+enum class Subsampling {
+  k444,  ///< no subsampling (1x1)
+  k422,  ///< horizontal-only chroma subsampling (2x1)
+  k420,  ///< 2x2 chroma subsampling (the common camera default)
+};
+
+/// One component's sampling/table description from SOF0/SOS.
+struct ComponentInfo {
+  uint8_t id = 0;          // component identifier from SOF
+  int h_samp = 1;          // horizontal sampling factor
+  int v_samp = 1;          // vertical sampling factor
+  int quant_idx = 0;       // DQT table index
+  int dc_table = 0;        // DHT DC table index (from SOS)
+  int ac_table = 0;        // DHT AC table index (from SOS)
+  // Derived geometry (filled by the parser):
+  int blocks_w = 0;        // width in 8x8 blocks (MCU-padded)
+  int blocks_h = 0;        // height in 8x8 blocks (MCU-padded)
+  int plane_w = 0;         // sample plane width  (blocks_w * 8)
+  int plane_h = 0;         // sample plane height (blocks_h * 8)
+};
+
+/// Everything the entropy/iDCT/colour stages need, produced by the header
+/// parser (the FPGA "parser" unit runs exactly this).
+struct JpegHeader {
+  int width = 0;
+  int height = 0;
+  std::vector<ComponentInfo> components;       // 1 (gray) or 3 (YCbCr)
+  std::array<std::array<uint16_t, 64>, 4> quant{};  // dequant tables, natural order
+  std::array<bool, 4> quant_present{};
+  std::array<HuffmanSpec, 4> dc_tables;        // index by table id
+  std::array<bool, 4> dc_present{};
+  std::array<HuffmanSpec, 4> ac_tables;
+  std::array<bool, 4> ac_present{};
+  int restart_interval = 0;                    // MCUs between RST markers
+  size_t entropy_offset = 0;                   // byte offset of scan data
+  size_t entropy_size = 0;                     // bytes up to EOI
+  int max_h = 1, max_v = 1;                    // max sampling factors
+  int mcus_w = 0, mcus_h = 0;                  // MCU grid
+};
+
+/// Per-component DCT coefficients in zig-zag order, as the Huffman stage
+/// emits them (quantised; dequantisation happens in the iDCT stage, mirroring
+/// the FPGA unit split in Fig. 4 of the paper).
+struct CoeffData {
+  // coeffs[comp] holds blocks_w*blocks_h blocks of 64 int16 values.
+  std::vector<std::vector<int16_t>> coeffs;
+};
+
+/// Per-component 8-bit sample planes (MCU-padded sizes), output of the
+/// dequant+iDCT stage and input to upsample/colour-convert.
+struct PlaneData {
+  std::vector<std::vector<uint8_t>> planes;
+};
+
+/// Cheap header peek (dimensions + component count) without entropy decode.
+struct ImageInfo {
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+};
+
+}  // namespace dlb::jpeg

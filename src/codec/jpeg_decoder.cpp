@@ -1,0 +1,439 @@
+#include "codec/jpeg_decoder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codec/bit_io.h"
+#include "codec/color.h"
+#include "codec/dct.h"
+#include "codec/huffman.h"
+
+namespace dlb::jpeg {
+
+namespace {
+
+/// Read one marker segment's length field, validating bounds.
+Result<size_t> SegmentLength(ByteSpan jpeg, size_t pos) {
+  if (pos + 2 > jpeg.size()) return CorruptData("truncated segment length");
+  const size_t len = ReadBe16(jpeg.data() + pos);
+  if (len < 2 || pos + len > jpeg.size()) {
+    return CorruptData("segment length out of bounds");
+  }
+  return len;
+}
+
+Status ParseDqt(ByteSpan payload, JpegHeader* h) {
+  size_t p = 0;
+  while (p < payload.size()) {
+    const uint8_t pq_tq = payload[p++];
+    const int precision = pq_tq >> 4;
+    const int id = pq_tq & 0x0F;
+    if (id > 3) return CorruptData("DQT table id > 3");
+    if (precision != 0) return CorruptData("only 8-bit DQT supported");
+    if (p + 64 > payload.size()) return CorruptData("truncated DQT");
+    for (int i = 0; i < 64; ++i) {
+      h->quant[id][kZigZag[i]] = payload[p + i];
+    }
+    h->quant_present[id] = true;
+    p += 64;
+  }
+  return Status::Ok();
+}
+
+Status ParseDht(ByteSpan payload, JpegHeader* h) {
+  size_t p = 0;
+  while (p < payload.size()) {
+    const uint8_t tc_th = payload[p++];
+    const int cls = tc_th >> 4;
+    const int id = tc_th & 0x0F;
+    if (cls > 1 || id > 3) return CorruptData("bad DHT class/id");
+    if (p + 16 > payload.size()) return CorruptData("truncated DHT bits");
+    HuffmanSpec spec;
+    size_t total = 0;
+    for (int i = 0; i < 16; ++i) {
+      spec.bits[i] = payload[p + i];
+      total += spec.bits[i];
+    }
+    p += 16;
+    if (p + total > payload.size()) return CorruptData("truncated DHT vals");
+    spec.vals.assign(payload.begin() + p, payload.begin() + p + total);
+    p += total;
+    if (cls == 0) {
+      h->dc_tables[id] = std::move(spec);
+      h->dc_present[id] = true;
+    } else {
+      h->ac_tables[id] = std::move(spec);
+      h->ac_present[id] = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParseSof0(ByteSpan payload, JpegHeader* h) {
+  if (payload.size() < 6) return CorruptData("truncated SOF0");
+  const int precision = payload[0];
+  if (precision != 8) return CorruptData("only 8-bit precision supported");
+  h->height = ReadBe16(payload.data() + 1);
+  h->width = ReadBe16(payload.data() + 3);
+  const int ncomp = payload[5];
+  if (h->width == 0 || h->height == 0) return CorruptData("zero dimensions");
+  if (ncomp != 1 && ncomp != 3) {
+    return CorruptData("only 1 or 3 components supported");
+  }
+  if (payload.size() < 6 + static_cast<size_t>(ncomp) * 3) {
+    return CorruptData("truncated SOF0 components");
+  }
+  h->components.resize(ncomp);
+  for (int i = 0; i < ncomp; ++i) {
+    ComponentInfo& c = h->components[i];
+    c.id = payload[6 + i * 3];
+    const uint8_t samp = payload[7 + i * 3];
+    c.h_samp = samp >> 4;
+    c.v_samp = samp & 0x0F;
+    c.quant_idx = payload[8 + i * 3];
+    if (c.h_samp < 1 || c.h_samp > 4 || c.v_samp < 1 || c.v_samp > 4) {
+      return CorruptData("bad sampling factor");
+    }
+    if (c.quant_idx > 3) return CorruptData("bad quant index");
+  }
+  return Status::Ok();
+}
+
+Status ParseSos(ByteSpan payload, JpegHeader* h) {
+  if (payload.empty()) return CorruptData("truncated SOS");
+  const int ncomp = payload[0];
+  if (ncomp != static_cast<int>(h->components.size())) {
+    return CorruptData("SOS component count mismatch (non-interleaved scans "
+                       "unsupported)");
+  }
+  if (payload.size() < 1 + static_cast<size_t>(ncomp) * 2 + 3) {
+    return CorruptData("truncated SOS body");
+  }
+  for (int i = 0; i < ncomp; ++i) {
+    const uint8_t cid = payload[1 + i * 2];
+    const uint8_t tables = payload[2 + i * 2];
+    bool found = false;
+    for (auto& c : h->components) {
+      if (c.id == cid) {
+        c.dc_table = tables >> 4;
+        c.ac_table = tables & 0x0F;
+        if (c.dc_table > 3 || c.ac_table > 3) {
+          return CorruptData("bad SOS table index");
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) return CorruptData("SOS references unknown component");
+  }
+  return Status::Ok();
+}
+
+/// Fill derived geometry once SOF+SOS are known.
+Status FinalizeGeometry(JpegHeader* h) {
+  h->max_h = 1;
+  h->max_v = 1;
+  for (const auto& c : h->components) {
+    h->max_h = std::max(h->max_h, c.h_samp);
+    h->max_v = std::max(h->max_v, c.v_samp);
+  }
+  const int mcu_px_w = h->max_h * 8;
+  const int mcu_px_h = h->max_v * 8;
+  h->mcus_w = (h->width + mcu_px_w - 1) / mcu_px_w;
+  h->mcus_h = (h->height + mcu_px_h - 1) / mcu_px_h;
+  for (auto& c : h->components) {
+    c.blocks_w = h->mcus_w * c.h_samp;
+    c.blocks_h = h->mcus_h * c.v_samp;
+    c.plane_w = c.blocks_w * 8;
+    c.plane_h = c.blocks_h * 8;
+    if (!h->quant_present[c.quant_idx]) {
+      return CorruptData("component references missing quant table");
+    }
+    if (!h->dc_present[c.dc_table] || !h->ac_present[c.ac_table]) {
+      return CorruptData("component references missing huffman table");
+    }
+  }
+  return Status::Ok();
+}
+
+/// Decode one 8x8 block's coefficients into zig-zag order (T.81 F.2.2).
+Status DecodeBlockCoeffs(BitReader& br, const HuffmanDecoder& dc_tbl,
+                         const HuffmanDecoder& ac_tbl, int* dc_pred,
+                         int16_t zz[64]) {
+  std::memset(zz, 0, 64 * sizeof(int16_t));
+  const int ssss = dc_tbl.Decode(br);
+  if (ssss < 0 || ssss > 15) return CorruptData("bad DC category");
+  if (ssss > 0) {
+    const int32_t bits = br.Get(ssss);
+    if (bits < 0) return CorruptData("truncated DC bits");
+    *dc_pred += ExtendValue(bits, ssss);
+  }
+  zz[0] = static_cast<int16_t>(*dc_pred);
+
+  int k = 1;
+  while (k < 64) {
+    const int rs = ac_tbl.Decode(br);
+    if (rs < 0) return CorruptData("bad AC symbol");
+    const int run = rs >> 4;
+    const int size = rs & 0x0F;
+    if (size == 0) {
+      if (run == 15) {
+        k += 16;  // ZRL
+        continue;
+      }
+      break;  // EOB
+    }
+    k += run;
+    if (k > 63) return CorruptData("AC run past end of block");
+    const int32_t bits = br.Get(size);
+    if (bits < 0) return CorruptData("truncated AC bits");
+    zz[k] = static_cast<int16_t>(ExtendValue(bits, size));
+    ++k;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<JpegHeader> ParseHeaders(ByteSpan jpeg) {
+  if (jpeg.size() < 4 || jpeg[0] != 0xFF || jpeg[1] != kSOI) {
+    return CorruptData("missing SOI");
+  }
+  JpegHeader h;
+  size_t pos = 2;
+  bool have_sof = false;
+  while (pos + 2 <= jpeg.size()) {
+    if (jpeg[pos] != 0xFF) return CorruptData("expected marker");
+    uint8_t marker = jpeg[pos + 1];
+    pos += 2;
+    // Skip fill bytes (0xFF padding before a marker).
+    while (marker == 0xFF && pos < jpeg.size()) marker = jpeg[pos++];
+
+    if (marker == kSOI) continue;
+    if (marker == kEOI) return CorruptData("EOI before SOS");
+    if (marker >= kRST0 && marker <= kRST0 + 7) continue;  // standalone
+
+    auto len = SegmentLength(jpeg, pos);
+    if (!len.ok()) return len.status();
+    const ByteSpan payload = jpeg.subspan(pos + 2, len.value() - 2);
+
+    switch (marker) {
+      case kSOF0: {
+        DLB_RETURN_IF_ERROR(ParseSof0(payload, &h));
+        have_sof = true;
+        break;
+      }
+      case kSOF2:
+        return Status(StatusCode::kUnimplemented,
+                      "progressive JPEG not supported");
+      case kDQT:
+        DLB_RETURN_IF_ERROR(ParseDqt(payload, &h));
+        break;
+      case kDHT:
+        DLB_RETURN_IF_ERROR(ParseDht(payload, &h));
+        break;
+      case kDRI:
+        if (payload.size() < 2) return CorruptData("truncated DRI");
+        h.restart_interval = ReadBe16(payload.data());
+        break;
+      case kSOS: {
+        if (!have_sof) return CorruptData("SOS before SOF");
+        DLB_RETURN_IF_ERROR(ParseSos(payload, &h));
+        DLB_RETURN_IF_ERROR(FinalizeGeometry(&h));
+        h.entropy_offset = pos + len.value();
+        // Entropy data runs to EOI; we don't scan for it here (the entropy
+        // stage stops at any non-RST marker), just bound it by the buffer.
+        h.entropy_size = jpeg.size() - h.entropy_offset;
+        return h;
+      }
+      default:
+        // APPn, COM and friends: skipped.
+        if ((marker >= 0xC1 && marker <= 0xCF) && marker != kDHT) {
+          return Status(StatusCode::kUnimplemented,
+                        "non-baseline SOF marker");
+        }
+        break;
+    }
+    pos += len.value();
+  }
+  return CorruptData("no SOS marker found");
+}
+
+Result<ImageInfo> PeekInfo(ByteSpan jpeg) {
+  // Lightweight scan for SOF0 only.
+  if (jpeg.size() < 4 || jpeg[0] != 0xFF || jpeg[1] != kSOI) {
+    return CorruptData("missing SOI");
+  }
+  size_t pos = 2;
+  while (pos + 4 <= jpeg.size()) {
+    if (jpeg[pos] != 0xFF) return CorruptData("expected marker");
+    const uint8_t marker = jpeg[pos + 1];
+    pos += 2;
+    if (marker == kSOI || (marker >= kRST0 && marker <= kRST0 + 7)) continue;
+    if (marker == kEOI) break;
+    auto len = SegmentLength(jpeg, pos);
+    if (!len.ok()) return len.status();
+    if (marker == kSOF0 || marker == kSOF2) {
+      const ByteSpan p = jpeg.subspan(pos + 2, len.value() - 2);
+      if (p.size() < 6) return CorruptData("truncated SOF");
+      ImageInfo info;
+      info.height = ReadBe16(p.data() + 1);
+      info.width = ReadBe16(p.data() + 3);
+      info.channels = p[5];
+      return info;
+    }
+    if (marker == kSOS) break;
+    pos += len.value();
+  }
+  return CorruptData("no SOF marker found");
+}
+
+Result<CoeffData> EntropyDecode(const JpegHeader& h, ByteSpan jpeg) {
+  if (h.entropy_offset + h.entropy_size > jpeg.size()) {
+    return CorruptData("entropy segment out of bounds");
+  }
+  // Build decoder tables once per image.
+  std::array<Result<HuffmanDecoder>, 4> dc{
+      HuffmanDecoder::Build(h.dc_tables[0]), HuffmanDecoder::Build(h.dc_tables[1]),
+      HuffmanDecoder::Build(h.dc_tables[2]), HuffmanDecoder::Build(h.dc_tables[3])};
+  std::array<Result<HuffmanDecoder>, 4> ac{
+      HuffmanDecoder::Build(h.ac_tables[0]), HuffmanDecoder::Build(h.ac_tables[1]),
+      HuffmanDecoder::Build(h.ac_tables[2]), HuffmanDecoder::Build(h.ac_tables[3])};
+  for (size_t i = 0; i < h.components.size(); ++i) {
+    const ComponentInfo& c = h.components[i];
+    if (!dc[c.dc_table].ok()) return dc[c.dc_table].status();
+    if (!ac[c.ac_table].ok()) return ac[c.ac_table].status();
+  }
+
+  CoeffData out;
+  out.coeffs.resize(h.components.size());
+  for (size_t i = 0; i < h.components.size(); ++i) {
+    const ComponentInfo& c = h.components[i];
+    out.coeffs[i].assign(
+        static_cast<size_t>(c.blocks_w) * c.blocks_h * 64, 0);
+  }
+
+  BitReader br(jpeg.subspan(h.entropy_offset, h.entropy_size));
+  std::vector<int> dc_pred(h.components.size(), 0);
+  int rst_index = 0;
+  int mcus_done = 0;
+  int16_t zz[64];
+
+  for (int my = 0; my < h.mcus_h; ++my) {
+    for (int mx = 0; mx < h.mcus_w; ++mx) {
+      if (h.restart_interval > 0 && mcus_done > 0 &&
+          mcus_done % h.restart_interval == 0) {
+        br.AlignToByte();
+        if (!br.ConsumeRestartMarker(rst_index)) {
+          return CorruptData("missing restart marker");
+        }
+        ++rst_index;
+        std::fill(dc_pred.begin(), dc_pred.end(), 0);
+      }
+      for (size_t ci = 0; ci < h.components.size(); ++ci) {
+        const ComponentInfo& c = h.components[ci];
+        for (int by = 0; by < c.v_samp; ++by) {
+          for (int bx = 0; bx < c.h_samp; ++bx) {
+            const int block_x = mx * c.h_samp + bx;
+            const int block_y = my * c.v_samp + by;
+            DLB_RETURN_IF_ERROR(DecodeBlockCoeffs(
+                br, dc[c.dc_table].value(), ac[c.ac_table].value(),
+                &dc_pred[ci], zz));
+            int16_t* dst =
+                out.coeffs[ci].data() +
+                (static_cast<size_t>(block_y) * c.blocks_w + block_x) * 64;
+            std::memcpy(dst, zz, 64 * sizeof(int16_t));
+          }
+        }
+      }
+      ++mcus_done;
+    }
+  }
+  return out;
+}
+
+Result<PlaneData> InverseTransform(const JpegHeader& h,
+                                   const CoeffData& coeffs) {
+  if (coeffs.coeffs.size() != h.components.size()) {
+    return InvalidArgument("coefficient data does not match header");
+  }
+  PlaneData out;
+  out.planes.resize(h.components.size());
+  float dq[64];
+  uint8_t samples[64];
+  for (size_t ci = 0; ci < h.components.size(); ++ci) {
+    const ComponentInfo& c = h.components[ci];
+    const auto& quant = h.quant[c.quant_idx];
+    auto& plane = out.planes[ci];
+    plane.assign(static_cast<size_t>(c.plane_w) * c.plane_h, 0);
+    const size_t nblocks = static_cast<size_t>(c.blocks_w) * c.blocks_h;
+    if (coeffs.coeffs[ci].size() != nblocks * 64) {
+      return InvalidArgument("coefficient block count mismatch");
+    }
+    for (size_t b = 0; b < nblocks; ++b) {
+      DequantizeZigZag(coeffs.coeffs[ci].data() + b * 64, quant.data(), dq);
+      InverseDct8x8(dq, samples);
+      const int bx = static_cast<int>(b % c.blocks_w);
+      const int by = static_cast<int>(b / c.blocks_w);
+      uint8_t* base = plane.data() +
+                      (static_cast<size_t>(by) * 8 * c.plane_w) + bx * 8;
+      for (int y = 0; y < 8; ++y) {
+        std::memcpy(base + static_cast<size_t>(y) * c.plane_w, samples + y * 8, 8);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Image> ColorReconstruct(const JpegHeader& h, const PlaneData& planes) {
+  if (planes.planes.size() != h.components.size()) {
+    return InvalidArgument("plane data does not match header");
+  }
+  if (h.components.size() == 1) {
+    const ComponentInfo& c = h.components[0];
+    Image img(h.width, h.height, 1);
+    for (int y = 0; y < h.height; ++y) {
+      std::memcpy(img.Row(y),
+                  planes.planes[0].data() + static_cast<size_t>(y) * c.plane_w,
+                  h.width);
+    }
+    return img;
+  }
+
+  // 3-component YCbCr with per-component sampling ratios relative to max.
+  Image img(h.width, h.height, 3);
+  const ComponentInfo& cy = h.components[0];
+  const ComponentInfo& ccb = h.components[1];
+  const ComponentInfo& ccr = h.components[2];
+  const auto& py = planes.planes[0];
+  const auto& pcb = planes.planes[1];
+  const auto& pcr = planes.planes[2];
+  for (int y = 0; y < h.height; ++y) {
+    uint8_t* row = img.Row(y);
+    const int yy = y * cy.v_samp / h.max_v;
+    const int cby = y * ccb.v_samp / h.max_v;
+    const int cry = y * ccr.v_samp / h.max_v;
+    for (int x = 0; x < h.width; ++x) {
+      const int yx = x * cy.h_samp / h.max_h;
+      const int cbx = x * ccb.h_samp / h.max_h;
+      const int crx = x * ccr.h_samp / h.max_h;
+      const int Y = py[static_cast<size_t>(yy) * cy.plane_w + yx];
+      const int Cb = pcb[static_cast<size_t>(cby) * ccb.plane_w + cbx];
+      const int Cr = pcr[static_cast<size_t>(cry) * ccr.plane_w + crx];
+      YcbcrToRgbPixel(Y, Cb, Cr, row + x * 3, row + x * 3 + 1, row + x * 3 + 2);
+    }
+  }
+  return img;
+}
+
+Result<Image> Decode(ByteSpan jpeg) {
+  auto header = ParseHeaders(jpeg);
+  if (!header.ok()) return header.status();
+  auto coeffs = EntropyDecode(header.value(), jpeg);
+  if (!coeffs.ok()) return coeffs.status();
+  auto planes = InverseTransform(header.value(), coeffs.value());
+  if (!planes.ok()) return planes.status();
+  return ColorReconstruct(header.value(), planes.value());
+}
+
+}  // namespace dlb::jpeg

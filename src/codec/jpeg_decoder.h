@@ -1,0 +1,43 @@
+// Baseline JPEG decoder, structured as the four separable stages of the
+// paper's FPGA decoder (Fig. 4):
+//
+//   ParseHeaders      — the "parser" unit: markers, tables, geometry
+//   EntropyDecode     — the "Huffman decoding" unit: bitstream -> coefficients
+//   InverseTransform  — the "iDCT & RGB" unit, first half: dequant + iDCT
+//   ColorReconstruct  — second half: upsample + YCbCr -> RGB
+//
+// `Decode` composes all four. The FPGA simulator's functional mode and the
+// CPU backend both call the stage functions, so backend outputs are
+// bit-identical by construction.
+#pragma once
+
+#include "codec/jpeg_common.h"
+#include "image/image.h"
+
+namespace dlb::jpeg {
+
+/// Parse all marker segments up to (and including) SOS. Rejects anything
+/// that is not baseline sequential 8-bit with 1 or 3 components.
+Result<JpegHeader> ParseHeaders(ByteSpan jpeg);
+
+/// Cheap info peek: dimensions and channel count only.
+Result<ImageInfo> PeekInfo(ByteSpan jpeg);
+
+/// Huffman-decode the entropy segment into per-component zig-zag coefficient
+/// blocks. Handles restart markers.
+Result<CoeffData> EntropyDecode(const JpegHeader& header, ByteSpan jpeg);
+
+/// Dequantise + inverse DCT all blocks into 8-bit component planes
+/// (MCU-padded dimensions per component).
+Result<PlaneData> InverseTransform(const JpegHeader& header,
+                                   const CoeffData& coeffs);
+
+/// Upsample chroma and convert to interleaved RGB (or pass through
+/// grayscale), cropped to the true width/height.
+Result<Image> ColorReconstruct(const JpegHeader& header,
+                               const PlaneData& planes);
+
+/// Convenience full decode.
+Result<Image> Decode(ByteSpan jpeg);
+
+}  // namespace dlb::jpeg

@@ -1,0 +1,268 @@
+#include "codec/jpeg_encoder.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "codec/bit_io.h"
+#include "codec/dct.h"
+#include "codec/color.h"
+#include "codec/huffman.h"
+
+namespace dlb::jpeg {
+
+namespace {
+
+void EmitMarker(Bytes* out, uint8_t marker) {
+  out->push_back(0xFF);
+  out->push_back(marker);
+}
+
+void EmitSegment(Bytes* out, uint8_t marker, ByteSpan payload) {
+  EmitMarker(out, marker);
+  const uint16_t len = static_cast<uint16_t>(payload.size() + 2);
+  out->push_back(static_cast<uint8_t>(len >> 8));
+  out->push_back(static_cast<uint8_t>(len & 0xFF));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void EmitApp0Jfif(Bytes* out) {
+  const uint8_t payload[] = {'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0};
+  EmitSegment(out, kAPP0, ByteSpan(payload, sizeof(payload)));
+}
+
+void EmitDqt(Bytes* out, int table_id, const std::array<uint16_t, 64>& natural) {
+  Bytes payload;
+  payload.push_back(static_cast<uint8_t>(table_id));  // Pq=0 (8-bit), Tq=id
+  for (int i = 0; i < 64; ++i) {
+    payload.push_back(static_cast<uint8_t>(natural[kZigZag[i]]));
+  }
+  EmitSegment(out, kDQT, payload);
+}
+
+void EmitDht(Bytes* out, int table_class, int table_id,
+             const HuffmanSpec& spec) {
+  Bytes payload;
+  payload.push_back(static_cast<uint8_t>((table_class << 4) | table_id));
+  payload.insert(payload.end(), spec.bits.begin(), spec.bits.end());
+  payload.insert(payload.end(), spec.vals.begin(), spec.vals.end());
+  EmitSegment(out, kDHT, payload);
+}
+
+/// Extract one 8x8 level-shifted block from a plane, replicating edges.
+void ExtractBlock(const std::vector<uint8_t>& plane, int pw, int ph, int bx,
+                  int by, float out[64]) {
+  for (int y = 0; y < 8; ++y) {
+    int sy = by * 8 + y;
+    if (sy >= ph) sy = ph - 1;
+    for (int x = 0; x < 8; ++x) {
+      int sx = bx * 8 + x;
+      if (sx >= pw) sx = pw - 1;
+      out[y * 8 + x] =
+          static_cast<float>(plane[static_cast<size_t>(sy) * pw + sx]) - 128.0f;
+    }
+  }
+}
+
+/// Forward DCT + quantise + zig-zag one block.
+void TransformBlock(const float samples[64],
+                    const std::array<uint16_t, 64>& quant, int16_t zz[64]) {
+  float coeffs[64];
+  ForwardDct8x8(samples, coeffs);
+  for (int i = 0; i < 64; ++i) {
+    const int natural = kZigZag[i];
+    const float q = coeffs[natural] / static_cast<float>(quant[natural]);
+    zz[i] = static_cast<int16_t>(std::lrintf(q));
+  }
+}
+
+/// Entropy-encode one zig-zag block (T.81 F.1.2).
+void EncodeBlock(BitWriter& bw, const int16_t zz[64], int* dc_pred,
+                 const HuffmanEncoder& dc_tbl, const HuffmanEncoder& ac_tbl) {
+  // DC difference.
+  const int diff = zz[0] - *dc_pred;
+  *dc_pred = zz[0];
+  const int ssss = MagnitudeCategory(diff);
+  dc_tbl.Encode(bw, static_cast<uint8_t>(ssss));
+  if (ssss) bw.Put(MagnitudeBits(diff, ssss), ssss);
+
+  // AC run-lengths.
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    if (zz[k] == 0) {
+      ++run;
+      continue;
+    }
+    while (run > 15) {
+      ac_tbl.Encode(bw, 0xF0);  // ZRL: sixteen zeros
+      run -= 16;
+    }
+    const int s = MagnitudeCategory(zz[k]);
+    ac_tbl.Encode(bw, static_cast<uint8_t>((run << 4) | s));
+    bw.Put(MagnitudeBits(zz[k], s), s);
+    run = 0;
+  }
+  if (run > 0) ac_tbl.Encode(bw, 0x00);  // EOB
+}
+
+}  // namespace
+
+Result<Bytes> Encode(const Image& img, const EncodeOptions& opts) {
+  if (img.Empty()) return InvalidArgument("encode of empty image");
+  if (img.Channels() != 1 && img.Channels() != 3) {
+    return InvalidArgument("encoder supports 1 or 3 channels");
+  }
+  if (img.Width() > 65535 || img.Height() > 65535) {
+    return InvalidArgument("image too large for JPEG");
+  }
+  const bool gray = img.Channels() == 1;
+  // Luma sampling factors per subsampling mode (chroma is always 1x1).
+  int hs = 1, vs = 1;
+  if (!gray) {
+    switch (opts.subsampling) {
+      case Subsampling::k444: break;
+      case Subsampling::k422: hs = 2; break;
+      case Subsampling::k420: hs = 2; vs = 2; break;
+    }
+  }
+
+  const auto luma_q = ScaleQuantTable(kStdLumaQuant, opts.quality);
+  const auto chroma_q = ScaleQuantTable(kStdChromaQuant, opts.quality);
+
+  auto dc_luma = HuffmanEncoder::Build(StdLumaDc());
+  auto ac_luma = HuffmanEncoder::Build(StdLumaAc());
+  auto dc_chroma = HuffmanEncoder::Build(StdChromaDc());
+  auto ac_chroma = HuffmanEncoder::Build(StdChromaAc());
+  if (!dc_luma.ok()) return dc_luma.status();
+  if (!ac_luma.ok()) return ac_luma.status();
+  if (!dc_chroma.ok()) return dc_chroma.status();
+  if (!ac_chroma.ok()) return ac_chroma.status();
+
+  // Colour planes.
+  std::vector<uint8_t> y_plane, cb_plane, cr_plane;
+  int cw = img.Width(), chh = img.Height();
+  if (gray) {
+    y_plane.assign(img.Data(), img.Data() + img.SizeBytes());
+  } else {
+    RgbToYcbcr(img, &y_plane, &cb_plane, &cr_plane);
+    if (hs == 2 && vs == 2) {
+      cb_plane = Downsample2x2(cb_plane, img.Width(), img.Height());
+      cr_plane = Downsample2x2(cr_plane, img.Width(), img.Height());
+    } else if (hs == 2) {
+      cb_plane = Downsample2x1(cb_plane, img.Width(), img.Height());
+      cr_plane = Downsample2x1(cr_plane, img.Width(), img.Height());
+    }
+    cw = (img.Width() + hs - 1) / hs;
+    chh = (img.Height() + vs - 1) / vs;
+  }
+
+  // Headers.
+  Bytes out;
+  EmitMarker(&out, kSOI);
+  EmitApp0Jfif(&out);
+  EmitDqt(&out, 0, luma_q);
+  if (!gray) EmitDqt(&out, 1, chroma_q);
+
+  {
+    Bytes sof;
+    sof.push_back(8);  // precision
+    sof.push_back(static_cast<uint8_t>(img.Height() >> 8));
+    sof.push_back(static_cast<uint8_t>(img.Height() & 0xFF));
+    sof.push_back(static_cast<uint8_t>(img.Width() >> 8));
+    sof.push_back(static_cast<uint8_t>(img.Width() & 0xFF));
+    sof.push_back(gray ? 1 : 3);
+    sof.push_back(1);  // component id Y
+    sof.push_back(static_cast<uint8_t>((hs << 4) | vs));
+    sof.push_back(0);  // quant table 0
+    if (!gray) {
+      sof.push_back(2);
+      sof.push_back(0x11);
+      sof.push_back(1);
+      sof.push_back(3);
+      sof.push_back(0x11);
+      sof.push_back(1);
+    }
+    EmitSegment(&out, kSOF0, sof);
+  }
+
+  EmitDht(&out, 0, 0, StdLumaDc());
+  EmitDht(&out, 1, 0, StdLumaAc());
+  if (!gray) {
+    EmitDht(&out, 0, 1, StdChromaDc());
+    EmitDht(&out, 1, 1, StdChromaAc());
+  }
+
+  if (opts.restart_interval > 0) {
+    Bytes dri;
+    dri.push_back(static_cast<uint8_t>(opts.restart_interval >> 8));
+    dri.push_back(static_cast<uint8_t>(opts.restart_interval & 0xFF));
+    EmitSegment(&out, kDRI, dri);
+  }
+
+  {
+    Bytes sos;
+    sos.push_back(gray ? 1 : 3);
+    sos.push_back(1);
+    sos.push_back(0x00);  // DC 0 / AC 0
+    if (!gray) {
+      sos.push_back(2);
+      sos.push_back(0x11);
+      sos.push_back(3);
+      sos.push_back(0x11);
+    }
+    sos.push_back(0);    // spectral start
+    sos.push_back(63);   // spectral end
+    sos.push_back(0);    // successive approximation
+    EmitSegment(&out, kSOS, sos);
+  }
+
+  // Entropy-coded scan.
+  const int mcu_w = 8 * hs;
+  const int mcu_h = 8 * vs;
+  const int mcus_x = (img.Width() + mcu_w - 1) / mcu_w;
+  const int mcus_y = (img.Height() + mcu_h - 1) / mcu_h;
+
+  BitWriter bw(&out);
+  int dc_y = 0, dc_cb = 0, dc_cr = 0;
+  int mcu_count = 0;
+  int rst_index = 0;
+  float samples[64];
+  int16_t zz[64];
+
+  for (int my = 0; my < mcus_y; ++my) {
+    for (int mx = 0; mx < mcus_x; ++mx) {
+      if (opts.restart_interval > 0 && mcu_count > 0 &&
+          mcu_count % opts.restart_interval == 0) {
+        bw.Flush();
+        EmitMarker(&out, static_cast<uint8_t>(kRST0 + (rst_index & 7)));
+        ++rst_index;
+        dc_y = dc_cb = dc_cr = 0;
+        bw = BitWriter(&out);
+      }
+      // Luma blocks: vs rows x hs columns per MCU (interleaved order).
+      for (int by = 0; by < vs; ++by) {
+        for (int bx = 0; bx < hs; ++bx) {
+          ExtractBlock(y_plane, img.Width(), img.Height(), mx * hs + bx,
+                       my * vs + by, samples);
+          TransformBlock(samples, luma_q, zz);
+          EncodeBlock(bw, zz, &dc_y, dc_luma.value(), ac_luma.value());
+        }
+      }
+      if (!gray) {
+        const int cpw = cw;
+        const int cph = chh;
+        ExtractBlock(cb_plane, cpw, cph, mx, my, samples);
+        TransformBlock(samples, chroma_q, zz);
+        EncodeBlock(bw, zz, &dc_cb, dc_chroma.value(), ac_chroma.value());
+        ExtractBlock(cr_plane, cpw, cph, mx, my, samples);
+        TransformBlock(samples, chroma_q, zz);
+        EncodeBlock(bw, zz, &dc_cr, dc_chroma.value(), ac_chroma.value());
+      }
+      ++mcu_count;
+    }
+  }
+  bw.Flush();
+  EmitMarker(&out, kEOI);
+  return out;
+}
+
+}  // namespace dlb::jpeg

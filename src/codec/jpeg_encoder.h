@@ -1,0 +1,26 @@
+// Baseline JPEG (JFIF) encoder.
+//
+// Used by the synthetic dataset generator to produce real compressed
+// bitstreams for the pipeline to chew on — the decode work per image is the
+// genuine article, not a stand-in.
+#pragma once
+
+#include "codec/jpeg_common.h"
+#include "image/image.h"
+
+namespace dlb::jpeg {
+
+struct EncodeOptions {
+  /// libjpeg-style quality in [1,100].
+  int quality = 85;
+  /// Chroma subsampling (ignored for grayscale input).
+  Subsampling subsampling = Subsampling::k420;
+  /// Emit a DRI segment and RSTn markers every N MCUs (0 = none).
+  /// Restart markers are what let hardware decoders parallelise a scan.
+  int restart_interval = 0;
+};
+
+/// Encode an RGB (3-channel) or grayscale (1-channel) image.
+Result<Bytes> Encode(const Image& img, const EncodeOptions& opts = {});
+
+}  // namespace dlb::jpeg

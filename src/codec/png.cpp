@@ -1,0 +1,257 @@
+#include "codec/png.h"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+
+#include "codec/inflate.h"
+
+namespace dlb::png {
+
+namespace {
+
+const uint8_t kSignature[8] = {0x89, 'P', 'N', 'G', '\r', '\n', 0x1A, '\n'};
+
+struct Crc32Table {
+  std::array<uint32_t, 256> t;
+  Crc32Table() {
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+  }
+};
+
+uint32_t Crc32Update(uint32_t crc, ByteSpan data) {
+  static const Crc32Table table;
+  for (uint8_t byte : data) {
+    crc = table.t[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+void AppendBe32(Bytes* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>((v >> 16) & 0xFF));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xFF));
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+}
+
+uint32_t ReadBe32Png(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (p[1] << 16) | (p[2] << 8) |
+         p[3];
+}
+
+void AppendChunk(Bytes* out, const char type[4], ByteSpan payload) {
+  AppendBe32(out, static_cast<uint32_t>(payload.size()));
+  const size_t type_at = out->size();
+  out->insert(out->end(), type, type + 4);
+  out->insert(out->end(), payload.begin(), payload.end());
+  const uint32_t crc =
+      Crc32Update(0xFFFFFFFFu,
+                  ByteSpan(out->data() + type_at, 4 + payload.size())) ^
+      0xFFFFFFFFu;
+  AppendBe32(out, crc);
+}
+
+/// Paeth predictor (PNG filter type 4).
+uint8_t Paeth(int a, int b, int c) {
+  const int p = a + b - c;
+  const int pa = std::abs(p - a);
+  const int pb = std::abs(p - b);
+  const int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) return static_cast<uint8_t>(a);
+  if (pb <= pc) return static_cast<uint8_t>(b);
+  return static_cast<uint8_t>(c);
+}
+
+/// Undo one scanline's filter in place (prev = defiltered previous row or
+/// null for the first row), bpp = bytes per pixel.
+Status Defilter(uint8_t filter, uint8_t* row, const uint8_t* prev,
+                size_t row_bytes, int bpp) {
+  switch (filter) {
+    case 0:
+      return Status::Ok();
+    case 1:  // Sub
+      for (size_t i = bpp; i < row_bytes; ++i) row[i] += row[i - bpp];
+      return Status::Ok();
+    case 2:  // Up
+      if (prev) {
+        for (size_t i = 0; i < row_bytes; ++i) row[i] += prev[i];
+      }
+      return Status::Ok();
+    case 3:  // Average
+      for (size_t i = 0; i < row_bytes; ++i) {
+        const int left = i >= static_cast<size_t>(bpp) ? row[i - bpp] : 0;
+        const int up = prev ? prev[i] : 0;
+        row[i] = static_cast<uint8_t>(row[i] + ((left + up) >> 1));
+      }
+      return Status::Ok();
+    case 4:  // Paeth
+      for (size_t i = 0; i < row_bytes; ++i) {
+        const int left = i >= static_cast<size_t>(bpp) ? row[i - bpp] : 0;
+        const int up = prev ? prev[i] : 0;
+        const int up_left =
+            (prev && i >= static_cast<size_t>(bpp)) ? prev[i - bpp] : 0;
+        row[i] = static_cast<uint8_t>(row[i] + Paeth(left, up, up_left));
+      }
+      return Status::Ok();
+    default:
+      return CorruptData("unknown scanline filter");
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32(ByteSpan data) {
+  return Crc32Update(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+bool SniffPng(ByteSpan data) {
+  return data.size() >= 8 && std::memcmp(data.data(), kSignature, 8) == 0;
+}
+
+Result<Bytes> Encode(const Image& img) {
+  if (img.Empty()) return InvalidArgument("encode of empty image");
+  if (img.Channels() != 1 && img.Channels() != 3) {
+    return InvalidArgument("PNG encoder supports 1 or 3 channels");
+  }
+  Bytes out(kSignature, kSignature + 8);
+
+  Bytes ihdr;
+  AppendBe32(&ihdr, static_cast<uint32_t>(img.Width()));
+  AppendBe32(&ihdr, static_cast<uint32_t>(img.Height()));
+  ihdr.push_back(8);                                  // bit depth
+  ihdr.push_back(img.Channels() == 3 ? 2 : 0);        // color type
+  ihdr.push_back(0);                                  // compression
+  ihdr.push_back(0);                                  // filter method
+  ihdr.push_back(0);                                  // no interlace
+  AppendChunk(&out, "IHDR", ihdr);
+
+  // Raw scanlines, filter 0 each.
+  const size_t row_bytes =
+      static_cast<size_t>(img.Width()) * img.Channels();
+  Bytes raw;
+  raw.reserve((row_bytes + 1) * img.Height());
+  for (int y = 0; y < img.Height(); ++y) {
+    raw.push_back(0);  // filter type
+    raw.insert(raw.end(), img.Row(y), img.Row(y) + row_bytes);
+  }
+  const Bytes idat = flate::ZlibCompress(raw);
+  AppendChunk(&out, "IDAT", idat);
+  AppendChunk(&out, "IEND", ByteSpan{});
+  return out;
+}
+
+Result<Image> Decode(ByteSpan data) {
+  if (!SniffPng(data)) return CorruptData("missing PNG signature");
+  size_t pos = 8;
+  int width = 0, height = 0, bit_depth = 0, color_type = 0, interlace = 0;
+  bool have_ihdr = false;
+  bool have_iend = false;
+  Bytes idat;
+  Bytes palette;  // RGB triples
+
+  while (pos + 12 <= data.size()) {
+    const uint32_t length = ReadBe32Png(data.data() + pos);
+    if (pos + 12 + length > data.size()) {
+      return CorruptData("chunk length out of bounds");
+    }
+    const char* type = reinterpret_cast<const char*>(data.data() + pos + 4);
+    const ByteSpan payload = data.subspan(pos + 8, length);
+    const uint32_t stored_crc = ReadBe32Png(data.data() + pos + 8 + length);
+    const uint32_t computed_crc =
+        Crc32(ByteSpan(data.data() + pos + 4, 4 + length));
+    if (stored_crc != computed_crc) return CorruptData("chunk CRC mismatch");
+
+    if (std::memcmp(type, "IHDR", 4) == 0) {
+      if (length != 13) return CorruptData("bad IHDR length");
+      width = static_cast<int>(ReadBe32Png(payload.data()));
+      height = static_cast<int>(ReadBe32Png(payload.data() + 4));
+      bit_depth = payload[8];
+      color_type = payload[9];
+      interlace = payload[12];
+      have_ihdr = true;
+      if (width <= 0 || height <= 0) return CorruptData("bad dimensions");
+      if (bit_depth != 8) {
+        return Status(StatusCode::kUnimplemented, "only 8-bit depth");
+      }
+      if (color_type != 0 && color_type != 2 && color_type != 3 &&
+          color_type != 6) {
+        return Status(StatusCode::kUnimplemented, "unsupported color type");
+      }
+      if (interlace != 0) {
+        return Status(StatusCode::kUnimplemented, "Adam7 interlace");
+      }
+    } else if (std::memcmp(type, "PLTE", 4) == 0) {
+      if (length % 3 != 0) return CorruptData("bad PLTE length");
+      palette.assign(payload.begin(), payload.end());
+    } else if (std::memcmp(type, "IDAT", 4) == 0) {
+      idat.insert(idat.end(), payload.begin(), payload.end());
+    } else if (std::memcmp(type, "IEND", 4) == 0) {
+      have_iend = true;
+      break;
+    }
+    // Ancillary chunks are skipped.
+    pos += 12 + length;
+  }
+  if (!have_ihdr) return CorruptData("missing IHDR");
+  if (!have_iend) return CorruptData("missing IEND (truncated file)");
+  if (idat.empty()) return CorruptData("missing IDAT");
+  if (color_type == 3 && palette.empty()) return CorruptData("missing PLTE");
+
+  const int src_channels =
+      color_type == 2 ? 3 : (color_type == 6 ? 4 : 1);
+  const size_t row_bytes = static_cast<size_t>(width) * src_channels;
+  const size_t raw_size = (row_bytes + 1) * height;
+  auto raw = flate::ZlibDecompress(idat, raw_size);
+  if (!raw.ok()) return raw.status();
+  if (raw.value().size() != raw_size) {
+    return CorruptData("decompressed size mismatch");
+  }
+
+  // Defilter in place, then convert to the output Image.
+  const int out_channels = (color_type == 0) ? 1 : 3;
+  Image img(width, height, out_channels);
+  uint8_t* prev = nullptr;
+  for (int y = 0; y < height; ++y) {
+    uint8_t* line = raw.value().data() + static_cast<size_t>(y) * (row_bytes + 1);
+    const uint8_t filter = line[0];
+    uint8_t* row = line + 1;
+    DLB_RETURN_IF_ERROR(Defilter(filter, row, prev, row_bytes, src_channels));
+    prev = row;
+    uint8_t* out_row = img.Row(y);
+    switch (color_type) {
+      case 0:
+        std::memcpy(out_row, row, row_bytes);
+        break;
+      case 2:
+        std::memcpy(out_row, row, row_bytes);
+        break;
+      case 3:
+        for (int x = 0; x < width; ++x) {
+          const size_t index = static_cast<size_t>(row[x]) * 3;
+          if (index + 2 >= palette.size()) {
+            return CorruptData("palette index out of range");
+          }
+          out_row[x * 3 + 0] = palette[index];
+          out_row[x * 3 + 1] = palette[index + 1];
+          out_row[x * 3 + 2] = palette[index + 2];
+        }
+        break;
+      case 6:
+        for (int x = 0; x < width; ++x) {
+          out_row[x * 3 + 0] = row[x * 4 + 0];
+          out_row[x * 3 + 1] = row[x * 4 + 1];
+          out_row[x * 3 + 2] = row[x * 4 + 2];  // alpha dropped
+        }
+        break;
+    }
+  }
+  return img;
+}
+
+}  // namespace dlb::png

@@ -1,0 +1,26 @@
+// PNG codec (RFC 2083 core) on top of the from-scratch DEFLATE in
+// inflate.h — the second image format the paper names (§2.1: "image
+// samples in various formats (e.g., JPEG, PNG.)").
+//
+// Decoder: 8-bit depth, color types 0 (gray), 2 (RGB), 3 (palette),
+// 6 (RGBA, alpha dropped to fit the 1/3-channel Image), all five scanline
+// filters. Interlace is rejected cleanly. Encoder: filter-0 scanlines,
+// gray or RGB.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "image/image.h"
+
+namespace dlb::png {
+
+/// True when the 8-byte PNG signature is present.
+bool SniffPng(ByteSpan data);
+
+Result<Bytes> Encode(const Image& img);
+Result<Image> Decode(ByteSpan data);
+
+/// CRC-32 (ISO 3309) as used by PNG chunks; exposed for tests.
+uint32_t Crc32(ByteSpan data);
+
+}  // namespace dlb::png

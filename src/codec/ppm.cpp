@@ -1,0 +1,85 @@
+#include "codec/ppm.h"
+
+#include <cstring>
+#include <string>
+
+namespace dlb::ppm {
+
+namespace {
+
+/// Skip whitespace and '#' comments; returns false at end of data.
+bool SkipSpace(ByteSpan data, size_t* pos) {
+  while (*pos < data.size()) {
+    const uint8_t c = data[*pos];
+    if (c == '#') {
+      while (*pos < data.size() && data[*pos] != '\n') ++*pos;
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++*pos;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<int> ParseInt(ByteSpan data, size_t* pos) {
+  if (!SkipSpace(data, pos)) return CorruptData("truncated PPM header");
+  int value = 0;
+  bool any = false;
+  while (*pos < data.size() && data[*pos] >= '0' && data[*pos] <= '9') {
+    value = value * 10 + (data[*pos] - '0');
+    if (value > 1 << 20) return CorruptData("PPM header value too large");
+    ++*pos;
+    any = true;
+  }
+  if (!any) return CorruptData("expected integer in PPM header");
+  return value;
+}
+
+}  // namespace
+
+bool SniffPpm(ByteSpan data) {
+  return data.size() >= 2 && data[0] == 'P' &&
+         (data[1] == '5' || data[1] == '6');
+}
+
+Result<Bytes> Encode(const Image& img) {
+  if (img.Empty()) return InvalidArgument("encode of empty image");
+  if (img.Channels() != 1 && img.Channels() != 3) {
+    return InvalidArgument("PPM supports 1 or 3 channels");
+  }
+  const char magic = img.Channels() == 3 ? '6' : '5';
+  std::string header = std::string("P") + magic + "\n" +
+                       std::to_string(img.Width()) + " " +
+                       std::to_string(img.Height()) + "\n255\n";
+  Bytes out(header.begin(), header.end());
+  out.insert(out.end(), img.Data(), img.Data() + img.SizeBytes());
+  return out;
+}
+
+Result<Image> Decode(ByteSpan data) {
+  if (!SniffPpm(data)) return CorruptData("not a P5/P6 file");
+  const int channels = data[1] == '6' ? 3 : 1;
+  size_t pos = 2;
+  auto w = ParseInt(data, &pos);
+  if (!w.ok()) return w.status();
+  auto h = ParseInt(data, &pos);
+  if (!h.ok()) return h.status();
+  auto maxval = ParseInt(data, &pos);
+  if (!maxval.ok()) return maxval.status();
+  if (maxval.value() != 255) {
+    return Status(StatusCode::kUnimplemented, "only maxval 255 supported");
+  }
+  if (w.value() <= 0 || h.value() <= 0) return CorruptData("bad dimensions");
+  // Exactly one whitespace byte separates the header from the raster.
+  if (pos >= data.size()) return CorruptData("truncated PPM raster");
+  ++pos;
+  const size_t need =
+      static_cast<size_t>(w.value()) * h.value() * channels;
+  if (data.size() - pos < need) return CorruptData("short PPM raster");
+  Image img(w.value(), h.value(), channels);
+  std::memcpy(img.Data(), data.data() + pos, need);
+  return img;
+}
+
+}  // namespace dlb::ppm

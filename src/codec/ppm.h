@@ -1,0 +1,23 @@
+// Binary PPM (P6) / PGM (P5) codec.
+//
+// A second, genuinely different image format so the pluggable-decoder story
+// (§3.1: "download relevant preprocessing mirrors to FPGA devices for
+// different applications") can be demonstrated end-to-end with real bytes.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "image/image.h"
+
+namespace dlb::ppm {
+
+/// Encode 3-channel images as P6, 1-channel as P5 (maxval 255).
+Result<Bytes> Encode(const Image& img);
+
+/// Decode P5/P6 with the usual whitespace/comment grammar.
+Result<Image> Decode(ByteSpan data);
+
+/// True when the bytes start with a P5/P6 magic.
+bool SniffPpm(ByteSpan data);
+
+}  // namespace dlb::ppm

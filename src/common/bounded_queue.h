@@ -1,0 +1,137 @@
+// Bounded blocking MPMC queue — the backpressure primitive behind every
+// channel in DLBooster (Free_Batch_Queue, Full_Batch_Queue, Trans Queues,
+// FPGA cmd FIFO emulation).
+//
+// Follows CP.42 ("don't wait without a condition") and CP.20 (RAII locks).
+// close() lets producers signal end-of-stream: blocked consumers wake and
+// observe kClosed once the queue drains.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dlb {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push; returns kClosed if the queue was closed.
+  Status Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return Closed("push on closed queue");
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Non-blocking push; kResourceExhausted when full, kClosed when closed.
+  Status TryPush(T item) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) return Closed("push on closed queue");
+      if (items_.size() >= capacity_) return ResourceExhausted("queue full");
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Blocking pop; empty optional means closed-and-drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Pop with a deadline; empty optional on timeout or closed-and-drained.
+  std::optional<T> PopFor(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      std::scoped_lock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Drain everything currently queued without blocking.
+  std::deque<T> DrainAll() {
+    std::deque<T> out;
+    {
+      std::scoped_lock lock(mu_);
+      out.swap(items_);
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// After close, pushes fail and pops drain the remaining items then
+  /// return nullopt. Idempotent.
+  void Close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool IsClosed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+  size_t Capacity() const { return capacity_; }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dlb

@@ -1,0 +1,53 @@
+// Byte-level helpers shared by the codec and the storage engine.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace dlb {
+
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+using Bytes = std::vector<uint8_t>;
+
+/// Big-endian 16-bit read (JPEG marker segments are big-endian).
+inline uint16_t ReadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline void WriteBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v & 0xFF);
+}
+
+/// Little-endian fixed-width accessors (storage engine page format).
+inline uint32_t ReadLe32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void WriteLe32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+inline uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void WriteLe64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// FNV-1a 64-bit hash, used by the KV store bucket index and for
+/// content-checksum assertions in tests.
+inline uint64_t Fnv1a64(ByteSpan data) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace dlb

@@ -1,0 +1,70 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dlb {
+
+Result<Config> Config::FromArgs(const std::vector<std::string>& args) {
+  Config c;
+  for (const auto& a : args) {
+    auto eq = a.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "expected key=value, got: " + a);
+    }
+    c.Set(a.substr(0, eq), a.substr(eq + 1));
+  }
+  return c;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  kv_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(kv_.size());
+  for (const auto& [k, _] : kv_) keys.push_back(k);
+  return keys;
+}
+
+std::string Config::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : kv_) {
+    if (!first) os << " ";
+    os << k << "=" << v;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace dlb

@@ -1,0 +1,41 @@
+// String key/value configuration with typed getters.
+//
+// Benches and examples accept "key=value" overrides on the command line and
+// thread them down to components through a Config, so every experiment knob
+// is scriptable without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlb {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens (e.g. argv tail). Unparseable tokens error.
+  static Result<Config> FromArgs(const std::vector<std::string>& args);
+
+  void Set(const std::string& key, const std::string& value);
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// All keys, sorted (for reproducible experiment headers).
+  std::vector<std::string> Keys() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,61 @@
+// Minimal leveled logger. Thread-safe, stderr-backed, zero cost when the
+// level is filtered out (stream body is not evaluated).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dlb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn so
+/// tests and benches stay quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line and emits it (with a single global lock) on
+/// destruction. Use via the DLB_LOG macro, not directly.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DLB_LOG(level)                                      \
+  if (::dlb::GetLogLevel() <= ::dlb::LogLevel::level)       \
+  ::dlb::internal::LogLine(::dlb::LogLevel::level, __FILE__, __LINE__)
+
+#define DLB_DEBUG DLB_LOG(kDebug)
+#define DLB_INFO DLB_LOG(kInfo)
+#define DLB_WARN DLB_LOG(kWarn)
+#define DLB_ERROR DLB_LOG(kError)
+
+/// Abort with a message when an internal invariant is broken. Used for
+/// conditions that indicate programmer error, never for data errors.
+[[noreturn]] void FatalInvariant(const char* file, int line, const std::string& what);
+
+#define DLB_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::dlb::FatalInvariant(__FILE__, __LINE__, "check failed: " #cond); \
+  } while (0)
+
+}  // namespace dlb

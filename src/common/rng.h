@@ -1,0 +1,99 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in DLBooster (dataset generator, simulated
+// clients, augmentation) takes an explicit seed so that tests and benchmark
+// figures are bit-reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dlb {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, high quality, and easy to
+/// seed deterministically via splitmix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seed the full 256-bit state from one 64-bit seed using splitmix64.
+  void Seed(uint64_t seed) {
+    for (auto& word : s_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformU64(uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformU64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Exponentially distributed with the given mean (for Poisson arrivals).
+  double Exponential(double mean) {
+    double u;
+    do {
+      u = UniformDouble();
+    } while (u <= 0.0);
+    return -mean * __builtin_log(u);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace dlb

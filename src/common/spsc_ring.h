@@ -1,0 +1,63 @@
+// Wait-free single-producer / single-consumer ring buffer.
+//
+// Used on latency-critical hand-offs where exactly one producer and one
+// consumer exist by construction (e.g. the emulated FPGA FINISH signal path).
+// Capacity is rounded up to a power of two; one slot is sacrificed to
+// distinguish full from empty.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dlb {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity)
+      : mask_(std::bit_ceil(min_capacity < 2 ? size_t{2} : min_capacity + 1) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool TryPush(T item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring is empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T item = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  /// Usable capacity (one slot is reserved internally).
+  size_t Capacity() const { return mask_; }
+
+ private:
+  const size_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace dlb

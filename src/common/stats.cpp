@@ -1,0 +1,156 @@
+#include "common/stats.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace dlb {
+
+namespace {
+// Highest value representable before clamping into the top bucket. 2^40 ns
+// is ~18 minutes, far above any latency we track.
+constexpr int kMaxExponent = 40;
+}  // namespace
+
+Histogram::Histogram(int sub_bucket_bits)
+    : sub_bits_(sub_bucket_bits),
+      buckets_((kMaxExponent + 1) << sub_bucket_bits) {}
+
+size_t Histogram::BucketIndex(uint64_t value) const {
+  if (value == 0) return 0;
+  int exponent = 63 - std::countl_zero(value);
+  if (exponent > kMaxExponent) {
+    exponent = kMaxExponent;
+    value = (1ull << kMaxExponent) | ((1ull << kMaxExponent) - 1);
+  }
+  uint64_t sub;
+  if (exponent <= sub_bits_) {
+    // Small values are exactly representable in the linear region.
+    return static_cast<size_t>(value);
+  }
+  sub = (value >> (exponent - sub_bits_)) & ((1ull << sub_bits_) - 1);
+  return (static_cast<size_t>(exponent) << sub_bits_) + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) const {
+  size_t exponent = index >> sub_bits_;
+  size_t sub = index & ((1ull << sub_bits_) - 1);
+  if (exponent == 0) return sub;
+  if (exponent <= static_cast<size_t>(sub_bits_)) {
+    // Linear region: index IS the value.
+    return index;
+  }
+  return (1ull << exponent) + (static_cast<uint64_t>(sub) << (exponent - sub_bits_));
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t n) {
+  if (n == 0) return;
+  buckets_[BucketIndex(value)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(value * n, std::memory_order_relaxed);
+  uint64_t cur_min = min_.load(std::memory_order_relaxed);
+  while (value < cur_min &&
+         !min_.compare_exchange_weak(cur_min, value, std::memory_order_relaxed)) {
+  }
+  uint64_t cur_max = max_.load(std::memory_order_relaxed);
+  while (value > cur_max &&
+         !max_.compare_exchange_weak(cur_max, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  uint64_t c = Count();
+  return c == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(c);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    if (b == 0) continue;
+    seen += b;
+    if (seen > rank) return BucketLowerBound(i);
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size() && i < other.buckets_.size(); ++i) {
+    uint64_t b = other.buckets_[i].load(std::memory_order_relaxed);
+    if (b) buckets_[i].fetch_add(b, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+  uint64_t om = other.min_.load(std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (om < cur && !min_.compare_exchange_weak(cur, om, std::memory_order_relaxed)) {
+  }
+  uint64_t oM = other.Max();
+  cur = max_.load(std::memory_order_relaxed);
+  while (oM > cur && !max_.compare_exchange_weak(cur, oM, std::memory_order_relaxed)) {
+  }
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricRegistry::Report() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " " << c->Value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " " << g->Value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " count=" << h->Count() << " mean=" << h->Mean()
+       << " p50=" << h->Quantile(0.5) << " p99=" << h->Quantile(0.99)
+       << " max=" << h->Max() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dlb

@@ -1,0 +1,120 @@
+// Metric primitives: counters, gauges, and latency histograms.
+//
+// Histograms use logarithmic bucketing (HdrHistogram-style, base-2 with
+// linear sub-buckets) so that percentile queries over nanosecond latencies
+// are cheap and memory use is bounded regardless of sample count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlb {
+
+/// Monotonic counter, safe to bump from many threads.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-writer-wins gauge for instantaneous values (queue depth, cores busy).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-memory log-bucketed histogram of non-negative integer samples
+/// (typically nanoseconds). Thread-safe recording; quantile queries take a
+/// consistent snapshot under the same lock-free scheme (relaxed reads are
+/// fine for reporting purposes).
+class Histogram {
+ public:
+  /// sub_bucket_bits controls relative precision: 2^bits linear sub-buckets
+  /// per power of two, i.e. worst-case relative error ~ 1/2^bits.
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;
+  uint64_t Max() const;
+  double Mean() const;
+
+  /// Value at quantile q in [0,1]. Returns 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  void Reset();
+
+  /// Merge another histogram (same bucket layout) into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+  uint64_t BucketLowerBound(size_t index) const;
+
+  int sub_bits_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Simple running mean/variance accumulator (Welford). Not thread-safe;
+/// intended for single-threaded reporting code.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+  uint64_t Count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double StdDev() const;
+  double Min() const { return n_ ? min_ : 0.0; }
+  double Max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, min_ = 0.0, max_ = 0.0;
+};
+
+/// Named registry so workflows can export all metrics in one report.
+/// Creation is lazy; pointers remain valid for the registry's lifetime.
+class MetricRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Render "name value" lines, sorted by name, for logs and golden tests.
+  std::string Report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dlb

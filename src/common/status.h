@@ -1,0 +1,128 @@
+// Lightweight error-propagation types used across the DLBooster codebase.
+//
+// We avoid exceptions on hot paths (decode loops, queue operations) and use
+// Status / Result<T> instead, in the spirit of the Core Guidelines' advice
+// to make error paths explicit at module boundaries.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dlb {
+
+/// Coarse error category, sufficient for routing and test assertions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kCorruptData,
+  kUnimplemented,
+  kInternal,
+  kClosed,  ///< operating on a closed queue/channel/pipeline
+};
+
+/// Human-readable name for a StatusCode (for logs and test failures).
+inline const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kCorruptData: return "CORRUPT_DATA";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kClosed: return "CLOSED";
+  }
+  return "UNKNOWN";
+}
+
+/// A status is a code plus an optional message. `Status::Ok()` is cheap.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message" for logging.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string m) {
+  return {StatusCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFound(std::string m) {
+  return {StatusCode::kNotFound, std::move(m)};
+}
+inline Status OutOfRange(std::string m) {
+  return {StatusCode::kOutOfRange, std::move(m)};
+}
+inline Status ResourceExhausted(std::string m) {
+  return {StatusCode::kResourceExhausted, std::move(m)};
+}
+inline Status FailedPrecondition(std::string m) {
+  return {StatusCode::kFailedPrecondition, std::move(m)};
+}
+inline Status CorruptData(std::string m) {
+  return {StatusCode::kCorruptData, std::move(m)};
+}
+inline Status Internal(std::string m) {
+  return {StatusCode::kInternal, std::move(m)};
+}
+inline Status Closed(std::string m) {
+  return {StatusCode::kClosed, std::move(m)};
+}
+
+/// Either a value or an error status. Minimal `expected`-style carrier.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate a non-OK Status from an expression.
+#define DLB_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::dlb::Status _s = (expr);               \
+    if (!_s.ok()) return _s;                 \
+  } while (0)
+
+}  // namespace dlb

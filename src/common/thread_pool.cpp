@@ -1,0 +1,49 @@
+#include "common/thread_pool.h"
+
+namespace dlb {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : tasks_(queue_capacity) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(idle_mu_);
+    ++in_flight_;
+  }
+  Status s = tasks_.Push(std::move(task));
+  if (!s.ok()) {
+    std::scoped_lock lock(idle_mu_);
+    --in_flight_;
+    idle_cv_.notify_all();
+  }
+  return s;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  workers_.clear();  // jthread joins on destruction
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    (*task)();
+    std::scoped_lock lock(idle_mu_);
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace dlb

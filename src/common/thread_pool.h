@@ -1,0 +1,69 @@
+// Fixed-size worker pool with a bounded task queue.
+//
+// CP.4: callers think in tasks; the pool owns the threads. Join semantics
+// are structured: the destructor (or Shutdown) drains outstanding tasks
+// before the threads exit, so a pool behaves like a scoped container of
+// work (CP.23/CP.25).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+
+namespace dlb {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `queue_capacity` bounds the backlog so
+  /// producers feel backpressure instead of growing memory without bound.
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Blocking submit (applies backpressure when the queue is full).
+  /// Returns kClosed after Shutdown().
+  Status Submit(std::function<void()> task);
+
+  /// Submit returning a future for the task's result.
+  template <typename F>
+  auto SubmitWithResult(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Status s = Submit([task] { (*task)(); });
+    if (!s.ok()) {
+      // Fulfil the future with an exception so callers don't deadlock.
+      task->reset();
+      std::packaged_task<R()> broken([] () -> R {
+        throw std::runtime_error("thread pool closed");
+      });
+      fut = broken.get_future();
+    }
+    return fut;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t NumThreads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;  // queued + executing
+};
+
+}  // namespace dlb

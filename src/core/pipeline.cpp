@@ -1,0 +1,146 @@
+#include "core/pipeline.h"
+
+#include "backends/cached_backend.h"
+#include "backends/cpu_backend.h"
+#include "backends/lmdb_backend.h"
+#include "backends/synthetic_backend.h"
+
+namespace dlb::core {
+
+Pipeline::~Pipeline() { Shutdown(); }
+
+void Pipeline::Shutdown() {
+  if (backend_) backend_->Stop();
+}
+
+Result<BatchPtr> Pipeline::NextBatch(int engine) {
+  auto batch = backend_->NextBatch(engine);
+  if (!batch.ok()) return batch.status();
+  {
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.batches;
+    const size_t ok = batch.value()->OkCount();
+    stats_.images_ok += ok;
+    stats_.images_failed += batch.value()->Size() - ok;
+  }
+  return batch;
+}
+
+Result<std::pair<Tensor, std::vector<int32_t>>> Pipeline::NextTensorBatch(
+    int engine, const Normalization& norm) {
+  auto batch = NextBatch(engine);
+  if (!batch.ok()) return batch.status();
+  const PreprocessBatch& b = *batch.value();
+
+  std::vector<Image> images;
+  std::vector<int32_t> labels;
+  images.reserve(b.Size());
+  for (size_t i = 0; i < b.Size(); ++i) {
+    const ImageRef ref = b.At(i);
+    if (!ref.ok) continue;
+    images.push_back(ref.ToImage());
+    labels.push_back(ref.label);
+  }
+  if (images.empty()) return Internal("batch contained no decodable images");
+  auto tensor = BatchToTensor(images, norm);
+  if (!tensor.ok()) return tensor.status();
+  return std::make_pair(std::move(tensor).value(), std::move(labels));
+}
+
+PipelineStats Pipeline::Stats() const {
+  std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+PipelineBuilder& PipelineBuilder::WithConfig(PipelineConfig config) {
+  config_ = std::move(config);
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithDataset(const Manifest* manifest,
+                                              const BlobStore* store) {
+  manifest_ = manifest;
+  store_ = store;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithNetworkSource(
+    BoundedQueue<NetworkImage>* rx_queue) {
+  rx_queue_ = rx_queue;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::WithDatabase(const Manifest* manifest,
+                                               const db::KvStore* db) {
+  manifest_ = manifest;
+  db_ = db;
+  return *this;
+}
+
+Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
+  pipeline->backend_name_ = config_.backend;
+
+  // Source collector (not needed by lmdb/synthetic).
+  DataCollector* collector = nullptr;
+  if (rx_queue_ != nullptr) {
+    pipeline->collector_ = std::make_unique<NetDataCollector>(rx_queue_);
+    collector = pipeline->collector_.get();
+  } else if (manifest_ != nullptr && store_ != nullptr) {
+    pipeline->collector_ = std::make_unique<DiskDataCollector>(
+        manifest_, store_, config_.options.shuffle, config_.options.seed);
+    collector = pipeline->collector_.get();
+  }
+  if (collector != nullptr && config_.max_images > 0) {
+    pipeline->bounded_collector_ =
+        std::make_unique<BoundedCollector>(collector, config_.max_images);
+    collector = pipeline->bounded_collector_.get();
+  }
+
+  std::unique_ptr<PreprocessBackend> backend;
+  if (config_.backend == "dlbooster") {
+    if (collector == nullptr) {
+      return InvalidArgument("dlbooster backend needs a dataset or network source");
+    }
+    DlboosterOptions opts = config_.dlbooster;
+    opts.backend = config_.options;
+    if (config_.decoder_mirror != "jpeg" && !opts.device.custom_decoder) {
+      auto mirror = DecoderRegistry::Global().Create(config_.decoder_mirror);
+      if (!mirror.ok()) return mirror.status();
+      pipeline->mirror_ = std::move(mirror).value();
+      DecoderMirror* m = pipeline->mirror_.get();
+      opts.device.custom_decoder = [m](ByteSpan data) { return m->Decode(data); };
+    }
+    backend = std::make_unique<DlboosterBackend>(collector, opts);
+  } else if (config_.backend == "cpu") {
+    if (collector == nullptr) {
+      return InvalidArgument("cpu backend needs a dataset or network source");
+    }
+    backend = std::make_unique<CpuBackend>(collector, config_.options);
+  } else if (config_.backend == "lmdb") {
+    if (manifest_ == nullptr || db_ == nullptr) {
+      return InvalidArgument("lmdb backend needs WithDatabase()");
+    }
+    backend = std::make_unique<LmdbBackend>(manifest_, db_, config_.options,
+                                            config_.max_images);
+  } else if (config_.backend == "synthetic") {
+    const uint64_t max_batches =
+        config_.max_images > 0
+            ? (config_.max_images + config_.options.batch_size - 1) /
+                  config_.options.batch_size
+            : 0;
+    backend = std::make_unique<SyntheticBackend>(config_.options, max_batches);
+  } else {
+    return InvalidArgument("unknown backend: " + config_.backend);
+  }
+
+  if (config_.cache_epochs) {
+    backend = std::make_unique<CachedBackend>(std::move(backend),
+                                              config_.cache_budget_bytes);
+  }
+  pipeline->backend_ = std::move(backend);
+  DLB_RETURN_IF_ERROR(pipeline->backend_->Start());
+  return pipeline;
+}
+
+}  // namespace dlb::core

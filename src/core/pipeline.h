@@ -1,0 +1,115 @@
+// DLBooster public API: build a preprocessing pipeline in a few lines.
+//
+//   auto dataset = dlb::GenerateDataset(dlb::ImageNetLikeSpec(512));
+//   dlb::core::PipelineConfig config;
+//   config.backend = "dlbooster";
+//   auto pipeline = dlb::core::PipelineBuilder()
+//                       .WithConfig(config)
+//                       .WithDataset(&dataset->manifest, dataset->store.get())
+//                       .Build();
+//   auto batch = pipeline.value()->NextBatch();
+//
+// The same builder drives every backend (Table 1's promise: swap the
+// backend, keep the engine code), the network source for inference, the
+// first-epoch cache, and pluggable decoder mirrors.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "backends/backend.h"
+#include "backends/dlbooster_backend.h"
+#include "core/plugin.h"
+#include "dataplane/manifest.h"
+#include "dataplane/blob_store.h"
+#include "hostbridge/data_collector.h"
+#include "image/tensor.h"
+#include "storagedb/kv_store.h"
+
+namespace dlb::core {
+
+struct PipelineConfig {
+  /// "dlbooster" | "cpu" | "lmdb" | "synthetic"
+  std::string backend = "dlbooster";
+  BackendOptions options;
+  /// DLBooster-specific knobs (FPGA config, pool sizing).
+  DlboosterOptions dlbooster;
+  /// Decoder mirror to load ("jpeg" default; see DecoderRegistry).
+  std::string decoder_mirror = "jpeg";
+  /// Stop after this many images (0 = stream until the source closes).
+  uint64_t max_images = 0;
+  /// Enable the §3.1 first-epoch memory cache.
+  bool cache_epochs = false;
+  uint64_t cache_budget_bytes = 1ull << 30;
+};
+
+struct PipelineStats {
+  uint64_t batches = 0;
+  uint64_t images_ok = 0;
+  uint64_t images_failed = 0;
+};
+
+class Pipeline {
+ public:
+  ~Pipeline();
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Next decoded batch for `engine` (round-robin fed). kClosed at stream
+  /// end.
+  Result<BatchPtr> NextBatch(int engine = 0);
+
+  /// Convenience: next batch staged as a normalised NCHW float tensor with
+  /// labels (what a compute engine actually consumes). Failed decodes are
+  /// skipped.
+  Result<std::pair<Tensor, std::vector<int32_t>>> NextTensorBatch(
+      int engine = 0, const Normalization& norm = {});
+
+  PipelineStats Stats() const;
+  const std::string& BackendName() const { return backend_name_; }
+
+  /// Stop all pipeline threads (also runs on destruction).
+  void Shutdown();
+
+ private:
+  friend class PipelineBuilder;
+  Pipeline() = default;
+
+  std::string backend_name_;
+  std::unique_ptr<DecoderMirror> mirror_;
+  std::unique_ptr<DataCollector> collector_;
+  std::unique_ptr<DataCollector> bounded_collector_;
+  std::unique_ptr<PreprocessBackend> backend_;
+  mutable std::mutex stats_mu_;
+  PipelineStats stats_;
+};
+
+class PipelineBuilder {
+ public:
+  PipelineBuilder& WithConfig(PipelineConfig config);
+
+  /// Disk path: manifest + blob store (training workflows).
+  PipelineBuilder& WithDataset(const Manifest* manifest,
+                               const BlobStore* store);
+
+  /// Network path: queue the NIC receive loop fills (inference workflows).
+  PipelineBuilder& WithNetworkSource(BoundedQueue<NetworkImage>* rx_queue);
+
+  /// Offline path: pre-converted DB for the "lmdb" backend.
+  PipelineBuilder& WithDatabase(const Manifest* manifest,
+                                const db::KvStore* db);
+
+  /// Construct and start the pipeline.
+  Result<std::unique_ptr<Pipeline>> Build();
+
+ private:
+  PipelineConfig config_;
+  const Manifest* manifest_ = nullptr;
+  const BlobStore* store_ = nullptr;
+  BoundedQueue<NetworkImage>* rx_queue_ = nullptr;
+  const db::KvStore* db_ = nullptr;
+};
+
+}  // namespace dlb::core

@@ -1,0 +1,91 @@
+#include "core/plugin.h"
+
+#include "codec/jpeg_decoder.h"
+#include "codec/png.h"
+#include "codec/ppm.h"
+
+namespace dlb::core {
+
+namespace {
+
+class JpegMirror : public DecoderMirror {
+ public:
+  std::string Name() const override { return "jpeg"; }
+  std::string Description() const override {
+    return "baseline JFIF decoder (4-stage pipeline)";
+  }
+  bool Sniff(ByteSpan data) const override {
+    return data.size() >= 2 && data[0] == 0xFF && data[1] == 0xD8;
+  }
+  Result<Image> Decode(ByteSpan data) const override {
+    return jpeg::Decode(data);
+  }
+};
+
+class PngMirror : public DecoderMirror {
+ public:
+  std::string Name() const override { return "png"; }
+  std::string Description() const override {
+    return "PNG decoder (DEFLATE + all scanline filters)";
+  }
+  bool Sniff(ByteSpan data) const override { return png::SniffPng(data); }
+  Result<Image> Decode(ByteSpan data) const override {
+    return png::Decode(data);
+  }
+};
+
+class PpmMirror : public DecoderMirror {
+ public:
+  std::string Name() const override { return "ppm"; }
+  std::string Description() const override {
+    return "binary PPM/PGM (P6/P5) decoder";
+  }
+  bool Sniff(ByteSpan data) const override { return ppm::SniffPpm(data); }
+  Result<Image> Decode(ByteSpan data) const override {
+    return ppm::Decode(data);
+  }
+};
+
+}  // namespace
+
+DecoderRegistry::DecoderRegistry() {
+  factories_["jpeg"] = [] { return std::make_unique<JpegMirror>(); };
+  factories_["png"] = [] { return std::make_unique<PngMirror>(); };
+  factories_["ppm"] = [] { return std::make_unique<PpmMirror>(); };
+}
+
+DecoderRegistry& DecoderRegistry::Global() {
+  static DecoderRegistry registry;
+  return registry;
+}
+
+Status DecoderRegistry::Register(const std::string& name,
+                                 MirrorFactory factory) {
+  if (name.empty() || !factory) {
+    return InvalidArgument("mirror needs a name and a factory");
+  }
+  std::scoped_lock lock(mu_);
+  if (factories_.count(name)) {
+    return FailedPrecondition("mirror already registered: " + name);
+  }
+  factories_[name] = std::move(factory);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DecoderMirror>> DecoderRegistry::Create(
+    const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = factories_.find(name);
+  if (it == factories_.end()) return NotFound("no such mirror: " + name);
+  return it->second();
+}
+
+std::vector<std::string> DecoderRegistry::List() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dlb::core

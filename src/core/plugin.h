@@ -1,0 +1,61 @@
+// Pluggable decoder mirrors (§3.1, §4.1).
+//
+// The paper packs each FPGA decoding logic as a "mirror" that users download
+// to the device per application. Here a mirror is a named, thread-safe
+// decode function plus a format sniffer; the registry is what the Pipeline
+// consults when the user asks for a non-default decoder. Two mirrors ship
+// built in: "jpeg" (the full baseline codec) and "ppm" (binary P5/P6).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "image/image.h"
+
+namespace dlb::core {
+
+class DecoderMirror {
+ public:
+  virtual ~DecoderMirror() = default;
+
+  virtual std::string Name() const = 0;
+  virtual std::string Description() const = 0;
+
+  /// True when this mirror recognises the byte stream.
+  virtual bool Sniff(ByteSpan data) const = 0;
+
+  /// Full functional decode. Must be thread-safe: the emulated FPGA runs
+  /// it concurrently from several unit workers.
+  virtual Result<Image> Decode(ByteSpan data) const = 0;
+};
+
+using MirrorFactory = std::function<std::unique_ptr<DecoderMirror>()>;
+
+/// Process-wide mirror registry.
+class DecoderRegistry {
+ public:
+  /// The singleton registry, pre-populated with the built-in mirrors.
+  static DecoderRegistry& Global();
+
+  /// Register a factory; fails on duplicate names.
+  Status Register(const std::string& name, MirrorFactory factory);
+
+  /// Instantiate a mirror by name.
+  Result<std::unique_ptr<DecoderMirror>> Create(const std::string& name) const;
+
+  /// Registered mirror names, sorted.
+  std::vector<std::string> List() const;
+
+ private:
+  DecoderRegistry();
+  mutable std::mutex mu_;
+  std::map<std::string, MirrorFactory> factories_;
+};
+
+}  // namespace dlb::core

@@ -1,0 +1,39 @@
+#include "dataplane/batch_loader.h"
+
+#include "common/log.h"
+
+namespace dlb {
+
+BatchLoader::BatchLoader(const Manifest* manifest, size_t batch_size,
+                         bool shuffle, uint64_t seed)
+    : manifest_(manifest),
+      batch_size_(batch_size ? batch_size : 1),
+      shuffle_(shuffle),
+      seed_(seed) {
+  DLB_CHECK(manifest_ != nullptr);
+  StartEpoch();
+}
+
+void BatchLoader::StartEpoch() {
+  order_ = manifest_->EpochOrder(epoch_, seed_, shuffle_);
+  cursor_ = 0;
+}
+
+std::vector<uint32_t> BatchLoader::NextBatch() {
+  if (manifest_->Empty()) return {};
+  if (cursor_ >= order_.size()) {
+    ++epoch_;
+    StartEpoch();
+  }
+  const size_t end = std::min(cursor_ + batch_size_, order_.size());
+  std::vector<uint32_t> batch(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  return batch;
+}
+
+size_t BatchLoader::BatchesPerEpoch() const {
+  if (manifest_->Empty()) return 0;
+  return (manifest_->Size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace dlb

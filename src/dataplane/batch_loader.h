@@ -1,0 +1,41 @@
+// Batch iteration over a manifest: epoch ordering, batching, wrap-around.
+//
+// This is the runtime-side "Batch Loader" box of Fig. 3: it walks the
+// manifest in (optionally shuffled) epoch order and yields fixed-size
+// batches of FileRecord references for whichever backend is consuming.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/manifest.h"
+
+namespace dlb {
+
+class BatchLoader {
+ public:
+  BatchLoader(const Manifest* manifest, size_t batch_size, bool shuffle,
+              uint64_t seed);
+
+  /// The next batch of manifest indices. A batch never spans epochs; the
+  /// final partial batch of an epoch is returned as-is (possibly short).
+  std::vector<uint32_t> NextBatch();
+
+  /// Epoch counter (0-based) of the batch NextBatch() would return next.
+  uint64_t CurrentEpoch() const { return epoch_; }
+
+  size_t BatchSize() const { return batch_size_; }
+  size_t BatchesPerEpoch() const;
+
+ private:
+  void StartEpoch();
+
+  const Manifest* manifest_;
+  size_t batch_size_;
+  bool shuffle_;
+  uint64_t seed_;
+  uint64_t epoch_ = 0;
+  size_t cursor_ = 0;
+  std::vector<uint32_t> order_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,179 @@
+#include "dataplane/blob_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace dlb {
+
+FileRecord InMemoryBlobStore::Append(ByteSpan blob, std::string name,
+                                     int32_t label) {
+  FileRecord rec;
+  rec.id = next_id_++;
+  rec.name = std::move(name);
+  rec.offset = arena_.size();
+  rec.size = static_cast<uint32_t>(blob.size());
+  rec.label = label;
+  arena_.insert(arena_.end(), blob.begin(), blob.end());
+  return rec;
+}
+
+Result<ByteSpan> InMemoryBlobStore::Read(const FileRecord& record) const {
+  if (record.offset + record.size > arena_.size()) {
+    return OutOfRange("blob out of arena bounds: " + record.name);
+  }
+  return ByteSpan(arena_.data() + record.offset, record.size);
+}
+
+namespace {
+// Packed-file layout (little-endian):
+//   [u32 magic][u32 record_count]
+//   per record: [u32 name_len][name][u64 offset][u32 size][i32 label]
+//               [u16 width][u16 height]
+//   payload arena (offsets are arena-relative)
+constexpr uint32_t kPackMagic = 0xD1B9AC4B;
+}  // namespace
+
+Status PackedFileBlobStore::Pack(const Manifest& manifest,
+                                 const BlobStore& source,
+                                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Internal("cannot open for write: " + path);
+
+  // Header + index.
+  Bytes header(8);
+  WriteLe32(header.data(), kPackMagic);
+  WriteLe32(header.data() + 4, static_cast<uint32_t>(manifest.Size()));
+  uint64_t offset = 0;
+  for (const auto& rec : manifest.Records()) {
+    const size_t at = header.size();
+    header.resize(at + 4 + rec.name.size() + 8 + 4 + 4 + 2 + 2);
+    uint8_t* p = header.data() + at;
+    WriteLe32(p, static_cast<uint32_t>(rec.name.size()));
+    std::memcpy(p + 4, rec.name.data(), rec.name.size());
+    p += 4 + rec.name.size();
+    WriteLe64(p, offset);
+    WriteLe32(p + 8, rec.size);
+    WriteLe32(p + 12, static_cast<uint32_t>(rec.label));
+    p[16] = static_cast<uint8_t>(rec.width & 0xFF);
+    p[17] = static_cast<uint8_t>(rec.width >> 8);
+    p[18] = static_cast<uint8_t>(rec.height & 0xFF);
+    p[19] = static_cast<uint8_t>(rec.height >> 8);
+    offset += rec.size;
+  }
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+
+  // Arena.
+  for (const auto& rec : manifest.Records()) {
+    auto blob = source.Read(rec);
+    if (!blob.ok()) return blob.status();
+    out.write(reinterpret_cast<const char*>(blob.value().data()),
+              static_cast<std::streamsize>(blob.value().size()));
+  }
+  return out ? Status::Ok() : Internal("short write: " + path);
+}
+
+Result<PackedFileBlobStore::Opened> PackedFileBlobStore::Open(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open: " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  if (data.size() < 8) return CorruptData("packed file too small");
+  if (ReadLe32(data.data()) != kPackMagic) {
+    return CorruptData("bad packed-file magic");
+  }
+  const uint32_t count = ReadLe32(data.data() + 4);
+
+  Opened opened;
+  size_t pos = 8;
+  uint64_t arena_bytes = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > data.size()) return CorruptData("truncated index");
+    const uint32_t name_len = ReadLe32(data.data() + pos);
+    if (name_len > 4096 || pos + 4 + name_len + 20 > data.size()) {
+      return CorruptData("bad index entry");
+    }
+    FileRecord rec;
+    rec.id = i;
+    rec.name.assign(reinterpret_cast<const char*>(data.data() + pos + 4),
+                    name_len);
+    const uint8_t* p = data.data() + pos + 4 + name_len;
+    rec.offset = ReadLe64(p);
+    rec.size = ReadLe32(p + 8);
+    rec.label = static_cast<int32_t>(ReadLe32(p + 12));
+    rec.width = static_cast<uint16_t>(p[16] | (p[17] << 8));
+    rec.height = static_cast<uint16_t>(p[18] | (p[19] << 8));
+    arena_bytes = std::max(arena_bytes, rec.offset + rec.size);
+    opened.manifest.Add(std::move(rec));
+    pos += 4 + name_len + 20;
+  }
+  if (pos + arena_bytes > data.size()) {
+    return CorruptData("arena extends past end of file");
+  }
+  auto store = std::unique_ptr<PackedFileBlobStore>(new PackedFileBlobStore());
+  store->arena_.assign(data.begin() + pos, data.end());
+  opened.store = std::move(store);
+  return opened;
+}
+
+Result<ByteSpan> PackedFileBlobStore::Read(const FileRecord& record) const {
+  if (record.offset + record.size > arena_.size()) {
+    return OutOfRange("blob out of packed arena: " + record.name);
+  }
+  return ByteSpan(arena_.data() + record.offset, record.size);
+}
+
+Result<FileRecord> DirectoryBlobStore::Write(ByteSpan blob,
+                                             const std::string& name,
+                                             int32_t label) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  const std::string path = root_ + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Internal("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) return Internal("short write: " + path);
+  out.close();
+
+  FileRecord rec;
+  {
+    std::scoped_lock lock(mu_);
+    rec.id = next_id_++;
+    total_bytes_ += blob.size();
+  }
+  rec.name = name;
+  rec.offset = 0;
+  rec.size = static_cast<uint32_t>(blob.size());
+  rec.label = label;
+  return rec;
+}
+
+Result<ByteSpan> DirectoryBlobStore::Read(const FileRecord& record) const {
+  std::scoped_lock lock(mu_);
+  auto it = cache_.find(record.name);
+  if (it == cache_.end()) {
+    const std::string path = root_ + "/" + record.name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return NotFound("missing blob file: " + path);
+    Bytes data((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    it = cache_.emplace(record.name, std::move(data)).first;
+  }
+  if (record.size != it->second.size()) {
+    return CorruptData("blob size mismatch for " + record.name);
+  }
+  return ByteSpan(it->second.data(), it->second.size());
+}
+
+uint64_t DirectoryBlobStore::SizeBytes() const {
+  std::scoped_lock lock(mu_);
+  return total_bytes_;
+}
+
+}  // namespace dlb

@@ -1,0 +1,98 @@
+// Backing stores for encoded samples.
+//
+// InMemoryBlobStore is the default "disk" for tests and the runtime
+// pipeline: one contiguous arena addressed by (offset, size) pairs from the
+// Manifest — exactly how the FPGA's DataReader sees an NVMe namespace
+// (block offset + length), minus the hardware. DirectoryBlobStore persists
+// each blob as a real file for the examples.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "dataplane/manifest.h"
+
+namespace dlb {
+
+/// Read interface shared by the stores and used by the DataCollector.
+class BlobStore {
+ public:
+  virtual ~BlobStore() = default;
+
+  /// Zero-copy view of a stored blob (valid until the store is destroyed
+  /// or mutated).
+  virtual Result<ByteSpan> Read(const FileRecord& record) const = 0;
+
+  /// Total payload bytes stored.
+  virtual uint64_t SizeBytes() const = 0;
+};
+
+/// Appendable arena store. Thread-safe for concurrent reads after writes
+/// complete (the usual dataset pattern: build once, read many).
+class InMemoryBlobStore : public BlobStore {
+ public:
+  /// Append a blob; returns the record skeleton (offset/size filled in).
+  FileRecord Append(ByteSpan blob, std::string name, int32_t label);
+
+  Result<ByteSpan> Read(const FileRecord& record) const override;
+  uint64_t SizeBytes() const override { return arena_.size(); }
+
+ private:
+  Bytes arena_;
+  uint64_t next_id_ = 0;
+};
+
+/// A single packed dataset file: header + manifest index + payload arena.
+/// This is how ILSVRC-scale datasets are actually served (one sequential
+/// file, offset+length reads — exactly what the FPGA's DataReader DMAs).
+/// The whole file is loaded once; reads are zero-copy spans.
+class PackedFileBlobStore : public BlobStore {
+ public:
+  /// Pack `manifest` + `source` into one file at `path`.
+  static Status Pack(const Manifest& manifest, const BlobStore& source,
+                     const std::string& path);
+
+  /// Open a packed file; returns the store plus its manifest.
+  struct Opened {
+    std::unique_ptr<PackedFileBlobStore> store;
+    Manifest manifest;
+  };
+  static Result<Opened> Open(const std::string& path);
+
+  Result<ByteSpan> Read(const FileRecord& record) const override;
+  uint64_t SizeBytes() const override { return arena_.size(); }
+
+ private:
+  PackedFileBlobStore() = default;
+  Bytes arena_;
+};
+
+/// One-file-per-blob store rooted at a directory (for examples that want
+/// artifacts visible on the filesystem). Reads cache the file contents.
+class DirectoryBlobStore : public BlobStore {
+ public:
+  explicit DirectoryBlobStore(std::string root) : root_(std::move(root)) {}
+
+  /// Write `blob` to <root>/<name> and return its record.
+  Result<FileRecord> Write(ByteSpan blob, const std::string& name,
+                           int32_t label);
+
+  Result<ByteSpan> Read(const FileRecord& record) const override;
+  uint64_t SizeBytes() const override;
+
+  const std::string& Root() const { return root_; }
+
+ private:
+  std::string root_;
+  mutable std::mutex mu_;
+  mutable std::map<std::string, Bytes> cache_;
+  uint64_t next_id_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dlb

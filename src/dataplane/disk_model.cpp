@@ -1,0 +1,16 @@
+#include "dataplane/disk_model.h"
+
+namespace dlb {
+
+DiskModel::DiskModel(sim::Scheduler* sched, const DiskModelOptions& options)
+    : options_(options),
+      channels_(sched, options.channels, "nvme") {}
+
+void DiskModel::Read(uint64_t bytes, sim::EventFn on_done) {
+  bytes_read_ += bytes;
+  const double seconds = 1.0 / options_.read_iops +
+                         static_cast<double>(bytes) / options_.read_bandwidth;
+  channels_.Submit(sim::Seconds(seconds), std::move(on_done));
+}
+
+}  // namespace dlb

@@ -1,0 +1,40 @@
+// NVMe disk model for the evaluation layer (Intel Optane 900p, §5.1).
+//
+// Requests are served by a small number of parallel channels; each request
+// costs a fixed IOP overhead plus size/bandwidth transfer time. That is
+// enough fidelity to decide whether the data plane — rather than decode or
+// the GPU — bounds a configuration, which is what the paper's figures need.
+#pragma once
+
+#include <memory>
+
+#include "sim/calibration.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace dlb {
+
+struct DiskModelOptions {
+  double read_bandwidth = cal::kNvmeReadBandwidth;  // bytes/s
+  double read_iops = cal::kNvmeReadIops;            // request overhead = 1/iops
+  int channels = 8;                                 // parallel in-flight reads
+};
+
+class DiskModel {
+ public:
+  DiskModel(sim::Scheduler* sched, const DiskModelOptions& options = {});
+
+  /// Schedule a read of `bytes`; `on_done` fires when the data is in host
+  /// memory (or FPGA DDR, for the DMA-from-disk path).
+  void Read(uint64_t bytes, sim::EventFn on_done);
+
+  uint64_t BytesRead() const { return bytes_read_; }
+  double Utilization() const { return channels_.Utilization(); }
+
+ private:
+  DiskModelOptions options_;
+  sim::Resource channels_;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,34 @@
+#include "dataplane/manifest.h"
+
+#include <numeric>
+
+namespace dlb {
+
+std::vector<uint32_t> Manifest::EpochOrder(uint64_t epoch, uint64_t seed,
+                                           bool shuffle) const {
+  std::vector<uint32_t> order(records_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  if (shuffle && order.size() > 1) {
+    // Mix epoch into the seed so each epoch sees a fresh permutation but
+    // re-running the experiment reproduces it exactly.
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + epoch + 1);
+    for (size_t i = order.size() - 1; i > 0; --i) {
+      const size_t j = rng.UniformU64(i + 1);
+      std::swap(order[i], order[j]);
+    }
+  }
+  return order;
+}
+
+uint64_t Manifest::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& r : records_) total += r.size;
+  return total;
+}
+
+double Manifest::MeanBytes() const {
+  if (records_.empty()) return 0.0;
+  return static_cast<double>(TotalBytes()) / static_cast<double>(records_.size());
+}
+
+}  // namespace dlb

@@ -1,0 +1,55 @@
+// Dataset manifest: the "file_manifest" input of Algorithm 1.
+//
+// A manifest row describes one sample's storage location and label; the
+// DataCollector turns rows into FPGA commands (block descriptors for the
+// disk path, physical addresses for the NIC path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dlb {
+
+struct FileRecord {
+  uint64_t id = 0;        // stable sample id
+  std::string name;       // human-readable key ("img_000042.jpg")
+  uint64_t offset = 0;    // byte offset within the backing store
+  uint32_t size = 0;      // encoded byte size
+  int32_t label = 0;      // class label
+  uint16_t width = 0;     // pixel dims (from the encoder)
+  uint16_t height = 0;
+};
+
+/// Ordered collection of FileRecords with epoch shuffling.
+class Manifest {
+ public:
+  Manifest() = default;
+
+  void Add(FileRecord record) { records_.push_back(std::move(record)); }
+
+  size_t Size() const { return records_.size(); }
+  bool Empty() const { return records_.empty(); }
+
+  const FileRecord& At(size_t i) const { return records_[i]; }
+  const std::vector<FileRecord>& Records() const { return records_; }
+
+  /// Deterministic Fisher-Yates shuffle of the access order for one epoch.
+  /// Returns indices into Records() (the records themselves stay put).
+  std::vector<uint32_t> EpochOrder(uint64_t epoch, uint64_t seed,
+                                   bool shuffle) const;
+
+  /// Total encoded bytes across all records.
+  uint64_t TotalBytes() const;
+
+  /// Mean encoded size (0 when empty).
+  double MeanBytes() const;
+
+ private:
+  std::vector<FileRecord> records_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,20 @@
+#include "dataplane/nic_model.h"
+
+namespace dlb {
+
+NicModel::NicModel(sim::Scheduler* sched, sim::CpuAccountant* cpu,
+                   const NicModelOptions& options)
+    : options_(options), link_(sched, 1, "nic"), cpu_(cpu) {}
+
+void NicModel::Receive(uint64_t bytes, sim::EventFn on_done) {
+  bytes_received_ += bytes;
+  const uint64_t packets = (bytes + options_.mtu - 1) / options_.mtu;
+  const double wire_seconds =
+      static_cast<double>(bytes) * 8.0 / options_.bits_per_sec;
+  if (cpu_ != nullptr) {
+    cpu_->Charge("nic", packets * options_.per_packet_cpu_us * 1e-6);
+  }
+  link_.Submit(sim::Seconds(wire_seconds), std::move(on_done));
+}
+
+}  // namespace dlb

@@ -1,0 +1,40 @@
+// 40 Gbps NIC model for the online-inference path (§5.1, §5.3).
+//
+// A transfer is serialised on the link at line rate in MTU-sized packets;
+// each packet charges a small host CPU cost (driver + copy), which is part
+// of why CPU-based inference backends burn cores even before decoding.
+#pragma once
+
+#include "sim/calibration.h"
+#include "sim/cpu_accountant.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace dlb {
+
+struct NicModelOptions {
+  double bits_per_sec = cal::kNicBitsPerSec;
+  int mtu = cal::kNicMtu;
+  double per_packet_cpu_us = cal::kNicPerPacketUs;
+};
+
+class NicModel {
+ public:
+  NicModel(sim::Scheduler* sched, sim::CpuAccountant* cpu,
+           const NicModelOptions& options = {});
+
+  /// Deliver `bytes` through the link; `on_done` fires when the last packet
+  /// has landed in host memory. CPU cost is charged to category "nic".
+  void Receive(uint64_t bytes, sim::EventFn on_done);
+
+  uint64_t BytesReceived() const { return bytes_received_; }
+  double Utilization() const { return link_.Utilization(); }
+
+ private:
+  NicModelOptions options_;
+  sim::Resource link_;
+  sim::CpuAccountant* cpu_;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,113 @@
+#include "dataplane/synthetic_dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace dlb {
+
+DatasetSpec ImageNetLikeSpec(size_t num_images, uint64_t seed) {
+  DatasetSpec spec;
+  spec.num_images = num_images;
+  spec.width = 500;
+  spec.height = 375;
+  spec.channels = 3;
+  spec.num_classes = 1000;
+  spec.quality = 85;
+  spec.dim_jitter = 0.2;
+  spec.seed = seed;
+  return spec;
+}
+
+DatasetSpec MnistLikeSpec(size_t num_images, uint64_t seed) {
+  DatasetSpec spec;
+  spec.num_images = num_images;
+  spec.width = 28;
+  spec.height = 28;
+  spec.channels = 1;
+  spec.num_classes = 10;
+  spec.quality = 90;
+  spec.subsampling = jpeg::Subsampling::k444;
+  spec.dim_jitter = 0.0;
+  spec.seed = seed;
+  return spec;
+}
+
+Image RenderScene(const DatasetSpec& spec, uint64_t index, int* label_out) {
+  Rng rng(spec.seed * 0x2545F4914F6CDD1Dull + index);
+  const int label = static_cast<int>(rng.UniformU64(spec.num_classes));
+  if (label_out) *label_out = label;
+
+  int w = spec.width, h = spec.height;
+  if (spec.dim_jitter > 0.0) {
+    const double jw = rng.UniformDouble(1.0 - spec.dim_jitter,
+                                        1.0 + spec.dim_jitter);
+    const double jh = rng.UniformDouble(1.0 - spec.dim_jitter,
+                                        1.0 + spec.dim_jitter);
+    w = std::max(16, static_cast<int>(w * jw));
+    h = std::max(16, static_cast<int>(h * jh));
+  }
+
+  Image img(w, h, spec.channels);
+  // Background: two-axis gradient whose phase encodes the label.
+  const int phase = (label * 37) % 256;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < spec.channels; ++c) {
+        const int v =
+            (phase + (x * (c + 2)) / 3 + (y * (3 - c % 3)) / 2) % 256;
+        img.Set(x, y, c, static_cast<uint8_t>(v));
+      }
+    }
+  }
+  // Foreground: a few random discs and axis-aligned rectangles.
+  const int num_shapes = 3 + static_cast<int>(rng.UniformU64(5));
+  for (int s = 0; s < num_shapes; ++s) {
+    const bool disc = rng.Bernoulli(0.5);
+    const int cx = static_cast<int>(rng.UniformU64(w));
+    const int cy = static_cast<int>(rng.UniformU64(h));
+    const int extent = 4 + static_cast<int>(rng.UniformU64(std::max(2, w / 4)));
+    uint8_t color[3] = {static_cast<uint8_t>(rng.UniformU64(256)),
+                        static_cast<uint8_t>(rng.UniformU64(256)),
+                        static_cast<uint8_t>(rng.UniformU64(256))};
+    const int x0 = std::max(0, cx - extent), x1 = std::min(w - 1, cx + extent);
+    const int y0 = std::max(0, cy - extent), y1 = std::min(h - 1, cy + extent);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        if (disc) {
+          const int dx = x - cx, dy = y - cy;
+          if (dx * dx + dy * dy > extent * extent) continue;
+        }
+        for (int c = 0; c < spec.channels; ++c) {
+          img.Set(x, y, c, color[c % 3]);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+Result<Dataset> GenerateDataset(const DatasetSpec& spec) {
+  if (spec.num_images == 0) return InvalidArgument("empty dataset spec");
+  Dataset ds;
+  ds.store = std::make_unique<InMemoryBlobStore>();
+  jpeg::EncodeOptions opts;
+  opts.quality = spec.quality;
+  opts.subsampling = spec.subsampling;
+  for (uint64_t i = 0; i < spec.num_images; ++i) {
+    int label = 0;
+    Image scene = RenderScene(spec, i, &label);
+    auto encoded = jpeg::Encode(scene, opts);
+    if (!encoded.ok()) return encoded.status();
+    char name[32];
+    std::snprintf(name, sizeof(name), "img_%08llu.jpg",
+                  static_cast<unsigned long long>(i));
+    FileRecord rec = ds.store->Append(encoded.value(), name, label);
+    rec.width = static_cast<uint16_t>(scene.Width());
+    rec.height = static_cast<uint16_t>(scene.Height());
+    ds.manifest.Add(std::move(rec));
+  }
+  return ds;
+}
+
+}  // namespace dlb

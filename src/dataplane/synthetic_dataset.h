@@ -1,0 +1,52 @@
+// Synthetic dataset generation.
+//
+// The paper evaluates on MNIST and ILSVRC2012, which we cannot ship. We
+// generate procedural scenes with controlled statistics (size distribution
+// around the paper's 500x375 JPEG average, MNIST-like 28x28 grayscale) and
+// encode them with the real JPEG encoder, so every byte that flows through
+// the pipeline demands genuine decode work.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "codec/jpeg_encoder.h"
+#include "common/rng.h"
+#include "dataplane/blob_store.h"
+#include "dataplane/manifest.h"
+
+namespace dlb {
+
+struct DatasetSpec {
+  size_t num_images = 256;
+  int width = 500;          // nominal dims; jitter makes sizes vary
+  int height = 375;
+  int channels = 3;
+  int num_classes = 10;
+  int quality = 85;
+  jpeg::Subsampling subsampling = jpeg::Subsampling::k420;
+  double dim_jitter = 0.0;  // +/- fraction applied to width/height per image
+  uint64_t seed = 42;
+};
+
+/// A generated dataset: encoded blobs + manifest, ready to feed backends.
+struct Dataset {
+  Manifest manifest;
+  std::unique_ptr<InMemoryBlobStore> store;
+};
+
+/// ILSVRC-like spec used across tests/examples (small count by default).
+DatasetSpec ImageNetLikeSpec(size_t num_images, uint64_t seed = 42);
+
+/// MNIST-like spec: 28x28 grayscale, 10 classes.
+DatasetSpec MnistLikeSpec(size_t num_images, uint64_t seed = 42);
+
+/// Render one procedural scene for sample `index` (deterministic per
+/// (spec.seed, index)): layered gradients, discs and rectangles whose
+/// parameters encode the class label, plus mild texture.
+Image RenderScene(const DatasetSpec& spec, uint64_t index, int* label_out);
+
+/// Generate the full dataset (render + JPEG encode each sample).
+Result<Dataset> GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace dlb

@@ -1,0 +1,54 @@
+#include "fpga/decoder_config.h"
+
+#include <sstream>
+
+namespace dlb::fpga {
+
+std::string DecoderConfig::ToString() const {
+  std::ostringstream os;
+  os << "huffman=" << huffman_ways << "-way idct=" << idct_ways
+     << "-way resizer=" << resizer_ways << "-way fifo=" << cmd_fifo_depth
+     << " clock=" << clock_hz / 1e6 << "MHz"
+     << (pipelined ? " pipelined" : " fused");
+  return os.str();
+}
+
+int AlmUsage(const DecoderConfig& config, const AlmCosts& costs) {
+  return costs.parser + costs.data_reader + costs.mmu +
+         costs.huffman_per_way * config.huffman_ways +
+         costs.idct_per_way * config.idct_ways +
+         costs.resizer_per_way * config.resizer_ways + costs.collector +
+         costs.dma_engine + costs.finish_arbiter;
+}
+
+Status ValidateConfig(const DecoderConfig& config, int budget,
+                      const AlmCosts& costs) {
+  if (config.huffman_ways < 1 || config.idct_ways < 1 ||
+      config.resizer_ways < 1) {
+    return InvalidArgument("every unit needs at least one way");
+  }
+  if (config.cmd_fifo_depth < 1) {
+    return InvalidArgument("cmd FIFO must hold at least one entry");
+  }
+  if (config.clock_hz <= 0) {
+    return InvalidArgument("clock must be positive");
+  }
+  const int usage = AlmUsage(config, costs);
+  if (usage > budget) {
+    return ResourceExhausted("decoder needs " + std::to_string(usage) +
+                             " ALMs but the device offers " +
+                             std::to_string(budget));
+  }
+  return Status::Ok();
+}
+
+double EstimatedWatts(const DecoderConfig& config, const AlmCosts& costs) {
+  // Static (leakage + BSP shell) floor plus dynamic term. Anchored to the
+  // §5.4 figure: the shipped design (252k ALMs @ 240 MHz) ~ 25 W.
+  constexpr double kStaticWatts = 8.0;
+  constexpr double kWattsPerAlmGhz = 0.281e-3;
+  return kStaticWatts +
+         AlmUsage(config, costs) * (config.clock_hz / 1e9) * kWattsPerAlmGhz;
+}
+
+}  // namespace dlb::fpga

@@ -1,0 +1,110 @@
+#include "fpga/fpga_decoder_sim.h"
+
+#include <algorithm>
+
+namespace dlb::fpga {
+
+namespace {
+/// 8x8 blocks per image, including 4:2:0 chroma (1.5x luma blocks).
+uint64_t BlocksFor(uint64_t pixels) {
+  return std::max<uint64_t>(1, (pixels * 3 / 2) / 64);
+}
+}  // namespace
+
+FpgaDecoderSim::FpgaDecoderSim(sim::Scheduler* sched,
+                               const DecoderConfig& config,
+                               const StageRates& rates)
+    : sched_(sched),
+      config_(config),
+      rates_(rates),
+      parser_(sched, 1, "fpga.parser"),
+      disk_reader_(sched, 2, "fpga.reader.disk"),
+      dram_reader_(sched, 1, "fpga.reader.dram"),
+      huffman_(sched, config.huffman_ways, "fpga.huffman"),
+      idct_(sched, config.idct_ways, "fpga.idct"),
+      resizer_(sched, config.resizer_ways, "fpga.resizer"),
+      dma_(sched, 1, "fpga.dma") {}
+
+sim::SimTime FpgaDecoderSim::ReaderTime(const DecodeJob& job) const {
+  const double fixed = job.source == DataSource::kDisk
+                           ? rates_.disk_fixed_seconds
+                           : rates_.dram_fixed_seconds;
+  const double bw = job.source == DataSource::kDisk ? rates_.disk_bytes_per_sec
+                                                    : rates_.dram_bytes_per_sec;
+  return sim::Seconds(fixed + static_cast<double>(job.encoded_bytes) / bw);
+}
+
+sim::SimTime FpgaDecoderSim::HuffmanTime(const DecodeJob& job) const {
+  return sim::Seconds(static_cast<double>(job.encoded_bytes) /
+                      rates_.huffman_bytes_per_sec);
+}
+
+sim::SimTime FpgaDecoderSim::IdctTime(const DecodeJob& job) const {
+  return sim::Seconds(static_cast<double>(BlocksFor(job.pixels)) /
+                      rates_.idct_blocks_per_sec);
+}
+
+sim::SimTime FpgaDecoderSim::ResizerTime(const DecodeJob& job) const {
+  return sim::Seconds(static_cast<double>(job.pixels) /
+                      rates_.resizer_pixels_per_sec);
+}
+
+sim::SimTime FpgaDecoderSim::DmaTime(const DecodeJob& job) const {
+  return sim::Seconds(rates_.dma_fixed_seconds +
+                      static_cast<double>(job.out_bytes) /
+                          rates_.dma_bytes_per_sec);
+}
+
+bool FpgaDecoderSim::SubmitDecode(const DecodeJob& job, sim::EventFn on_done) {
+  if (in_flight_ >= config_.cmd_fifo_depth) return false;
+  ++in_flight_;
+  const sim::SimTime start = sched_->Now();
+  auto finish = [this, start, on_done = std::move(on_done)]() mutable {
+    --in_flight_;
+    ++completed_;
+    latency_hist_.Record(sched_->Now() - start);
+    if (on_done) on_done();
+  };
+
+  if (!config_.pipelined) {
+    // Fused ablation: one pass through a single monolithic unit whose
+    // service time is the sum of all stage times; only the parser
+    // parallelism (1) applies, so images cannot overlap inside the engine.
+    const sim::SimTime total =
+        sim::Seconds(rates_.parser_cmd_seconds) + ReaderTime(job) +
+        HuffmanTime(job) + IdctTime(job) + ResizerTime(job) + DmaTime(job);
+    parser_.Submit(total, std::move(finish));
+    return true;
+  }
+
+  // Pipelined path: chain the units; each hand-off is a queued submit, so
+  // stage k of image i overlaps stage k-1 of image i+1.
+  sim::Resource& reader = job.source == DataSource::kDisk
+                              ? disk_reader_
+                              : dram_reader_;
+  parser_.Submit(
+      sim::Seconds(rates_.parser_cmd_seconds),
+      [this, &reader, job, finish = std::move(finish)]() mutable {
+        reader.Submit(
+            ReaderTime(job),
+            [this, job, finish = std::move(finish)]() mutable {
+              huffman_.Submit(
+                  HuffmanTime(job),
+                  [this, job, finish = std::move(finish)]() mutable {
+                    idct_.Submit(
+                        IdctTime(job),
+                        [this, job, finish = std::move(finish)]() mutable {
+                          resizer_.Submit(
+                              ResizerTime(job),
+                              [this, job,
+                               finish = std::move(finish)]() mutable {
+                                dma_.Submit(DmaTime(job), std::move(finish));
+                              });
+                        });
+                  });
+            });
+      });
+  return true;
+}
+
+}  // namespace dlb::fpga

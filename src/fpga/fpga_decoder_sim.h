@@ -1,0 +1,86 @@
+// Discrete-event model of the FPGA decoder pipeline (Fig. 4 of the paper).
+//
+// A decode command flows through:
+//   cmd FIFO -> parser -> DataReader (disk DMA or DRAM fetch)
+//            -> N-way Huffman unit -> round-robin collector
+//            -> iDCT & RGB unit -> M-way resizer -> DMA out -> FINISH
+//
+// Each unit is a k-server Resource whose service time is derived from the
+// image's byte/pixel counts and the StageRates model, so throughput and
+// latency emerge from the same queueing structure the hardware has —
+// including which unit saturates first under a given ways configuration.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "fpga/decoder_config.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace dlb::fpga {
+
+/// Where the DataReader fetches the compressed bytes from (§3.4.1): the
+/// training path DMAs from NVMe; the inference path reads NIC-deposited
+/// buffers out of host DRAM across PCIe.
+enum class DataSource { kDisk, kDram };
+
+struct DecodeJob {
+  uint64_t encoded_bytes = 0;  // compressed JPEG size
+  uint64_t pixels = 0;         // source width*height
+  uint64_t out_bytes = 0;      // resized output bytes DMA'd to the host
+  DataSource source = DataSource::kDisk;
+};
+
+class FpgaDecoderSim {
+ public:
+  FpgaDecoderSim(sim::Scheduler* sched, const DecoderConfig& config,
+                 const StageRates& rates = {});
+
+  /// Push one decode command. Returns false when the cmd FIFO is full
+  /// (caller — the FPGAReader — must retry after drain, mirroring the
+  /// blocking submit of Algorithm 1). `on_done` fires at FINISH.
+  bool SubmitDecode(const DecodeJob& job, sim::EventFn on_done);
+
+  /// Commands admitted but not yet finished.
+  int InFlight() const { return in_flight_; }
+  int FifoSpace() const { return config_.cmd_fifo_depth - in_flight_; }
+
+  uint64_t Completed() const { return completed_; }
+  const Histogram& LatencyHistogram() const { return latency_hist_; }
+
+  /// Per-unit utilisation for the bottleneck report / ways ablation.
+  double ParserUtilization() const { return parser_.Utilization(); }
+  double ReaderUtilization() const {
+    return std::max(disk_reader_.Utilization(), dram_reader_.Utilization());
+  }
+  double HuffmanUtilization() const { return huffman_.Utilization(); }
+  double IdctUtilization() const { return idct_.Utilization(); }
+  double ResizerUtilization() const { return resizer_.Utilization(); }
+  double DmaUtilization() const { return dma_.Utilization(); }
+
+  const DecoderConfig& Config() const { return config_; }
+
+ private:
+  sim::SimTime ReaderTime(const DecodeJob& job) const;
+  sim::SimTime HuffmanTime(const DecodeJob& job) const;
+  sim::SimTime IdctTime(const DecodeJob& job) const;
+  sim::SimTime ResizerTime(const DecodeJob& job) const;
+  sim::SimTime DmaTime(const DecodeJob& job) const;
+
+  sim::Scheduler* sched_;
+  DecoderConfig config_;
+  StageRates rates_;
+  sim::Resource parser_;
+  sim::Resource disk_reader_;
+  sim::Resource dram_reader_;
+  sim::Resource huffman_;
+  sim::Resource idct_;
+  sim::Resource resizer_;
+  sim::Resource dma_;
+  int in_flight_ = 0;
+  uint64_t completed_ = 0;
+  Histogram latency_hist_;
+};
+
+}  // namespace dlb::fpga

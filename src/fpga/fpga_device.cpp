@@ -1,0 +1,184 @@
+#include "fpga/fpga_device.h"
+
+#include <cstring>
+
+#include "codec/jpeg_decoder.h"
+#include "common/log.h"
+
+namespace dlb::fpga {
+
+FpgaDevice::FpgaDevice(const FpgaDeviceOptions& options)
+    : options_(options),
+      cmd_fifo_(static_cast<size_t>(options.config.cmd_fifo_depth)),
+      huffman_out_(static_cast<size_t>(options.config.cmd_fifo_depth)),
+      idct_out_(static_cast<size_t>(options.config.cmd_fifo_depth)),
+      finish_ring_(static_cast<size_t>(options.config.cmd_fifo_depth) * 2) {
+  DLB_CHECK(ValidateConfig(options_.config).ok());
+  // Worker threads mirror the hardware unit ways. In the emulation the
+  // parser is folded into the Huffman stage (it is negligible work).
+  for (int i = 0; i < options_.config.huffman_ways; ++i) {
+    workers_.emplace_back([this] { HuffmanWorker(); });
+  }
+  for (int i = 0; i < options_.config.idct_ways; ++i) {
+    workers_.emplace_back([this] { IdctWorker(); });
+  }
+  for (int i = 0; i < options_.config.resizer_ways; ++i) {
+    workers_.emplace_back([this] { ResizerWorker(); });
+  }
+}
+
+FpgaDevice::~FpgaDevice() { Shutdown(); }
+
+Status FpgaDevice::SubmitCmd(FpgaCmd cmd) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return Closed("FPGA device is shut down");
+  }
+  if (cmd.out == nullptr || cmd.jpeg.empty()) {
+    return InvalidArgument("cmd needs input bytes and an output region");
+  }
+  Status s = cmd_fifo_.TryPush(std::move(cmd));
+  if (s.ok()) in_flight_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<FpgaCompletion> FpgaDevice::DrainCompletions() {
+  std::vector<FpgaCompletion> out;
+  auto drained = finish_ring_.DrainAll();
+  out.reserve(drained.size());
+  for (auto& c : drained) out.push_back(std::move(c));
+  return out;
+}
+
+std::vector<FpgaCompletion> FpgaDevice::WaitCompletions() {
+  std::vector<FpgaCompletion> out;
+  auto first = finish_ring_.Pop();
+  if (!first.has_value()) return out;  // shut down
+  out.push_back(std::move(*first));
+  auto rest = finish_ring_.DrainAll();
+  for (auto& c : rest) out.push_back(std::move(c));
+  return out;
+}
+
+void FpgaDevice::Complete(const FpgaCmd& cmd, Status status, int w, int h,
+                          int c, size_t bytes) {
+  FpgaCompletion done;
+  done.cookie = cmd.cookie;
+  done.status = std::move(status);
+  done.width = w;
+  done.height = h;
+  done.channels = c;
+  done.bytes_written = bytes;
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.Add();
+  // Push may fail only at shutdown, when nobody is listening anyway.
+  (void)finish_ring_.Push(std::move(done));
+}
+
+void FpgaDevice::HuffmanWorker() {
+  while (auto cmd = cmd_fifo_.Pop()) {
+    if (options_.custom_decoder) {
+      auto img = options_.custom_decoder(cmd->jpeg);
+      if (!img.ok()) {
+        Complete(*cmd, img.status(), 0, 0, 0, 0);
+        continue;
+      }
+      HuffmanOut out;
+      out.cmd = std::move(*cmd);
+      out.direct = std::move(img).value();
+      out.has_direct = true;
+      if (!huffman_out_.Push(std::move(out)).ok()) return;
+      continue;
+    }
+    auto header = jpeg::ParseHeaders(cmd->jpeg);
+    if (!header.ok()) {
+      Complete(*cmd, header.status(), 0, 0, 0, 0);
+      continue;
+    }
+    auto coeffs = jpeg::EntropyDecode(header.value(), cmd->jpeg);
+    if (!coeffs.ok()) {
+      Complete(*cmd, coeffs.status(), 0, 0, 0, 0);
+      continue;
+    }
+    HuffmanOut out;
+    out.cmd = std::move(*cmd);
+    out.header = std::move(header).value();
+    out.coeffs = std::move(coeffs).value();
+    if (!huffman_out_.Push(std::move(out)).ok()) return;
+  }
+}
+
+void FpgaDevice::IdctWorker() {
+  while (auto item = huffman_out_.Pop()) {
+    if (item->has_direct) {
+      IdctOut out;
+      out.cmd = std::move(item->cmd);
+      out.direct = std::move(item->direct);
+      out.has_direct = true;
+      if (!idct_out_.Push(std::move(out)).ok()) return;
+      continue;
+    }
+    auto planes = jpeg::InverseTransform(item->header, item->coeffs);
+    if (!planes.ok()) {
+      Complete(item->cmd, planes.status(), 0, 0, 0, 0);
+      continue;
+    }
+    IdctOut out;
+    out.cmd = std::move(item->cmd);
+    out.header = std::move(item->header);
+    out.planes = std::move(planes).value();
+    if (!idct_out_.Push(std::move(out)).ok()) return;
+  }
+}
+
+void FpgaDevice::ResizerWorker() {
+  while (auto item = idct_out_.Pop()) {
+    Image image;
+    if (item->has_direct) {
+      image = std::move(item->direct);
+    } else {
+      auto rgb = jpeg::ColorReconstruct(item->header, item->planes);
+      if (!rgb.ok()) {
+        Complete(item->cmd, rgb.status(), 0, 0, 0, 0);
+        continue;
+      }
+      image = std::move(rgb).value();
+    }
+    const FpgaCmd& cmd = item->cmd;
+    if (cmd.resize_w > 0 && cmd.resize_h > 0 &&
+        (cmd.resize_w != image.Width() || cmd.resize_h != image.Height())) {
+      auto resized =
+          cmd.aspect_crop
+              ? ResizeCoverCrop(image, cmd.resize_w, cmd.resize_h,
+                                options_.filter)
+              : Resize(image, cmd.resize_w, cmd.resize_h, options_.filter);
+      if (!resized.ok()) {
+        Complete(cmd, resized.status(), 0, 0, 0, 0);
+        continue;
+      }
+      image = std::move(resized).value();
+    }
+    if (image.SizeBytes() > cmd.out_capacity) {
+      Complete(cmd,
+               ResourceExhausted("output region too small for decoded image"),
+               0, 0, 0, 0);
+      continue;
+    }
+    // "DMA" the pixels into the host batch buffer.
+    std::memcpy(cmd.out, image.Data(), image.SizeBytes());
+    Complete(cmd, Status::Ok(), image.Width(), image.Height(),
+             image.Channels(), image.SizeBytes());
+  }
+}
+
+void FpgaDevice::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  // Closing the queues releases every blocked worker; commands still in
+  // flight are abandoned (device reset semantics).
+  cmd_fifo_.Close();
+  huffman_out_.Close();
+  idct_out_.Close();
+  finish_ring_.Close();
+  workers_.clear();  // jthread joins
+}
+
+}  // namespace dlb::fpga

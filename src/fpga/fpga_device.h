@@ -1,0 +1,127 @@
+// Software-emulated FPGA decoder device (runtime layer).
+//
+// Since no Arria-10 is attached, this class stands in for the hardware
+// behind the host bridger's FPGAChannel: it accepts the same commands,
+// runs the same four decode stages the real decoder implements — organised
+// as a thread pipeline mirroring the unit structure of Fig. 4 (N Huffman
+// workers, an iDCT stage, M resizer lanes) — writes results by "DMA" into
+// caller-supplied memory, and raises FINISH completions on a ring the
+// FPGAReader drains. Everything above the channel is the production code
+// path the paper describes.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "codec/jpeg_common.h"
+#include "common/bounded_queue.h"
+#include "common/stats.h"
+#include "fpga/decoder_config.h"
+#include "image/image.h"
+#include "image/resize.h"
+
+namespace dlb::fpga {
+
+/// One decode command, the software twin of the cmd word Algorithm 1 packs:
+/// where the compressed bytes live, where the output must be DMA'd, and how
+/// the resizer should shape it.
+struct FpgaCmd {
+  uint64_t cookie = 0;      // caller correlation id (batch slot)
+  ByteSpan jpeg;            // compressed input (already resident)
+  uint8_t* out = nullptr;   // output region inside a pool batch buffer
+  size_t out_capacity = 0;  // bytes available at `out`
+  int resize_w = 0;         // 0 = keep source dims
+  int resize_h = 0;
+  /// Aspect-preserving cover-resize + centre crop instead of a plain
+  /// stretch (the real ImageNet recipe).
+  bool aspect_crop = false;
+};
+
+/// FINISH-arbiter completion record.
+struct FpgaCompletion {
+  uint64_t cookie = 0;
+  Status status;
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+  size_t bytes_written = 0;
+};
+
+struct FpgaDeviceOptions {
+  DecoderConfig config;
+  /// Resize filter used by the hardware resizer unit (area = what the
+  /// accumulate-then-divide hardware does).
+  ResizeFilter filter = ResizeFilter::kArea;
+  /// Pluggable decoder mirror (§3.1): when set, this function replaces the
+  /// built-in JPEG Huffman/iDCT stages — the software twin of downloading a
+  /// different preprocessing mirror to the device. The resizer and DMA
+  /// stages still apply. Must be thread-safe.
+  std::function<Result<Image>(ByteSpan)> custom_decoder;
+};
+
+class FpgaDevice {
+ public:
+  explicit FpgaDevice(const FpgaDeviceOptions& options = {});
+  ~FpgaDevice();
+
+  FpgaDevice(const FpgaDevice&) = delete;
+  FpgaDevice& operator=(const FpgaDevice&) = delete;
+
+  /// Non-blocking command submit. kResourceExhausted when the FIFO is full
+  /// (the FPGAReader then drains completions and retries — Algorithm 1),
+  /// kClosed after Shutdown.
+  Status SubmitCmd(FpgaCmd cmd);
+
+  /// Drain all completions currently signalled (drain_out in Table 1).
+  std::vector<FpgaCompletion> DrainCompletions();
+
+  /// Block until at least one completion is available (or the device shuts
+  /// down); then drain.
+  std::vector<FpgaCompletion> WaitCompletions();
+
+  /// Commands accepted but not yet completed.
+  int InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  uint64_t Completed() const { return completed_.Value(); }
+
+  void Shutdown();
+
+ private:
+  // Internal pipeline payloads. `direct` carries a fully decoded image when
+  // a custom mirror bypasses the JPEG-specific stages.
+  struct HuffmanOut {
+    FpgaCmd cmd;
+    jpeg::JpegHeader header;
+    jpeg::CoeffData coeffs;
+    Image direct;
+    bool has_direct = false;
+  };
+  struct IdctOut {
+    FpgaCmd cmd;
+    jpeg::JpegHeader header;
+    jpeg::PlaneData planes;
+    Image direct;
+    bool has_direct = false;
+  };
+
+  void HuffmanWorker();
+  void IdctWorker();
+  void ResizerWorker();
+  void Complete(const FpgaCmd& cmd, Status status, int w, int h, int c,
+                size_t bytes);
+
+  FpgaDeviceOptions options_;
+  BoundedQueue<FpgaCmd> cmd_fifo_;
+  BoundedQueue<HuffmanOut> huffman_out_;
+  BoundedQueue<IdctOut> idct_out_;
+  BoundedQueue<FpgaCompletion> finish_ring_;
+  std::vector<std::jthread> workers_;
+  std::atomic<int> in_flight_{0};
+  Counter completed_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace dlb::fpga

@@ -1,0 +1,40 @@
+#include "gpu/gpu_sim.h"
+
+namespace dlb::gpu {
+
+GpuDevice::GpuDevice(sim::Scheduler* sched, sim::CpuAccountant* cpu, int index,
+                     const GpuOptions& options)
+    : sched_(sched),
+      cpu_(cpu),
+      index_(index),
+      options_(options),
+      copy_engine_(sched, 1, "gpu" + std::to_string(index) + ".copy"),
+      cores_(sched, options.compute_capacity,
+             "gpu" + std::to_string(index) + ".cores") {}
+
+void GpuDevice::CopyH2D(uint64_t bytes, int pieces, sim::EventFn on_done) {
+  if (pieces < 1) pieces = 1;
+  const double transfer =
+      static_cast<double>(bytes) / options_.pcie_bytes_per_sec;
+  const double total = transfer + options_.memcpy_overhead_s * pieces;
+  // Per-piece driver work also costs CPU (the "transforming" category of
+  // Fig. 6(d) — staging and issuing the copies).
+  if (cpu_ != nullptr) {
+    cpu_->Charge("transform", options_.memcpy_overhead_s * pieces * 0.5);
+  }
+  copy_engine_.Submit(sim::Seconds(total), std::move(on_done));
+}
+
+void GpuDevice::SubmitCompute(double gpu_seconds, double weight,
+                              sim::EventFn on_done) {
+  cores_.Submit(gpu_seconds, weight, std::move(on_done));
+}
+
+void GpuDevice::ChargeLaunchCores() {
+  if (cpu_ != nullptr) {
+    cpu_->ChargeInterval("kernel_launch", cores_.BusyTime(),
+                         options_.launch_cores);
+  }
+}
+
+}  // namespace dlb::gpu

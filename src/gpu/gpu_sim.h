@@ -1,0 +1,64 @@
+// GPU device simulator for the evaluation layer.
+//
+// Two aspects matter for the paper's figures:
+//  1. Compute contention: the CUDA cores are a processor-sharing pool, so
+//     when an nvJPEG-style backend decodes ON the GPU it steals capacity
+//     from model kernels (the §5.3 "nvJPEG dominates 30-40% GPU" effect).
+//  2. Transfer costs: batched host->device copies over PCIe, with per-call
+//     overhead — the reason DLBooster's large-block batch copies beat
+//     per-item small copies (§5.2 reason 1).
+// Kernel launches also charge fractional CPU cores (Fig. 6(d): 0.95).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/calibration.h"
+#include "sim/cpu_accountant.h"
+#include "sim/processor_sharing.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace dlb::gpu {
+
+struct GpuOptions {
+  double pcie_bytes_per_sec = cal::kPcieBandwidth;
+  double memcpy_overhead_s = cal::kMemcpyOverheadUs * 1e-6;
+  /// Abstract compute capacity: 1.0 = one full GPU's worth of GPU-seconds
+  /// per second. Model rates in the zoo are defined against 1.0.
+  double compute_capacity = 1.0;
+  /// CPU cores charged (category "kernel_launch") while compute runs.
+  double launch_cores = cal::kLaunchCoresPerGpu;
+};
+
+class GpuDevice {
+ public:
+  GpuDevice(sim::Scheduler* sched, sim::CpuAccountant* cpu, int index,
+            const GpuOptions& options = {});
+
+  /// Async host->device copy of `bytes` in `pieces` chunks (pieces > 1
+  /// models per-item small copies; DLBooster uses pieces = 1 per batch).
+  void CopyH2D(uint64_t bytes, int pieces, sim::EventFn on_done);
+
+  /// Submit `gpu_seconds` of compute with processor-sharing `weight`.
+  void SubmitCompute(double gpu_seconds, double weight, sim::EventFn on_done);
+
+  /// Charge launch-thread CPU cores for the GPU-busy time accumulated so
+  /// far (call once, at the end of a simulation — charging per job would
+  /// double-count overlapping processor-sharing jobs).
+  void ChargeLaunchCores();
+
+  double ComputeUtilization() const { return cores_.Utilization(); }
+  double CopyUtilization() const { return copy_engine_.Utilization(); }
+  int Index() const { return index_; }
+
+ private:
+  sim::Scheduler* sched_;
+  sim::CpuAccountant* cpu_;
+  int index_;
+  GpuOptions options_;
+  sim::Resource copy_engine_;
+  sim::ProcessorSharing cores_;
+};
+
+}  // namespace dlb::gpu

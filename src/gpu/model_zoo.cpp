@@ -1,0 +1,105 @@
+#include "gpu/model_zoo.h"
+
+namespace dlb::gpu {
+
+// Training anchors: Fig. 2 gives the AlexNet boundary (2496 / 4652 img/s on
+// 1 / 2 GPUs => 93.2% scaling). LeNet-5 and ResNet-18 boundaries are read
+// off the Fig. 5(a)/(c) axes. Inference anchors: Fig. 7 saturation levels
+// per model (with the ResNet-50 series using 2 GPUs, see EXPERIMENTS.md).
+
+const DlModel& LeNet5() {
+  static const DlModel m{
+      .name = "lenet5",
+      .input_w = 28,
+      .input_h = 28,
+      .input_c = 1,
+      .param_bytes = 1700ull * 1024,  // ~0.43M params fp32
+      .train_rate_per_gpu = 100000.0,
+      .two_gpu_scaling = 0.97,
+      .train_batch = 512,
+      .infer_rate_per_gpu = 300000.0,
+      .infer_launch_seconds = 120e-6,
+  };
+  return m;
+}
+
+const DlModel& AlexNet() {
+  static const DlModel m{
+      .name = "alexnet",
+      .param_bytes = 244ull * 1024 * 1024,  // 61M params fp32
+      .train_rate_per_gpu = 2496.0,
+      .two_gpu_scaling = 0.932,
+      .train_batch = 256,
+      .infer_rate_per_gpu = 9000.0,
+      .infer_launch_seconds = 300e-6,
+  };
+  return m;
+}
+
+const DlModel& ResNet18() {
+  static const DlModel m{
+      .name = "resnet18",
+      .param_bytes = 47ull * 1024 * 1024,  // 11.7M params fp32
+      .train_rate_per_gpu = 1400.0,
+      .two_gpu_scaling = 0.95,
+      .train_batch = 128,
+      .infer_rate_per_gpu = 4800.0,
+      .infer_launch_seconds = 400e-6,
+  };
+  return m;
+}
+
+const DlModel& GoogLeNet() {
+  static const DlModel m{
+      .name = "googlenet",
+      .param_bytes = 27ull * 1024 * 1024,  // 6.8M params fp32
+      .train_rate_per_gpu = 1800.0,
+      .two_gpu_scaling = 0.95,
+      .train_batch = 128,
+      .infer_rate_per_gpu = 3300.0,
+      .infer_launch_seconds = 450e-6,
+  };
+  return m;
+}
+
+const DlModel& Vgg16() {
+  static const DlModel m{
+      .name = "vgg16",
+      .param_bytes = 553ull * 1024 * 1024,  // 138M params fp32
+      .train_rate_per_gpu = 700.0,
+      .two_gpu_scaling = 0.90,
+      .train_batch = 64,
+      .infer_rate_per_gpu = 1750.0,
+      .infer_launch_seconds = 600e-6,
+  };
+  return m;
+}
+
+const DlModel& ResNet50() {
+  static const DlModel m{
+      .name = "resnet50",
+      .param_bytes = 102ull * 1024 * 1024,  // 25.6M params fp32
+      .train_rate_per_gpu = 800.0,
+      .two_gpu_scaling = 0.94,
+      .train_batch = 64,
+      .infer_rate_per_gpu = 2600.0,
+      .infer_launch_seconds = 500e-6,
+  };
+  return m;
+}
+
+const std::vector<const DlModel*>& AllModels() {
+  static const std::vector<const DlModel*> all = {
+      &LeNet5(), &AlexNet(),  &ResNet18(),
+      &GoogLeNet(), &Vgg16(), &ResNet50()};
+  return all;
+}
+
+Result<const DlModel*> FindModel(const std::string& name) {
+  for (const DlModel* m : AllModels()) {
+    if (m->name == name) return m;
+  }
+  return NotFound("unknown model: " + name);
+}
+
+}  // namespace dlb::gpu

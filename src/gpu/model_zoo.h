@@ -1,0 +1,60 @@
+// The six DL models the paper evaluates (§5.1): LeNet-5, AlexNet and
+// ResNet-18 for training; GoogLeNet, VGG-16 and ResNet-50 for inference.
+//
+// Rates are calibrated to the paper's P100 testbed (see calibration.h for
+// the anchors); parameter sizes are the published model sizes and drive the
+// gradient-synchronisation cost of multi-GPU training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlb::gpu {
+
+struct DlModel {
+  std::string name;
+  int input_w = 224;
+  int input_h = 224;
+  int input_c = 3;
+  uint64_t param_bytes = 0;  // fp32 parameter footprint
+
+  /// Training throughput of ONE P100 with an always-ready input pipeline
+  /// (the "performance upper boundary" lines of Figs. 2/5), img/s.
+  double train_rate_per_gpu = 0;
+  /// Efficiency of 2-GPU data-parallel training relative to 2x one GPU
+  /// (gradient all-reduce overhead), from Fig. 2/5 ratios.
+  double two_gpu_scaling = 1.0;
+  /// The paper's per-GPU training batch size for this model.
+  int train_batch = 0;
+
+  /// Saturated fp16 inference throughput of one P100 (TensorRT), img/s.
+  double infer_rate_per_gpu = 0;
+  /// Fixed per-batch cost (kernel launches, engine enqueue), seconds.
+  double infer_launch_seconds = 0;
+
+  /// GPU-seconds of inference compute for a batch of n images.
+  double InferBatchSeconds(int n) const {
+    return infer_launch_seconds + static_cast<double>(n) / infer_rate_per_gpu;
+  }
+  /// GPU-seconds of fwd+bwd training compute for a batch of n images.
+  double TrainBatchSeconds(int n) const {
+    return static_cast<double>(n) / train_rate_per_gpu;
+  }
+};
+
+const DlModel& LeNet5();
+const DlModel& AlexNet();
+const DlModel& ResNet18();
+const DlModel& GoogLeNet();
+const DlModel& Vgg16();
+const DlModel& ResNet50();
+
+/// All zoo models, training models first.
+const std::vector<const DlModel*>& AllModels();
+
+/// Case-sensitive lookup by name ("alexnet", "resnet50", ...).
+Result<const DlModel*> FindModel(const std::string& name);
+
+}  // namespace dlb::gpu

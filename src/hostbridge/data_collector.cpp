@@ -1,0 +1,48 @@
+#include "hostbridge/data_collector.h"
+
+#include "common/log.h"
+
+namespace dlb {
+
+DiskDataCollector::DiskDataCollector(const Manifest* manifest,
+                                     const BlobStore* store, bool shuffle,
+                                     uint64_t seed)
+    : manifest_(manifest),
+      store_(store),
+      loader_(manifest, /*batch_size=*/64, shuffle, seed) {
+  DLB_CHECK(manifest_ != nullptr && store_ != nullptr);
+}
+
+Result<CollectedFile> DiskDataCollector::Next() {
+  if (manifest_->Empty()) return Closed("empty manifest");
+  if (cursor_ >= pending_.size()) {
+    pending_ = loader_.NextBatch();
+    cursor_ = 0;
+    if (pending_.empty()) return Closed("loader exhausted");
+  }
+  const FileRecord& rec = manifest_->At(pending_[cursor_++]);
+  auto bytes = store_->Read(rec);
+  if (!bytes.ok()) return bytes.status();
+  CollectedFile out;
+  out.record = &rec;
+  out.bytes = bytes.value();
+  out.label = rec.label;
+  return out;
+}
+
+NetDataCollector::NetDataCollector(BoundedQueue<NetworkImage>* rx_queue)
+    : rx_queue_(rx_queue) {
+  DLB_CHECK(rx_queue_ != nullptr);
+}
+
+Result<CollectedFile> NetDataCollector::Next() {
+  auto img = rx_queue_->Pop();
+  if (!img.has_value()) return Closed("network stream closed");
+  CollectedFile out;
+  out.owned = std::move(img->payload);
+  out.bytes = ByteSpan(out.owned.data(), out.owned.size());
+  out.request_id = img->request_id;
+  return out;
+}
+
+}  // namespace dlb

@@ -1,0 +1,114 @@
+// DataCollector — the data abstraction of §3.4.1 / Table 1.
+//
+// Translates "next sample to process" into the bytes + metadata the
+// FPGAReader packs into decoder commands. Two concrete sources mirror the
+// paper's data plane: the disk path (manifest + blob store, training) and
+// the network path (a queue the NIC receive loop fills, inference).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/bounded_queue.h"
+#include "dataplane/batch_loader.h"
+#include "dataplane/blob_store.h"
+
+namespace dlb {
+
+/// One sample ready for decoding. `bytes` views either stable backing
+/// storage (the disk path) or `owned` (the network path, where the buffer
+/// must travel with the command because the receive queue recycles).
+struct CollectedFile {
+  const FileRecord* record = nullptr;  // null for network images
+  ByteSpan bytes;                      // compressed payload
+  Bytes owned;                         // set on the network path
+  int32_t label = 0;
+  uint64_t request_id = 0;             // network path: originating request
+
+  /// True when the consumer must take ownership of `owned` to keep `bytes`
+  /// alive beyond the next collector call.
+  bool OwnsPayload() const { return !owned.empty(); }
+};
+
+class DataCollector {
+ public:
+  virtual ~DataCollector() = default;
+
+  /// Next sample in arrival/epoch order. kClosed when the stream ended.
+  virtual Result<CollectedFile> Next() = 0;
+
+  /// Samples per epoch (0 = unbounded stream).
+  virtual size_t EpochSize() const { return 0; }
+};
+
+/// load_from_disk: walks the manifest in epoch order forever.
+class DiskDataCollector : public DataCollector {
+ public:
+  DiskDataCollector(const Manifest* manifest, const BlobStore* store,
+                    bool shuffle, uint64_t seed);
+
+  Result<CollectedFile> Next() override;
+  size_t EpochSize() const override { return manifest_->Size(); }
+
+ private:
+  const Manifest* manifest_;
+  const BlobStore* store_;
+  BatchLoader loader_;
+  std::vector<uint32_t> pending_;
+  size_t cursor_ = 0;
+};
+
+/// A network-delivered image (what the NIC driver deposited in host DRAM).
+struct NetworkImage {
+  Bytes payload;
+  uint64_t request_id = 0;
+};
+
+/// Thread-safe wrapper so several FPGAReaders (one per decoder device,
+/// §5.3: "plugging more FPGA devices") can share one sample stream.
+class LockedCollector : public DataCollector {
+ public:
+  explicit LockedCollector(DataCollector* inner) : inner_(inner) {}
+
+  Result<CollectedFile> Next() override {
+    std::scoped_lock lock(mu_);
+    return inner_->Next();
+  }
+  size_t EpochSize() const override { return inner_->EpochSize(); }
+
+ private:
+  DataCollector* inner_;
+  std::mutex mu_;
+};
+
+/// Wraps a collector and stops after `max_images` samples — bounds a
+/// training run the way max_images bounds the other backends.
+class BoundedCollector : public DataCollector {
+ public:
+  BoundedCollector(DataCollector* inner, uint64_t max_images)
+      : inner_(inner), remaining_(max_images) {}
+
+  Result<CollectedFile> Next() override {
+    if (remaining_ == 0) return Closed("sample budget exhausted");
+    --remaining_;
+    return inner_->Next();
+  }
+  size_t EpochSize() const override { return inner_->EpochSize(); }
+
+ private:
+  DataCollector* inner_;
+  uint64_t remaining_;
+};
+
+/// load_from_net: drains a queue fed by the NIC receive loop.
+class NetDataCollector : public DataCollector {
+ public:
+  explicit NetDataCollector(BoundedQueue<NetworkImage>* rx_queue);
+
+  Result<CollectedFile> Next() override;
+
+ private:
+  BoundedQueue<NetworkImage>* rx_queue_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,112 @@
+#include "hostbridge/dispatcher.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace dlb {
+
+Dispatcher::Dispatcher(HugePagePool* pool, const DispatcherOptions& options)
+    : pool_(pool), options_(options) {
+  DLB_CHECK(pool_ != nullptr);
+  DLB_CHECK(options_.queue_depth > 0);
+}
+
+Dispatcher::~Dispatcher() { Stop(); }
+
+int Dispatcher::RegisterEngine() {
+  DLB_CHECK(!running_.load());
+  const int index = static_cast<int>(engines_.size());
+  engines_.push_back(std::make_unique<TransQueues>(options_.queue_depth));
+  dispatched_.push_back(std::make_unique<Counter>());
+  device_buffers_.emplace_back();
+  for (size_t i = 0; i < options_.queue_depth; ++i) {
+    auto batch = std::make_unique<DeviceBatch>();
+    batch->engine = index;
+    batch->mem.resize(pool_->BufferBytes());
+    DLB_CHECK(engines_[index]->free_q.TryPush(batch.get()).ok());
+    device_buffers_[index].push_back(std::move(batch));
+  }
+  return index;
+}
+
+TransQueues* Dispatcher::Engine(int index) {
+  DLB_CHECK(index >= 0 && index < static_cast<int>(engines_.size()));
+  return engines_[index].get();
+}
+
+void Dispatcher::Start() {
+  DLB_CHECK(!engines_.empty());
+  if (running_.exchange(true)) return;
+  thread_ = std::jthread([this] { Loop(); });
+}
+
+void Dispatcher::Stop() {
+  if (!running_.exchange(false)) return;
+  pool_->Close();
+  for (auto& engine : engines_) {
+    engine->free_q.Close();
+    engine->full_q.Close();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t Dispatcher::BatchesDispatched(int engine) const {
+  DLB_CHECK(engine >= 0 && engine < static_cast<int>(dispatched_.size()));
+  return dispatched_[engine]->Value();
+}
+
+uint64_t Dispatcher::TotalBatchesDispatched() const {
+  uint64_t total = 0;
+  for (const auto& c : dispatched_) total += c->Value();
+  return total;
+}
+
+void Dispatcher::Loop() {
+  size_t rr = 0;
+  while (running_.load(std::memory_order_relaxed)) {
+    auto host = pool_->FullQueue().Pop();
+    if (!host.has_value()) break;  // pool closed
+    BatchBuffer* src = *host;
+
+    // Round-robin engine selection (line 1-11 of Algorithm 3).
+    TransQueues* engine = engines_[rr % engines_.size()].get();
+    const int engine_idx = static_cast<int>(rr % engines_.size());
+    ++rr;
+
+    auto device = engine->free_q.Pop();
+    if (!device.has_value()) {
+      pool_->Recycle(src);
+      break;  // engine queues closed
+    }
+    DeviceBatch* dst = *device;
+
+    // The CudaMemcpyAsync + stream-sync pair of Algorithm 3, collapsed to
+    // a synchronous copy (no physical GPU). Granularity is the ablation
+    // knob: one block per batch vs one copy per item.
+    if (options_.per_item_copies) {
+      for (const BatchItem& item : src->items) {
+        if (!item.ok) continue;
+        std::memcpy(dst->mem.data() + item.offset, src->data + item.offset,
+                    item.bytes);
+      }
+    } else if (!src->items.empty()) {
+      size_t span = 0;
+      for (const BatchItem& item : src->items) {
+        span = std::max(span, static_cast<size_t>(item.offset) + item.bytes);
+      }
+      std::memcpy(dst->mem.data(), src->data, std::min(span, src->capacity));
+    }
+    dst->items = src->items;
+    dst->seq = next_seq_++;
+    dispatched_[engine_idx]->Add();
+
+    // Recycle the host buffer for the FPGAReader, then hand the device
+    // batch to the engine.
+    pool_->Recycle(src);
+    if (!engine->full_q.Push(dst).ok()) break;
+  }
+}
+
+}  // namespace dlb

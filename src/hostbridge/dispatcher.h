@@ -1,0 +1,83 @@
+// Dispatcher — Algorithm 3 of the paper.
+//
+// A daemon thread that moves full batches from the host memory pool to the
+// registered compute engines with round-robin scheduling. Each engine owns
+// a pair of Trans Queues (free device buffers / full device batches); the
+// dispatcher copies batch payloads from pool memory into a device buffer
+// (one large block copy per batch — the §5.2 optimisation) and recycles the
+// host buffer for the FPGAReader.
+//
+// With no physical GPU attached, "device memory" is a distinct host
+// allocation per engine; the copy is real, its granularity is the knob the
+// copy-granularity ablation turns.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "hostbridge/hugepage_pool.h"
+
+namespace dlb {
+
+/// A batch resident in one engine's device memory.
+struct DeviceBatch {
+  int engine = 0;
+  std::vector<uint8_t> mem;
+  std::vector<BatchItem> items;
+  uint64_t seq = 0;  // dispatch sequence (for fairness tests)
+};
+
+/// The per-engine channel pair registered with the dispatcher.
+struct TransQueues {
+  explicit TransQueues(size_t depth) : free_q(depth), full_q(depth) {}
+  BoundedQueue<DeviceBatch*> free_q;
+  BoundedQueue<DeviceBatch*> full_q;
+};
+
+struct DispatcherOptions {
+  /// Device-side buffers per engine (pipeline depth).
+  size_t queue_depth = 2;
+  /// When true, copy each item separately instead of one block per batch —
+  /// the per-item small-copy behaviour of LMDB/CPU backends (§5.2 reason 1),
+  /// used by the ablation bench.
+  bool per_item_copies = false;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(HugePagePool* pool, const DispatcherOptions& options = {});
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Register one compute engine before Start(). Returns the engine index.
+  int RegisterEngine();
+
+  /// Engine-side access to its Trans Queues: pop full_q to get work, push
+  /// the batch back to free_q when done (the recycle path of Fig. 3).
+  TransQueues* Engine(int index);
+
+  void Start();
+  void Stop();
+
+  uint64_t BatchesDispatched(int engine) const;
+  uint64_t TotalBatchesDispatched() const;
+
+ private:
+  void Loop();
+
+  HugePagePool* pool_;
+  DispatcherOptions options_;
+  std::vector<std::unique_ptr<TransQueues>> engines_;
+  std::vector<std::vector<std::unique_ptr<DeviceBatch>>> device_buffers_;
+  std::vector<std::unique_ptr<Counter>> dispatched_;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dlb

@@ -1,0 +1,184 @@
+#include "hostbridge/fpga_reader.h"
+
+#include <chrono>
+
+#include "common/log.h"
+
+namespace dlb {
+
+namespace {
+// Cookie layout: high bits batch sequence, low 20 bits slot index.
+constexpr int kSlotBits = 20;
+constexpr uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+}  // namespace
+
+FpgaReader::FpgaReader(fpga::FpgaDevice* device, DataCollector* collector,
+                       HugePagePool* pool, const FpgaReaderOptions& options)
+    : device_(device), collector_(collector), pool_(pool), options_(options) {
+  DLB_CHECK(device_ && collector_ && pool_);
+  DLB_CHECK(options_.batch_size > 0);
+  DLB_CHECK(options_.batch_size < kSlotMask);
+  DLB_CHECK(options_.SlotStride() * options_.batch_size <= pool_->BufferBytes());
+}
+
+FpgaReader::~FpgaReader() { Stop(); }
+
+void FpgaReader::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::jthread([this] { Loop(); });
+}
+
+void FpgaReader::Stop() {
+  if (!running_.exchange(false)) return;
+  pool_->Close();  // unblocks queue waits in the loop
+  if (thread_.joinable()) thread_.join();
+}
+
+bool FpgaReader::SubmitOne(uint64_t batch_seq, size_t slot,
+                           const CollectedFile& file, BatchBuffer* buffer) {
+  fpga::FpgaCmd cmd;
+  cmd.cookie = (batch_seq << kSlotBits) | slot;
+  cmd.jpeg = file.bytes;
+  // The cmd carries a *physical* address in hardware; here we translate
+  // eagerly and hand the device the virtual alias, asserting the mapping
+  // is valid — the same check the real MMU performs.
+  const uint64_t phys =
+      buffer->phys_addr + static_cast<uint64_t>(slot) * options_.SlotStride();
+  auto virt = pool_->PhysToVirt(phys);
+  DLB_CHECK(virt.ok());
+  cmd.out = virt.value();
+  cmd.out_capacity = options_.SlotStride();
+  cmd.resize_w = options_.resize_w;
+  cmd.resize_h = options_.resize_h;
+  cmd.aspect_crop = options_.aspect_crop;
+
+  // Aggressive submit: when the FIFO is full, drain completions and retry
+  // (the blocking branch of Algorithm 1).
+  while (running_.load(std::memory_order_relaxed)) {
+    Status s = device_->SubmitCmd(cmd);
+    if (s.ok()) {
+      submitted_.Add();
+      return true;
+    }
+    if (s.code() == StatusCode::kClosed) return false;
+    ProcessCompletions(device_->WaitCompletions());
+  }
+  return false;
+}
+
+void FpgaReader::ProcessCompletions(
+    std::vector<fpga::FpgaCompletion> completions) {
+  for (auto& c : completions) {
+    const uint64_t batch_seq = c.cookie >> kSlotBits;
+    const size_t slot = static_cast<size_t>(c.cookie & kSlotMask);
+    auto it = in_flight_.find(batch_seq);
+    if (it == in_flight_.end()) continue;  // batch abandoned at shutdown
+    BatchState& state = it->second;
+    BatchItem& item = state.items[slot];
+    item.ok = c.status.ok();
+    item.bytes = static_cast<uint32_t>(c.bytes_written);
+    item.width = static_cast<uint16_t>(c.width);
+    item.height = static_cast<uint16_t>(c.height);
+    item.channels = static_cast<uint8_t>(c.channels);
+    completed_.Add();
+    if (!c.status.ok()) failures_.Add();
+    ++state.done;
+    if (state.done == state.expected) {
+      state.buffer->items = std::move(state.items);
+      // Closed full queue at shutdown => drop; otherwise hand off.
+      (void)pool_->FullQueue().Push(state.buffer);
+      batches_.Add();
+      in_flight_.erase(it);
+    }
+  }
+}
+
+void FpgaReader::Loop() {
+  using namespace std::chrono_literals;
+  bool source_exhausted = false;
+  while (running_.load(std::memory_order_relaxed) && !source_exhausted) {
+    // Acquire an empty batch buffer, draining completions while we wait so
+    // the decoder's FINISH ring never backs up.
+    BatchBuffer* buffer = nullptr;
+    while (running_.load(std::memory_order_relaxed)) {
+      auto popped = pool_->FreeQueue().PopFor(1ms);
+      if (popped.has_value()) {
+        buffer = *popped;
+        break;
+      }
+      if (pool_->FreeQueue().IsClosed()) return;
+      ProcessCompletions(device_->DrainCompletions());
+    }
+    if (buffer == nullptr) break;
+
+    const uint64_t batch_seq = next_batch_seq_++;
+    // Register the batch before the first submit so completions that race
+    // ahead of assembly find their state. Map nodes are pointer-stable.
+    BatchState* state = nullptr;
+    {
+      BatchState fresh;
+      fresh.buffer = buffer;
+      fresh.expected = options_.batch_size;
+      fresh.items.resize(options_.batch_size);
+      fresh.payloads.resize(options_.batch_size);
+      state = &in_flight_.emplace(batch_seq, std::move(fresh)).first->second;
+    }
+
+    size_t slot = 0;
+    for (; slot < options_.batch_size; ++slot) {
+      auto file = collector_->Next();
+      if (!file.ok()) {
+        source_exhausted = true;
+        break;
+      }
+      CollectedFile cf = std::move(file).value();
+      if (cf.OwnsPayload()) {
+        // Pin network payloads for the async decode's lifetime.
+        state->payloads[slot] = std::move(cf.owned);
+        cf.bytes = ByteSpan(state->payloads[slot].data(),
+                            state->payloads[slot].size());
+      }
+      state->items[slot].cookie = cf.request_id;
+      state->items[slot].label = cf.label;
+      state->items[slot].offset =
+          static_cast<uint32_t>(slot * options_.SlotStride());
+      if (!SubmitOne(batch_seq, slot, cf, state->buffer)) {
+        source_exhausted = true;
+        ++slot;
+        break;
+      }
+      // Opportunistic drain. This can only retire THIS batch after its
+      // final slot was submitted, so `state` stays valid inside the loop.
+      ProcessCompletions(device_->DrainCompletions());
+    }
+
+    if (slot == 0) {
+      // Nothing submitted into this buffer: recycle it untouched.
+      in_flight_.erase(batch_seq);
+      pool_->Recycle(buffer);
+      break;
+    }
+    // Shrink a partial final batch to what was actually submitted.
+    auto it = in_flight_.find(batch_seq);
+    if (it != in_flight_.end() && slot < options_.batch_size) {
+      it->second.expected = slot;
+      it->second.items.resize(slot);
+      if (it->second.done == it->second.expected) {
+        it->second.buffer->items = std::move(it->second.items);
+        (void)pool_->FullQueue().Push(it->second.buffer);
+        batches_.Add();
+        in_flight_.erase(it);
+      }
+    }
+  }
+
+  // Flush: wait for every in-flight batch to finish.
+  while (running_.load(std::memory_order_relaxed) && !in_flight_.empty()) {
+    auto completions = device_->WaitCompletions();
+    if (completions.empty()) break;  // device shut down
+    ProcessCompletions(std::move(completions));
+  }
+  finished_.store(true, std::memory_order_release);
+}
+
+}  // namespace dlb

@@ -1,0 +1,89 @@
+// Asynchronous FPGAReader — Algorithm 1 of the paper.
+//
+// A daemon thread that (a) pulls empty batch buffers from the
+// Free_Batch_Queue, (b) packs decoder commands (physical address + offset
+// per slot) from the DataCollector and submits them aggressively to the
+// FPGA channel, (c) drains FINISH completions with best effort, and
+// (d) pushes fully decoded batches to the Full_Batch_Queue. Multiple
+// batches are kept in flight, so the decoder never starves while the host
+// assembles the next batch.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "fpga/fpga_device.h"
+#include "hostbridge/data_collector.h"
+#include "hostbridge/hugepage_pool.h"
+
+namespace dlb {
+
+struct FpgaReaderOptions {
+  size_t batch_size = 32;
+  int resize_w = 256;   // decoder resize target (slot geometry)
+  int resize_h = 256;
+  int channels = 3;
+  bool aspect_crop = false;  // cover-resize + centre crop in the resizer
+  /// Slot stride in bytes (derived): resize_w * resize_h * channels.
+  size_t SlotStride() const {
+    return static_cast<size_t>(resize_w) * resize_h * channels;
+  }
+};
+
+class FpgaReader {
+ public:
+  FpgaReader(fpga::FpgaDevice* device, DataCollector* collector,
+             HugePagePool* pool, const FpgaReaderOptions& options);
+  ~FpgaReader();
+
+  FpgaReader(const FpgaReader&) = delete;
+  FpgaReader& operator=(const FpgaReader&) = delete;
+
+  /// Launch the daemon thread.
+  void Start();
+
+  /// Stop after in-flight work settles; joins the thread. Idempotent.
+  void Stop();
+
+  /// True once the daemon has drained its source and flushed all batches.
+  bool Finished() const { return finished_.load(std::memory_order_acquire); }
+
+  uint64_t ImagesSubmitted() const { return submitted_.Value(); }
+  uint64_t ImagesCompleted() const { return completed_.Value(); }
+  uint64_t DecodeFailures() const { return failures_.Value(); }
+  uint64_t BatchesProduced() const { return batches_.Value(); }
+
+ private:
+  /// Per-batch assembly state, keyed by batch sequence number. `payloads`
+  /// pins network-delivered buffers until their decodes complete.
+  struct BatchState {
+    BatchBuffer* buffer = nullptr;
+    size_t expected = 0;
+    size_t done = 0;
+    std::vector<BatchItem> items;
+    std::vector<Bytes> payloads;
+  };
+
+  void Loop();
+  void ProcessCompletions(std::vector<fpga::FpgaCompletion> completions);
+  bool SubmitOne(uint64_t batch_seq, size_t slot, const CollectedFile& file,
+                 BatchBuffer* buffer);
+
+  fpga::FpgaDevice* device_;
+  DataCollector* collector_;
+  HugePagePool* pool_;
+  FpgaReaderOptions options_;
+
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> finished_{false};
+  std::map<uint64_t, BatchState> in_flight_;
+  uint64_t next_batch_seq_ = 0;
+  Counter submitted_;
+  Counter completed_;
+  Counter failures_;
+  Counter batches_;
+};
+
+}  // namespace dlb

@@ -1,0 +1,69 @@
+#include "hostbridge/hugepage_pool.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace dlb {
+
+namespace {
+constexpr size_t kHugePageAlign = 2ull * 1024 * 1024;  // 2 MiB
+
+void FreeAligned(uint8_t* p) { std::free(p); }
+
+size_t RoundUp(size_t v, size_t align) {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+HugePagePool::HugePagePool(size_t buffer_bytes, size_t buffer_count)
+    : buffer_bytes_(buffer_bytes),
+      arena_(nullptr, &FreeAligned),
+      free_queue_(buffer_count ? buffer_count : 1),
+      full_queue_(buffer_count ? buffer_count : 1) {
+  DLB_CHECK(buffer_bytes > 0 && buffer_count > 0);
+  const size_t total = RoundUp(buffer_bytes * buffer_count, kHugePageAlign);
+  auto* raw = static_cast<uint8_t*>(std::aligned_alloc(kHugePageAlign, total));
+  DLB_CHECK(raw != nullptr);
+  arena_.reset(raw);
+
+  buffers_.reserve(buffer_count);
+  for (size_t i = 0; i < buffer_count; ++i) {
+    auto buf = std::make_unique<BatchBuffer>();
+    buf->data = raw + i * buffer_bytes;
+    buf->phys_addr = kPhysBase + i * buffer_bytes;
+    buf->capacity = buffer_bytes;
+    DLB_CHECK(free_queue_.TryPush(buf.get()).ok());
+    buffers_.push_back(std::move(buf));
+  }
+}
+
+void HugePagePool::Recycle(BatchBuffer* buffer) {
+  if (buffer == nullptr) return;
+  buffer->items.clear();
+  // Push can only fail after Close(), at which point dropping is correct.
+  (void)free_queue_.TryPush(buffer);
+}
+
+Result<uint8_t*> HugePagePool::PhysToVirt(uint64_t phys) const {
+  const uint64_t end = kPhysBase + ArenaBytes();
+  if (phys < kPhysBase || phys >= end) {
+    return OutOfRange("physical address outside the pool arena");
+  }
+  return arena_.get() + (phys - kPhysBase);
+}
+
+Result<uint64_t> HugePagePool::VirtToPhys(const uint8_t* virt) const {
+  const uint8_t* base = arena_.get();
+  if (virt < base || virt >= base + ArenaBytes()) {
+    return OutOfRange("virtual address outside the pool arena");
+  }
+  return kPhysBase + static_cast<uint64_t>(virt - base);
+}
+
+void HugePagePool::Close() {
+  free_queue_.Close();
+  full_queue_.Close();
+}
+
+}  // namespace dlb

@@ -1,0 +1,80 @@
+// HugePage-style batch memory pool — Algorithm 2 of the paper.
+//
+// One large contiguous allocation (2 MiB-aligned, standing in for Linux
+// HugePages) is sliced into fixed-size batch buffers. Buffers cycle through
+// two queues: Free_Batch_Queue (empty, awaiting the FPGAReader) and
+// Full_Batch_Queue (decoded, awaiting the Dispatcher). Each buffer records
+// both its virtual address and its "physical" address — the arena offset
+// plus a fake base, standing in for the phys2virt/virt2phys mapping the real
+// system derives from /proc/self/pagemap — because the FPGA only understands
+// physical addresses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+
+namespace dlb {
+
+/// Metadata for one decoded item inside a batch buffer.
+struct BatchItem {
+  uint64_t cookie = 0;    // producer correlation id
+  uint32_t offset = 0;    // byte offset inside the buffer
+  uint32_t bytes = 0;     // decoded payload size
+  uint16_t width = 0;
+  uint16_t height = 0;
+  uint8_t channels = 0;
+  int32_t label = 0;
+  bool ok = false;        // decode succeeded
+};
+
+/// One recycled batch-granular memory unit.
+struct BatchBuffer {
+  uint8_t* data = nullptr;     // virtual address of the slice
+  uint64_t phys_addr = 0;      // what goes into FPGA cmds
+  size_t capacity = 0;
+  std::vector<BatchItem> items;  // filled by the producer, cleared on recycle
+};
+
+class HugePagePool {
+ public:
+  /// Fake physical base so address-translation bugs are loud (a real
+  /// kernel would never hand out this range).
+  static constexpr uint64_t kPhysBase = 0x4000000000ull;
+
+  /// Allocate `buffer_count` buffers of `buffer_bytes` each from one
+  /// contiguous arena. All buffers start in the free queue.
+  HugePagePool(size_t buffer_bytes, size_t buffer_count);
+
+  HugePagePool(const HugePagePool&) = delete;
+  HugePagePool& operator=(const HugePagePool&) = delete;
+
+  BoundedQueue<BatchBuffer*>& FreeQueue() { return free_queue_; }
+  BoundedQueue<BatchBuffer*>& FullQueue() { return full_queue_; }
+
+  /// Recycle a buffer: clear its metadata and return it to the free queue.
+  void Recycle(BatchBuffer* buffer);
+
+  /// Address translation (phy2virt / virt2phy of Table 1).
+  Result<uint8_t*> PhysToVirt(uint64_t phys) const;
+  Result<uint64_t> VirtToPhys(const uint8_t* virt) const;
+
+  size_t BufferBytes() const { return buffer_bytes_; }
+  size_t BufferCount() const { return buffers_.size(); }
+  uint64_t ArenaBytes() const { return buffer_bytes_ * buffers_.size(); }
+
+  /// Close both queues (releases blocked producers/consumers at shutdown).
+  void Close();
+
+ private:
+  size_t buffer_bytes_;
+  std::unique_ptr<uint8_t[], void (*)(uint8_t*)> arena_;
+  std::vector<std::unique_ptr<BatchBuffer>> buffers_;
+  BoundedQueue<BatchBuffer*> free_queue_;
+  BoundedQueue<BatchBuffer*> full_queue_;
+};
+
+}  // namespace dlb

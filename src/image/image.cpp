@@ -1,0 +1,33 @@
+#include "image/image.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace dlb {
+
+uint64_t Image::ContentHash() const {
+  uint64_t h = Fnv1a64(Span());
+  // Fold the shape in so images with identical bytes but different shapes
+  // do not collide.
+  h ^= (static_cast<uint64_t>(width_) << 40) ^
+       (static_cast<uint64_t>(height_) << 20) ^
+       static_cast<uint64_t>(channels_);
+  return h;
+}
+
+Result<double> Image::MeanAbsDiff(const Image& a, const Image& b) {
+  if (a.Width() != b.Width() || a.Height() != b.Height() ||
+      a.Channels() != b.Channels()) {
+    return InvalidArgument("image shape mismatch");
+  }
+  if (a.SizeBytes() == 0) return 0.0;
+  uint64_t total = 0;
+  const uint8_t* pa = a.Data();
+  const uint8_t* pb = b.Data();
+  for (size_t i = 0; i < a.SizeBytes(); ++i) {
+    total += static_cast<uint64_t>(std::abs(int(pa[i]) - int(pb[i])));
+  }
+  return static_cast<double>(total) / static_cast<double>(a.SizeBytes());
+}
+
+}  // namespace dlb

@@ -1,0 +1,70 @@
+// Basic raster image container used throughout the pipeline.
+//
+// Pixels are 8-bit, interleaved (HWC). Channels is 1 (grayscale) or 3 (RGB).
+// The container is a plain value type: moves are cheap (vector move), copies
+// are explicit and deep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dlb {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, int channels)
+      : width_(width),
+        height_(height),
+        channels_(channels),
+        pixels_(static_cast<size_t>(width) * height * channels, 0) {}
+
+  int Width() const { return width_; }
+  int Height() const { return height_; }
+  int Channels() const { return channels_; }
+  bool Empty() const { return pixels_.empty(); }
+  size_t SizeBytes() const { return pixels_.size(); }
+
+  const uint8_t* Data() const { return pixels_.data(); }
+  uint8_t* Data() { return pixels_.data(); }
+  ByteSpan Span() const { return {pixels_.data(), pixels_.size()}; }
+
+  /// Unchecked pixel accessors (hot paths); callers validate bounds.
+  uint8_t At(int x, int y, int c) const {
+    return pixels_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+  void Set(int x, int y, int c, uint8_t v) {
+    pixels_[(static_cast<size_t>(y) * width_ + x) * channels_ + c] = v;
+  }
+
+  /// Row pointer (start of row y).
+  const uint8_t* Row(int y) const {
+    return pixels_.data() + static_cast<size_t>(y) * width_ * channels_;
+  }
+  uint8_t* Row(int y) {
+    return pixels_.data() + static_cast<size_t>(y) * width_ * channels_;
+  }
+
+  /// Content hash for equivalence tests across backends.
+  uint64_t ContentHash() const;
+
+  /// Mean absolute per-pixel difference against another image of identical
+  /// shape; used to bound lossy-codec roundtrip error in tests.
+  static Result<double> MeanAbsDiff(const Image& a, const Image& b);
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.channels_ == b.channels_ && a.pixels_ == b.pixels_;
+  }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+}  // namespace dlb

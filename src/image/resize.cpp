@@ -1,0 +1,154 @@
+#include "image/resize.h"
+
+#include "image/transform.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dlb {
+
+namespace {
+
+// Fixed-point bilinear with 16-bit fractional weights. Deterministic across
+// platforms (no float rounding differences).
+Image ResizeBilinear(const Image& src, int out_w, int out_h) {
+  const int ch = src.Channels();
+  Image dst(out_w, out_h, ch);
+  constexpr int kShift = 16;
+  constexpr int64_t kOne = 1ll << kShift;
+  // Scale factors in fixed point; use the pixel-centre convention.
+  const int64_t sx = (static_cast<int64_t>(src.Width()) << kShift) / out_w;
+  const int64_t sy = (static_cast<int64_t>(src.Height()) << kShift) / out_h;
+  for (int y = 0; y < out_h; ++y) {
+    int64_t fy = (y * sy) + (sy >> 1) - (kOne >> 1);
+    fy = std::clamp<int64_t>(fy, 0, (static_cast<int64_t>(src.Height() - 1)) << kShift);
+    const int y0 = static_cast<int>(fy >> kShift);
+    const int y1 = std::min(y0 + 1, src.Height() - 1);
+    const int64_t wy = fy & (kOne - 1);
+    for (int x = 0; x < out_w; ++x) {
+      int64_t fx = (x * sx) + (sx >> 1) - (kOne >> 1);
+      fx = std::clamp<int64_t>(fx, 0,
+                               (static_cast<int64_t>(src.Width() - 1)) << kShift);
+      const int x0 = static_cast<int>(fx >> kShift);
+      const int x1 = std::min(x0 + 1, src.Width() - 1);
+      const int64_t wx = fx & (kOne - 1);
+      for (int c = 0; c < ch; ++c) {
+        const int64_t p00 = src.At(x0, y0, c);
+        const int64_t p01 = src.At(x1, y0, c);
+        const int64_t p10 = src.At(x0, y1, c);
+        const int64_t p11 = src.At(x1, y1, c);
+        const int64_t top = p00 * (kOne - wx) + p01 * wx;          // << 16
+        const int64_t bot = p10 * (kOne - wx) + p11 * wx;          // << 16
+        const int64_t val = (top >> kShift) * (kOne - wy) + (bot >> kShift) * wy;
+        dst.Set(x, y, c, static_cast<uint8_t>((val + (kOne >> 1)) >> kShift));
+      }
+    }
+  }
+  return dst;
+}
+
+Image ResizeNearest(const Image& src, int out_w, int out_h) {
+  const int ch = src.Channels();
+  Image dst(out_w, out_h, ch);
+  for (int y = 0; y < out_h; ++y) {
+    const int sy = std::min(static_cast<int>(
+                                (static_cast<int64_t>(y) * src.Height()) / out_h),
+                            src.Height() - 1);
+    for (int x = 0; x < out_w; ++x) {
+      const int sx = std::min(static_cast<int>(
+                                  (static_cast<int64_t>(x) * src.Width()) / out_w),
+                              src.Width() - 1);
+      for (int c = 0; c < ch; ++c) dst.Set(x, y, c, src.At(sx, sy, c));
+    }
+  }
+  return dst;
+}
+
+// Box-average over the exact source footprint of each output pixel,
+// computed with integer endpoints (suitable for hardware: the FPGA resizer
+// accumulates then divides once).
+Image ResizeArea(const Image& src, int out_w, int out_h) {
+  const int ch = src.Channels();
+  Image dst(out_w, out_h, ch);
+  for (int y = 0; y < out_h; ++y) {
+    int y0 = static_cast<int>(static_cast<int64_t>(y) * src.Height() / out_h);
+    int y1 = static_cast<int>(static_cast<int64_t>(y + 1) * src.Height() / out_h);
+    if (y1 <= y0) y1 = y0 + 1;
+    y1 = std::min(y1, src.Height());
+    for (int x = 0; x < out_w; ++x) {
+      int x0 = static_cast<int>(static_cast<int64_t>(x) * src.Width() / out_w);
+      int x1 = static_cast<int>(static_cast<int64_t>(x + 1) * src.Width() / out_w);
+      if (x1 <= x0) x1 = x0 + 1;
+      x1 = std::min(x1, src.Width());
+      const int64_t area = static_cast<int64_t>(y1 - y0) * (x1 - x0);
+      for (int c = 0; c < ch; ++c) {
+        int64_t acc = 0;
+        for (int yy = y0; yy < y1; ++yy) {
+          for (int xx = x0; xx < x1; ++xx) acc += src.At(xx, yy, c);
+        }
+        dst.Set(x, y, c, static_cast<uint8_t>((acc + area / 2) / area));
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
+Result<Image> Resize(const Image& src, int out_w, int out_h,
+                     ResizeFilter filter) {
+  if (src.Empty()) return InvalidArgument("resize of empty image");
+  if (out_w <= 0 || out_h <= 0) {
+    return InvalidArgument("resize target must be positive");
+  }
+  if (out_w == src.Width() && out_h == src.Height()) return Image(src);
+  switch (filter) {
+    case ResizeFilter::kNearest:
+      return ResizeNearest(src, out_w, out_h);
+    case ResizeFilter::kBilinear:
+      return ResizeBilinear(src, out_w, out_h);
+    case ResizeFilter::kArea:
+      return ResizeArea(src, out_w, out_h);
+  }
+  return InvalidArgument("unknown resize filter");
+}
+
+Result<Image> ResizeCoverCrop(const Image& src, int out_w, int out_h,
+                              ResizeFilter filter) {
+  if (src.Empty()) return InvalidArgument("resize of empty image");
+  if (out_w <= 0 || out_h <= 0) {
+    return InvalidArgument("target must be positive");
+  }
+  // Scale so the image covers the target box, then centre-crop the excess.
+  const double scale = std::max(static_cast<double>(out_w) / src.Width(),
+                                static_cast<double>(out_h) / src.Height());
+  const int mid_w =
+      std::max(out_w, static_cast<int>(src.Width() * scale + 0.5));
+  const int mid_h =
+      std::max(out_h, static_cast<int>(src.Height() * scale + 0.5));
+  auto resized = Resize(src, mid_w, mid_h, filter);
+  if (!resized.ok()) return resized.status();
+  return Crop(resized.value(), (mid_w - out_w) / 2, (mid_h - out_h) / 2,
+              out_w, out_h);
+}
+
+Result<Image> ResizeShorterSide(const Image& src, int target,
+                                ResizeFilter filter) {
+  if (src.Empty()) return InvalidArgument("resize of empty image");
+  if (target <= 0) return InvalidArgument("target must be positive");
+  int out_w, out_h;
+  if (src.Width() <= src.Height()) {
+    out_w = target;
+    out_h = std::max<int>(
+        1, static_cast<int>(static_cast<int64_t>(src.Height()) * target /
+                            src.Width()));
+  } else {
+    out_h = target;
+    out_w = std::max<int>(
+        1, static_cast<int>(static_cast<int64_t>(src.Width()) * target /
+                            src.Height()));
+  }
+  return Resize(src, out_w, out_h, filter);
+}
+
+}  // namespace dlb

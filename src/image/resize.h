@@ -1,0 +1,32 @@
+// Image resampling kernels.
+//
+// The FPGA decoder's resizing unit and the CPU backends share these
+// implementations so that functional outputs are bit-identical regardless of
+// which backend produced them (verified by backend-equivalence tests).
+#pragma once
+
+#include "image/image.h"
+
+namespace dlb {
+
+enum class ResizeFilter {
+  kNearest,   ///< nearest neighbour
+  kBilinear,  ///< 2x2 bilinear, fixed-point arithmetic
+  kArea,      ///< box average; best for large downscales (what the FPGA does)
+};
+
+/// Resize `src` to out_w x out_h with the given filter.
+Result<Image> Resize(const Image& src, int out_w, int out_h,
+                     ResizeFilter filter = ResizeFilter::kBilinear);
+
+/// Resize so the *shorter* side equals `target`, preserving aspect ratio
+/// (the standard ImageNet preprocessing step before a centre crop).
+Result<Image> ResizeShorterSide(const Image& src, int target,
+                                ResizeFilter filter = ResizeFilter::kBilinear);
+
+/// Aspect-preserving "cover" resize + centre crop to exactly out_w x out_h
+/// (torchvision's Resize+CenterCrop; what real ImageNet pipelines run).
+Result<Image> ResizeCoverCrop(const Image& src, int out_w, int out_h,
+                              ResizeFilter filter = ResizeFilter::kBilinear);
+
+}  // namespace dlb

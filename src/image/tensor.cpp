@@ -1,0 +1,41 @@
+#include "image/tensor.h"
+
+namespace dlb {
+
+Status ImageToTensor(const Image& img, const Normalization& norm, Tensor* dst,
+                     int n) {
+  if (img.Channels() != dst->c || img.Height() != dst->h ||
+      img.Width() != dst->w) {
+    return InvalidArgument("image shape does not match tensor");
+  }
+  if (n < 0 || n >= dst->n) return OutOfRange("batch index out of range");
+  for (int c = 0; c < dst->c; ++c) {
+    const float mean = norm.mean[c % 3];
+    const float inv_std = 1.0f / norm.stddev[c % 3];
+    for (int y = 0; y < dst->h; ++y) {
+      for (int x = 0; x < dst->w; ++x) {
+        dst->At(n, c, y, x) =
+            (static_cast<float>(img.At(x, y, c)) - mean) * inv_std;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Tensor> BatchToTensor(const std::vector<Image>& batch,
+                             const Normalization& norm) {
+  if (batch.empty()) return InvalidArgument("empty batch");
+  Tensor t;
+  t.n = static_cast<int>(batch.size());
+  t.c = batch[0].Channels();
+  t.h = batch[0].Height();
+  t.w = batch[0].Width();
+  t.data.assign(t.NumElements(), 0.0f);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Status s = ImageToTensor(batch[i], norm, &t, static_cast<int>(i));
+    if (!s.ok()) return s;
+  }
+  return t;
+}
+
+}  // namespace dlb

@@ -1,0 +1,48 @@
+// Float tensor staging: the last preprocessing step before the compute
+// engine consumes a batch (subtract mean, divide by std, HWC -> CHW).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace dlb {
+
+/// Dense float32 tensor in NCHW layout, the input format of every model in
+/// the zoo (matches what NVCaffe/TensorRT expect).
+struct Tensor {
+  int n = 0, c = 0, h = 0, w = 0;
+  std::vector<float> data;
+
+  size_t NumElements() const {
+    return static_cast<size_t>(n) * c * h * w;
+  }
+  size_t SizeBytes() const { return NumElements() * sizeof(float); }
+
+  float& At(int in, int ic, int iy, int ix) {
+    return data[((static_cast<size_t>(in) * c + ic) * h + iy) * w + ix];
+  }
+  float At(int in, int ic, int iy, int ix) const {
+    return data[((static_cast<size_t>(in) * c + ic) * h + iy) * w + ix];
+  }
+};
+
+/// Per-channel normalisation parameters (ImageNet defaults are the usual
+/// mean/std in 0-255 scale).
+struct Normalization {
+  std::array<float, 3> mean{123.675f, 116.28f, 103.53f};
+  std::array<float, 3> stddev{58.395f, 57.12f, 57.375f};
+};
+
+/// Convert one image to CHW floats into `dst` at batch index `n`.
+/// The image shape must match the tensor's C/H/W.
+Status ImageToTensor(const Image& img, const Normalization& norm, Tensor* dst,
+                     int n);
+
+/// Build an N-image tensor from equal-shaped images.
+Result<Tensor> BatchToTensor(const std::vector<Image>& batch,
+                             const Normalization& norm);
+
+}  // namespace dlb

@@ -1,0 +1,109 @@
+#include "image/transform.h"
+
+#include <cstring>
+
+namespace dlb {
+
+Result<Image> Crop(const Image& src, int x, int y, int w, int h) {
+  if (w <= 0 || h <= 0) return InvalidArgument("crop size must be positive");
+  if (x < 0 || y < 0 || x + w > src.Width() || y + h > src.Height()) {
+    return OutOfRange("crop rectangle outside image");
+  }
+  const int ch = src.Channels();
+  Image dst(w, h, ch);
+  for (int row = 0; row < h; ++row) {
+    const uint8_t* s = src.Row(y + row) + static_cast<size_t>(x) * ch;
+    std::memcpy(dst.Row(row), s, static_cast<size_t>(w) * ch);
+  }
+  return dst;
+}
+
+Result<Image> CenterCrop(const Image& src, int w, int h) {
+  if (w > src.Width() || h > src.Height()) {
+    return OutOfRange("centre crop larger than image");
+  }
+  return Crop(src, (src.Width() - w) / 2, (src.Height() - h) / 2, w, h);
+}
+
+Result<Image> RandomCrop(const Image& src, int w, int h, Rng& rng) {
+  if (w > src.Width() || h > src.Height()) {
+    return OutOfRange("random crop larger than image");
+  }
+  const int max_x = src.Width() - w;
+  const int max_y = src.Height() - h;
+  const int x = max_x > 0 ? static_cast<int>(rng.UniformU64(max_x + 1)) : 0;
+  const int y = max_y > 0 ? static_cast<int>(rng.UniformU64(max_y + 1)) : 0;
+  return Crop(src, x, y, w, h);
+}
+
+Image FlipHorizontal(const Image& src) {
+  const int ch = src.Channels();
+  Image dst(src.Width(), src.Height(), ch);
+  for (int y = 0; y < src.Height(); ++y) {
+    for (int x = 0; x < src.Width(); ++x) {
+      for (int c = 0; c < ch; ++c) {
+        dst.Set(x, y, c, src.At(src.Width() - 1 - x, y, c));
+      }
+    }
+  }
+  return dst;
+}
+
+Image MaybeFlipHorizontal(const Image& src, Rng& rng) {
+  if (rng.Bernoulli(0.5)) return FlipHorizontal(src);
+  return Image(src);
+}
+
+Image Rotate90(const Image& src, int quarter_turns) {
+  const int turns = ((quarter_turns % 4) + 4) % 4;
+  if (turns == 0) return Image(src);
+  const int ch = src.Channels();
+  const bool swap = turns % 2 == 1;
+  Image dst(swap ? src.Height() : src.Width(),
+            swap ? src.Width() : src.Height(), ch);
+  for (int y = 0; y < src.Height(); ++y) {
+    for (int x = 0; x < src.Width(); ++x) {
+      int dx = 0, dy = 0;
+      switch (turns) {
+        case 1:  // 90 degrees clockwise
+          dx = src.Height() - 1 - y;
+          dy = x;
+          break;
+        case 2:
+          dx = src.Width() - 1 - x;
+          dy = src.Height() - 1 - y;
+          break;
+        case 3:  // 270 degrees clockwise
+          dx = y;
+          dy = src.Width() - 1 - x;
+          break;
+      }
+      for (int c = 0; c < ch; ++c) dst.Set(dx, dy, c, src.At(x, y, c));
+    }
+  }
+  return dst;
+}
+
+Image AdjustBrightness(const Image& src, double factor) {
+  Image dst(src.Width(), src.Height(), src.Channels());
+  const uint8_t* in = src.Data();
+  uint8_t* out = dst.Data();
+  for (size_t i = 0; i < src.SizeBytes(); ++i) {
+    const double v = in[i] * factor;
+    out[i] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v + 0.5));
+  }
+  return dst;
+}
+
+Result<Image> RandomAugment(const Image& src, int w, int h, double jitter,
+                            Rng& rng) {
+  auto cropped = RandomCrop(src, w, h, rng);
+  if (!cropped.ok()) return cropped.status();
+  Image out = MaybeFlipHorizontal(cropped.value(), rng);
+  if (jitter > 0.0) {
+    out = AdjustBrightness(out, rng.UniformDouble(1.0 - jitter, 1.0 + jitter));
+  }
+  return out;
+}
+
+}  // namespace dlb

@@ -1,0 +1,42 @@
+// Geometric and augmentation transforms (crop, flip).
+//
+// These correspond to the "data augmentation" half of preprocessing that
+// DLBooster deliberately leaves OFF the FPGA (§3.1): decode + resize go to
+// hardware, augmentation stays on GPU/CPU.
+#pragma once
+
+#include "common/rng.h"
+#include "image/image.h"
+
+namespace dlb {
+
+/// Extract the [x, x+w) x [y, y+h) sub-image.
+Result<Image> Crop(const Image& src, int x, int y, int w, int h);
+
+/// Centre crop of w x h.
+Result<Image> CenterCrop(const Image& src, int w, int h);
+
+/// Random crop of w x h with corner chosen uniformly (training augmentation).
+Result<Image> RandomCrop(const Image& src, int w, int h, Rng& rng);
+
+/// Mirror horizontally.
+Image FlipHorizontal(const Image& src);
+
+/// Flip with probability 0.5 (training augmentation).
+Image MaybeFlipHorizontal(const Image& src, Rng& rng);
+
+/// Rotate by a multiple of 90 degrees clockwise (§2.1 lists rotation among
+/// the augmentation technologies). `quarter_turns` is taken modulo 4.
+Image Rotate90(const Image& src, int quarter_turns);
+
+/// Scale every channel value by `factor` (brightness augmentation),
+/// clamping to [0,255].
+Image AdjustBrightness(const Image& src, double factor);
+
+/// One random training augmentation pass: random crop to (w, h), maybe
+/// flip, brightness jitter in [1-jitter, 1+jitter]. Deterministic per Rng
+/// state.
+Result<Image> RandomAugment(const Image& src, int w, int h, double jitter,
+                            Rng& rng);
+
+}  // namespace dlb

@@ -1,0 +1,4 @@
+#include "sim/cpu_accountant.h"
+
+// Header-only today; this TU anchors the library target and keeps room for
+// future out-of-line reporting helpers.

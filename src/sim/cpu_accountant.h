@@ -1,0 +1,59 @@
+// CPU-core cost accounting for the evaluation layer.
+//
+// The paper reports "CPU cost" as the number of cores a backend keeps busy
+// (Figs. 2b, 6, 9). In the DES we charge core-seconds to named categories
+// (preprocess, transform, kernel_launch, model_update, db, io, ...) and
+// report cost-in-cores = core-seconds / elapsed-seconds, which is exactly
+// what `top` averages to on the real testbed.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/scheduler.h"
+
+namespace dlb::sim {
+
+class CpuAccountant {
+ public:
+  explicit CpuAccountant(Scheduler* sched) : sched_(sched) {}
+
+  /// Charge `core_seconds` of CPU work to a category.
+  void Charge(const std::string& category, double core_seconds) {
+    if (core_seconds > 0) categories_[category] += core_seconds;
+  }
+
+  /// Charge a busy interval of `duration` on `cores` cores.
+  void ChargeInterval(const std::string& category, SimTime duration,
+                      double cores = 1.0) {
+    Charge(category, ToSeconds(duration) * cores);
+  }
+
+  /// Average cores busy for one category over [0, Now()].
+  double Cores(const std::string& category) const {
+    auto it = categories_.find(category);
+    if (it == categories_.end()) return 0.0;
+    double elapsed = ToSeconds(sched_->Now());
+    return elapsed > 0 ? it->second / elapsed : 0.0;
+  }
+
+  /// Average total cores busy over [0, Now()].
+  double TotalCores() const {
+    double total = 0.0;
+    for (const auto& [_, cs] : categories_) total += cs;
+    double elapsed = ToSeconds(sched_->Now());
+    return elapsed > 0 ? total / elapsed : 0.0;
+  }
+
+  const std::map<std::string, double>& CoreSecondsByCategory() const {
+    return categories_;
+  }
+
+  void Reset() { categories_.clear(); }
+
+ private:
+  Scheduler* sched_;
+  std::map<std::string, double> categories_;  // category -> core-seconds
+};
+
+}  // namespace dlb::sim

@@ -1,0 +1,90 @@
+#include "sim/processor_sharing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/log.h"
+
+namespace dlb::sim {
+
+ProcessorSharing::ProcessorSharing(Scheduler* sched, double capacity,
+                                   std::string name)
+    : sched_(sched), capacity_(capacity), name_(std::move(name)) {
+  DLB_CHECK(capacity_ > 0.0);
+}
+
+void ProcessorSharing::Submit(double work, double weight, EventFn on_done) {
+  AdvanceTo(sched_->Now());
+  if (work <= 0.0) work = 1e-9;
+  if (weight <= 0.0) weight = 1e-9;
+  jobs_.push_back(Job{work, weight, std::move(on_done), next_id_++});
+  Reschedule();
+}
+
+void ProcessorSharing::AdvanceTo(SimTime t) {
+  if (t <= last_update_) return;
+  const double dt = ToSeconds(t - last_update_);
+  if (!jobs_.empty()) {
+    busy_time_ += t - last_update_;
+    double total_weight = 0.0;
+    for (const Job& j : jobs_) total_weight += j.weight;
+    const double served = capacity_ * dt;
+    for (Job& j : jobs_) {
+      const double share = served * (j.weight / total_weight);
+      const double credited = std::min(j.remaining, share);
+      j.remaining -= credited;
+      work_done_ += credited;
+    }
+  }
+  last_update_ = t;
+}
+
+void ProcessorSharing::Reschedule() {
+  // Complete anything already finished (remaining ~ 0).
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining <= 1e-12) {
+      EventFn done = std::move(it->on_done);
+      it = jobs_.erase(it);
+      if (done) done();
+    } else {
+      ++it;
+    }
+  }
+  ++completion_token_;
+  if (jobs_.empty()) return;
+
+  // Find the earliest finisher under the current share assignment.
+  double total_weight = 0.0;
+  for (const Job& j : jobs_) total_weight += j.weight;
+  double min_finish_s = std::numeric_limits<double>::infinity();
+  for (const Job& j : jobs_) {
+    const double rate = capacity_ * (j.weight / total_weight);
+    min_finish_s = std::min(min_finish_s, j.remaining / rate);
+  }
+  SimTime dt = static_cast<SimTime>(std::ceil(min_finish_s * 1e9));
+  if (dt == 0) dt = 1;
+  const uint64_t token = completion_token_;
+  sched_->After(dt, [this, token] {
+    if (token != completion_token_) return;  // superseded by newer arrival
+    AdvanceTo(sched_->Now());
+    Reschedule();
+  });
+}
+
+SimTime ProcessorSharing::BusyTime() const {
+  SimTime busy = busy_time_;
+  if (!jobs_.empty() && sched_->Now() > last_update_) {
+    busy += sched_->Now() - last_update_;
+  }
+  return busy;
+}
+
+double ProcessorSharing::Utilization() const {
+  SimTime elapsed = sched_->Now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(BusyTime()) / static_cast<double>(elapsed);
+}
+
+}  // namespace dlb::sim

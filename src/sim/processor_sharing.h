@@ -1,0 +1,68 @@
+// Processor-sharing resource: models a pool of compute (e.g. a GPU's CUDA
+// cores) whose instantaneous capacity is divided among active jobs in
+// proportion to their weights.
+//
+// This is the mechanism behind the paper's nvJPEG findings: decode kernels
+// and inference kernels contend for the same CUDA cores, so nvJPEG "steals"
+// 30-40% of the GPU and model throughput drops (§2.2(1), §5.3). A plain
+// FIFO Resource cannot express that; processor sharing can.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+#include "sim/scheduler.h"
+
+namespace dlb::sim {
+
+class ProcessorSharing {
+ public:
+  /// `capacity` is abstract work-units per second the pool executes when
+  /// fully utilised (e.g. "fp16 images per second" or "GFLOP/s").
+  ProcessorSharing(Scheduler* sched, double capacity, std::string name);
+
+  ProcessorSharing(const ProcessorSharing&) = delete;
+  ProcessorSharing& operator=(const ProcessorSharing&) = delete;
+
+  /// Submit a job of `work` units with relative `weight`. `on_done` fires
+  /// when the job's work has been fully served.
+  void Submit(double work, double weight, EventFn on_done);
+
+  size_t ActiveJobs() const { return jobs_.size(); }
+  double Capacity() const { return capacity_; }
+
+  /// Work-units completed so far.
+  double WorkDone() const { return work_done_; }
+
+  /// Busy fraction of [0, Now()] (any job active counts as busy).
+  double Utilization() const;
+
+  /// Total busy nanoseconds so far (including the open interval).
+  SimTime BusyTime() const;
+
+ private:
+  struct Job {
+    double remaining;  // work-units left
+    double weight;
+    EventFn on_done;
+    uint64_t id;
+  };
+
+  /// Advance all jobs' remaining work to Now(), then (re)schedule the next
+  /// completion event. Called on every arrival and departure.
+  void Reschedule();
+  void AdvanceTo(SimTime t);
+
+  Scheduler* sched_;
+  double capacity_;
+  std::string name_;
+  std::list<Job> jobs_;
+  SimTime last_update_ = 0;
+  uint64_t next_id_ = 0;
+  uint64_t completion_token_ = 0;  // invalidates stale completion events
+  double work_done_ = 0.0;
+  SimTime busy_time_ = 0;
+};
+
+}  // namespace dlb::sim

@@ -1,0 +1,39 @@
+#include "sim/resource.h"
+
+#include <utility>
+
+namespace dlb::sim {
+
+Resource::Resource(Scheduler* sched, int servers, std::string name)
+    : sched_(sched), servers_(servers > 0 ? servers : 1), name_(std::move(name)) {}
+
+void Resource::Submit(SimTime service_time, EventFn on_done) {
+  queue_.push_back(Job{service_time, sched_->Now(), std::move(on_done)});
+  StartNext();
+}
+
+void Resource::StartNext() {
+  while (busy_ < servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    wait_hist_.Record(sched_->Now() - job.enqueue_time);
+    busy_time_ += job.service_time;
+    sched_->After(job.service_time,
+                  [this, done = std::move(job.on_done)]() mutable {
+                    --busy_;
+                    ++completed_;
+                    if (done) done();
+                    StartNext();
+                  });
+  }
+}
+
+double Resource::Utilization() const {
+  SimTime elapsed = sched_->Now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(busy_time_) /
+         (static_cast<double>(elapsed) * servers_);
+}
+
+}  // namespace dlb::sim

@@ -1,0 +1,65 @@
+// FIFO k-server queueing resources for the DES.
+//
+// A Resource models k identical servers fed by one FIFO queue — NVMe
+// channels, FPGA pipeline units, PCIe DMA engines and NIC links are all
+// instances with different k and service times. Utilisation and queueing
+// statistics are accumulated for the CPU-cost and bottleneck reports.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/stats.h"
+#include "sim/scheduler.h"
+
+namespace dlb::sim {
+
+class Resource {
+ public:
+  Resource(Scheduler* sched, int servers, std::string name);
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Enqueue a job needing `service_time` on one server; `on_done` fires in
+  /// virtual time when it completes.
+  void Submit(SimTime service_time, EventFn on_done);
+
+  /// Jobs queued but not yet started.
+  size_t QueueLength() const { return queue_.size(); }
+  int BusyServers() const { return busy_; }
+  int Servers() const { return servers_; }
+  const std::string& Name() const { return name_; }
+
+  /// Total server-busy nanoseconds so far (across all servers).
+  SimTime BusyTime() const { return busy_time_; }
+
+  /// Mean utilisation in [0,1] over [0, Now()].
+  double Utilization() const;
+
+  /// Completed job count and queue-wait histogram (ns).
+  uint64_t Completed() const { return completed_; }
+  const Histogram& WaitHistogram() const { return wait_hist_; }
+
+ private:
+  struct Job {
+    SimTime service_time;
+    SimTime enqueue_time;
+    EventFn on_done;
+  };
+
+  void StartNext();
+
+  Scheduler* sched_;
+  const int servers_;
+  std::string name_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  SimTime busy_time_ = 0;
+  uint64_t completed_ = 0;
+  Histogram wait_hist_;
+};
+
+}  // namespace dlb::sim

@@ -1,0 +1,41 @@
+#include "sim/scheduler.h"
+
+#include "common/log.h"
+
+namespace dlb::sim {
+
+void Scheduler::At(SimTime t, EventFn fn) {
+  DLB_CHECK(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Scheduler::After(SimTime dt, EventFn fn) { At(now_ + dt, std::move(fn)); }
+
+bool Scheduler::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event& ev = const_cast<Event&>(queue_.top());
+  now_ = ev.time;
+  EventFn fn = std::move(ev.fn);
+  queue_.pop();
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Scheduler::Run() {
+  while (Step()) {
+  }
+}
+
+void Scheduler::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Scheduler::RunFor(SimTime dt) { RunUntil(now_ + dt); }
+
+}  // namespace dlb::sim

@@ -1,0 +1,111 @@
+#include "storagedb/dataset_convert.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "codec/jpeg_decoder.h"
+#include "common/thread_pool.h"
+#include "image/resize.h"
+
+namespace dlb::db {
+
+namespace {
+constexpr size_t kDatumHeaderBytes = 2 + 2 + 1 + 4;
+}
+
+Bytes EncodeDatum(const DatumHeader& header, const Image& image) {
+  Bytes out(kDatumHeaderBytes + image.SizeBytes());
+  out[0] = static_cast<uint8_t>(header.width & 0xFF);
+  out[1] = static_cast<uint8_t>(header.width >> 8);
+  out[2] = static_cast<uint8_t>(header.height & 0xFF);
+  out[3] = static_cast<uint8_t>(header.height >> 8);
+  out[4] = header.channels;
+  WriteLe32(out.data() + 5, static_cast<uint32_t>(header.label));
+  std::memcpy(out.data() + kDatumHeaderBytes, image.Data(), image.SizeBytes());
+  return out;
+}
+
+Result<std::pair<DatumHeader, Image>> DecodeDatum(ByteSpan value) {
+  if (value.size() < kDatumHeaderBytes) return CorruptData("datum too small");
+  DatumHeader h;
+  h.width = static_cast<uint16_t>(value[0] | (value[1] << 8));
+  h.height = static_cast<uint16_t>(value[2] | (value[3] << 8));
+  h.channels = value[4];
+  h.label = static_cast<int32_t>(ReadLe32(value.data() + 5));
+  const size_t pixels =
+      static_cast<size_t>(h.width) * h.height * h.channels;
+  if (value.size() != kDatumHeaderBytes + pixels) {
+    return CorruptData("datum payload size mismatch");
+  }
+  Image img(h.width, h.height, h.channels);
+  std::memcpy(img.Data(), value.data() + kDatumHeaderBytes, pixels);
+  return std::make_pair(h, std::move(img));
+}
+
+Result<ConvertReport> ConvertDataset(const Dataset& dataset,
+                                     const ConvertOptions& options,
+                                     KvStore* out) {
+  if (out == nullptr) return InvalidArgument("null output store");
+  const auto start = std::chrono::steady_clock::now();
+  ConvertReport report;
+
+  std::mutex err_mu;
+  Status first_error;
+  std::atomic<uint64_t> output_bytes{0};
+
+  auto convert_one = [&](const FileRecord& rec) {
+    auto blob = dataset.store->Read(rec);
+    if (!blob.ok()) {
+      std::scoped_lock lock(err_mu);
+      if (first_error.ok()) first_error = blob.status();
+      return;
+    }
+    auto decoded = jpeg::Decode(blob.value());
+    if (!decoded.ok()) {
+      std::scoped_lock lock(err_mu);
+      if (first_error.ok()) first_error = decoded.status();
+      return;
+    }
+    auto resized = Resize(decoded.value(), options.resize_width,
+                          options.resize_height, ResizeFilter::kBilinear);
+    if (!resized.ok()) {
+      std::scoped_lock lock(err_mu);
+      if (first_error.ok()) first_error = resized.status();
+      return;
+    }
+    DatumHeader header;
+    header.width = static_cast<uint16_t>(options.resize_width);
+    header.height = static_cast<uint16_t>(options.resize_height);
+    header.channels = static_cast<uint8_t>(resized.value().Channels());
+    header.label = rec.label;
+    const Bytes datum = EncodeDatum(header, resized.value());
+    output_bytes.fetch_add(datum.size(), std::memory_order_relaxed);
+    Status put = out->Put(rec.name, datum);
+    if (!put.ok()) {
+      std::scoped_lock lock(err_mu);
+      if (first_error.ok()) first_error = put;
+    }
+  };
+
+  if (options.num_threads <= 1) {
+    for (const auto& rec : dataset.manifest.Records()) convert_one(rec);
+  } else {
+    ThreadPool pool(static_cast<size_t>(options.num_threads));
+    for (const auto& rec : dataset.manifest.Records()) {
+      Status s = pool.Submit([&convert_one, &rec] { convert_one(rec); });
+      if (!s.ok()) return s;
+    }
+    pool.Wait();
+  }
+  if (!first_error.ok()) return first_error;
+
+  report.images = dataset.manifest.Size();
+  report.input_bytes = dataset.manifest.TotalBytes();
+  report.output_bytes = output_bytes.load();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace dlb::db

@@ -1,0 +1,49 @@
+// Offline dataset conversion — the expensive preparation step that offline
+// backends (LMDB/TFRecord/RecordIO) impose before training can start
+// (§2.2(2): >2 hours for ILSVRC12).
+//
+// Like Caffe's convert_imageset, conversion decodes every JPEG, resizes to
+// the training input size, and stores the raw pixel datum plus label.
+#pragma once
+
+#include "dataplane/synthetic_dataset.h"
+#include "image/image.h"
+#include "storagedb/kv_store.h"
+
+namespace dlb::db {
+
+/// Datum header preceding the raw pixel payload in each DB value.
+struct DatumHeader {
+  uint16_t width = 0;
+  uint16_t height = 0;
+  uint8_t channels = 0;
+  int32_t label = 0;
+};
+
+struct ConvertOptions {
+  int resize_width = 256;   // stored datum dims (Caffe convention)
+  int resize_height = 256;
+  int num_threads = 1;      // conversion parallelism
+};
+
+struct ConvertReport {
+  uint64_t images = 0;
+  uint64_t input_bytes = 0;   // encoded JPEG bytes read
+  uint64_t output_bytes = 0;  // raw datum bytes written
+  double wall_seconds = 0.0;  // measured conversion time
+};
+
+/// Serialise (header, pixels) into a DB value.
+Bytes EncodeDatum(const DatumHeader& header, const Image& image);
+
+/// Parse a DB value back into (header, image).
+Result<std::pair<DatumHeader, Image>> DecodeDatum(ByteSpan value);
+
+/// Convert every sample of `dataset` into `out`. Keys are the manifest
+/// names. Decoding runs on `options.num_threads`; DB writes are serialised
+/// through the store's writer lock (as in LMDB).
+Result<ConvertReport> ConvertDataset(const Dataset& dataset,
+                                     const ConvertOptions& options,
+                                     KvStore* out);
+
+}  // namespace dlb::db

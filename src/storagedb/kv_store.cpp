@@ -1,0 +1,281 @@
+#include "storagedb/kv_store.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace dlb::db {
+
+namespace {
+constexpr uint32_t kMagic = 0xD1B00573;
+
+// Superblock layout on page 0: [magic][num_buckets][record_count lo][hi]
+// followed by per-bucket head/tail PageIds.
+}  // namespace
+
+KvStore::KvStore(uint32_t num_buckets)
+    : num_buckets_(num_buckets ? num_buckets : 1) {
+  // Page 0: superblock. Pages 1..B: bucket heads.
+  (void)pages_.Alloc();
+  buckets_.resize(num_buckets_);
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    const PageId head = AllocChainPage();
+    buckets_[b] = BucketRef{head, head};
+  }
+}
+
+uint32_t KvStore::BucketOf(std::string_view key) const {
+  const uint64_t h = Fnv1a64(
+      ByteSpan(reinterpret_cast<const uint8_t*>(key.data()), key.size()));
+  return static_cast<uint32_t>(h % num_buckets_);
+}
+
+PageId KvStore::AllocChainPage() {
+  const PageId id = pages_.Alloc();
+  auto page = pages_.Page(id);
+  DLB_CHECK(page.ok());
+  WriteLe32(page.value().data(), kInvalidPage);  // next
+  WriteLe32(page.value().data() + 4, 0);         // used
+  return id;
+}
+
+Status KvStore::AppendToBucket(uint32_t bucket, ByteSpan record) {
+  BucketRef& ref = buckets_[bucket];
+  size_t written = 0;
+  while (written < record.size()) {
+    auto tail = pages_.Page(ref.tail);
+    if (!tail.ok()) return tail.status();
+    uint8_t* p = tail.value().data();
+    uint32_t used = ReadLe32(p + 4);
+    size_t room = kUsableBytes - used;
+    if (room == 0) {
+      const PageId next = AllocChainPage();
+      // Re-fetch: Alloc may have reallocated the arena.
+      tail = pages_.Page(ref.tail);
+      if (!tail.ok()) return tail.status();
+      WriteLe32(tail.value().data(), next);
+      ref.tail = next;
+      continue;
+    }
+    const size_t chunk = std::min(room, record.size() - written);
+    std::memcpy(p + kPageHeader + used, record.data() + written, chunk);
+    WriteLe32(p + 4, used + static_cast<uint32_t>(chunk));
+    written += chunk;
+  }
+  return Status::Ok();
+}
+
+Status KvStore::Put(std::string_view key, ByteSpan value) {
+  if (key.empty()) return InvalidArgument("empty key");
+  Bytes record(8 + key.size() + value.size());
+  WriteLe32(record.data(), static_cast<uint32_t>(key.size()));
+  WriteLe32(record.data() + 4, static_cast<uint32_t>(value.size()));
+  std::memcpy(record.data() + 8, key.data(), key.size());
+  std::memcpy(record.data() + 8 + key.size(), value.data(), value.size());
+
+  std::unique_lock lock(mu_);
+  DLB_RETURN_IF_ERROR(AppendToBucket(BucketOf(key), record));
+  record_count_.fetch_add(1, std::memory_order_relaxed);
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+namespace {
+
+/// Sequential reader over one bucket's page chain.
+class ChainReader {
+ public:
+  ChainReader(const PageStore& pages, PageId head,
+              std::atomic<uint64_t>* pages_touched)
+      : pages_(pages), page_(head), touched_(pages_touched) {
+    LoadPage();
+  }
+
+  /// Copy exactly n bytes into dst; false when the chain is exhausted.
+  bool Read(uint8_t* dst, size_t n) {
+    while (n > 0) {
+      if (!page_span_.data()) return false;
+      if (offset_ >= used_) {
+        if (!Advance()) return false;
+        continue;
+      }
+      const size_t chunk = std::min(n, static_cast<size_t>(used_ - offset_));
+      if (dst) std::memcpy(dst, page_span_.data() + 8 + offset_, chunk);
+      if (dst) dst += chunk;
+      offset_ += chunk;
+      n -= chunk;
+    }
+    return true;
+  }
+
+  bool Skip(size_t n) { return Read(nullptr, n); }
+
+  /// True when no more record bytes remain.
+  bool AtEnd() {
+    while (offset_ >= used_) {
+      if (!Advance()) return true;
+    }
+    return false;
+  }
+
+ private:
+  void LoadPage() {
+    auto span = pages_.Page(page_);
+    if (!span.ok()) {
+      page_span_ = ByteSpan{};
+      used_ = 0;
+      return;
+    }
+    page_span_ = span.value();
+    used_ = ReadLe32(page_span_.data() + 4);
+    offset_ = 0;
+    if (touched_) touched_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  bool Advance() {
+    if (!page_span_.data()) return false;
+    const PageId next = ReadLe32(page_span_.data());
+    if (next == kInvalidPage) {
+      page_span_ = ByteSpan{};
+      return false;
+    }
+    page_ = next;
+    LoadPage();
+    return page_span_.data() != nullptr;
+  }
+
+  const PageStore& pages_;
+  PageId page_;
+  ByteSpan page_span_;
+  uint32_t used_ = 0;
+  uint32_t offset_ = 0;
+  std::atomic<uint64_t>* touched_;
+};
+
+}  // namespace
+
+Result<Bytes> KvStore::Get(std::string_view key) const {
+  std::shared_lock lock(mu_);
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  ChainReader reader(pages_, buckets_[BucketOf(key)].head, &pages_touched_);
+  Bytes found;
+  bool have = false;
+  Bytes key_buf;
+  while (!reader.AtEnd()) {
+    uint8_t header[8];
+    if (!reader.Read(header, 8)) break;
+    const uint32_t klen = ReadLe32(header);
+    const uint32_t vlen = ReadLe32(header + 4);
+    key_buf.resize(klen);
+    if (!reader.Read(key_buf.data(), klen)) break;
+    const bool match =
+        klen == key.size() &&
+        std::memcmp(key_buf.data(), key.data(), klen) == 0;
+    if (match) {
+      found.resize(vlen);
+      if (!reader.Read(found.data(), vlen)) break;
+      have = true;  // keep scanning: a later duplicate overrides
+    } else {
+      if (!reader.Skip(vlen)) break;
+    }
+  }
+  if (!have) {
+    get_misses_.fetch_add(1, std::memory_order_relaxed);
+    return NotFound("key not found: " + std::string(key));
+  }
+  return found;
+}
+
+bool KvStore::Contains(std::string_view key) const {
+  return Get(key).ok();
+}
+
+KvStats KvStore::Stats() const {
+  KvStats s;
+  s.puts = puts_.load();
+  s.gets = gets_.load();
+  s.get_misses = get_misses_.load();
+  s.pages_touched = pages_touched_.load();
+  return s;
+}
+
+Status KvStore::Scan(
+    const std::function<void(std::string_view, ByteSpan)>& visit) const {
+  std::shared_lock lock(mu_);
+  Bytes key_buf, val_buf;
+  for (uint32_t b = 0; b < num_buckets_; ++b) {
+    ChainReader reader(pages_, buckets_[b].head, &pages_touched_);
+    while (!reader.AtEnd()) {
+      uint8_t header[8];
+      if (!reader.Read(header, 8)) break;
+      const uint32_t klen = ReadLe32(header);
+      const uint32_t vlen = ReadLe32(header + 4);
+      key_buf.resize(klen);
+      val_buf.resize(vlen);
+      if (!reader.Read(key_buf.data(), klen)) break;
+      if (!reader.Read(val_buf.data(), vlen)) break;
+      visit(std::string_view(reinterpret_cast<const char*>(key_buf.data()),
+                             klen),
+            ByteSpan(val_buf.data(), vlen));
+    }
+  }
+  return Status::Ok();
+}
+
+Status KvStore::SaveToFile(const std::string& path) const {
+  std::unique_lock lock(mu_);
+  // Only the superblock needs serialising: bucket heads are pages 1..B by
+  // construction, and tails are recovered by walking each chain at load.
+  auto* self = const_cast<KvStore*>(this);  // writing our own page 0
+  auto page0 = self->pages_.Page(PageId{0});
+  if (!page0.ok()) return page0.status();
+  uint8_t* p = page0.value().data();
+  WriteLe32(p, kMagic);
+  WriteLe32(p + 4, num_buckets_);
+  WriteLe64(p + 8, record_count_.load());
+  return pages_.SaveToFile(path);
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::LoadFromFile(
+    const std::string& path) {
+  PageStore pages;
+  DLB_RETURN_IF_ERROR(pages.LoadFromFile(path));
+  auto page0 = pages.Page(PageId{0});
+  if (!page0.ok()) return page0.status();
+  const uint8_t* p = page0.value().data();
+  if (ReadLe32(p) != kMagic) return CorruptData("bad KvStore magic");
+  const uint32_t num_buckets = ReadLe32(p + 4);
+  if (num_buckets == 0 ||
+      static_cast<size_t>(num_buckets) + 1 > pages.PageCount()) {
+    return CorruptData("bad bucket count");
+  }
+  const uint64_t record_count = ReadLe64(p + 8);
+  auto store = std::make_unique<KvStore>(1);  // placeholder; rebuilt below
+  store->num_buckets_ = num_buckets;
+  store->pages_ = std::move(pages);
+  store->record_count_.store(record_count);
+  // Bucket heads are pages 1..B by construction; recover each tail by
+  // walking the chain to its last page.
+  store->buckets_.resize(num_buckets);
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    const PageId head = b + 1;
+    PageId tail = head;
+    size_t hops = 0;
+    while (true) {
+      auto page = store->pages_.Page(tail);
+      if (!page.ok()) return CorruptData("broken bucket chain");
+      const PageId next = ReadLe32(page.value().data());
+      if (next == kInvalidPage) break;
+      if (next >= store->pages_.PageCount() ||
+          ++hops > store->pages_.PageCount()) {
+        return CorruptData("cyclic or dangling bucket chain");
+      }
+      tail = next;
+    }
+    store->buckets_[b].head = head;
+    store->buckets_[b].tail = tail;
+  }
+  return store;
+}
+
+}  // namespace dlb::db

@@ -1,0 +1,50 @@
+#include "storagedb/page_store.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace dlb::db {
+
+PageId PageStore::Alloc() {
+  const PageId id = static_cast<PageId>(PageCount());
+  pages_.resize(pages_.size() + kPageSize, 0);
+  return id;
+}
+
+Result<MutableByteSpan> PageStore::Page(PageId id) {
+  if (static_cast<size_t>(id) >= PageCount()) {
+    return OutOfRange("page id out of range");
+  }
+  return MutableByteSpan(pages_.data() + static_cast<size_t>(id) * kPageSize,
+                         kPageSize);
+}
+
+Result<ByteSpan> PageStore::Page(PageId id) const {
+  if (static_cast<size_t>(id) >= PageCount()) {
+    return OutOfRange("page id out of range");
+  }
+  return ByteSpan(pages_.data() + static_cast<size_t>(id) * kPageSize,
+                  kPageSize);
+}
+
+Status PageStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Internal("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(pages_.data()),
+            static_cast<std::streamsize>(pages_.size()));
+  return out ? Status::Ok() : Internal("short write: " + path);
+}
+
+Status PageStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open: " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  if (data.size() % kPageSize != 0) {
+    return CorruptData("file size not a multiple of the page size");
+  }
+  pages_ = std::move(data);
+  return Status::Ok();
+}
+
+}  // namespace dlb::db

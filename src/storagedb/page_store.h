@@ -1,0 +1,45 @@
+// Fixed-size page store, the bottom layer of the LMDB-like database.
+//
+// Pages are 4 KiB (the unit LMDB maps from disk). The store is an in-memory
+// arena with optional file persistence — the paper's contention effects come
+// from the *shared reader path*, not from physical disk latency (ILSVRC's
+// LMDB lives in the page cache on their testbed too).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dlb::db {
+
+inline constexpr size_t kPageSize = 4096;
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+class PageStore {
+ public:
+  PageStore() = default;
+
+  /// Allocate a zeroed page; returns its id.
+  PageId Alloc();
+
+  size_t PageCount() const { return pages_.size() / kPageSize; }
+  uint64_t SizeBytes() const { return pages_.size(); }
+
+  /// Raw page access. Ids must come from Alloc().
+  Result<MutableByteSpan> Page(PageId id);
+  Result<ByteSpan> Page(PageId id) const;
+
+  /// Persist / restore the whole store (used by the offline-conversion
+  /// example so the DB survives as an artifact).
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  Bytes pages_;
+};
+
+}  // namespace dlb::db

@@ -1,0 +1,48 @@
+#include "workflow/econ.h"
+
+#include <sstream>
+
+#include "workflow/report.h"
+
+namespace dlb::workflow {
+
+EconReport AnalyzeEconomics(const EconInput& input) {
+  EconReport report;
+  report.freed_core_dollars_per_hour =
+      input.cores_replaced * input.core_dollars_per_hour;
+  report.core_revenue_per_year =
+      report.freed_core_dollars_per_hour * 24 * 365;
+  report.fpga_payback_days =
+      input.fpga_price_dollars / (report.freed_core_dollars_per_hour * 24);
+  report.power_saved_watts =
+      input.cores_replaced * input.cpu_watts_per_core - input.fpga_watts;
+  report.power_saved_dollars_per_year =
+      report.power_saved_watts / 1000.0 * 24 * 365 *
+      input.electricity_dollars_per_kwh;
+  return report;
+}
+
+std::string RenderEconReport(const EconInput& input,
+                             const EconReport& report) {
+  std::ostringstream os;
+  os << "Economic analysis (Section 5.4)\n";
+  Table t({"quantity", "value"});
+  t.AddRow({"CPU cores one FPGA decoder replaces", Fmt(input.cores_replaced, 0)});
+  t.AddRow({"core price ($/core-hour)", Fmt(input.core_dollars_per_hour, 3)});
+  t.AddRow({"freed-core revenue ($/hour)",
+            Fmt(report.freed_core_dollars_per_hour, 2)});
+  t.AddRow({"freed-core revenue ($/year)",
+            FmtCount(report.core_revenue_per_year)});
+  t.AddRow({"FPGA board price ($)", FmtCount(input.fpga_price_dollars)});
+  t.AddRow({"FPGA payback time (days)", Fmt(report.fpga_payback_days, 1)});
+  t.AddRow({"power: CPU-equivalent (W)",
+            Fmt(input.cores_replaced * input.cpu_watts_per_core, 0)});
+  t.AddRow({"power: FPGA (W)", Fmt(input.fpga_watts, 0)});
+  t.AddRow({"power saved (W)", Fmt(report.power_saved_watts, 0)});
+  t.AddRow({"power savings ($/year)",
+            FmtCount(report.power_saved_dollars_per_year)});
+  os << t.Render();
+  return os.str();
+}
+
+}  // namespace dlb::workflow

@@ -1,0 +1,32 @@
+// Economic analysis of §5.4: what replacing burned CPU cores with an FPGA
+// decoder is worth, to users and to the cloud provider.
+#pragma once
+
+#include <string>
+
+namespace dlb::workflow {
+
+struct EconInput {
+  double cores_replaced = 30;       // well-optimised decoder ~ 30 cores
+  double fpga_price_dollars = 3000; // Arria-10 class board
+  double core_dollars_per_hour = 0.105;
+  double electricity_dollars_per_kwh = 0.10;
+  double fpga_watts = 25;
+  double cpu_watts_per_core = 130.0 / 16;  // 130 W socket / 16 cores
+  double gpu_watts = 250;
+};
+
+struct EconReport {
+  double core_revenue_per_year = 0;     // $ for the freed cores, resellable
+  double fpga_payback_days = 0;         // board price / freed-core revenue
+  double power_saved_watts = 0;         // CPU-equivalent power minus FPGA
+  double power_saved_dollars_per_year = 0;
+  double freed_core_dollars_per_hour = 0;
+};
+
+EconReport AnalyzeEconomics(const EconInput& input);
+
+/// Human-readable rendering used by bench_econ_analysis.
+std::string RenderEconReport(const EconInput& input, const EconReport& report);
+
+}  // namespace dlb::workflow

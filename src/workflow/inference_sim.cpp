@@ -1,0 +1,228 @@
+#include "workflow/inference_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "dataplane/nic_model.h"
+#include "fpga/fpga_decoder_sim.h"
+#include "gpu/gpu_sim.h"
+#include "sim/cpu_accountant.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace dlb::workflow {
+
+namespace {
+
+struct Request {
+  sim::SimTime received_at = 0;  // when the server got the image (NIC done)
+};
+
+struct InferSim {
+  explicit InferSim(const InferConfig& config)
+      : cfg(config), cpu(&sched), nic(&sched, &cpu) {
+    DLB_CHECK(cfg.batch_size > 0 && cfg.num_gpus > 0);
+    for (int g = 0; g < cfg.num_gpus; ++g) {
+      gpus.push_back(std::make_unique<gpu::GpuDevice>(&sched, &cpu, g));
+    }
+    switch (cfg.backend) {
+      case InferBackend::kCpu: {
+        decode_threads = cfg.cpu_decode_threads;
+        if (decode_threads == 0) {
+          // Best effort, bounded by what the serving stack can use per GPU.
+          const int demand = static_cast<int>(
+              std::ceil(cfg.model->infer_rate_per_gpu * cfg.num_gpus /
+                        cal::kCpuPreprocessRateInfer));
+          decode_threads = std::min(
+              {demand, cal::kCpuInferMaxCoresPerGpu * cfg.num_gpus,
+               cal::kCpuTotalCores - 2 * cfg.num_gpus});
+          decode_threads = std::max(decode_threads, 1);
+        }
+        cpu_decode = std::make_unique<sim::Resource>(&sched, decode_threads,
+                                                     "cpu.decode");
+        break;
+      }
+      case InferBackend::kNvjpeg:
+        break;  // decode runs on the GPUs themselves
+      case InferBackend::kDlbooster: {
+        fpga::DecoderConfig fc = cfg.fpga_config;
+        fc.cmd_fifo_depth = std::max(fc.cmd_fifo_depth, 256);
+        for (int i = 0; i < cfg.fpga_pipelines; ++i) {
+          fpgas.push_back(std::make_unique<fpga::FpgaDecoderSim>(&sched, fc));
+        }
+        break;
+      }
+    }
+  }
+
+  // Closed-loop window: enough outstanding images to keep the pipeline
+  // busy at the configured batch size without flooding the queues.
+  int Window() const {
+    return std::max(2 * cfg.batch_size * cfg.num_gpus, 2);
+  }
+
+  /// One client slot sends an image; recursion keeps the window constant.
+  void ClientSend() {
+    nic.Receive(static_cast<uint64_t>(cfg.avg_image_bytes), [this] {
+      Request req;
+      req.received_at = sched.Now();
+      DecodeOne(req);
+    });
+  }
+
+  void DecodeOne(const Request& req) {
+    switch (cfg.backend) {
+      case InferBackend::kCpu: {
+        cpu.Charge("preprocess", 1.0 / cal::kCpuPreprocessRateInfer);
+        cpu_decode->Submit(sim::Seconds(1.0 / cal::kCpuPreprocessRateInfer),
+                           [this, req] { EnqueueDecoded(req); });
+        break;
+      }
+      case InferBackend::kNvjpeg: {
+        // Decode competes with inference kernels on the SAME GPU pool.
+        const int g = rr_decode++ % cfg.num_gpus;
+        cpu.Charge("nvjpeg_launch", cal::kNvjpegHostLatencySeconds * 0.5);
+        sched.After(sim::Seconds(cal::kNvjpegHostLatencySeconds), [this, g,
+                                                                   req] {
+          gpus[g]->SubmitCompute(cal::kNvjpegDecodeGpuSeconds, 1.0,
+                                 [this, req] { EnqueueDecoded(req); });
+        });
+        break;
+      }
+      case InferBackend::kDlbooster: {
+        cpu.Charge("preprocess", cal::kDlbInferCpuPerImage);
+        fpga::DecodeJob job;
+        job.encoded_bytes = static_cast<uint64_t>(cfg.avg_image_bytes);
+        job.pixels = cfg.source_pixels;
+        job.out_bytes = static_cast<uint64_t>(cfg.model->input_w) *
+                        cfg.model->input_h * cfg.model->input_c;
+        job.source = fpga::DataSource::kDram;
+        const size_t idx = rr_decode++ % fpgas.size();
+        if (!fpgas[idx]->SubmitDecode(job,
+                                      [this, req] { EnqueueDecoded(req); })) {
+          // FIFO full: retry shortly (FPGAReader behaviour).
+          sched.After(sim::Micros(50), [this, req] { DecodeOne(req); });
+        }
+        break;
+      }
+    }
+  }
+
+  void EnqueueDecoded(const Request& req) {
+    decoded.push_back(req);
+    TryLaunchBatches();
+  }
+
+  void TryLaunchBatches() {
+    while (static_cast<int>(decoded.size()) >= cfg.batch_size) {
+      // Find an idle GPU; engines run one batch at a time (TensorRT
+      // enqueue on a single stream per engine).
+      int g = -1;
+      for (int i = 0; i < cfg.num_gpus; ++i) {
+        if (!gpu_busy[rr_gpu % cfg.num_gpus]) {
+          g = rr_gpu % cfg.num_gpus;
+          break;
+        }
+        ++rr_gpu;
+      }
+      if (g < 0) return;
+      ++rr_gpu;
+      gpu_busy[g] = true;
+      std::vector<Request> reqs(decoded.begin(),
+                                decoded.begin() + cfg.batch_size);
+      decoded.erase(decoded.begin(), decoded.begin() + cfg.batch_size);
+      LaunchBatch(g, std::move(reqs));
+    }
+  }
+
+  void LaunchBatch(int g, std::vector<Request> reqs) {
+    auto compute = [this, g, reqs = std::move(reqs)]() mutable {
+      const double work = cfg.model->InferBatchSeconds(cfg.batch_size);
+      gpus[g]->SubmitCompute(work, 1.0, [this, g,
+                                         reqs = std::move(reqs)]() mutable {
+        for (const Request& r : reqs) {
+          latency.Record(sched.Now() - r.received_at);
+          if (sched.Now() >= warmup_end) ++images_done;
+          ClientSend();  // closed loop: window slot freed
+        }
+        gpu_busy[g] = false;
+        TryLaunchBatches();
+      });
+    };
+    if (cfg.direct_gpu_write && cfg.backend == InferBackend::kDlbooster) {
+      // §7(2): pixels already landed in device memory via decoder DMA.
+      compute();
+      return;
+    }
+    const uint64_t tensor_bytes = static_cast<uint64_t>(cfg.batch_size) *
+                                  cfg.model->input_w * cfg.model->input_h *
+                                  cfg.model->input_c * 2;  // fp16
+    const int pieces =
+        cfg.backend == InferBackend::kDlbooster ? 1 : cfg.batch_size;
+    gpus[g]->CopyH2D(tensor_bytes, pieces, std::move(compute));
+  }
+
+  InferResult Run() {
+    gpu_busy.assign(cfg.num_gpus, false);
+    const sim::SimTime horizon = sim::Seconds(cfg.sim_seconds);
+    warmup_end = horizon / 5;
+    for (int i = 0; i < Window(); ++i) ClientSend();
+    sched.RunUntil(horizon);
+    for (auto& g : gpus) g->ChargeLaunchCores();
+
+    InferResult result;
+    result.throughput = images_done / sim::ToSeconds(horizon - warmup_end);
+    result.latency_ms_mean = latency.Mean() / 1e6;
+    result.latency_ms_p50 = latency.Quantile(0.5) / 1e6;
+    result.latency_ms_p99 = latency.Quantile(0.99) / 1e6;
+    result.cpu_cores = cpu.TotalCores();
+    for (const auto& [k, v] : cpu.CoreSecondsByCategory()) {
+      result.cpu_by_category[k] = v / sim::ToSeconds(horizon);
+    }
+    double util = 0;
+    for (const auto& g : gpus) util += g->ComputeUtilization();
+    result.gpu_compute_util = util / gpus.size();
+    result.decode_threads = decode_threads;
+    return result;
+  }
+
+  InferConfig cfg;
+  sim::Scheduler sched;
+  sim::CpuAccountant cpu;
+  NicModel nic;
+  std::vector<std::unique_ptr<gpu::GpuDevice>> gpus;
+  std::unique_ptr<sim::Resource> cpu_decode;
+  std::vector<std::unique_ptr<fpga::FpgaDecoderSim>> fpgas;
+
+  std::deque<Request> decoded;
+  std::vector<bool> gpu_busy;
+  uint64_t rr_decode = 0;
+  uint64_t rr_gpu = 0;
+  int decode_threads = 0;
+  uint64_t images_done = 0;
+  sim::SimTime warmup_end = 0;
+  Histogram latency;
+};
+
+}  // namespace
+
+const char* InferBackendName(InferBackend backend) {
+  switch (backend) {
+    case InferBackend::kCpu: return "cpu";
+    case InferBackend::kNvjpeg: return "nvjpeg";
+    case InferBackend::kDlbooster: return "dlbooster";
+  }
+  return "?";
+}
+
+InferResult SimulateInference(const InferConfig& config) {
+  InferSim sim(config);
+  return sim.Run();
+}
+
+}  // namespace dlb::workflow

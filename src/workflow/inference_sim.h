@@ -1,0 +1,57 @@
+// Online-inference workflow simulator (reproduces Figs. 7, 8, 9).
+//
+// Five clients stream JPEGs over a 40 Gbps fabric into a TensorRT-like
+// serving engine (§5.3). Requests flow NIC -> preprocessing backend ->
+// batch assembly -> fp16 inference -> response; latency is measured from
+// "image received" to "prediction made", exactly the paper's definition.
+// Clients are closed-loop with a window proportional to the batch size, so
+// small batches measure pipeline latency and large batches expose the
+// saturation throughput.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fpga/decoder_config.h"
+#include "gpu/model_zoo.h"
+#include "sim/calibration.h"
+
+namespace dlb::workflow {
+
+enum class InferBackend { kCpu, kNvjpeg, kDlbooster };
+
+const char* InferBackendName(InferBackend backend);
+
+struct InferConfig {
+  const gpu::DlModel* model = &gpu::GoogLeNet();
+  InferBackend backend = InferBackend::kDlbooster;
+  int batch_size = 1;
+  int num_gpus = 1;
+  int num_clients = 5;
+  /// Decoder pipelines serving the DLBooster backend.
+  int fpga_pipelines = 1;
+  fpga::DecoderConfig fpga_config{};
+  /// CPU backend decode threads; 0 = best-effort sizing.
+  int cpu_decode_threads = 0;
+  double sim_seconds = 20.0;
+  double avg_image_bytes = cal::kAvgJpegBytes;
+  uint64_t source_pixels = 500ull * 375;  // paper: 500x375 averages
+  /// §7 future work (2): the decoder DMAs straight into GPU memory,
+  /// skipping the host staging copy. DLBooster backend only.
+  bool direct_gpu_write = false;
+};
+
+struct InferResult {
+  double throughput = 0;     // img/s
+  double latency_ms_mean = 0;
+  double latency_ms_p50 = 0;
+  double latency_ms_p99 = 0;
+  double cpu_cores = 0;
+  std::map<std::string, double> cpu_by_category;
+  double gpu_compute_util = 0;
+  int decode_threads = 0;
+};
+
+InferResult SimulateInference(const InferConfig& config);
+
+}  // namespace dlb::workflow

@@ -1,0 +1,63 @@
+#include "workflow/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dlb::workflow {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtCount(double value) {
+  const long long v = std::llround(value);
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dlb::workflow

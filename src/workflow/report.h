@@ -1,0 +1,28 @@
+// Plain-text table rendering shared by the figure-reproduction benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dlb::workflow {
+
+/// Column-aligned text table with a header row and a rule under it.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.3", "0.30").
+std::string Fmt(double value, int precision = 1);
+
+/// Thousands-separated integer ("4,652").
+std::string FmtCount(double value);
+
+}  // namespace dlb::workflow

@@ -1,0 +1,105 @@
+#include "workflow/toy_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace dlb::workflow {
+
+ToyClassifier::ToyClassifier(int features, int classes)
+    : features_(features),
+      classes_(classes),
+      grid_(static_cast<int>(std::lround(std::sqrt(features)))),
+      weights_(static_cast<size_t>(features) * classes, 0.0f) {
+  DLB_CHECK(grid_ * grid_ == features_);
+  DLB_CHECK(classes_ > 1);
+}
+
+void ToyClassifier::Featurize(const ImageRef& ref,
+                              std::vector<float>* x) const {
+  x->assign(features_, 0.0f);
+  for (int gy = 0; gy < grid_; ++gy) {
+    for (int gx = 0; gx < grid_; ++gx) {
+      long sum = 0;
+      int count = 0;
+      const int x0 = gx * ref.width / grid_;
+      const int x1 = (gx + 1) * ref.width / grid_;
+      const int y0 = gy * ref.height / grid_;
+      const int y1 = (gy + 1) * ref.height / grid_;
+      for (int y = y0; y < y1; ++y) {
+        for (int xx = x0; xx < x1; ++xx) {
+          sum += ref.data[(static_cast<size_t>(y) * ref.width + xx) *
+                          ref.channels];
+          ++count;
+        }
+      }
+      (*x)[static_cast<size_t>(gy) * grid_ + gx] =
+          count ? (sum / static_cast<float>(count) - 128.0f) / 128.0f : 0.0f;
+    }
+  }
+}
+
+void ToyClassifier::Logits(const std::vector<float>& x,
+                           std::vector<float>* out) const {
+  out->assign(classes_, 0.0f);
+  for (int c = 0; c < classes_; ++c) {
+    float acc = 0;
+    for (int f = 0; f < features_; ++f) {
+      acc += weights_[static_cast<size_t>(c) * features_ + f] * x[f];
+    }
+    (*out)[c] = acc;
+  }
+}
+
+double ToyClassifier::Step(const PreprocessBatch& batch, float learning_rate) {
+  double total_loss = 0.0;
+  int n = 0;
+  std::vector<float> x, logits;
+  for (size_t i = 0; i < batch.Size(); ++i) {
+    const ImageRef ref = batch.At(i);
+    if (!ref.ok) continue;
+    Featurize(ref, &x);
+    const int label = ((ref.label % classes_) + classes_) % classes_;
+    Logits(x, &logits);
+    const float max_logit = *std::max_element(logits.begin(), logits.end());
+    double z = 0;
+    for (float& l : logits) {
+      l = std::exp(l - max_logit);
+      z += l;
+    }
+    total_loss += -std::log(logits[label] / z + 1e-12);
+    for (int c = 0; c < classes_; ++c) {
+      const float p = static_cast<float>(logits[c] / z);
+      const float g = p - (c == label ? 1.0f : 0.0f);
+      for (int f = 0; f < features_; ++f) {
+        weights_[static_cast<size_t>(c) * features_ + f] -=
+            learning_rate * g * x[f];
+      }
+    }
+    ++n;
+  }
+  return n ? total_loss / n : 0.0;
+}
+
+int ToyClassifier::Predict(const ImageRef& ref) const {
+  std::vector<float> x, logits;
+  Featurize(ref, &x);
+  Logits(x, &logits);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double ToyClassifier::Accuracy(const PreprocessBatch& batch) const {
+  int correct = 0, total = 0;
+  for (size_t i = 0; i < batch.Size(); ++i) {
+    const ImageRef ref = batch.At(i);
+    if (!ref.ok) continue;
+    ++total;
+    const int label = ((ref.label % classes_) + classes_) % classes_;
+    if (Predict(ref) == label) ++correct;
+  }
+  return total ? static_cast<double>(correct) / total : 0.0;
+}
+
+}  // namespace dlb::workflow

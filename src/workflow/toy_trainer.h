@@ -1,0 +1,44 @@
+// A small real learner over decoded batches — multinomial logistic
+// regression on average-pooled pixels.
+//
+// Its purpose is to close the loop on the runtime layer: prove the bytes a
+// backend produces are *trainable data* (loss goes down on the synthetic
+// datasets, whose labels are visually encoded), not to compete with real
+// models. The training example and the end-to-end tests both use it.
+#pragma once
+
+#include <vector>
+
+#include "backends/backend.h"
+
+namespace dlb::workflow {
+
+class ToyClassifier {
+ public:
+  /// `features` must be a perfect square (the pooling grid is sqrt x sqrt).
+  ToyClassifier(int features, int classes);
+
+  /// One SGD step over every decodable image in the batch; returns mean
+  /// cross-entropy loss (0 when the batch had no usable images).
+  double Step(const PreprocessBatch& batch, float learning_rate);
+
+  /// Predicted class for one image.
+  int Predict(const ImageRef& ref) const;
+
+  /// Fraction of the batch classified correctly (before updating).
+  double Accuracy(const PreprocessBatch& batch) const;
+
+  int Features() const { return features_; }
+  int Classes() const { return classes_; }
+
+ private:
+  void Featurize(const ImageRef& ref, std::vector<float>* x) const;
+  void Logits(const std::vector<float>& x, std::vector<float>* out) const;
+
+  int features_;
+  int classes_;
+  int grid_;
+  std::vector<float> weights_;  // classes x features
+};
+
+}  // namespace dlb::workflow

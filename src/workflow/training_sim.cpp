@@ -1,0 +1,354 @@
+#include "workflow/training_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/log.h"
+#include "fpga/fpga_decoder_sim.h"
+#include "gpu/gpu_sim.h"
+#include "sim/cpu_accountant.h"
+#include "sim/resource.h"
+#include "sim/scheduler.h"
+
+namespace dlb::workflow {
+
+namespace {
+
+/// Single-waiter counting gate: the DES analogue of a depth-limited queue
+/// hand-off between two loops.
+class CountGate {
+ public:
+  void Add(int n = 1) {
+    count_ += n;
+    Fire();
+  }
+  void Take(sim::EventFn fn) {
+    DLB_CHECK(!waiter_);
+    waiter_ = std::move(fn);
+    Fire();
+  }
+
+ private:
+  void Fire() {
+    if (waiter_ && count_ > 0) {
+      --count_;
+      sim::EventFn fn = std::move(waiter_);
+      waiter_ = nullptr;
+      fn();
+    }
+  }
+  int count_ = 0;
+  sim::EventFn waiter_;
+};
+
+struct TrainSim {
+  explicit TrainSim(const TrainConfig& config) : cfg(config), cpu(&sched) {
+    batch = cfg.batch_size > 0 ? cfg.batch_size : cfg.model->train_batch;
+    DLB_CHECK(batch > 0);
+
+    // --- Backend supply sizing -------------------------------------------
+    if (cfg.backend == TrainBackend::kCpu) {
+      threads_per_gpu = cfg.cpu_decode_threads_per_gpu;
+      if (threads_per_gpu == 0) {
+        if (cfg.dataset_fits_memory) {
+          threads_per_gpu = 2;
+        } else {
+          // Best effort: burn what the model demands, capped by the socket.
+          const int demand = static_cast<int>(std::ceil(
+              cfg.model->train_rate_per_gpu / cal::kCpuPreprocessRateTrain));
+          const int cap = std::max(
+              1, (cal::kCpuTotalCores - 2 * cfg.num_gpus) / cfg.num_gpus);
+          threads_per_gpu = std::min(demand, cap);
+        }
+      }
+    }
+
+    // --- Devices ----------------------------------------------------------
+    for (int g = 0; g < cfg.num_gpus; ++g) {
+      gpus.push_back(std::make_unique<gpu::GpuDevice>(&sched, &cpu, g));
+      supply_gate.push_back(std::make_unique<CountGate>());
+      supply_credit.push_back(std::make_unique<CountGate>());
+      ready_gate.push_back(std::make_unique<CountGate>());
+      ready_credit.push_back(std::make_unique<CountGate>());
+      supply_credit[g]->Add(2);  // prefetch depth: 2 batches decoding ahead
+      ready_credit[g]->Add(2);   // 2 copied batches buffered
+    }
+
+    switch (cfg.backend) {
+      case TrainBackend::kSynthetic:
+        break;
+      case TrainBackend::kCpu: {
+        // Per-GPU thread pools; fluid model: one server at aggregate rate.
+        const int instances = cfg.num_gpus;
+        for (int i = 0; i < instances; ++i) {
+          decode_res.push_back(
+              std::make_unique<sim::Resource>(&sched, 1, "cpu.decode"));
+        }
+        break;
+      }
+      case TrainBackend::kLmdb: {
+        // Default: one reader resource per GPU (Caffe data layers), all
+        // paying shared-environment contention. Singleton ablation: one
+        // uncontended service shared round-robin.
+        const int instances = cfg.lmdb_singleton_service ? 1 : cfg.num_gpus;
+        for (int i = 0; i < instances; ++i) {
+          decode_res.push_back(
+              std::make_unique<sim::Resource>(&sched, 1, "lmdb.db"));
+        }
+        break;
+      }
+      case TrainBackend::kDlbooster: {
+        fpga::DecoderConfig fc = cfg.fpga_config;
+        fc.cmd_fifo_depth = std::max(fc.cmd_fifo_depth, 64);
+        int instances = cfg.fpga_pipelines;
+        if (cfg.per_gpu_decoder_instances) {
+          // Fragment the one device's unit ways across per-GPU instances.
+          instances = cfg.num_gpus;
+          fc.huffman_ways = std::max(1, fc.huffman_ways / cfg.num_gpus);
+          fc.resizer_ways = std::max(1, fc.resizer_ways / cfg.num_gpus);
+        }
+        for (int i = 0; i < instances; ++i) {
+          fpgas.push_back(std::make_unique<fpga::FpgaDecoderSim>(&sched, fc));
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Supply side ---------------------------------------------------------
+
+  double LmdbAggregateRate() const {
+    // Caffe's data layers give each GPU its own reader on the shared DB;
+    // the singleton-service ablation removes that reader contention.
+    const int readers = cfg.lmdb_singleton_service ? 1 : cfg.num_gpus;
+    return cal::kDbSingleReaderRate *
+           std::max(0.1, 1.0 - cal::kDbReaderContentionLoss * (readers - 1));
+  }
+
+  /// Decode one batch for GPU g, then call done.
+  void DecodeBatch(int g, sim::EventFn done) {
+    if (cfg.backend == TrainBackend::kSynthetic || cfg.dataset_fits_memory) {
+      // Cache replay: staging cost only.
+      if (cfg.backend == TrainBackend::kCpu ||
+          cfg.backend == TrainBackend::kLmdb) {
+        cpu.Charge("preprocess", batch * 3e-6);
+      }
+      sched.After(sim::Micros(5), std::move(done));
+      return;
+    }
+    switch (cfg.backend) {
+      case TrainBackend::kCpu: {
+        const double rate =
+            threads_per_gpu * cal::kCpuPreprocessRateTrain;  // per GPU pool
+        cpu.Charge("preprocess", batch / cal::kCpuPreprocessRateTrain);
+        decode_res[g]->Submit(sim::Seconds(batch / rate), std::move(done));
+        break;
+      }
+      case TrainBackend::kLmdb: {
+        const int idx = cfg.lmdb_singleton_service ? 0 : g;
+        // Aggregate fetch rate after reader contention, split across the
+        // per-GPU reader instances (or kept whole for the singleton).
+        double rate = LmdbAggregateRate();
+        if (!cfg.lmdb_singleton_service) rate /= cfg.num_gpus;
+        cpu.Charge("db_read", batch * cal::kDbCpuPerRecordUs * 1e-6);
+        decode_res[idx]->Submit(sim::Seconds(batch / rate), std::move(done));
+        break;
+      }
+      case TrainBackend::kDlbooster: {
+        SubmitFpgaBatch(static_cast<int>(g % fpgas.size()), batch,
+                        std::move(done));
+        break;
+      }
+      default:
+        sched.After(1, std::move(done));
+    }
+  }
+
+  /// Submit `n` decode jobs to FPGA `idx`; call done when all complete.
+  void SubmitFpgaBatch(int idx, int n, sim::EventFn done) {
+    auto remaining = std::make_shared<int>(n);
+    auto on_one = [this, remaining, done = std::move(done)]() mutable {
+      if (--*remaining == 0 && done) done();
+    };
+    SubmitFpgaJobs(idx, n, on_one);
+  }
+
+  void SubmitFpgaJobs(int idx, int n, std::function<void()> on_one) {
+    fpga::DecodeJob job;
+    job.encoded_bytes = static_cast<uint64_t>(cfg.avg_image_bytes);
+    job.pixels = cfg.source_pixels;
+    job.out_bytes = 256ull * 256 * 3;
+    job.source = fpga::DataSource::kDisk;
+    int submitted = 0;
+    while (submitted < n && fpgas[idx]->SubmitDecode(job, on_one)) {
+      ++submitted;
+    }
+    if (submitted < n) {
+      // FIFO full: retry shortly (the FPGAReader's drain-and-retry loop).
+      sched.After(sim::Micros(50), [this, idx, n, submitted, on_one] {
+        SubmitFpgaJobs(idx, n - submitted, on_one);
+      });
+    }
+  }
+
+  void SupplyLoop(int g) {
+    supply_credit[g]->Take([this, g] {
+      DecodeBatch(g, [this, g] {
+        supply_gate[g]->Add();
+        SupplyLoop(g);
+      });
+    });
+  }
+
+  // --- Copy stage ------------------------------------------------------------
+
+  int CopyPieces() const {
+    if (cfg.force_per_item_copies) return batch;
+    switch (cfg.backend) {
+      case TrainBackend::kDlbooster:
+      case TrainBackend::kSynthetic:
+        return 1;  // batched large-block copy (§5.2)
+      default:
+        return batch;  // per-datum small copies
+    }
+  }
+
+  uint64_t BatchTensorBytes() const {
+    return static_cast<uint64_t>(batch) * cfg.model->input_w *
+           cfg.model->input_h * cfg.model->input_c;
+  }
+
+  void CopyLoop(int g) {
+    supply_gate[g]->Take([this, g] {
+      ready_credit[g]->Take([this, g] {
+        gpus[g]->CopyH2D(BatchTensorBytes(), CopyPieces(), [this, g] {
+          supply_credit[g]->Add();  // decode slot freed
+          ready_gate[g]->Add();
+          CopyLoop(g);
+        });
+      });
+    });
+  }
+
+  // --- Compute stage ---------------------------------------------------------
+
+  double InterferenceFactor() const {
+    if (cfg.backend != TrainBackend::kCpu || cfg.dataset_fits_memory) {
+      return 1.0;
+    }
+    return 1.0 - cal::kCpuBurnInterferenceLoss *
+                     std::min(1.0, threads_per_gpu / 12.0);
+  }
+
+  double ScalingEfficiency() const {
+    if (cfg.num_gpus <= 1) return 1.0;
+    const double eff2 = cfg.model->two_gpu_scaling;
+    return std::pow(eff2, std::log2(static_cast<double>(cfg.num_gpus)));
+  }
+
+  void Barrier(sim::EventFn resume) {
+    barrier_waiters.push_back(std::move(resume));
+    if (static_cast<int>(barrier_waiters.size()) < cfg.num_gpus) return;
+    auto waiters = std::move(barrier_waiters);
+    barrier_waiters.clear();
+    const double compute_s = batch / (cfg.model->train_rate_per_gpu *
+                                      InterferenceFactor());
+    const double sync_s = compute_s * (1.0 / ScalingEfficiency() - 1.0);
+    sched.After(sim::Seconds(sync_s), [this, waiters = std::move(waiters)] {
+      for (const auto& w : waiters) w();
+    });
+  }
+
+  void ComputeLoop(int g) {
+    ready_gate[g]->Take([this, g] {
+      const double compute_s = batch / (cfg.model->train_rate_per_gpu *
+                                        InterferenceFactor());
+      gpus[g]->SubmitCompute(compute_s, 1.0, [this, g, compute_s] {
+        ready_credit[g]->Add();  // device buffer freed
+        Barrier([this, g, compute_s] {
+          // Model update + tensor staging CPU costs (Fig. 6(d)).
+          cpu.Charge("model_update", cal::kDlbUpdateCores * compute_s);
+          cpu.Charge("transform", cal::kDlbTransformCores * compute_s);
+          if (cfg.backend == TrainBackend::kDlbooster &&
+              !cfg.dataset_fits_memory) {
+            // Host-bridger polling (FPGAReader + Dispatcher).
+            cpu.Charge("preprocess", cal::kDlbPreprocessCores * compute_s);
+          }
+          if (sched.Now() >= warmup_end) images_done += batch;
+          ComputeLoop(g);
+        });
+      });
+    });
+  }
+
+  TrainResult Run() {
+    const sim::SimTime horizon = sim::Seconds(cfg.sim_seconds);
+    warmup_end = horizon / 5;  // discard the 20% warm-up transient
+    for (int g = 0; g < cfg.num_gpus; ++g) {
+      SupplyLoop(g);
+      CopyLoop(g);
+      ComputeLoop(g);
+    }
+    sched.RunUntil(horizon);
+    for (auto& g : gpus) g->ChargeLaunchCores();
+
+    TrainResult result;
+    const double measured = sim::ToSeconds(horizon - warmup_end);
+    result.throughput = images_done / measured;
+    result.cpu_cores = cpu.TotalCores();
+    for (const auto& [k, v] : cpu.CoreSecondsByCategory()) {
+      result.cpu_by_category[k] = v / sim::ToSeconds(horizon);
+    }
+    result.decode_threads_per_gpu =
+        cfg.backend == TrainBackend::kCpu ? threads_per_gpu : 0;
+    double util = 0;
+    for (const auto& g : gpus) util += g->ComputeUtilization();
+    result.gpu_compute_util = util / gpus.size();
+    for (const auto& f : fpgas) {
+      result.fpga_util = std::max(
+          {result.fpga_util, f->HuffmanUtilization(), f->IdctUtilization(),
+           f->ResizerUtilization(), f->ReaderUtilization()});
+    }
+    return result;
+  }
+
+  TrainConfig cfg;
+  sim::Scheduler sched;
+  sim::CpuAccountant cpu;
+  int batch = 0;
+  int threads_per_gpu = 0;
+
+  std::vector<std::unique_ptr<gpu::GpuDevice>> gpus;
+  std::vector<std::unique_ptr<sim::Resource>> decode_res;
+  std::vector<std::unique_ptr<fpga::FpgaDecoderSim>> fpgas;
+
+  std::vector<std::unique_ptr<CountGate>> supply_gate;    // decoded batches
+  std::vector<std::unique_ptr<CountGate>> supply_credit;  // decode-ahead slots
+  std::vector<std::unique_ptr<CountGate>> ready_gate;     // copied batches
+  std::vector<std::unique_ptr<CountGate>> ready_credit;   // device buffers
+
+  std::vector<sim::EventFn> barrier_waiters;
+  uint64_t images_done = 0;
+  sim::SimTime warmup_end = 0;
+};
+
+}  // namespace
+
+const char* TrainBackendName(TrainBackend backend) {
+  switch (backend) {
+    case TrainBackend::kSynthetic: return "synthetic";
+    case TrainBackend::kCpu: return "cpu";
+    case TrainBackend::kLmdb: return "lmdb";
+    case TrainBackend::kDlbooster: return "dlbooster";
+  }
+  return "?";
+}
+
+TrainResult SimulateTraining(const TrainConfig& config) {
+  TrainSim sim(config);
+  return sim.Run();
+}
+
+}  // namespace dlb::workflow

@@ -1,0 +1,63 @@
+// Offline-training workflow simulator (reproduces Figs. 2, 5, 6).
+//
+// Mirrors the paper's NVCaffe data-parallel setup: each GPU runs
+// prefetch -> H2D copy -> forward/backward -> gradient all-reduce ->
+// update, fed by one of four preprocessing backends. Throughput is whatever
+// the slowest of {supply, copy, compute} sustains, and CPU cost is
+// accounted per category exactly as Fig. 6(d) breaks it down.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "fpga/decoder_config.h"
+#include "gpu/model_zoo.h"
+#include "sim/calibration.h"
+
+namespace dlb::workflow {
+
+enum class TrainBackend { kSynthetic, kCpu, kLmdb, kDlbooster };
+
+const char* TrainBackendName(TrainBackend backend);
+
+struct TrainConfig {
+  const gpu::DlModel* model = &gpu::AlexNet();
+  TrainBackend backend = TrainBackend::kDlbooster;
+  int num_gpus = 1;
+  int batch_size = 0;  // 0 = the model's paper batch size
+  /// CPU backend decode threads per GPU; 0 = best-effort sizing (burn as
+  /// many cores as the model demands, Fig. 2(b)'s regime).
+  int cpu_decode_threads_per_gpu = 0;
+  /// MNIST case: the dataset fits in memory after the first epoch (§5.2),
+  /// so steady-state supply is a cache replay for every backend.
+  bool dataset_fits_memory = false;
+  /// Decoder pipelines (FPGA devices) serving the DLBooster backend.
+  int fpga_pipelines = 1;
+  fpga::DecoderConfig fpga_config{};
+  double sim_seconds = 30.0;
+  double avg_image_bytes = cal::kAvgJpegBytes;
+  uint64_t source_pixels = 500ull * 375;
+  /// Ablation override: force per-item H2D copies even for DLBooster.
+  bool force_per_item_copies = false;
+  /// Ablation override: fragment the FPGA decoder into per-GPU instances
+  /// (each gets a share of the unit ways) instead of the shared singleton.
+  bool per_gpu_decoder_instances = false;
+  /// Ablation override: serve the LMDB through ONE reader service instead
+  /// of the per-GPU data-layer readers Caffe actually runs (the default,
+  /// contended arrangement is what Fig. 2 measures).
+  bool lmdb_singleton_service = false;
+};
+
+struct TrainResult {
+  double throughput = 0;  // img/s, all GPUs
+  double cpu_cores = 0;   // avg cores busy, all categories
+  std::map<std::string, double> cpu_by_category;
+  int decode_threads_per_gpu = 0;
+  double gpu_compute_util = 0;  // mean across GPUs
+  double fpga_util = 0;         // busiest FPGA unit utilisation
+};
+
+/// Run the DES and report steady-state numbers.
+TrainResult SimulateTraining(const TrainConfig& config);
+
+}  // namespace dlb::workflow

@@ -1,0 +1,115 @@
+#include "backends/cached_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "backends/cpu_backend.h"
+#include "dataplane/synthetic_dataset.h"
+
+namespace dlb {
+namespace {
+
+Dataset SmallDataset(size_t n) {
+  auto ds = GenerateDataset(MnistLikeSpec(n));
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+BackendOptions SmallOptions(size_t batch) {
+  BackendOptions options;
+  options.batch_size = batch;
+  options.resize_w = 28;
+  options.resize_h = 28;
+  options.channels = 1;
+  options.shuffle = false;
+  options.num_threads = 1;
+  return options;
+}
+
+TEST(CachedBackendTest, ReplaysForeverAfterFirstEpoch) {
+  Dataset ds = SmallDataset(8);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  auto inner = std::make_unique<CpuBackend>(&collector, SmallOptions(4),
+                                            /*max_images=*/8);
+  CachedBackend cached(std::move(inner), /*budget=*/1 << 20);
+  ASSERT_TRUE(cached.Start().ok());
+
+  // First epoch: 2 batches from the inner backend.
+  size_t first_epoch_images = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto batch = cached.NextBatch(0);
+    ASSERT_TRUE(batch.ok());
+    first_epoch_images += batch.value()->OkCount();
+  }
+  EXPECT_EQ(first_epoch_images, 8u);
+  EXPECT_FALSE(cached.CacheComplete());
+
+  // The inner stream is exhausted; the cache takes over seamlessly.
+  for (int i = 0; i < 10; ++i) {
+    auto batch = cached.NextBatch(0);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch.value()->OkCount(), 4u);
+  }
+  EXPECT_TRUE(cached.CacheComplete());
+  EXPECT_GE(cached.CacheHits(), 10u);
+  EXPECT_GT(cached.CachedBytes(), 0u);
+  cached.Stop();
+}
+
+TEST(CachedBackendTest, ReplayedPixelsMatchOriginals) {
+  Dataset ds = SmallDataset(4);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  auto inner =
+      std::make_unique<CpuBackend>(&collector, SmallOptions(4), 4);
+  CachedBackend cached(std::move(inner), 1 << 20);
+  ASSERT_TRUE(cached.Start().ok());
+
+  auto first = cached.NextBatch(0);
+  ASSERT_TRUE(first.ok());
+  std::vector<uint64_t> hashes;
+  for (size_t i = 0; i < first.value()->Size(); ++i) {
+    ImageRef ref = first.value()->At(i);
+    hashes.push_back(Fnv1a64(ByteSpan(ref.data, ref.SizeBytes())));
+  }
+  auto replay = cached.NextBatch(0);  // epoch 2: from cache
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.value()->Size(), first.value()->Size());
+  for (size_t i = 0; i < replay.value()->Size(); ++i) {
+    ImageRef ref = replay.value()->At(i);
+    EXPECT_EQ(hashes[i], Fnv1a64(ByteSpan(ref.data, ref.SizeBytes())));
+  }
+  cached.Stop();
+}
+
+TEST(CachedBackendTest, AbandonsCacheWhenBudgetExceeded) {
+  // ILSVRC case: the dataset does not fit in the cache budget.
+  Dataset ds = SmallDataset(8);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  auto inner =
+      std::make_unique<CpuBackend>(&collector, SmallOptions(4), 8);
+  CachedBackend cached(std::move(inner), /*budget=*/100);  // tiny
+  ASSERT_TRUE(cached.Start().ok());
+  size_t images = 0;
+  while (true) {
+    auto batch = cached.NextBatch(0);
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kClosed);
+      break;
+    }
+    images += batch.value()->OkCount();
+  }
+  EXPECT_EQ(images, 8u);
+  EXPECT_FALSE(cached.CacheComplete());
+  EXPECT_EQ(cached.CachedBytes(), 0u);
+  cached.Stop();
+}
+
+TEST(CachedBackendTest, NameReflectsWrapping) {
+  Dataset ds = SmallDataset(1);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  auto inner = std::make_unique<CpuBackend>(&collector, SmallOptions(1), 1);
+  CachedBackend cached(std::move(inner), 1 << 20);
+  EXPECT_EQ(cached.Name(), "cpu+cache");
+}
+
+}  // namespace
+}  // namespace dlb

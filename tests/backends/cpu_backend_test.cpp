@@ -1,0 +1,130 @@
+#include "backends/cpu_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dataplane/synthetic_dataset.h"
+
+namespace dlb {
+namespace {
+
+Dataset SmallDataset(size_t n) {
+  DatasetSpec spec = ImageNetLikeSpec(n);
+  spec.width = 64;
+  spec.height = 48;
+  spec.dim_jitter = 0.1;
+  auto ds = GenerateDataset(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+BackendOptions SmallOptions(size_t batch = 8) {
+  BackendOptions options;
+  options.batch_size = batch;
+  options.resize_w = 32;
+  options.resize_h = 32;
+  options.num_threads = 2;
+  options.shuffle = false;
+  return options;
+}
+
+TEST(CpuBackendTest, DeliversAllImagesThenCloses) {
+  Dataset ds = SmallDataset(16);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  CpuBackend backend(&collector, SmallOptions(8), /*max_images=*/16);
+  ASSERT_TRUE(backend.Start().ok());
+  size_t images = 0;
+  while (true) {
+    auto batch = backend.NextBatch(0);
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kClosed);
+      break;
+    }
+    images += batch.value()->OkCount();
+  }
+  EXPECT_EQ(images, 16u);
+  EXPECT_EQ(backend.ImagesDecoded(), 16u);
+  EXPECT_EQ(backend.DecodeFailures(), 0u);
+}
+
+TEST(CpuBackendTest, BatchGeometryMatchesOptions) {
+  Dataset ds = SmallDataset(8);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  CpuBackend backend(&collector, SmallOptions(4), 8);
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value()->Size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    ImageRef ref = batch.value()->At(i);
+    EXPECT_TRUE(ref.ok);
+    EXPECT_EQ(ref.width, 32);
+    EXPECT_EQ(ref.height, 32);
+    EXPECT_EQ(ref.channels, 3);
+  }
+  backend.Stop();
+}
+
+TEST(CpuBackendTest, DoubleStartRejected) {
+  Dataset ds = SmallDataset(2);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  CpuBackend backend(&collector, SmallOptions(), 2);
+  ASSERT_TRUE(backend.Start().ok());
+  EXPECT_EQ(backend.Start().code(), StatusCode::kFailedPrecondition);
+  backend.Stop();
+}
+
+TEST(CpuBackendTest, CorruptSampleMarkedFailedNotFatal) {
+  // Build a store with one valid and one corrupt blob.
+  Manifest manifest;
+  InMemoryBlobStore store;
+  Dataset good = SmallDataset(1);
+  auto bytes = good.store->Read(good.manifest.At(0));
+  ASSERT_TRUE(bytes.ok());
+  manifest.Add(store.Append(bytes.value(), "good.jpg", 1));
+  const Bytes garbage = {0xFF, 0xD8, 0x12, 0x34};
+  manifest.Add(store.Append(garbage, "bad.jpg", 2));
+
+  DiskDataCollector collector(&manifest, &store, false, 1);
+  CpuBackend backend(&collector, SmallOptions(2), 2);
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value()->Size(), 2u);
+  EXPECT_EQ(batch.value()->OkCount(), 1u);
+  EXPECT_EQ(backend.DecodeFailures(), 1u);
+  backend.Stop();
+}
+
+TEST(CpuBackendTest, LabelsTravelWithImages) {
+  Dataset ds = SmallDataset(6);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  CpuBackend backend(&collector, SmallOptions(6), 6);
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  std::multiset<int32_t> expected, got;
+  for (const auto& rec : ds.manifest.Records()) expected.insert(rec.label);
+  for (size_t i = 0; i < batch.value()->Size(); ++i) {
+    got.insert(batch.value()->At(i).label);
+  }
+  EXPECT_EQ(expected, got);
+  backend.Stop();
+}
+
+TEST(CpuBackendTest, StopWhileStreamingIsClean) {
+  Dataset ds = SmallDataset(16);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  // Unbounded stream: Stop() must end it.
+  CpuBackend backend(&collector, SmallOptions(4), 0);
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  EXPECT_TRUE(batch.ok());
+  backend.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,151 @@
+// Integration: the full DLBooster stack (Fig. 3) behind the backend API.
+#include "backends/dlbooster_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataplane/synthetic_dataset.h"
+
+namespace dlb {
+namespace {
+
+Dataset SmallDataset(size_t n) {
+  DatasetSpec spec = ImageNetLikeSpec(n);
+  spec.width = 64;
+  spec.height = 48;
+  spec.dim_jitter = 0.1;
+  auto ds = GenerateDataset(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+DlboosterOptions SmallOptions(size_t batch = 4, int engines = 1) {
+  DlboosterOptions options;
+  options.backend.batch_size = batch;
+  options.backend.resize_w = 32;
+  options.backend.resize_h = 32;
+  options.backend.num_engines = engines;
+  options.pool_buffers = 4;
+  return options;
+}
+
+TEST(DlboosterBackendTest, EndToEndDeliversAllImages) {
+  Dataset ds = SmallDataset(16);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&collector, 16);
+  DlboosterBackend backend(&bounded, SmallOptions(4));
+  ASSERT_TRUE(backend.Start().ok());
+  size_t images = 0;
+  int batches = 0;
+  while (true) {
+    auto batch = backend.NextBatch(0);
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kClosed);
+      break;
+    }
+    ++batches;
+    images += batch.value()->OkCount();
+  }
+  EXPECT_EQ(images, 16u);
+  EXPECT_EQ(batches, 4);
+  backend.Stop();
+}
+
+TEST(DlboosterBackendTest, BatchGeometryAndLabels) {
+  Dataset ds = SmallDataset(4);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&collector, 4);
+  DlboosterBackend backend(&bounded, SmallOptions(4));
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch.value()->Size(), 4u);
+  std::multiset<int32_t> expected, got;
+  for (const auto& rec : ds.manifest.Records()) expected.insert(rec.label);
+  for (size_t i = 0; i < 4; ++i) {
+    ImageRef ref = batch.value()->At(i);
+    EXPECT_TRUE(ref.ok);
+    EXPECT_EQ(ref.width, 32);
+    EXPECT_EQ(ref.height, 32);
+    got.insert(ref.label);
+  }
+  EXPECT_EQ(expected, got);
+  backend.Stop();
+}
+
+TEST(DlboosterBackendTest, TwoEnginesBothReceiveBatches) {
+  Dataset ds = SmallDataset(16);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&collector, 16);
+  DlboosterBackend backend(&bounded, SmallOptions(4, /*engines=*/2));
+  ASSERT_TRUE(backend.Start().ok());
+  // Round-robin: engines 0 and 1 each get 2 of the 4 batches.
+  size_t images0 = 0, images1 = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto b0 = backend.NextBatch(0);
+    ASSERT_TRUE(b0.ok());
+    images0 += b0.value()->OkCount();
+    auto b1 = backend.NextBatch(1);
+    ASSERT_TRUE(b1.ok());
+    images1 += b1.value()->OkCount();
+  }
+  EXPECT_EQ(images0, 8u);
+  EXPECT_EQ(images1, 8u);
+  backend.Stop();
+}
+
+TEST(DlboosterBackendTest, RecycleKeepsSmallPoolFlowing) {
+  Dataset ds = SmallDataset(8);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&collector, 40);
+  DlboosterOptions options = SmallOptions(4);
+  options.pool_buffers = 2;
+  options.backend.queue_depth = 2;
+  DlboosterBackend backend(&bounded, options);
+  ASSERT_TRUE(backend.Start().ok());
+  size_t images = 0;
+  while (true) {
+    auto batch = backend.NextBatch(0);
+    if (!batch.ok()) break;
+    images += batch.value()->OkCount();
+  }
+  EXPECT_EQ(images, 40u);
+  backend.Stop();
+}
+
+TEST(DlboosterBackendTest, TwoDevicesDecodeEverything) {
+  // "Plugging more FPGA devices" (§5.3): two emulated decoders, two
+  // FPGAReaders, one shared sample stream and pool.
+  Dataset ds = SmallDataset(16);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&collector, 48);
+  DlboosterOptions options = SmallOptions(4);
+  options.num_devices = 2;
+  DlboosterBackend backend(&bounded, options);
+  EXPECT_EQ(backend.NumDevices(), 2);
+  ASSERT_TRUE(backend.Start().ok());
+  size_t images = 0;
+  while (true) {
+    auto batch = backend.NextBatch(0);
+    if (!batch.ok()) break;
+    images += batch.value()->OkCount();
+  }
+  EXPECT_EQ(images, 48u);
+  EXPECT_EQ(backend.ImagesDecoded(), 48u);
+  // Both devices actually participated.
+  EXPECT_GT(backend.Device(0).Completed(), 0u);
+  EXPECT_GT(backend.Device(1).Completed(), 0u);
+  backend.Stop();
+}
+
+TEST(DlboosterBackendTest, StopWithoutStartIsSafe) {
+  Dataset ds = SmallDataset(2);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  DlboosterBackend backend(&collector, SmallOptions());
+  backend.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,123 @@
+#include "backends/lmdb_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataplane/synthetic_dataset.h"
+#include "storagedb/dataset_convert.h"
+
+namespace dlb {
+namespace {
+
+struct Fixture {
+  explicit Fixture(size_t n) : db(64) {
+    DatasetSpec spec = ImageNetLikeSpec(n);
+    spec.width = 64;
+    spec.height = 48;
+    auto generated = GenerateDataset(spec);
+    EXPECT_TRUE(generated.ok());
+    dataset = std::move(generated).value();
+    db::ConvertOptions opts;
+    opts.resize_width = 32;
+    opts.resize_height = 32;
+    EXPECT_TRUE(db::ConvertDataset(dataset, opts, &db).ok());
+  }
+  Dataset dataset;
+  db::KvStore db;
+};
+
+BackendOptions SmallOptions(size_t batch = 4) {
+  BackendOptions options;
+  options.batch_size = batch;
+  options.resize_w = 32;
+  options.resize_h = 32;
+  options.num_threads = 2;
+  options.shuffle = false;
+  return options;
+}
+
+TEST(LmdbBackendTest, ServesConvertedRecords) {
+  Fixture fx(8);
+  LmdbBackend backend(&fx.dataset.manifest, &fx.db, SmallOptions(4), 8);
+  ASSERT_TRUE(backend.Start().ok());
+  size_t images = 0;
+  while (true) {
+    auto batch = backend.NextBatch(0);
+    if (!batch.ok()) break;
+    images += batch.value()->OkCount();
+    for (size_t i = 0; i < batch.value()->Size(); ++i) {
+      ImageRef ref = batch.value()->At(i);
+      EXPECT_TRUE(ref.ok);
+      EXPECT_EQ(ref.width, 32);
+    }
+  }
+  EXPECT_EQ(images, 8u);
+  EXPECT_EQ(backend.RecordsServed(), 8u);
+  EXPECT_EQ(backend.Failures(), 0u);
+}
+
+TEST(LmdbBackendTest, ResizesWhenDatumDiffersFromTarget) {
+  Fixture fx(4);  // datums stored at 32x32
+  BackendOptions options = SmallOptions(4);
+  options.resize_w = 16;
+  options.resize_h = 16;
+  LmdbBackend backend(&fx.dataset.manifest, &fx.db, options, 4);
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < batch.value()->Size(); ++i) {
+    EXPECT_EQ(batch.value()->At(i).width, 16);
+    EXPECT_EQ(batch.value()->At(i).height, 16);
+  }
+  backend.Stop();
+}
+
+TEST(LmdbBackendTest, MissingRecordsCountAsFailures) {
+  Fixture fx(4);
+  // Extend the manifest with a record that was never converted.
+  FileRecord ghost;
+  ghost.id = 999;
+  ghost.name = "ghost.jpg";
+  fx.dataset.manifest.Add(ghost);
+  LmdbBackend backend(&fx.dataset.manifest, &fx.db, SmallOptions(5), 5);
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value()->OkCount(), 4u);
+  EXPECT_EQ(backend.Failures(), 1u);
+  backend.Stop();
+}
+
+TEST(LmdbBackendTest, MaxImagesBoundsStream) {
+  Fixture fx(8);
+  LmdbBackend backend(&fx.dataset.manifest, &fx.db, SmallOptions(4), 6);
+  ASSERT_TRUE(backend.Start().ok());
+  size_t images = 0;
+  while (true) {
+    auto batch = backend.NextBatch(0);
+    if (!batch.ok()) break;
+    images += batch.value()->Size();
+  }
+  EXPECT_EQ(images, 6u);
+}
+
+TEST(LmdbBackendTest, LabelsRoundTripThroughTheDb) {
+  Fixture fx(6);
+  LmdbBackend backend(&fx.dataset.manifest, &fx.db, SmallOptions(6), 6);
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  std::multiset<int32_t> expected, got;
+  for (const auto& rec : fx.dataset.manifest.Records()) {
+    expected.insert(rec.label);
+  }
+  for (size_t i = 0; i < batch.value()->Size(); ++i) {
+    got.insert(batch.value()->At(i).label);
+  }
+  EXPECT_EQ(expected, got);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace dlb

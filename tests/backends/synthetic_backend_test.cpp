@@ -1,0 +1,52 @@
+#include "backends/synthetic_backend.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb {
+namespace {
+
+BackendOptions SmallOptions() {
+  BackendOptions options;
+  options.batch_size = 8;
+  options.resize_w = 16;
+  options.resize_h = 16;
+  return options;
+}
+
+TEST(SyntheticBackendTest, ServesInstantly) {
+  SyntheticBackend backend(SmallOptions());
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.value()->Size(), 8u);
+  EXPECT_EQ(batch.value()->OkCount(), 8u);
+  ImageRef ref = batch.value()->At(0);
+  EXPECT_EQ(ref.width, 16);
+  EXPECT_EQ(ref.data[0], 127);
+}
+
+TEST(SyntheticBackendTest, BudgetBoundsBatches) {
+  SyntheticBackend backend(SmallOptions(), /*max_batches=*/3);
+  ASSERT_TRUE(backend.Start().ok());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(backend.NextBatch(0).ok());
+  EXPECT_EQ(backend.NextBatch(0).status().code(), StatusCode::kClosed);
+}
+
+TEST(SyntheticBackendTest, UnboundedWhenZeroBudget) {
+  SyntheticBackend backend(SmallOptions(), 0);
+  ASSERT_TRUE(backend.Start().ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(backend.NextBatch(0).ok());
+}
+
+TEST(SyntheticBackendTest, OutOfRangeItemIsEmptyRef) {
+  SyntheticBackend backend(SmallOptions());
+  ASSERT_TRUE(backend.Start().ok());
+  auto batch = backend.NextBatch(0);
+  ASSERT_TRUE(batch.ok());
+  ImageRef ref = batch.value()->At(999);
+  EXPECT_FALSE(ref.ok);
+  EXPECT_EQ(ref.data, nullptr);
+}
+
+}  // namespace
+}  // namespace dlb

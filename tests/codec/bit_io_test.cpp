@@ -1,0 +1,114 @@
+#include "codec/bit_io.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dlb::jpeg {
+namespace {
+
+TEST(BitWriterTest, PacksMsbFirst) {
+  Bytes out;
+  BitWriter bw(&out);
+  bw.Put(0b101, 3);
+  bw.Put(0b00110, 5);
+  bw.Flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0b10100110);
+}
+
+TEST(BitWriterTest, FlushPadsWithOnes) {
+  Bytes out;
+  BitWriter bw(&out);
+  bw.Put(0b0, 1);
+  bw.Flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0b01111111);
+}
+
+TEST(BitWriterTest, StuffsFfWithZero) {
+  Bytes out;
+  BitWriter bw(&out);
+  bw.Put(0xFF, 8);
+  bw.Flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0xFF);
+  EXPECT_EQ(out[1], 0x00);
+}
+
+TEST(BitReaderTest, ReadsBackWhatWriterWrote) {
+  Bytes out;
+  BitWriter bw(&out);
+  bw.Put(0b1101, 4);
+  bw.Put(0x3FF, 10);
+  bw.Put(0b01, 2);
+  bw.Flush();
+  BitReader br(out);
+  EXPECT_EQ(br.Get(4), 0b1101);
+  EXPECT_EQ(br.Get(10), 0x3FF);
+  EXPECT_EQ(br.Get(2), 0b01);
+}
+
+TEST(BitReaderTest, UnstuffsFf00) {
+  const Bytes data = {0xFF, 0x00, 0xAB};
+  BitReader br(data);
+  EXPECT_EQ(br.Get(8), 0xFF);
+  EXPECT_EQ(br.Get(8), 0xAB);
+}
+
+TEST(BitReaderTest, StopsAtRealMarker) {
+  const Bytes data = {0x12, 0xFF, 0xD9};  // EOI after one byte
+  BitReader br(data);
+  EXPECT_EQ(br.Get(8), 0x12);
+  EXPECT_EQ(br.Get(8), -1);  // refuses to read past the marker
+}
+
+TEST(BitReaderTest, ExhaustedOnEmpty) {
+  BitReader br(ByteSpan{});
+  EXPECT_EQ(br.GetBit(), -1);
+  EXPECT_TRUE(br.Exhausted());
+}
+
+TEST(BitReaderTest, ConsumeRestartMarkerAdvances) {
+  const Bytes data = {0xFF, 0xD0, 0x80};
+  BitReader br(data);
+  EXPECT_TRUE(br.ConsumeRestartMarker(0));
+  EXPECT_EQ(br.Get(8), 0x80);
+}
+
+TEST(BitReaderTest, RestartMarkerIndexMustMatch) {
+  const Bytes data = {0xFF, 0xD3};
+  BitReader br(data);
+  EXPECT_FALSE(br.ConsumeRestartMarker(0));  // expects D0
+  EXPECT_TRUE(br.ConsumeRestartMarker(3));
+}
+
+TEST(BitReaderTest, RestartMarkerIndexWrapsMod8) {
+  const Bytes data = {0xFF, 0xD1};
+  BitReader br(data);
+  EXPECT_TRUE(br.ConsumeRestartMarker(9));  // 9 & 7 == 1
+}
+
+TEST(BitRoundTripTest, ManyRandomValues) {
+  Rng rng(21);
+  std::vector<std::pair<uint32_t, int>> values;
+  Bytes out;
+  BitWriter bw(&out);
+  for (int i = 0; i < 1000; ++i) {
+    const int count = 1 + static_cast<int>(rng.UniformU64(16));
+    const uint32_t v = static_cast<uint32_t>(rng.UniformU64(1u << count));
+    values.emplace_back(v, count);
+    bw.Put(v, count);
+  }
+  bw.Flush();
+  BitReader br(out);
+  for (const auto& [v, count] : values) {
+    EXPECT_EQ(br.Get(count), static_cast<int32_t>(v));
+  }
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

@@ -1,0 +1,82 @@
+#include "codec/color.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dlb::jpeg {
+namespace {
+
+TEST(ColorTest, GrayRgbMapsToNeutralChroma) {
+  Image img(2, 1, 3);
+  for (int c = 0; c < 3; ++c) {
+    img.Set(0, 0, c, 0);
+    img.Set(1, 0, c, 255);
+  }
+  std::vector<uint8_t> y, cb, cr;
+  RgbToYcbcr(img, &y, &cb, &cr);
+  EXPECT_EQ(y[0], 0);
+  EXPECT_EQ(y[1], 255);
+  EXPECT_EQ(cb[0], 128);
+  EXPECT_EQ(cr[0], 128);
+  EXPECT_EQ(cb[1], 128);
+  EXPECT_EQ(cr[1], 128);
+}
+
+TEST(ColorTest, PrimariesHaveExpectedLuma) {
+  Image img(3, 1, 3);
+  img.Set(0, 0, 0, 255);  // red
+  img.Set(1, 0, 1, 255);  // green
+  img.Set(2, 0, 2, 255);  // blue
+  std::vector<uint8_t> y, cb, cr;
+  RgbToYcbcr(img, &y, &cb, &cr);
+  EXPECT_NEAR(y[0], 76, 1);   // 0.299*255
+  EXPECT_NEAR(y[1], 150, 1);  // 0.587*255
+  EXPECT_NEAR(y[2], 29, 1);   // 0.114*255
+}
+
+TEST(ColorTest, RoundTripWithinTolerance) {
+  Rng rng(31);
+  Image img(16, 16, 3);
+  for (size_t i = 0; i < img.SizeBytes(); ++i) {
+    img.Data()[i] = static_cast<uint8_t>(rng.UniformU64(256));
+  }
+  std::vector<uint8_t> y, cb, cr;
+  RgbToYcbcr(img, &y, &cb, &cr);
+  for (int yy = 0; yy < 16; ++yy) {
+    for (int xx = 0; xx < 16; ++xx) {
+      const size_t i = static_cast<size_t>(yy) * 16 + xx;
+      uint8_t r, g, b;
+      YcbcrToRgbPixel(y[i], cb[i], cr[i], &r, &g, &b);
+      EXPECT_NEAR(r, img.At(xx, yy, 0), 2);
+      EXPECT_NEAR(g, img.At(xx, yy, 1), 2);
+      EXPECT_NEAR(b, img.At(xx, yy, 2), 2);
+    }
+  }
+}
+
+TEST(ColorTest, Downsample2x2Averages) {
+  std::vector<uint8_t> plane = {10, 20, 30, 40};  // 2x2
+  auto out = Downsample2x2(plane, 2, 2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 25);
+}
+
+TEST(ColorTest, Downsample2x2OddDimensionsReplicateEdge) {
+  // 3x1 plane: last column pairs with itself.
+  std::vector<uint8_t> plane = {10, 20, 30};
+  auto out = Downsample2x2(plane, 3, 1);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 15);  // (10+20+10+20)/4
+  EXPECT_EQ(out[1], 30);  // (30+30+30+30)/4
+}
+
+TEST(ColorTest, DownsampleHalvesDimensions) {
+  std::vector<uint8_t> plane(500 * 374, 77);
+  auto out = Downsample2x2(plane, 500, 374);
+  EXPECT_EQ(out.size(), 250u * 187u);
+  for (uint8_t v : out) ASSERT_EQ(v, 77);
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

@@ -1,0 +1,130 @@
+#include "codec/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/jpeg_common.h"
+#include "common/rng.h"
+
+namespace dlb::jpeg {
+namespace {
+
+TEST(DctTest, DcOnlyBlockIsConstant) {
+  float coeffs[64] = {0};
+  coeffs[0] = 8.0f * 16.0f;  // DC of 16 after the 1/8 normalisation pair
+  uint8_t out[64];
+  InverseDct8x8(coeffs, out);
+  // All samples equal: 128 + 16 = 144.
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 144);
+}
+
+TEST(DctTest, ZeroBlockIsMidGray) {
+  float coeffs[64] = {0};
+  uint8_t out[64];
+  InverseDct8x8(coeffs, out);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 128);
+}
+
+TEST(DctTest, ForwardOfConstantHasOnlyDc) {
+  float in[64];
+  for (auto& v : in) v = 42.0f;
+  float out[64];
+  ForwardDct8x8(in, out);
+  EXPECT_NEAR(out[0], 42.0f * 8.0f, 1e-3);
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(out[i], 0.0f, 1e-3);
+}
+
+TEST(DctTest, ForwardInverseRoundTrip) {
+  Rng rng(4);
+  float in[64];
+  for (auto& v : in) {
+    v = static_cast<float>(rng.UniformInt(0, 255)) - 128.0f;
+  }
+  float coeffs[64];
+  ForwardDct8x8(in, coeffs);
+  uint8_t out[64];
+  InverseDct8x8(coeffs, out);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(static_cast<float>(out[i]), in[i] + 128.0f, 1.0f);
+  }
+}
+
+TEST(DctTest, ParsevalEnergyPreserved) {
+  Rng rng(8);
+  float in[64], coeffs[64];
+  for (auto& v : in) v = static_cast<float>(rng.UniformInt(-128, 127));
+  ForwardDct8x8(in, coeffs);
+  double e_in = 0, e_out = 0;
+  for (int i = 0; i < 64; ++i) {
+    e_in += in[i] * in[i];
+    e_out += coeffs[i] * coeffs[i];
+  }
+  EXPECT_NEAR(e_out / e_in, 1.0, 1e-3);  // orthonormal transform
+}
+
+TEST(DctTest, InverseClampsRange) {
+  float coeffs[64] = {0};
+  coeffs[0] = 8000.0f;  // way above representable range
+  uint8_t out[64];
+  InverseDct8x8(coeffs, out);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 255);
+  coeffs[0] = -8000.0f;
+  InverseDct8x8(coeffs, out);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(DequantizeTest, AppliesTableAndDeZigZags) {
+  int16_t zz[64] = {0};
+  zz[0] = 3;   // DC
+  zz[1] = -2;  // first AC in zig-zag order -> natural position 1
+  zz[2] = 5;   // second -> natural position 8
+  uint16_t quant[64];
+  for (int i = 0; i < 64; ++i) quant[i] = static_cast<uint16_t>(i + 1);
+  float out[64];
+  DequantizeZigZag(zz, quant, out);
+  EXPECT_FLOAT_EQ(out[0], 3.0f * 1);
+  EXPECT_FLOAT_EQ(out[1], -2.0f * 2);
+  EXPECT_FLOAT_EQ(out[8], 5.0f * 9);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+}
+
+TEST(ZigZagTest, IsAPermutation) {
+  bool seen[64] = {false};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_LT(kZigZag[i], 64);
+    EXPECT_FALSE(seen[kZigZag[i]]);
+    seen[kZigZag[i]] = true;
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(kZigZagInv[kZigZag[i]], i);
+  }
+}
+
+TEST(QuantScaleTest, Quality50IsBaseTable) {
+  auto t = ScaleQuantTable(kStdLumaQuant, 50);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(t[i], kStdLumaQuant[i]);
+}
+
+TEST(QuantScaleTest, Quality100IsAllOnes) {
+  auto t = ScaleQuantTable(kStdLumaQuant, 100);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(t[i], 1);
+}
+
+TEST(QuantScaleTest, LowerQualityCoarser) {
+  auto q20 = ScaleQuantTable(kStdLumaQuant, 20);
+  auto q80 = ScaleQuantTable(kStdLumaQuant, 80);
+  for (int i = 0; i < 64; ++i) EXPECT_GE(q20[i], q80[i]);
+}
+
+TEST(QuantScaleTest, OutOfRangeQualityClamped) {
+  auto lo = ScaleQuantTable(kStdLumaQuant, -5);
+  auto q1 = ScaleQuantTable(kStdLumaQuant, 1);
+  auto hi = ScaleQuantTable(kStdLumaQuant, 500);
+  auto q100 = ScaleQuantTable(kStdLumaQuant, 100);
+  EXPECT_EQ(lo, q1);
+  EXPECT_EQ(hi, q100);
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

@@ -1,0 +1,122 @@
+#include "codec/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace dlb::jpeg {
+namespace {
+
+TEST(HuffmanBuildTest, StandardTablesBuild) {
+  EXPECT_TRUE(HuffmanEncoder::Build(StdLumaDc()).ok());
+  EXPECT_TRUE(HuffmanEncoder::Build(StdLumaAc()).ok());
+  EXPECT_TRUE(HuffmanEncoder::Build(StdChromaDc()).ok());
+  EXPECT_TRUE(HuffmanEncoder::Build(StdChromaAc()).ok());
+  EXPECT_TRUE(HuffmanDecoder::Build(StdLumaDc()).ok());
+  EXPECT_TRUE(HuffmanDecoder::Build(StdLumaAc()).ok());
+  EXPECT_TRUE(HuffmanDecoder::Build(StdChromaDc()).ok());
+  EXPECT_TRUE(HuffmanDecoder::Build(StdChromaAc()).ok());
+}
+
+TEST(HuffmanBuildTest, RejectsMismatchedCounts) {
+  HuffmanSpec bad;
+  bad.bits[0] = 2;  // claims 2 codes of length 1
+  bad.vals = {7};   // but provides 1 value
+  EXPECT_FALSE(HuffmanEncoder::Build(bad).ok());
+  EXPECT_FALSE(HuffmanDecoder::Build(bad).ok());
+}
+
+TEST(HuffmanBuildTest, RejectsOverfullCodeSpace) {
+  HuffmanSpec bad;
+  bad.bits[0] = 3;  // 3 codes of length 1 cannot exist
+  bad.vals = {1, 2, 3};
+  EXPECT_FALSE(HuffmanDecoder::Build(bad).ok());
+}
+
+TEST(HuffmanBuildTest, RejectsDuplicateSymbols) {
+  HuffmanSpec bad;
+  bad.bits[1] = 2;
+  bad.vals = {5, 5};
+  EXPECT_FALSE(HuffmanEncoder::Build(bad).ok());
+}
+
+class HuffmanRoundTripTest
+    : public ::testing::TestWithParam<const HuffmanSpec*> {};
+
+TEST_P(HuffmanRoundTripTest, EverySymbolRoundTrips) {
+  const HuffmanSpec& spec = *GetParam();
+  auto enc = HuffmanEncoder::Build(spec);
+  auto dec = HuffmanDecoder::Build(spec);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_TRUE(dec.ok());
+  Bytes out;
+  BitWriter bw(&out);
+  for (uint8_t sym : spec.vals) enc.value().Encode(bw, sym);
+  bw.Flush();
+  BitReader br(out);
+  for (uint8_t sym : spec.vals) {
+    EXPECT_EQ(dec.value().Decode(br), sym);
+  }
+}
+
+TEST_P(HuffmanRoundTripTest, RandomSymbolStreamRoundTrips) {
+  const HuffmanSpec& spec = *GetParam();
+  auto enc = HuffmanEncoder::Build(spec);
+  auto dec = HuffmanDecoder::Build(spec);
+  ASSERT_TRUE(enc.ok());
+  ASSERT_TRUE(dec.ok());
+  Rng rng(99);
+  std::vector<uint8_t> symbols;
+  for (int i = 0; i < 5000; ++i) {
+    symbols.push_back(spec.vals[rng.UniformU64(spec.vals.size())]);
+  }
+  Bytes out;
+  BitWriter bw(&out);
+  for (uint8_t s : symbols) enc.value().Encode(bw, s);
+  bw.Flush();
+  BitReader br(out);
+  for (uint8_t s : symbols) ASSERT_EQ(dec.value().Decode(br), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardTables, HuffmanRoundTripTest,
+                         ::testing::Values(&StdLumaDc(), &StdLumaAc(),
+                                           &StdChromaDc(), &StdChromaAc()),
+                         [](const auto& info) {
+                           if (info.param == &StdLumaDc()) return "LumaDc";
+                           if (info.param == &StdLumaAc()) return "LumaAc";
+                           if (info.param == &StdChromaDc()) return "ChromaDc";
+                           return "ChromaAc";
+                         });
+
+TEST(MagnitudeTest, CategoryBoundaries) {
+  EXPECT_EQ(MagnitudeCategory(0), 0);
+  EXPECT_EQ(MagnitudeCategory(1), 1);
+  EXPECT_EQ(MagnitudeCategory(-1), 1);
+  EXPECT_EQ(MagnitudeCategory(2), 2);
+  EXPECT_EQ(MagnitudeCategory(3), 2);
+  EXPECT_EQ(MagnitudeCategory(-3), 2);
+  EXPECT_EQ(MagnitudeCategory(4), 3);
+  EXPECT_EQ(MagnitudeCategory(255), 8);
+  EXPECT_EQ(MagnitudeCategory(-1024), 11);
+}
+
+TEST(MagnitudeTest, ExtendInvertsBits) {
+  // Every value in [-1023, 1023] must round-trip through its category.
+  for (int v = -1023; v <= 1023; ++v) {
+    const int ssss = MagnitudeCategory(v);
+    const uint32_t bits = MagnitudeBits(v, ssss);
+    EXPECT_EQ(ExtendValue(static_cast<int>(bits), ssss), v) << "v=" << v;
+  }
+}
+
+TEST(HuffmanDecodeTest, MalformedStreamReturnsError) {
+  auto dec = HuffmanDecoder::Build(StdLumaDc());
+  ASSERT_TRUE(dec.ok());
+  BitReader br(ByteSpan{});  // nothing to read
+  EXPECT_EQ(dec.value().Decode(br), -1);
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

@@ -1,0 +1,159 @@
+// Failure-injection tests: the decoder must reject malformed inputs with a
+// clean Status, never crash or read out of bounds.
+#include <gtest/gtest.h>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "common/rng.h"
+
+namespace dlb::jpeg {
+namespace {
+
+Image SmallScene() {
+  Image img(32, 24, 3);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        img.Set(x, y, c, static_cast<uint8_t>((x * 7 + y * 3 + c * 50) % 256));
+      }
+    }
+  }
+  return img;
+}
+
+Bytes ValidJpeg() {
+  auto e = Encode(SmallScene());
+  EXPECT_TRUE(e.ok());
+  return e.value();
+}
+
+TEST(JpegErrorTest, EmptyInput) {
+  EXPECT_FALSE(Decode(ByteSpan{}).ok());
+  EXPECT_FALSE(PeekInfo(ByteSpan{}).ok());
+}
+
+TEST(JpegErrorTest, MissingSoi) {
+  Bytes data = ValidJpeg();
+  data[1] = 0xD9;  // EOI instead of SOI
+  EXPECT_EQ(Decode(data).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(JpegErrorTest, TruncatedAtEveryHeaderPrefix) {
+  const Bytes data = ValidJpeg();
+  // Cut the stream short at every byte inside the header region: the
+  // decoder must error (never crash) for all of them.
+  auto header = ParseHeaders(data);
+  ASSERT_TRUE(header.ok());
+  const size_t header_end = header.value().entropy_offset;
+  for (size_t cut = 0; cut < header_end; ++cut) {
+    auto r = Decode(ByteSpan(data.data(), cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(JpegErrorTest, TruncatedEntropyData) {
+  const Bytes data = ValidJpeg();
+  auto header = ParseHeaders(data);
+  ASSERT_TRUE(header.ok());
+  // Keep headers, drop most of the scan.
+  const size_t cut = header.value().entropy_offset + 4;
+  auto r = Decode(ByteSpan(data.data(), cut));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(JpegErrorTest, ProgressiveRejectedCleanly) {
+  Bytes data = ValidJpeg();
+  // Rewrite SOF0 marker to SOF2 (progressive).
+  for (size_t i = 0; i + 1 < data.size(); ++i) {
+    if (data[i] == 0xFF && data[i + 1] == kSOF0) {
+      data[i + 1] = kSOF2;
+      break;
+    }
+  }
+  EXPECT_EQ(Decode(data).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(JpegErrorTest, ZeroDimensionRejected) {
+  Bytes data = ValidJpeg();
+  for (size_t i = 0; i + 1 < data.size(); ++i) {
+    if (data[i] == 0xFF && data[i + 1] == kSOF0) {
+      // height bytes are at i+5..i+6
+      data[i + 5] = 0;
+      data[i + 6] = 0;
+      break;
+    }
+  }
+  EXPECT_FALSE(Decode(data).ok());
+}
+
+TEST(JpegErrorTest, RandomByteFlipsNeverCrash) {
+  const Bytes pristine = ValidJpeg();
+  Rng rng(77);
+  int failures = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes data = pristine;
+    // Flip 1-4 random bytes anywhere in the stream.
+    const int flips = 1 + static_cast<int>(rng.UniformU64(4));
+    for (int f = 0; f < flips; ++f) {
+      data[rng.UniformU64(data.size())] =
+          static_cast<uint8_t>(rng.UniformU64(256));
+    }
+    auto r = Decode(data);  // must not crash; may succeed or fail
+    if (!r.ok()) ++failures;
+  }
+  // Sanity: most random corruptions are detected.
+  EXPECT_GT(failures, 0);
+}
+
+TEST(JpegErrorTest, RandomTruncationsNeverCrash) {
+  const Bytes pristine = ValidJpeg();
+  Rng rng(78);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t cut = rng.UniformU64(pristine.size());
+    auto r = Decode(ByteSpan(pristine.data(), cut));
+    (void)r;  // any Status is acceptable; crashing is not
+  }
+}
+
+TEST(JpegErrorTest, GarbageInputNeverCrashes) {
+  Rng rng(79);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes garbage(512);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.UniformU64(256));
+    garbage[0] = 0xFF;
+    garbage[1] = 0xD8;  // valid SOI so parsing proceeds
+    auto r = Decode(garbage);
+    (void)r;
+  }
+}
+
+TEST(JpegErrorTest, EntropyDecodeValidatesBounds) {
+  const Bytes data = ValidJpeg();
+  auto header = ParseHeaders(data);
+  ASSERT_TRUE(header.ok());
+  JpegHeader h = header.value();
+  h.entropy_offset = data.size();  // out of bounds
+  h.entropy_size = 100;
+  EXPECT_FALSE(EntropyDecode(h, data).ok());
+}
+
+TEST(JpegErrorTest, InverseTransformValidatesShape) {
+  const Bytes data = ValidJpeg();
+  auto header = ParseHeaders(data);
+  ASSERT_TRUE(header.ok());
+  CoeffData wrong;
+  wrong.coeffs.resize(1);  // header says 3 components
+  EXPECT_FALSE(InverseTransform(header.value(), wrong).ok());
+}
+
+TEST(JpegErrorTest, ColorReconstructValidatesShape) {
+  const Bytes data = ValidJpeg();
+  auto header = ParseHeaders(data);
+  ASSERT_TRUE(header.ok());
+  PlaneData wrong;
+  wrong.planes.resize(2);
+  EXPECT_FALSE(ColorReconstruct(header.value(), wrong).ok());
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

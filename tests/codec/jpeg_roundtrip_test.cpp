@@ -1,0 +1,220 @@
+// Property-style roundtrip tests: encode with our encoder, decode with our
+// decoder, and bound the lossy reconstruction error. Parameterised over
+// image sizes (including awkward non-MCU-aligned ones), qualities,
+// subsampling modes and restart intervals.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "common/rng.h"
+#include "image/image.h"
+
+namespace dlb::jpeg {
+namespace {
+
+/// Smooth procedural test scene: gradients + a few discs. Smooth content
+/// keeps the JPEG roundtrip error small and stable across qualities.
+Image TestScene(int w, int h, int channels, uint64_t seed) {
+  Rng rng(seed);
+  Image img(w, h, channels);
+  const int cx = w / 3 + static_cast<int>(rng.UniformU64(w / 3 + 1));
+  const int cy = h / 3 + static_cast<int>(rng.UniformU64(h / 3 + 1));
+  const int radius = std::max(2, std::min(w, h) / 4);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int dx = x - cx, dy = y - cy;
+      const bool inside = dx * dx + dy * dy < radius * radius;
+      for (int c = 0; c < channels; ++c) {
+        int v = (x * 2 + y + c * 40) % 256;
+        if (inside) v = 255 - v;
+        img.Set(x, y, c, static_cast<uint8_t>(v));
+      }
+    }
+  }
+  return img;
+}
+
+struct RoundTripParam {
+  int width;
+  int height;
+  int channels;
+  int quality;
+  Subsampling subsampling;
+  int restart_interval;
+};
+
+class JpegRoundTripTest : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(JpegRoundTripTest, EncodeDecodeWithinErrorBound) {
+  const RoundTripParam& p = GetParam();
+  Image src = TestScene(p.width, p.height, p.channels, 1234);
+  EncodeOptions opts;
+  opts.quality = p.quality;
+  opts.subsampling = p.subsampling;
+  opts.restart_interval = p.restart_interval;
+  auto encoded = Encode(src, opts);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  EXPECT_GT(encoded.value().size(), 100u);
+
+  auto decoded = Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().Width(), p.width);
+  EXPECT_EQ(decoded.value().Height(), p.height);
+  EXPECT_EQ(decoded.value().Channels(), p.channels);
+
+  auto diff = Image::MeanAbsDiff(src, decoded.value());
+  ASSERT_TRUE(diff.ok());
+  // Error grows as quality drops and with chroma subsampling; these bounds
+  // are loose enough to be robust and tight enough to catch real bugs
+  // (a broken stage produces diffs of 40+).
+  const double bound = p.quality >= 85 ? 10.0 : (p.quality >= 50 ? 14.0 : 22.0);
+  EXPECT_LT(diff.value(), bound)
+      << "quality=" << p.quality << " sub420="
+      << (p.subsampling == Subsampling::k420);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JpegRoundTripTest,
+    ::testing::Values(
+        // MCU-aligned and non-aligned sizes, both subsamplings.
+        RoundTripParam{64, 64, 3, 85, Subsampling::k420, 0},
+        RoundTripParam{64, 64, 3, 85, Subsampling::k422, 0},
+        RoundTripParam{64, 64, 3, 85, Subsampling::k444, 0},
+        RoundTripParam{65, 63, 3, 85, Subsampling::k422, 0},
+        RoundTripParam{17, 9, 3, 85, Subsampling::k422, 3},
+        RoundTripParam{65, 63, 3, 85, Subsampling::k420, 0},
+        RoundTripParam{17, 9, 3, 85, Subsampling::k420, 0},
+        RoundTripParam{8, 8, 3, 85, Subsampling::k444, 0},
+        RoundTripParam{1, 1, 3, 85, Subsampling::k420, 0},
+        RoundTripParam{500, 375, 3, 85, Subsampling::k420, 0},  // paper size
+        RoundTripParam{28, 28, 1, 85, Subsampling::k444, 0},    // MNIST size
+        RoundTripParam{100, 40, 1, 85, Subsampling::k444, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Qualities, JpegRoundTripTest,
+    ::testing::Values(RoundTripParam{96, 80, 3, 30, Subsampling::k420, 0},
+                      RoundTripParam{96, 80, 3, 50, Subsampling::k420, 0},
+                      RoundTripParam{96, 80, 3, 75, Subsampling::k420, 0},
+                      RoundTripParam{96, 80, 3, 95, Subsampling::k444, 0},
+                      RoundTripParam{96, 80, 3, 100, Subsampling::k444, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    RestartMarkers, JpegRoundTripTest,
+    ::testing::Values(RoundTripParam{64, 48, 3, 85, Subsampling::k420, 1},
+                      RoundTripParam{64, 48, 3, 85, Subsampling::k420, 3},
+                      RoundTripParam{64, 48, 3, 85, Subsampling::k444, 5},
+                      RoundTripParam{128, 96, 3, 85, Subsampling::k420, 7},
+                      RoundTripParam{128, 96, 1, 85, Subsampling::k444, 2}));
+
+TEST(JpegRoundTripTest, FlatImagesAreNearExact) {
+  // Constant blocks quantise to pure DC: roundtrip error < 1 level.
+  for (uint8_t level : {0, 128, 255}) {
+    Image src(40, 24, 3);
+    std::memset(src.Data(), level, src.SizeBytes());
+    auto decoded = Decode(Encode(src).value());
+    ASSERT_TRUE(decoded.ok());
+    auto diff = Image::MeanAbsDiff(src, decoded.value());
+    ASSERT_TRUE(diff.ok());
+    EXPECT_LT(diff.value(), 1.5) << "level " << int(level);
+  }
+}
+
+TEST(JpegRoundTripTest, WorstCaseNoiseSurvives) {
+  // Pure noise is JPEG's worst case; the stream must still roundtrip
+  // without structural errors (bounded, if large, pixel error).
+  Rng rng(123);
+  Image src(64, 64, 3);
+  for (size_t i = 0; i < src.SizeBytes(); ++i) {
+    src.Data()[i] = static_cast<uint8_t>(rng.UniformU64(256));
+  }
+  auto encoded = Encode(src, EncodeOptions{.quality = 95,
+                                           .subsampling = Subsampling::k444});
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().Width(), 64);
+  auto diff = Image::MeanAbsDiff(src, decoded.value());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 40.0);
+}
+
+TEST(JpegRoundTripTest, ExtremeAspectRatios) {
+  for (auto [w, h] : {std::pair{512, 1}, std::pair{1, 512},
+                      std::pair{300, 2}}) {
+    Image src = TestScene(w, h, 3, 99);
+    auto decoded = Decode(Encode(src).value());
+    ASSERT_TRUE(decoded.ok()) << w << "x" << h;
+    EXPECT_EQ(decoded.value().Width(), w);
+    EXPECT_EQ(decoded.value().Height(), h);
+  }
+}
+
+TEST(JpegEncoderTest, HigherQualityMeansMoreBytes) {
+  Image src = TestScene(128, 128, 3, 5);
+  EncodeOptions lo, hi;
+  lo.quality = 40;
+  hi.quality = 95;
+  auto e_lo = Encode(src, lo);
+  auto e_hi = Encode(src, hi);
+  ASSERT_TRUE(e_lo.ok());
+  ASSERT_TRUE(e_hi.ok());
+  EXPECT_LT(e_lo.value().size(), e_hi.value().size());
+}
+
+TEST(JpegEncoderTest, SubsamplingShrinksOutput) {
+  Image src = TestScene(128, 128, 3, 6);
+  EncodeOptions s420, s444;
+  s420.subsampling = Subsampling::k420;
+  s444.subsampling = Subsampling::k444;
+  auto e420 = Encode(src, s420);
+  auto e444 = Encode(src, s444);
+  ASSERT_TRUE(e420.ok());
+  ASSERT_TRUE(e444.ok());
+  EXPECT_LT(e420.value().size(), e444.value().size());
+}
+
+TEST(JpegEncoderTest, RejectsInvalidInput) {
+  EXPECT_FALSE(Encode(Image()).ok());
+  EXPECT_FALSE(Encode(Image(4, 4, 2)).ok());  // 2 channels unsupported
+}
+
+TEST(JpegEncoderTest, OutputStartsWithSoiEndsWithEoi) {
+  Image src = TestScene(16, 16, 3, 7);
+  auto e = Encode(src);
+  ASSERT_TRUE(e.ok());
+  const Bytes& b = e.value();
+  ASSERT_GE(b.size(), 4u);
+  EXPECT_EQ(b[0], 0xFF);
+  EXPECT_EQ(b[1], 0xD8);
+  EXPECT_EQ(b[b.size() - 2], 0xFF);
+  EXPECT_EQ(b[b.size() - 1], 0xD9);
+}
+
+TEST(JpegDecoderTest, PeekInfoMatchesWithoutFullDecode) {
+  Image src = TestScene(77, 33, 3, 8);
+  auto e = Encode(src);
+  ASSERT_TRUE(e.ok());
+  auto info = PeekInfo(e.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().width, 77);
+  EXPECT_EQ(info.value().height, 33);
+  EXPECT_EQ(info.value().channels, 3);
+}
+
+TEST(JpegDecoderTest, DeterministicDecode) {
+  Image src = TestScene(50, 40, 3, 9);
+  auto e = Encode(src);
+  ASSERT_TRUE(e.ok());
+  auto d1 = Decode(e.value());
+  auto d2 = Decode(e.value());
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(d1.value() == d2.value());
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

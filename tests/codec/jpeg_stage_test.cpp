@@ -1,0 +1,132 @@
+// Stage-separability tests: running the four decoder stages by hand must be
+// identical to the one-shot Decode(). The FPGA simulator's functional mode
+// depends on this property.
+#include <gtest/gtest.h>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+
+namespace dlb::jpeg {
+namespace {
+
+Image Scene(int w, int h) {
+  Image img(w, h, 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.Set(x, y, 0, static_cast<uint8_t>((x * 5) % 256));
+      img.Set(x, y, 1, static_cast<uint8_t>((y * 5) % 256));
+      img.Set(x, y, 2, static_cast<uint8_t>((x + y) % 256));
+    }
+  }
+  return img;
+}
+
+TEST(JpegStageTest, StagesComposeToDecode) {
+  auto encoded = Encode(Scene(100, 75));
+  ASSERT_TRUE(encoded.ok());
+
+  auto header = ParseHeaders(encoded.value());
+  ASSERT_TRUE(header.ok());
+  auto coeffs = EntropyDecode(header.value(), encoded.value());
+  ASSERT_TRUE(coeffs.ok());
+  auto planes = InverseTransform(header.value(), coeffs.value());
+  ASSERT_TRUE(planes.ok());
+  auto staged = ColorReconstruct(header.value(), planes.value());
+  ASSERT_TRUE(staged.ok());
+
+  auto oneshot = Decode(encoded.value());
+  ASSERT_TRUE(oneshot.ok());
+  EXPECT_TRUE(staged.value() == oneshot.value());
+}
+
+TEST(JpegStageTest, HeaderGeometryFor420) {
+  EncodeOptions opts;
+  opts.subsampling = Subsampling::k420;
+  auto encoded = Encode(Scene(100, 75), opts);
+  ASSERT_TRUE(encoded.ok());
+  auto header = ParseHeaders(encoded.value());
+  ASSERT_TRUE(header.ok());
+  const JpegHeader& h = header.value();
+  EXPECT_EQ(h.width, 100);
+  EXPECT_EQ(h.height, 75);
+  ASSERT_EQ(h.components.size(), 3u);
+  EXPECT_EQ(h.max_h, 2);
+  EXPECT_EQ(h.max_v, 2);
+  EXPECT_EQ(h.mcus_w, 7);  // ceil(100/16)
+  EXPECT_EQ(h.mcus_h, 5);  // ceil(75/16)
+  EXPECT_EQ(h.components[0].blocks_w, 14);
+  EXPECT_EQ(h.components[1].blocks_w, 7);
+  EXPECT_EQ(h.components[0].plane_w, 112);
+}
+
+TEST(JpegStageTest, HeaderGeometryFor444) {
+  EncodeOptions opts;
+  opts.subsampling = Subsampling::k444;
+  auto encoded = Encode(Scene(17, 9), opts);
+  ASSERT_TRUE(encoded.ok());
+  auto header = ParseHeaders(encoded.value());
+  ASSERT_TRUE(header.ok());
+  const JpegHeader& h = header.value();
+  EXPECT_EQ(h.mcus_w, 3);  // ceil(17/8)
+  EXPECT_EQ(h.mcus_h, 2);
+  for (const auto& c : h.components) {
+    EXPECT_EQ(c.h_samp, 1);
+    EXPECT_EQ(c.v_samp, 1);
+  }
+}
+
+TEST(JpegStageTest, HeaderGeometryFor422) {
+  EncodeOptions opts;
+  opts.subsampling = Subsampling::k422;
+  auto encoded = Encode(Scene(100, 75), opts);
+  ASSERT_TRUE(encoded.ok());
+  auto header = ParseHeaders(encoded.value());
+  ASSERT_TRUE(header.ok());
+  const JpegHeader& h = header.value();
+  EXPECT_EQ(h.max_h, 2);
+  EXPECT_EQ(h.max_v, 1);
+  EXPECT_EQ(h.mcus_w, 7);   // ceil(100/16)
+  EXPECT_EQ(h.mcus_h, 10);  // ceil(75/8)
+  EXPECT_EQ(h.components[0].h_samp, 2);
+  EXPECT_EQ(h.components[0].v_samp, 1);
+  EXPECT_EQ(h.components[1].h_samp, 1);
+}
+
+TEST(JpegStageTest, CoeffBlockCountsMatchGeometry) {
+  auto encoded = Encode(Scene(64, 48));
+  ASSERT_TRUE(encoded.ok());
+  auto header = ParseHeaders(encoded.value());
+  ASSERT_TRUE(header.ok());
+  auto coeffs = EntropyDecode(header.value(), encoded.value());
+  ASSERT_TRUE(coeffs.ok());
+  for (size_t ci = 0; ci < header.value().components.size(); ++ci) {
+    const auto& c = header.value().components[ci];
+    EXPECT_EQ(coeffs.value().coeffs[ci].size(),
+              static_cast<size_t>(c.blocks_w) * c.blocks_h * 64);
+  }
+}
+
+TEST(JpegStageTest, RestartIntervalParsed) {
+  EncodeOptions opts;
+  opts.restart_interval = 4;
+  auto encoded = Encode(Scene(64, 48), opts);
+  ASSERT_TRUE(encoded.ok());
+  auto header = ParseHeaders(encoded.value());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().restart_interval, 4);
+}
+
+TEST(JpegStageTest, QuantTablesParsedInNaturalOrder) {
+  auto encoded = Encode(Scene(16, 16), EncodeOptions{.quality = 50});
+  ASSERT_TRUE(encoded.ok());
+  auto header = ParseHeaders(encoded.value());
+  ASSERT_TRUE(header.ok());
+  // Quality 50 keeps Annex K tables verbatim (natural order in memory).
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(header.value().quant[0][i], kStdLumaQuant[i]);
+    EXPECT_EQ(header.value().quant[1][i], kStdChromaQuant[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

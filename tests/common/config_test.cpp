@@ -1,0 +1,59 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValueArgs) {
+  auto r = Config::FromArgs({"gpus=2", "backend=dlbooster", "rate=3.5"});
+  ASSERT_TRUE(r.ok());
+  const Config& c = r.value();
+  EXPECT_EQ(c.GetInt("gpus", 0), 2);
+  EXPECT_EQ(c.GetString("backend", ""), "dlbooster");
+  EXPECT_DOUBLE_EQ(c.GetDouble("rate", 0.0), 3.5);
+}
+
+TEST(ConfigTest, RejectsMalformedToken) {
+  EXPECT_FALSE(Config::FromArgs({"novalue"}).ok());
+  EXPECT_FALSE(Config::FromArgs({"=orphan"}).ok());
+}
+
+TEST(ConfigTest, DefaultsWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.GetInt("absent", 42), 42);
+  EXPECT_EQ(c.GetString("absent", "dflt"), "dflt");
+  EXPECT_TRUE(c.GetBool("absent", true));
+}
+
+TEST(ConfigTest, BoolAcceptsCommonSpellings) {
+  Config c;
+  c.Set("a", "1");
+  c.Set("b", "true");
+  c.Set("c", "yes");
+  c.Set("d", "on");
+  c.Set("e", "0");
+  c.Set("f", "false");
+  EXPECT_TRUE(c.GetBool("a", false));
+  EXPECT_TRUE(c.GetBool("b", false));
+  EXPECT_TRUE(c.GetBool("c", false));
+  EXPECT_TRUE(c.GetBool("d", false));
+  EXPECT_FALSE(c.GetBool("e", true));
+  EXPECT_FALSE(c.GetBool("f", true));
+}
+
+TEST(ConfigTest, ValueMayContainEquals) {
+  auto r = Config::FromArgs({"expr=a=b"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().GetString("expr", ""), "a=b");
+}
+
+TEST(ConfigTest, ToStringSortedAndRoundTrippable) {
+  Config c;
+  c.Set("zeta", "1");
+  c.Set("alpha", "2");
+  EXPECT_EQ(c.ToString(), "alpha=2 zeta=1");
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/spsc_ring.h"
+
+namespace dlb {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.Push(i).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1).ok());
+  EXPECT_TRUE(q.TryPush(2).ok());
+  EXPECT_EQ(q.TryPush(3).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(q.Size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseWakesConsumersAfterDrain) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(1).ok());
+  q.Close();
+  // Remaining items still pop; then nullopt.
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_EQ(q.Push(2).code(), StatusCode::kClosed);
+}
+
+TEST(BoundedQueueTest, BlockedProducerWakesOnClose) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0).ok());
+  std::thread producer([&q] {
+    Status s = q.Push(1);  // blocks: queue full
+    EXPECT_EQ(s.code(), StatusCode::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, MpmcDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 2500;
+  BoundedQueue<int> q(64);
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i).ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        received++;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(received.load(), n);
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST(BoundedQueueTest, PopForTimesOutOnEmpty) {
+  BoundedQueue<int> q(4);
+  const auto start = std::chrono::steady_clock::now();
+  auto v = q.PopFor(std::chrono::milliseconds(20));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(v.has_value());
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(BoundedQueueTest, PopForReturnsImmediatelyWhenReady) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(9).ok());
+  auto v = q.PopFor(std::chrono::milliseconds(1000));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(BoundedQueueTest, PopForWakesOnLatePush) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(q.Push(5).ok());
+  });
+  auto v = q.PopFor(std::chrono::milliseconds(2000));
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(BoundedQueueTest, PopForOnClosedEmptyQueue) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(100)).has_value());
+}
+
+TEST(BoundedQueueTest, DrainAllEmptiesWithoutBlocking) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.Push(i).ok());
+  auto drained = q.DrainAll();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SpscRingTest, PushPopOrder) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_EQ(ring.TryPop().value(), 1);
+  EXPECT_EQ(ring.TryPop().value(), 2);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, FullRejectsPush) {
+  SpscRing<int> ring(2);
+  size_t pushed = 0;
+  while (ring.TryPush(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, ring.Capacity());
+  EXPECT_FALSE(ring.TryPush(99));
+}
+
+TEST(SpscRingTest, ConcurrentStreamPreservesSequence) {
+  SpscRing<int> ring(128);
+  constexpr int kItems = 200000;
+  std::thread producer([&ring] {
+    for (int i = 0; i < kItems;) {
+      if (ring.TryPush(i)) ++i;
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto v = ring.TryPop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace dlb

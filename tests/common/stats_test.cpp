@@ -1,0 +1,111 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dlb {
+namespace {
+
+TEST(CounterTest, AccumulatesAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), 40000u);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v <= 32; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 33u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 32u);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 32u);
+}
+
+TEST(HistogramTest, QuantilesWithinRelativeError) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  // 5 sub-bucket bits => worst-case relative error 1/32.
+  const uint64_t p50 = h.Quantile(0.5);
+  EXPECT_NEAR(static_cast<double>(p50), 50000.0, 50000.0 / 16.0);
+  const uint64_t p99 = h.Quantile(0.99);
+  EXPECT_NEAR(static_cast<double>(p99), 99000.0, 99000.0 / 16.0);
+}
+
+TEST(HistogramTest, MeanAndSum) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.Sum(), 60u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordNWeightsSamples) {
+  Histogram h;
+  h.RecordN(5, 100);
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_EQ(h.Quantile(0.5), 5u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(1);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_EQ(a.Min(), 1u);
+  EXPECT_GE(a.Max(), 1000000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, HugeValuesClampIntoTopBucket) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GT(h.Quantile(0.5), 1ull << 39);
+}
+
+TEST(RunningStatTest, WelfordMatchesClosedForm) {
+  RunningStat rs;
+  for (int i = 1; i <= 5; ++i) rs.Add(i);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.Variance(), 2.5);  // sample variance of 1..5
+  EXPECT_EQ(rs.Min(), 1.0);
+  EXPECT_EQ(rs.Max(), 5.0);
+}
+
+TEST(MetricRegistryTest, LazyCreationAndStablePointers) {
+  MetricRegistry reg;
+  Counter* c1 = reg.GetCounter("images");
+  Counter* c2 = reg.GetCounter("images");
+  EXPECT_EQ(c1, c2);
+  c1->Add(3);
+  EXPECT_NE(reg.Report().find("images 3"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ReportIncludesHistograms) {
+  MetricRegistry reg;
+  reg.GetHistogram("latency")->Record(100);
+  const std::string report = reg.Report();
+  EXPECT_NE(report.find("latency"), std::string::npos);
+  EXPECT_NE(report.find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlb

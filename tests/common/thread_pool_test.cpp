@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace dlb {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] { count++; }).ok());
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done++;
+    }).ok());
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.SubmitWithResult([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_EQ(pool.Submit([] {}).code(), StatusCode::kClosed);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.Submit([&count] { count++; }).ok());
+    }
+  }  // destructor drains then joins
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&ran] { ran++; }).ok());
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace dlb

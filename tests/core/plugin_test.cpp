@@ -1,0 +1,94 @@
+#include "core/plugin.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/jpeg_encoder.h"
+#include "codec/ppm.h"
+
+namespace dlb::core {
+namespace {
+
+TEST(PluginTest, BuiltInMirrorsRegistered) {
+  auto names = DecoderRegistry::Global().List();
+  EXPECT_NE(std::find(names.begin(), names.end(), "jpeg"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ppm"), names.end());
+}
+
+TEST(PluginTest, UnknownMirrorIsNotFound) {
+  EXPECT_EQ(DecoderRegistry::Global().Create("hevc").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PluginTest, JpegMirrorSniffsAndDecodes) {
+  auto mirror = DecoderRegistry::Global().Create("jpeg");
+  ASSERT_TRUE(mirror.ok());
+  Image img(16, 12, 3);
+  auto encoded = jpeg::Encode(img);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_TRUE(mirror.value()->Sniff(encoded.value()));
+  auto decoded = mirror.value()->Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().Width(), 16);
+}
+
+TEST(PluginTest, PpmMirrorSniffsAndDecodes) {
+  auto mirror = DecoderRegistry::Global().Create("ppm");
+  ASSERT_TRUE(mirror.ok());
+  Image img(8, 8, 3);
+  img.Set(2, 3, 1, 99);
+  auto encoded = ppm::Encode(img);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_TRUE(mirror.value()->Sniff(encoded.value()));
+  auto decoded = mirror.value()->Decode(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value() == img);  // PPM is lossless
+}
+
+TEST(PluginTest, MirrorsRejectForeignFormats) {
+  auto jpeg_mirror = DecoderRegistry::Global().Create("jpeg");
+  auto ppm_mirror = DecoderRegistry::Global().Create("ppm");
+  ASSERT_TRUE(jpeg_mirror.ok());
+  ASSERT_TRUE(ppm_mirror.ok());
+  Image img(4, 4, 3);
+  auto as_jpeg = jpeg::Encode(img);
+  auto as_ppm = ppm::Encode(img);
+  ASSERT_TRUE(as_jpeg.ok());
+  ASSERT_TRUE(as_ppm.ok());
+  EXPECT_FALSE(jpeg_mirror.value()->Sniff(as_ppm.value()));
+  EXPECT_FALSE(ppm_mirror.value()->Sniff(as_jpeg.value()));
+}
+
+class CountingMirror : public DecoderMirror {
+ public:
+  std::string Name() const override { return "counting"; }
+  std::string Description() const override { return "test mirror"; }
+  bool Sniff(ByteSpan) const override { return true; }
+  Result<Image> Decode(ByteSpan) const override { return Image(1, 1, 1); }
+};
+
+TEST(PluginTest, UserMirrorsCanRegisterOnce) {
+  auto& registry = DecoderRegistry::Global();
+  ASSERT_TRUE(registry
+                  .Register("counting-test",
+                            [] { return std::make_unique<CountingMirror>(); })
+                  .ok());
+  EXPECT_EQ(registry
+                .Register("counting-test",
+                          [] { return std::make_unique<CountingMirror>(); })
+                .code(),
+            StatusCode::kFailedPrecondition);
+  auto mirror = registry.Create("counting-test");
+  ASSERT_TRUE(mirror.ok());
+  EXPECT_EQ(mirror.value()->Name(), "counting");
+}
+
+TEST(PluginTest, InvalidRegistrationRejected) {
+  auto& registry = DecoderRegistry::Global();
+  EXPECT_FALSE(registry.Register("", [] {
+    return std::make_unique<CountingMirror>();
+  }).ok());
+  EXPECT_FALSE(registry.Register("null-factory", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dlb::core

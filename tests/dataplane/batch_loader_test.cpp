@@ -1,0 +1,78 @@
+#include "dataplane/batch_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dlb {
+namespace {
+
+Manifest MakeManifest(size_t n) {
+  Manifest m;
+  for (size_t i = 0; i < n; ++i) {
+    FileRecord rec;
+    rec.id = i;
+    rec.name = std::to_string(i);
+    m.Add(rec);
+  }
+  return m;
+}
+
+TEST(BatchLoaderTest, ExactDivision) {
+  Manifest m = MakeManifest(12);
+  BatchLoader loader(&m, 4, false, 1);
+  EXPECT_EQ(loader.BatchesPerEpoch(), 3u);
+  for (int b = 0; b < 3; ++b) {
+    auto batch = loader.NextBatch();
+    EXPECT_EQ(batch.size(), 4u);
+  }
+  EXPECT_EQ(loader.CurrentEpoch(), 0u);
+  (void)loader.NextBatch();
+  EXPECT_EQ(loader.CurrentEpoch(), 1u);
+}
+
+TEST(BatchLoaderTest, PartialFinalBatch) {
+  Manifest m = MakeManifest(10);
+  BatchLoader loader(&m, 4, false, 1);
+  EXPECT_EQ(loader.NextBatch().size(), 4u);
+  EXPECT_EQ(loader.NextBatch().size(), 4u);
+  EXPECT_EQ(loader.NextBatch().size(), 2u);  // never spans epochs
+  EXPECT_EQ(loader.NextBatch().size(), 4u);  // next epoch starts fresh
+}
+
+TEST(BatchLoaderTest, EpochCoversAllSamplesOnce) {
+  Manifest m = MakeManifest(17);
+  BatchLoader loader(&m, 5, true, 3);
+  std::multiset<uint32_t> seen;
+  while (loader.CurrentEpoch() == 0) {
+    for (uint32_t idx : loader.NextBatch()) seen.insert(idx);
+    if (seen.size() >= 17) break;
+  }
+  EXPECT_EQ(seen.size(), 17u);
+  for (uint32_t i = 0; i < 17; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(BatchLoaderTest, ShuffledEpochsDiffer) {
+  Manifest m = MakeManifest(64);
+  BatchLoader loader(&m, 64, true, 5);
+  auto epoch0 = loader.NextBatch();
+  auto epoch1 = loader.NextBatch();
+  EXPECT_NE(epoch0, epoch1);
+}
+
+TEST(BatchLoaderTest, EmptyManifest) {
+  Manifest m;
+  BatchLoader loader(&m, 4, false, 1);
+  EXPECT_TRUE(loader.NextBatch().empty());
+  EXPECT_EQ(loader.BatchesPerEpoch(), 0u);
+}
+
+TEST(BatchLoaderTest, ZeroBatchSizeClampedToOne) {
+  Manifest m = MakeManifest(3);
+  BatchLoader loader(&m, 0, false, 1);
+  EXPECT_EQ(loader.BatchSize(), 1u);
+  EXPECT_EQ(loader.NextBatch().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,173 @@
+#include "dataplane/blob_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dlb {
+namespace {
+
+TEST(InMemoryBlobStoreTest, AppendAndRead) {
+  InMemoryBlobStore store;
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {4, 5, 6, 7};
+  FileRecord ra = store.Append(a, "a", 0);
+  FileRecord rb = store.Append(b, "b", 1);
+  EXPECT_EQ(ra.offset, 0u);
+  EXPECT_EQ(rb.offset, 3u);
+  EXPECT_EQ(store.SizeBytes(), 7u);
+
+  auto read_a = store.Read(ra);
+  ASSERT_TRUE(read_a.ok());
+  EXPECT_EQ(read_a.value()[2], 3);
+  auto read_b = store.Read(rb);
+  ASSERT_TRUE(read_b.ok());
+  EXPECT_EQ(read_b.value().size(), 4u);
+}
+
+TEST(InMemoryBlobStoreTest, IdsAreSequential) {
+  InMemoryBlobStore store;
+  const Bytes one = {1};
+  EXPECT_EQ(store.Append(one, "x", 0).id, 0u);
+  const Bytes two = {2};
+  EXPECT_EQ(store.Append(two, "y", 0).id, 1u);
+}
+
+TEST(InMemoryBlobStoreTest, OutOfBoundsReadRejected) {
+  InMemoryBlobStore store;
+  const Bytes ab = {1, 2};
+  FileRecord rec = store.Append(ab, "a", 0);
+  rec.size = 100;
+  EXPECT_FALSE(store.Read(rec).ok());
+}
+
+TEST(PackedFileBlobStoreTest, PackOpenRoundTrip) {
+  InMemoryBlobStore source;
+  Manifest manifest;
+  FileRecord a = source.Append(Bytes{1, 2, 3}, "a.jpg", 7);
+  a.width = 10;
+  a.height = 20;
+  manifest.Add(a);
+  FileRecord b = source.Append(Bytes{9, 8, 7, 6}, "b.jpg", -3);
+  manifest.Add(b);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dlb_pack.bin").string();
+  ASSERT_TRUE(PackedFileBlobStore::Pack(manifest, source, path).ok());
+
+  auto opened = PackedFileBlobStore::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const Manifest& m = opened.value().manifest;
+  ASSERT_EQ(m.Size(), 2u);
+  EXPECT_EQ(m.At(0).name, "a.jpg");
+  EXPECT_EQ(m.At(0).label, 7);
+  EXPECT_EQ(m.At(0).width, 10);
+  EXPECT_EQ(m.At(1).label, -3);
+
+  auto blob_a = opened.value().store->Read(m.At(0));
+  ASSERT_TRUE(blob_a.ok());
+  EXPECT_EQ(blob_a.value()[0], 1);
+  auto blob_b = opened.value().store->Read(m.At(1));
+  ASSERT_TRUE(blob_b.ok());
+  EXPECT_EQ(blob_b.value().size(), 4u);
+  EXPECT_EQ(blob_b.value()[3], 6);
+  std::filesystem::remove(path);
+}
+
+TEST(PackedFileBlobStoreTest, OpenRejectsGarbage) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dlb_pack_bad.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage file contents here";
+  }
+  EXPECT_FALSE(PackedFileBlobStore::Open(path).ok());
+  std::filesystem::remove(path);
+  EXPECT_EQ(PackedFileBlobStore::Open("/nonexistent/x").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PackedFileBlobStoreTest, TruncationsRejected) {
+  InMemoryBlobStore source;
+  Manifest manifest;
+  manifest.Add(source.Append(Bytes(100, 42), "x.bin", 0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dlb_pack_trunc.bin").string();
+  ASSERT_TRUE(PackedFileBlobStore::Pack(manifest, source, path).ok());
+  // Truncate the arena.
+  Bytes full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(full.data()),
+              static_cast<std::streamsize>(full.size() - 50));
+  }
+  EXPECT_FALSE(PackedFileBlobStore::Open(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(PackedFileBlobStoreTest, FeedsThePipeline) {
+  // The packed store is a drop-in BlobStore for the whole runtime stack.
+  InMemoryBlobStore source;
+  Manifest manifest;
+  manifest.Add(source.Append(Bytes{0xFF, 0xD8, 0x01}, "fake.jpg", 1));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dlb_pack_pipe.bin").string();
+  ASSERT_TRUE(PackedFileBlobStore::Pack(manifest, source, path).ok());
+  auto opened = PackedFileBlobStore::Open(path);
+  ASSERT_TRUE(opened.ok());
+  const BlobStore& as_interface = *opened.value().store;
+  auto blob = as_interface.Read(opened.value().manifest.At(0));
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value()[1], 0xD8);
+  std::filesystem::remove(path);
+}
+
+TEST(DirectoryBlobStoreTest, WriteReadRoundTrip) {
+  const std::string root =
+      std::filesystem::temp_directory_path() / "dlb_blob_test";
+  std::filesystem::remove_all(root);
+  DirectoryBlobStore store(root);
+  const Bytes blob = {9, 8, 7, 6};
+  auto rec = store.Write(blob, "sample.jpg", 3);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().label, 3);
+
+  auto read = store.Read(rec.value());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), 4u);
+  EXPECT_EQ(read.value()[0], 9);
+  EXPECT_TRUE(std::filesystem::exists(root + "/sample.jpg"));
+  std::filesystem::remove_all(root);
+}
+
+TEST(DirectoryBlobStoreTest, MissingFileIsNotFound) {
+  DirectoryBlobStore store("/tmp/dlb_blob_missing");
+  FileRecord rec;
+  rec.name = "ghost.jpg";
+  rec.size = 1;
+  EXPECT_EQ(store.Read(rec).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DirectoryBlobStoreTest, SizeMismatchIsCorrupt) {
+  const std::string root =
+      std::filesystem::temp_directory_path() / "dlb_blob_test2";
+  std::filesystem::remove_all(root);
+  DirectoryBlobStore store(root);
+  const Bytes blob123 = {1, 2, 3};
+  auto rec = store.Write(blob123, "f.bin", 0);
+  ASSERT_TRUE(rec.ok());
+  FileRecord bad = rec.value();
+  bad.size = 2;
+  EXPECT_EQ(store.Read(bad).status().code(), StatusCode::kCorruptData);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/disk_model.h"
+#include "dataplane/nic_model.h"
+
+namespace dlb {
+namespace {
+
+TEST(DiskModelTest, TransferTimeMatchesBandwidth) {
+  sim::Scheduler sched;
+  DiskModelOptions opts;
+  opts.read_bandwidth = 1e9;  // 1 GB/s
+  opts.read_iops = 1e9;       // negligible per-op overhead
+  opts.channels = 1;
+  DiskModel disk(&sched, opts);
+  sim::SimTime done = 0;
+  disk.Read(500 * 1000 * 1000, [&] { done = sched.Now(); });
+  sched.Run();
+  EXPECT_NEAR(sim::ToSeconds(done), 0.5, 1e-3);
+  EXPECT_EQ(disk.BytesRead(), 500000000u);
+}
+
+TEST(DiskModelTest, IopsBoundSmallReads) {
+  sim::Scheduler sched;
+  DiskModelOptions opts;
+  opts.read_bandwidth = 1e12;  // transfer free
+  opts.read_iops = 1000;       // 1ms per op
+  opts.channels = 1;
+  DiskModel disk(&sched, opts);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) disk.Read(1, [&] { ++done; });
+  sched.Run();
+  EXPECT_EQ(done, 10);
+  EXPECT_NEAR(sim::ToSeconds(sched.Now()), 0.010, 1e-4);
+}
+
+TEST(DiskModelTest, ChannelsOverlapRequests) {
+  sim::Scheduler sched;
+  DiskModelOptions opts;
+  opts.read_bandwidth = 1e9;
+  opts.read_iops = 1e9;
+  opts.channels = 4;
+  DiskModel disk(&sched, opts);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) disk.Read(100 * 1000 * 1000, [&] { ++done; });
+  sched.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_NEAR(sim::ToSeconds(sched.Now()), 0.1, 1e-3);  // parallel, not 0.4
+}
+
+TEST(NicModelTest, WireTimeAtLineRate) {
+  sim::Scheduler sched;
+  sim::CpuAccountant cpu(&sched);
+  NicModelOptions opts;
+  opts.bits_per_sec = 40e9;
+  NicModel nic(&sched, &cpu, opts);
+  sim::SimTime done = 0;
+  nic.Receive(5ull * 1000 * 1000 * 1000 / 8, [&] { done = sched.Now(); });
+  sched.Run();
+  EXPECT_NEAR(sim::ToSeconds(done), 0.125, 1e-3);  // 5 Gb over 40 Gbps
+}
+
+TEST(NicModelTest, LinkSerializesTransfers) {
+  sim::Scheduler sched;
+  NicModelOptions opts;
+  opts.bits_per_sec = 8e9;  // 1 GB/s
+  NicModel nic(&sched, nullptr, opts);
+  sim::SimTime done2 = 0;
+  nic.Receive(1000 * 1000 * 1000, nullptr);
+  nic.Receive(1000 * 1000 * 1000, [&] { done2 = sched.Now(); });
+  sched.Run();
+  EXPECT_NEAR(sim::ToSeconds(done2), 2.0, 1e-3);
+}
+
+TEST(NicModelTest, ChargesPerPacketCpu) {
+  sim::Scheduler sched;
+  sim::CpuAccountant cpu(&sched);
+  NicModelOptions opts;
+  opts.mtu = 1500;
+  opts.per_packet_cpu_us = 1.0;
+  NicModel nic(&sched, &cpu, opts);
+  nic.Receive(15000, nullptr);  // 10 packets
+  sched.Run();
+  const auto& categories = cpu.CoreSecondsByCategory();
+  auto it = categories.find("nic");
+  ASSERT_NE(it, categories.end());
+  EXPECT_NEAR(it->second, 10e-6, 1e-9);
+}
+
+}  // namespace
+}  // namespace dlb

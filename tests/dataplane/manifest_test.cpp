@@ -1,0 +1,73 @@
+#include "dataplane/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dlb {
+namespace {
+
+Manifest MakeManifest(size_t n) {
+  Manifest m;
+  for (size_t i = 0; i < n; ++i) {
+    FileRecord rec;
+    rec.id = i;
+    rec.name = "img_" + std::to_string(i);
+    rec.offset = i * 100;
+    rec.size = 100;
+    rec.label = static_cast<int32_t>(i % 7);
+    m.Add(rec);
+  }
+  return m;
+}
+
+TEST(ManifestTest, SizeAndTotals) {
+  Manifest m = MakeManifest(10);
+  EXPECT_EQ(m.Size(), 10u);
+  EXPECT_EQ(m.TotalBytes(), 1000u);
+  EXPECT_DOUBLE_EQ(m.MeanBytes(), 100.0);
+}
+
+TEST(ManifestTest, EmptyManifest) {
+  Manifest m;
+  EXPECT_TRUE(m.Empty());
+  EXPECT_EQ(m.TotalBytes(), 0u);
+  EXPECT_DOUBLE_EQ(m.MeanBytes(), 0.0);
+  EXPECT_TRUE(m.EpochOrder(0, 1, true).empty());
+}
+
+TEST(ManifestTest, EpochOrderIsPermutation) {
+  Manifest m = MakeManifest(100);
+  auto order = m.EpochOrder(0, 42, true);
+  std::set<uint32_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(ManifestTest, ShuffleOffIsIdentity) {
+  Manifest m = MakeManifest(20);
+  auto order = m.EpochOrder(3, 42, false);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ManifestTest, ShuffleDeterministicPerSeedAndEpoch) {
+  Manifest m = MakeManifest(50);
+  EXPECT_EQ(m.EpochOrder(1, 7, true), m.EpochOrder(1, 7, true));
+  EXPECT_NE(m.EpochOrder(1, 7, true), m.EpochOrder(2, 7, true));
+  EXPECT_NE(m.EpochOrder(1, 7, true), m.EpochOrder(1, 8, true));
+}
+
+TEST(ManifestTest, ShuffleActuallyShuffles) {
+  Manifest m = MakeManifest(100);
+  auto order = m.EpochOrder(0, 5, true);
+  size_t moved = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) ++moved;
+  }
+  EXPECT_GT(moved, 80u);
+}
+
+}  // namespace
+}  // namespace dlb

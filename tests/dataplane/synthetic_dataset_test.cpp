@@ -1,0 +1,111 @@
+#include "dataplane/synthetic_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codec/jpeg_decoder.h"
+
+namespace dlb {
+namespace {
+
+TEST(SyntheticDatasetTest, GeneratesRequestedCount) {
+  DatasetSpec spec = ImageNetLikeSpec(16);
+  spec.width = 64;
+  spec.height = 48;  // keep the test fast
+  auto ds = GenerateDataset(spec);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds.value().manifest.Size(), 16u);
+  EXPECT_GT(ds.value().store->SizeBytes(), 0u);
+}
+
+TEST(SyntheticDatasetTest, EveryBlobIsDecodableJpeg) {
+  DatasetSpec spec = ImageNetLikeSpec(8);
+  spec.width = 80;
+  spec.height = 60;
+  auto ds = GenerateDataset(spec);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& rec : ds.value().manifest.Records()) {
+    auto bytes = ds.value().store->Read(rec);
+    ASSERT_TRUE(bytes.ok());
+    auto img = jpeg::Decode(bytes.value());
+    ASSERT_TRUE(img.ok()) << rec.name << ": " << img.status().ToString();
+    EXPECT_EQ(img.value().Width(), rec.width);
+    EXPECT_EQ(img.value().Height(), rec.height);
+  }
+}
+
+TEST(SyntheticDatasetTest, DimensionJitterVariesSizes) {
+  DatasetSpec spec = ImageNetLikeSpec(12);
+  spec.width = 100;
+  spec.height = 80;
+  spec.dim_jitter = 0.3;
+  auto ds = GenerateDataset(spec);
+  ASSERT_TRUE(ds.ok());
+  std::set<int> widths;
+  for (const auto& rec : ds.value().manifest.Records()) {
+    widths.insert(rec.width);
+  }
+  EXPECT_GT(widths.size(), 3u);
+}
+
+TEST(SyntheticDatasetTest, MnistSpecIsGrayscale28) {
+  auto ds = GenerateDataset(MnistLikeSpec(4));
+  ASSERT_TRUE(ds.ok());
+  for (const auto& rec : ds.value().manifest.Records()) {
+    auto bytes = ds.value().store->Read(rec);
+    ASSERT_TRUE(bytes.ok());
+    auto info = jpeg::PeekInfo(bytes.value());
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().width, 28);
+    EXPECT_EQ(info.value().height, 28);
+    EXPECT_EQ(info.value().channels, 1);
+  }
+}
+
+TEST(SyntheticDatasetTest, LabelsInRangeAndDiverse) {
+  DatasetSpec spec = MnistLikeSpec(64);
+  auto ds = GenerateDataset(spec);
+  ASSERT_TRUE(ds.ok());
+  std::set<int32_t> labels;
+  for (const auto& rec : ds.value().manifest.Records()) {
+    EXPECT_GE(rec.label, 0);
+    EXPECT_LT(rec.label, spec.num_classes);
+    labels.insert(rec.label);
+  }
+  EXPECT_GT(labels.size(), 5u);
+}
+
+TEST(SyntheticDatasetTest, DeterministicPerSeed) {
+  DatasetSpec spec = MnistLikeSpec(6, /*seed=*/9);
+  auto a = GenerateDataset(spec);
+  auto b = GenerateDataset(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    const auto& ra = a.value().manifest.At(i);
+    const auto& rb = b.value().manifest.At(i);
+    EXPECT_EQ(ra.size, rb.size);
+    EXPECT_EQ(ra.label, rb.label);
+  }
+}
+
+TEST(SyntheticDatasetTest, RenderSceneEncodesLabel) {
+  DatasetSpec spec = ImageNetLikeSpec(1);
+  spec.width = 32;
+  spec.height = 32;
+  int label1 = -1, label2 = -1;
+  (void)RenderScene(spec, 0, &label1);
+  (void)RenderScene(spec, 0, &label2);
+  EXPECT_EQ(label1, label2);  // deterministic
+  EXPECT_GE(label1, 0);
+}
+
+TEST(SyntheticDatasetTest, EmptySpecRejected) {
+  DatasetSpec spec;
+  spec.num_images = 0;
+  EXPECT_FALSE(GenerateDataset(spec).ok());
+}
+
+}  // namespace
+}  // namespace dlb

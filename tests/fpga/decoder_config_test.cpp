@@ -1,0 +1,92 @@
+#include "fpga/decoder_config.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::fpga {
+namespace {
+
+TEST(DecoderConfigTest, PaperConfigFitsTheBudget) {
+  DecoderConfig config;  // 4-way Huffman, 2-way resizer (§4.1)
+  EXPECT_TRUE(ValidateConfig(config).ok());
+  EXPECT_LE(AlmUsage(config), cal::kFpgaAlmBudget);
+}
+
+TEST(DecoderConfigTest, AlmUsageScalesWithWays) {
+  DecoderConfig narrow, wide;
+  narrow.huffman_ways = 1;
+  wide.huffman_ways = 8;
+  AlmCosts costs;
+  EXPECT_EQ(AlmUsage(wide) - AlmUsage(narrow), 7 * costs.huffman_per_way);
+}
+
+TEST(DecoderConfigTest, OversizedConfigRejected) {
+  DecoderConfig config;
+  config.huffman_ways = 16;
+  config.idct_ways = 8;
+  config.resizer_ways = 8;
+  Status s = ValidateConfig(config);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DecoderConfigTest, ZeroWaysRejected) {
+  DecoderConfig config;
+  config.huffman_ways = 0;
+  EXPECT_EQ(ValidateConfig(config).code(), StatusCode::kInvalidArgument);
+  config.huffman_ways = 1;
+  config.idct_ways = 0;
+  EXPECT_FALSE(ValidateConfig(config).ok());
+  config.idct_ways = 1;
+  config.resizer_ways = -1;
+  EXPECT_FALSE(ValidateConfig(config).ok());
+}
+
+TEST(DecoderConfigTest, EmptyFifoRejected) {
+  DecoderConfig config;
+  config.cmd_fifo_depth = 0;
+  EXPECT_FALSE(ValidateConfig(config).ok());
+}
+
+TEST(DecoderConfigTest, NonPositiveClockRejected) {
+  DecoderConfig config;
+  config.clock_hz = 0;
+  EXPECT_FALSE(ValidateConfig(config).ok());
+}
+
+TEST(DecoderConfigTest, ToStringMentionsWays) {
+  DecoderConfig config;
+  const std::string s = config.ToString();
+  EXPECT_NE(s.find("huffman=4-way"), std::string::npos);
+  EXPECT_NE(s.find("resizer=2-way"), std::string::npos);
+  EXPECT_NE(s.find("pipelined"), std::string::npos);
+}
+
+TEST(DecoderConfigTest, ShippedDesignDrawsAboutTwentyFiveWatts) {
+  // §5.4: "FPGAs have the lowest power consumption (~25 W)".
+  EXPECT_NEAR(EstimatedWatts(DecoderConfig{}), cal::kFpgaWatts, 2.0);
+}
+
+TEST(DecoderConfigTest, PowerGrowsWithWaysAndClock) {
+  DecoderConfig small, wide, fast;
+  wide.huffman_ways = 8;
+  fast.clock_hz = small.clock_hz * 2;
+  EXPECT_GT(EstimatedWatts(wide), EstimatedWatts(small));
+  EXPECT_GT(EstimatedWatts(fast), EstimatedWatts(small));
+  // Even the widest valid design stays far below a 130 W CPU socket.
+  EXPECT_LT(EstimatedWatts(wide), cal::kCpuWatts / 2);
+}
+
+TEST(DecoderConfigTest, MaxWaysUnderBudget) {
+  // Property: the widest Huffman unit that fits alongside the shipped
+  // iDCT/resizer is bounded by the ALM model, not arbitrary.
+  DecoderConfig config;
+  int max_ways = 0;
+  for (int ways = 1; ways <= 32; ++ways) {
+    config.huffman_ways = ways;
+    if (ValidateConfig(config).ok()) max_ways = ways;
+  }
+  EXPECT_GE(max_ways, 4);   // paper's config must fit
+  EXPECT_LT(max_ways, 32);  // budget must actually bind
+}
+
+}  // namespace
+}  // namespace dlb::fpga

@@ -1,0 +1,162 @@
+#include "fpga/fpga_decoder_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::fpga {
+namespace {
+
+DecodeJob IlsvrcJob(DataSource source = DataSource::kDisk) {
+  DecodeJob job;
+  job.encoded_bytes = 60 * 1024;
+  job.pixels = 500 * 375;
+  job.out_bytes = 256 * 256 * 3;
+  job.source = source;
+  return job;
+}
+
+/// Pump `n` jobs through with a closed-loop window and report throughput.
+double MeasureThroughput(FpgaDecoderSim& sim, sim::Scheduler& sched,
+                         const DecodeJob& job, int n) {
+  int completed = 0;
+  int issued = 0;
+  std::function<void()> on_done = [&] { ++completed; };
+  // Keep the FIFO topped up.
+  std::function<void()> pump = [&] {
+    while (issued < n && sim.SubmitDecode(job, [&] {
+             ++completed;
+             pump();
+           })) {
+      ++issued;
+    }
+  };
+  pump();
+  sched.Run();
+  EXPECT_EQ(completed, n);
+  return n / sim::ToSeconds(sched.Now());
+}
+
+TEST(FpgaDecoderSimTest, DiskPathExceedsTrainingDemand) {
+  sim::Scheduler sched;
+  FpgaDecoderSim sim(&sched, DecoderConfig{});
+  const double rate = MeasureThroughput(sim, sched, IlsvrcJob(), 2000);
+  // Fig. 5(b): DLBooster keeps TWO training GPUs at the 4652 img/s
+  // boundary, so the disk-fed decoder must comfortably exceed that; the
+  // stage model puts the 4-way Huffman bound near 20k img/s.
+  EXPECT_GT(rate, 4652.0 * 1.5);
+  EXPECT_LT(rate, 40000.0);
+}
+
+TEST(FpgaDecoderSimTest, DramPathSaturatesNearPaperBound) {
+  sim::Scheduler sched;
+  FpgaDecoderSim sim(&sched, DecoderConfig{});
+  const double rate =
+      MeasureThroughput(sim, sched, IlsvrcJob(DataSource::kDram), 2000);
+  // Fig. 7(a): the inference-path decoder bound is ~2.4k img/s.
+  EXPECT_GT(rate, 2000.0);
+  EXPECT_LT(rate, 3000.0);
+}
+
+TEST(FpgaDecoderSimTest, MoreHuffmanWaysMoreThroughput) {
+  auto run = [](int ways) {
+    sim::Scheduler sched;
+    DecoderConfig config;
+    config.huffman_ways = ways;
+    FpgaDecoderSim sim(&sched, config);
+    DecodeJob job = IlsvrcJob();
+    int completed = 0;
+    for (int i = 0; i < 500; ++i) {
+      // Submit as FIFO space allows; advance virtual time when full.
+      while (!sim.SubmitDecode(job, [&] { ++completed; })) {
+        sched.Step();
+      }
+    }
+    sched.Run();
+    EXPECT_EQ(completed, 500);
+    return 500 / sim::ToSeconds(sched.Now());
+  };
+  const double one_way = run(1);
+  const double four_way = run(4);
+  EXPECT_GT(four_way, one_way * 2.0);
+}
+
+TEST(FpgaDecoderSimTest, PipelinedBeatsFused) {
+  auto run = [](bool pipelined) {
+    sim::Scheduler sched;
+    DecoderConfig config;
+    config.pipelined = pipelined;
+    FpgaDecoderSim sim(&sched, config);
+    DecodeJob job = IlsvrcJob();
+    int completed = 0;
+    for (int i = 0; i < 300; ++i) {
+      while (!sim.SubmitDecode(job, [&] { ++completed; })) {
+        sched.Step();
+      }
+    }
+    sched.Run();
+    EXPECT_EQ(completed, 300);
+    return 300 / sim::ToSeconds(sched.Now());
+  };
+  EXPECT_GT(run(true), run(false) * 1.5);
+}
+
+TEST(FpgaDecoderSimTest, FifoBoundsInFlight) {
+  sim::Scheduler sched;
+  DecoderConfig config;
+  config.cmd_fifo_depth = 4;
+  FpgaDecoderSim sim(&sched, config);
+  DecodeJob job = IlsvrcJob();
+  int admitted = 0;
+  while (sim.SubmitDecode(job, nullptr)) ++admitted;
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(sim.FifoSpace(), 0);
+  sched.Run();
+  EXPECT_EQ(sim.InFlight(), 0);
+  EXPECT_EQ(sim.Completed(), 4u);
+}
+
+TEST(FpgaDecoderSimTest, SingleImageLatencyIsSubMillisecond) {
+  sim::Scheduler sched;
+  FpgaDecoderSim sim(&sched, DecoderConfig{});
+  sim::SimTime done = 0;
+  ASSERT_TRUE(sim.SubmitDecode(IlsvrcJob(), [&] { done = sched.Now(); }));
+  sched.Run();
+  // A lone 500x375 decode through the pipeline: hundreds of microseconds.
+  EXPECT_GT(sim::ToMillis(done), 0.05);
+  EXPECT_LT(sim::ToMillis(done), 1.5);
+  EXPECT_EQ(sim.LatencyHistogram().Count(), 1u);
+}
+
+TEST(FpgaDecoderSimTest, TinyImagesBoundByCmdOverhead) {
+  sim::Scheduler sched;
+  FpgaDecoderSim sim(&sched, DecoderConfig{});
+  DecodeJob job;
+  job.encoded_bytes = 400;  // MNIST-sized JPEG
+  job.pixels = 28 * 28;
+  job.out_bytes = 28 * 28;
+  int completed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    while (!sim.SubmitDecode(job, [&] { ++completed; })) sched.Step();
+  }
+  sched.Run();
+  const double rate = 2000 / sim::ToSeconds(sched.Now());
+  // Parser cmd overhead (4us) caps tiny-image decode around 250k img/s.
+  EXPECT_GT(rate, 100000.0);
+  EXPECT_LT(rate, 400000.0);
+}
+
+TEST(FpgaDecoderSimTest, UtilizationIdentifiesBottleneck) {
+  sim::Scheduler sched;
+  FpgaDecoderSim sim(&sched, DecoderConfig{});
+  DecodeJob job = IlsvrcJob();
+  for (int i = 0; i < 500; ++i) {
+    while (!sim.SubmitDecode(job, nullptr)) sched.Step();
+  }
+  sched.Run();
+  // With the shipped 4/1/2 ways on disk input, the Huffman unit is the
+  // near-saturated stage (that is why the paper gives it 4 ways).
+  EXPECT_GT(sim.HuffmanUtilization(), sim.ResizerUtilization());
+  EXPECT_GT(sim.HuffmanUtilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace dlb::fpga

@@ -1,0 +1,206 @@
+// The emulated FPGA device must produce *bit-identical* output to the plain
+// software decode path — backend equivalence is the load-bearing invariant
+// behind swapping backends without retraining.
+#include "fpga/fpga_device.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "codec/ppm.h"
+#include "dataplane/synthetic_dataset.h"
+#include "image/resize.h"
+
+namespace dlb::fpga {
+namespace {
+
+Bytes EncodeScene(int w, int h, uint64_t seed, Image* out_img = nullptr) {
+  DatasetSpec spec = ImageNetLikeSpec(1, seed);
+  spec.width = w;
+  spec.height = h;
+  spec.dim_jitter = 0;
+  Image img = RenderScene(spec, 0, nullptr);
+  if (out_img) *out_img = img;
+  auto encoded = jpeg::Encode(img);
+  EXPECT_TRUE(encoded.ok());
+  return encoded.value();
+}
+
+TEST(FpgaDeviceTest, DecodesOneImage) {
+  FpgaDevice device;
+  Bytes data = EncodeScene(64, 48, 1);
+  std::vector<uint8_t> out(32 * 32 * 3);
+  FpgaCmd cmd;
+  cmd.cookie = 7;
+  cmd.jpeg = data;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  cmd.resize_w = 32;
+  cmd.resize_h = 32;
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].cookie, 7u);
+  EXPECT_TRUE(completions[0].status.ok());
+  EXPECT_EQ(completions[0].width, 32);
+  EXPECT_EQ(completions[0].height, 32);
+  EXPECT_EQ(completions[0].channels, 3);
+  EXPECT_EQ(completions[0].bytes_written, out.size());
+}
+
+TEST(FpgaDeviceTest, OutputMatchesSoftwareDecodeExactly) {
+  FpgaDevice device;
+  Bytes data = EncodeScene(100, 75, 2);
+  std::vector<uint8_t> out(64 * 64 * 3);
+  FpgaCmd cmd;
+  cmd.jpeg = data;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  cmd.resize_w = 64;
+  cmd.resize_h = 64;
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  ASSERT_TRUE(completions[0].status.ok());
+
+  // Reference: plain software decode + the same resize.
+  auto sw = jpeg::Decode(data);
+  ASSERT_TRUE(sw.ok());
+  auto resized = Resize(sw.value(), 64, 64, ResizeFilter::kArea);
+  ASSERT_TRUE(resized.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), resized.value().Data(), out.size()));
+}
+
+TEST(FpgaDeviceTest, ManyConcurrentCommandsAllComplete) {
+  FpgaDevice device;
+  constexpr int kImages = 40;
+  std::vector<Bytes> blobs;
+  std::vector<std::vector<uint8_t>> outs(kImages);
+  for (int i = 0; i < kImages; ++i) {
+    blobs.push_back(EncodeScene(48 + i % 16, 36 + i % 8, 100 + i));
+    outs[i].resize(32 * 32 * 3);
+  }
+  int submitted = 0;
+  std::map<uint64_t, bool> done;
+  while (submitted < kImages) {
+    FpgaCmd cmd;
+    cmd.cookie = submitted;
+    cmd.jpeg = blobs[submitted];
+    cmd.out = outs[submitted].data();
+    cmd.out_capacity = outs[submitted].size();
+    cmd.resize_w = 32;
+    cmd.resize_h = 32;
+    Status s = device.SubmitCmd(cmd);
+    if (s.ok()) {
+      ++submitted;
+      continue;
+    }
+    ASSERT_EQ(s.code(), StatusCode::kResourceExhausted);
+    for (auto& c : device.WaitCompletions()) done[c.cookie] = c.status.ok();
+  }
+  while (done.size() < kImages) {
+    for (auto& c : device.WaitCompletions()) done[c.cookie] = c.status.ok();
+  }
+  for (const auto& [cookie, ok] : done) EXPECT_TRUE(ok) << cookie;
+  EXPECT_EQ(device.Completed(), static_cast<uint64_t>(kImages));
+}
+
+TEST(FpgaDeviceTest, CorruptInputYieldsErrorCompletion) {
+  FpgaDevice device;
+  Bytes garbage = {0xFF, 0xD8, 0x00, 0x01, 0x02};
+  std::vector<uint8_t> out(16);
+  FpgaCmd cmd;
+  cmd.cookie = 1;
+  cmd.jpeg = garbage;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_FALSE(completions[0].status.ok());
+}
+
+TEST(FpgaDeviceTest, TooSmallOutputRegionRejected) {
+  FpgaDevice device;
+  Bytes data = EncodeScene(64, 48, 3);
+  std::vector<uint8_t> out(8);  // far too small
+  FpgaCmd cmd;
+  cmd.jpeg = data;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  cmd.resize_w = 32;
+  cmd.resize_h = 32;
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FpgaDeviceTest, InvalidCmdRejectedAtSubmit) {
+  FpgaDevice device;
+  FpgaCmd no_out;
+  no_out.jpeg = ByteSpan(reinterpret_cast<const uint8_t*>("x"), 1);
+  EXPECT_EQ(device.SubmitCmd(no_out).code(), StatusCode::kInvalidArgument);
+  std::vector<uint8_t> out(4);
+  FpgaCmd no_input;
+  no_input.out = out.data();
+  no_input.out_capacity = out.size();
+  EXPECT_EQ(device.SubmitCmd(no_input).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FpgaDeviceTest, SubmitAfterShutdownIsClosed) {
+  FpgaDevice device;
+  device.Shutdown();
+  std::vector<uint8_t> out(4);
+  FpgaCmd cmd;
+  cmd.jpeg = ByteSpan(reinterpret_cast<const uint8_t*>("xy"), 2);
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  EXPECT_EQ(device.SubmitCmd(cmd).code(), StatusCode::kClosed);
+}
+
+TEST(FpgaDeviceTest, NaturalSizeWhenNoResizeRequested) {
+  FpgaDevice device;
+  Image original;
+  Bytes data = EncodeScene(40, 30, 4, &original);
+  std::vector<uint8_t> out(40 * 30 * 3);
+  FpgaCmd cmd;
+  cmd.jpeg = data;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  ASSERT_TRUE(completions[0].status.ok());
+  EXPECT_EQ(completions[0].width, 40);
+  EXPECT_EQ(completions[0].height, 30);
+}
+
+TEST(FpgaDeviceTest, CustomMirrorDecodesPpm) {
+  // "Download" the PPM mirror onto the device (§3.1 pluggability).
+  FpgaDeviceOptions options;
+  options.custom_decoder = [](ByteSpan data) { return ppm::Decode(data); };
+  FpgaDevice device(options);
+
+  Image img(20, 10, 3);
+  for (size_t i = 0; i < img.SizeBytes(); ++i) {
+    img.Data()[i] = static_cast<uint8_t>(i * 3);
+  }
+  auto encoded = ppm::Encode(img);
+  ASSERT_TRUE(encoded.ok());
+  std::vector<uint8_t> out(20 * 10 * 3);
+  FpgaCmd cmd;
+  cmd.jpeg = encoded.value();
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  ASSERT_TRUE(completions[0].status.ok());
+  EXPECT_EQ(0, std::memcmp(out.data(), img.Data(), out.size()));
+}
+
+}  // namespace
+}  // namespace dlb::fpga

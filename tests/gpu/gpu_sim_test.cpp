@@ -1,0 +1,100 @@
+#include "gpu/gpu_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::gpu {
+namespace {
+
+TEST(GpuSimTest, CopyTimeMatchesBandwidthPlusOverhead) {
+  sim::Scheduler sched;
+  GpuOptions opts;
+  opts.pcie_bytes_per_sec = 10e9;
+  opts.memcpy_overhead_s = 10e-6;
+  GpuDevice gpu(&sched, nullptr, 0, opts);
+  sim::SimTime done = 0;
+  gpu.CopyH2D(100 * 1000 * 1000, 1, [&] { done = sched.Now(); });
+  sched.Run();
+  EXPECT_NEAR(sim::ToSeconds(done), 0.01 + 10e-6, 1e-5);
+}
+
+TEST(GpuSimTest, PerItemCopiesCostMore) {
+  auto run = [](int pieces) {
+    sim::Scheduler sched;
+    GpuDevice gpu(&sched, nullptr, 0);
+    gpu.CopyH2D(1000 * 1000, pieces, nullptr);
+    sched.Run();
+    return sim::ToSeconds(sched.Now());
+  };
+  const double block = run(1);
+  const double per_item = run(512);
+  EXPECT_GT(per_item, block + 0.005);  // 511 extra 12us overheads
+}
+
+TEST(GpuSimTest, ComputeRunsAtCapacity) {
+  sim::Scheduler sched;
+  GpuDevice gpu(&sched, nullptr, 0);
+  sim::SimTime done = 0;
+  gpu.SubmitCompute(0.25, 1.0, [&] { done = sched.Now(); });
+  sched.Run();
+  EXPECT_NEAR(sim::ToSeconds(done), 0.25, 1e-6);
+}
+
+TEST(GpuSimTest, ContentionSlowsBothJobs) {
+  // The nvJPEG effect: decode work on the same GPU slows inference.
+  sim::Scheduler sched;
+  GpuDevice gpu(&sched, nullptr, 0);
+  sim::SimTime infer_done = 0;
+  gpu.SubmitCompute(0.5, 1.0, [&] { infer_done = sched.Now(); });
+  gpu.SubmitCompute(0.5, 1.0, nullptr);
+  sched.Run();
+  EXPECT_NEAR(sim::ToSeconds(infer_done), 1.0, 1e-3);
+}
+
+TEST(GpuSimTest, LaunchCoresChargedWhileBusy) {
+  sim::Scheduler sched;
+  sim::CpuAccountant cpu(&sched);
+  GpuOptions opts;
+  opts.launch_cores = 0.95;
+  GpuDevice gpu(&sched, &cpu, 0, opts);
+  gpu.SubmitCompute(2.0, 1.0, nullptr);
+  sched.Run();
+  gpu.ChargeLaunchCores();
+  EXPECT_NEAR(cpu.Cores("kernel_launch"), 0.95, 1e-6);
+}
+
+TEST(GpuSimTest, LaunchChargeDoesNotDoubleCountOverlap) {
+  // Two overlapping jobs share one launch thread, not two.
+  sim::Scheduler sched;
+  sim::CpuAccountant cpu(&sched);
+  GpuOptions opts;
+  opts.launch_cores = 1.0;
+  GpuDevice gpu(&sched, &cpu, 0, opts);
+  gpu.SubmitCompute(0.5, 1.0, nullptr);
+  gpu.SubmitCompute(0.5, 1.0, nullptr);  // both finish at t=1s
+  sched.Run();
+  gpu.ChargeLaunchCores();
+  EXPECT_NEAR(cpu.Cores("kernel_launch"), 1.0, 1e-6);
+}
+
+TEST(GpuSimTest, TransformCpuChargedPerCopyPiece) {
+  sim::Scheduler sched;
+  sim::CpuAccountant cpu(&sched);
+  GpuDevice gpu(&sched, &cpu, 0);
+  gpu.CopyH2D(1000, 100, nullptr);
+  sched.Run();
+  const auto& cats = cpu.CoreSecondsByCategory();
+  ASSERT_TRUE(cats.count("transform"));
+  EXPECT_GT(cats.at("transform"), 0.0);
+}
+
+TEST(GpuSimTest, UtilizationReflectsIdleTime) {
+  sim::Scheduler sched;
+  GpuDevice gpu(&sched, nullptr, 0);
+  gpu.SubmitCompute(1.0, 1.0, nullptr);
+  sched.Run();
+  sched.RunUntil(sim::Seconds(2.0));
+  EXPECT_NEAR(gpu.ComputeUtilization(), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace dlb::gpu

@@ -1,0 +1,62 @@
+#include "gpu/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::gpu {
+namespace {
+
+TEST(ModelZooTest, AllSixPaperModelsPresent) {
+  EXPECT_EQ(AllModels().size(), 6u);
+  for (const char* name : {"lenet5", "alexnet", "resnet18", "googlenet",
+                           "vgg16", "resnet50"}) {
+    auto m = FindModel(name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_EQ(m.value()->name, name);
+  }
+}
+
+TEST(ModelZooTest, UnknownModelIsNotFound) {
+  EXPECT_EQ(FindModel("bert").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelZooTest, PaperAnchorsHold) {
+  // Fig. 2: AlexNet boundary 2496 img/s on one P100; 93.2% 2-GPU scaling.
+  EXPECT_DOUBLE_EQ(AlexNet().train_rate_per_gpu, 2496.0);
+  EXPECT_NEAR(AlexNet().train_rate_per_gpu * 2 * AlexNet().two_gpu_scaling,
+              4652.0, 5.0);
+  // §5.1 batch sizes.
+  EXPECT_EQ(LeNet5().train_batch, 512);
+  EXPECT_EQ(AlexNet().train_batch, 256);
+  EXPECT_EQ(ResNet18().train_batch, 128);
+}
+
+TEST(ModelZooTest, TrainBatchSecondsScalesLinearly) {
+  const DlModel& m = AlexNet();
+  EXPECT_NEAR(m.TrainBatchSeconds(256), 256 / 2496.0, 1e-9);
+  EXPECT_NEAR(m.TrainBatchSeconds(512), 2 * m.TrainBatchSeconds(256), 1e-9);
+}
+
+TEST(ModelZooTest, InferBatchAmortizesLaunchOverhead) {
+  const DlModel& m = GoogLeNet();
+  const double per_img_1 = m.InferBatchSeconds(1) / 1.0;
+  const double per_img_32 = m.InferBatchSeconds(32) / 32.0;
+  EXPECT_LT(per_img_32, per_img_1);  // larger batches amortise the launch
+  // Saturated throughput approaches the zoo rate from below.
+  EXPECT_LT(1.0 / per_img_32, m.infer_rate_per_gpu);
+  EXPECT_GT(1.0 / per_img_32, 0.6 * m.infer_rate_per_gpu);
+}
+
+TEST(ModelZooTest, HeavierModelsAreSlower) {
+  EXPECT_LT(Vgg16().infer_rate_per_gpu, GoogLeNet().infer_rate_per_gpu);
+  EXPECT_LT(ResNet18().train_rate_per_gpu, AlexNet().train_rate_per_gpu);
+  EXPECT_GT(Vgg16().param_bytes, ResNet50().param_bytes);
+}
+
+TEST(ModelZooTest, MnistModelHasMnistGeometry) {
+  EXPECT_EQ(LeNet5().input_w, 28);
+  EXPECT_EQ(LeNet5().input_c, 1);
+  EXPECT_EQ(AlexNet().input_c, 3);
+}
+
+}  // namespace
+}  // namespace dlb::gpu

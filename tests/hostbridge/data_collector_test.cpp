@@ -1,0 +1,84 @@
+#include "hostbridge/data_collector.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dataplane/synthetic_dataset.h"
+
+namespace dlb {
+namespace {
+
+Dataset SmallDataset(size_t n) {
+  DatasetSpec spec = MnistLikeSpec(n);
+  auto ds = GenerateDataset(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(DiskDataCollectorTest, WalksWholeEpochs) {
+  Dataset ds = SmallDataset(10);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  EXPECT_EQ(collector.EpochSize(), 10u);
+  std::map<const FileRecord*, int> seen;
+  for (int i = 0; i < 30; ++i) {  // three epochs
+    auto file = collector.Next();
+    ASSERT_TRUE(file.ok());
+    EXPECT_FALSE(file.value().bytes.empty());
+    seen[file.value().record]++;
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (const auto& [_, count] : seen) EXPECT_EQ(count, 3);
+}
+
+TEST(DiskDataCollectorTest, LabelsComeFromManifest) {
+  Dataset ds = SmallDataset(5);
+  DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
+  for (int i = 0; i < 5; ++i) {
+    auto file = collector.Next();
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ(file.value().label, file.value().record->label);
+  }
+}
+
+TEST(DiskDataCollectorTest, EmptyManifestCloses) {
+  Manifest empty;
+  InMemoryBlobStore store;
+  DiskDataCollector collector(&empty, &store, false, 1);
+  EXPECT_EQ(collector.Next().status().code(), StatusCode::kClosed);
+}
+
+TEST(NetDataCollectorTest, DrainsQueueInOrder) {
+  BoundedQueue<NetworkImage> rx(8);
+  for (uint64_t i = 0; i < 3; ++i) {
+    NetworkImage img;
+    img.payload = {static_cast<uint8_t>(i)};
+    img.request_id = 100 + i;
+    ASSERT_TRUE(rx.Push(std::move(img)).ok());
+  }
+  NetDataCollector collector(&rx);
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto file = collector.Next();
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ(file.value().request_id, 100 + i);
+    EXPECT_EQ(file.value().bytes[0], i);
+  }
+}
+
+TEST(NetDataCollectorTest, ClosedQueueCloses) {
+  BoundedQueue<NetworkImage> rx(2);
+  rx.Close();
+  NetDataCollector collector(&rx);
+  EXPECT_EQ(collector.Next().status().code(), StatusCode::kClosed);
+}
+
+TEST(BoundedCollectorTest, StopsAfterBudget) {
+  Dataset ds = SmallDataset(10);
+  DiskDataCollector inner(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&inner, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bounded.Next().ok());
+  EXPECT_EQ(bounded.Next().status().code(), StatusCode::kClosed);
+}
+
+}  // namespace
+}  // namespace dlb

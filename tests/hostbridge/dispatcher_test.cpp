@@ -1,0 +1,135 @@
+#include "hostbridge/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace dlb {
+namespace {
+
+/// Fill a pool buffer as if a decoder produced `n` items of `stride` bytes.
+void FillBuffer(BatchBuffer* buffer, size_t n, size_t stride, uint8_t seed) {
+  buffer->items.clear();
+  for (size_t i = 0; i < n; ++i) {
+    BatchItem item;
+    item.offset = static_cast<uint32_t>(i * stride);
+    item.bytes = static_cast<uint32_t>(stride);
+    item.width = 4;
+    item.height = 4;
+    item.channels = 3;
+    item.label = static_cast<int32_t>(i);
+    item.ok = true;
+    std::memset(buffer->data + item.offset, seed + static_cast<int>(i),
+                stride);
+    buffer->items.push_back(item);
+  }
+}
+
+TEST(DispatcherTest, MovesBatchToEngineAndRecyclesHostBuffer) {
+  HugePagePool pool(48 * 4, 2);
+  Dispatcher dispatcher(&pool);
+  const int engine = dispatcher.RegisterEngine();
+  dispatcher.Start();
+
+  auto buffer = pool.FreeQueue().TryPop();
+  ASSERT_TRUE(buffer.has_value());
+  FillBuffer(*buffer, 4, 48, 10);
+  ASSERT_TRUE(pool.FullQueue().Push(*buffer).ok());
+
+  auto batch = dispatcher.Engine(engine)->full_q.Pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ((*batch)->items.size(), 4u);
+  EXPECT_EQ((*batch)->mem[0], 10);
+  EXPECT_EQ((*batch)->mem[48], 11);
+
+  // The host buffer returned to the free queue.
+  for (int spin = 0; spin < 100 && pool.FreeQueue().Size() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.FreeQueue().Size(), 2u);
+  (void)dispatcher.Engine(engine)->free_q.TryPush(*batch);
+  dispatcher.Stop();
+}
+
+TEST(DispatcherTest, RoundRobinAcrossEngines) {
+  HugePagePool pool(16, 4);
+  Dispatcher dispatcher(&pool);
+  const int e0 = dispatcher.RegisterEngine();
+  const int e1 = dispatcher.RegisterEngine();
+  dispatcher.Start();
+
+  for (int i = 0; i < 4; ++i) {
+    auto buffer = pool.FreeQueue().Pop();
+    ASSERT_TRUE(buffer.has_value());
+    FillBuffer(*buffer, 1, 16, static_cast<uint8_t>(i));
+    ASSERT_TRUE(pool.FullQueue().Push(*buffer).ok());
+    // Engines consume as batches arrive (alternating).
+    TransQueues* q = dispatcher.Engine(i % 2 == 0 ? e0 : e1);
+    auto batch = q->full_q.Pop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ((*batch)->mem[0], i);
+    (void)q->free_q.TryPush(*batch);
+  }
+  EXPECT_EQ(dispatcher.BatchesDispatched(e0), 2u);
+  EXPECT_EQ(dispatcher.BatchesDispatched(e1), 2u);
+  dispatcher.Stop();
+}
+
+TEST(DispatcherTest, PerItemCopiesSkipFailedItems) {
+  HugePagePool pool(32 * 2, 1);
+  DispatcherOptions opts;
+  opts.per_item_copies = true;
+  Dispatcher dispatcher(&pool, opts);
+  const int engine = dispatcher.RegisterEngine();
+  dispatcher.Start();
+
+  auto buffer = pool.FreeQueue().TryPop();
+  ASSERT_TRUE(buffer.has_value());
+  FillBuffer(*buffer, 2, 32, 50);
+  (*buffer)->items[1].ok = false;  // decode failure: not copied
+  ASSERT_TRUE(pool.FullQueue().Push(*buffer).ok());
+
+  auto batch = dispatcher.Engine(engine)->full_q.Pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ((*batch)->mem[0], 50);
+  EXPECT_EQ((*batch)->mem[32], 0);  // untouched device memory
+  (void)dispatcher.Engine(engine)->free_q.TryPush(*batch);
+  dispatcher.Stop();
+}
+
+TEST(DispatcherTest, SequenceNumbersAreMonotonic) {
+  HugePagePool pool(16, 2);
+  Dispatcher dispatcher(&pool);
+  const int engine = dispatcher.RegisterEngine();
+  dispatcher.Start();
+  uint64_t last_seq = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto buffer = pool.FreeQueue().Pop();
+    ASSERT_TRUE(buffer.has_value());
+    FillBuffer(*buffer, 1, 16, 0);
+    ASSERT_TRUE(pool.FullQueue().Push(*buffer).ok());
+    auto batch = dispatcher.Engine(engine)->full_q.Pop();
+    ASSERT_TRUE(batch.has_value());
+    if (i > 0) {
+      EXPECT_EQ((*batch)->seq, last_seq + 1);
+    }
+    last_seq = (*batch)->seq;
+    (void)dispatcher.Engine(engine)->free_q.TryPush(*batch);
+  }
+  dispatcher.Stop();
+}
+
+TEST(DispatcherTest, StopIsIdempotentAndUnblocks) {
+  HugePagePool pool(16, 1);
+  Dispatcher dispatcher(&pool);
+  dispatcher.RegisterEngine();
+  dispatcher.Start();
+  dispatcher.Stop();
+  dispatcher.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dlb

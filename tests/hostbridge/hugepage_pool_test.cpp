@@ -1,0 +1,98 @@
+#include "hostbridge/hugepage_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+namespace dlb {
+namespace {
+
+TEST(HugePagePoolTest, AllBuffersStartFree) {
+  HugePagePool pool(1024, 4);
+  EXPECT_EQ(pool.FreeQueue().Size(), 4u);
+  EXPECT_EQ(pool.FullQueue().Size(), 0u);
+  EXPECT_EQ(pool.BufferBytes(), 1024u);
+  EXPECT_EQ(pool.ArenaBytes(), 4096u);
+}
+
+TEST(HugePagePoolTest, BuffersAreContiguousAndDistinct) {
+  HugePagePool pool(512, 4);
+  std::set<const uint8_t*> datas;
+  std::set<uint64_t> phys;
+  std::vector<BatchBuffer*> buffers;
+  while (auto b = pool.FreeQueue().TryPop()) {
+    datas.insert((*b)->data);
+    phys.insert((*b)->phys_addr);
+    buffers.push_back(*b);
+  }
+  EXPECT_EQ(datas.size(), 4u);
+  EXPECT_EQ(phys.size(), 4u);
+  // Adjacent buffers are exactly buffer_bytes apart.
+  auto it = datas.begin();
+  const uint8_t* prev = *it++;
+  for (; it != datas.end(); ++it) {
+    EXPECT_EQ(*it - prev, 512);
+    prev = *it;
+  }
+}
+
+TEST(HugePagePoolTest, AddressTranslationRoundTrips) {
+  HugePagePool pool(256, 2);
+  auto b = pool.FreeQueue().TryPop();
+  ASSERT_TRUE(b.has_value());
+  BatchBuffer* buf = *b;
+  auto phys = pool.VirtToPhys(buf->data + 100);
+  ASSERT_TRUE(phys.ok());
+  EXPECT_EQ(phys.value(), buf->phys_addr + 100);
+  auto virt = pool.PhysToVirt(phys.value());
+  ASSERT_TRUE(virt.ok());
+  EXPECT_EQ(virt.value(), buf->data + 100);
+}
+
+TEST(HugePagePoolTest, TranslationRejectsForeignAddresses) {
+  HugePagePool pool(256, 2);
+  uint8_t local = 0;
+  EXPECT_FALSE(pool.VirtToPhys(&local).ok());
+  EXPECT_FALSE(pool.PhysToVirt(0x1234).ok());
+  EXPECT_FALSE(pool.PhysToVirt(HugePagePool::kPhysBase + 512).ok());
+}
+
+TEST(HugePagePoolTest, RecycleClearsItemsAndReturnsToFree) {
+  HugePagePool pool(256, 1);
+  auto b = pool.FreeQueue().TryPop();
+  ASSERT_TRUE(b.has_value());
+  (*b)->items.push_back(BatchItem{});
+  pool.Recycle(*b);
+  auto again = pool.FreeQueue().TryPop();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE((*again)->items.empty());
+  EXPECT_EQ(*again, *b);
+}
+
+TEST(HugePagePoolTest, RecycleNullIsNoOp) {
+  HugePagePool pool(256, 1);
+  pool.Recycle(nullptr);
+  EXPECT_EQ(pool.FreeQueue().Size(), 1u);
+}
+
+TEST(HugePagePoolTest, PhysBaseIsObviouslyFake) {
+  HugePagePool pool(256, 1);
+  auto b = pool.FreeQueue().TryPop();
+  EXPECT_GE((*b)->phys_addr, HugePagePool::kPhysBase);
+}
+
+TEST(HugePagePoolTest, CloseUnblocksWaiters) {
+  HugePagePool pool(256, 1);
+  (void)pool.FreeQueue().TryPop();  // drain
+  std::thread waiter([&pool] {
+    auto b = pool.FreeQueue().Pop();
+    EXPECT_FALSE(b.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  pool.Close();
+  waiter.join();
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,66 @@
+#include "image/image.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb {
+namespace {
+
+TEST(ImageTest, ConstructsZeroed) {
+  Image img(4, 3, 3);
+  EXPECT_EQ(img.Width(), 4);
+  EXPECT_EQ(img.Height(), 3);
+  EXPECT_EQ(img.Channels(), 3);
+  EXPECT_EQ(img.SizeBytes(), 36u);
+  for (size_t i = 0; i < img.SizeBytes(); ++i) EXPECT_EQ(img.Data()[i], 0);
+}
+
+TEST(ImageTest, SetAndGet) {
+  Image img(2, 2, 3);
+  img.Set(1, 0, 2, 200);
+  EXPECT_EQ(img.At(1, 0, 2), 200);
+  EXPECT_EQ(img.At(0, 0, 0), 0);
+}
+
+TEST(ImageTest, RowPointerArithmetic) {
+  Image img(3, 2, 1);
+  img.Set(0, 1, 0, 7);
+  EXPECT_EQ(img.Row(1)[0], 7);
+  EXPECT_EQ(img.Row(1) - img.Row(0), 3);
+}
+
+TEST(ImageTest, ContentHashDistinguishesShapes) {
+  Image a(4, 2, 1), b(2, 4, 1);
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+}
+
+TEST(ImageTest, ContentHashDistinguishesPixels) {
+  Image a(4, 4, 1), b(4, 4, 1);
+  b.Set(3, 3, 0, 1);
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+}
+
+TEST(ImageTest, EqualityIsDeep) {
+  Image a(2, 2, 1), b(2, 2, 1);
+  EXPECT_TRUE(a == b);
+  b.Set(0, 0, 0, 9);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ImageTest, MeanAbsDiffExact) {
+  Image a(2, 1, 1), b(2, 1, 1);
+  a.Set(0, 0, 0, 10);
+  a.Set(1, 0, 0, 20);
+  b.Set(0, 0, 0, 14);
+  b.Set(1, 0, 0, 14);
+  auto d = Image::MeanAbsDiff(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 5.0);
+}
+
+TEST(ImageTest, MeanAbsDiffShapeMismatchErrors) {
+  Image a(2, 2, 1), b(2, 2, 3);
+  EXPECT_FALSE(Image::MeanAbsDiff(a, b).ok());
+}
+
+}  // namespace
+}  // namespace dlb

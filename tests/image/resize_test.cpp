@@ -1,0 +1,164 @@
+#include "image/resize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dlb {
+namespace {
+
+Image UniformImage(int w, int h, int ch, uint8_t value) {
+  Image img(w, h, ch);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < ch; ++c) img.Set(x, y, c, value);
+    }
+  }
+  return img;
+}
+
+Image HorizontalGradient(int w, int h) {
+  Image img(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.Set(x, y, 0, static_cast<uint8_t>(x * 255 / (w - 1)));
+    }
+  }
+  return img;
+}
+
+class ResizeFilterTest : public ::testing::TestWithParam<ResizeFilter> {};
+
+TEST_P(ResizeFilterTest, UniformImageStaysUniform) {
+  Image src = UniformImage(37, 23, 3, 137);
+  auto dst = Resize(src, 16, 16, GetParam());
+  ASSERT_TRUE(dst.ok());
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      for (int c = 0; c < 3; ++c) EXPECT_EQ(dst.value().At(x, y, c), 137);
+    }
+  }
+}
+
+TEST_P(ResizeFilterTest, IdentityResizeIsExactCopy) {
+  Rng rng(3);
+  Image src(9, 7, 3);
+  for (size_t i = 0; i < src.SizeBytes(); ++i) {
+    src.Data()[i] = static_cast<uint8_t>(rng.UniformU64(256));
+  }
+  auto dst = Resize(src, 9, 7, GetParam());
+  ASSERT_TRUE(dst.ok());
+  EXPECT_TRUE(dst.value() == src);
+}
+
+TEST_P(ResizeFilterTest, GradientStaysMonotonic) {
+  Image src = HorizontalGradient(64, 8);
+  auto dst = Resize(src, 16, 8, GetParam());
+  ASSERT_TRUE(dst.ok());
+  for (int x = 1; x < 16; ++x) {
+    EXPECT_GE(dst.value().At(x, 4, 0), dst.value().At(x - 1, 4, 0));
+  }
+}
+
+TEST_P(ResizeFilterTest, UpscaleThenDownscalePreservesMean) {
+  Image src = HorizontalGradient(16, 16);
+  auto up = Resize(src, 64, 64, GetParam());
+  ASSERT_TRUE(up.ok());
+  auto down = Resize(up.value(), 16, 16, GetParam());
+  ASSERT_TRUE(down.ok());
+  auto diff = Image::MeanAbsDiff(src, down.value());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff.value(), 8.0);
+}
+
+TEST_P(ResizeFilterTest, RejectsBadTargets) {
+  Image src = UniformImage(8, 8, 1, 0);
+  EXPECT_FALSE(Resize(src, 0, 8, GetParam()).ok());
+  EXPECT_FALSE(Resize(src, 8, -1, GetParam()).ok());
+  EXPECT_FALSE(Resize(Image(), 8, 8, GetParam()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, ResizeFilterTest,
+                         ::testing::Values(ResizeFilter::kNearest,
+                                           ResizeFilter::kBilinear,
+                                           ResizeFilter::kArea),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ResizeFilter::kNearest: return "Nearest";
+                             case ResizeFilter::kBilinear: return "Bilinear";
+                             case ResizeFilter::kArea: return "Area";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ResizeTest, AreaDownscaleAveragesExactly) {
+  // 2x2 -> 1x1 box average.
+  Image src(2, 2, 1);
+  src.Set(0, 0, 0, 10);
+  src.Set(1, 0, 0, 20);
+  src.Set(0, 1, 0, 30);
+  src.Set(1, 1, 0, 40);
+  auto dst = Resize(src, 1, 1, ResizeFilter::kArea);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst.value().At(0, 0, 0), 25);
+}
+
+TEST(ResizeTest, ShorterSidePreservesAspect) {
+  Image src = UniformImage(500, 375, 3, 9);
+  auto dst = ResizeShorterSide(src, 256);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst.value().Height(), 256);
+  EXPECT_EQ(dst.value().Width(), 341);  // 500*256/375
+}
+
+TEST(ResizeCoverCropTest, ExactTargetShape) {
+  Image src = UniformImage(500, 375, 3, 50);
+  auto out = ResizeCoverCrop(src, 224, 224);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().Width(), 224);
+  EXPECT_EQ(out.value().Height(), 224);
+}
+
+TEST(ResizeCoverCropTest, NoStretchDistortion) {
+  // A centred vertical stripe must stay (roughly) centred and vertical
+  // after cover-crop — a plain stretch of a wide image would fatten it.
+  Image src(300, 100, 1);
+  for (int y = 0; y < 100; ++y) {
+    for (int x = 145; x < 155; ++x) src.Set(x, y, 0, 255);
+  }
+  auto out = ResizeCoverCrop(src, 50, 50, ResizeFilter::kArea);
+  ASSERT_TRUE(out.ok());
+  // Stripe occupied 10/300 of the width; after cover scale (x0.5) and the
+  // centre crop it is ~5px of 50. A stretch would have made it ~1.7px.
+  int bright_cols = 0;
+  for (int x = 0; x < 50; ++x) {
+    if (out.value().At(x, 25, 0) > 100) ++bright_cols;
+  }
+  EXPECT_GE(bright_cols, 3);
+  EXPECT_LE(bright_cols, 8);
+}
+
+TEST(ResizeCoverCropTest, UpscaleCoversSmallSources) {
+  Image src = UniformImage(10, 20, 3, 77);
+  auto out = ResizeCoverCrop(src, 32, 32);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().Width(), 32);
+  EXPECT_EQ(out.value().At(16, 16, 0), 77);
+}
+
+TEST(ResizeCoverCropTest, RejectsBadInput) {
+  EXPECT_FALSE(ResizeCoverCrop(Image(), 10, 10).ok());
+  Image src = UniformImage(4, 4, 1, 0);
+  EXPECT_FALSE(ResizeCoverCrop(src, 0, 10).ok());
+}
+
+TEST(ResizeTest, ShorterSideTallImage) {
+  Image src = UniformImage(100, 400, 1, 9);
+  auto dst = ResizeShorterSide(src, 50);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_EQ(dst.value().Width(), 50);
+  EXPECT_EQ(dst.value().Height(), 200);
+}
+
+}  // namespace
+}  // namespace dlb

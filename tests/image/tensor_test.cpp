@@ -1,0 +1,110 @@
+#include "image/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb {
+namespace {
+
+TEST(TensorTest, LayoutIsNchw) {
+  Tensor t;
+  t.n = 2;
+  t.c = 3;
+  t.h = 4;
+  t.w = 5;
+  t.data.assign(t.NumElements(), 0.0f);
+  t.At(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t.data[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+  EXPECT_EQ(t.NumElements(), 120u);
+  EXPECT_EQ(t.SizeBytes(), 480u);
+}
+
+TEST(ImageToTensorTest, NormalizesPerChannel) {
+  Image img(1, 1, 3);
+  img.Set(0, 0, 0, 124);  // ~mean of channel 0
+  img.Set(0, 0, 1, 116);
+  img.Set(0, 0, 2, 104);
+  Normalization norm;
+  Tensor t;
+  t.n = 1;
+  t.c = 3;
+  t.h = 1;
+  t.w = 1;
+  t.data.assign(3, 0.0f);
+  ASSERT_TRUE(ImageToTensor(img, norm, &t, 0).ok());
+  EXPECT_NEAR(t.At(0, 0, 0, 0), (124 - 123.675f) / 58.395f, 1e-5);
+  EXPECT_NEAR(t.At(0, 1, 0, 0), (116 - 116.28f) / 57.12f, 1e-5);
+  EXPECT_NEAR(t.At(0, 2, 0, 0), (104 - 103.53f) / 57.375f, 1e-5);
+}
+
+TEST(ImageToTensorTest, ShapeMismatchRejected) {
+  Image img(2, 2, 3);
+  Normalization norm;
+  Tensor t;
+  t.n = 1;
+  t.c = 3;
+  t.h = 4;
+  t.w = 4;
+  t.data.assign(t.NumElements(), 0.0f);
+  EXPECT_FALSE(ImageToTensor(img, norm, &t, 0).ok());
+}
+
+TEST(ImageToTensorTest, BatchIndexBoundsChecked) {
+  Image img(1, 1, 1);
+  Normalization norm;
+  Tensor t;
+  t.n = 2;
+  t.c = 1;
+  t.h = 1;
+  t.w = 1;
+  t.data.assign(2, 0.0f);
+  EXPECT_TRUE(ImageToTensor(img, norm, &t, 1).ok());
+  EXPECT_FALSE(ImageToTensor(img, norm, &t, 2).ok());
+  EXPECT_FALSE(ImageToTensor(img, norm, &t, -1).ok());
+}
+
+TEST(BatchToTensorTest, StacksImages) {
+  std::vector<Image> batch;
+  for (int i = 0; i < 4; ++i) {
+    Image img(2, 2, 3);
+    img.Set(0, 0, 0, static_cast<uint8_t>(i * 10));
+    batch.push_back(std::move(img));
+  }
+  auto t = BatchToTensor(batch, Normalization{});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().n, 4);
+  EXPECT_EQ(t.value().c, 3);
+  // Channel-0 values differ per image.
+  EXPECT_NE(t.value().At(0, 0, 0, 0), t.value().At(1, 0, 0, 0));
+}
+
+TEST(BatchToTensorTest, EmptyBatchRejected) {
+  EXPECT_FALSE(BatchToTensor({}, Normalization{}).ok());
+}
+
+TEST(ImageToTensorTest, HwcToChwTransposesCorrectly) {
+  Image img(2, 1, 3);
+  // Pixel (0,0): RGB = (1,2,3); pixel (1,0): RGB = (4,5,6).
+  img.Set(0, 0, 0, 1);
+  img.Set(0, 0, 1, 2);
+  img.Set(0, 0, 2, 3);
+  img.Set(1, 0, 0, 4);
+  img.Set(1, 0, 1, 5);
+  img.Set(1, 0, 2, 6);
+  Normalization norm;
+  norm.mean = {0, 0, 0};
+  norm.stddev = {1, 1, 1};
+  Tensor t;
+  t.n = 1;
+  t.c = 3;
+  t.h = 1;
+  t.w = 2;
+  t.data.assign(6, 0.0f);
+  ASSERT_TRUE(ImageToTensor(img, norm, &t, 0).ok());
+  EXPECT_EQ(t.At(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(t.At(0, 0, 0, 1), 4.0f);
+  EXPECT_EQ(t.At(0, 1, 0, 0), 2.0f);
+  EXPECT_EQ(t.At(0, 2, 0, 1), 6.0f);
+}
+
+}  // namespace
+}  // namespace dlb

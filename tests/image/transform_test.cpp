@@ -1,0 +1,165 @@
+#include "image/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dlb {
+namespace {
+
+Image Numbered(int w, int h) {
+  Image img(w, h, 1);
+  uint8_t v = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) img.Set(x, y, 0, v++);
+  }
+  return img;
+}
+
+TEST(CropTest, ExtractsExactRegion) {
+  Image src = Numbered(4, 4);
+  auto c = Crop(src, 1, 1, 2, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().Width(), 2);
+  EXPECT_EQ(c.value().At(0, 0, 0), src.At(1, 1, 0));
+  EXPECT_EQ(c.value().At(1, 1, 0), src.At(2, 2, 0));
+}
+
+TEST(CropTest, RejectsOutOfBounds) {
+  Image src = Numbered(4, 4);
+  EXPECT_FALSE(Crop(src, 3, 3, 2, 2).ok());
+  EXPECT_FALSE(Crop(src, -1, 0, 2, 2).ok());
+  EXPECT_FALSE(Crop(src, 0, 0, 0, 2).ok());
+}
+
+TEST(CenterCropTest, CentersOddMargins) {
+  Image src = Numbered(5, 5);
+  auto c = CenterCrop(src, 3, 3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().At(0, 0, 0), src.At(1, 1, 0));
+}
+
+TEST(CenterCropTest, FullSizeIsIdentity) {
+  Image src = Numbered(4, 4);
+  auto c = CenterCrop(src, 4, 4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c.value() == src);
+}
+
+TEST(CenterCropTest, TooLargeRejected) {
+  Image src = Numbered(4, 4);
+  EXPECT_FALSE(CenterCrop(src, 5, 4).ok());
+}
+
+TEST(RandomCropTest, AlwaysInBoundsAndDeterministicPerSeed) {
+  Image src = Numbered(10, 10);
+  Rng rng1(42), rng2(42);
+  for (int i = 0; i < 20; ++i) {
+    auto a = RandomCrop(src, 4, 4, rng1);
+    auto b = RandomCrop(src, 4, 4, rng2);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(a.value() == b.value());
+  }
+}
+
+TEST(RandomCropTest, CoversDifferentCorners) {
+  Image src = Numbered(16, 16);
+  Rng rng(1);
+  std::set<uint8_t> first_pixels;
+  for (int i = 0; i < 50; ++i) {
+    auto c = RandomCrop(src, 4, 4, rng);
+    ASSERT_TRUE(c.ok());
+    first_pixels.insert(c.value().At(0, 0, 0));
+  }
+  EXPECT_GT(first_pixels.size(), 10u);  // many distinct origins
+}
+
+TEST(FlipTest, ReversesColumns) {
+  Image src = Numbered(3, 2);
+  Image f = FlipHorizontal(src);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_EQ(f.At(x, y, 0), src.At(2 - x, y, 0));
+    }
+  }
+}
+
+TEST(FlipTest, DoubleFlipIsIdentity) {
+  Image src = Numbered(7, 5);
+  EXPECT_TRUE(FlipHorizontal(FlipHorizontal(src)) == src);
+}
+
+TEST(FlipTest, MaybeFlipIsDeterministicPerSeed) {
+  Image src = Numbered(6, 6);
+  Rng a(9), b(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(MaybeFlipHorizontal(src, a) == MaybeFlipHorizontal(src, b));
+  }
+}
+
+TEST(Rotate90Test, QuarterTurnMovesCorners) {
+  Image src = Numbered(3, 2);  // 3 wide, 2 tall
+  Image r = Rotate90(src, 1);
+  EXPECT_EQ(r.Width(), 2);
+  EXPECT_EQ(r.Height(), 3);
+  // Top-left of source lands at top-right after a clockwise quarter turn.
+  EXPECT_EQ(r.At(1, 0, 0), src.At(0, 0, 0));
+  EXPECT_EQ(r.At(0, 0, 0), src.At(0, 1, 0));
+}
+
+TEST(Rotate90Test, FourTurnsIsIdentity) {
+  Image src = Numbered(5, 3);
+  Image r = src;
+  for (int i = 0; i < 4; ++i) r = Rotate90(r, 1);
+  EXPECT_TRUE(r == src);
+}
+
+TEST(Rotate90Test, TwoTurnsEqualsHalfTurn) {
+  Image src = Numbered(4, 3);
+  EXPECT_TRUE(Rotate90(Rotate90(src, 1), 1) == Rotate90(src, 2));
+}
+
+TEST(Rotate90Test, NegativeTurnsWrap) {
+  Image src = Numbered(4, 3);
+  EXPECT_TRUE(Rotate90(src, -1) == Rotate90(src, 3));
+  EXPECT_TRUE(Rotate90(src, 0) == src);
+  EXPECT_TRUE(Rotate90(src, 4) == src);
+}
+
+TEST(BrightnessTest, FactorOneIsIdentity) {
+  Image src = Numbered(4, 4);
+  EXPECT_TRUE(AdjustBrightness(src, 1.0) == src);
+}
+
+TEST(BrightnessTest, ScalesAndClamps) {
+  Image src(2, 1, 1);
+  src.Set(0, 0, 0, 100);
+  src.Set(1, 0, 0, 200);
+  Image doubled = AdjustBrightness(src, 2.0);
+  EXPECT_EQ(doubled.At(0, 0, 0), 200);
+  EXPECT_EQ(doubled.At(1, 0, 0), 255);  // clamped
+  Image dimmed = AdjustBrightness(src, 0.5);
+  EXPECT_EQ(dimmed.At(0, 0, 0), 50);
+}
+
+TEST(RandomAugmentTest, OutputShapeAndDeterminism) {
+  Image src = Numbered(16, 16);
+  Rng a(3), b(3);
+  auto r1 = RandomAugment(src, 8, 8, 0.2, a);
+  auto r2 = RandomAugment(src, 8, 8, 0.2, b);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().Width(), 8);
+  EXPECT_EQ(r1.value().Height(), 8);
+  EXPECT_TRUE(r1.value() == r2.value());
+}
+
+TEST(RandomAugmentTest, TooLargeCropRejected) {
+  Image src = Numbered(4, 4);
+  Rng rng(1);
+  EXPECT_FALSE(RandomAugment(src, 8, 8, 0.0, rng).ok());
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,54 @@
+#include "sim/cpu_accountant.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::sim {
+namespace {
+
+TEST(CpuAccountantTest, CoresIsCoreSecondsOverElapsed) {
+  Scheduler s;
+  CpuAccountant cpu(&s);
+  s.At(Seconds(2.0), [] {});
+  s.Run();
+  cpu.Charge("preprocess", 1.0);  // 1 core-second over 2 seconds
+  EXPECT_NEAR(cpu.Cores("preprocess"), 0.5, 1e-9);
+}
+
+TEST(CpuAccountantTest, TotalSumsCategories) {
+  Scheduler s;
+  CpuAccountant cpu(&s);
+  s.At(Seconds(1.0), [] {});
+  s.Run();
+  cpu.Charge("a", 0.3);
+  cpu.Charge("b", 0.7);
+  EXPECT_NEAR(cpu.TotalCores(), 1.0, 1e-9);
+}
+
+TEST(CpuAccountantTest, ChargeIntervalConvertsDuration) {
+  Scheduler s;
+  CpuAccountant cpu(&s);
+  s.At(Seconds(4.0), [] {});
+  s.Run();
+  cpu.ChargeInterval("launch", Seconds(4.0), 0.95);
+  EXPECT_NEAR(cpu.Cores("launch"), 0.95, 1e-9);
+}
+
+TEST(CpuAccountantTest, UnknownCategoryIsZero) {
+  Scheduler s;
+  CpuAccountant cpu(&s);
+  s.At(Seconds(1.0), [] {});
+  s.Run();
+  EXPECT_EQ(cpu.Cores("nope"), 0.0);
+}
+
+TEST(CpuAccountantTest, NegativeChargeIgnored) {
+  Scheduler s;
+  CpuAccountant cpu(&s);
+  s.At(Seconds(1.0), [] {});
+  s.Run();
+  cpu.Charge("x", -5.0);
+  EXPECT_EQ(cpu.Cores("x"), 0.0);
+}
+
+}  // namespace
+}  // namespace dlb::sim

@@ -1,0 +1,88 @@
+#include "sim/processor_sharing.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::sim {
+namespace {
+
+TEST(ProcessorSharingTest, SingleJobRunsAtFullCapacity) {
+  Scheduler s;
+  ProcessorSharing ps(&s, 100.0, "gpu");  // 100 units/s
+  SimTime done = 0;
+  ps.Submit(50.0, 1.0, [&] { done = s.Now(); });
+  s.Run();
+  EXPECT_NEAR(ToSeconds(done), 0.5, 1e-6);
+}
+
+TEST(ProcessorSharingTest, TwoEqualJobsShareCapacity) {
+  Scheduler s;
+  ProcessorSharing ps(&s, 100.0, "gpu");
+  SimTime done1 = 0, done2 = 0;
+  ps.Submit(50.0, 1.0, [&] { done1 = s.Now(); });
+  ps.Submit(50.0, 1.0, [&] { done2 = s.Now(); });
+  s.Run();
+  // Both jobs progress at 50 units/s -> both finish at t=1s.
+  EXPECT_NEAR(ToSeconds(done1), 1.0, 1e-6);
+  EXPECT_NEAR(ToSeconds(done2), 1.0, 1e-6);
+}
+
+TEST(ProcessorSharingTest, WeightsSkewService) {
+  Scheduler s;
+  ProcessorSharing ps(&s, 100.0, "gpu");
+  SimTime heavy_done = 0, light_done = 0;
+  // Weight 3 job gets 75 units/s, weight 1 job gets 25 units/s.
+  ps.Submit(75.0, 3.0, [&] { heavy_done = s.Now(); });
+  ps.Submit(25.0, 1.0, [&] { light_done = s.Now(); });
+  s.Run();
+  EXPECT_NEAR(ToSeconds(heavy_done), 1.0, 1e-6);
+  EXPECT_NEAR(ToSeconds(light_done), 1.0, 1e-6);
+}
+
+TEST(ProcessorSharingTest, LateArrivalSlowsExistingJob) {
+  Scheduler s;
+  ProcessorSharing ps(&s, 100.0, "gpu");
+  SimTime first_done = 0;
+  ps.Submit(100.0, 1.0, [&] { first_done = s.Now(); });
+  // At t=0.5s, half the first job (50 units) is done; a second job arrives
+  // and halves the rate, so the remaining 50 units take 1.0s more.
+  s.At(Seconds(0.5), [&] { ps.Submit(200.0, 1.0, nullptr); });
+  s.Run();
+  EXPECT_NEAR(ToSeconds(first_done), 1.5, 1e-3);
+}
+
+TEST(ProcessorSharingTest, DepartureSpeedsUpRemainder) {
+  Scheduler s;
+  ProcessorSharing ps(&s, 100.0, "gpu");
+  SimTime long_done = 0;
+  ps.Submit(10.0, 1.0, nullptr);              // finishes at 0.2s (shared)
+  ps.Submit(90.0, 1.0, [&] { long_done = s.Now(); });
+  s.Run();
+  // Shared until 0.2s (10 units each), then full rate for remaining 80.
+  EXPECT_NEAR(ToSeconds(long_done), 0.2 + 0.8, 1e-3);
+}
+
+TEST(ProcessorSharingTest, WorkConservation) {
+  Scheduler s;
+  ProcessorSharing ps(&s, 50.0, "gpu");
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    ps.Submit(5.0, 1.0 + (i % 3), [&] { ++completed; });
+  }
+  s.Run();
+  EXPECT_EQ(completed, 10);
+  EXPECT_NEAR(ps.WorkDone(), 50.0, 1e-6);
+  // Total work 50 units at 50 units/s => exactly 1s busy.
+  EXPECT_NEAR(ToSeconds(s.Now()), 1.0, 1e-3);
+}
+
+TEST(ProcessorSharingTest, UtilizationTracksBusyTime) {
+  Scheduler s;
+  ProcessorSharing ps(&s, 100.0, "gpu");
+  ps.Submit(50.0, 1.0, nullptr);
+  s.Run();                 // busy 0.5s
+  s.RunUntil(Seconds(1.0));  // idle 0.5s
+  EXPECT_NEAR(ps.Utilization(), 0.5, 1e-3);
+}
+
+}  // namespace
+}  // namespace dlb::sim

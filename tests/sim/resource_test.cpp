@@ -1,0 +1,74 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::sim {
+namespace {
+
+TEST(ResourceTest, SingleServerSerializes) {
+  Scheduler s;
+  Resource r(&s, 1, "unit");
+  SimTime done1 = 0, done2 = 0;
+  r.Submit(100, [&] { done1 = s.Now(); });
+  r.Submit(100, [&] { done2 = s.Now(); });
+  s.Run();
+  EXPECT_EQ(done1, 100u);
+  EXPECT_EQ(done2, 200u);  // queued behind the first
+  EXPECT_EQ(r.Completed(), 2u);
+}
+
+TEST(ResourceTest, MultiServerRunsInParallel) {
+  Scheduler s;
+  Resource r(&s, 4, "quad");
+  int done = 0;
+  for (int i = 0; i < 4; ++i) r.Submit(100, [&] { ++done; });
+  s.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(s.Now(), 100u);  // all four in parallel
+}
+
+TEST(ResourceTest, FiveJobsOnFourServers) {
+  Scheduler s;
+  Resource r(&s, 4, "quad");
+  SimTime last = 0;
+  for (int i = 0; i < 5; ++i) r.Submit(100, [&] { last = s.Now(); });
+  s.Run();
+  EXPECT_EQ(last, 200u);  // the fifth waits for a free server
+}
+
+TEST(ResourceTest, UtilizationAccounting) {
+  Scheduler s;
+  Resource r(&s, 2, "pair");
+  r.Submit(100, nullptr);
+  r.Submit(100, nullptr);
+  s.Run();
+  // Both servers busy for the full 100ns horizon.
+  EXPECT_DOUBLE_EQ(r.Utilization(), 1.0);
+  EXPECT_EQ(r.BusyTime(), 200u);
+}
+
+TEST(ResourceTest, WaitHistogramRecordsQueueing) {
+  Scheduler s;
+  Resource r(&s, 1, "unit");
+  r.Submit(100, nullptr);
+  r.Submit(100, nullptr);  // waits 100ns
+  s.Run();
+  EXPECT_EQ(r.WaitHistogram().Count(), 2u);
+  EXPECT_EQ(r.WaitHistogram().Max(), 100u);
+}
+
+TEST(ResourceTest, CompletionCallbackCanResubmit) {
+  Scheduler s;
+  Resource r(&s, 1, "unit");
+  int rounds = 0;
+  std::function<void()> again = [&] {
+    if (++rounds < 5) r.Submit(10, again);
+  };
+  r.Submit(10, again);
+  s.Run();
+  EXPECT_EQ(rounds, 5);
+  EXPECT_EQ(s.Now(), 50u);
+}
+
+}  // namespace
+}  // namespace dlb::sim

@@ -1,0 +1,88 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dlb::sim {
+namespace {
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.At(300, [&] { order.push_back(3); });
+  s.At(100, [&] { order.push_back(1); });
+  s.At(200, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 300u);
+}
+
+TEST(SchedulerTest, SameTimeEventsAreFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.At(50, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, AfterIsRelativeToNow) {
+  Scheduler s;
+  SimTime fired_at = 0;
+  s.At(100, [&] {
+    s.After(50, [&] { fired_at = s.Now(); });
+  });
+  s.Run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  s.At(100, [&] { ++fired; });
+  s.At(200, [&] { ++fired; });
+  s.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.Now(), 150u);
+  s.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, EventsCanCascade) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.After(1, recurse);
+  };
+  s.At(0, recurse);
+  s.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.Now(), 99u);
+  EXPECT_EQ(s.EventsProcessed(), 100u);
+}
+
+TEST(SchedulerTest, TimeConversionHelpers) {
+  EXPECT_EQ(Seconds(1.5), 1500000000ull);
+  EXPECT_EQ(Millis(2.0), 2000000ull);
+  EXPECT_EQ(Micros(3.0), 3000ull);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.0)), 2.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7.0)), 7.0);
+}
+
+TEST(SchedulerTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      s.At((i * 37) % 13, [&order, i] { order.push_back(i); });
+    }
+    s.Run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dlb::sim

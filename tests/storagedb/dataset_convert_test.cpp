@@ -1,0 +1,107 @@
+#include "storagedb/dataset_convert.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::db {
+namespace {
+
+Dataset SmallDataset(size_t n) {
+  DatasetSpec spec = ImageNetLikeSpec(n);
+  spec.width = 64;
+  spec.height = 48;
+  spec.dim_jitter = 0.1;
+  auto ds = GenerateDataset(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(DatumTest, EncodeDecodeRoundTrip) {
+  Image img(5, 4, 3);
+  for (size_t i = 0; i < img.SizeBytes(); ++i) {
+    img.Data()[i] = static_cast<uint8_t>(i);
+  }
+  DatumHeader h;
+  h.width = 5;
+  h.height = 4;
+  h.channels = 3;
+  h.label = -7;
+  Bytes datum = EncodeDatum(h, img);
+  auto decoded = DecodeDatum(datum);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().first.label, -7);
+  EXPECT_TRUE(decoded.value().second == img);
+}
+
+TEST(DatumTest, RejectsTruncated) {
+  EXPECT_FALSE(DecodeDatum(ByteSpan{}).ok());
+  Bytes small(4);
+  EXPECT_FALSE(DecodeDatum(small).ok());
+}
+
+TEST(DatumTest, RejectsSizeMismatch) {
+  Image img(2, 2, 1);
+  DatumHeader h{2, 2, 1, 0};
+  Bytes datum = EncodeDatum(h, img);
+  datum.push_back(0);  // extra byte
+  EXPECT_EQ(DecodeDatum(datum).status().code(), StatusCode::kCorruptData);
+}
+
+TEST(ConvertTest, ConvertsEveryImage) {
+  Dataset ds = SmallDataset(10);
+  KvStore store(32);
+  ConvertOptions opts;
+  opts.resize_width = 32;
+  opts.resize_height = 32;
+  auto report = ConvertDataset(ds, opts, &store);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().images, 10u);
+  EXPECT_EQ(store.RecordCount(), 10u);
+  EXPECT_GT(report.value().wall_seconds, 0.0);
+  // Raw 32x32x3 datums.
+  EXPECT_EQ(report.value().output_bytes, 10u * (9 + 32 * 32 * 3));
+}
+
+TEST(ConvertTest, DatumsMatchManifestLabels) {
+  Dataset ds = SmallDataset(6);
+  KvStore store(32);
+  ConvertOptions opts;
+  opts.resize_width = 16;
+  opts.resize_height = 16;
+  ASSERT_TRUE(ConvertDataset(ds, opts, &store).ok());
+  for (const auto& rec : ds.manifest.Records()) {
+    auto value = store.Get(rec.name);
+    ASSERT_TRUE(value.ok());
+    auto datum = DecodeDatum(value.value());
+    ASSERT_TRUE(datum.ok());
+    EXPECT_EQ(datum.value().first.label, rec.label);
+    EXPECT_EQ(datum.value().second.Width(), 16);
+    EXPECT_EQ(datum.value().second.Height(), 16);
+  }
+}
+
+TEST(ConvertTest, MultiThreadedMatchesSingleThreaded) {
+  Dataset ds = SmallDataset(8);
+  KvStore store1(16), store4(16);
+  ConvertOptions opts1;
+  opts1.resize_width = 24;
+  opts1.resize_height = 24;
+  ConvertOptions opts4 = opts1;
+  opts4.num_threads = 4;
+  ASSERT_TRUE(ConvertDataset(ds, opts1, &store1).ok());
+  ASSERT_TRUE(ConvertDataset(ds, opts4, &store4).ok());
+  for (const auto& rec : ds.manifest.Records()) {
+    auto v1 = store1.Get(rec.name);
+    auto v4 = store4.Get(rec.name);
+    ASSERT_TRUE(v1.ok());
+    ASSERT_TRUE(v4.ok());
+    EXPECT_EQ(v1.value(), v4.value()) << rec.name;
+  }
+}
+
+TEST(ConvertTest, NullOutputRejected) {
+  Dataset ds = SmallDataset(1);
+  EXPECT_FALSE(ConvertDataset(ds, ConvertOptions{}, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dlb::db

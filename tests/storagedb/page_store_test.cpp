@@ -1,0 +1,76 @@
+#include "storagedb/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace dlb::db {
+namespace {
+
+TEST(PageStoreTest, AllocSequentialIds) {
+  PageStore store;
+  EXPECT_EQ(store.Alloc(), 0u);
+  EXPECT_EQ(store.Alloc(), 1u);
+  EXPECT_EQ(store.PageCount(), 2u);
+  EXPECT_EQ(store.SizeBytes(), 2 * kPageSize);
+}
+
+TEST(PageStoreTest, PagesAreZeroed) {
+  PageStore store;
+  const PageId id = store.Alloc();
+  auto page = store.Page(id);
+  ASSERT_TRUE(page.ok());
+  for (uint8_t b : page.value()) ASSERT_EQ(b, 0);
+}
+
+TEST(PageStoreTest, WritesPersistWithinStore) {
+  PageStore store;
+  const PageId id = store.Alloc();
+  {
+    auto page = store.Page(id);
+    ASSERT_TRUE(page.ok());
+    page.value()[17] = 0xAB;
+  }
+  const PageStore& cstore = store;
+  auto page = cstore.Page(id);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value()[17], 0xAB);
+}
+
+TEST(PageStoreTest, OutOfRangeRejected) {
+  PageStore store;
+  store.Alloc();
+  EXPECT_FALSE(store.Page(PageId{5}).ok());
+  EXPECT_FALSE(store.Page(kInvalidPage).ok());
+}
+
+TEST(PageStoreTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dlb_pages.bin").string();
+  PageStore store;
+  const PageId id = store.Alloc();
+  store.Page(id).value()[0] = 42;
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+
+  PageStore loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.PageCount(), 1u);
+  EXPECT_EQ(loaded.Page(id).value()[0], 42);
+  std::filesystem::remove(path);
+}
+
+TEST(PageStoreTest, LoadRejectsBadSize) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dlb_badpages.bin").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a page multiple";
+  }
+  PageStore store;
+  EXPECT_EQ(store.LoadFromFile(path).code(), StatusCode::kCorruptData);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dlb::db

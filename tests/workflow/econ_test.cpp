@@ -1,0 +1,48 @@
+#include "workflow/econ.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::workflow {
+namespace {
+
+TEST(EconTest, PaperNumbersReproduce) {
+  EconInput input;  // defaults follow §5.4
+  EconReport report = AnalyzeEconomics(input);
+  // 30 cores at ~$0.105/h => ~$3.15/h, comfortably above the paper's $1.5/h.
+  EXPECT_GT(report.freed_core_dollars_per_hour, 1.5);
+  // "~$900 per year" per core => ~27k for 30 cores.
+  EXPECT_NEAR(report.core_revenue_per_year, 30 * 900.0, 3000.0);
+}
+
+TEST(EconTest, FpgaPaysForItselfInWeeks) {
+  EconReport report = AnalyzeEconomics(EconInput{});
+  EXPECT_LT(report.fpga_payback_days, 90.0);
+  EXPECT_GT(report.fpga_payback_days, 7.0);
+}
+
+TEST(EconTest, PowerSavingsPositive) {
+  EconReport report = AnalyzeEconomics(EconInput{});
+  // 30 cores' worth of CPU power dwarfs the 25 W FPGA.
+  EXPECT_GT(report.power_saved_watts, 100.0);
+  EXPECT_GT(report.power_saved_dollars_per_year, 50.0);
+}
+
+TEST(EconTest, ScalesWithCoresReplaced) {
+  EconInput few;
+  few.cores_replaced = 10;
+  EconInput many;
+  many.cores_replaced = 30;
+  EXPECT_NEAR(AnalyzeEconomics(many).core_revenue_per_year,
+              3 * AnalyzeEconomics(few).core_revenue_per_year, 1.0);
+}
+
+TEST(EconTest, ReportRendersKeyRows) {
+  EconInput input;
+  const std::string text = RenderEconReport(input, AnalyzeEconomics(input));
+  EXPECT_NE(text.find("payback"), std::string::npos);
+  EXPECT_NE(text.find("power"), std::string::npos);
+  EXPECT_NE(text.find("$/year"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlb::workflow

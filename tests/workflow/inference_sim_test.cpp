@@ -1,0 +1,139 @@
+// Pins the inference DES to the paper's qualitative Fig. 7/8/9 results.
+#include "workflow/inference_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::workflow {
+namespace {
+
+InferConfig Base(InferBackend backend, const gpu::DlModel* model, int batch) {
+  InferConfig config;
+  config.backend = backend;
+  config.model = model;
+  config.batch_size = batch;
+  config.sim_seconds = 10.0;
+  return config;
+}
+
+TEST(InferenceSimTest, ThroughputGrowsWithBatchSize) {
+  for (InferBackend backend : {InferBackend::kCpu, InferBackend::kNvjpeg,
+                               InferBackend::kDlbooster}) {
+    const double tp1 =
+        SimulateInference(Base(backend, &gpu::GoogLeNet(), 1)).throughput;
+    const double tp16 =
+        SimulateInference(Base(backend, &gpu::GoogLeNet(), 16)).throughput;
+    EXPECT_GT(tp16, tp1 * 1.5) << InferBackendName(backend);
+  }
+}
+
+TEST(InferenceSimTest, DlboosterWinsAtLargeBatch) {
+  const double dlb =
+      SimulateInference(Base(InferBackend::kDlbooster, &gpu::GoogLeNet(), 32))
+          .throughput;
+  const double cpu =
+      SimulateInference(Base(InferBackend::kCpu, &gpu::GoogLeNet(), 32))
+          .throughput;
+  const double nvj =
+      SimulateInference(Base(InferBackend::kNvjpeg, &gpu::GoogLeNet(), 32))
+          .throughput;
+  // Fig. 7: DLBooster 1.2x-2.4x over the baselines; nvJPEG is the lowest.
+  EXPECT_GT(dlb, 1.1 * cpu);
+  EXPECT_GT(dlb, 1.2 * nvj);
+  EXPECT_LT(nvj, cpu);
+}
+
+TEST(InferenceSimTest, DlboosterSaturatesNearDecoderBound) {
+  const double tp16 =
+      SimulateInference(Base(InferBackend::kDlbooster, &gpu::GoogLeNet(), 16))
+          .throughput;
+  const double tp32 =
+      SimulateInference(Base(InferBackend::kDlbooster, &gpu::GoogLeNet(), 32))
+          .throughput;
+  // Fig. 7(a): beyond batch 16 the single decoder pipeline is the bound.
+  EXPECT_LT(tp32, tp16 * 1.15);
+  EXPECT_NEAR(tp32, 2400.0, 500.0);
+}
+
+TEST(InferenceSimTest, NvjpegStealsGpuFromTheModel) {
+  auto nvj = SimulateInference(Base(InferBackend::kNvjpeg, &gpu::GoogLeNet(), 32));
+  auto dlb =
+      SimulateInference(Base(InferBackend::kDlbooster, &gpu::GoogLeNet(), 32));
+  // Decode work inflates nvJPEG's GPU utilisation yet lowers throughput.
+  EXPECT_GT(nvj.gpu_compute_util, 0.85);
+  EXPECT_LT(nvj.throughput, dlb.throughput);
+}
+
+TEST(InferenceSimTest, BatchOneLatenciesMatchFig8Ordering) {
+  const double dlb =
+      SimulateInference(Base(InferBackend::kDlbooster, &gpu::GoogLeNet(), 1))
+          .latency_ms_mean;
+  const double nvj =
+      SimulateInference(Base(InferBackend::kNvjpeg, &gpu::GoogLeNet(), 1))
+          .latency_ms_mean;
+  const double cpu =
+      SimulateInference(Base(InferBackend::kCpu, &gpu::GoogLeNet(), 1))
+          .latency_ms_mean;
+  // Fig. 8: 1.2 ms / 1.8 ms / 3.4 ms ordering, and roughly those values.
+  EXPECT_LT(dlb, nvj);
+  EXPECT_LT(nvj, cpu);
+  EXPECT_NEAR(dlb, 1.2, 0.8);
+  EXPECT_NEAR(cpu, 3.4, 1.8);
+}
+
+TEST(InferenceSimTest, LatencyGrowsWithBatchSize) {
+  for (InferBackend backend : {InferBackend::kCpu, InferBackend::kDlbooster}) {
+    const double l1 = SimulateInference(Base(backend, &gpu::Vgg16(), 1))
+                          .latency_ms_mean;
+    const double l32 = SimulateInference(Base(backend, &gpu::Vgg16(), 32))
+                           .latency_ms_mean;
+    EXPECT_GT(l32, l1 * 3) << InferBackendName(backend);
+  }
+}
+
+TEST(InferenceSimTest, CpuCostOrderingMatchesFig9) {
+  auto cpu = SimulateInference(Base(InferBackend::kCpu, &gpu::GoogLeNet(), 32));
+  auto nvj =
+      SimulateInference(Base(InferBackend::kNvjpeg, &gpu::GoogLeNet(), 32));
+  auto dlb =
+      SimulateInference(Base(InferBackend::kDlbooster, &gpu::GoogLeNet(), 32));
+  // CPU-based burns 7-14 cores; nvJPEG ~1.5; DLBooster ~0.5 (+launch).
+  EXPECT_GT(cpu.cpu_cores, 6.0);
+  EXPECT_LT(dlb.cpu_cores, nvj.cpu_cores);
+  EXPECT_LT(nvj.cpu_cores, cpu.cpu_cores * 0.5);
+}
+
+TEST(InferenceSimTest, TwoPipelinesLiftTheResNet50Bound) {
+  InferConfig one = Base(InferBackend::kDlbooster, &gpu::ResNet50(), 64);
+  one.num_gpus = 2;
+  one.fpga_pipelines = 1;
+  InferConfig two = one;
+  two.fpga_pipelines = 2;
+  const double tp1 = SimulateInference(one).throughput;
+  const double tp2 = SimulateInference(two).throughput;
+  // §5.3: plugging more FPGA decoders overcomes the decoder bound.
+  EXPECT_GT(tp2, tp1 * 1.3);
+  EXPECT_NEAR(tp2, 3900.0, 900.0);
+}
+
+TEST(InferenceSimTest, VggIsGpuBoundSoBackendsConverge) {
+  const double dlb =
+      SimulateInference(Base(InferBackend::kDlbooster, &gpu::Vgg16(), 32))
+          .throughput;
+  const double cpu =
+      SimulateInference(Base(InferBackend::kCpu, &gpu::Vgg16(), 32))
+          .throughput;
+  // VGG16's heavy compute narrows the gap (Fig. 7(b)).
+  EXPECT_LT(dlb / cpu, 1.6);
+  EXPECT_GE(dlb / cpu, 1.0);
+}
+
+TEST(InferenceSimTest, DeterministicAcrossRuns) {
+  InferConfig config = Base(InferBackend::kNvjpeg, &gpu::ResNet50(), 8);
+  auto a = SimulateInference(config);
+  auto b = SimulateInference(config);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.latency_ms_mean, b.latency_ms_mean);
+}
+
+}  // namespace
+}  // namespace dlb::workflow

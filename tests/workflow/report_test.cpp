@@ -1,0 +1,52 @@
+#include "workflow/report.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::workflow {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // All data lines have the same width.
+  size_t pos = 0, prev_len = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) break;
+    size_t len = eol - pos;
+    if (lines > 0 && len > 0) {
+      EXPECT_LE(len, prev_len + 2);
+    }
+    prev_len = std::max(prev_len, len);
+    pos = eol + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // header + rule + 2 rows
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(Fmt(0.301, 2), "0.30");
+}
+
+TEST(FmtCountTest, ThousandsSeparators) {
+  EXPECT_EQ(FmtCount(4652), "4,652");
+  EXPECT_EQ(FmtCount(100), "100");
+  EXPECT_EQ(FmtCount(1234567), "1,234,567");
+  EXPECT_EQ(FmtCount(0), "0");
+}
+
+}  // namespace
+}  // namespace dlb::workflow

@@ -1,0 +1,137 @@
+// Property-style sweeps over the full (model x backend x GPUs/batch)
+// matrix: invariants that must hold at EVERY point, not just the paper's
+// configurations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workflow/inference_sim.h"
+#include "workflow/training_sim.h"
+
+namespace dlb::workflow {
+namespace {
+
+// ---------------- training sweep -------------------------------------------
+
+using TrainPoint = std::tuple<const gpu::DlModel*, TrainBackend, int>;
+
+class TrainingSweepTest : public ::testing::TestWithParam<TrainPoint> {};
+
+TEST_P(TrainingSweepTest, InvariantsHold) {
+  const auto& [model, backend, gpus] = GetParam();
+  TrainConfig config;
+  config.model = model;
+  config.backend = backend;
+  config.num_gpus = gpus;
+  config.sim_seconds = 6.0;
+  config.dataset_fits_memory = model == &gpu::LeNet5();
+  const TrainResult r = SimulateTraining(config);
+
+  // Throughput is positive and never exceeds the synthetic boundary.
+  TrainConfig ideal = config;
+  ideal.backend = TrainBackend::kSynthetic;
+  const double boundary = SimulateTraining(ideal).throughput;
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_LE(r.throughput, boundary * 1.02);
+
+  // CPU cost is positive and bounded by the socket.
+  EXPECT_GT(r.cpu_cores, 0.0);
+  EXPECT_LE(r.cpu_cores, cal::kCpuTotalCores);
+
+  // The engine can never be more than fully utilised.
+  EXPECT_LE(r.gpu_compute_util, 1.001);
+
+  // Determinism at every sweep point.
+  const TrainResult again = SimulateTraining(config);
+  EXPECT_DOUBLE_EQ(r.throughput, again.throughput);
+}
+
+std::string TrainPointName(const ::testing::TestParamInfo<TrainPoint>& info) {
+  const auto& [model, backend, gpus] = info.param;
+  return model->name + "_" + TrainBackendName(backend) + "_" +
+         std::to_string(gpus) + "gpu";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TrainingSweepTest,
+    ::testing::Combine(::testing::Values(&gpu::LeNet5(), &gpu::AlexNet(),
+                                         &gpu::ResNet18()),
+                       ::testing::Values(TrainBackend::kCpu,
+                                         TrainBackend::kLmdb,
+                                         TrainBackend::kDlbooster),
+                       ::testing::Values(1, 2)),
+    TrainPointName);
+
+// ---------------- inference sweep ------------------------------------------
+
+using InferPoint = std::tuple<const gpu::DlModel*, InferBackend, int>;
+
+class InferenceSweepTest : public ::testing::TestWithParam<InferPoint> {};
+
+TEST_P(InferenceSweepTest, InvariantsHold) {
+  const auto& [model, backend, batch] = GetParam();
+  InferConfig config;
+  config.model = model;
+  config.backend = backend;
+  config.batch_size = batch;
+  config.sim_seconds = 6.0;
+  const InferResult r = SimulateInference(config);
+
+  EXPECT_GT(r.throughput, 0.0);
+  // Never above what the GPU could do with free preprocessing.
+  const double gpu_bound =
+      batch / model->InferBatchSeconds(batch) * config.num_gpus;
+  EXPECT_LE(r.throughput, gpu_bound * 1.02);
+
+  // Latency is at least the pure batch-inference time, and consistent
+  // with throughput (Little's law, window = 2*batch*gpus).
+  EXPECT_GE(r.latency_ms_p50 * 1.05,
+            model->InferBatchSeconds(batch) * 1e3 * 0.5);
+  EXPECT_GT(r.latency_ms_p99 + 0.001, r.latency_ms_p50);
+
+  EXPECT_GT(r.cpu_cores, 0.0);
+  EXPECT_LE(r.gpu_compute_util, 1.001);
+}
+
+std::string InferPointName(const ::testing::TestParamInfo<InferPoint>& info) {
+  const auto& [model, backend, batch] = info.param;
+  return model->name + "_" + InferBackendName(backend) + "_bs" +
+         std::to_string(batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, InferenceSweepTest,
+    ::testing::Combine(::testing::Values(&gpu::GoogLeNet(), &gpu::Vgg16(),
+                                         &gpu::ResNet50()),
+                       ::testing::Values(InferBackend::kCpu,
+                                         InferBackend::kNvjpeg,
+                                         InferBackend::kDlbooster),
+                       ::testing::Values(1, 8, 32)),
+    InferPointName);
+
+// DLBooster dominance holds across the model zoo at serving batch sizes.
+class DominanceTest
+    : public ::testing::TestWithParam<const gpu::DlModel*> {};
+
+TEST_P(DominanceTest, DlboosterNeverLosesAtBatch16) {
+  InferConfig config;
+  config.model = GetParam();
+  config.batch_size = 16;
+  config.sim_seconds = 6.0;
+  config.backend = InferBackend::kDlbooster;
+  const double dlb = SimulateInference(config).throughput;
+  config.backend = InferBackend::kNvjpeg;
+  const double nvj = SimulateInference(config).throughput;
+  config.backend = InferBackend::kCpu;
+  const double cpu = SimulateInference(config).throughput;
+  EXPECT_GE(dlb, nvj * 0.99) << GetParam()->name;
+  EXPECT_GE(dlb, cpu * 0.99) << GetParam()->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, DominanceTest,
+                         ::testing::Values(&gpu::GoogLeNet(), &gpu::Vgg16(),
+                                           &gpu::ResNet50()),
+                         [](const auto& info) { return info.param->name; });
+
+}  // namespace
+}  // namespace dlb::workflow
