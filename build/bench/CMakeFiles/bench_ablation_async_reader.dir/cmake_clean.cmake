@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_async_reader.dir/bench_ablation_async_reader.cpp.o"
+  "CMakeFiles/bench_ablation_async_reader.dir/bench_ablation_async_reader.cpp.o.d"
+  "bench_ablation_async_reader"
+  "bench_ablation_async_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_async_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_direct_write.dir/bench_ablation_direct_write.cpp.o"
+  "CMakeFiles/bench_ablation_direct_write.dir/bench_ablation_direct_write.cpp.o.d"
+  "bench_ablation_direct_write"
+  "bench_ablation_direct_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_direct_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

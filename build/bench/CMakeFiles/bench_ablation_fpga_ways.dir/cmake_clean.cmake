@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fpga_ways.dir/bench_ablation_fpga_ways.cpp.o"
+  "CMakeFiles/bench_ablation_fpga_ways.dir/bench_ablation_fpga_ways.cpp.o.d"
+  "bench_ablation_fpga_ways"
+  "bench_ablation_fpga_ways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fpga_ways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

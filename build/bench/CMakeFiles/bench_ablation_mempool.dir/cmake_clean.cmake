@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mempool.dir/bench_ablation_mempool.cpp.o"
+  "CMakeFiles/bench_ablation_mempool.dir/bench_ablation_mempool.cpp.o.d"
+  "bench_ablation_mempool"
+  "bench_ablation_mempool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mempool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

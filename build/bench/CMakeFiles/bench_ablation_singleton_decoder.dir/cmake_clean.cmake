@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_singleton_decoder.dir/bench_ablation_singleton_decoder.cpp.o"
+  "CMakeFiles/bench_ablation_singleton_decoder.dir/bench_ablation_singleton_decoder.cpp.o.d"
+  "bench_ablation_singleton_decoder"
+  "bench_ablation_singleton_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_singleton_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

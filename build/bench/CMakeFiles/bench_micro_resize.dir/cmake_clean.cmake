@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_resize.dir/bench_micro_resize.cpp.o"
+  "CMakeFiles/bench_micro_resize.dir/bench_micro_resize.cpp.o.d"
+  "bench_micro_resize"
+  "bench_micro_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

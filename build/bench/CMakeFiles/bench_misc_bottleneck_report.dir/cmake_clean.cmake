@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misc_bottleneck_report.dir/bench_misc_bottleneck_report.cpp.o"
+  "CMakeFiles/bench_misc_bottleneck_report.dir/bench_misc_bottleneck_report.cpp.o.d"
+  "bench_misc_bottleneck_report"
+  "bench_misc_bottleneck_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc_bottleneck_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_misc_bottleneck_report.
+# This may be replaced when dependencies are built.

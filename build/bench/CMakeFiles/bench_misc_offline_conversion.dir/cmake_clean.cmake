@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misc_offline_conversion.dir/bench_misc_offline_conversion.cpp.o"
+  "CMakeFiles/bench_misc_offline_conversion.dir/bench_misc_offline_conversion.cpp.o.d"
+  "bench_misc_offline_conversion"
+  "bench_misc_offline_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misc_offline_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_misc_offline_conversion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_misc_time_to_train.
+# This may be replaced when dependencies are built.

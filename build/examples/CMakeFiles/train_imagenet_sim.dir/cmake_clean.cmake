@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_imagenet_sim.dir/train_imagenet_sim.cpp.o"
+  "CMakeFiles/train_imagenet_sim.dir/train_imagenet_sim.cpp.o.d"
+  "train_imagenet_sim"
+  "train_imagenet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_imagenet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_backends.dir/backend.cpp.o"
+  "CMakeFiles/dlb_backends.dir/backend.cpp.o.d"
+  "CMakeFiles/dlb_backends.dir/cached_backend.cpp.o"
+  "CMakeFiles/dlb_backends.dir/cached_backend.cpp.o.d"
+  "CMakeFiles/dlb_backends.dir/cpu_backend.cpp.o"
+  "CMakeFiles/dlb_backends.dir/cpu_backend.cpp.o.d"
+  "CMakeFiles/dlb_backends.dir/dlbooster_backend.cpp.o"
+  "CMakeFiles/dlb_backends.dir/dlbooster_backend.cpp.o.d"
+  "CMakeFiles/dlb_backends.dir/lmdb_backend.cpp.o"
+  "CMakeFiles/dlb_backends.dir/lmdb_backend.cpp.o.d"
+  "CMakeFiles/dlb_backends.dir/synthetic_backend.cpp.o"
+  "CMakeFiles/dlb_backends.dir/synthetic_backend.cpp.o.d"
+  "libdlb_backends.a"
+  "libdlb_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/color.cpp" "src/codec/CMakeFiles/dlb_codec.dir/color.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/color.cpp.o.d"
+  "/root/repo/src/codec/dct.cpp" "src/codec/CMakeFiles/dlb_codec.dir/dct.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/dct.cpp.o.d"
+  "/root/repo/src/codec/huffman.cpp" "src/codec/CMakeFiles/dlb_codec.dir/huffman.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/huffman.cpp.o.d"
+  "/root/repo/src/codec/inflate.cpp" "src/codec/CMakeFiles/dlb_codec.dir/inflate.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/inflate.cpp.o.d"
+  "/root/repo/src/codec/jpeg_decoder.cpp" "src/codec/CMakeFiles/dlb_codec.dir/jpeg_decoder.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/jpeg_decoder.cpp.o.d"
+  "/root/repo/src/codec/jpeg_encoder.cpp" "src/codec/CMakeFiles/dlb_codec.dir/jpeg_encoder.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/jpeg_encoder.cpp.o.d"
+  "/root/repo/src/codec/png.cpp" "src/codec/CMakeFiles/dlb_codec.dir/png.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/png.cpp.o.d"
+  "/root/repo/src/codec/ppm.cpp" "src/codec/CMakeFiles/dlb_codec.dir/ppm.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/ppm.cpp.o.d"
+  "/root/repo/src/codec/tables.cpp" "src/codec/CMakeFiles/dlb_codec.dir/tables.cpp.o" "gcc" "src/codec/CMakeFiles/dlb_codec.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dlb_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_codec.dir/color.cpp.o"
+  "CMakeFiles/dlb_codec.dir/color.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/dct.cpp.o"
+  "CMakeFiles/dlb_codec.dir/dct.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/huffman.cpp.o"
+  "CMakeFiles/dlb_codec.dir/huffman.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/inflate.cpp.o"
+  "CMakeFiles/dlb_codec.dir/inflate.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/jpeg_decoder.cpp.o"
+  "CMakeFiles/dlb_codec.dir/jpeg_decoder.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/jpeg_encoder.cpp.o"
+  "CMakeFiles/dlb_codec.dir/jpeg_encoder.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/png.cpp.o"
+  "CMakeFiles/dlb_codec.dir/png.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/ppm.cpp.o"
+  "CMakeFiles/dlb_codec.dir/ppm.cpp.o.d"
+  "CMakeFiles/dlb_codec.dir/tables.cpp.o"
+  "CMakeFiles/dlb_codec.dir/tables.cpp.o.d"
+  "libdlb_codec.a"
+  "libdlb_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_common.dir/config.cpp.o"
+  "CMakeFiles/dlb_common.dir/config.cpp.o.d"
+  "CMakeFiles/dlb_common.dir/log.cpp.o"
+  "CMakeFiles/dlb_common.dir/log.cpp.o.d"
+  "CMakeFiles/dlb_common.dir/stats.cpp.o"
+  "CMakeFiles/dlb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dlb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/dlb_common.dir/thread_pool.cpp.o.d"
+  "libdlb_common.a"
+  "libdlb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dlb_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dlb_core.dir/plugin.cpp.o"
+  "CMakeFiles/dlb_core.dir/plugin.cpp.o.d"
+  "libdlb_core.a"
+  "libdlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

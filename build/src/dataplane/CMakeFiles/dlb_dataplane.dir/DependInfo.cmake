@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/batch_loader.cpp" "src/dataplane/CMakeFiles/dlb_dataplane.dir/batch_loader.cpp.o" "gcc" "src/dataplane/CMakeFiles/dlb_dataplane.dir/batch_loader.cpp.o.d"
+  "/root/repo/src/dataplane/blob_store.cpp" "src/dataplane/CMakeFiles/dlb_dataplane.dir/blob_store.cpp.o" "gcc" "src/dataplane/CMakeFiles/dlb_dataplane.dir/blob_store.cpp.o.d"
+  "/root/repo/src/dataplane/disk_model.cpp" "src/dataplane/CMakeFiles/dlb_dataplane.dir/disk_model.cpp.o" "gcc" "src/dataplane/CMakeFiles/dlb_dataplane.dir/disk_model.cpp.o.d"
+  "/root/repo/src/dataplane/manifest.cpp" "src/dataplane/CMakeFiles/dlb_dataplane.dir/manifest.cpp.o" "gcc" "src/dataplane/CMakeFiles/dlb_dataplane.dir/manifest.cpp.o.d"
+  "/root/repo/src/dataplane/nic_model.cpp" "src/dataplane/CMakeFiles/dlb_dataplane.dir/nic_model.cpp.o" "gcc" "src/dataplane/CMakeFiles/dlb_dataplane.dir/nic_model.cpp.o.d"
+  "/root/repo/src/dataplane/synthetic_dataset.cpp" "src/dataplane/CMakeFiles/dlb_dataplane.dir/synthetic_dataset.cpp.o" "gcc" "src/dataplane/CMakeFiles/dlb_dataplane.dir/synthetic_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dlb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dlb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

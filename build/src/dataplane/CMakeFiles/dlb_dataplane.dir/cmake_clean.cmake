@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_dataplane.dir/batch_loader.cpp.o"
+  "CMakeFiles/dlb_dataplane.dir/batch_loader.cpp.o.d"
+  "CMakeFiles/dlb_dataplane.dir/blob_store.cpp.o"
+  "CMakeFiles/dlb_dataplane.dir/blob_store.cpp.o.d"
+  "CMakeFiles/dlb_dataplane.dir/disk_model.cpp.o"
+  "CMakeFiles/dlb_dataplane.dir/disk_model.cpp.o.d"
+  "CMakeFiles/dlb_dataplane.dir/manifest.cpp.o"
+  "CMakeFiles/dlb_dataplane.dir/manifest.cpp.o.d"
+  "CMakeFiles/dlb_dataplane.dir/nic_model.cpp.o"
+  "CMakeFiles/dlb_dataplane.dir/nic_model.cpp.o.d"
+  "CMakeFiles/dlb_dataplane.dir/synthetic_dataset.cpp.o"
+  "CMakeFiles/dlb_dataplane.dir/synthetic_dataset.cpp.o.d"
+  "libdlb_dataplane.a"
+  "libdlb_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

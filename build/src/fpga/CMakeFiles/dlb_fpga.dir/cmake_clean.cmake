@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_fpga.dir/decoder_config.cpp.o"
+  "CMakeFiles/dlb_fpga.dir/decoder_config.cpp.o.d"
+  "CMakeFiles/dlb_fpga.dir/fpga_decoder_sim.cpp.o"
+  "CMakeFiles/dlb_fpga.dir/fpga_decoder_sim.cpp.o.d"
+  "CMakeFiles/dlb_fpga.dir/fpga_device.cpp.o"
+  "CMakeFiles/dlb_fpga.dir/fpga_device.cpp.o.d"
+  "libdlb_fpga.a"
+  "libdlb_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

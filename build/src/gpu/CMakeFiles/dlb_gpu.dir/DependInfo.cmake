@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_sim.cpp" "src/gpu/CMakeFiles/dlb_gpu.dir/gpu_sim.cpp.o" "gcc" "src/gpu/CMakeFiles/dlb_gpu.dir/gpu_sim.cpp.o.d"
+  "/root/repo/src/gpu/model_zoo.cpp" "src/gpu/CMakeFiles/dlb_gpu.dir/model_zoo.cpp.o" "gcc" "src/gpu/CMakeFiles/dlb_gpu.dir/model_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_gpu.dir/gpu_sim.cpp.o"
+  "CMakeFiles/dlb_gpu.dir/gpu_sim.cpp.o.d"
+  "CMakeFiles/dlb_gpu.dir/model_zoo.cpp.o"
+  "CMakeFiles/dlb_gpu.dir/model_zoo.cpp.o.d"
+  "libdlb_gpu.a"
+  "libdlb_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_hostbridge.dir/data_collector.cpp.o"
+  "CMakeFiles/dlb_hostbridge.dir/data_collector.cpp.o.d"
+  "CMakeFiles/dlb_hostbridge.dir/dispatcher.cpp.o"
+  "CMakeFiles/dlb_hostbridge.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/dlb_hostbridge.dir/fpga_reader.cpp.o"
+  "CMakeFiles/dlb_hostbridge.dir/fpga_reader.cpp.o.d"
+  "CMakeFiles/dlb_hostbridge.dir/hugepage_pool.cpp.o"
+  "CMakeFiles/dlb_hostbridge.dir/hugepage_pool.cpp.o.d"
+  "libdlb_hostbridge.a"
+  "libdlb_hostbridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_hostbridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dlb_hostbridge.
+# This may be replaced when dependencies are built.

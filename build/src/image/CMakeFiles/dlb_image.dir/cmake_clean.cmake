@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_image.dir/image.cpp.o"
+  "CMakeFiles/dlb_image.dir/image.cpp.o.d"
+  "CMakeFiles/dlb_image.dir/resize.cpp.o"
+  "CMakeFiles/dlb_image.dir/resize.cpp.o.d"
+  "CMakeFiles/dlb_image.dir/tensor.cpp.o"
+  "CMakeFiles/dlb_image.dir/tensor.cpp.o.d"
+  "CMakeFiles/dlb_image.dir/transform.cpp.o"
+  "CMakeFiles/dlb_image.dir/transform.cpp.o.d"
+  "libdlb_image.a"
+  "libdlb_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

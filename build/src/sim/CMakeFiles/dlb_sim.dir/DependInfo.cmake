@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu_accountant.cpp" "src/sim/CMakeFiles/dlb_sim.dir/cpu_accountant.cpp.o" "gcc" "src/sim/CMakeFiles/dlb_sim.dir/cpu_accountant.cpp.o.d"
+  "/root/repo/src/sim/processor_sharing.cpp" "src/sim/CMakeFiles/dlb_sim.dir/processor_sharing.cpp.o" "gcc" "src/sim/CMakeFiles/dlb_sim.dir/processor_sharing.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/sim/CMakeFiles/dlb_sim.dir/resource.cpp.o" "gcc" "src/sim/CMakeFiles/dlb_sim.dir/resource.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/dlb_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/dlb_sim.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_sim.dir/cpu_accountant.cpp.o"
+  "CMakeFiles/dlb_sim.dir/cpu_accountant.cpp.o.d"
+  "CMakeFiles/dlb_sim.dir/processor_sharing.cpp.o"
+  "CMakeFiles/dlb_sim.dir/processor_sharing.cpp.o.d"
+  "CMakeFiles/dlb_sim.dir/resource.cpp.o"
+  "CMakeFiles/dlb_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/dlb_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/dlb_sim.dir/scheduler.cpp.o.d"
+  "libdlb_sim.a"
+  "libdlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

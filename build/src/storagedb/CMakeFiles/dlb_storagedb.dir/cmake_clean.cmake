@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_storagedb.dir/dataset_convert.cpp.o"
+  "CMakeFiles/dlb_storagedb.dir/dataset_convert.cpp.o.d"
+  "CMakeFiles/dlb_storagedb.dir/kv_store.cpp.o"
+  "CMakeFiles/dlb_storagedb.dir/kv_store.cpp.o.d"
+  "CMakeFiles/dlb_storagedb.dir/page_store.cpp.o"
+  "CMakeFiles/dlb_storagedb.dir/page_store.cpp.o.d"
+  "libdlb_storagedb.a"
+  "libdlb_storagedb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_storagedb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

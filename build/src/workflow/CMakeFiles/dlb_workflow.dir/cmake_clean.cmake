@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_workflow.dir/econ.cpp.o"
+  "CMakeFiles/dlb_workflow.dir/econ.cpp.o.d"
+  "CMakeFiles/dlb_workflow.dir/inference_sim.cpp.o"
+  "CMakeFiles/dlb_workflow.dir/inference_sim.cpp.o.d"
+  "CMakeFiles/dlb_workflow.dir/report.cpp.o"
+  "CMakeFiles/dlb_workflow.dir/report.cpp.o.d"
+  "CMakeFiles/dlb_workflow.dir/toy_trainer.cpp.o"
+  "CMakeFiles/dlb_workflow.dir/toy_trainer.cpp.o.d"
+  "CMakeFiles/dlb_workflow.dir/training_sim.cpp.o"
+  "CMakeFiles/dlb_workflow.dir/training_sim.cpp.o.d"
+  "libdlb_workflow.a"
+  "libdlb_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("image")
+subdirs("codec")
+subdirs("dataplane")
+subdirs("storagedb")
+subdirs("fpga")
+subdirs("gpu")
+subdirs("hostbridge")
+subdirs("backends")
+subdirs("core")
+subdirs("workflow")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_backend_test.dir/cached_backend_test.cpp.o"
+  "CMakeFiles/cached_backend_test.dir/cached_backend_test.cpp.o.d"
+  "cached_backend_test"
+  "cached_backend_test.pdb"
+  "cached_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_backend_test.dir/cpu_backend_test.cpp.o"
+  "CMakeFiles/cpu_backend_test.dir/cpu_backend_test.cpp.o.d"
+  "cpu_backend_test"
+  "cpu_backend_test.pdb"
+  "cpu_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlbooster_backend_test.dir/dlbooster_backend_test.cpp.o"
+  "CMakeFiles/dlbooster_backend_test.dir/dlbooster_backend_test.cpp.o.d"
+  "dlbooster_backend_test"
+  "dlbooster_backend_test.pdb"
+  "dlbooster_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlbooster_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

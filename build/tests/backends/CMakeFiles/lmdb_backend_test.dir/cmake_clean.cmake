@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmdb_backend_test.dir/lmdb_backend_test.cpp.o"
+  "CMakeFiles/lmdb_backend_test.dir/lmdb_backend_test.cpp.o.d"
+  "lmdb_backend_test"
+  "lmdb_backend_test.pdb"
+  "lmdb_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmdb_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

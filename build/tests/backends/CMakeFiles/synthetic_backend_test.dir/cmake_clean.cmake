@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_backend_test.dir/synthetic_backend_test.cpp.o"
+  "CMakeFiles/synthetic_backend_test.dir/synthetic_backend_test.cpp.o.d"
+  "synthetic_backend_test"
+  "synthetic_backend_test.pdb"
+  "synthetic_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

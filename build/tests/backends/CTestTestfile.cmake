@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/backends
+# Build directory: /root/repo/build/tests/backends
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/backends/cpu_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/lmdb_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/dlbooster_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/backend_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/cached_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/synthetic_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/backends/stress_test[1]_include.cmake")

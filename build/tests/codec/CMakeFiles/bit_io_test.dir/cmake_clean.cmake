@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_io_test.dir/bit_io_test.cpp.o"
+  "CMakeFiles/bit_io_test.dir/bit_io_test.cpp.o.d"
+  "bit_io_test"
+  "bit_io_test.pdb"
+  "bit_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_test.dir/color_test.cpp.o"
+  "CMakeFiles/color_test.dir/color_test.cpp.o.d"
+  "color_test"
+  "color_test.pdb"
+  "color_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

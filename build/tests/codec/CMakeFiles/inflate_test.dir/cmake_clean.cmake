@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflate_test.dir/inflate_test.cpp.o"
+  "CMakeFiles/inflate_test.dir/inflate_test.cpp.o.d"
+  "inflate_test"
+  "inflate_test.pdb"
+  "inflate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_error_test.dir/jpeg_error_test.cpp.o"
+  "CMakeFiles/jpeg_error_test.dir/jpeg_error_test.cpp.o.d"
+  "jpeg_error_test"
+  "jpeg_error_test.pdb"
+  "jpeg_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

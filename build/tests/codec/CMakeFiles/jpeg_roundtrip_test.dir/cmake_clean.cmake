@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_roundtrip_test.dir/jpeg_roundtrip_test.cpp.o"
+  "CMakeFiles/jpeg_roundtrip_test.dir/jpeg_roundtrip_test.cpp.o.d"
+  "jpeg_roundtrip_test"
+  "jpeg_roundtrip_test.pdb"
+  "jpeg_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

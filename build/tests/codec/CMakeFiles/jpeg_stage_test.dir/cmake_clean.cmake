@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_stage_test.dir/jpeg_stage_test.cpp.o"
+  "CMakeFiles/jpeg_stage_test.dir/jpeg_stage_test.cpp.o.d"
+  "jpeg_stage_test"
+  "jpeg_stage_test.pdb"
+  "jpeg_stage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/png_test.dir/png_test.cpp.o"
+  "CMakeFiles/png_test.dir/png_test.cpp.o.d"
+  "png_test"
+  "png_test.pdb"
+  "png_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/png_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/codec
+# Build directory: /root/repo/build/tests/codec
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codec/bit_io_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/huffman_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/dct_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/color_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/jpeg_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/jpeg_error_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/jpeg_stage_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/inflate_test[1]_include.cmake")
+include("/root/repo/build/tests/codec/png_test[1]_include.cmake")

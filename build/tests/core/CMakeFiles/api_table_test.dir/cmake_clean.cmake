@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_table_test.dir/api_table_test.cpp.o"
+  "CMakeFiles/api_table_test.dir/api_table_test.cpp.o.d"
+  "api_table_test"
+  "api_table_test.pdb"
+  "api_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

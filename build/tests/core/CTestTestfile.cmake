@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/plugin_test[1]_include.cmake")
+include("/root/repo/build/tests/core/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/core/api_table_test[1]_include.cmake")

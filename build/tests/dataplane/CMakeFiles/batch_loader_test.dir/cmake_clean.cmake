@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_loader_test.dir/batch_loader_test.cpp.o"
+  "CMakeFiles/batch_loader_test.dir/batch_loader_test.cpp.o.d"
+  "batch_loader_test"
+  "batch_loader_test.pdb"
+  "batch_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

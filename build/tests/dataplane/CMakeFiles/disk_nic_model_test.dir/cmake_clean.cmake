@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_nic_model_test.dir/disk_nic_model_test.cpp.o"
+  "CMakeFiles/disk_nic_model_test.dir/disk_nic_model_test.cpp.o.d"
+  "disk_nic_model_test"
+  "disk_nic_model_test.pdb"
+  "disk_nic_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_nic_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_dataset_test.dir/synthetic_dataset_test.cpp.o"
+  "CMakeFiles/synthetic_dataset_test.dir/synthetic_dataset_test.cpp.o.d"
+  "synthetic_dataset_test"
+  "synthetic_dataset_test.pdb"
+  "synthetic_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dataplane
+# Build directory: /root/repo/build/tests/dataplane
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dataplane/manifest_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane/blob_store_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane/synthetic_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane/batch_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane/disk_nic_model_test[1]_include.cmake")

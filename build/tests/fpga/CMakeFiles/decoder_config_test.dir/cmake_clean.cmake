@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_config_test.dir/decoder_config_test.cpp.o"
+  "CMakeFiles/decoder_config_test.dir/decoder_config_test.cpp.o.d"
+  "decoder_config_test"
+  "decoder_config_test.pdb"
+  "decoder_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_decoder_sim_test.dir/fpga_decoder_sim_test.cpp.o"
+  "CMakeFiles/fpga_decoder_sim_test.dir/fpga_decoder_sim_test.cpp.o.d"
+  "fpga_decoder_sim_test"
+  "fpga_decoder_sim_test.pdb"
+  "fpga_decoder_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_decoder_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_device_test.dir/fpga_device_test.cpp.o"
+  "CMakeFiles/fpga_device_test.dir/fpga_device_test.cpp.o.d"
+  "fpga_device_test"
+  "fpga_device_test.pdb"
+  "fpga_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fpga
+# Build directory: /root/repo/build/tests/fpga
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fpga/decoder_config_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga/fpga_decoder_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga/fpga_device_test[1]_include.cmake")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/gpu
+# Build directory: /root/repo/build/tests/gpu
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gpu/model_zoo_test[1]_include.cmake")
+include("/root/repo/build/tests/gpu/gpu_sim_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_reader_test.dir/fpga_reader_test.cpp.o"
+  "CMakeFiles/fpga_reader_test.dir/fpga_reader_test.cpp.o.d"
+  "fpga_reader_test"
+  "fpga_reader_test.pdb"
+  "fpga_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

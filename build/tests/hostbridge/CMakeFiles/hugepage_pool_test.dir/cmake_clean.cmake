@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hugepage_pool_test.dir/hugepage_pool_test.cpp.o"
+  "CMakeFiles/hugepage_pool_test.dir/hugepage_pool_test.cpp.o.d"
+  "hugepage_pool_test"
+  "hugepage_pool_test.pdb"
+  "hugepage_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hugepage_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

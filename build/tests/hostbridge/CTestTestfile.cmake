@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hostbridge
+# Build directory: /root/repo/build/tests/hostbridge
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hostbridge/hugepage_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/hostbridge/data_collector_test[1]_include.cmake")
+include("/root/repo/build/tests/hostbridge/fpga_reader_test[1]_include.cmake")
+include("/root/repo/build/tests/hostbridge/dispatcher_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resize_test.dir/resize_test.cpp.o"
+  "CMakeFiles/resize_test.dir/resize_test.cpp.o.d"
+  "resize_test"
+  "resize_test.pdb"
+  "resize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_accountant_test.dir/cpu_accountant_test.cpp.o"
+  "CMakeFiles/cpu_accountant_test.dir/cpu_accountant_test.cpp.o.d"
+  "cpu_accountant_test"
+  "cpu_accountant_test.pdb"
+  "cpu_accountant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_accountant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

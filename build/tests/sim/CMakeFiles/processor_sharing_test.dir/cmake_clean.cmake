@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_sharing_test.dir/processor_sharing_test.cpp.o"
+  "CMakeFiles/processor_sharing_test.dir/processor_sharing_test.cpp.o.d"
+  "processor_sharing_test"
+  "processor_sharing_test.pdb"
+  "processor_sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_validation_test.dir/queueing_validation_test.cpp.o"
+  "CMakeFiles/queueing_validation_test.dir/queueing_validation_test.cpp.o.d"
+  "queueing_validation_test"
+  "queueing_validation_test.pdb"
+  "queueing_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/resource_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/processor_sharing_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/cpu_accountant_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/queueing_validation_test[1]_include.cmake")

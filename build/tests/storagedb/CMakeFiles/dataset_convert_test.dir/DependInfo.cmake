@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storagedb/dataset_convert_test.cpp" "tests/storagedb/CMakeFiles/dataset_convert_test.dir/dataset_convert_test.cpp.o" "gcc" "tests/storagedb/CMakeFiles/dataset_convert_test.dir/dataset_convert_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storagedb/CMakeFiles/dlb_storagedb.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/dlb_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dlb_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dlb_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_convert_test.dir/dataset_convert_test.cpp.o"
+  "CMakeFiles/dataset_convert_test.dir/dataset_convert_test.cpp.o.d"
+  "dataset_convert_test"
+  "dataset_convert_test.pdb"
+  "dataset_convert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_convert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

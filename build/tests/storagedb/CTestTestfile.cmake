@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storagedb
+# Build directory: /root/repo/build/tests/storagedb
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storagedb/page_store_test[1]_include.cmake")
+include("/root/repo/build/tests/storagedb/kv_store_test[1]_include.cmake")
+include("/root/repo/build/tests/storagedb/dataset_convert_test[1]_include.cmake")

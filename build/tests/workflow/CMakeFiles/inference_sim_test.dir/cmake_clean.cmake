@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_sim_test.dir/inference_sim_test.cpp.o"
+  "CMakeFiles/inference_sim_test.dir/inference_sim_test.cpp.o.d"
+  "inference_sim_test"
+  "inference_sim_test.pdb"
+  "inference_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toy_trainer_test.dir/toy_trainer_test.cpp.o"
+  "CMakeFiles/toy_trainer_test.dir/toy_trainer_test.cpp.o.d"
+  "toy_trainer_test"
+  "toy_trainer_test.pdb"
+  "toy_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toy_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_sim_test.dir/training_sim_test.cpp.o"
+  "CMakeFiles/training_sim_test.dir/training_sim_test.cpp.o.d"
+  "training_sim_test"
+  "training_sim_test.pdb"
+  "training_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

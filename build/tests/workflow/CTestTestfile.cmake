@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/workflow
+# Build directory: /root/repo/build/tests/workflow
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/workflow/report_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow/training_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow/inference_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow/econ_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/workflow/toy_trainer_test[1]_include.cmake")
