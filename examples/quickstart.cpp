@@ -79,6 +79,24 @@ int main(int argc, char** argv) {
               pipeline.value()->BackendName().c_str(), images, batches,
               images / seconds);
 
+  // 4. Observability: Stats() carries a per-stage breakdown recorded by the
+  //    pipeline's telemetry; MetricsJson() dumps every metric for tooling.
+  const dlb::core::PipelineStats stats = pipeline.value()->Stats();
+  std::printf("\nwhere the time went (%s):\n",
+              pipeline.value()->Backend().Describe().c_str());
+  for (const auto& s : stats.stages) {
+    if (s.ops == 0) continue;
+    std::printf("  %-8s ops=%-5zu p50=%.1fus p99=%.1fus busy=%.1fms\n",
+                s.name.c_str(), static_cast<size_t>(s.ops), s.p50_ns / 1e3,
+                s.p99_ns / 1e3, s.busy_ns / 1e6);
+  }
+  std::printf("pipeline throughput: %.0f images/s over %.2fs\n",
+              stats.images_per_second, stats.elapsed_seconds);
+  if (args.GetInt("json", 0) != 0) {
+    std::printf("metrics json:\n%s\n",
+                pipeline.value()->MetricsJson().c_str());
+  }
+
   // Bonus: the tensor staging engines actually consume.
   auto pipeline2 = dlb::core::PipelineBuilder()
                        .WithConfig(config)

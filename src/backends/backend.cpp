@@ -51,4 +51,9 @@ size_t PreprocessBatch::OkCount() const {
   return n;
 }
 
+std::vector<telemetry::StageSnapshot> PreprocessBackend::Metrics() const {
+  if (telemetry_ == nullptr) return {};
+  return telemetry_->SnapshotStages();
+}
+
 }  // namespace dlb

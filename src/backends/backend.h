@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "hostbridge/hugepage_pool.h"
 #include "image/image.h"
+#include "telemetry/telemetry.h"
 
 namespace dlb {
 
@@ -101,6 +102,24 @@ class PreprocessBackend {
   virtual void Stop() = 0;
 
   virtual std::string Name() const = 0;
+
+  /// One-line human-readable description of this backend's configuration
+  /// ("cpu(threads=4, batch=32)"). Default: Name().
+  virtual std::string Describe() const { return Name(); }
+
+  /// Per-stage metric snapshots, in dataflow order. Default: whatever the
+  /// attached telemetry recorded; empty when none is attached. Engines can
+  /// introspect any backend uniformly through this.
+  virtual std::vector<telemetry::StageSnapshot> Metrics() const;
+
+  /// Attach a telemetry sink. Must happen before Start(); backends (and the
+  /// components they own) record stage spans into it. Null detaches.
+  virtual void AttachTelemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
+ protected:
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace dlb

@@ -18,14 +18,32 @@ std::string CachedBackend::Name() const {
   return inner_->Name() + "+cache";
 }
 
+std::string CachedBackend::Describe() const {
+  return inner_->Describe() + "+cache(budget=" + std::to_string(budget_) + ")";
+}
+
+void CachedBackend::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  inner_->AttachTelemetry(telemetry);
+}
+
 Result<BatchPtr> CachedBackend::NextBatch(int engine) {
-  // Replay phase: the whole dataset is resident.
+  // Replay phase: the whole dataset is resident. Replay serving is this
+  // backend's fetch stage — the span quantifies "zero preprocessing cost".
   if (cache_complete_.load(std::memory_order_acquire)) {
+    telemetry::ScopedSpan fetch(telemetry_, telemetry::Stage::kFetch, 0);
     std::scoped_lock lock(mu_);
-    if (cache_.empty()) return Closed("nothing cached");
+    if (cache_.empty()) {
+      fetch.Cancel();
+      return Closed("nothing cached");
+    }
     const size_t idx = replay_cursor_.fetch_add(1) % cache_.size();
     const CachedBatch& cb = *cache_[idx];
     hits_.Add();
+    fetch.SetItems(cb.items.size());
+    if (telemetry_ != nullptr) {
+      telemetry_->Registry().GetCounter("cache.hits")->Add();
+    }
     return std::make_unique<PreprocessBatch>(cb.items, cb.storage.data(),
                                              nullptr);
   }
@@ -85,6 +103,10 @@ Result<BatchPtr> CachedBackend::NextBatch(int engine) {
       cached_bytes_.fetch_add(batch_bytes);
       cache_.push_back(std::move(cb));
     }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->Registry().GetGauge("cache.bytes")->Set(
+        static_cast<double>(cached_bytes_.load()));
   }
   return out;
 }

@@ -30,6 +30,11 @@ class CachedBackend : public PreprocessBackend {
   Result<BatchPtr> NextBatch(int engine) override;
   void Stop() override;
   std::string Name() const override;
+  std::string Describe() const override;
+
+  /// Records cache counters into the sink and forwards it to the wrapped
+  /// backend, whose stages keep reporting through the same registry.
+  void AttachTelemetry(telemetry::Telemetry* telemetry) override;
 
   bool CacheComplete() const { return cache_complete_.load(); }
   uint64_t CachedBytes() const { return cached_bytes_.load(); }

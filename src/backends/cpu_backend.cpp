@@ -19,6 +19,13 @@ CpuBackend::CpuBackend(DataCollector* collector, const BackendOptions& options,
 
 CpuBackend::~CpuBackend() { Stop(); }
 
+std::string CpuBackend::Describe() const {
+  return "cpu(threads=" + std::to_string(options_.num_threads) +
+         ", batch=" + std::to_string(options_.batch_size) + ", resize=" +
+         std::to_string(options_.resize_w) + "x" +
+         std::to_string(options_.resize_h) + ")";
+}
+
 Status CpuBackend::Start() {
   if (started_.exchange(true)) {
     return FailedPrecondition("backend already started");
@@ -33,9 +40,13 @@ Status CpuBackend::Start() {
 }
 
 std::vector<OwnedSample> CpuBackend::PullBatch() {
+  telemetry::ScopedSpan span(telemetry_, telemetry::Stage::kFetch, 0);
   std::scoped_lock lock(collector_mu_);
   std::vector<OwnedSample> out;
-  if (source_done_) return out;
+  if (source_done_) {
+    span.Cancel();
+    return out;
+  }
   out.reserve(options_.batch_size);
   while (out.size() < options_.batch_size) {
     if (max_images_ > 0 && images_pulled_ >= max_images_) {
@@ -54,6 +65,11 @@ std::vector<OwnedSample> CpuBackend::PullBatch() {
     out.push_back(std::move(sample));
     ++images_pulled_;
   }
+  if (out.empty()) {
+    span.Cancel();
+  } else {
+    span.SetItems(out.size());
+  }
   return out;
 }
 
@@ -63,6 +79,12 @@ void CpuBackend::Worker() {
     std::vector<OwnedSample> samples = PullBatch();
     if (samples.empty()) break;
 
+    // Batch assembly time splits into per-image decode/resize spans plus a
+    // collect span for the staging remainder (allocation, memcpy, metadata).
+    const uint64_t assemble_start = telemetry_ ? telemetry::NowNs() : 0;
+    uint64_t decode_ns = 0;
+    uint64_t resize_ns = 0;
+
     std::vector<uint8_t> storage(stride * samples.size());
     std::vector<BatchItem> items(samples.size());
     for (size_t i = 0; i < samples.size(); ++i) {
@@ -70,18 +92,30 @@ void CpuBackend::Worker() {
       item.offset = static_cast<uint32_t>(i * stride);
       item.label = samples[i].label;
       item.cookie = samples[i].request_id;
+      uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto decoded =
           jpeg::Decode(ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()));
+      if (telemetry_ != nullptr) {
+        const uint64_t t1 = telemetry::NowNs();
+        telemetry_->RecordSpan(telemetry::Stage::kDecode, t0, t1);
+        decode_ns += t1 - t0;
+      }
       if (!decoded.ok()) {
         failures_.Add();
         continue;
       }
+      t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto resized =
           options_.aspect_preserving_crop
               ? ResizeCoverCrop(decoded.value(), options_.resize_w,
                                 options_.resize_h, ResizeFilter::kArea)
               : Resize(decoded.value(), options_.resize_w, options_.resize_h,
                        ResizeFilter::kArea);
+      if (telemetry_ != nullptr) {
+        const uint64_t t1 = telemetry::NowNs();
+        telemetry_->RecordSpan(telemetry::Stage::kResize, t0, t1);
+        resize_ns += t1 - t0;
+      }
       if (!resized.ok()) {
         failures_.Add();
         continue;
@@ -101,8 +135,17 @@ void CpuBackend::Worker() {
       item.ok = true;
       decoded_.Add();
     }
+    if (telemetry_ != nullptr) {
+      const uint64_t busy = telemetry::NowNs() - assemble_start;
+      const uint64_t stage_ns = decode_ns + resize_ns;
+      const uint64_t overhead = busy > stage_ns ? busy - stage_ns : 0;
+      telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
+                             assemble_start + overhead, samples.size());
+    }
     auto batch =
         std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
+    telemetry::ScopedSpan dispatch(telemetry_, telemetry::Stage::kDispatch,
+                                   samples.size());
     if (!out_queue_.Push(std::move(batch)).ok()) return;  // shut down
   }
   // Last worker out closes the queue so engines see end-of-stream.

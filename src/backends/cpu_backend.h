@@ -39,6 +39,7 @@ class CpuBackend : public PreprocessBackend {
   Result<BatchPtr> NextBatch(int engine) override;
   void Stop() override;
   std::string Name() const override { return "cpu"; }
+  std::string Describe() const override;
 
   uint64_t ImagesDecoded() const { return decoded_.Value(); }
   uint64_t DecodeFailures() const { return failures_.Value(); }

@@ -1,5 +1,7 @@
 #include "backends/dlbooster_backend.h"
 
+#include <sstream>
+
 #include "common/log.h"
 
 namespace dlb {
@@ -48,6 +50,24 @@ Status DlboosterBackend::Start() {
   dispatcher_->Start();
   for (auto& reader : readers_) reader->Start();
   return Status::Ok();
+}
+
+std::string DlboosterBackend::Describe() const {
+  const BackendOptions& b = options_.backend;
+  std::ostringstream os;
+  os << "dlbooster(devices=" << devices_.size() << ", batch=" << b.batch_size
+     << ", resize=" << b.resize_w << "x" << b.resize_h
+     << ", pool_buffers=" << pool_->BufferCount()
+     << ", engines=" << std::max(1, b.num_engines) << ")";
+  return os.str();
+}
+
+void DlboosterBackend::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  PreprocessBackend::AttachTelemetry(telemetry);
+  for (auto& device : devices_) device->SetTelemetry(telemetry);
+  for (auto& reader : readers_) reader->SetTelemetry(telemetry);
+  pool_->SetTelemetry(telemetry);
+  dispatcher_->SetTelemetry(telemetry);
 }
 
 uint64_t DlboosterBackend::ImagesDecoded() const {

@@ -44,6 +44,11 @@ class DlboosterBackend : public PreprocessBackend {
   Result<BatchPtr> NextBatch(int engine) override;
   void Stop() override;
   std::string Name() const override { return "dlbooster"; }
+  std::string Describe() const override;
+  /// Fans the sink out to every component: per-device decode/resize spans
+  /// and unit busy counters, reader fetch/collect spans, pool occupancy
+  /// gauges, dispatcher dispatch spans. Call before Start().
+  void AttachTelemetry(telemetry::Telemetry* telemetry) override;
 
   uint64_t ImagesDecoded() const;
   uint64_t DecodeFailures() const;

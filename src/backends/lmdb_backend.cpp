@@ -57,6 +57,9 @@ void LmdbBackend::Worker() {
     std::vector<uint32_t> indices = PullBatchIndices();
     if (indices.empty()) break;
 
+    const uint64_t assemble_start = telemetry_ ? telemetry::NowNs() : 0;
+    uint64_t staged_ns = 0;  // fetch + decode + resize, netted out of collect
+
     std::vector<uint8_t> storage(stride * indices.size());
     std::vector<BatchItem> items(indices.size());
     for (size_t i = 0; i < indices.size(); ++i) {
@@ -66,12 +69,25 @@ void LmdbBackend::Worker() {
       item.label = rec.label;
       // Shared reader path — this Get is where multi-engine contention
       // happens (shared_mutex + chained page walks).
+      uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto value = db_->Get(rec.name);
+      if (telemetry_ != nullptr) {
+        const uint64_t t1 = telemetry::NowNs();
+        telemetry_->RecordSpan(telemetry::Stage::kFetch, t0, t1);
+        staged_ns += t1 - t0;
+      }
       if (!value.ok()) {
         failures_.Add();
         continue;
       }
+      // "Decode" here is datum deserialisation: the DB stores pixels.
+      t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto datum = db::DecodeDatum(value.value());
+      if (telemetry_ != nullptr) {
+        const uint64_t t1 = telemetry::NowNs();
+        telemetry_->RecordSpan(telemetry::Stage::kDecode, t0, t1);
+        staged_ns += t1 - t0;
+      }
       if (!datum.ok()) {
         failures_.Add();
         continue;
@@ -79,8 +95,14 @@ void LmdbBackend::Worker() {
       Image img = std::move(datum.value().second);
       if (img.Width() != options_.resize_w ||
           img.Height() != options_.resize_h) {
+        t0 = telemetry_ ? telemetry::NowNs() : 0;
         auto resized = Resize(img, options_.resize_w, options_.resize_h,
                               ResizeFilter::kBilinear);
+        if (telemetry_ != nullptr) {
+          const uint64_t t1 = telemetry::NowNs();
+          telemetry_->RecordSpan(telemetry::Stage::kResize, t0, t1);
+          staged_ns += t1 - t0;
+        }
         if (!resized.ok()) {
           failures_.Add();
           continue;
@@ -99,8 +121,16 @@ void LmdbBackend::Worker() {
       item.ok = true;
       served_.Add();
     }
+    if (telemetry_ != nullptr) {
+      const uint64_t busy = telemetry::NowNs() - assemble_start;
+      const uint64_t overhead = busy > staged_ns ? busy - staged_ns : 0;
+      telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
+                             assemble_start + overhead, indices.size());
+    }
     auto batch =
         std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
+    telemetry::ScopedSpan dispatch(telemetry_, telemetry::Stage::kDispatch,
+                                   indices.size());
     if (!out_queue_.Push(std::move(batch)).ok()) return;
   }
   if (active_workers_.fetch_sub(1) == 1) out_queue_.Close();

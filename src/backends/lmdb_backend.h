@@ -33,6 +33,10 @@ class LmdbBackend : public PreprocessBackend {
   Result<BatchPtr> NextBatch(int engine) override;
   void Stop() override;
   std::string Name() const override { return "lmdb"; }
+  std::string Describe() const override {
+    return "lmdb(threads=" + std::to_string(options_.num_threads) +
+           ", batch=" + std::to_string(options_.batch_size) + ")";
+  }
 
   uint64_t RecordsServed() const { return served_.Value(); }
   uint64_t Failures() const { return failures_.Value(); }

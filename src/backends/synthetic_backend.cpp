@@ -28,7 +28,10 @@ Result<BatchPtr> SyntheticBackend::NextBatch(int /*engine*/) {
     if (n > max_batches_) return Closed("synthetic budget exhausted");
   }
   // Borrowed storage pointing at the shared immutable payload; no recycle
-  // action is needed.
+  // action is needed. The collect span bounds the staging cost every other
+  // backend pays: this is the "upper boundary" stage profile.
+  telemetry::ScopedSpan collect(telemetry_, telemetry::Stage::kCollect,
+                                items_.size());
   return std::make_unique<PreprocessBatch>(items_, pixels_.data(), nullptr);
 }
 

@@ -20,6 +20,9 @@ class SyntheticBackend : public PreprocessBackend {
   Result<BatchPtr> NextBatch(int engine) override;
   void Stop() override {}
   std::string Name() const override { return "synthetic"; }
+  std::string Describe() const override {
+    return "synthetic(batch=" + std::to_string(options_.batch_size) + ")";
+  }
 
  private:
   BackendOptions options_;

@@ -138,18 +138,84 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name) {
 
 std::string MetricRegistry::Report() const {
   std::scoped_lock lock(mu_);
-  std::ostringstream os;
+  // One sorted list across all kinds: merge the three (already sorted)
+  // maps so counters, gauges and histograms interleave by name.
+  std::map<std::string, std::string> lines;
   for (const auto& [name, c] : counters_) {
-    os << name << " " << c->Value() << "\n";
+    std::ostringstream os;
+    os << name << " " << c->Value();
+    lines[name] = os.str();
   }
   for (const auto& [name, g] : gauges_) {
-    os << name << " " << g->Value() << "\n";
+    std::ostringstream os;
+    os << name << " " << g->Value();
+    lines[name] = os.str();
   }
   for (const auto& [name, h] : histograms_) {
+    std::ostringstream os;
     os << name << " count=" << h->Count() << " mean=" << h->Mean()
        << " p50=" << h->Quantile(0.5) << " p99=" << h->Quantile(0.99)
-       << " max=" << h->Max() << "\n";
+       << " max=" << h->Max();
+    lines[name] = os.str();
   }
+  std::ostringstream os;
+  for (const auto& [name, line] : lines) os << line << "\n";
+  return os.str();
+}
+
+namespace {
+
+// Shortest-faithful double rendering for JSON: integers print without a
+// fraction so golden tests stay byte-stable.
+std::string JsonNumber(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricRegistry::ReportJson() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonString(name) << ":" << c->Value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonString(name) << ":" << JsonNumber(g->Value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonString(name) << ":{\"count\":" << h->Count()
+       << ",\"mean\":" << JsonNumber(h->Mean()) << ",\"p50\":" << h->Quantile(0.5)
+       << ",\"p95\":" << h->Quantile(0.95) << ",\"p99\":" << h->Quantile(0.99)
+       << ",\"max\":" << h->Max() << "}";
+  }
+  os << "}}";
   return os.str();
 }
 

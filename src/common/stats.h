@@ -107,8 +107,15 @@ class MetricRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
-  /// Render "name value" lines, sorted by name, for logs and golden tests.
+  /// Render "name value" lines for logs and golden tests: one list, sorted
+  /// by name across all metric kinds (counters, gauges and histograms
+  /// interleave). Histograms render as count/mean/p50/p99/max.
   std::string Report() const;
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+  /// keys sorted by name inside each section; histograms carry
+  /// count/mean/p50/p95/p99/max. Deterministic, so golden-testable.
+  std::string ReportJson() const;
 
  private:
   mutable std::mutex mu_;

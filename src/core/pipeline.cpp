@@ -14,8 +14,20 @@ void Pipeline::Shutdown() {
 }
 
 Result<BatchPtr> Pipeline::NextBatch(int engine) {
+  if (engine < 0 || engine >= num_engines_) {
+    return InvalidArgument("engine id " + std::to_string(engine) +
+                           " out of range [0, " +
+                           std::to_string(num_engines_) + ")");
+  }
+  // Consume span: how long the engine waited for (and accounted) a batch —
+  // the pipeline-is-the-bottleneck signal.
+  telemetry::ScopedSpan consume(telemetry_.get(), telemetry::Stage::kConsume);
   auto batch = backend_->NextBatch(engine);
-  if (!batch.ok()) return batch.status();
+  if (!batch.ok()) {
+    consume.Cancel();
+    return batch.status();
+  }
+  consume.SetItems(batch.value()->Size());
   {
     std::scoped_lock lock(stats_mu_);
     ++stats_.batches;
@@ -48,8 +60,21 @@ Result<std::pair<Tensor, std::vector<int32_t>>> Pipeline::NextTensorBatch(
 }
 
 PipelineStats Pipeline::Stats() const {
-  std::scoped_lock lock(stats_mu_);
-  return stats_;
+  PipelineStats out;
+  {
+    std::scoped_lock lock(stats_mu_);
+    out = stats_;
+  }
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  if (out.elapsed_seconds > 0.0) {
+    out.images_per_second =
+        static_cast<double>(out.images_ok) / out.elapsed_seconds;
+  }
+  out.stages = telemetry_->SnapshotStages();
+  return out;
 }
 
 PipelineBuilder& PipelineBuilder::WithConfig(PipelineConfig config) {
@@ -78,8 +103,37 @@ PipelineBuilder& PipelineBuilder::WithDatabase(const Manifest* manifest,
 }
 
 Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
+  // Reject contradictory sources before any resources spin up.
+  if (store_ != nullptr && db_ != nullptr) {
+    return InvalidArgument(
+        "conflicting sources: WithDataset() and WithDatabase() are "
+        "mutually exclusive");
+  }
+  if (rx_queue_ != nullptr && (store_ != nullptr || db_ != nullptr)) {
+    return InvalidArgument(
+        "conflicting sources: WithNetworkSource() cannot combine with a "
+        "dataset or database");
+  }
+  const BackendOptions& o = config_.options;
+  if (o.batch_size == 0) {
+    return InvalidArgument("options.batch_size must be >= 1");
+  }
+  if (o.num_engines < 1) {
+    return InvalidArgument("options.num_engines must be >= 1");
+  }
+  if (o.num_threads < 1) {
+    return InvalidArgument("options.num_threads must be >= 1");
+  }
+  if (o.resize_w < 1 || o.resize_h < 1) {
+    return InvalidArgument("options.resize_w/resize_h must be >= 1");
+  }
+  if (o.queue_depth == 0) {
+    return InvalidArgument("options.queue_depth must be >= 1");
+  }
+
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
   pipeline->backend_name_ = config_.backend;
+  pipeline->num_engines_ = o.num_engines;
 
   // Source collector (not needed by lmdb/synthetic).
   DataCollector* collector = nullptr;
@@ -139,6 +193,8 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
                                               config_.cache_budget_bytes);
   }
   pipeline->backend_ = std::move(backend);
+  pipeline->backend_->AttachTelemetry(pipeline->telemetry_.get());
+  pipeline->start_time_ = std::chrono::steady_clock::now();
   DLB_RETURN_IF_ERROR(pipeline->backend_->Start());
   return pipeline;
 }

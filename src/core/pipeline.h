@@ -14,10 +14,12 @@
 // first-epoch cache, and pluggable decoder mirrors.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "backends/backend.h"
 #include "backends/dlbooster_backend.h"
@@ -45,10 +47,24 @@ struct PipelineConfig {
   uint64_t cache_budget_bytes = 1ull << 30;
 };
 
+/// Structured pipeline snapshot. The first three fields are the legacy
+/// surface (kept verbatim for existing callers; deprecated in favour of the
+/// per-stage view — see DESIGN.md "Observability"); the rest is derived from
+/// the pipeline's telemetry at snapshot time.
 struct PipelineStats {
+  // Legacy counters (deprecated: prefer `stages` + derived rates).
   uint64_t batches = 0;
   uint64_t images_ok = 0;
   uint64_t images_failed = 0;
+
+  /// Wall time since the pipeline was built.
+  double elapsed_seconds = 0.0;
+  /// images_ok / elapsed_seconds (0 while nothing was consumed).
+  double images_per_second = 0.0;
+  /// Per-stage counts, throughput and latency quantiles in dataflow order
+  /// (fetch, decode, resize, collect, dispatch, consume). Stages a backend
+  /// never exercises report zero ops.
+  std::vector<telemetry::StageSnapshot> stages;
 };
 
 class Pipeline {
@@ -58,7 +74,7 @@ class Pipeline {
   Pipeline& operator=(const Pipeline&) = delete;
 
   /// Next decoded batch for `engine` (round-robin fed). kClosed at stream
-  /// end.
+  /// end; kInvalidArgument when `engine` is outside [0, num_engines).
   Result<BatchPtr> NextBatch(int engine = 0);
 
   /// Convenience: next batch staged as a normalised NCHW float tensor with
@@ -67,7 +83,21 @@ class Pipeline {
   Result<std::pair<Tensor, std::vector<int32_t>>> NextTensorBatch(
       int engine = 0, const Normalization& norm = {});
 
+  /// Structured snapshot: legacy counters plus elapsed time, throughput and
+  /// the per-stage latency/throughput breakdown.
   PipelineStats Stats() const;
+
+  /// The pipeline's metric registry (stage metrics, backend counters,
+  /// pool/dispatcher/FPGA gauges). Valid for the pipeline's lifetime.
+  MetricRegistry& Metrics() { return telemetry_->Registry(); }
+
+  /// All metrics as a deterministic JSON object (MetricRegistry format).
+  std::string MetricsJson() const { return telemetry_->Registry().ReportJson(); }
+
+  /// The underlying telemetry sink (span ring + stage metrics).
+  telemetry::Telemetry& TelemetrySink() { return *telemetry_; }
+
+  const PreprocessBackend& Backend() const { return *backend_; }
   const std::string& BackendName() const { return backend_name_; }
 
   /// Stop all pipeline threads (also runs on destruction).
@@ -75,13 +105,16 @@ class Pipeline {
 
  private:
   friend class PipelineBuilder;
-  Pipeline() = default;
+  Pipeline() : telemetry_(std::make_unique<telemetry::Telemetry>()) {}
 
   std::string backend_name_;
+  int num_engines_ = 1;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::unique_ptr<DecoderMirror> mirror_;
   std::unique_ptr<DataCollector> collector_;
   std::unique_ptr<DataCollector> bounded_collector_;
   std::unique_ptr<PreprocessBackend> backend_;
+  std::chrono::steady_clock::time_point start_time_;
   mutable std::mutex stats_mu_;
   PipelineStats stats_;
 };

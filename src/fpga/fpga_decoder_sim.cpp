@@ -107,4 +107,22 @@ bool FpgaDecoderSim::SubmitDecode(const DecodeJob& job, sim::EventFn on_done) {
   return true;
 }
 
+void FpgaDecoderSim::ExportMetrics(MetricRegistry* registry,
+                                   const std::string& prefix) const {
+  if (registry == nullptr) return;
+  auto publish = [&](const char* unit, double utilization) {
+    registry->GetGauge(prefix + "." + unit + ".utilization_pm")
+        ->Set(static_cast<int64_t>(utilization * 1000.0));
+  };
+  publish("parser", ParserUtilization());
+  publish("reader", ReaderUtilization());
+  publish("huffman", HuffmanUtilization());
+  publish("idct", IdctUtilization());
+  publish("resizer", ResizerUtilization());
+  publish("dma", DmaUtilization());
+  registry->GetGauge(prefix + ".in_flight")->Set(in_flight_);
+  registry->GetGauge(prefix + ".completed")
+      ->Set(static_cast<int64_t>(completed_));
+}
+
 }  // namespace dlb::fpga

@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
+#include "common/stats.h"
 #include "fpga/decoder_config.h"
 #include "sim/resource.h"
 #include "sim/scheduler.h"
@@ -60,6 +62,11 @@ class FpgaDecoderSim {
   double DmaUtilization() const { return dma_.Utilization(); }
 
   const DecoderConfig& Config() const { return config_; }
+
+  /// Publish per-unit utilisation gauges (permille, since gauges are
+  /// integral) into a registry under `<prefix>.<unit>.utilization_pm`.
+  void ExportMetrics(MetricRegistry* registry,
+                     const std::string& prefix = "fpga_sim") const;
 
  private:
   sim::SimTime ReaderTime(const DecodeJob& job) const;

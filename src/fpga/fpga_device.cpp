@@ -29,12 +29,32 @@ FpgaDevice::FpgaDevice(const FpgaDeviceOptions& options)
 
 FpgaDevice::~FpgaDevice() { Shutdown(); }
 
+void FpgaDevice::SetTelemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry != nullptr) {
+    MetricRegistry& reg = telemetry->Registry();
+    huffman_busy_.store(reg.GetCounter("fpga.huffman.busy_ns"),
+                        std::memory_order_relaxed);
+    idct_busy_.store(reg.GetCounter("fpga.idct.busy_ns"),
+                     std::memory_order_relaxed);
+    resizer_busy_.store(reg.GetCounter("fpga.resizer.busy_ns"),
+                        std::memory_order_relaxed);
+  } else {
+    huffman_busy_.store(nullptr, std::memory_order_relaxed);
+    idct_busy_.store(nullptr, std::memory_order_relaxed);
+    resizer_busy_.store(nullptr, std::memory_order_relaxed);
+  }
+  telemetry_.store(telemetry, std::memory_order_release);
+}
+
 Status FpgaDevice::SubmitCmd(FpgaCmd cmd) {
   if (shutdown_.load(std::memory_order_relaxed)) {
     return Closed("FPGA device is shut down");
   }
   if (cmd.out == nullptr || cmd.jpeg.empty()) {
     return InvalidArgument("cmd needs input bytes and an output region");
+  }
+  if (telemetry_.load(std::memory_order_acquire) != nullptr) {
+    cmd.submit_ns = telemetry::NowNs();
   }
   Status s = cmd_fifo_.TryPush(std::move(cmd));
   if (s.ok()) in_flight_.fetch_add(1, std::memory_order_relaxed);
@@ -76,8 +96,16 @@ void FpgaDevice::Complete(const FpgaCmd& cmd, Status status, int w, int h,
 
 void FpgaDevice::HuffmanWorker() {
   while (auto cmd = cmd_fifo_.Pop()) {
+    // Busy time charges only the compute section, never a blocked push —
+    // so busy_ns / wall gives true unit utilisation under backpressure.
+    Counter* busy = huffman_busy_.load(std::memory_order_acquire);
+    const uint64_t t0 = busy != nullptr ? telemetry::NowNs() : 0;
+    auto charge = [&] {
+      if (busy != nullptr) busy->Add(telemetry::NowNs() - t0);
+    };
     if (options_.custom_decoder) {
       auto img = options_.custom_decoder(cmd->jpeg);
+      charge();
       if (!img.ok()) {
         Complete(*cmd, img.status(), 0, 0, 0, 0);
         continue;
@@ -91,10 +119,12 @@ void FpgaDevice::HuffmanWorker() {
     }
     auto header = jpeg::ParseHeaders(cmd->jpeg);
     if (!header.ok()) {
+      charge();
       Complete(*cmd, header.status(), 0, 0, 0, 0);
       continue;
     }
     auto coeffs = jpeg::EntropyDecode(header.value(), cmd->jpeg);
+    charge();
     if (!coeffs.ok()) {
       Complete(*cmd, coeffs.status(), 0, 0, 0, 0);
       continue;
@@ -117,7 +147,10 @@ void FpgaDevice::IdctWorker() {
       if (!idct_out_.Push(std::move(out)).ok()) return;
       continue;
     }
+    Counter* busy = idct_busy_.load(std::memory_order_acquire);
+    const uint64_t t0 = busy != nullptr ? telemetry::NowNs() : 0;
     auto planes = jpeg::InverseTransform(item->header, item->coeffs);
+    if (busy != nullptr) busy->Add(telemetry::NowNs() - t0);
     if (!planes.ok()) {
       Complete(item->cmd, planes.status(), 0, 0, 0, 0);
       continue;
@@ -132,6 +165,16 @@ void FpgaDevice::IdctWorker() {
 
 void FpgaDevice::ResizerWorker() {
   while (auto item = idct_out_.Pop()) {
+    telemetry::Telemetry* telem = telemetry_.load(std::memory_order_acquire);
+    Counter* busy = resizer_busy_.load(std::memory_order_acquire);
+    // Everything up to here — FIFO wait, Huffman, iDCT, colour — is the
+    // decode stage of this command.
+    if (telem != nullptr && item->cmd.submit_ns != 0) {
+      telem->RecordSpan(telemetry::Stage::kDecode, item->cmd.submit_ns,
+                        telemetry::NowNs(), 1);
+    }
+    const uint64_t resize_start =
+        (telem != nullptr || busy != nullptr) ? telemetry::NowNs() : 0;
     Image image;
     if (item->has_direct) {
       image = std::move(item->direct);
@@ -165,6 +208,13 @@ void FpgaDevice::ResizerWorker() {
     }
     // "DMA" the pixels into the host batch buffer.
     std::memcpy(cmd.out, image.Data(), image.SizeBytes());
+    if (resize_start != 0) {
+      const uint64_t now = telemetry::NowNs();
+      if (telem != nullptr) {
+        telem->RecordSpan(telemetry::Stage::kResize, resize_start, now, 1);
+      }
+      if (busy != nullptr) busy->Add(now - resize_start);
+    }
     Complete(cmd, Status::Ok(), image.Width(), image.Height(),
              image.Channels(), image.SizeBytes());
   }

@@ -22,6 +22,7 @@
 #include "fpga/decoder_config.h"
 #include "image/image.h"
 #include "image/resize.h"
+#include "telemetry/telemetry.h"
 
 namespace dlb::fpga {
 
@@ -38,6 +39,9 @@ struct FpgaCmd {
   /// Aspect-preserving cover-resize + centre crop instead of a plain
   /// stretch (the real ImageNet recipe).
   bool aspect_crop = false;
+  /// Submit timestamp (ns), stamped by the device when telemetry is
+  /// attached; the decode span is measured from here.
+  uint64_t submit_ns = 0;
 };
 
 /// FINISH-arbiter completion record.
@@ -87,6 +91,13 @@ class FpgaDevice {
 
   uint64_t Completed() const { return completed_.Value(); }
 
+  /// Attach a telemetry sink: per-command decode/resize spans plus per-unit
+  /// busy-time counters ("fpga.huffman.busy_ns", "fpga.idct.busy_ns",
+  /// "fpga.resizer.busy_ns") for busy/idle accounting. Safe to call after
+  /// construction (workers already running) as long as no command has been
+  /// submitted yet.
+  void SetTelemetry(telemetry::Telemetry* telemetry);
+
   void Shutdown();
 
  private:
@@ -122,6 +133,12 @@ class FpgaDevice {
   std::atomic<int> in_flight_{0};
   Counter completed_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
+  // Unit busy-ns counters, cached from the registry at SetTelemetry time so
+  // workers avoid the registry lock on the hot path.
+  std::atomic<Counter*> huffman_busy_{nullptr};
+  std::atomic<Counter*> idct_busy_{nullptr};
+  std::atomic<Counter*> resizer_busy_{nullptr};
 };
 
 }  // namespace dlb::fpga

@@ -82,6 +82,10 @@ void Dispatcher::Loop() {
     }
     DeviceBatch* dst = *device;
 
+    const uint64_t dispatch_start =
+        telemetry_ != nullptr ? telemetry::NowNs() : 0;
+    size_t copied = 0;
+
     // The CudaMemcpyAsync + stream-sync pair of Algorithm 3, collapsed to
     // a synchronous copy (no physical GPU). Granularity is the ablation
     // knob: one block per batch vs one copy per item.
@@ -90,13 +94,15 @@ void Dispatcher::Loop() {
         if (!item.ok) continue;
         std::memcpy(dst->mem.data() + item.offset, src->data + item.offset,
                     item.bytes);
+        copied += item.bytes;
       }
     } else if (!src->items.empty()) {
       size_t span = 0;
       for (const BatchItem& item : src->items) {
         span = std::max(span, static_cast<size_t>(item.offset) + item.bytes);
       }
-      std::memcpy(dst->mem.data(), src->data, std::min(span, src->capacity));
+      copied = std::min(span, src->capacity);
+      std::memcpy(dst->mem.data(), src->data, copied);
     }
     dst->items = src->items;
     dst->seq = next_seq_++;
@@ -105,7 +111,16 @@ void Dispatcher::Loop() {
     // Recycle the host buffer for the FPGAReader, then hand the device
     // batch to the engine.
     pool_->Recycle(src);
-    if (!engine->full_q.Push(dst).ok()) break;
+    const size_t batch_items = dst->items.size();
+    Status pushed = engine->full_q.Push(dst);
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordSpan(telemetry::Stage::kDispatch, dispatch_start,
+                             telemetry::NowNs(), batch_items);
+      telemetry_->Registry()
+          .GetCounter("dispatcher.bytes_copied")
+          ->Add(copied);
+    }
+    if (!pushed.ok()) break;
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/stats.h"
 #include "hostbridge/hugepage_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace dlb {
 
@@ -64,6 +65,13 @@ class Dispatcher {
   void Start();
   void Stop();
 
+  /// Attach a telemetry sink before Start(): the dispatcher records one
+  /// dispatch span per batch (pool pop -> engine queue push, H2D copy
+  /// included) and a per-batch copied-bytes counter.
+  void SetTelemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   uint64_t BatchesDispatched(int engine) const;
   uint64_t TotalBatchesDispatched() const;
 
@@ -72,6 +80,7 @@ class Dispatcher {
 
   HugePagePool* pool_;
   DispatcherOptions options_;
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::vector<std::unique_ptr<TransQueues>> engines_;
   std::vector<std::vector<std::unique_ptr<DeviceBatch>>> device_buffers_;
   std::vector<std::unique_ptr<Counter>> dispatched_;

@@ -85,8 +85,14 @@ void FpgaReader::ProcessCompletions(
     ++state.done;
     if (state.done == state.expected) {
       state.buffer->items = std::move(state.items);
+      if (telemetry_ != nullptr && state.start_ns != 0) {
+        // Collect span: buffer acquisition -> fully assembled batch.
+        telemetry_->RecordSpan(telemetry::Stage::kCollect, state.start_ns,
+                               telemetry::NowNs(), state.expected);
+      }
       // Closed full queue at shutdown => drop; otherwise hand off.
       (void)pool_->FullQueue().Push(state.buffer);
+      pool_->PublishOccupancy();
       batches_.Add();
       in_flight_.erase(it);
     }
@@ -110,6 +116,7 @@ void FpgaReader::Loop() {
       ProcessCompletions(device_->DrainCompletions());
     }
     if (buffer == nullptr) break;
+    pool_->PublishOccupancy();
 
     const uint64_t batch_seq = next_batch_seq_++;
     // Register the batch before the first submit so completions that race
@@ -119,6 +126,7 @@ void FpgaReader::Loop() {
       BatchState fresh;
       fresh.buffer = buffer;
       fresh.expected = options_.batch_size;
+      fresh.start_ns = telemetry_ != nullptr ? telemetry::NowNs() : 0;
       fresh.items.resize(options_.batch_size);
       fresh.payloads.resize(options_.batch_size);
       state = &in_flight_.emplace(batch_seq, std::move(fresh)).first->second;
@@ -126,7 +134,13 @@ void FpgaReader::Loop() {
 
     size_t slot = 0;
     for (; slot < options_.batch_size; ++slot) {
-      auto file = collector_->Next();
+      // Fetch span covers only the collector pull, not the device submit.
+      auto file = [&] {
+        telemetry::ScopedSpan fetch(telemetry_, telemetry::Stage::kFetch, 1);
+        auto f = collector_->Next();
+        if (!f.ok()) fetch.Cancel();
+        return f;
+      }();
       if (!file.ok()) {
         source_exhausted = true;
         break;
@@ -165,7 +179,13 @@ void FpgaReader::Loop() {
       it->second.items.resize(slot);
       if (it->second.done == it->second.expected) {
         it->second.buffer->items = std::move(it->second.items);
+        if (telemetry_ != nullptr && it->second.start_ns != 0) {
+          telemetry_->RecordSpan(telemetry::Stage::kCollect,
+                                 it->second.start_ns, telemetry::NowNs(),
+                                 it->second.expected);
+        }
         (void)pool_->FullQueue().Push(it->second.buffer);
+        pool_->PublishOccupancy();
         batches_.Add();
         in_flight_.erase(it);
       }

@@ -16,6 +16,7 @@
 #include "fpga/fpga_device.h"
 #include "hostbridge/data_collector.h"
 #include "hostbridge/hugepage_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace dlb {
 
@@ -40,6 +41,12 @@ class FpgaReader {
   FpgaReader(const FpgaReader&) = delete;
   FpgaReader& operator=(const FpgaReader&) = delete;
 
+  /// Attach a telemetry sink before Start(): the reader records fetch spans
+  /// (collector pulls) and collect spans (batch assembly latency).
+  void SetTelemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Launch the daemon thread.
   void Start();
 
@@ -61,6 +68,7 @@ class FpgaReader {
     BatchBuffer* buffer = nullptr;
     size_t expected = 0;
     size_t done = 0;
+    uint64_t start_ns = 0;  // buffer acquisition time (collect span start)
     std::vector<BatchItem> items;
     std::vector<Bytes> payloads;
   };
@@ -74,6 +82,7 @@ class FpgaReader {
   DataCollector* collector_;
   HugePagePool* pool_;
   FpgaReaderOptions options_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
   std::jthread thread_;
   std::atomic<bool> running_{false};

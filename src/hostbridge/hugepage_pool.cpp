@@ -43,6 +43,29 @@ void HugePagePool::Recycle(BatchBuffer* buffer) {
   buffer->items.clear();
   // Push can only fail after Close(), at which point dropping is correct.
   (void)free_queue_.TryPush(buffer);
+  telemetry::Telemetry* t = telemetry_.load(std::memory_order_acquire);
+  if (t != nullptr) {
+    t->Registry().GetCounter("pool.recycles")->Add();
+    PublishOccupancy();
+  }
+}
+
+void HugePagePool::SetTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_.store(telemetry, std::memory_order_release);
+  if (telemetry != nullptr) {
+    telemetry->Registry().GetGauge("pool.buffers")->Set(
+        static_cast<double>(buffers_.size()));
+    PublishOccupancy();
+  }
+}
+
+void HugePagePool::PublishOccupancy() {
+  telemetry::Telemetry* t = telemetry_.load(std::memory_order_acquire);
+  if (t == nullptr) return;
+  t->Registry().GetGauge("pool.free_buffers")->Set(
+      static_cast<double>(free_queue_.Size()));
+  t->Registry().GetGauge("pool.full_buffers")->Set(
+      static_cast<double>(full_queue_.Size()));
 }
 
 Result<uint8_t*> HugePagePool::PhysToVirt(uint64_t phys) const {

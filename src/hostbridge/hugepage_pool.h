@@ -10,12 +10,14 @@
 // physical addresses.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/bounded_queue.h"
 #include "common/status.h"
+#include "telemetry/telemetry.h"
 
 namespace dlb {
 
@@ -69,8 +71,18 @@ class HugePagePool {
   /// Close both queues (releases blocked producers/consumers at shutdown).
   void Close();
 
+  /// Attach a telemetry sink: the pool publishes occupancy gauges
+  /// ("pool.free_buffers", "pool.full_buffers", "pool.buffers") and a
+  /// "pool.recycles" counter. Safe to call while producers run.
+  void SetTelemetry(telemetry::Telemetry* telemetry);
+
+  /// Refresh the occupancy gauges (called by the pool on recycle; callers
+  /// that pop directly from FreeQueue() should call it after the pop).
+  void PublishOccupancy();
+
  private:
   size_t buffer_bytes_;
+  std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
   std::unique_ptr<uint8_t[], void (*)(uint8_t*)> arena_;
   std::vector<std::unique_ptr<BatchBuffer>> buffers_;
   BoundedQueue<BatchBuffer*> free_queue_;

@@ -1,0 +1,130 @@
+#include "telemetry/telemetry.h"
+
+#include <bit>
+#include <chrono>
+
+#include "common/log.h"
+
+namespace dlb::telemetry {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kFetch:
+      return "fetch";
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kResize:
+      return "resize";
+    case Stage::kCollect:
+      return "collect";
+    case Stage::kDispatch:
+      return "dispatch";
+    case Stage::kConsume:
+      return "consume";
+  }
+  return "unknown";
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanRing::SpanRing(size_t capacity)
+    : slots_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)) {}
+
+uint64_t SpanRing::Push(SpanRecord record) {
+  const uint64_t seq = cursor_.fetch_add(1, std::memory_order_acq_rel);
+  record.seq = seq;
+  Slot& slot = slots_[seq & (slots_.size() - 1)];
+  // Seqlock write: bump to odd, store payload, bump to even. A slower
+  // writer lapped by a faster one can interleave versions, but readers
+  // validate the version word around the copy, so a torn read is never
+  // returned — at worst the slot is skipped in that snapshot.
+  const uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);
+  slot.record = record;
+  slot.version.store(v + 2, std::memory_order_release);
+  return seq;
+}
+
+std::vector<SpanRecord> SpanRing::Snapshot() const {
+  const uint64_t end = cursor_.load(std::memory_order_acquire);
+  const uint64_t count =
+      end < slots_.size() ? end : static_cast<uint64_t>(slots_.size());
+  std::vector<SpanRecord> out;
+  out.reserve(count);
+  for (uint64_t seq = end - count; seq < end; ++seq) {
+    const Slot& slot = slots_[seq & (slots_.size() - 1)];
+    const uint64_t before = slot.version.load(std::memory_order_acquire);
+    if (before & 1) continue;  // mid-write
+    SpanRecord copy = slot.record;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.version.load(std::memory_order_acquire) != before) continue;
+    if (copy.seq != seq) continue;  // already overwritten by a newer lap
+    out.push_back(copy);
+  }
+  return out;
+}
+
+StageMetrics::StageMetrics(Stage stage, MetricRegistry* registry)
+    : stage_(stage) {
+  DLB_CHECK(registry != nullptr);
+  const std::string prefix = std::string("stage.") + StageName(stage);
+  ops_ = registry->GetCounter(prefix + ".ops");
+  items_ = registry->GetCounter(prefix + ".items");
+  latency_ = registry->GetHistogram(prefix + ".latency_ns");
+}
+
+void StageMetrics::Record(uint64_t duration_ns, uint64_t items) {
+  ops_->Add();
+  items_->Add(items);
+  latency_->Record(duration_ns);
+}
+
+StageSnapshot StageMetrics::Snapshot() const {
+  StageSnapshot snap;
+  snap.stage = stage_;
+  snap.name = StageName(stage_);
+  snap.ops = ops_->Value();
+  snap.items = items_->Value();
+  snap.busy_ns = latency_->Sum();
+  snap.mean_ns = latency_->Mean();
+  snap.p50_ns = latency_->Quantile(0.50);
+  snap.p95_ns = latency_->Quantile(0.95);
+  snap.p99_ns = latency_->Quantile(0.99);
+  snap.max_ns = latency_->Max();
+  return snap;
+}
+
+Telemetry::Telemetry(size_t span_capacity) : spans_(span_capacity) {
+  for (int i = 0; i < kNumStages; ++i) {
+    stages_[i] =
+        std::make_unique<StageMetrics>(static_cast<Stage>(i), &registry_);
+  }
+}
+
+void Telemetry::RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
+                           uint64_t items) {
+  if (end_ns < start_ns) end_ns = start_ns;
+  Get(stage).Record(end_ns - start_ns, items);
+  SpanRecord record;
+  record.stage = stage;
+  record.start_ns = start_ns;
+  record.end_ns = end_ns;
+  record.items = items;
+  spans_.Push(record);
+}
+
+std::vector<StageSnapshot> Telemetry::SnapshotStages() const {
+  std::vector<StageSnapshot> out;
+  out.reserve(kNumStages);
+  for (int i = 0; i < kNumStages; ++i) {
+    out.push_back(stages_[i]->Snapshot());
+  }
+  return out;
+}
+
+}  // namespace dlb::telemetry

@@ -1,0 +1,208 @@
+// Per-stage telemetry: the observability layer under Pipeline::Stats().
+//
+// DLBooster's argument is about *where time goes* — decode on the FPGA vs
+// the CPU, copy granularity, dispatcher hand-off — so every backend records
+// spans against a fixed stage taxonomy:
+//
+//   fetch    pull encoded bytes from the source (disk, NIC queue, DB)
+//   decode   entropy decode + iDCT + colour reconstruction
+//   resize   resizer unit / software resize + staging DMA
+//   collect  batch assembly (slot packing, completion collection)
+//   dispatch hand-off to a compute engine (H2D copy, queue push)
+//   consume  engine-side wait for the next batch
+//
+// Two sinks receive every span: a per-stage StageMetrics (Counter +
+// Histogram from common/stats.h — cheap enough for per-image recording)
+// and a fixed-capacity lock-free SpanRing holding the most recent raw
+// records for timeline-style inspection. A null Telemetry* disables
+// recording everywhere; ScopedSpan makes the instrumented code read like
+// plain RAII.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dlb::telemetry {
+
+/// The canonical pipeline stages, in dataflow order.
+enum class Stage : int {
+  kFetch = 0,
+  kDecode,
+  kResize,
+  kCollect,
+  kDispatch,
+  kConsume,
+};
+
+inline constexpr int kNumStages = 6;
+
+/// Stable lowercase stage name ("fetch", "decode", ...).
+const char* StageName(Stage stage);
+
+/// Monotonic wall-clock in nanoseconds (steady_clock).
+uint64_t NowNs();
+
+/// One recorded span. `seq` is the global record ordinal the ring assigns,
+/// so consumers can detect drops (seq gaps) and order records.
+struct SpanRecord {
+  Stage stage = Stage::kFetch;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t items = 0;
+  uint64_t seq = 0;
+
+  uint64_t DurationNs() const { return end_ns - start_ns; }
+};
+
+/// Fixed-capacity lock-free ring of the most recent span records.
+//
+// Writers claim a slot with one fetch_add and publish with a per-slot
+// version word (seqlock); no writer ever blocks on a reader or another
+// writer. Snapshot() copies whatever is resident, skipping slots that are
+// mid-write — readers get a consistent view of each record, not of the
+// whole ring, which is the right trade for a diagnostics buffer.
+class SpanRing {
+ public:
+  /// `capacity` is rounded up to a power of two (min 2).
+  explicit SpanRing(size_t capacity = 4096);
+
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  /// Record a span; assigns and returns its global sequence number.
+  uint64_t Push(SpanRecord record);
+
+  /// Records still resident, oldest first. Slots being written concurrently
+  /// are skipped.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Total spans ever pushed (>= Snapshot().size()).
+  uint64_t TotalRecorded() const {
+    return cursor_.load(std::memory_order_acquire);
+  }
+
+  size_t Capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// Even = stable, odd = write in progress. Version v publishes the
+    /// record pushed with sequence (v/2 - 1) modulo capacity laps.
+    std::atomic<uint64_t> version{0};
+    SpanRecord record;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> cursor_{0};
+};
+
+/// Point-in-time view of one stage's metrics, the unit Pipeline::Stats()
+/// returns per stage.
+struct StageSnapshot {
+  Stage stage = Stage::kFetch;
+  std::string name;
+  uint64_t ops = 0;       // spans recorded
+  uint64_t items = 0;     // samples covered by those spans
+  uint64_t busy_ns = 0;   // sum of span durations
+  double mean_ns = 0.0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+/// Per-stage aggregation built on the registry's Counter/Histogram
+/// primitives, so the same numbers surface in MetricRegistry::Report()
+/// and its JSON export under "stage.<name>.{ops,items,latency_ns}".
+class StageMetrics {
+ public:
+  StageMetrics(Stage stage, MetricRegistry* registry);
+
+  void Record(uint64_t duration_ns, uint64_t items = 1);
+
+  StageSnapshot Snapshot() const;
+  Stage ForStage() const { return stage_; }
+
+ private:
+  Stage stage_;
+  Counter* ops_;
+  Counter* items_;
+  Histogram* latency_;
+};
+
+/// The per-pipeline telemetry hub: one MetricRegistry, one SpanRing, one
+/// StageMetrics per stage. Components hold a Telemetry* (possibly null)
+/// and record through it; the Pipeline owns the instance and exposes
+/// snapshots through its redesigned Stats() API.
+class Telemetry {
+ public:
+  explicit Telemetry(size_t span_capacity = 4096);
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  StageMetrics& Get(Stage stage) {
+    return *stages_[static_cast<int>(stage)];
+  }
+  const StageMetrics& Get(Stage stage) const {
+    return *stages_[static_cast<int>(stage)];
+  }
+
+  /// Record one span into both sinks (stage histogram + ring).
+  void RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
+                  uint64_t items = 1);
+
+  /// Snapshots for all six stages, in dataflow order.
+  std::vector<StageSnapshot> SnapshotStages() const;
+
+  MetricRegistry& Registry() { return registry_; }
+  const MetricRegistry& Registry() const { return registry_; }
+  SpanRing& Spans() { return spans_; }
+  const SpanRing& Spans() const { return spans_; }
+
+ private:
+  MetricRegistry registry_;
+  SpanRing spans_;
+  std::array<std::unique_ptr<StageMetrics>, kNumStages> stages_;
+};
+
+/// RAII span: starts timing at construction, records at destruction.
+/// A null telemetry pointer makes every operation a no-op, so call sites
+/// need no branching.
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* telemetry, Stage stage, uint64_t items = 1)
+      : telemetry_(telemetry),
+        stage_(stage),
+        items_(items),
+        start_ns_(telemetry ? NowNs() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordSpan(stage_, start_ns_, NowNs(), items_);
+    }
+  }
+
+  /// Adjust the item count before the span closes (e.g. once the batch
+  /// size pulled is known).
+  void SetItems(uint64_t items) { items_ = items; }
+
+  /// Drop the span (e.g. the guarded operation hit end-of-stream).
+  void Cancel() { telemetry_ = nullptr; }
+
+ private:
+  Telemetry* telemetry_;
+  Stage stage_;
+  uint64_t items_;
+  uint64_t start_ns_;
+};
+
+}  // namespace dlb::telemetry

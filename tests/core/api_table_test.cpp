@@ -14,6 +14,9 @@
 
 #include <type_traits>
 
+#include "backends/backend.h"
+#include "backends/synthetic_backend.h"
+#include "core/pipeline.h"
 #include "fpga/fpga_device.h"
 #include "hostbridge/data_collector.h"
 #include "hostbridge/hugepage_pool.h"
@@ -50,6 +53,57 @@ TEST(ApiTableTest, MemManagerRows) {
 TEST(ApiTableTest, DataCollectorRows) {
   static_assert(std::is_base_of_v<DataCollector, DiskDataCollector>);
   static_assert(std::is_base_of_v<DataCollector, NetDataCollector>);
+  SUCCEED();
+}
+
+// The redesigned observability surface: every backend describes itself and
+// exposes per-stage metric snapshots; the Pipeline exposes the structured
+// Stats() view, the metric registry and its JSON export.
+TEST(ApiTableTest, BackendObservabilityRows) {
+  static_assert(std::is_same_v<decltype(std::declval<const PreprocessBackend&>()
+                                            .Describe()),
+                               std::string>);
+  static_assert(
+      std::is_same_v<decltype(std::declval<const PreprocessBackend&>()
+                                  .Metrics()),
+                     std::vector<telemetry::StageSnapshot>>);
+  static_assert(std::is_same_v<decltype(std::declval<PreprocessBackend&>()
+                                            .AttachTelemetry(
+                                                std::declval<telemetry::Telemetry*>())),
+                               void>);
+
+  // Metrics is empty until a telemetry sink is attached; snapshots then
+  // cover all stages.
+  SyntheticBackend backend({}, /*max_batches=*/1);
+  EXPECT_EQ(backend.Describe(), "synthetic(batch=32)");
+  EXPECT_TRUE(backend.Metrics().empty());
+  telemetry::Telemetry sink;
+  backend.AttachTelemetry(&sink);
+  EXPECT_EQ(backend.Metrics().size(),
+            static_cast<size_t>(telemetry::kNumStages));
+}
+
+TEST(ApiTableTest, PipelineStatsRows) {
+  static_assert(std::is_same_v<decltype(std::declval<const core::Pipeline&>()
+                                            .Stats()),
+                               core::PipelineStats>);
+  static_assert(std::is_same_v<decltype(std::declval<core::Pipeline&>()
+                                            .Metrics()),
+                               MetricRegistry&>);
+  static_assert(std::is_same_v<decltype(std::declval<const core::Pipeline&>()
+                                            .MetricsJson()),
+                               std::string>);
+  // Legacy fields stay addressable (deprecation path, DESIGN.md
+  // "Observability"); the structured view rides alongside.
+  core::PipelineStats stats;
+  stats.batches = 1;
+  stats.images_ok = 2;
+  stats.images_failed = 3;
+  static_assert(std::is_same_v<decltype(stats.batches), uint64_t>);
+  static_assert(std::is_same_v<decltype(stats.elapsed_seconds), double>);
+  static_assert(std::is_same_v<decltype(stats.images_per_second), double>);
+  static_assert(std::is_same_v<decltype(stats.stages),
+                               std::vector<telemetry::StageSnapshot>>);
   SUCCEED();
 }
 

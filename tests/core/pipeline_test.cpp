@@ -232,6 +232,121 @@ TEST(PipelineTest, PngMirrorThroughPublicApi) {
   }
 }
 
+TEST(PipelineTest, BuilderRejectsConflictingSources) {
+  Dataset ds = SmallDataset(4);
+  db::KvStore store(32);
+  auto both = PipelineBuilder()
+                  .WithConfig(SmallConfig("dlbooster"))
+                  .WithDataset(&ds.manifest, ds.store.get())
+                  .WithDatabase(&ds.manifest, &store)
+                  .Build();
+  ASSERT_FALSE(both.ok());
+  EXPECT_EQ(both.status().code(), StatusCode::kInvalidArgument);
+
+  BoundedQueue<NetworkImage> rx(4);
+  auto net_and_disk = PipelineBuilder()
+                          .WithConfig(SmallConfig("dlbooster"))
+                          .WithDataset(&ds.manifest, ds.store.get())
+                          .WithNetworkSource(&rx)
+                          .Build();
+  ASSERT_FALSE(net_and_disk.ok());
+  EXPECT_EQ(net_and_disk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineTest, BuilderRejectsOutOfRangeOptions) {
+  Dataset ds = SmallDataset(4);
+  auto build_with = [&](auto mutate) {
+    PipelineConfig config = SmallConfig("cpu");
+    mutate(config.options);
+    return PipelineBuilder()
+        .WithConfig(config)
+        .WithDataset(&ds.manifest, ds.store.get())
+        .Build();
+  };
+  for (const auto& result :
+       {build_with([](BackendOptions& o) { o.batch_size = 0; }),
+        build_with([](BackendOptions& o) { o.num_engines = 0; }),
+        build_with([](BackendOptions& o) { o.num_threads = 0; }),
+        build_with([](BackendOptions& o) { o.resize_w = 0; }),
+        build_with([](BackendOptions& o) { o.resize_h = -1; }),
+        build_with([](BackendOptions& o) { o.queue_depth = 0; })}) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(PipelineTest, NextBatchRejectsOutOfRangeEngine) {
+  PipelineConfig config = SmallConfig("synthetic");
+  config.max_images = 8;
+  auto pipeline = PipelineBuilder().WithConfig(config).Build();
+  ASSERT_TRUE(pipeline.ok());
+  auto bad = pipeline.value()->NextBatch(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  bad = pipeline.value()->NextBatch(1);  // only engine 0 exists
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(pipeline.value()->NextBatch(0).ok());
+}
+
+// The stage counters must reconcile with the legacy image counters: every
+// image the pipeline handed out was fetched exactly once.
+TEST(PipelineTest, StageCountersReconcileWithImageCounts) {
+  Dataset ds = SmallDataset(8);
+  PipelineConfig config = SmallConfig("cpu");
+  config.max_images = 8;
+  auto pipeline = PipelineBuilder()
+                      .WithConfig(config)
+                      .WithDataset(&ds.manifest, ds.store.get())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  while (pipeline.value()->NextBatch().ok()) {
+  }
+  const PipelineStats stats = pipeline.value()->Stats();
+  ASSERT_EQ(stats.stages.size(), 6u);
+  using telemetry::Stage;
+  auto stage = [&](Stage s) {
+    return stats.stages[static_cast<size_t>(s)];
+  };
+  EXPECT_EQ(stage(Stage::kFetch).items,
+            stats.images_ok + stats.images_failed);
+  EXPECT_EQ(stage(Stage::kDecode).ops,
+            stats.images_ok + stats.images_failed);
+  EXPECT_GT(stage(Stage::kResize).ops, 0u);
+  EXPECT_GT(stage(Stage::kDispatch).ops, 0u);
+  EXPECT_EQ(stage(Stage::kConsume).ops, stats.batches);
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+  EXPECT_GT(stats.images_per_second, 0.0);
+}
+
+TEST(PipelineTest, DlboosterStagesPopulated) {
+  Dataset ds = SmallDataset(8);
+  PipelineConfig config = SmallConfig("dlbooster");
+  config.max_images = 8;
+  auto pipeline = PipelineBuilder()
+                      .WithConfig(config)
+                      .WithDataset(&ds.manifest, ds.store.get())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  while (pipeline.value()->NextBatch().ok()) {
+  }
+  const PipelineStats stats = pipeline.value()->Stats();
+  using telemetry::Stage;
+  for (Stage s : {Stage::kFetch, Stage::kDecode, Stage::kResize,
+                  Stage::kCollect, Stage::kDispatch, Stage::kConsume}) {
+    EXPECT_GT(stats.stages[static_cast<size_t>(s)].ops, 0u)
+        << telemetry::StageName(s);
+  }
+  EXPECT_EQ(stats.stages[static_cast<size_t>(Stage::kFetch)].items,
+            stats.images_ok + stats.images_failed);
+  // FPGA unit busy counters surfaced through the registry and JSON export.
+  EXPECT_GT(pipeline.value()->Metrics().GetCounter("fpga.resizer.busy_ns")->Value(),
+            0u);
+  const std::string json = pipeline.value()->MetricsJson();
+  EXPECT_NE(json.find("\"stage.decode.latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"fpga.huffman.busy_ns\""), std::string::npos);
+}
+
 TEST(PipelineTest, EpochCacheServesRepeatedEpochs) {
   Dataset ds = SmallDataset(4);
   PipelineConfig config = SmallConfig("cpu");

@@ -1,0 +1,219 @@
+#include "telemetry/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace dlb::telemetry {
+namespace {
+
+TEST(StageTest, NamesAreStableAndOrdered) {
+  EXPECT_STREQ(StageName(Stage::kFetch), "fetch");
+  EXPECT_STREQ(StageName(Stage::kDecode), "decode");
+  EXPECT_STREQ(StageName(Stage::kResize), "resize");
+  EXPECT_STREQ(StageName(Stage::kCollect), "collect");
+  EXPECT_STREQ(StageName(Stage::kDispatch), "dispatch");
+  EXPECT_STREQ(StageName(Stage::kConsume), "consume");
+  EXPECT_EQ(kNumStages, 6);
+}
+
+TEST(SpanRingTest, CapacityRoundsUpToPowerOfTwo) {
+  SpanRing ring(5);
+  EXPECT_EQ(ring.Capacity(), 8u);
+  SpanRing ring2(0);
+  EXPECT_GE(ring2.Capacity(), 2u);
+}
+
+TEST(SpanRingTest, PushAssignsMonotonicSequence) {
+  SpanRing ring(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    SpanRecord r;
+    r.stage = Stage::kDecode;
+    r.start_ns = i * 100;
+    r.end_ns = i * 100 + 50;
+    EXPECT_EQ(ring.Push(r), i);
+  }
+  EXPECT_EQ(ring.TotalRecorded(), 5u);
+  auto snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, i);
+    EXPECT_EQ(snap[i].DurationNs(), 50u);
+  }
+}
+
+TEST(SpanRingTest, WraparoundKeepsMostRecent) {
+  SpanRing ring(4);
+  ASSERT_EQ(ring.Capacity(), 4u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    SpanRecord r;
+    r.start_ns = i;
+    r.end_ns = i + 1;
+    ring.Push(r);
+  }
+  EXPECT_EQ(ring.TotalRecorded(), 10u);
+  auto snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Only the last capacity() records survive, oldest first.
+  EXPECT_EQ(snap.front().seq, 6u);
+  EXPECT_EQ(snap.back().seq, 9u);
+}
+
+TEST(ScopedSpanTest, LifecycleRecordsIntoBothSinks) {
+  Telemetry telemetry(64);
+  {
+    ScopedSpan span(&telemetry, Stage::kFetch, 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    span.SetItems(32);
+  }
+  const StageSnapshot snap = telemetry.Get(Stage::kFetch).Snapshot();
+  EXPECT_EQ(snap.ops, 1u);
+  EXPECT_EQ(snap.items, 32u);
+  EXPECT_GT(snap.max_ns, 0u);
+  auto spans = telemetry.Spans().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].stage, Stage::kFetch);
+  EXPECT_EQ(spans[0].items, 32u);
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+}
+
+TEST(ScopedSpanTest, CancelDropsTheSpan) {
+  Telemetry telemetry(64);
+  {
+    ScopedSpan span(&telemetry, Stage::kDecode);
+    span.Cancel();
+  }
+  EXPECT_EQ(telemetry.Get(Stage::kDecode).Snapshot().ops, 0u);
+  EXPECT_EQ(telemetry.Spans().TotalRecorded(), 0u);
+}
+
+TEST(ScopedSpanTest, NullTelemetryIsNoOp) {
+  ScopedSpan span(nullptr, Stage::kResize, 7);
+  span.SetItems(3);
+  // Destruction must not crash or record anywhere.
+}
+
+TEST(TelemetryTest, RecordSpanClampsReversedTimestamps) {
+  Telemetry telemetry(64);
+  telemetry.RecordSpan(Stage::kDispatch, /*start_ns=*/1000, /*end_ns=*/500, 2);
+  const StageSnapshot snap = telemetry.Get(Stage::kDispatch).Snapshot();
+  EXPECT_EQ(snap.ops, 1u);
+  EXPECT_EQ(snap.busy_ns, 0u);
+}
+
+TEST(TelemetryTest, StageMetricsSurfaceInRegistry) {
+  Telemetry telemetry(64);
+  telemetry.RecordSpan(Stage::kDecode, 0, 1000, 4);
+  MetricRegistry& reg = telemetry.Registry();
+  EXPECT_EQ(reg.GetCounter("stage.decode.ops")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("stage.decode.items")->Value(), 4u);
+  EXPECT_EQ(reg.GetHistogram("stage.decode.latency_ns")->Count(), 1u);
+}
+
+TEST(TelemetryTest, SnapshotStagesCoversAllSixInDataflowOrder) {
+  Telemetry telemetry(64);
+  telemetry.RecordSpan(Stage::kConsume, 0, 10, 1);
+  auto stages = telemetry.SnapshotStages();
+  ASSERT_EQ(stages.size(), static_cast<size_t>(kNumStages));
+  for (int i = 0; i < kNumStages; ++i) {
+    EXPECT_EQ(static_cast<int>(stages[i].stage), i);
+    EXPECT_EQ(stages[i].name, StageName(stages[i].stage));
+  }
+  EXPECT_EQ(stages[static_cast<int>(Stage::kConsume)].ops, 1u);
+  EXPECT_EQ(stages[static_cast<int>(Stage::kFetch)].ops, 0u);
+}
+
+// Histogram/counter snapshots must stay self-consistent while many threads
+// hammer the same stage: ops equals the recorded span count, items add up,
+// and every intermediate snapshot is monotone.
+TEST(TelemetryTest, ConcurrentRecordersStayConsistent) {
+  Telemetry telemetry(1024);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 2000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    uint64_t last_ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const StageSnapshot snap = telemetry.Get(Stage::kResize).Snapshot();
+      EXPECT_GE(snap.ops, last_ops);
+      last_ops = snap.ops;
+      // A ring snapshot mid-churn must only contain stable records.
+      for (const SpanRecord& r : telemetry.Spans().Snapshot()) {
+        EXPECT_EQ(r.stage, Stage::kResize);
+        EXPECT_EQ(r.end_ns - r.start_ns, 100u);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&telemetry, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const uint64_t start = static_cast<uint64_t>(t) * 1000000 + i;
+        telemetry.RecordSpan(Stage::kResize, start, start + 100, 2);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  const StageSnapshot snap = telemetry.Get(Stage::kResize).Snapshot();
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kSpansPerThread;
+  EXPECT_EQ(snap.ops, total);
+  EXPECT_EQ(snap.items, total * 2);
+  EXPECT_EQ(snap.busy_ns, total * 100);
+  EXPECT_EQ(snap.p50_ns, 100u);
+  EXPECT_EQ(telemetry.Spans().TotalRecorded(), total);
+
+  // After the dust settles the ring holds exactly its capacity of records
+  // with distinct, maximal sequence numbers.
+  auto spans = telemetry.Spans().Snapshot();
+  EXPECT_EQ(spans.size(), telemetry.Spans().Capacity());
+  std::set<uint64_t> seqs;
+  for (const SpanRecord& r : spans) {
+    seqs.insert(r.seq);
+    EXPECT_GE(r.seq, total - telemetry.Spans().Capacity());
+  }
+  EXPECT_EQ(seqs.size(), spans.size());
+}
+
+// The registry JSON export is deterministic, so it can be pinned verbatim.
+// Values stay in the histogram's exactly-representable linear region.
+TEST(TelemetryTest, RegistryJsonGolden) {
+  MetricRegistry reg;
+  reg.GetCounter("b.ops")->Add(3);
+  reg.GetCounter("a.ops")->Add(1);
+  reg.GetGauge("pool.free")->Set(5);
+  Histogram* h = reg.GetHistogram("lat");
+  h->Record(10);
+  h->Record(30);
+  EXPECT_EQ(reg.ReportJson(),
+            "{\"counters\":{\"a.ops\":1,\"b.ops\":3},"
+            "\"gauges\":{\"pool.free\":5},"
+            "\"histograms\":{\"lat\":{\"count\":2,\"mean\":20,\"p50\":10,"
+            "\"p95\":10,\"p99\":10,\"max\":30}}}");
+}
+
+TEST(TelemetryTest, ReportInterleavesKindsSorted) {
+  MetricRegistry reg;
+  reg.GetCounter("zz.count")->Add(1);
+  reg.GetGauge("aa.gauge")->Set(2);
+  reg.GetHistogram("mm.hist")->Record(4);
+  const std::string report = reg.Report();
+  const size_t a = report.find("aa.gauge");
+  const size_t m = report.find("mm.hist");
+  const size_t z = report.find("zz.count");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+}  // namespace
+}  // namespace dlb::telemetry
