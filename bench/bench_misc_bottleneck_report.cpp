@@ -1,7 +1,13 @@
 // Bottleneck report: where each configuration's time actually goes — per
 // FPGA unit, GPU compute, and CPU categories. The operational companion to
 // the figures: it answers "what would I upgrade next?".
+//
+// `--json` switches to a single machine-readable JSON document on stdout
+// (same measurements, no tables) for dashboards and regression tooling.
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
 
 #include "core/pipeline.h"
 #include "dataplane/synthetic_dataset.h"
@@ -15,14 +21,24 @@ using namespace dlb::workflow;
 
 namespace {
 
+std::string JsonStr(const std::string& s) { return "\"" + s + "\""; }
+
 // Per-stage breakdown of a real (non-simulated) dlbooster pipeline run,
 // derived entirely from the pipeline's telemetry — no hand-maintained
 // stage-cost constants.
-void MeasuredStageBreakdown() {
-  std::printf("measured, DLBooster pipeline, 128 images (telemetry):\n");
+void MeasuredStageBreakdown(bool json) {
+  if (!json) {
+    std::printf("measured, DLBooster pipeline, 128 images (telemetry):\n");
+  }
   auto ds = GenerateDataset(ImageNetLikeSpec(128));
   if (!ds.ok()) {
-    std::printf("  dataset generation failed: %s\n", ds.status().ToString().c_str());
+    if (json) {
+      std::printf("  \"measured\": {\"error\": %s}",
+                  JsonStr(ds.status().ToString()).c_str());
+    } else {
+      std::printf("  dataset generation failed: %s\n",
+                  ds.status().ToString().c_str());
+    }
     return;
   }
   core::PipelineConfig config;
@@ -36,8 +52,13 @@ void MeasuredStageBreakdown() {
                       .WithDataset(&ds.value().manifest, ds.value().store.get())
                       .Build();
   if (!pipeline.ok()) {
-    std::printf("  pipeline build failed: %s\n",
-                pipeline.status().ToString().c_str());
+    if (json) {
+      std::printf("  \"measured\": {\"error\": %s}",
+                  JsonStr(pipeline.status().ToString()).c_str());
+    } else {
+      std::printf("  pipeline build failed: %s\n",
+                  pipeline.status().ToString().c_str());
+    }
     return;
   }
   while (pipeline.value()->NextBatch().ok()) {
@@ -45,6 +66,28 @@ void MeasuredStageBreakdown() {
   const core::PipelineStats stats = pipeline.value()->Stats();
   uint64_t total_busy = 0;
   for (const auto& s : stats.stages) total_busy += s.busy_ns;
+  if (json) {
+    std::printf("  \"measured\": {\n    \"images_per_second\": %s,\n"
+                "    \"stages\": [",
+                Fmt(stats.images_per_second, 1).c_str());
+    bool first = true;
+    for (const auto& s : stats.stages) {
+      if (s.ops == 0) continue;
+      std::printf("%s\n      {\"stage\": %s, \"ops\": %llu, \"items\": %llu, "
+                  "\"p50_us\": %s, \"p95_us\": %s, \"p99_us\": %s, "
+                  "\"busy_pct\": %s}",
+                  first ? "" : ",", JsonStr(s.name).c_str(),
+                  static_cast<unsigned long long>(s.ops),
+                  static_cast<unsigned long long>(s.items),
+                  Fmt(s.p50_ns / 1e3, 1).c_str(), Fmt(s.p95_ns / 1e3, 1).c_str(),
+                  Fmt(s.p99_ns / 1e3, 1).c_str(),
+                  Fmt(total_busy ? 100.0 * s.busy_ns / total_busy : 0.0, 1)
+                      .c_str());
+      first = false;
+    }
+    std::printf("\n    ]\n  }");
+    return;
+  }
   Table t({"stage", "ops", "items", "p50 us", "p95 us", "p99 us", "busy %"});
   for (const auto& s : stats.stages) {
     if (s.ops == 0) continue;
@@ -60,14 +103,34 @@ void MeasuredStageBreakdown() {
               stats.images_per_second);
 }
 
+void CpuCategoriesJson(const std::map<std::string, double>& by_category) {
+  std::printf("\"cpu_cores\": {");
+  bool first = true;
+  for (const auto& [category, cores] : by_category) {
+    std::printf("%s%s: %s", first ? "" : ", ", JsonStr(category).c_str(),
+                Fmt(cores, 2).c_str());
+    first = false;
+  }
+  std::printf("}");
+}
+
 }  // namespace
 
-int main() {
-  std::printf("=== Bottleneck report ===\n\n");
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
 
-  MeasuredStageBreakdown();
+  if (json) {
+    std::printf("{\n");
+  } else {
+    std::printf("=== Bottleneck report ===\n\n");
+  }
 
-  std::printf("training, DLBooster, AlexNet, 2 GPUs:\n");
+  MeasuredStageBreakdown(json);
+
+  if (!json) std::printf("training, DLBooster, AlexNet, 2 GPUs:\n");
   {
     TrainConfig config;
     config.model = &gpu::AlexNet();
@@ -75,18 +138,26 @@ int main() {
     config.num_gpus = 2;
     config.sim_seconds = 10;
     TrainResult r = SimulateTraining(config);
-    Table t({"component", "utilisation / cores"});
-    t.AddRow({"GPU compute (mean)", Fmt(r.gpu_compute_util, 2)});
-    t.AddRow({"FPGA busiest unit", Fmt(r.fpga_util, 2)});
-    for (const auto& [category, cores] : r.cpu_by_category) {
-      t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+    if (json) {
+      std::printf(",\n  \"training\": {\"model\": \"AlexNet\", \"gpus\": 2, "
+                  "\"gpu_compute_util\": %s, \"fpga_busiest_util\": %s, ",
+                  Fmt(r.gpu_compute_util, 2).c_str(), Fmt(r.fpga_util, 2).c_str());
+      CpuCategoriesJson(r.cpu_by_category);
+      std::printf("}");
+    } else {
+      Table t({"component", "utilisation / cores"});
+      t.AddRow({"GPU compute (mean)", Fmt(r.gpu_compute_util, 2)});
+      t.AddRow({"FPGA busiest unit", Fmt(r.fpga_util, 2)});
+      for (const auto& [category, cores] : r.cpu_by_category) {
+        t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+      }
+      std::printf("%s", t.Render().c_str());
+      std::printf("-> GPU-bound (util ~1.0): exactly where DLBooster wants "
+                  "the bottleneck.\n\n");
     }
-    std::printf("%s", t.Render().c_str());
-    std::printf("-> GPU-bound (util ~1.0): exactly where DLBooster wants "
-                "the bottleneck.\n\n");
   }
 
-  std::printf("inference, DLBooster, GoogLeNet, bs 32:\n");
+  if (!json) std::printf("inference, DLBooster, GoogLeNet, bs 32:\n");
   {
     InferConfig config;
     config.model = &gpu::GoogLeNet();
@@ -94,18 +165,26 @@ int main() {
     config.batch_size = 32;
     config.sim_seconds = 8;
     InferResult r = SimulateInference(config);
-    Table t({"component", "utilisation / cores"});
-    t.AddRow({"GPU compute", Fmt(r.gpu_compute_util, 2)});
-    for (const auto& [category, cores] : r.cpu_by_category) {
-      t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+    if (json) {
+      std::printf(",\n  \"inference_dlbooster\": {\"model\": \"GoogLeNet\", "
+                  "\"batch_size\": 32, \"gpu_compute_util\": %s, ",
+                  Fmt(r.gpu_compute_util, 2).c_str());
+      CpuCategoriesJson(r.cpu_by_category);
+      std::printf("}");
+    } else {
+      Table t({"component", "utilisation / cores"});
+      t.AddRow({"GPU compute", Fmt(r.gpu_compute_util, 2)});
+      for (const auto& [category, cores] : r.cpu_by_category) {
+        t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+      }
+      std::printf("%s", t.Render().c_str());
+      std::printf(
+          "-> GPU idles (util < 1.0): the DRAM DataReader is the bound here\n"
+          "   (Fig. 7(a) saturation); add a decoder pipeline to fix it.\n\n");
     }
-    std::printf("%s", t.Render().c_str());
-    std::printf(
-        "-> GPU idles (util < 1.0): the DRAM DataReader is the bound here\n"
-        "   (Fig. 7(a) saturation); add a decoder pipeline to fix it.\n\n");
   }
 
-  std::printf("inference, nvJPEG, GoogLeNet, bs 32:\n");
+  if (!json) std::printf("inference, nvJPEG, GoogLeNet, bs 32:\n");
   {
     InferConfig config;
     config.model = &gpu::GoogLeNet();
@@ -113,16 +192,24 @@ int main() {
     config.batch_size = 32;
     config.sim_seconds = 8;
     InferResult r = SimulateInference(config);
-    Table t({"component", "utilisation / cores"});
-    t.AddRow({"GPU compute (infer + decode)", Fmt(r.gpu_compute_util, 2)});
-    for (const auto& [category, cores] : r.cpu_by_category) {
-      t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+    if (json) {
+      std::printf(",\n  \"inference_nvjpeg\": {\"model\": \"GoogLeNet\", "
+                  "\"batch_size\": 32, \"gpu_compute_util\": %s, ",
+                  Fmt(r.gpu_compute_util, 2).c_str());
+      CpuCategoriesJson(r.cpu_by_category);
+      std::printf("}\n}\n");
+    } else {
+      Table t({"component", "utilisation / cores"});
+      t.AddRow({"GPU compute (infer + decode)", Fmt(r.gpu_compute_util, 2)});
+      for (const auto& [category, cores] : r.cpu_by_category) {
+        t.AddRow({"cpu: " + category, Fmt(cores, 2)});
+      }
+      std::printf("%s", t.Render().c_str());
+      std::printf(
+          "-> GPU saturated but throughput is the LOWEST of the three\n"
+          "   backends: decode kernels burn the cycles inference needs\n"
+          "   (the §5.3 nvJPEG contention finding).\n");
     }
-    std::printf("%s", t.Render().c_str());
-    std::printf(
-        "-> GPU saturated but throughput is the LOWEST of the three\n"
-        "   backends: decode kernels burn the cycles inference needs\n"
-        "   (the §5.3 nvJPEG contention finding).\n");
   }
   return 0;
 }

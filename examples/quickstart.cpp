@@ -6,6 +6,9 @@
 //
 // Usage: quickstart [key=value ...]
 //   images=256 batch=32 resize=224 backend=dlbooster|cpu|synthetic
+//   trace=/tmp/trace.json   emit a Chrome/Perfetto batch trace
+//   events=info             structured event log (off|warn|info|debug)
+//   watchdog=2000           stall watchdog deadline in ms (0 = off)
 #include <chrono>
 #include <cstdio>
 
@@ -47,6 +50,9 @@ int main(int argc, char** argv) {
   config.options.resize_w = resize;
   config.options.resize_h = resize;
   config.max_images = num_images;
+  config.trace_path = args.GetString("trace", "");
+  config.event_log_level = args.GetString("events", "off");
+  config.watchdog_deadline_ms = args.GetInt("watchdog", 0);
   auto pipeline = dlb::core::PipelineBuilder()
                       .WithConfig(config)
                       .WithDataset(&dataset.value().manifest,
@@ -97,7 +103,30 @@ int main(int argc, char** argv) {
                 pipeline.value()->MetricsJson().c_str());
   }
 
-  // Bonus: the tensor staging engines actually consume.
+  // 5. Batch tracing (trace=<path>): one causally-linked span tree per
+  //    batch, exported as Chrome trace_event JSON on Shutdown().
+  if (dlb::telemetry::Tracer* tracer = pipeline.value()->Tracer()) {
+    std::printf("trace: %llu batches traced (%llu completed), %llu spans\n",
+                static_cast<unsigned long long>(tracer->BatchesStarted()),
+                static_cast<unsigned long long>(tracer->BatchesCompleted()),
+                static_cast<unsigned long long>(tracer->SpansRecorded()));
+  }
+  if (dlb::telemetry::EventLog* events = pipeline.value()->Events()) {
+    std::printf("event log (%llu events):\n%s",
+                static_cast<unsigned long long>(events->TotalLogged()),
+                events->RenderText().c_str());
+  }
+  pipeline.value()->Shutdown();  // writes config.trace_path, if set
+  if (!config.trace_path.empty()) {
+    std::printf("wrote %s — load it in ui.perfetto.dev\n",
+                config.trace_path.c_str());
+  }
+
+  // Bonus: the tensor staging engines actually consume. Observability is
+  // switched off so this second pipeline cannot overwrite the trace file.
+  config.trace_path.clear();
+  config.event_log_level = "off";
+  config.watchdog_deadline_ms = 0;
   auto pipeline2 = dlb::core::PipelineBuilder()
                        .WithConfig(config)
                        .WithDataset(&dataset.value().manifest,

@@ -17,6 +17,7 @@
 #include "hostbridge/hugepage_pool.h"
 #include "image/image.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace dlb {
 
@@ -59,11 +60,18 @@ class PreprocessBatch {
   /// Count of successfully decoded items.
   size_t OkCount() const;
 
+  /// Batch trace context, stamped by the producing backend so the consumer
+  /// (Pipeline::NextBatch) can close the batch's span tree. Disabled
+  /// (trace_id == 0) when tracing is off.
+  const telemetry::TraceContext& Trace() const { return trace_; }
+  void SetTrace(const telemetry::TraceContext& trace) { trace_ = trace; }
+
  private:
   std::vector<BatchItem> items_;
   const uint8_t* base_;
   std::vector<uint8_t> storage_;
   std::function<void()> recycle_;
+  telemetry::TraceContext trace_;
 };
 
 using BatchPtr = std::unique_ptr<PreprocessBatch>;

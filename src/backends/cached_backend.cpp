@@ -31,21 +31,29 @@ Result<BatchPtr> CachedBackend::NextBatch(int engine) {
   // Replay phase: the whole dataset is resident. Replay serving is this
   // backend's fetch stage — the span quantifies "zero preprocessing cost".
   if (cache_complete_.load(std::memory_order_acquire)) {
-    telemetry::ScopedSpan fetch(telemetry_, telemetry::Stage::kFetch, 0);
+    telemetry::Tracer* tracer =
+        telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
+    telemetry::TraceContext trace;
+    if (tracer != nullptr) trace = tracer->StartBatch();
+    const uint64_t t0 = telemetry_ != nullptr ? telemetry::NowNs() : 0;
     std::scoped_lock lock(mu_);
     if (cache_.empty()) {
-      fetch.Cancel();
+      if (tracer != nullptr) tracer->AbandonBatch(trace);
       return Closed("nothing cached");
     }
     const size_t idx = replay_cursor_.fetch_add(1) % cache_.size();
     const CachedBatch& cb = *cache_[idx];
     hits_.Add();
-    fetch.SetItems(cb.items.size());
     if (telemetry_ != nullptr) {
+      telemetry_->RecordSpan(telemetry::Stage::kFetch, t0, telemetry::NowNs(),
+                             cb.items.size(), trace,
+                             telemetry::Subsystem::kBackend);
       telemetry_->Registry().GetCounter("cache.hits")->Add();
     }
-    return std::make_unique<PreprocessBatch>(cb.items, cb.storage.data(),
-                                             nullptr);
+    auto out = std::make_unique<PreprocessBatch>(cb.items, cb.storage.data(),
+                                                 nullptr);
+    out->SetTrace(trace);
+    return out;
   }
 
   auto batch = inner_->NextBatch(engine);
@@ -58,8 +66,13 @@ Result<BatchPtr> CachedBackend::NextBatch(int engine) {
         const size_t idx = replay_cursor_.fetch_add(1) % cache_.size();
         const CachedBatch& cb = *cache_[idx];
         hits_.Add();
-        return std::make_unique<PreprocessBatch>(cb.items, cb.storage.data(),
-                                                 nullptr);
+        auto out = std::make_unique<PreprocessBatch>(
+            cb.items, cb.storage.data(), nullptr);
+        if (telemetry::Tracer* tracer =
+                telemetry_ != nullptr ? telemetry_->tracer() : nullptr) {
+          out->SetTrace(tracer->StartBatch());
+        }
+        return out;
       }
     }
     return batch.status();

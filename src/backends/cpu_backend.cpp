@@ -5,6 +5,7 @@
 #include "codec/jpeg_decoder.h"
 #include "common/log.h"
 #include "image/resize.h"
+#include "telemetry/event_log.h"
 
 namespace dlb {
 
@@ -34,17 +35,17 @@ Status CpuBackend::Start() {
   active_workers_.store(n);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { Worker(); });
+    workers_.emplace_back([this, i] { Worker(static_cast<uint32_t>(i)); });
   }
   return Status::Ok();
 }
 
 std::vector<OwnedSample> CpuBackend::PullBatch() {
-  telemetry::ScopedSpan span(telemetry_, telemetry::Stage::kFetch, 0);
+  // The fetch span is recorded by Worker() around this call — it needs the
+  // span id to parent the decode spans, which ScopedSpan cannot return.
   std::scoped_lock lock(collector_mu_);
   std::vector<OwnedSample> out;
   if (source_done_) {
-    span.Cancel();
     return out;
   }
   out.reserve(options_.batch_size);
@@ -65,19 +66,38 @@ std::vector<OwnedSample> CpuBackend::PullBatch() {
     out.push_back(std::move(sample));
     ++images_pulled_;
   }
-  if (out.empty()) {
-    span.Cancel();
-  } else {
-    span.SetItems(out.size());
-  }
   return out;
 }
 
-void CpuBackend::Worker() {
+void CpuBackend::Worker(uint32_t worker) {
   const size_t stride = options_.SlotStride();
+  telemetry::Tracer* tracer =
+      telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
+  telemetry::EventLog* events =
+      telemetry_ != nullptr ? telemetry_->events() : nullptr;
   while (true) {
+    // Admit the batch before pulling: the fetch belongs to its trace. If
+    // the stream turned out to be drained, the admission is retracted.
+    telemetry::TraceContext trace;
+    if (tracer != nullptr) trace = tracer->StartBatch();
+    const uint64_t fetch_start = telemetry_ ? telemetry::NowNs() : 0;
     std::vector<OwnedSample> samples = PullBatch();
-    if (samples.empty()) break;
+    if (samples.empty()) {
+      if (tracer != nullptr) tracer->AbandonBatch(trace);
+      break;
+    }
+    uint64_t fetch_span = 0;
+    if (telemetry_ != nullptr) {
+      fetch_span = telemetry_->RecordSpan(
+          telemetry::Stage::kFetch, fetch_start, telemetry::NowNs(),
+          samples.size(), trace, telemetry::Subsystem::kBackend, worker);
+    }
+    if (events != nullptr) {
+      events->Log(telemetry::EventType::kBatchAdmitted, trace.batch_id,
+                  worker);
+    }
+    const telemetry::TraceContext fetch_ctx =
+        fetch_span != 0 ? trace.Child(fetch_span) : trace;
 
     // Batch assembly time splits into per-image decode/resize spans plus a
     // collect span for the staging remainder (allocation, memcpy, metadata).
@@ -95,9 +115,12 @@ void CpuBackend::Worker() {
       uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto decoded =
           jpeg::Decode(ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()));
+      uint64_t decode_span = 0;
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
-        telemetry_->RecordSpan(telemetry::Stage::kDecode, t0, t1);
+        decode_span = telemetry_->RecordSpan(
+            telemetry::Stage::kDecode, t0, t1, 1, fetch_ctx,
+            telemetry::Subsystem::kBackend, worker);
         decode_ns += t1 - t0;
       }
       if (!decoded.ok()) {
@@ -113,7 +136,10 @@ void CpuBackend::Worker() {
                        ResizeFilter::kArea);
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
-        telemetry_->RecordSpan(telemetry::Stage::kResize, t0, t1);
+        telemetry_->RecordSpan(
+            telemetry::Stage::kResize, t0, t1, 1,
+            decode_span != 0 ? trace.Child(decode_span) : trace,
+            telemetry::Subsystem::kBackend, worker);
         resize_ns += t1 - t0;
       }
       if (!resized.ok()) {
@@ -140,13 +166,26 @@ void CpuBackend::Worker() {
       const uint64_t stage_ns = decode_ns + resize_ns;
       const uint64_t overhead = busy > stage_ns ? busy - stage_ns : 0;
       telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
-                             assemble_start + overhead, samples.size());
+                             assemble_start + overhead, samples.size(), trace,
+                             telemetry::Subsystem::kBackend, worker);
     }
     auto batch =
         std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
-    telemetry::ScopedSpan dispatch(telemetry_, telemetry::Stage::kDispatch,
-                                   samples.size());
-    if (!out_queue_.Push(std::move(batch)).ok()) return;  // shut down
+    batch->SetTrace(trace);
+    const uint64_t dispatch_start = telemetry_ ? telemetry::NowNs() : 0;
+    const bool pushed = out_queue_.Push(std::move(batch)).ok();
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordSpan(telemetry::Stage::kDispatch, dispatch_start,
+                             telemetry::NowNs(), samples.size(), trace,
+                             telemetry::Subsystem::kBackend, worker);
+      if (events != nullptr) {
+        events->Log(pushed ? telemetry::EventType::kBatchDispatched
+                           : telemetry::EventType::kBatchDropped,
+                    trace.batch_id, pushed ? 0 : /*reason: closed*/ 1);
+      }
+      if (!pushed && tracer != nullptr) tracer->AbandonBatch(trace);
+    }
+    if (!pushed) return;  // shut down
   }
   // Last worker out closes the queue so engines see end-of-stream.
   if (active_workers_.fetch_sub(1) == 1) out_queue_.Close();

@@ -45,7 +45,7 @@ class CpuBackend : public PreprocessBackend {
   uint64_t DecodeFailures() const { return failures_.Value(); }
 
  private:
-  void Worker();
+  void Worker(uint32_t worker);
   /// Pull up to batch_size samples under the collector lock. Empty result
   /// means the stream ended.
   std::vector<OwnedSample> PullBatch();

@@ -114,10 +114,12 @@ Result<BatchPtr> DlboosterBackend::NextBatch(int engine) {
   DeviceBatch* db = *batch;
   // The engine borrows the device buffer; destruction pushes it back to
   // the engine's free Trans Queue (Fig. 3 recycle path).
-  return std::make_unique<PreprocessBatch>(
+  auto out = std::make_unique<PreprocessBatch>(
       db->items, db->mem.data(), [queues, db] {
         (void)queues->free_q.TryPush(db);
       });
+  out->SetTrace(db->trace);
+  return out;
 }
 
 void DlboosterBackend::Stop() {

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "image/resize.h"
 #include "storagedb/dataset_convert.h"
+#include "telemetry/event_log.h"
 
 namespace dlb {
 
@@ -30,7 +31,7 @@ Status LmdbBackend::Start() {
   active_workers_.store(n);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { Worker(); });
+    workers_.emplace_back([this, i] { Worker(static_cast<uint32_t>(i)); });
   }
   return Status::Ok();
 }
@@ -51,11 +52,24 @@ std::vector<uint32_t> LmdbBackend::PullBatchIndices() {
   return batch;
 }
 
-void LmdbBackend::Worker() {
+void LmdbBackend::Worker(uint32_t worker) {
   const size_t stride = options_.SlotStride();
+  telemetry::Tracer* tracer =
+      telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
+  telemetry::EventLog* events =
+      telemetry_ != nullptr ? telemetry_->events() : nullptr;
   while (true) {
+    telemetry::TraceContext trace;
+    if (tracer != nullptr) trace = tracer->StartBatch();
     std::vector<uint32_t> indices = PullBatchIndices();
-    if (indices.empty()) break;
+    if (indices.empty()) {
+      if (tracer != nullptr) tracer->AbandonBatch(trace);
+      break;
+    }
+    if (events != nullptr) {
+      events->Log(telemetry::EventType::kBatchAdmitted, trace.batch_id,
+                  worker);
+    }
 
     const uint64_t assemble_start = telemetry_ ? telemetry::NowNs() : 0;
     uint64_t staged_ns = 0;  // fetch + decode + resize, netted out of collect
@@ -71,9 +85,12 @@ void LmdbBackend::Worker() {
       // happens (shared_mutex + chained page walks).
       uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto value = db_->Get(rec.name);
+      uint64_t fetch_span = 0;
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
-        telemetry_->RecordSpan(telemetry::Stage::kFetch, t0, t1);
+        fetch_span = telemetry_->RecordSpan(
+            telemetry::Stage::kFetch, t0, t1, 1, trace,
+            telemetry::Subsystem::kBackend, worker);
         staged_ns += t1 - t0;
       }
       if (!value.ok()) {
@@ -83,9 +100,13 @@ void LmdbBackend::Worker() {
       // "Decode" here is datum deserialisation: the DB stores pixels.
       t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto datum = db::DecodeDatum(value.value());
+      uint64_t decode_span = 0;
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
-        telemetry_->RecordSpan(telemetry::Stage::kDecode, t0, t1);
+        decode_span = telemetry_->RecordSpan(
+            telemetry::Stage::kDecode, t0, t1, 1,
+            fetch_span != 0 ? trace.Child(fetch_span) : trace,
+            telemetry::Subsystem::kBackend, worker);
         staged_ns += t1 - t0;
       }
       if (!datum.ok()) {
@@ -100,7 +121,10 @@ void LmdbBackend::Worker() {
                               ResizeFilter::kBilinear);
         if (telemetry_ != nullptr) {
           const uint64_t t1 = telemetry::NowNs();
-          telemetry_->RecordSpan(telemetry::Stage::kResize, t0, t1);
+          telemetry_->RecordSpan(
+              telemetry::Stage::kResize, t0, t1, 1,
+              decode_span != 0 ? trace.Child(decode_span) : trace,
+              telemetry::Subsystem::kBackend, worker);
           staged_ns += t1 - t0;
         }
         if (!resized.ok()) {
@@ -125,13 +149,26 @@ void LmdbBackend::Worker() {
       const uint64_t busy = telemetry::NowNs() - assemble_start;
       const uint64_t overhead = busy > staged_ns ? busy - staged_ns : 0;
       telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
-                             assemble_start + overhead, indices.size());
+                             assemble_start + overhead, indices.size(), trace,
+                             telemetry::Subsystem::kBackend, worker);
     }
     auto batch =
         std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
-    telemetry::ScopedSpan dispatch(telemetry_, telemetry::Stage::kDispatch,
-                                   indices.size());
-    if (!out_queue_.Push(std::move(batch)).ok()) return;
+    batch->SetTrace(trace);
+    const uint64_t dispatch_start = telemetry_ ? telemetry::NowNs() : 0;
+    const bool pushed = out_queue_.Push(std::move(batch)).ok();
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordSpan(telemetry::Stage::kDispatch, dispatch_start,
+                             telemetry::NowNs(), indices.size(), trace,
+                             telemetry::Subsystem::kBackend, worker);
+      if (events != nullptr) {
+        events->Log(pushed ? telemetry::EventType::kBatchDispatched
+                           : telemetry::EventType::kBatchDropped,
+                    trace.batch_id, pushed ? 0 : /*reason: closed*/ 1);
+      }
+      if (!pushed && tracer != nullptr) tracer->AbandonBatch(trace);
+    }
+    if (!pushed) return;
   }
   if (active_workers_.fetch_sub(1) == 1) out_queue_.Close();
 }

@@ -42,7 +42,7 @@ class LmdbBackend : public PreprocessBackend {
   uint64_t Failures() const { return failures_.Value(); }
 
  private:
-  void Worker();
+  void Worker(uint32_t worker);
   std::vector<uint32_t> PullBatchIndices();
 
   const Manifest* manifest_;

@@ -30,9 +30,20 @@ Result<BatchPtr> SyntheticBackend::NextBatch(int /*engine*/) {
   // Borrowed storage pointing at the shared immutable payload; no recycle
   // action is needed. The collect span bounds the staging cost every other
   // backend pays: this is the "upper boundary" stage profile.
-  telemetry::ScopedSpan collect(telemetry_, telemetry::Stage::kCollect,
-                                items_.size());
-  return std::make_unique<PreprocessBatch>(items_, pixels_.data(), nullptr);
+  telemetry::Tracer* tracer =
+      telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
+  telemetry::TraceContext trace;
+  if (tracer != nullptr) trace = tracer->StartBatch();
+  const uint64_t t0 = telemetry_ != nullptr ? telemetry::NowNs() : 0;
+  auto batch =
+      std::make_unique<PreprocessBatch>(items_, pixels_.data(), nullptr);
+  batch->SetTrace(trace);
+  if (telemetry_ != nullptr) {
+    telemetry_->RecordSpan(telemetry::Stage::kCollect, t0, telemetry::NowNs(),
+                           items_.size(), trace,
+                           telemetry::Subsystem::kBackend);
+  }
+  return batch;
 }
 
 }  // namespace dlb

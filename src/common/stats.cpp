@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <sstream>
@@ -32,15 +33,19 @@ size_t Histogram::BucketIndex(uint64_t value) const {
   return (static_cast<size_t>(exponent) << sub_bits_) + static_cast<size_t>(sub);
 }
 
-uint64_t Histogram::BucketLowerBound(size_t index) const {
-  size_t exponent = index >> sub_bits_;
-  size_t sub = index & ((1ull << sub_bits_) - 1);
+uint64_t Histogram::LowerBound(int sub_bits, size_t index) {
+  size_t exponent = index >> sub_bits;
+  size_t sub = index & ((1ull << sub_bits) - 1);
   if (exponent == 0) return sub;
-  if (exponent <= static_cast<size_t>(sub_bits_)) {
+  if (exponent <= static_cast<size_t>(sub_bits)) {
     // Linear region: index IS the value.
     return index;
   }
-  return (1ull << exponent) + (static_cast<uint64_t>(sub) << (exponent - sub_bits_));
+  return (1ull << exponent) + (static_cast<uint64_t>(sub) << (exponent - sub_bits));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) const {
+  return LowerBound(sub_bits_, index);
 }
 
 void Histogram::Record(uint64_t value) { RecordN(value, 1); }
@@ -86,6 +91,50 @@ uint64_t Histogram::Quantile(double q) const {
     if (seen > rank) return BucketLowerBound(i);
   }
   return Max();
+}
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot snap;
+  snap.sub_bits_ = sub_bits_;
+  snap.buckets_.resize(buckets_.size());
+  uint64_t total = 0;
+  size_t lowest = buckets_.size();
+  size_t highest = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets_[i] = b;
+    if (b == 0) continue;
+    total += b;
+    if (lowest == buckets_.size()) lowest = i;
+    highest = i;
+  }
+  // Count comes from the copied buckets, not the live count_ atomic, so the
+  // quantile ranks and the mass they index are the same set of samples.
+  snap.count_ = total;
+  if (total == 0) return snap;
+  snap.sum_ = sum_.load(std::memory_order_relaxed);
+  // min_/max_ are updated by recorders *after* the bucket increment; clamp
+  // against the frozen buckets so a half-published record cannot make
+  // Min()/Max() contradict the quantiles.
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min_ = std::min(min, LowerBound(sub_bits_, lowest));
+  snap.max_ = std::max(max_.load(std::memory_order_relaxed),
+                       LowerBound(sub_bits_, highest));
+  return snap;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    if (seen > rank) return Histogram::LowerBound(sub_bits_, i);
+  }
+  return max_;  // unreachable: count_ equals the bucket mass
 }
 
 void Histogram::Reset() {
@@ -152,10 +201,11 @@ std::string MetricRegistry::Report() const {
     lines[name] = os.str();
   }
   for (const auto& [name, h] : histograms_) {
+    const HistogramSnapshot s = h->TakeSnapshot();
     std::ostringstream os;
-    os << name << " count=" << h->Count() << " mean=" << h->Mean()
-       << " p50=" << h->Quantile(0.5) << " p99=" << h->Quantile(0.99)
-       << " max=" << h->Max();
+    os << name << " count=" << s.Count() << " mean=" << s.Mean()
+       << " p50=" << s.Quantile(0.5) << " p99=" << s.Quantile(0.99)
+       << " max=" << s.Max();
     lines[name] = os.str();
   }
   std::ostringstream os;
@@ -210,10 +260,11 @@ std::string MetricRegistry::ReportJson() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) os << ",";
     first = false;
-    os << JsonString(name) << ":{\"count\":" << h->Count()
-       << ",\"mean\":" << JsonNumber(h->Mean()) << ",\"p50\":" << h->Quantile(0.5)
-       << ",\"p95\":" << h->Quantile(0.95) << ",\"p99\":" << h->Quantile(0.99)
-       << ",\"max\":" << h->Max() << "}";
+    const HistogramSnapshot s = h->TakeSnapshot();
+    os << JsonString(name) << ":{\"count\":" << s.Count()
+       << ",\"mean\":" << JsonNumber(s.Mean()) << ",\"p50\":" << s.Quantile(0.5)
+       << ",\"p95\":" << s.Quantile(0.95) << ",\"p99\":" << s.Quantile(0.99)
+       << ",\"max\":" << s.Max() << "}";
   }
   os << "}}";
   return os.str();

@@ -36,6 +36,42 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+class Histogram;
+
+/// Frozen single-pass copy of a Histogram: all statistics derive from one
+/// bucket-array read, so quantiles are mutually consistent — p50 <= p95 <=
+/// p99 <= Max() always holds, which separate Quantile() calls racing with
+/// recorders cannot guarantee.
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot() = default;
+
+  /// Derived from the copied buckets (not the live count atomic), so the
+  /// count always matches the mass the quantiles are computed over.
+  uint64_t Count() const { return count_; }
+  uint64_t Sum() const { return sum_; }
+  uint64_t Min() const { return min_; }
+  uint64_t Max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0,1] over the frozen buckets. Monotone in q.
+  /// Returns 0 when empty.
+  uint64_t Quantile(double q) const;
+
+ private:
+  friend class Histogram;
+
+  int sub_bits_ = 0;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
 /// Fixed-memory log-bucketed histogram of non-negative integer samples
 /// (typically nanoseconds). Thread-safe recording; quantile queries take a
 /// consistent snapshot under the same lock-free scheme (relaxed reads are
@@ -55,8 +91,14 @@ class Histogram {
   uint64_t Max() const;
   double Mean() const;
 
-  /// Value at quantile q in [0,1]. Returns 0 when empty.
+  /// Value at quantile q in [0,1]. Returns 0 when empty. Note: successive
+  /// calls race with concurrent recorders; for mutually-consistent
+  /// percentiles use TakeSnapshot() and query the snapshot.
   uint64_t Quantile(double q) const;
+
+  /// Copy the bucket array once and freeze it; all statistics on the
+  /// returned snapshot are computed from that single copy.
+  HistogramSnapshot TakeSnapshot() const;
 
   void Reset();
 
@@ -64,6 +106,9 @@ class Histogram {
   void Merge(const Histogram& other);
 
  private:
+  friend class HistogramSnapshot;
+  static uint64_t LowerBound(int sub_bits, size_t index);
+
   size_t BucketIndex(uint64_t value) const;
   uint64_t BucketLowerBound(size_t index) const;
 

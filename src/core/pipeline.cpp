@@ -4,13 +4,35 @@
 #include "backends/cpu_backend.h"
 #include "backends/lmdb_backend.h"
 #include "backends/synthetic_backend.h"
+#include "common/log.h"
+#include "telemetry/trace_exporter.h"
 
 namespace dlb::core {
 
 Pipeline::~Pipeline() { Shutdown(); }
 
 void Pipeline::Shutdown() {
+  if (watchdog_) watchdog_->Stop();
   if (backend_) backend_->Stop();
+  if (!trace_path_.empty() && !trace_exported_.exchange(true)) {
+    Status s = ExportTrace(trace_path_);
+    if (!s.ok()) DLB_WARN << "trace export failed: " << s.message();
+  }
+}
+
+Status Pipeline::ExportTrace(const std::string& path) {
+  telemetry::Tracer* tracer = telemetry_->tracer();
+  if (tracer == nullptr) {
+    return FailedPrecondition("tracing is not enabled on this pipeline");
+  }
+  Status s = telemetry::TraceExporter::WriteChromeJson(*tracer, path);
+  if (s.ok()) {
+    if (telemetry::EventLog* events = telemetry_->events()) {
+      events->Log(telemetry::EventType::kTraceExported, 0,
+                  tracer->SpansRecorded());
+    }
+  }
+  return s;
 }
 
 Result<BatchPtr> Pipeline::NextBatch(int engine) {
@@ -20,20 +42,35 @@ Result<BatchPtr> Pipeline::NextBatch(int engine) {
                            std::to_string(num_engines_) + ")");
   }
   // Consume span: how long the engine waited for (and accounted) a batch —
-  // the pipeline-is-the-bottleneck signal.
-  telemetry::ScopedSpan consume(telemetry_.get(), telemetry::Stage::kConsume);
+  // the pipeline-is-the-bottleneck signal. Recorded with the batch's trace
+  // context, then the batch's root span is closed: consume is the last
+  // stage of the tree.
+  const uint64_t consume_start = telemetry::NowNs();
   auto batch = backend_->NextBatch(engine);
   if (!batch.ok()) {
-    consume.Cancel();
     return batch.status();
   }
-  consume.SetItems(batch.value()->Size());
+  const size_t size = batch.value()->Size();
+  const size_t ok = batch.value()->OkCount();
+  const telemetry::TraceContext trace = batch.value()->Trace();
+  telemetry_->RecordSpan(telemetry::Stage::kConsume, consume_start,
+                         telemetry::NowNs(), size, trace,
+                         telemetry::Subsystem::kCore,
+                         static_cast<uint32_t>(engine));
+  if (trace.Enabled()) {
+    if (telemetry::Tracer* tracer = telemetry_->tracer()) {
+      tracer->EndBatch(trace, size);
+    }
+  }
+  if (telemetry::EventLog* events = telemetry_->events()) {
+    events->Log(telemetry::EventType::kBatchCompleted, trace.batch_id, ok,
+                size - ok);
+  }
   {
     std::scoped_lock lock(stats_mu_);
     ++stats_.batches;
-    const size_t ok = batch.value()->OkCount();
     stats_.images_ok += ok;
-    stats_.images_failed += batch.value()->Size() - ok;
+    stats_.images_failed += size - ok;
   }
   return batch;
 }
@@ -131,9 +168,31 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
     return InvalidArgument("options.queue_depth must be >= 1");
   }
 
+  auto level = telemetry::ParseEventLevel(config_.event_log_level);
+  if (!level.ok()) return level.status();
+
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
   pipeline->backend_name_ = config_.backend;
   pipeline->num_engines_ = o.num_engines;
+
+  // Observability wiring must precede backend construction: components
+  // latch the tracer/event-log pointers when telemetry is attached.
+  const bool tracing = config_.enable_tracing || !config_.trace_path.empty() ||
+                       config_.watchdog_deadline_ms > 0;
+  if (tracing) {
+    pipeline->telemetry_->EnableTracing(config_.trace_span_capacity);
+    pipeline->trace_path_ = config_.trace_path;
+  }
+  if (level.value() != telemetry::EventLevel::kOff) {
+    pipeline->telemetry_->EnableEvents(config_.event_log_capacity,
+                                       level.value());
+  }
+  if (config_.watchdog_deadline_ms > 0) {
+    telemetry::WatchdogOptions wd;
+    wd.deadline_ms = config_.watchdog_deadline_ms;
+    pipeline->watchdog_ = std::make_unique<telemetry::Watchdog>(
+        pipeline->telemetry_.get(), wd);
+  }
 
   // Source collector (not needed by lmdb/synthetic).
   DataCollector* collector = nullptr;
@@ -196,6 +255,7 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   pipeline->backend_->AttachTelemetry(pipeline->telemetry_.get());
   pipeline->start_time_ = std::chrono::steady_clock::now();
   DLB_RETURN_IF_ERROR(pipeline->backend_->Start());
+  if (pipeline->watchdog_) pipeline->watchdog_->Start();
   return pipeline;
 }
 

@@ -29,6 +29,9 @@
 #include "hostbridge/data_collector.h"
 #include "image/tensor.h"
 #include "storagedb/kv_store.h"
+#include "telemetry/event_log.h"
+#include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
 
 namespace dlb::core {
 
@@ -45,6 +48,24 @@ struct PipelineConfig {
   /// Enable the §3.1 first-epoch memory cache.
   bool cache_epochs = false;
   uint64_t cache_budget_bytes = 1ull << 30;
+
+  // --- Observability (DESIGN.md §5) ---
+  /// Batch tracing: every batch gets a causally-linked span tree across
+  /// fetch/decode/resize/collect/dispatch/consume. Also implied by a
+  /// non-empty trace_path or a non-zero watchdog_deadline_ms.
+  bool enable_tracing = false;
+  /// When non-empty, Shutdown() writes a Chrome/Perfetto trace_event JSON
+  /// file here (load in ui.perfetto.dev or chrome://tracing).
+  std::string trace_path;
+  /// Trace ring capacity in spans (rounded up to a power of two).
+  size_t trace_span_capacity = size_t{1} << 15;
+  /// Structured event log level: "off" | "warn" | "info" | "debug".
+  /// Anything but "off" enables the event ring.
+  std::string event_log_level = "off";
+  size_t event_log_capacity = telemetry::kDefaultEventCapacity;
+  /// Stall watchdog: fire a report when no stage makes progress for this
+  /// many ms while batches are in flight (0 = disabled). Implies tracing.
+  uint64_t watchdog_deadline_ms = 0;
 };
 
 /// Structured pipeline snapshot. The first three fields are the legacy
@@ -97,10 +118,23 @@ class Pipeline {
   /// The underlying telemetry sink (span ring + stage metrics).
   telemetry::Telemetry& TelemetrySink() { return *telemetry_; }
 
+  /// Batch tracer; null unless tracing was enabled in the config.
+  telemetry::Tracer* Tracer() const { return telemetry_->tracer(); }
+  /// Structured event log; null unless event_log_level != "off".
+  telemetry::EventLog* Events() const { return telemetry_->events(); }
+  /// Stall watchdog; null unless watchdog_deadline_ms > 0.
+  telemetry::Watchdog* StallWatchdog() { return watchdog_.get(); }
+
+  /// Export the batch trace as Chrome trace_event JSON to `path` now.
+  /// kFailedPrecondition when tracing is off. Shutdown() calls this
+  /// automatically for config.trace_path.
+  Status ExportTrace(const std::string& path);
+
   const PreprocessBackend& Backend() const { return *backend_; }
   const std::string& BackendName() const { return backend_name_; }
 
-  /// Stop all pipeline threads (also runs on destruction).
+  /// Stop all pipeline threads (also runs on destruction). Exports the
+  /// trace to config.trace_path (once) after the threads settle.
   void Shutdown();
 
  private:
@@ -110,6 +144,9 @@ class Pipeline {
   std::string backend_name_;
   int num_engines_ = 1;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  std::unique_ptr<telemetry::Watchdog> watchdog_;
+  std::string trace_path_;
+  std::atomic<bool> trace_exported_{false};
   std::unique_ptr<DecoderMirror> mirror_;
   std::unique_ptr<DataCollector> collector_;
   std::unique_ptr<DataCollector> bounded_collector_;

@@ -23,7 +23,8 @@ FpgaDevice::FpgaDevice(const FpgaDeviceOptions& options)
     workers_.emplace_back([this] { IdctWorker(); });
   }
   for (int i = 0; i < options_.config.resizer_ways; ++i) {
-    workers_.emplace_back([this] { ResizerWorker(); });
+    workers_.emplace_back(
+        [this, i] { ResizerWorker(static_cast<uint32_t>(i)); });
   }
 }
 
@@ -163,15 +164,18 @@ void FpgaDevice::IdctWorker() {
   }
 }
 
-void FpgaDevice::ResizerWorker() {
+void FpgaDevice::ResizerWorker(uint32_t way) {
   while (auto item = idct_out_.Pop()) {
     telemetry::Telemetry* telem = telemetry_.load(std::memory_order_acquire);
     Counter* busy = resizer_busy_.load(std::memory_order_acquire);
     // Everything up to here — FIFO wait, Huffman, iDCT, colour — is the
-    // decode stage of this command.
+    // decode stage of this command. The decode trace span parents to the
+    // fetch span that submitted the command; resize then chains to decode.
+    uint64_t decode_span = 0;
     if (telem != nullptr && item->cmd.submit_ns != 0) {
-      telem->RecordSpan(telemetry::Stage::kDecode, item->cmd.submit_ns,
-                        telemetry::NowNs(), 1);
+      decode_span = telem->RecordSpan(
+          telemetry::Stage::kDecode, item->cmd.submit_ns, telemetry::NowNs(),
+          1, item->cmd.trace, telemetry::Subsystem::kFpga, way);
     }
     const uint64_t resize_start =
         (telem != nullptr || busy != nullptr) ? telemetry::NowNs() : 0;
@@ -211,7 +215,10 @@ void FpgaDevice::ResizerWorker() {
     if (resize_start != 0) {
       const uint64_t now = telemetry::NowNs();
       if (telem != nullptr) {
-        telem->RecordSpan(telemetry::Stage::kResize, resize_start, now, 1);
+        const telemetry::TraceContext rctx =
+            decode_span != 0 ? cmd.trace.Child(decode_span) : cmd.trace;
+        telem->RecordSpan(telemetry::Stage::kResize, resize_start, now, 1,
+                          rctx, telemetry::Subsystem::kFpga, way);
       }
       if (busy != nullptr) busy->Add(now - resize_start);
     }

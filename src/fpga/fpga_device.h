@@ -23,6 +23,7 @@
 #include "image/image.h"
 #include "image/resize.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace dlb::fpga {
 
@@ -42,6 +43,10 @@ struct FpgaCmd {
   /// Submit timestamp (ns), stamped by the device when telemetry is
   /// attached; the decode span is measured from here.
   uint64_t submit_ns = 0;
+  /// Batch trace context (parented to the submitting fetch span). The
+  /// device's decode span records under it and the resize span chains to
+  /// the decode span, extending the batch's causal tree into the FPGA.
+  telemetry::TraceContext trace;
 };
 
 /// FINISH-arbiter completion record.
@@ -120,7 +125,7 @@ class FpgaDevice {
 
   void HuffmanWorker();
   void IdctWorker();
-  void ResizerWorker();
+  void ResizerWorker(uint32_t way);
   void Complete(const FpgaCmd& cmd, Status status, int w, int h, int c,
                 size_t bytes);
 

@@ -77,8 +77,18 @@ void Dispatcher::Loop() {
 
     auto device = engine->free_q.Pop();
     if (!device.has_value()) {
+      // Engine queues closed: this batch will never be consumed.
+      if (telemetry_ != nullptr) {
+        if (telemetry::Tracer* tracer = telemetry_->tracer()) {
+          tracer->AbandonBatch(src->trace);
+        }
+        if (telemetry::EventLog* events = telemetry_->events()) {
+          events->Log(telemetry::EventType::kBatchDropped,
+                      src->trace.batch_id, /*reason: engine closed*/ 2);
+        }
+      }
       pool_->Recycle(src);
-      break;  // engine queues closed
+      break;
     }
     DeviceBatch* dst = *device;
 
@@ -106,6 +116,10 @@ void Dispatcher::Loop() {
     }
     dst->items = src->items;
     dst->seq = next_seq_++;
+    // Carry the batch trace across the copy BEFORE recycling: Recycle()
+    // resets the host buffer's context for its next batch.
+    dst->trace = src->trace;
+    const telemetry::TraceContext trace = src->trace;
     dispatched_[engine_idx]->Add();
 
     // Recycle the host buffer for the FPGAReader, then hand the device
@@ -115,10 +129,32 @@ void Dispatcher::Loop() {
     Status pushed = engine->full_q.Push(dst);
     if (telemetry_ != nullptr) {
       telemetry_->RecordSpan(telemetry::Stage::kDispatch, dispatch_start,
-                             telemetry::NowNs(), batch_items);
+                             telemetry::NowNs(), batch_items, trace,
+                             telemetry::Subsystem::kHostbridge,
+                             static_cast<uint32_t>(engine_idx));
       telemetry_->Registry()
           .GetCounter("dispatcher.bytes_copied")
           ->Add(copied);
+      if (telemetry::EventLog* events = telemetry_->events()) {
+        if (pushed.ok()) {
+          events->Log(telemetry::EventType::kBatchDispatched, trace.batch_id,
+                      static_cast<uint64_t>(engine_idx));
+          const size_t depth = engine->full_q.Size();
+          const size_t cap = engine->full_q.Capacity();
+          if (depth * 4 >= cap * 3) {
+            events->Log(telemetry::EventType::kQueueHighWatermark,
+                        trace.batch_id, depth, cap);
+          }
+        } else {
+          events->Log(telemetry::EventType::kBatchDropped, trace.batch_id,
+                      /*reason: engine closed*/ 2);
+        }
+      }
+      if (!pushed.ok()) {
+        if (telemetry::Tracer* tracer = telemetry_->tracer()) {
+          tracer->AbandonBatch(trace);
+        }
+      }
     }
     if (!pushed.ok()) break;
   }

@@ -19,7 +19,9 @@
 
 #include "common/stats.h"
 #include "hostbridge/hugepage_pool.h"
+#include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace dlb {
 
@@ -29,6 +31,9 @@ struct DeviceBatch {
   std::vector<uint8_t> mem;
   std::vector<BatchItem> items;
   uint64_t seq = 0;  // dispatch sequence (for fairness tests)
+  /// Batch trace root context, carried over from the host buffer so the
+  /// engine-side consume span joins the same tree.
+  telemetry::TraceContext trace;
 };
 
 /// The per-engine channel pair registered with the dispatcher.

@@ -35,10 +35,12 @@ void FpgaReader::Stop() {
 }
 
 bool FpgaReader::SubmitOne(uint64_t batch_seq, size_t slot,
-                           const CollectedFile& file, BatchBuffer* buffer) {
+                           const CollectedFile& file, BatchBuffer* buffer,
+                           const telemetry::TraceContext& trace) {
   fpga::FpgaCmd cmd;
   cmd.cookie = (batch_seq << kSlotBits) | slot;
   cmd.jpeg = file.bytes;
+  cmd.trace = trace;
   // The cmd carries a *physical* address in hardware; here we translate
   // eagerly and hand the device the virtual alias, asserting the mapping
   // is valid — the same check the real MMU performs.
@@ -83,20 +85,43 @@ void FpgaReader::ProcessCompletions(
     completed_.Add();
     if (!c.status.ok()) failures_.Add();
     ++state.done;
-    if (state.done == state.expected) {
-      state.buffer->items = std::move(state.items);
-      if (telemetry_ != nullptr && state.start_ns != 0) {
-        // Collect span: buffer acquisition -> fully assembled batch.
-        telemetry_->RecordSpan(telemetry::Stage::kCollect, state.start_ns,
-                               telemetry::NowNs(), state.expected);
+    if (state.done == state.expected) FinishBatch(it);
+  }
+}
+
+void FpgaReader::FinishBatch(std::map<uint64_t, BatchState>::iterator it) {
+  BatchState& state = it->second;
+  state.buffer->items = std::move(state.items);
+  if (telemetry_ != nullptr && state.start_ns != 0) {
+    // Collect span: buffer acquisition -> fully assembled batch.
+    telemetry_->RecordSpan(telemetry::Stage::kCollect, state.start_ns,
+                           telemetry::NowNs(), state.expected, state.trace,
+                           telemetry::Subsystem::kHostbridge);
+  }
+  // Closed full queue at shutdown => drop; otherwise hand off.
+  const bool pushed = pool_->FullQueue().Push(state.buffer).ok();
+  if (telemetry::EventLog* events = EventsSink()) {
+    if (!pushed) {
+      events->Log(telemetry::EventType::kBatchDropped, state.trace.batch_id,
+                  /*reason: full queue closed*/ 1);
+    } else {
+      const size_t depth = pool_->FullQueue().Size();
+      const size_t cap = pool_->FullQueue().Capacity();
+      if (depth * 4 >= cap * 3) {
+        events->Log(telemetry::EventType::kQueueHighWatermark,
+                    state.trace.batch_id, depth, cap);
       }
-      // Closed full queue at shutdown => drop; otherwise hand off.
-      (void)pool_->FullQueue().Push(state.buffer);
-      pool_->PublishOccupancy();
-      batches_.Add();
-      in_flight_.erase(it);
     }
   }
+  if (!pushed) {
+    // The batch will never be consumed; retire its trace explicitly.
+    if (telemetry::Tracer* tracer = TracerSink()) {
+      tracer->AbandonBatch(state.trace);
+    }
+  }
+  pool_->PublishOccupancy();
+  batches_.Add();
+  in_flight_.erase(it);
 }
 
 void FpgaReader::Loop() {
@@ -106,6 +131,7 @@ void FpgaReader::Loop() {
     // Acquire an empty batch buffer, draining completions while we wait so
     // the decoder's FINISH ring never backs up.
     BatchBuffer* buffer = nullptr;
+    bool reported_exhausted = false;
     while (running_.load(std::memory_order_relaxed)) {
       auto popped = pool_->FreeQueue().PopFor(1ms);
       if (popped.has_value()) {
@@ -113,6 +139,15 @@ void FpgaReader::Loop() {
         break;
       }
       if (pool_->FreeQueue().IsClosed()) return;
+      if (!reported_exhausted) {
+        // Once per wait, not once per poll: the pool ran dry, the reader is
+        // backpressured by the consumer side.
+        reported_exhausted = true;
+        if (telemetry::EventLog* events = EventsSink()) {
+          events->Log(telemetry::EventType::kPoolExhausted, 0,
+                      pool_->FullQueue().Size());
+        }
+      }
       ProcessCompletions(device_->DrainCompletions());
     }
     if (buffer == nullptr) break;
@@ -129,18 +164,33 @@ void FpgaReader::Loop() {
       fresh.start_ns = telemetry_ != nullptr ? telemetry::NowNs() : 0;
       fresh.items.resize(options_.batch_size);
       fresh.payloads.resize(options_.batch_size);
+      // Batch admission: mint the trace context that every downstream span
+      // of this batch will link into, and stamp it on the buffer.
+      if (telemetry::Tracer* tracer = TracerSink()) {
+        fresh.trace = tracer->StartBatch();
+        buffer->trace = fresh.trace;
+      }
+      if (telemetry::EventLog* events = EventsSink()) {
+        events->Log(telemetry::EventType::kBatchAdmitted,
+                    fresh.trace.batch_id);
+      }
       state = &in_flight_.emplace(batch_seq, std::move(fresh)).first->second;
     }
 
     size_t slot = 0;
     for (; slot < options_.batch_size; ++slot) {
       // Fetch span covers only the collector pull, not the device submit.
-      auto file = [&] {
-        telemetry::ScopedSpan fetch(telemetry_, telemetry::Stage::kFetch, 1);
-        auto f = collector_->Next();
-        if (!f.ok()) fetch.Cancel();
-        return f;
-      }();
+      // Recorded manually (not ScopedSpan) because the decode command it
+      // causes must parent to this span's id.
+      const uint64_t fetch_start =
+          telemetry_ != nullptr ? telemetry::NowNs() : 0;
+      auto file = collector_->Next();
+      uint64_t fetch_span = 0;
+      if (telemetry_ != nullptr && file.ok()) {
+        fetch_span = telemetry_->RecordSpan(
+            telemetry::Stage::kFetch, fetch_start, telemetry::NowNs(), 1,
+            state->trace, telemetry::Subsystem::kHostbridge);
+      }
       if (!file.ok()) {
         source_exhausted = true;
         break;
@@ -156,7 +206,9 @@ void FpgaReader::Loop() {
       state->items[slot].label = cf.label;
       state->items[slot].offset =
           static_cast<uint32_t>(slot * options_.SlotStride());
-      if (!SubmitOne(batch_seq, slot, cf, state->buffer)) {
+      const telemetry::TraceContext cmd_trace =
+          fetch_span != 0 ? state->trace.Child(fetch_span) : state->trace;
+      if (!SubmitOne(batch_seq, slot, cf, state->buffer, cmd_trace)) {
         source_exhausted = true;
         ++slot;
         break;
@@ -168,7 +220,11 @@ void FpgaReader::Loop() {
 
     if (slot == 0) {
       // Nothing submitted into this buffer: recycle it untouched.
-      in_flight_.erase(batch_seq);
+      auto it = in_flight_.find(batch_seq);
+      if (telemetry::Tracer* tracer = TracerSink()) {
+        tracer->AbandonBatch(it->second.trace);
+      }
+      in_flight_.erase(it);
       pool_->Recycle(buffer);
       break;
     }
@@ -177,18 +233,7 @@ void FpgaReader::Loop() {
     if (it != in_flight_.end() && slot < options_.batch_size) {
       it->second.expected = slot;
       it->second.items.resize(slot);
-      if (it->second.done == it->second.expected) {
-        it->second.buffer->items = std::move(it->second.items);
-        if (telemetry_ != nullptr && it->second.start_ns != 0) {
-          telemetry_->RecordSpan(telemetry::Stage::kCollect,
-                                 it->second.start_ns, telemetry::NowNs(),
-                                 it->second.expected);
-        }
-        (void)pool_->FullQueue().Push(it->second.buffer);
-        pool_->PublishOccupancy();
-        batches_.Add();
-        in_flight_.erase(it);
-      }
+      if (it->second.done == it->second.expected) FinishBatch(it);
     }
   }
 
@@ -197,6 +242,10 @@ void FpgaReader::Loop() {
     auto completions = device_->WaitCompletions();
     if (completions.empty()) break;  // device shut down
     ProcessCompletions(std::move(completions));
+  }
+  // Batches still unfinished at shutdown never reach a consumer.
+  if (telemetry::Tracer* tracer = TracerSink()) {
+    for (auto& [seq, state] : in_flight_) tracer->AbandonBatch(state.trace);
   }
   finished_.store(true, std::memory_order_release);
 }

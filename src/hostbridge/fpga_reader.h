@@ -16,7 +16,9 @@
 #include "fpga/fpga_device.h"
 #include "hostbridge/data_collector.h"
 #include "hostbridge/hugepage_pool.h"
+#include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace dlb {
 
@@ -69,6 +71,7 @@ class FpgaReader {
     size_t expected = 0;
     size_t done = 0;
     uint64_t start_ns = 0;  // buffer acquisition time (collect span start)
+    telemetry::TraceContext trace;  // root context minted at admission
     std::vector<BatchItem> items;
     std::vector<Bytes> payloads;
   };
@@ -76,7 +79,16 @@ class FpgaReader {
   void Loop();
   void ProcessCompletions(std::vector<fpga::FpgaCompletion> completions);
   bool SubmitOne(uint64_t batch_seq, size_t slot, const CollectedFile& file,
-                 BatchBuffer* buffer);
+                 BatchBuffer* buffer, const telemetry::TraceContext& trace);
+  /// Retire a fully assembled batch: collect span, hand-off, events.
+  void FinishBatch(std::map<uint64_t, BatchState>::iterator it);
+
+  telemetry::Tracer* TracerSink() const {
+    return telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
+  }
+  telemetry::EventLog* EventsSink() const {
+    return telemetry_ != nullptr ? telemetry_->events() : nullptr;
+  }
 
   fpga::FpgaDevice* device_;
   DataCollector* collector_;

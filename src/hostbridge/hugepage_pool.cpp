@@ -41,6 +41,7 @@ HugePagePool::HugePagePool(size_t buffer_bytes, size_t buffer_count)
 void HugePagePool::Recycle(BatchBuffer* buffer) {
   if (buffer == nullptr) return;
   buffer->items.clear();
+  buffer->trace = {};
   // Push can only fail after Close(), at which point dropping is correct.
   (void)free_queue_.TryPush(buffer);
   telemetry::Telemetry* t = telemetry_.load(std::memory_order_acquire);

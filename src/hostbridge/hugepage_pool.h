@@ -18,6 +18,7 @@
 #include "common/bounded_queue.h"
 #include "common/status.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace dlb {
 
@@ -39,6 +40,9 @@ struct BatchBuffer {
   uint64_t phys_addr = 0;      // what goes into FPGA cmds
   size_t capacity = 0;
   std::vector<BatchItem> items;  // filled by the producer, cleared on recycle
+  /// Batch trace root context, stamped by the producer that admits the
+  /// batch (FPGAReader) and reset on recycle.
+  telemetry::TraceContext trace;
 };
 
 class HugePagePool {

@@ -1,0 +1,142 @@
+#include "telemetry/event_log.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dlb::telemetry {
+
+const char* EventLevelName(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug:
+      return "debug";
+    case EventLevel::kInfo:
+      return "info";
+    case EventLevel::kWarn:
+      return "warn";
+    case EventLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+Result<EventLevel> ParseEventLevel(const std::string& name) {
+  if (name == "debug") return EventLevel::kDebug;
+  if (name == "info") return EventLevel::kInfo;
+  if (name == "warn") return EventLevel::kWarn;
+  if (name == "off") return EventLevel::kOff;
+  return InvalidArgument("unknown event level \"" + name +
+                         "\" (want off|warn|info|debug)");
+}
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kBatchAdmitted:
+      return "batch_admitted";
+    case EventType::kBatchDispatched:
+      return "batch_dispatched";
+    case EventType::kBatchCompleted:
+      return "batch_completed";
+    case EventType::kBatchDropped:
+      return "batch_dropped";
+    case EventType::kPoolExhausted:
+      return "pool_exhausted";
+    case EventType::kQueueHighWatermark:
+      return "queue_high_watermark";
+    case EventType::kStallDetected:
+      return "stall_detected";
+    case EventType::kTraceExported:
+      return "trace_exported";
+  }
+  return "unknown";
+}
+
+EventLevel EventTypeLevel(EventType type) {
+  switch (type) {
+    case EventType::kBatchAdmitted:
+    case EventType::kBatchDispatched:
+    case EventType::kBatchCompleted:
+      return EventLevel::kDebug;
+    case EventType::kBatchDropped:
+    case EventType::kPoolExhausted:
+    case EventType::kQueueHighWatermark:
+    case EventType::kTraceExported:
+      return EventLevel::kInfo;
+    case EventType::kStallDetected:
+      return EventLevel::kWarn;
+  }
+  return EventLevel::kInfo;
+}
+
+EventLog::EventLog(size_t capacity, EventLevel min_level)
+    : min_level_(min_level), ring_(capacity) {}
+
+void EventLog::Log(EventType type, uint64_t batch_id, uint64_t arg0,
+                   uint64_t arg1) {
+  if (!Enabled(type)) return;
+  Event event;
+  event.type = type;
+  event.ts_ns = NowNs();
+  event.batch_id = batch_id;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  ring_.Push(event);
+}
+
+std::vector<Event> EventLog::Tail(size_t n) const {
+  std::vector<Event> all = ring_.Snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - n);
+  return all;
+}
+
+std::string EventLog::Render(const Event& event, uint64_t epoch_ns) {
+  const uint64_t rel = event.ts_ns >= epoch_ns ? event.ts_ns - epoch_ns : 0;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "+%.3fms %-5s %-20s batch=%llu arg0=%llu arg1=%llu",
+                rel / 1e6, EventLevelName(EventTypeLevel(event.type)),
+                EventTypeName(event.type),
+                static_cast<unsigned long long>(event.batch_id),
+                static_cast<unsigned long long>(event.arg0),
+                static_cast<unsigned long long>(event.arg1));
+  return buf;
+}
+
+std::string EventLog::RenderJson(const Event& event) {
+  std::ostringstream os;
+  os << "{\"seq\":" << event.seq << ",\"ts_ns\":" << event.ts_ns
+     << ",\"type\":\"" << EventTypeName(event.type) << "\",\"level\":\""
+     << EventLevelName(EventTypeLevel(event.type))
+     << "\",\"batch\":" << event.batch_id << ",\"arg0\":" << event.arg0
+     << ",\"arg1\":" << event.arg1 << "}";
+  return os.str();
+}
+
+std::string EventLog::RenderText() const {
+  std::vector<Event> events = ring_.Snapshot();
+  const uint64_t epoch = events.empty() ? 0 : events.front().ts_ns;
+  std::ostringstream os;
+  for (const Event& e : events) os << Render(e, epoch) << "\n";
+  return os.str();
+}
+
+std::string EventLog::RenderJsonl() const {
+  std::ostringstream os;
+  for (const Event& e : ring_.Snapshot()) os << RenderJson(e) << "\n";
+  return os.str();
+}
+
+Status EventLog::WriteJsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open event log sink: " + path);
+  }
+  const std::string body = RenderJsonl();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Internal("short write to event log sink: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dlb::telemetry

@@ -1,0 +1,109 @@
+// Structured event log: a lock-free ring of typed pipeline events.
+//
+// Where spans measure durations, events mark *moments that explain them*:
+// a batch was admitted, the buffer pool ran dry, an engine queue hit its
+// high watermark, the watchdog saw a stall. The ring is the same seqlock
+// discipline as the span ring (writers never block); two render paths —
+// human text lines and machine JSONL — serve logs and tooling from the one
+// buffer. Events below the configured level are dropped at the Log() call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb::telemetry {
+
+enum class EventLevel : uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kOff = 3,  // min_level only: drop everything
+};
+
+const char* EventLevelName(EventLevel level);
+
+/// Parse "off" | "warn" | "info" | "debug"; kInvalidArgument otherwise.
+Result<EventLevel> ParseEventLevel(const std::string& name);
+
+/// Event vocabulary. Each type documents its argument payload; args the
+/// type does not use are zero.
+enum class EventType : uint8_t {
+  kBatchAdmitted = 0,   // batch minted; arg0 = producer tid        [debug]
+  kBatchDispatched,     // handed to an engine; arg0 = engine       [debug]
+  kBatchCompleted,      // consumed; arg0 = ok items, arg1 = failed [debug]
+  kBatchDropped,        // abandoned unproduced; arg0 = reason code [info]
+  kPoolExhausted,       // free-buffer wait; arg0 = full-queue depth [info]
+  kQueueHighWatermark,  // queue full; arg0 = depth, arg1 = capacity [info]
+  kStallDetected,       // watchdog fired; arg0 = quiet ms           [warn]
+  kTraceExported,       // trace file written; arg0 = span count     [info]
+};
+
+const char* EventTypeName(EventType type);
+
+/// The intrinsic severity of each event type (what Log() filters against).
+EventLevel EventTypeLevel(EventType type);
+
+struct Event {
+  EventType type = EventType::kBatchAdmitted;
+  uint64_t ts_ns = 0;     // NowNs() at Log() time
+  uint64_t batch_id = 0;  // 0 when not batch-scoped
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint64_t seq = 0;  // assigned by the ring
+};
+
+/// Default event ring capacity.
+inline constexpr size_t kDefaultEventCapacity = 1024;
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = kDefaultEventCapacity,
+                    EventLevel min_level = EventLevel::kInfo);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Record one event (dropped when its type's level is below min_level).
+  void Log(EventType type, uint64_t batch_id = 0, uint64_t arg0 = 0,
+           uint64_t arg1 = 0);
+
+  bool Enabled(EventType type) const {
+    return EventTypeLevel(type) >= min_level_;
+  }
+  EventLevel MinLevel() const { return min_level_; }
+
+  /// Events still resident, oldest first.
+  std::vector<Event> Snapshot() const { return ring_.Snapshot(); }
+
+  /// The most recent `n` events, oldest first.
+  std::vector<Event> Tail(size_t n) const;
+
+  /// Events ever accepted (post-filter); >= Snapshot().size().
+  uint64_t TotalLogged() const { return ring_.TotalRecorded(); }
+  size_t Capacity() const { return ring_.Capacity(); }
+
+  /// One human-readable line, no trailing newline:
+  ///   "+12.345ms warn  stall_detected batch=0 arg0=2000 arg1=0"
+  /// Timestamps are rendered relative to `epoch_ns` (0 = absolute ns).
+  static std::string Render(const Event& event, uint64_t epoch_ns = 0);
+
+  /// One JSON object, no trailing newline (JSONL row).
+  static std::string RenderJson(const Event& event);
+
+  /// All resident events as text lines / JSONL.
+  std::string RenderText() const;
+  std::string RenderJsonl() const;
+
+  /// Write RenderJsonl() to `path`.
+  Status WriteJsonl(const std::string& path) const;
+
+ private:
+  EventLevel min_level_;
+  SeqlockRing<Event> ring_;
+};
+
+}  // namespace dlb::telemetry

@@ -1,9 +1,10 @@
 #include "telemetry/telemetry.h"
 
-#include <bit>
 #include <chrono>
 
 #include "common/log.h"
+#include "telemetry/event_log.h"
+#include "telemetry/trace.h"
 
 namespace dlb::telemetry {
 
@@ -32,43 +33,6 @@ uint64_t NowNs() {
           .count());
 }
 
-SpanRing::SpanRing(size_t capacity)
-    : slots_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity)) {}
-
-uint64_t SpanRing::Push(SpanRecord record) {
-  const uint64_t seq = cursor_.fetch_add(1, std::memory_order_acq_rel);
-  record.seq = seq;
-  Slot& slot = slots_[seq & (slots_.size() - 1)];
-  // Seqlock write: bump to odd, store payload, bump to even. A slower
-  // writer lapped by a faster one can interleave versions, but readers
-  // validate the version word around the copy, so a torn read is never
-  // returned — at worst the slot is skipped in that snapshot.
-  const uint64_t v = slot.version.load(std::memory_order_relaxed);
-  slot.version.store(v + 1, std::memory_order_release);
-  slot.record = record;
-  slot.version.store(v + 2, std::memory_order_release);
-  return seq;
-}
-
-std::vector<SpanRecord> SpanRing::Snapshot() const {
-  const uint64_t end = cursor_.load(std::memory_order_acquire);
-  const uint64_t count =
-      end < slots_.size() ? end : static_cast<uint64_t>(slots_.size());
-  std::vector<SpanRecord> out;
-  out.reserve(count);
-  for (uint64_t seq = end - count; seq < end; ++seq) {
-    const Slot& slot = slots_[seq & (slots_.size() - 1)];
-    const uint64_t before = slot.version.load(std::memory_order_acquire);
-    if (before & 1) continue;  // mid-write
-    SpanRecord copy = slot.record;
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.version.load(std::memory_order_acquire) != before) continue;
-    if (copy.seq != seq) continue;  // already overwritten by a newer lap
-    out.push_back(copy);
-  }
-  return out;
-}
-
 StageMetrics::StageMetrics(Stage stage, MetricRegistry* registry)
     : stage_(stage) {
   DLB_CHECK(registry != nullptr);
@@ -90,12 +54,16 @@ StageSnapshot StageMetrics::Snapshot() const {
   snap.name = StageName(stage_);
   snap.ops = ops_->Value();
   snap.items = items_->Value();
-  snap.busy_ns = latency_->Sum();
-  snap.mean_ns = latency_->Mean();
-  snap.p50_ns = latency_->Quantile(0.50);
-  snap.p95_ns = latency_->Quantile(0.95);
-  snap.p99_ns = latency_->Quantile(0.99);
-  snap.max_ns = latency_->Max();
+  // One frozen bucket copy for every percentile: separate Quantile() calls
+  // racing with recorders could report p99 < p50 (each call walks a
+  // different bucket state); the snapshot cannot.
+  const HistogramSnapshot lat = latency_->TakeSnapshot();
+  snap.busy_ns = lat.Sum();
+  snap.mean_ns = lat.Mean();
+  snap.p50_ns = lat.Quantile(0.50);
+  snap.p95_ns = lat.Quantile(0.95);
+  snap.p99_ns = lat.Quantile(0.99);
+  snap.max_ns = lat.Max();
   return snap;
 }
 
@@ -104,6 +72,33 @@ Telemetry::Telemetry(size_t span_capacity) : spans_(span_capacity) {
     stages_[i] =
         std::make_unique<StageMetrics>(static_cast<Stage>(i), &registry_);
   }
+}
+
+Telemetry::~Telemetry() = default;
+
+Tracer* Telemetry::EnableTracing(size_t span_capacity) {
+  if (!tracer_) tracer_ = std::make_unique<Tracer>(span_capacity);
+  return tracer_.get();
+}
+
+Tracer* Telemetry::EnableTracing() { return EnableTracing(kDefaultTraceSpans); }
+
+EventLog* Telemetry::EnableEvents(size_t capacity, EventLevel min_level) {
+  if (!events_) events_ = std::make_unique<EventLog>(capacity, min_level);
+  return events_.get();
+}
+
+EventLog* Telemetry::EnableEvents() {
+  return EnableEvents(kDefaultEventCapacity, EventLevel::kInfo);
+}
+
+uint64_t Telemetry::RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
+                               uint64_t items, const TraceContext& ctx,
+                               Subsystem subsystem, uint32_t tid) {
+  RecordSpan(stage, start_ns, end_ns, items);
+  if (tracer_ == nullptr || !ctx.Enabled()) return 0;
+  return tracer_->RecordSpan(ctx, stage, subsystem, tid, start_ns, end_ns,
+                             items);
 }
 
 void Telemetry::RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,

@@ -60,29 +60,74 @@ struct SpanRecord {
   uint64_t DurationNs() const { return end_ns - start_ns; }
 };
 
-/// Fixed-capacity lock-free ring of the most recent span records.
+namespace internal {
+inline size_t RingCapacity(size_t capacity) {
+  size_t c = 2;
+  while (c < capacity) c <<= 1;
+  return c;
+}
+}  // namespace internal
+
+/// Fixed-capacity lock-free ring of the most recent records of type T.
 //
 // Writers claim a slot with one fetch_add and publish with a per-slot
 // version word (seqlock); no writer ever blocks on a reader or another
 // writer. Snapshot() copies whatever is resident, skipping slots that are
 // mid-write — readers get a consistent view of each record, not of the
 // whole ring, which is the right trade for a diagnostics buffer.
-class SpanRing {
+//
+// T must be trivially copyable enough to tolerate a torn intermediate copy
+// (the seqlock discards it) and carry a `uint64_t seq` field the ring
+// assigns on push. Shared by the span ring, the batch tracer and the
+// structured event log.
+template <typename T>
+class SeqlockRing {
  public:
   /// `capacity` is rounded up to a power of two (min 2).
-  explicit SpanRing(size_t capacity = 4096);
+  explicit SeqlockRing(size_t capacity = 4096)
+      : slots_(internal::RingCapacity(capacity)) {}
 
-  SpanRing(const SpanRing&) = delete;
-  SpanRing& operator=(const SpanRing&) = delete;
+  SeqlockRing(const SeqlockRing&) = delete;
+  SeqlockRing& operator=(const SeqlockRing&) = delete;
 
-  /// Record a span; assigns and returns its global sequence number.
-  uint64_t Push(SpanRecord record);
+  /// Record an entry; assigns and returns its global sequence number.
+  uint64_t Push(T record) {
+    const uint64_t seq = cursor_.fetch_add(1, std::memory_order_acq_rel);
+    record.seq = seq;
+    Slot& slot = slots_[seq & (slots_.size() - 1)];
+    // Seqlock write: bump to odd, store payload, bump to even. A slower
+    // writer lapped by a faster one can interleave versions, but readers
+    // validate the version word around the copy, so a torn read is never
+    // returned — at worst the slot is skipped in that snapshot.
+    const uint64_t v = slot.version.load(std::memory_order_relaxed);
+    slot.version.store(v + 1, std::memory_order_release);
+    slot.record = record;
+    slot.version.store(v + 2, std::memory_order_release);
+    return seq;
+  }
 
   /// Records still resident, oldest first. Slots being written concurrently
   /// are skipped.
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<T> Snapshot() const {
+    const uint64_t end = cursor_.load(std::memory_order_acquire);
+    const uint64_t count =
+        end < slots_.size() ? end : static_cast<uint64_t>(slots_.size());
+    std::vector<T> out;
+    out.reserve(count);
+    for (uint64_t seq = end - count; seq < end; ++seq) {
+      const Slot& slot = slots_[seq & (slots_.size() - 1)];
+      const uint64_t before = slot.version.load(std::memory_order_acquire);
+      if (before & 1) continue;  // mid-write
+      T copy = slot.record;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.version.load(std::memory_order_acquire) != before) continue;
+      if (copy.seq != seq) continue;  // already overwritten by a newer lap
+      out.push_back(copy);
+    }
+    return out;
+  }
 
-  /// Total spans ever pushed (>= Snapshot().size()).
+  /// Total entries ever pushed (>= Snapshot().size()).
   uint64_t TotalRecorded() const {
     return cursor_.load(std::memory_order_acquire);
   }
@@ -94,12 +139,15 @@ class SpanRing {
     /// Even = stable, odd = write in progress. Version v publishes the
     /// record pushed with sequence (v/2 - 1) modulo capacity laps.
     std::atomic<uint64_t> version{0};
-    SpanRecord record;
+    T record;
   };
 
   std::vector<Slot> slots_;
   std::atomic<uint64_t> cursor_{0};
 };
+
+/// The span ring: most recent raw stage spans, for timeline inspection.
+using SpanRing = SeqlockRing<SpanRecord>;
 
 /// Point-in-time view of one stage's metrics, the unit Pipeline::Stats()
 /// returns per stage.
@@ -135,13 +183,26 @@ class StageMetrics {
   Histogram* latency_;
 };
 
+// Forward declarations for the optional tracing/event facilities
+// (telemetry/trace.h, telemetry/event_log.h). Keeping them out of this
+// header keeps the hot recording path header-light.
+class Tracer;
+class EventLog;
+struct TraceContext;
+enum class Subsystem : uint8_t;
+enum class EventLevel : uint8_t;
+
 /// The per-pipeline telemetry hub: one MetricRegistry, one SpanRing, one
-/// StageMetrics per stage. Components hold a Telemetry* (possibly null)
-/// and record through it; the Pipeline owns the instance and exposes
-/// snapshots through its redesigned Stats() API.
+/// StageMetrics per stage, plus two opt-in facilities — a batch `Tracer`
+/// (per-batch causal span trees) and a structured `EventLog`. Components
+/// hold a Telemetry* (possibly null) and record through it; the Pipeline
+/// owns the instance and exposes snapshots through its Stats() API.
+/// Tracing and event logging default to off and cost one null-pointer
+/// check when disabled.
 class Telemetry {
  public:
   explicit Telemetry(size_t span_capacity = 4096);
+  ~Telemetry();
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -157,8 +218,29 @@ class Telemetry {
   void RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
                   uint64_t items = 1);
 
+  /// Record one span into both sinks AND into the batch trace identified by
+  /// `ctx` (parented under ctx.parent_span). Returns the trace span id so
+  /// causally-dependent follow-up spans can parent to it; 0 when tracing is
+  /// off or `ctx` is not live.
+  uint64_t RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
+                      uint64_t items, const TraceContext& ctx,
+                      Subsystem subsystem, uint32_t tid = 0);
+
   /// Snapshots for all six stages, in dataflow order.
   std::vector<StageSnapshot> SnapshotStages() const;
+
+  /// Create the batch tracer (idempotent). Call before any component starts
+  /// recording; components pick it up through tracer().
+  Tracer* EnableTracing(size_t span_capacity);
+  Tracer* EnableTracing();
+  /// Null until EnableTracing() — the tracing-off fast path.
+  Tracer* tracer() const { return tracer_.get(); }
+
+  /// Create the structured event log (idempotent).
+  EventLog* EnableEvents(size_t capacity, EventLevel min_level);
+  EventLog* EnableEvents();
+  /// Null until EnableEvents().
+  EventLog* events() const { return events_.get(); }
 
   MetricRegistry& Registry() { return registry_; }
   const MetricRegistry& Registry() const { return registry_; }
@@ -169,6 +251,8 @@ class Telemetry {
   MetricRegistry registry_;
   SpanRing spans_;
   std::array<std::unique_ptr<StageMetrics>, kNumStages> stages_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<EventLog> events_;
 };
 
 /// RAII span: starts timing at construction, records at destruction.

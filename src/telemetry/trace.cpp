@@ -1,0 +1,153 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dlb::telemetry {
+
+namespace {
+
+/// Trace ids are global so two pipelines in one process never collide.
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// In-flight bookkeeping is bounded: a producer that mints batches which
+/// are never ended (a backend used without a consuming Pipeline) must not
+/// leak; past this size the oldest entry is dropped on admission.
+constexpr size_t kMaxInFlight = 4096;
+
+}  // namespace
+
+const char* SubsystemName(Subsystem subsystem) {
+  switch (subsystem) {
+    case Subsystem::kCore:
+      return "core";
+    case Subsystem::kFpga:
+      return "fpga";
+    case Subsystem::kHostbridge:
+      return "hostbridge";
+    case Subsystem::kBackend:
+      return "backend";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(size_t span_capacity)
+    : trace_id_(NextTraceId()), ring_(span_capacity) {}
+
+TraceContext Tracer::StartBatch() {
+  TraceContext ctx;
+  ctx.trace_id = trace_id_;
+  ctx.batch_id = next_batch_.fetch_add(1, std::memory_order_relaxed);
+  ctx.parent_span = next_span_.fetch_add(1, std::memory_order_relaxed);
+  InFlight entry;
+  entry.batch_id = ctx.batch_id;
+  entry.root_span = ctx.parent_span;
+  entry.start_ns = NowNs();
+  std::scoped_lock lock(inflight_mu_);
+  if (inflight_.size() >= kMaxInFlight) inflight_.erase(inflight_.begin());
+  inflight_.emplace(ctx.batch_id, entry);
+  return ctx;
+}
+
+uint64_t Tracer::RecordSpan(const TraceContext& ctx, Stage stage,
+                            Subsystem subsystem, uint32_t tid,
+                            uint64_t start_ns, uint64_t end_ns,
+                            uint64_t items) {
+  if (!ctx.Enabled()) return 0;
+  if (end_ns < start_ns) end_ns = start_ns;
+  TraceSpan span;
+  span.trace_id = ctx.trace_id;
+  span.batch_id = ctx.batch_id;
+  span.span_id = next_span_.fetch_add(1, std::memory_order_relaxed);
+  span.parent_span = ctx.parent_span;
+  span.stage = stage;
+  span.subsystem = subsystem;
+  span.tid = tid;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.items = items;
+  ring_.Push(span);
+  return span.span_id;
+}
+
+void Tracer::EndBatch(const TraceContext& ctx, uint64_t items) {
+  if (!ctx.Enabled()) return;
+  uint64_t start_ns = 0;
+  {
+    std::scoped_lock lock(inflight_mu_);
+    auto it = inflight_.find(ctx.batch_id);
+    if (it == inflight_.end()) return;  // already ended/abandoned (or evicted)
+    start_ns = it->second.start_ns;
+    inflight_.erase(it);
+  }
+  TraceSpan root;
+  root.trace_id = ctx.trace_id;
+  root.batch_id = ctx.batch_id;
+  // Producers stamp batch payloads with the *root* context (never a Child),
+  // so ctx.parent_span carries the root span id minted at StartBatch.
+  root.span_id = ctx.parent_span;
+  root.parent_span = 0;
+  root.root = true;
+  root.stage = Stage::kConsume;  // nominal; exporters label roots "batch"
+  root.subsystem = Subsystem::kCore;
+  root.start_ns = start_ns;
+  root.end_ns = NowNs();
+  root.items = items;
+  ring_.Push(root);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::AbandonBatch(const TraceContext& ctx) {
+  if (!ctx.Enabled()) return;
+  std::scoped_lock lock(inflight_mu_);
+  if (inflight_.erase(ctx.batch_id) > 0) {
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Tracer::InFlight> Tracer::InFlightBatches() const {
+  std::scoped_lock lock(inflight_mu_);
+  std::vector<InFlight> out;
+  out.reserve(inflight_.size());
+  for (const auto& [id, entry] : inflight_) out.push_back(entry);
+  return out;
+}
+
+std::string RenderSpanTree(const std::vector<TraceSpan>& spans,
+                           uint64_t batch_id) {
+  std::vector<const TraceSpan*> batch;
+  for (const TraceSpan& s : spans) {
+    if (s.batch_id == batch_id) batch.push_back(&s);
+  }
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const TraceSpan* a, const TraceSpan* b) {
+                     return a->start_ns < b->start_ns;
+                   });
+  // Depth = length of the parent chain among resident spans.
+  std::map<uint64_t, const TraceSpan*> by_id;
+  for (const TraceSpan* s : batch) by_id[s->span_id] = s;
+  std::ostringstream os;
+  os << "batch " << batch_id << " (" << batch.size() << " spans)\n";
+  for (const TraceSpan* s : batch) {
+    int depth = 0;
+    uint64_t parent = s->parent_span;
+    while (parent != 0 && depth < 8) {
+      auto it = by_id.find(parent);
+      if (it == by_id.end()) break;  // orphan tail: attach under the root
+      ++depth;
+      parent = it->second->parent_span;
+    }
+    os << "  ";
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << (s->root ? "batch" : StageName(s->stage)) << " ["
+       << SubsystemName(s->subsystem) << "/t" << s->tid << "] "
+       << s->DurationNs() / 1000 << "us x" << s->items << " span="
+       << s->span_id << (s->parent_span ? "" : " (root)") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dlb::telemetry

@@ -1,0 +1,158 @@
+// Batch-granular distributed tracing on top of the telemetry hub.
+//
+// The per-stage histograms answer "what are the p99s"; the tracer answers
+// "where did batch #17 spend its time". A TraceContext is minted when a
+// batch is admitted (the FPGAReader acquires a buffer, a CPU worker pulls
+// its samples) and rides along with the batch through every hand-off —
+// FpgaCmd, BatchBuffer, DeviceBatch, PreprocessBatch — so each component
+// can record spans that are causally linked into one tree per batch:
+//
+//   batch #17 (root, admit -> consume)
+//     ├─ fetch  [hostbridge/reader-0]   (per slot)
+//     │    └─ decode [fpga/resizer-1]   (cmd FIFO wait + Huffman + iDCT + colour)
+//     │         └─ resize [fpga/resizer-1]
+//     ├─ collect  [hostbridge/reader-0]
+//     ├─ dispatch [hostbridge/dispatcher]
+//     └─ consume  [core/engine-0]
+//
+// Spans land in a lock-free SeqlockRing (same discipline as the span ring:
+// writers never block); trees are assembled at read time by grouping on
+// batch id and resolving parent ids. A null Tracer* disables everything, so
+// tracing-off costs one pointer check per call site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace dlb::telemetry {
+
+/// Trace-export process taxonomy: one pid per subsystem in the Perfetto
+/// view, matching the repo's module layering.
+enum class Subsystem : uint8_t {
+  kCore = 0,       // Pipeline / engine side
+  kFpga,           // emulated decoder device
+  kHostbridge,     // FPGAReader, pool, dispatcher
+  kBackend,        // CPU/LMDB/synthetic/cached worker loops
+};
+
+inline constexpr int kNumSubsystems = 4;
+
+/// Stable lowercase subsystem name ("core", "fpga", ...).
+const char* SubsystemName(Subsystem subsystem);
+
+/// Default tracer ring capacity (spans). ~3 spans per image plus a handful
+/// per batch; 64k spans cover ≥ 500 32-image batches before wrapping.
+inline constexpr size_t kDefaultTraceSpans = size_t{1} << 16;
+
+/// The context propagated with a batch: which trace and batch the work
+/// belongs to and which span caused it. Copyable POD; a default-constructed
+/// (trace_id == 0) context disables recording at every site it reaches.
+struct TraceContext {
+  uint64_t trace_id = 0;     // 0 = tracing disabled
+  uint64_t batch_id = 0;     // batch ordinal within the trace (1-based)
+  uint64_t parent_span = 0;  // span id of the causally-enclosing span
+
+  bool Enabled() const { return trace_id != 0; }
+
+  /// Context for work caused by span `span_id` (same trace/batch).
+  TraceContext Child(uint64_t span_id) const {
+    TraceContext ctx = *this;
+    ctx.parent_span = span_id;
+    return ctx;
+  }
+};
+
+/// One traced span. `parent_span == 0` marks a batch root.
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint64_t batch_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  Stage stage = Stage::kFetch;
+  Subsystem subsystem = Subsystem::kCore;
+  uint32_t tid = 0;  // unit/worker ordinal inside the subsystem
+  bool root = false;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint64_t items = 0;
+  uint64_t seq = 0;  // assigned by the ring
+
+  uint64_t DurationNs() const { return end_ns - start_ns; }
+};
+
+/// Mints batch trace contexts and collects their spans. All recording paths
+/// are lock-free (atomic id counters + seqlock ring); only the
+/// start/end-of-batch bookkeeping takes a mutex, twice per batch.
+class Tracer {
+ public:
+  explicit Tracer(size_t span_capacity = kDefaultTraceSpans);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Admit a batch: mints a batch id and its root span id. The batch stays
+  /// in flight (visible to the watchdog) until EndBatch/AbandonBatch.
+  TraceContext StartBatch();
+
+  /// Record one completed span under `ctx.parent_span`; returns the new
+  /// span id (0 if `ctx` is not live) for chaining causally-dependent
+  /// follow-up spans.
+  uint64_t RecordSpan(const TraceContext& ctx, Stage stage,
+                      Subsystem subsystem, uint32_t tid, uint64_t start_ns,
+                      uint64_t end_ns, uint64_t items = 1);
+
+  /// Complete the batch: records the root span (admission -> now) and
+  /// retires it from the in-flight set.
+  void EndBatch(const TraceContext& ctx, uint64_t items);
+
+  /// The batch never produced output (source drained, shutdown): retire it
+  /// without a root span.
+  void AbandonBatch(const TraceContext& ctx);
+
+  struct InFlight {
+    uint64_t batch_id = 0;
+    uint64_t root_span = 0;
+    uint64_t start_ns = 0;  // admission time
+  };
+  /// Batches admitted but not yet ended, oldest first.
+  std::vector<InFlight> InFlightBatches() const;
+
+  /// All spans still resident in the ring (oldest first).
+  std::vector<TraceSpan> Spans() const { return ring_.Snapshot(); }
+
+  uint64_t TraceId() const { return trace_id_; }
+  uint64_t BatchesStarted() const {
+    return next_batch_.load(std::memory_order_relaxed) - 1;
+  }
+  uint64_t BatchesCompleted() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t BatchesAbandoned() const {
+    return abandoned_.load(std::memory_order_relaxed);
+  }
+  uint64_t SpansRecorded() const { return ring_.TotalRecorded(); }
+  size_t SpanCapacity() const { return ring_.Capacity(); }
+
+ private:
+  const uint64_t trace_id_;
+  SeqlockRing<TraceSpan> ring_;
+  std::atomic<uint64_t> next_span_{1};
+  std::atomic<uint64_t> next_batch_{1};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> abandoned_{0};
+  mutable std::mutex inflight_mu_;
+  std::map<uint64_t, InFlight> inflight_;
+};
+
+/// Render one batch's span tree as indented text (the watchdog's partial
+/// span trees and a debugging aid). Spans are `spans` filtered to
+/// `batch_id`; orphans (parent not resident) are attached to the root.
+std::string RenderSpanTree(const std::vector<TraceSpan>& spans,
+                           uint64_t batch_id);
+
+}  // namespace dlb::telemetry

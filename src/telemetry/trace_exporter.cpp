@@ -1,0 +1,114 @@
+#include "telemetry/trace_exporter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace dlb::telemetry {
+
+namespace {
+
+// Perfetto pids: subsystem ordinal + 1 (pid 0 renders poorly).
+int PidOf(Subsystem subsystem) { return static_cast<int>(subsystem) + 1; }
+
+// Microsecond timestamps with sub-us precision preserved (trace_event "ts"
+// is in us; fractional values are legal and keep ns resolution).
+std::string Us(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+void AppendCommonArgs(std::ostringstream& os, const TraceSpan& span) {
+  os << "\"args\":{\"trace\":" << span.trace_id << ",\"batch\":"
+     << span.batch_id << ",\"span\":" << span.span_id << ",\"parent\":"
+     << span.parent_span << ",\"items\":" << span.items << "}";
+}
+
+}  // namespace
+
+std::string TraceExporter::ToChromeJson(const Tracer& tracer) {
+  std::vector<TraceSpan> spans = tracer.Spans();
+  uint64_t epoch = UINT64_MAX;
+  for (const TraceSpan& s : spans) epoch = std::min(epoch, s.start_ns);
+  if (epoch == UINT64_MAX) epoch = 0;
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // Process-name metadata for every subsystem that recorded, plus thread
+  // names for every (subsystem, tid) lane.
+  std::set<int> pids;
+  std::set<std::pair<int, uint32_t>> tids;
+  for (const TraceSpan& s : spans) {
+    pids.insert(PidOf(s.subsystem));
+    tids.insert({PidOf(s.subsystem), s.tid});
+  }
+  for (int pid : pids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\""
+       << SubsystemName(static_cast<Subsystem>(pid - 1)) << "\"}}";
+  }
+  for (const auto& [pid, tid] : tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+       << SubsystemName(static_cast<Subsystem>(pid - 1)) << "-t" << tid
+       << "\"}}";
+  }
+
+  for (const TraceSpan& s : spans) {
+    const uint64_t start = s.start_ns - epoch;
+    const uint64_t end = s.end_ns > epoch ? s.end_ns - epoch : start;
+    if (s.root) {
+      // Async begin/end pair: batch lifetimes overlap, and async tracks are
+      // the trace_event idiom for overlapping intervals.
+      sep();
+      os << "{\"ph\":\"b\",\"cat\":\"batch\",\"name\":\"batch\",\"id\":"
+         << s.batch_id << ",\"pid\":" << PidOf(s.subsystem)
+         << ",\"tid\":" << s.tid << ",\"ts\":" << Us(start) << ",";
+      AppendCommonArgs(os, s);
+      os << "}";
+      sep();
+      os << "{\"ph\":\"e\",\"cat\":\"batch\",\"name\":\"batch\",\"id\":"
+         << s.batch_id << ",\"pid\":" << PidOf(s.subsystem)
+         << ",\"tid\":" << s.tid << ",\"ts\":" << Us(end) << "}";
+      continue;
+    }
+    sep();
+    os << "{\"ph\":\"X\",\"cat\":\"" << SubsystemName(s.subsystem)
+       << "\",\"name\":\"" << StageName(s.stage) << "\",\"pid\":"
+       << PidOf(s.subsystem) << ",\"tid\":" << s.tid << ",\"ts\":"
+       << Us(start) << ",\"dur\":" << Us(end - start) << ",";
+    AppendCommonArgs(os, s);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status TraceExporter::WriteChromeJson(const Tracer& tracer,
+                                      const std::string& path) {
+  const std::string body = ToChromeJson(tracer);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open trace sink: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Internal("short write to trace sink: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dlb::telemetry

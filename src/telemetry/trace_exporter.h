@@ -1,0 +1,32 @@
+// Chrome/Perfetto trace_event exporter for batch traces.
+//
+// Serialises everything resident in a Tracer's span ring into the Trace
+// Event Format that chrome://tracing and ui.perfetto.dev load directly:
+// one *process* per subsystem (core / fpga / hostbridge / backend), one
+// *thread* per unit or worker inside it, stage spans as complete ("X")
+// events, and each batch's root as an async "b"/"e" pair (batches overlap
+// in flight, which async tracks render correctly). Causal links (span id,
+// parent id, batch id) ride in each event's args, so the span tree survives
+// the flattening into timelines.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace dlb::telemetry {
+
+class TraceExporter {
+ public:
+  /// Render all spans resident in `tracer` as a Chrome trace_event JSON
+  /// object ({"displayTimeUnit":...,"traceEvents":[...]}). Timestamps are
+  /// rebased so the earliest span starts at ~0 us.
+  static std::string ToChromeJson(const Tracer& tracer);
+
+  /// Write ToChromeJson() to `path` (load it in ui.perfetto.dev).
+  static Status WriteChromeJson(const Tracer& tracer,
+                                const std::string& path);
+};
+
+}  // namespace dlb::telemetry

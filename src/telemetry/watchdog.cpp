@@ -1,0 +1,135 @@
+#include "telemetry/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace dlb::telemetry {
+
+Watchdog::Watchdog(Telemetry* telemetry, WatchdogOptions options)
+    : telemetry_(telemetry), options_(options) {
+  DLB_CHECK(telemetry_ != nullptr);
+  if (options_.poll_ms == 0) options_.poll_ms = 1;
+  if (options_.deadline_ms == 0) options_.deadline_ms = 1;
+  on_stall_ = [](const StallReport& report) { DLB_WARN << report.text; };
+  const uint64_t now = NowNs();
+  last_change_ns_.fill(now);
+  armed_since_ns_ = now;
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::jthread([this](std::stop_token token) { Loop(token); });
+}
+
+void Watchdog::Stop() {
+  if (!running_.exchange(false)) return;
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::OnStall(std::function<void(const StallReport&)> callback) {
+  on_stall_ = std::move(callback);
+}
+
+void Watchdog::Loop(std::stop_token token) {
+  const auto poll = std::chrono::milliseconds(options_.poll_ms);
+  while (!token.stop_requested()) {
+    std::this_thread::sleep_for(poll);
+    if (token.stop_requested()) break;
+    auto report = Probe();
+    if (report.has_value() && on_stall_) on_stall_(*report);
+  }
+}
+
+std::optional<StallReport> Watchdog::Probe() {
+  std::scoped_lock lock(probe_mu_);
+  const uint64_t now = NowNs();
+  bool any_progress = false;
+  for (int i = 0; i < kNumStages; ++i) {
+    const uint64_t ops =
+        telemetry_->Get(static_cast<Stage>(i)).Snapshot().ops;
+    if (ops != last_ops_[i]) {
+      last_ops_[i] = ops;
+      last_change_ns_[i] = now;
+      any_progress = true;
+    }
+  }
+  if (any_progress) armed_since_ns_ = now;
+
+  const uint64_t quiet_ms = (now - armed_since_ns_) / 1'000'000;
+  if (quiet_ms < options_.deadline_ms) return std::nullopt;
+
+  // Quiet long enough — but only a stall if work is actually pending. The
+  // tracer's in-flight set is the ground truth; with no tracer attached we
+  // cannot tell a wedge from a drained stream, so stay silent.
+  Tracer* tracer = telemetry_->tracer();
+  if (tracer == nullptr) return std::nullopt;
+  std::vector<Tracer::InFlight> inflight = tracer->InFlightBatches();
+  if (inflight.empty()) return std::nullopt;
+
+  StallReport report = BuildReport(now, quiet_ms, std::move(inflight));
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  if (EventLog* events = telemetry_->events()) {
+    events->Log(EventType::kStallDetected, 0, quiet_ms,
+                report.inflight.size());
+  }
+  // Re-arm: require a full fresh deadline before firing again, so a wedged
+  // pipeline reports once per deadline instead of once per poll.
+  armed_since_ns_ = now;
+  return report;
+}
+
+StallReport Watchdog::BuildReport(uint64_t now_ns, uint64_t quiet_ms,
+                                  std::vector<Tracer::InFlight> inflight) {
+  StallReport report;
+  report.detected_ns = now_ns;
+  report.quiet_ms = quiet_ms;
+  report.inflight = std::move(inflight);
+  for (int i = 0; i < kNumStages; ++i) {
+    StageProgress p;
+    p.stage = static_cast<Stage>(i);
+    p.ops = last_ops_[i];
+    p.quiet_ms = (now_ns - last_change_ns_[i]) / 1'000'000;
+    p.stalled = p.quiet_ms >= options_.deadline_ms;
+    report.stages.push_back(p);
+  }
+  if (EventLog* events = telemetry_->events()) {
+    report.recent_events = events->Tail(options_.report_events);
+  }
+
+  std::ostringstream os;
+  os << "pipeline stalled: no stage progress for " << quiet_ms << " ms, "
+     << report.inflight.size() << " batch(es) in flight\n";
+  os << "  stage progress:\n";
+  for (const StageProgress& p : report.stages) {
+    os << "    " << StageName(p.stage) << ": ops=" << p.ops << " quiet="
+       << p.quiet_ms << "ms" << (p.stalled ? " [stalled]" : "") << "\n";
+  }
+  if (!report.recent_events.empty()) {
+    const uint64_t epoch = report.recent_events.front().ts_ns;
+    os << "  last " << report.recent_events.size() << " events:\n";
+    for (const Event& e : report.recent_events) {
+      os << "    " << EventLog::Render(e, epoch) << "\n";
+    }
+  }
+  if (Tracer* tracer = telemetry_->tracer()) {
+    const std::vector<TraceSpan> spans = tracer->Spans();
+    os << "  in-flight batches:\n";
+    for (const Tracer::InFlight& b : report.inflight) {
+      os << "    batch " << b.batch_id << " in flight for "
+         << (now_ns - b.start_ns) / 1'000'000 << " ms; partial tree:\n";
+      std::istringstream tree(RenderSpanTree(spans, b.batch_id));
+      std::string line;
+      while (std::getline(tree, line)) os << "      " << line << "\n";
+    }
+  }
+  report.text = os.str();
+  return report;
+}
+
+}  // namespace dlb::telemetry

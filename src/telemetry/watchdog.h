@@ -1,0 +1,105 @@
+// Stall watchdog: turns "the pipeline hangs" into a diagnosis.
+//
+// A sampling thread reads the per-stage ops counters every poll interval
+// and tracks when each stage last made progress. When *no* stage advances
+// for the configured deadline while batches are still in flight (per the
+// tracer), it fires: a StallReport names the stalled stages, the last N
+// structured events, and the in-flight batches' partial span trees — the
+// exact context needed to see which hand-off wedged. Healthy-idle states
+// (nothing in flight, e.g. stream drained) never fire.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/event_log.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace dlb::telemetry {
+
+struct WatchdogOptions {
+  /// Fire when no stage makes progress for this long while work is in
+  /// flight.
+  uint64_t deadline_ms = 2000;
+  /// Sampling period of the watchdog thread.
+  uint64_t poll_ms = 50;
+  /// Events included in a report (most recent first in the rendering).
+  size_t report_events = 16;
+};
+
+struct StageProgress {
+  Stage stage = Stage::kFetch;
+  uint64_t ops = 0;       // ops counter at probe time
+  uint64_t quiet_ms = 0;  // ms since the counter last advanced
+  bool stalled = false;   // quiet_ms >= deadline
+};
+
+struct StallReport {
+  uint64_t detected_ns = 0;
+  uint64_t quiet_ms = 0;  // ms since *any* stage advanced
+  std::vector<StageProgress> stages;
+  std::vector<Tracer::InFlight> inflight;
+  std::vector<Event> recent_events;
+  /// Full human-readable rendering (stalled stages, events, span trees).
+  std::string text;
+};
+
+class Watchdog {
+ public:
+  /// `telemetry` must outlive the watchdog and should have tracing enabled
+  /// — without a tracer the watchdog cannot distinguish "stalled" from
+  /// "finished" and stays silent.
+  explicit Watchdog(Telemetry* telemetry, WatchdogOptions options = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Launch the sampling thread. Idempotent.
+  void Start();
+  /// Stop and join. Idempotent; also runs on destruction.
+  void Stop();
+
+  /// Callback invoked (from the watchdog thread) on each stall detection.
+  /// Default: DLB_WARN-log the report text. Set before Start().
+  void OnStall(std::function<void(const StallReport&)> callback);
+
+  /// One synchronous sampling step: refresh per-stage progress and return a
+  /// report iff the stall condition holds. The thread calls this every
+  /// poll_ms; tests call it directly for deterministic timing.
+  std::optional<StallReport> Probe();
+
+  uint64_t StallsDetected() const {
+    return stalls_.load(std::memory_order_relaxed);
+  }
+  const WatchdogOptions& Options() const { return options_; }
+
+ private:
+  void Loop(std::stop_token token);
+  StallReport BuildReport(uint64_t now_ns, uint64_t quiet_ms,
+                          std::vector<Tracer::InFlight> inflight);
+
+  Telemetry* telemetry_;
+  WatchdogOptions options_;
+  std::function<void(const StallReport&)> on_stall_;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> stalls_{0};
+
+  // Probe state (only the probing thread mutates; a mutex keeps Probe()
+  // safe if tests call it while the thread runs).
+  std::mutex probe_mu_;
+  std::array<uint64_t, kNumStages> last_ops_{};
+  std::array<uint64_t, kNumStages> last_change_ns_{};
+  uint64_t armed_since_ns_ = 0;  // progress baseline; reset after a fire
+};
+
+}  // namespace dlb::telemetry

@@ -1,0 +1,331 @@
+// Tests for the batch tracing stack: TraceContext propagation, the Tracer's
+// in-flight accounting, the structured EventLog, the stall Watchdog and the
+// Chrome trace exporter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "telemetry/event_log.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_exporter.h"
+#include "telemetry/watchdog.h"
+
+namespace dlb::telemetry {
+namespace {
+
+TEST(TraceContextTest, DefaultDisabledAndChildKeepsIdentity) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.Enabled());
+
+  Tracer tracer;
+  const TraceContext live = tracer.StartBatch();
+  EXPECT_TRUE(live.Enabled());
+  EXPECT_EQ(live.trace_id, tracer.TraceId());
+  EXPECT_EQ(live.batch_id, 1u);
+
+  const TraceContext child = live.Child(42);
+  EXPECT_EQ(child.trace_id, live.trace_id);
+  EXPECT_EQ(child.batch_id, live.batch_id);
+  EXPECT_EQ(child.parent_span, 42u);
+  // Child() does not mutate the parent context.
+  EXPECT_EQ(live.parent_span, tracer.InFlightBatches()[0].root_span);
+}
+
+TEST(TracerTest, SpanChainAndRootOnEndBatch) {
+  Tracer tracer(1 << 10);
+  const TraceContext ctx = tracer.StartBatch();
+  ASSERT_EQ(tracer.InFlightBatches().size(), 1u);
+
+  const uint64_t t0 = NowNs();
+  const uint64_t fetch =
+      tracer.RecordSpan(ctx, Stage::kFetch, Subsystem::kHostbridge, 0, t0,
+                        t0 + 100, 1);
+  ASSERT_NE(fetch, 0u);
+  const uint64_t decode =
+      tracer.RecordSpan(ctx.Child(fetch), Stage::kDecode, Subsystem::kFpga, 3,
+                        t0 + 100, t0 + 500, 1);
+  ASSERT_NE(decode, 0u);
+  tracer.EndBatch(ctx, 1);
+
+  EXPECT_EQ(tracer.BatchesCompleted(), 1u);
+  EXPECT_TRUE(tracer.InFlightBatches().empty());
+
+  const std::vector<TraceSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 3u);  // fetch + decode + root
+  const auto root = std::find_if(spans.begin(), spans.end(),
+                                 [](const TraceSpan& s) { return s.root; });
+  ASSERT_NE(root, spans.end());
+  EXPECT_EQ(root->batch_id, ctx.batch_id);
+  for (const TraceSpan& s : spans) {
+    if (s.span_id == fetch) EXPECT_EQ(s.parent_span, root->span_id);
+    if (s.span_id == decode) {
+      EXPECT_EQ(s.parent_span, fetch);
+      EXPECT_EQ(s.subsystem, Subsystem::kFpga);
+      EXPECT_EQ(s.tid, 3u);
+    }
+  }
+}
+
+TEST(TracerTest, DeadContextRecordsNothing) {
+  Tracer tracer;
+  const TraceContext dead;  // trace_id == 0
+  EXPECT_EQ(tracer.RecordSpan(dead, Stage::kFetch, Subsystem::kCore, 0, 1, 2),
+            0u);
+  tracer.EndBatch(dead, 1);
+  tracer.AbandonBatch(dead);
+  EXPECT_EQ(tracer.SpansRecorded(), 0u);
+  EXPECT_EQ(tracer.BatchesCompleted(), 0u);
+}
+
+TEST(TracerTest, AbandonRetiresWithoutRootSpan) {
+  Tracer tracer;
+  const TraceContext ctx = tracer.StartBatch();
+  tracer.AbandonBatch(ctx);
+  EXPECT_TRUE(tracer.InFlightBatches().empty());
+  EXPECT_EQ(tracer.BatchesAbandoned(), 1u);
+  EXPECT_TRUE(tracer.Spans().empty());
+}
+
+// The satellite test: many worker threads minting and completing batches
+// concurrently (the dispatcher/backend-worker shape). Parent/child ids must
+// stay consistent and no span may be orphaned.
+TEST(TracerTest, ConcurrentPropagationNoOrphans) {
+  constexpr int kThreads = 4;
+  constexpr int kBatchesPerThread = 16;
+  constexpr int kSlotsPerBatch = 4;
+  Tracer tracer(1 << 12);  // 4096 slots >> 4*16*(1+4*3) spans: no eviction
+
+  std::vector<std::jthread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&tracer, w] {
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        const TraceContext ctx = tracer.StartBatch();
+        for (int i = 0; i < kSlotsPerBatch; ++i) {
+          const uint64_t t = NowNs();
+          const uint64_t fetch = tracer.RecordSpan(
+              ctx, Stage::kFetch, Subsystem::kHostbridge,
+              static_cast<uint32_t>(w), t, t + 10, 1);
+          const uint64_t decode =
+              tracer.RecordSpan(ctx.Child(fetch), Stage::kDecode,
+                                Subsystem::kFpga, static_cast<uint32_t>(w),
+                                t + 10, t + 20, 1);
+          tracer.RecordSpan(ctx.Child(decode), Stage::kResize,
+                            Subsystem::kFpga, static_cast<uint32_t>(w),
+                            t + 20, t + 30, 1);
+        }
+        tracer.EndBatch(ctx, kSlotsPerBatch);
+      }
+    });
+  }
+  workers.clear();  // join
+
+  EXPECT_EQ(tracer.BatchesStarted(),
+            static_cast<uint64_t>(kThreads * kBatchesPerThread));
+  EXPECT_EQ(tracer.BatchesCompleted(),
+            static_cast<uint64_t>(kThreads * kBatchesPerThread));
+  EXPECT_TRUE(tracer.InFlightBatches().empty());
+
+  const std::vector<TraceSpan> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(),
+            static_cast<size_t>(kThreads * kBatchesPerThread *
+                                (1 + kSlotsPerBatch * 3)));
+
+  // Index span ids per batch; every span id must be unique.
+  std::map<uint64_t, std::set<uint64_t>> ids_by_batch;
+  std::set<uint64_t> all_ids;
+  for (const TraceSpan& s : spans) {
+    EXPECT_EQ(s.trace_id, tracer.TraceId());
+    EXPECT_TRUE(all_ids.insert(s.span_id).second)
+        << "duplicate span id " << s.span_id;
+    ids_by_batch[s.batch_id].insert(s.span_id);
+  }
+  EXPECT_EQ(ids_by_batch.size(),
+            static_cast<size_t>(kThreads * kBatchesPerThread));
+
+  // No orphans: every non-root parent resolves within the same batch, and
+  // each batch has exactly one root.
+  std::map<uint64_t, int> roots;
+  for (const TraceSpan& s : spans) {
+    if (s.root) {
+      ++roots[s.batch_id];
+      continue;
+    }
+    EXPECT_TRUE(ids_by_batch[s.batch_id].count(s.parent_span))
+        << "orphan span " << s.span_id << " (batch " << s.batch_id
+        << ", parent " << s.parent_span << ")";
+  }
+  for (const auto& [batch, n] : roots) EXPECT_EQ(n, 1) << "batch " << batch;
+}
+
+TEST(RenderSpanTreeTest, IndentsChildrenUnderParents) {
+  Tracer tracer;
+  const TraceContext ctx = tracer.StartBatch();
+  const uint64_t t0 = NowNs();
+  const uint64_t fetch = tracer.RecordSpan(ctx, Stage::kFetch,
+                                           Subsystem::kHostbridge, 0, t0,
+                                           t0 + 1000, 2);
+  tracer.RecordSpan(ctx.Child(fetch), Stage::kDecode, Subsystem::kFpga, 1,
+                    t0 + 1000, t0 + 3000, 2);
+  tracer.EndBatch(ctx, 2);
+
+  const std::string tree = RenderSpanTree(tracer.Spans(), ctx.batch_id);
+  EXPECT_NE(tree.find("batch 1"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("fetch"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("decode"), std::string::npos) << tree;
+  // decode is nested one level deeper than fetch.
+  EXPECT_LT(tree.find("fetch"), tree.find("decode"));
+}
+
+TEST(EventLogTest, LevelFilterAndCounters) {
+  EventLog log(64, EventLevel::kInfo);
+  log.Log(EventType::kBatchAdmitted, 1);   // debug: dropped
+  log.Log(EventType::kPoolExhausted, 0, 7);  // info: kept
+  log.Log(EventType::kStallDetected, 0, 2000);  // warn: kept
+  EXPECT_EQ(log.TotalLogged(), 2u);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, EventType::kPoolExhausted);
+  EXPECT_EQ(events[0].arg0, 7u);
+  EXPECT_EQ(events[1].type, EventType::kStallDetected);
+}
+
+TEST(EventLogTest, RenderTextAndJson) {
+  EventLog log(64, EventLevel::kDebug);
+  log.Log(EventType::kBatchCompleted, 5, 31, 1);
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string line = EventLog::Render(events[0], events[0].ts_ns);
+  EXPECT_NE(line.find("batch_completed"), std::string::npos) << line;
+  EXPECT_NE(line.find("batch=5"), std::string::npos) << line;
+  const std::string json = EventLog::RenderJson(events[0]);
+  EXPECT_NE(json.find("\"type\":\"batch_completed\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"batch\":5"), std::string::npos) << json;
+}
+
+TEST(EventLogTest, ParseLevel) {
+  EXPECT_EQ(ParseEventLevel("off").value(), EventLevel::kOff);
+  EXPECT_EQ(ParseEventLevel("warn").value(), EventLevel::kWarn);
+  EXPECT_EQ(ParseEventLevel("info").value(), EventLevel::kInfo);
+  EXPECT_EQ(ParseEventLevel("debug").value(), EventLevel::kDebug);
+  EXPECT_FALSE(ParseEventLevel("verbose").ok());
+}
+
+// Deterministic watchdog check via Probe(): a stage makes progress, then a
+// batch wedges in flight past the deadline -> exactly one report, with the
+// stalled stages and the partial span tree.
+TEST(WatchdogTest, FiresOnInjectedStallAndRearms) {
+  Telemetry sink;
+  Tracer* tracer = sink.EnableTracing(1 << 10);
+  sink.EnableEvents(64, EventLevel::kDebug);
+
+  WatchdogOptions options;
+  options.deadline_ms = 5;
+  Watchdog watchdog(&sink, options);  // thread never started: Probe() only
+
+  // Progress happens, then a batch is admitted and its decode starts...
+  const TraceContext ctx = tracer->StartBatch();
+  const uint64_t t0 = NowNs();
+  sink.RecordSpan(Stage::kFetch, t0, t0 + 100, 1, ctx,
+                  Subsystem::kHostbridge);
+  EXPECT_FALSE(watchdog.Probe().has_value());  // fresh progress: quiet
+
+  // ...and nothing moves past the deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  auto report = watchdog.Probe();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_GE(report->quiet_ms, 5u);
+  ASSERT_EQ(report->inflight.size(), 1u);
+  EXPECT_EQ(report->inflight[0].batch_id, ctx.batch_id);
+  EXPECT_NE(report->text.find("pipeline stalled"), std::string::npos);
+  EXPECT_NE(report->text.find("fetch"), std::string::npos);
+  EXPECT_EQ(watchdog.StallsDetected(), 1u);
+
+  // The stall landed in the event log.
+  const std::vector<Event> events = sink.events()->Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().type, EventType::kStallDetected);
+
+  // Re-armed: the very next probe does not fire again...
+  EXPECT_FALSE(watchdog.Probe().has_value());
+
+  // ...and a completed batch means later quiet periods are healthy idle.
+  tracer->EndBatch(ctx, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_FALSE(watchdog.Probe().has_value());
+  EXPECT_EQ(watchdog.StallsDetected(), 1u);
+}
+
+TEST(WatchdogTest, SilentWithoutTracer) {
+  Telemetry sink;  // no EnableTracing: cannot tell stall from drained
+  WatchdogOptions options;
+  options.deadline_ms = 1;
+  Watchdog watchdog(&sink, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(watchdog.Probe().has_value());
+}
+
+TEST(TraceExporterTest, EmitsChromeTraceEvents) {
+  Tracer tracer;
+  const TraceContext ctx = tracer.StartBatch();
+  const uint64_t t0 = NowNs();
+  const uint64_t fetch = tracer.RecordSpan(ctx, Stage::kFetch,
+                                           Subsystem::kHostbridge, 0, t0,
+                                           t0 + 1000, 1);
+  tracer.RecordSpan(ctx.Child(fetch), Stage::kDecode, Subsystem::kFpga, 2,
+                    t0 + 1000, t0 + 2000, 1);
+  tracer.EndBatch(ctx, 1);
+
+  const std::string json = TraceExporter::ToChromeJson(tracer);
+  // Envelope + the three event flavours the format needs.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete spans
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);  // async batch open
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);  // async batch close
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("hostbridge"), std::string::npos);
+  EXPECT_NE(json.find("fpga"), std::string::npos);
+  EXPECT_NE(json.find("\"decode\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural validity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceExporterTest, WriteChromeJsonRoundTrip) {
+  Tracer tracer;
+  const TraceContext ctx = tracer.StartBatch();
+  const uint64_t t0 = NowNs();
+  tracer.RecordSpan(ctx, Stage::kCollect, Subsystem::kBackend, 0, t0,
+                    t0 + 500, 8);
+  tracer.EndBatch(ctx, 8);
+
+  const std::string path = testing::TempDir() + "dlb_trace_test.json";
+  ASSERT_TRUE(TraceExporter::WriteChromeJson(tracer, path).ok());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, TraceExporter::ToChromeJson(tracer));
+
+  EXPECT_FALSE(TraceExporter::WriteChromeJson(tracer, "/no/such/dir/x.json")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dlb::telemetry
