@@ -2,7 +2,11 @@
 // and ResNet-18 (bs 128) on NVCaffe with the CPU-based, LMDB and DLBooster
 // backends, 1 and 2 GPUs. "Performance loss" is relative to the synthetic
 // boundary, as in the paper's hatched bars.
+//
+// `--json` emits the same measurements as one JSON document (for
+// bench/run_benches.sh and regression tooling).
 #include <cstdio>
+#include <cstring>
 
 #include "workflow/report.h"
 #include "workflow/training_sim.h"
@@ -11,6 +15,30 @@ using namespace dlb;
 using namespace dlb::workflow;
 
 namespace {
+
+void RunPanelJson(const char* key, const gpu::DlModel* model,
+                  bool fits_memory, bool last) {
+  std::printf("  \"%s\": {\"train_batch\": %d, \"backends\": {", key,
+              model->train_batch);
+  bool first = true;
+  for (auto backend : {TrainBackend::kCpu, TrainBackend::kLmdb,
+                       TrainBackend::kDlbooster, TrainBackend::kSynthetic}) {
+    double tp[2] = {0, 0};
+    for (int gpus = 1; gpus <= 2; ++gpus) {
+      TrainConfig config;
+      config.model = model;
+      config.backend = backend;
+      config.num_gpus = gpus;
+      config.dataset_fits_memory = fits_memory;
+      tp[gpus - 1] = SimulateTraining(config).throughput;
+    }
+    std::printf("%s\n    \"%s\": {\"gpus1_img_s\": %s, \"gpus2_img_s\": %s}",
+                first ? "" : ",", TrainBackendName(backend),
+                Fmt(tp[0], 1).c_str(), Fmt(tp[1], 1).c_str());
+    first = false;
+  }
+  std::printf("\n  }}%s\n", last ? "" : ",");
+}
 
 void RunPanel(const char* title, const gpu::DlModel* model,
               bool fits_memory) {
@@ -49,7 +77,19 @@ void RunPanel(const char* title, const gpu::DlModel* model,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (json) {
+    std::printf("{\n");
+    RunPanelJson("lenet5", &gpu::LeNet5(), /*fits_memory=*/true, false);
+    RunPanelJson("alexnet", &gpu::AlexNet(), false, false);
+    RunPanelJson("resnet18", &gpu::ResNet18(), false, true);
+    std::printf("}\n");
+    return 0;
+  }
   std::printf("=== Figure 5: training throughput by backend ===\n\n");
   RunPanel("a: LeNet-5 on MNIST", &gpu::LeNet5(), /*fits_memory=*/true);
   RunPanel("b: AlexNet on ILSVRC12", &gpu::AlexNet(), false);

@@ -3,7 +3,10 @@
 // backends across batch sizes. fp16, 5 clients over a 40 Gbps fabric,
 // 500x375 JPEGs. Panel (c) runs 2 GPUs + 2 decoder pipelines (see
 // EXPERIMENTS.md for why).
+// `--json` emits the same measurements as one JSON document (for
+// bench/run_benches.sh and regression tooling).
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "workflow/inference_sim.h"
@@ -13,6 +16,34 @@ using namespace dlb;
 using namespace dlb::workflow;
 
 namespace {
+
+void RunPanelJson(const char* key, const gpu::DlModel* model, int max_batch,
+                  int num_gpus, int pipelines, bool last) {
+  std::printf("  \"%s\": {\"gpus\": %d, \"pipelines\": %d, \"backends\": {",
+              key, num_gpus, pipelines);
+  bool first_backend = true;
+  for (auto backend :
+       {InferBackend::kCpu, InferBackend::kNvjpeg, InferBackend::kDlbooster}) {
+    std::printf("%s\n    \"%s\": {", first_backend ? "" : ",",
+                InferBackendName(backend));
+    bool first_batch = true;
+    for (int b = 1; b <= max_batch; b *= 2) {
+      InferConfig config;
+      config.model = model;
+      config.backend = backend;
+      config.batch_size = b;
+      config.num_gpus = num_gpus;
+      config.fpga_pipelines = pipelines;
+      config.sim_seconds = 8.0;
+      std::printf("%s\"bs%d\": %s", first_batch ? "" : ", ", b,
+                  Fmt(SimulateInference(config).throughput, 1).c_str());
+      first_batch = false;
+    }
+    std::printf("}");
+    first_backend = false;
+  }
+  std::printf("\n  }}%s\n", last ? "" : ",");
+}
 
 void RunPanel(const char* title, const gpu::DlModel* model, int max_batch,
               int num_gpus, int pipelines) {
@@ -43,7 +74,19 @@ void RunPanel(const char* title, const gpu::DlModel* model, int max_batch,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (json) {
+    std::printf("{\n");
+    RunPanelJson("googlenet", &gpu::GoogLeNet(), 32, 1, 1, false);
+    RunPanelJson("vgg16", &gpu::Vgg16(), 32, 1, 1, false);
+    RunPanelJson("resnet50", &gpu::ResNet50(), 64, 2, 2, true);
+    std::printf("}\n");
+    return 0;
+  }
   std::printf(
       "=== Figure 7: inference throughput (img/s) vs batch size ===\n\n");
   RunPanel("a: GoogLeNet", &gpu::GoogLeNet(), 32, 1, 1);

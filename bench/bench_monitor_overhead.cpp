@@ -1,0 +1,160 @@
+// Monitoring overhead: the continuous monitoring plane (metrics sampler +
+// HTTP exposition server + a live scraper) must not tax the pipeline.
+//
+// End-to-end dlbooster throughput is measured with monitoring off vs fully
+// on — sampler at a 100 ms period (5x the default rate) and a client thread
+// scraping /metrics at 4 Hz, ~60x harsher than a Prometheus 15 s scrape
+// interval. Acceptance: on/off >= 0.95, which must hold even on a
+// single-core host where the monitoring threads compete with the pipeline.
+//
+// `--json` emits the measurements as one JSON document.
+#include <algorithm>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "core/pipeline.h"
+#include "dataplane/synthetic_dataset.h"
+#include "workflow/report.h"
+
+using namespace dlb;
+using namespace dlb::workflow;
+
+namespace {
+
+// One short /metrics GET against the loopback exposition server.
+bool ScrapeOnce(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const char req[] =
+      "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  (void)!::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL);
+  char buf[8192];
+  size_t total = 0;
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) total += n;
+  ::close(fd);
+  return total > 0;
+}
+
+struct RunResult {
+  double images_per_second = 0.0;
+  uint64_t scrapes = 0;
+};
+
+RunResult RunPipeline(const Dataset& ds, size_t num_images, bool monitored) {
+  core::PipelineConfig config;
+  config.backend = "dlbooster";
+  config.options.batch_size = 16;
+  config.options.resize_w = 224;
+  config.options.resize_h = 224;
+  config.max_images = num_images;
+  if (monitored) {
+    config.monitor_port = 0;  // ephemeral
+    config.monitor_sample_ms = 100;
+    config.event_log_level = "info";
+  }
+  auto pipeline = core::PipelineBuilder()
+                      .WithConfig(config)
+                      .WithDataset(&ds.manifest, ds.store.get())
+                      .Build();
+  RunResult r;
+  if (!pipeline.ok()) {
+    std::printf("  pipeline build failed: %s\n",
+                pipeline.status().ToString().c_str());
+    return r;
+  }
+
+  // A 4 Hz scraper: one /metrics GET every 250 ms for the whole run.
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::jthread scraper;
+  if (monitored) {
+    const int port = pipeline.value()->MonitorPort();
+    scraper = std::jthread([&, port] {
+      while (!done.load(std::memory_order_relaxed)) {
+        if (ScrapeOnce(port)) scrapes.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    });
+  }
+
+  while (pipeline.value()->NextBatch().ok()) {
+  }
+  r.images_per_second = pipeline.value()->Stats().images_per_second;
+  done.store(true, std::memory_order_relaxed);
+  if (scraper.joinable()) scraper.join();
+  r.scrapes = scrapes.load(std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (!json) std::printf("=== Monitoring overhead ===\n\n");
+
+  constexpr size_t kImages = 256;
+  constexpr int kReps = 5;
+  auto ds = GenerateDataset(ImageNetLikeSpec(kImages));
+  if (!ds.ok()) {
+    std::printf("dataset generation failed: %s\n",
+                ds.status().ToString().c_str());
+    return 1;
+  }
+
+  // Alternate off/on runs (best of kReps each) so drift hits both equally.
+  double best_off = 0.0, best_on = 0.0;
+  uint64_t scrapes = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    best_off = std::max(
+        best_off, RunPipeline(ds.value(), kImages, false).images_per_second);
+    const RunResult on = RunPipeline(ds.value(), kImages, true);
+    best_on = std::max(best_on, on.images_per_second);
+    scrapes = std::max(scrapes, on.scrapes);
+  }
+  const double ratio = best_off > 0.0 ? best_on / best_off : 0.0;
+
+  if (json) {
+    std::printf("{\n  \"images\": %zu,\n  \"off_img_s\": %s,\n"
+                "  \"on_img_s\": %s,\n  \"scrapes\": %llu,\n"
+                "  \"on_off_ratio\": %s,\n  \"pass\": %s\n}\n",
+                kImages, Fmt(best_off, 1).c_str(), Fmt(best_on, 1).c_str(),
+                static_cast<unsigned long long>(scrapes),
+                Fmt(ratio, 3).c_str(), ratio >= 0.95 ? "true" : "false");
+    return ratio >= 0.95 ? 0 : 1;
+  }
+
+  std::printf("end-to-end, dlbooster pipeline, %zu images, best of %d:\n",
+              kImages, kReps);
+  Table t({"monitoring", "images / s", "scrapes served"});
+  t.AddRow({"off", Fmt(best_off, 0), "0"});
+  t.AddRow({"sampler@100ms + 4Hz scraper", Fmt(best_on, 0),
+            std::to_string(scrapes)});
+  std::printf("%s", t.Render().c_str());
+  std::printf("-> monitoring-on keeps %.1f%% of monitoring-off throughput ",
+              100.0 * ratio);
+  if (ratio >= 0.95) {
+    std::printf("(PASS: >= 95%%)\n");
+    return 0;
+  }
+  std::printf("(FAIL: < 95%%)\n");
+  return 1;
+}

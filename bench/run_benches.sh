@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Unified bench runner: executes every bench that speaks `--json` and
+# aggregates the documents into BENCH_<label>.json files in the output
+# directory (plus a combined BENCH_all.json manifest).
+#
+# Usage: bench/run_benches.sh [build_dir] [out_dir]
+#   build_dir  where the bench binaries live (default: build)
+#   out_dir    where BENCH_*.json land (default: <build_dir>/bench_results)
+#
+# Also available as a build target: `cmake --build build --target run_benches`.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [ ! -d "${BENCH_DIR}" ]; then
+  echo "error: ${BENCH_DIR} not found — build first (cmake --build ${BUILD_DIR})" >&2
+  exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+# label -> binary; every entry must support --json on stdout.
+BENCHES=(
+  "fig5_train_throughput:bench_fig5_train_throughput"
+  "fig7_infer_throughput:bench_fig7_infer_throughput"
+  "bottleneck_report:bench_misc_bottleneck_report"
+  "monitor_overhead:bench_monitor_overhead"
+)
+
+failures=0
+ran=()
+for entry in "${BENCHES[@]}"; do
+  label="${entry%%:*}"
+  bin="${BENCH_DIR}/${entry##*:}"
+  out="${OUT_DIR}/BENCH_${label}.json"
+  if [ ! -x "${bin}" ]; then
+    echo "skip  ${label} (missing ${bin})"
+    continue
+  fi
+  echo "run   ${label} -> ${out}"
+  if "${bin}" --json > "${out}" 2> "${OUT_DIR}/BENCH_${label}.stderr"; then
+    rm -f "${OUT_DIR}/BENCH_${label}.stderr"
+    ran+=("${label}")
+  else
+    echo "FAIL  ${label} (exit $?, stderr kept alongside)" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+# Combined manifest: {"label": <doc>, ...} — benches emit valid JSON docs.
+combined="${OUT_DIR}/BENCH_all.json"
+{
+  echo "{"
+  first=1
+  for label in "${ran[@]+"${ran[@]}"}"; do
+    [ "${first}" = 1 ] || echo ","
+    first=0
+    printf '"%s": ' "${label}"
+    cat "${OUT_DIR}/BENCH_${label}.json"
+  done
+  echo "}"
+} > "${combined}"
+
+echo "wrote ${combined} (${#ran[@]} benches, ${failures} failures)"
+exit "${failures}"

@@ -4,7 +4,14 @@
 // "predictions" (the toy classifier's argmax over pooled pixels) tagged
 // with the originating request id. Latency is measured per request.
 //
-// Usage: inference_server [requests=200 clients=5 batch=8 backend=dlbooster]
+// Usage: inference_server [requests=200 clients=5 batch=8 backend=dlbooster
+//                          monitor_port=-1 sample_ms=500 events=off
+//                          watchdog=0]
+//
+// With monitor_port>=0 the pipeline serves its monitoring plane over HTTP
+// (/metrics Prometheus text, /metrics.json, /stats, /events, /healthz) for
+// the lifetime of the run — point `dlb_monitor port=<p>` or a Prometheus
+// scraper at it.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -89,6 +96,10 @@ int main(int argc, char** argv) {
   config.options.resize_w = 64;
   config.options.resize_h = 64;
   config.options.queue_depth = 4;
+  config.monitor_port = static_cast<int>(args.GetInt("monitor_port", -1));
+  config.monitor_sample_ms = args.GetInt("sample_ms", 500);
+  config.event_log_level = args.GetString("events", "off");
+  config.watchdog_deadline_ms = args.GetInt("watchdog", 0);
   auto pipeline = dlb::core::PipelineBuilder()
                       .WithConfig(config)
                       .WithNetworkSource(&rx_queue)
@@ -97,6 +108,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pipeline: %s\n",
                  pipeline.status().ToString().c_str());
     return 1;
+  }
+  if (pipeline.value()->MonitorPort() >= 0) {
+    std::printf("monitoring on http://127.0.0.1:%d\n",
+                pipeline.value()->MonitorPort());
   }
 
   // Serving loop: "infer" (pooled-pixel argmax) and acknowledge requests.

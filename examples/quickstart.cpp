@@ -9,6 +9,9 @@
 //   trace=/tmp/trace.json   emit a Chrome/Perfetto batch trace
 //   events=info             structured event log (off|warn|info|debug)
 //   watchdog=2000           stall watchdog deadline in ms (0 = off)
+//   monitor_port=9090       HTTP exposition server (/metrics, /stats,
+//                           /events, /healthz); 0 = ephemeral, -1 = off
+//   sample_ms=500           metrics sampler period while monitoring is on
 #include <chrono>
 #include <cstdio>
 
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
   config.trace_path = args.GetString("trace", "");
   config.event_log_level = args.GetString("events", "off");
   config.watchdog_deadline_ms = args.GetInt("watchdog", 0);
+  config.monitor_port = static_cast<int>(args.GetInt("monitor_port", -1));
+  config.monitor_sample_ms = args.GetInt("sample_ms", 500);
   auto pipeline = dlb::core::PipelineBuilder()
                       .WithConfig(config)
                       .WithDataset(&dataset.value().manifest,
@@ -62,6 +67,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pipeline: %s\n",
                  pipeline.status().ToString().c_str());
     return 1;
+  }
+
+  if (pipeline.value()->MonitorPort() >= 0) {
+    std::printf("monitoring on http://127.0.0.1:%d (/metrics /metrics.json "
+                "/stats /events /healthz)\n",
+                pipeline.value()->MonitorPort());
   }
 
   // 3. Consume decoded batches.

@@ -185,6 +185,13 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+void MetricRegistry::Visit(MetricVisitor& visitor) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& [name, c] : counters_) visitor.OnCounter(name, *c);
+  for (const auto& [name, g] : gauges_) visitor.OnGauge(name, *g);
+  for (const auto& [name, h] : histograms_) visitor.OnHistogram(name, *h);
+}
+
 std::string MetricRegistry::Report() const {
   std::scoped_lock lock(mu_);
   // One sorted list across all kinds: merge the three (already sorted)

@@ -26,14 +26,36 @@ class Counter {
   std::atomic<uint64_t> v_{0};
 };
 
-/// Last-writer-wins gauge for instantaneous values (queue depth, cores busy).
+/// Last-writer-wins gauge for instantaneous values (queue depth, cores
+/// busy), plus a high-watermark so a sampler polling at 1 Hz still sees the
+/// spike a last-writer-wins read would miss.
 class Gauge {
  public:
-  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Set(double v) {
+    v_.store(v, std::memory_order_relaxed);
+    double cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   double Value() const { return v_.load(std::memory_order_relaxed); }
+
+  /// Largest value Set() since construction or the last MaxAndReset().
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Reset-on-read watermark for interval samplers: returns the peak of the
+  /// window just ended and re-seeds the watermark with the current value,
+  /// so each sampling window reports its own peak.
+  double MaxAndReset() {
+    const double peak = max_.exchange(Value(), std::memory_order_relaxed);
+    // A Set() racing the exchange can only push max_ up again; the returned
+    // peak stays correct for the closed window.
+    return peak;
+  }
 
  private:
   std::atomic<double> v_{0.0};
+  std::atomic<double> max_{0.0};
 };
 
 class Histogram;
@@ -144,6 +166,28 @@ class RunningStat {
   double mean_ = 0.0, m2_ = 0.0, min_ = 0.0, max_ = 0.0;
 };
 
+/// Read-only iteration callbacks for MetricRegistry::Visit(). Default
+/// implementations ignore the kind, so visitors override only what they
+/// consume. Called with the registry lock held: keep the bodies short and
+/// never re-enter the registry from inside one.
+class MetricVisitor {
+ public:
+  virtual ~MetricVisitor() = default;
+  virtual void OnCounter(const std::string& name, const Counter& counter) {
+    (void)name;
+    (void)counter;
+  }
+  virtual void OnGauge(const std::string& name, Gauge& gauge) {
+    (void)name;
+    (void)gauge;
+  }
+  virtual void OnHistogram(const std::string& name,
+                           const Histogram& histogram) {
+    (void)name;
+    (void)histogram;
+  }
+};
+
 /// Named registry so workflows can export all metrics in one report.
 /// Creation is lazy; pointers remain valid for the registry's lifetime.
 class MetricRegistry {
@@ -151,6 +195,12 @@ class MetricRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+
+  /// Iterate every registered metric in name order, one kind at a time
+  /// (counters, then gauges, then histograms). The registry itself is not
+  /// mutated, but gauges are passed mutable so samplers can apply
+  /// reset-on-read watermark semantics (Gauge::MaxAndReset()).
+  void Visit(MetricVisitor& visitor) const;
 
   /// Render "name value" lines for logs and golden tests: one list, sorted
   /// by name across all metric kinds (counters, gauges and histograms

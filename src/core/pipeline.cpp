@@ -4,7 +4,11 @@
 #include "backends/cpu_backend.h"
 #include "backends/lmdb_backend.h"
 #include "backends/synthetic_backend.h"
+#include <cstdlib>
+#include <sstream>
+
 #include "common/log.h"
+#include "telemetry/exposition.h"
 #include "telemetry/trace_exporter.h"
 
 namespace dlb::core {
@@ -12,6 +16,10 @@ namespace dlb::core {
 Pipeline::~Pipeline() { Shutdown(); }
 
 void Pipeline::Shutdown() {
+  // The monitor serves sampler snapshots: stop the server before the
+  // sampler, and both before the recording side winds down.
+  if (monitor_) monitor_->Stop();
+  if (sampler_) sampler_->Stop();
   if (watchdog_) watchdog_->Stop();
   if (backend_) backend_->Stop();
   if (!trace_path_.empty() && !trace_exported_.exchange(true)) {
@@ -114,6 +122,30 @@ PipelineStats Pipeline::Stats() const {
   return out;
 }
 
+std::string Pipeline::StatsJson() const {
+  const PipelineStats stats = Stats();
+  std::ostringstream os;
+  os << "{\"backend\":\"" << backend_name_ << "\""
+     << ",\"batches\":" << stats.batches
+     << ",\"images_ok\":" << stats.images_ok
+     << ",\"images_failed\":" << stats.images_failed
+     << ",\"elapsed_seconds\":" << stats.elapsed_seconds
+     << ",\"images_per_second\":" << stats.images_per_second
+     << ",\"stages\":[";
+  bool first = true;
+  for (const telemetry::StageSnapshot& s : stats.stages) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"stage\":\"" << s.name << "\",\"ops\":" << s.ops
+       << ",\"items\":" << s.items << ",\"busy_ns\":" << s.busy_ns
+       << ",\"mean_ns\":" << s.mean_ns << ",\"p50_ns\":" << s.p50_ns
+       << ",\"p95_ns\":" << s.p95_ns << ",\"p99_ns\":" << s.p99_ns
+       << ",\"max_ns\":" << s.max_ns << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 PipelineBuilder& PipelineBuilder::WithConfig(PipelineConfig config) {
   config_ = std::move(config);
   return *this;
@@ -166,6 +198,11 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   }
   if (o.queue_depth == 0) {
     return InvalidArgument("options.queue_depth must be >= 1");
+  }
+
+  if (config_.monitor_port > 65535) {
+    return InvalidArgument("monitor_port must be <= 65535 (got " +
+                           std::to_string(config_.monitor_port) + ")");
   }
 
   auto level = telemetry::ParseEventLevel(config_.event_log_level);
@@ -256,6 +293,83 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   pipeline->start_time_ = std::chrono::steady_clock::now();
   DLB_RETURN_IF_ERROR(pipeline->backend_->Start());
   if (pipeline->watchdog_) pipeline->watchdog_->Start();
+
+  // Monitoring plane: sampler thread + exposition server. Wired last so
+  // every endpoint observes a fully-started pipeline.
+  if (config_.monitor_port >= 0) {
+    telemetry::SamplerOptions sampler_opts;
+    sampler_opts.sample_ms = config_.monitor_sample_ms;
+    pipeline->sampler_ = std::make_unique<telemetry::MetricsSampler>(
+        pipeline->telemetry_.get(), sampler_opts);
+
+    telemetry::MonitorServer::Options server_opts;
+    server_opts.bind_address = config_.monitor_bind;
+    server_opts.port = config_.monitor_port;
+    pipeline->monitor_ =
+        std::make_unique<telemetry::MonitorServer>(server_opts);
+
+    Pipeline* p = pipeline.get();
+    pipeline->monitor_->AddHandler(
+        "/metrics", [p](const telemetry::HttpRequest&) {
+          return telemetry::HttpResponse{
+              200, telemetry::kPrometheusContentType,
+              telemetry::RenderPrometheus(p->telemetry_->Registry(),
+                                          p->sampler_.get())};
+        });
+    pipeline->monitor_->AddHandler(
+        "/metrics.json", [p](const telemetry::HttpRequest& request) {
+          // ?points=1 includes the sampler's time-series rings (what the
+          // dashboard's sparkline view wants; scrapers skip the weight).
+          const bool points =
+              request.query.find("points=1") != std::string::npos;
+          std::string body = "{\"metrics\":" +
+                             p->telemetry_->Registry().ReportJson() +
+                             ",\"sampler\":" + p->sampler_->Json(points) + "}";
+          return telemetry::HttpResponse{200, "application/json",
+                                         std::move(body)};
+        });
+    pipeline->monitor_->AddHandler(
+        "/stats", [p](const telemetry::HttpRequest&) {
+          return telemetry::HttpResponse{200, "application/json",
+                                         p->StatsJson()};
+        });
+    pipeline->monitor_->AddHandler(
+        "/events", [p](const telemetry::HttpRequest& request) {
+          telemetry::EventLog* events = p->telemetry_->events();
+          if (events == nullptr) {
+            return telemetry::HttpResponse{
+                200, "application/x-ndjson",
+                ""};  // log disabled: empty tail, still a valid JSONL body
+          }
+          size_t n = 64;
+          const size_t eq = request.query.find("n=");
+          if (eq != std::string::npos) {
+            n = static_cast<size_t>(
+                std::strtoull(request.query.c_str() + eq + 2, nullptr, 10));
+            if (n == 0) n = 64;
+          }
+          std::string body;
+          for (const telemetry::Event& e : events->Tail(n)) {
+            body += telemetry::EventLog::RenderJson(e);
+            body += "\n";
+          }
+          return telemetry::HttpResponse{200, "application/x-ndjson",
+                                         std::move(body)};
+        });
+    pipeline->monitor_->AddHandler(
+        "/healthz", [p](const telemetry::HttpRequest&) {
+          if (p->watchdog_ != nullptr && p->watchdog_->CurrentlyStalled()) {
+            return telemetry::HttpResponse{
+                503, "text/plain; charset=utf-8",
+                "stalled: no stage progress past the watchdog deadline\n"};
+          }
+          return telemetry::HttpResponse{200, "text/plain; charset=utf-8",
+                                         "ok\n"};
+        });
+
+    DLB_RETURN_IF_ERROR(pipeline->monitor_->Start());
+    pipeline->sampler_->Start();
+  }
   return pipeline;
 }
 

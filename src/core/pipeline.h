@@ -30,6 +30,8 @@
 #include "image/tensor.h"
 #include "storagedb/kv_store.h"
 #include "telemetry/event_log.h"
+#include "telemetry/metrics_sampler.h"
+#include "telemetry/monitor_server.h"
 #include "telemetry/trace.h"
 #include "telemetry/watchdog.h"
 
@@ -66,6 +68,18 @@ struct PipelineConfig {
   /// Stall watchdog: fire a report when no stage makes progress for this
   /// many ms while batches are in flight (0 = disabled). Implies tracing.
   uint64_t watchdog_deadline_ms = 0;
+
+  // --- Monitoring plane (DESIGN.md §5.5) ---
+  /// Embedded HTTP exposition server port: -1 = off, 0 = pick an ephemeral
+  /// port (read it back via Pipeline::MonitorPort()), else the TCP port to
+  /// bind. Serves /metrics (Prometheus), /metrics.json, /stats, /events
+  /// and /healthz, and starts the metrics sampler.
+  int monitor_port = -1;
+  /// Bind address for the monitor server (loopback unless exposed).
+  std::string monitor_bind = "127.0.0.1";
+  /// Metrics sampler period in ms (rates/watermarks are derived per
+  /// window).
+  uint64_t monitor_sample_ms = 500;
 };
 
 /// Structured pipeline snapshot. The first three fields are the legacy
@@ -124,6 +138,15 @@ class Pipeline {
   telemetry::EventLog* Events() const { return telemetry_->events(); }
   /// Stall watchdog; null unless watchdog_deadline_ms > 0.
   telemetry::Watchdog* StallWatchdog() { return watchdog_.get(); }
+  /// Metrics sampler; null unless monitoring was enabled (monitor_port >= 0).
+  telemetry::MetricsSampler* Sampler() { return sampler_.get(); }
+  /// Exposition server; null unless monitoring was enabled.
+  telemetry::MonitorServer* Monitor() { return monitor_.get(); }
+  /// The bound monitoring port (resolves monitor_port=0), -1 when off.
+  int MonitorPort() const { return monitor_ ? monitor_->Port() : -1; }
+
+  /// Stats() as deterministic JSON — the /stats endpoint body.
+  std::string StatsJson() const;
 
   /// Export the batch trace as Chrome trace_event JSON to `path` now.
   /// kFailedPrecondition when tracing is off. Shutdown() calls this
@@ -145,6 +168,8 @@ class Pipeline {
   int num_engines_ = 1;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::unique_ptr<telemetry::Watchdog> watchdog_;
+  std::unique_ptr<telemetry::MetricsSampler> sampler_;
+  std::unique_ptr<telemetry::MonitorServer> monitor_;
   std::string trace_path_;
   std::atomic<bool> trace_exported_{false};
   std::unique_ptr<DecoderMirror> mirror_;

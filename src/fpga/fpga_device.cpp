@@ -39,10 +39,24 @@ void FpgaDevice::SetTelemetry(telemetry::Telemetry* telemetry) {
                      std::memory_order_relaxed);
     resizer_busy_.store(reg.GetCounter("fpga.resizer.busy_ns"),
                         std::memory_order_relaxed);
+    // Way counts let the sampler turn busy-ns deltas into per-unit busy
+    // fractions (utilization = delta_busy / (dt * ways)).
+    reg.GetGauge("fpga.huffman.ways")
+        ->Set(static_cast<double>(options_.config.huffman_ways));
+    reg.GetGauge("fpga.idct.ways")
+        ->Set(static_cast<double>(options_.config.idct_ways));
+    reg.GetGauge("fpga.resizer.ways")
+        ->Set(static_cast<double>(options_.config.resizer_ways));
+    fifo_depth_.store(reg.GetGauge("fpga.cmd_fifo.depth"),
+                      std::memory_order_relaxed);
+    inflight_gauge_.store(reg.GetGauge("fpga.inflight"),
+                          std::memory_order_relaxed);
   } else {
     huffman_busy_.store(nullptr, std::memory_order_relaxed);
     idct_busy_.store(nullptr, std::memory_order_relaxed);
     resizer_busy_.store(nullptr, std::memory_order_relaxed);
+    fifo_depth_.store(nullptr, std::memory_order_relaxed);
+    inflight_gauge_.store(nullptr, std::memory_order_relaxed);
   }
   telemetry_.store(telemetry, std::memory_order_release);
 }
@@ -59,6 +73,12 @@ Status FpgaDevice::SubmitCmd(FpgaCmd cmd) {
   }
   Status s = cmd_fifo_.TryPush(std::move(cmd));
   if (s.ok()) in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (Gauge* depth = fifo_depth_.load(std::memory_order_acquire)) {
+    depth->Set(static_cast<double>(cmd_fifo_.Size()));
+  }
+  if (Gauge* inflight = inflight_gauge_.load(std::memory_order_acquire)) {
+    inflight->Set(static_cast<double>(InFlight()));
+  }
   return s;
 }
 
@@ -91,6 +111,9 @@ void FpgaDevice::Complete(const FpgaCmd& cmd, Status status, int w, int h,
   done.bytes_written = bytes;
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   completed_.Add();
+  if (Gauge* inflight = inflight_gauge_.load(std::memory_order_acquire)) {
+    inflight->Set(static_cast<double>(InFlight()));
+  }
   // Push may fail only at shutdown, when nobody is listening anyway.
   (void)finish_ring_.Push(std::move(done));
 }

@@ -98,9 +98,12 @@ class FpgaDevice {
 
   /// Attach a telemetry sink: per-command decode/resize spans plus per-unit
   /// busy-time counters ("fpga.huffman.busy_ns", "fpga.idct.busy_ns",
-  /// "fpga.resizer.busy_ns") for busy/idle accounting. Safe to call after
-  /// construction (workers already running) as long as no command has been
-  /// submitted yet.
+  /// "fpga.resizer.busy_ns") for busy/idle accounting, way-count gauges
+  /// ("fpga.<unit>.ways", letting the metrics sampler derive per-unit busy
+  /// fractions from the busy counters) and occupancy gauges
+  /// ("fpga.cmd_fifo.depth", "fpga.inflight") refreshed on every submit and
+  /// completion. Safe to call after construction (workers already running)
+  /// as long as no command has been submitted yet.
   void SetTelemetry(telemetry::Telemetry* telemetry);
 
   void Shutdown();
@@ -144,6 +147,10 @@ class FpgaDevice {
   std::atomic<Counter*> huffman_busy_{nullptr};
   std::atomic<Counter*> idct_busy_{nullptr};
   std::atomic<Counter*> resizer_busy_{nullptr};
+  // Occupancy gauges (cmd-FIFO depth, commands in flight), also cached so
+  // submit/complete avoid the registry lock.
+  std::atomic<Gauge*> fifo_depth_{nullptr};
+  std::atomic<Gauge*> inflight_gauge_{nullptr};
 };
 
 }  // namespace dlb::fpga

@@ -135,6 +135,13 @@ void Dispatcher::Loop() {
       telemetry_->Registry()
           .GetCounter("dispatcher.bytes_copied")
           ->Add(copied);
+      // Aggregate engine-queue occupancy: how many full device batches sit
+      // unconsumed. The gauge's watermark catches spikes between samples.
+      size_t queued = 0;
+      for (const auto& e : engines_) queued += e->full_q.Size();
+      telemetry_->Registry()
+          .GetGauge("dispatcher.queue_depth")
+          ->Set(static_cast<double>(queued));
       if (telemetry::EventLog* events = telemetry_->events()) {
         if (pushed.ok()) {
           events->Log(telemetry::EventType::kBatchDispatched, trace.batch_id,

@@ -1,0 +1,80 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "telemetry/metrics_sampler.h"
+
+namespace dlb::telemetry {
+
+namespace {
+
+// Prometheus accepts integers and floats; default ostream formatting of a
+// double ("1e+09", "0.25") is valid exposition syntax.
+std::string Num(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "dlb_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricRegistry& registry,
+                             const MetricsSampler* sampler) {
+  struct Renderer : MetricVisitor {
+    std::ostringstream os;
+    void OnCounter(const std::string& name, const Counter& c) override {
+      const std::string pn = PrometheusName(name) + "_total";
+      os << "# TYPE " << pn << " counter\n"
+         << pn << " " << c.Value() << "\n";
+    }
+    void OnGauge(const std::string& name, Gauge& g) override {
+      const std::string pn = PrometheusName(name);
+      os << "# TYPE " << pn << " gauge\n"
+         << pn << " " << Num(g.Value()) << "\n";
+      // Running peak since the last sampler window reset — the spike a
+      // scrape-time read of the gauge would miss.
+      os << "# TYPE " << pn << "_peak gauge\n"
+         << pn << "_peak " << Num(g.Max()) << "\n";
+    }
+    void OnHistogram(const std::string& name, const Histogram& h) override {
+      const std::string pn = PrometheusName(name);
+      const HistogramSnapshot s = h.TakeSnapshot();
+      os << "# TYPE " << pn << " summary\n";
+      os << pn << "{quantile=\"0.5\"} " << s.Quantile(0.5) << "\n";
+      os << pn << "{quantile=\"0.95\"} " << s.Quantile(0.95) << "\n";
+      os << pn << "{quantile=\"0.99\"} " << s.Quantile(0.99) << "\n";
+      os << pn << "_sum " << s.Sum() << "\n";
+      os << pn << "_count " << s.Count() << "\n";
+    }
+  } r;
+  registry.Visit(r);
+
+  if (sampler != nullptr) {
+    for (const SeriesSnapshot& s : sampler->Snapshot(/*with_points=*/false)) {
+      // Raw counter/gauge/quantile series duplicate the registry above;
+      // only the derived views are new information for a scraper.
+      if (s.kind != SeriesKind::kRate && s.kind != SeriesKind::kWatermark &&
+          s.kind != SeriesKind::kUtilization) {
+        continue;
+      }
+      const std::string pn = PrometheusName(s.name);
+      r.os << "# TYPE " << pn << " gauge\n" << pn << " " << Num(s.last) << "\n";
+    }
+  }
+  return r.os.str();
+}
+
+}  // namespace dlb::telemetry

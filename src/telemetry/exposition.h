@@ -1,0 +1,31 @@
+// Prometheus text exposition for the metric registry + sampler.
+//
+// Naming scheme (documented in DESIGN.md "Monitoring"): every metric gets
+// the `dlb_` prefix and dots become underscores — registry counter
+// "stage.decode.items" exports as `dlb_stage_decode_items_total`, gauges
+// keep their name plus a `_peak` twin (Gauge::Max), histograms export as
+// Prometheus summaries with p50/p95/p99 quantile labels, and
+// sampler-derived series (rates, window watermarks, unit utilization)
+// export as gauges under their series name ("…_rate_per_s",
+// "…_watermark", "…_utilization").
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+
+namespace dlb::telemetry {
+
+class MetricsSampler;
+
+/// "stage.decode.items" -> "dlb_stage_decode_items": prefix + every char
+/// outside [a-zA-Z0-9_] replaced by '_'.
+std::string PrometheusName(const std::string& name);
+
+/// Render the whole registry (and, when non-null, the sampler's derived
+/// rate/watermark/utilization series) in Prometheus text exposition format
+/// (text/plain; version=0.0.4). Deterministic for a frozen registry.
+std::string RenderPrometheus(const MetricRegistry& registry,
+                             const MetricsSampler* sampler);
+
+}  // namespace dlb::telemetry

@@ -1,0 +1,207 @@
+#include "telemetry/metrics_sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace dlb::telemetry {
+
+namespace {
+
+// The suffix rule that turns a busy-time counter into a utilization series:
+// "<unit>.busy_ns" + gauge "<unit>.ways" (worker count, default 1) gives
+// busy fraction = delta_busy_ns / (dt_ns * ways).
+constexpr const char* kBusySuffix = ".busy_ns";
+
+std::string JsonNumber(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* SeriesKindName(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter: return "counter";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kRate: return "rate";
+    case SeriesKind::kWatermark: return "watermark";
+    case SeriesKind::kQuantile: return "quantile";
+    case SeriesKind::kUtilization: return "utilization";
+  }
+  return "unknown";
+}
+
+MetricsSampler::MetricsSampler(Telemetry* telemetry, SamplerOptions options)
+    : telemetry_(telemetry), options_(options) {
+  if (options_.sample_ms == 0) options_.sample_ms = 1;
+  if (options_.history < 2) options_.history = 2;
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::jthread([this](std::stop_token token) {
+    const auto period = std::chrono::milliseconds(options_.sample_ms);
+    while (!token.stop_requested()) {
+      SampleOnce();
+      std::this_thread::sleep_for(period);
+    }
+  });
+}
+
+void MetricsSampler::Stop() {
+  if (!running_.exchange(false)) return;
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t MetricsSampler::SamplesTaken() const {
+  std::scoped_lock lock(mu_);
+  return samples_;
+}
+
+void MetricsSampler::Put(const std::string& name, SeriesKind kind,
+                         uint64_t ts_ns, double value) {
+  Ring& ring = series_[name];
+  if (ring.points.empty()) {
+    ring.kind = kind;
+    ring.points.resize(options_.history);
+  }
+  ring.points[ring.next] = {ts_ns, value};
+  ring.next = (ring.next + 1) % ring.points.size();
+  ring.size = std::min(ring.size + 1, ring.points.size());
+}
+
+void MetricsSampler::SampleAt(uint64_t ts_ns) {
+  // Collect under the registry lock (visitor bodies must stay short), then
+  // derive and store under the sampler lock.
+  struct Collector : MetricVisitor {
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, std::pair<double, double>>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    void OnCounter(const std::string& name, const Counter& c) override {
+      counters.emplace_back(name, static_cast<double>(c.Value()));
+    }
+    void OnGauge(const std::string& name, Gauge& g) override {
+      // Reset-on-read: the returned peak belongs to the window just closed.
+      const double peak = g.MaxAndReset();
+      gauges.emplace_back(name,
+                          std::make_pair(g.Value(), std::max(peak, g.Value())));
+    }
+    void OnHistogram(const std::string& name, const Histogram& h) override {
+      histograms.emplace_back(name, h.TakeSnapshot());
+    }
+  } collected;
+  telemetry_->Registry().Visit(collected);
+
+  std::scoped_lock lock(mu_);
+  ++samples_;
+
+  auto rate_of = [&](const std::string& name, double value) -> double {
+    auto it = prev_counters_.find(name);
+    double rate = 0.0;
+    if (it != prev_counters_.end() && ts_ns > it->second.ts_ns) {
+      rate = (value - it->second.value) * 1e9 /
+             static_cast<double>(ts_ns - it->second.ts_ns);
+    }
+    prev_counters_[name] = {ts_ns, value};
+    return rate;
+  };
+  auto gauge_value = [&](const std::string& name) -> double {
+    for (const auto& [gname, vals] : collected.gauges) {
+      if (gname == name) return vals.first;
+    }
+    return 0.0;
+  };
+
+  for (const auto& [name, value] : collected.counters) {
+    const double rate = rate_of(name, value);
+    Put(name, SeriesKind::kCounter, ts_ns, value);
+    Put(name + ".rate_per_s", SeriesKind::kRate, ts_ns, rate);
+    if (name.size() > std::char_traits<char>::length(kBusySuffix) &&
+        name.ends_with(kBusySuffix)) {
+      const std::string unit =
+          name.substr(0, name.size() - std::char_traits<char>::length(kBusySuffix));
+      double ways = gauge_value(unit + ".ways");
+      if (ways < 1.0) ways = 1.0;
+      // rate is busy-ns per second; busy fraction normalises by way count.
+      Put(unit + ".utilization", SeriesKind::kUtilization, ts_ns,
+          rate / (1e9 * ways));
+    }
+  }
+  for (const auto& [name, vals] : collected.gauges) {
+    Put(name, SeriesKind::kGauge, ts_ns, vals.first);
+    Put(name + ".watermark", SeriesKind::kWatermark, ts_ns, vals.second);
+  }
+  for (const auto& [name, snap] : collected.histograms) {
+    const double count = static_cast<double>(snap.Count());
+    Put(name + ".count.rate_per_s", SeriesKind::kRate, ts_ns,
+        rate_of(name + ".count", count));
+    Put(name + ".p50", SeriesKind::kQuantile, ts_ns,
+        static_cast<double>(snap.Quantile(0.5)));
+    Put(name + ".p95", SeriesKind::kQuantile, ts_ns,
+        static_cast<double>(snap.Quantile(0.95)));
+    Put(name + ".p99", SeriesKind::kQuantile, ts_ns,
+        static_cast<double>(snap.Quantile(0.99)));
+  }
+}
+
+std::vector<SeriesSnapshot> MetricsSampler::Snapshot(bool with_points) const {
+  std::scoped_lock lock(mu_);
+  std::vector<SeriesSnapshot> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    SeriesSnapshot s;
+    s.name = name;
+    s.kind = ring.kind;
+    if (ring.size > 0) {
+      const size_t last =
+          (ring.next + ring.points.size() - 1) % ring.points.size();
+      s.last = ring.points[last].value;
+      const size_t begin =
+          (ring.next + ring.points.size() - ring.size) % ring.points.size();
+      for (size_t i = 0; i < ring.size; ++i) {
+        const SeriesPoint& p = ring.points[(begin + i) % ring.points.size()];
+        s.high = std::max(s.high, p.value);
+        if (with_points) s.points.push_back(p);
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsSampler::Json(bool with_points) const {
+  const std::vector<SeriesSnapshot> snap = Snapshot(with_points);
+  std::ostringstream os;
+  os << "{\"sample_ms\":" << options_.sample_ms
+     << ",\"samples\":" << SamplesTaken() << ",\"series\":{";
+  bool first = true;
+  for (const SeriesSnapshot& s : snap) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << s.name << "\":{\"kind\":\"" << SeriesKindName(s.kind)
+       << "\",\"last\":" << JsonNumber(s.last)
+       << ",\"high\":" << JsonNumber(s.high);
+    if (with_points) {
+      os << ",\"points\":[";
+      for (size_t i = 0; i < s.points.size(); ++i) {
+        if (i) os << ",";
+        os << "[" << s.points[i].ts_ns << "," << JsonNumber(s.points[i].value)
+           << "]";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace dlb::telemetry

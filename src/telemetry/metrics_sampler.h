@@ -1,0 +1,127 @@
+// Continuous metrics sampling: the recording side's counters become rates.
+//
+// Counters and histograms answer "how much since the process started";
+// diagnosing a preprocessing stall needs "how much *per second*, right
+// now, per stage" (Gong et al.: stalls are only visible in continuous
+// per-stage rates). The MetricsSampler is a background thread that
+// snapshots the pipeline's MetricRegistry on a fixed interval into
+// fixed-size time-series rings and derives, per sample window:
+//
+//   <counter>.rate_per_s    delta / dt for every counter (imgs/s, bytes/s)
+//   <hist>.count.rate_per_s the same for histogram sample counts
+//   <hist>.{p50,p95,p99}    latency quantiles over the live histogram
+//   <gauge>                 the instantaneous value
+//   <gauge>.watermark       the window peak (Gauge::MaxAndReset, so spikes
+//                           between samples are not lost)
+//   <unit>.utilization      busy fraction for every "<unit>.busy_ns"
+//                           counter: delta_busy / (dt * <unit>.ways)
+//
+// The sampler is the single producer; the exposition server and the
+// dlb_monitor dashboard are the consumers. Everything is held under one
+// mutex — sampling runs a few times per second, never on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb::telemetry {
+
+struct SamplerOptions {
+  /// Sampling period of the background thread.
+  uint64_t sample_ms = 500;
+  /// Points retained per series (ring capacity). At 500 ms that is two
+  /// minutes of history per series.
+  size_t history = 256;
+};
+
+/// What a series measures; consumers use it to pick units and rendering.
+enum class SeriesKind : uint8_t {
+  kCounter,      // raw monotonic counter value
+  kGauge,        // instantaneous value
+  kRate,         // per-second delta of a counter
+  kWatermark,    // per-window gauge peak
+  kQuantile,     // histogram quantile (ns)
+  kUtilization,  // busy fraction in [0, 1]
+};
+
+const char* SeriesKindName(SeriesKind kind);
+
+struct SeriesPoint {
+  uint64_t ts_ns = 0;
+  double value = 0.0;
+};
+
+/// One derived series, as returned by MetricsSampler::Snapshot().
+struct SeriesSnapshot {
+  std::string name;
+  SeriesKind kind = SeriesKind::kGauge;
+  double last = 0.0;
+  double high = 0.0;  // max over the retained window
+  std::vector<SeriesPoint> points;  // oldest first; empty unless requested
+};
+
+class MetricsSampler {
+ public:
+  /// `telemetry` must outlive the sampler.
+  explicit MetricsSampler(Telemetry* telemetry, SamplerOptions options = {});
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Launch / stop the sampling thread. Idempotent.
+  void Start();
+  void Stop();
+
+  /// One synchronous sampling step at the current time. The thread calls
+  /// this every sample_ms; tools may call it to force a fresh window.
+  void SampleOnce() { SampleAt(NowNs()); }
+
+  /// Deterministic variant for tests: the caller supplies the sample
+  /// timestamp, so rate math is exact.
+  void SampleAt(uint64_t ts_ns);
+
+  uint64_t SamplesTaken() const;
+
+  /// All series in name order. Ring points are copied only when
+  /// `with_points` (the dashboard wants them; the Prometheus path does not).
+  std::vector<SeriesSnapshot> Snapshot(bool with_points = false) const;
+
+  /// Deterministic JSON: {"sample_ms":…,"samples":…,"series":{name:
+  /// {"kind":…,"last":…,"high":…,"points":[[ts_ns,value],…]}}}.
+  std::string Json(bool with_points = true) const;
+
+  const SamplerOptions& Options() const { return options_; }
+
+ private:
+  struct Ring {
+    SeriesKind kind = SeriesKind::kGauge;
+    std::vector<SeriesPoint> points;  // ring storage
+    size_t size = 0;                  // points resident (<= capacity)
+    size_t next = 0;                  // write cursor
+  };
+
+  void Put(const std::string& name, SeriesKind kind, uint64_t ts_ns,
+           double value);
+
+  Telemetry* telemetry_;
+  SamplerOptions options_;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> series_;
+  // Previous raw counter values, for rate derivation.
+  std::map<std::string, SeriesPoint> prev_counters_;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace dlb::telemetry

@@ -1,0 +1,105 @@
+// Embedded HTTP/1.1 exposition server: the pipeline's window to the fleet.
+//
+// A single background thread runs a blocking poll() loop over the listen
+// socket and its client connections — no worker pool, no dependencies.
+// That is the right shape for a metrics port: scrapers (Prometheus, the
+// dlb_monitor dashboard, curl) issue one short GET a second; the server
+// never touches the preprocessing hot path and its handlers only read
+// snapshot APIs that were built for concurrent readers.
+//
+// Routing is exact-path over registered handlers; the pipeline wires
+// /metrics, /metrics.json, /stats, /events and /healthz (see
+// core/pipeline.cpp). Responses always close the connection
+// (Connection: close) — one request per TCP connection keeps the state
+// machine trivial and is what scrapers do anyway.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace dlb::telemetry {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/metrics" (query string stripped)
+  std::string query;   // "window=5" (without the '?')
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Prometheus text exposition content type.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+class MonitorServer {
+ public:
+  struct Options {
+    /// Bind address. Loopback by default: the monitoring plane is
+    /// process-local unless the operator opts into exposure.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via Port()).
+    int port = 0;
+    /// Connections the poll loop tracks at once; accepts beyond this are
+    /// served as soon as a slot frees (the backlog holds them).
+    int max_connections = 16;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  MonitorServer();
+  explicit MonitorServer(Options options);
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// Register a handler for an exact path. Call before Start().
+  void AddHandler(std::string path, Handler handler);
+
+  /// Bind, listen and launch the poll loop. kUnavailable when the socket
+  /// cannot be bound.
+  Status Start();
+
+  /// Stop the loop and close all sockets. Idempotent; runs on destruction.
+  void Stop();
+
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (resolves port 0), or -1 before Start().
+  int Port() const { return port_.load(std::memory_order_acquire); }
+
+  uint64_t RequestsServed() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Route a request through the registered handlers without a socket —
+  /// the deterministic seam tests use. 404 on unknown path, 405 on
+  /// non-GET.
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  /// Serialize a response as an HTTP/1.1 wire message.
+  static std::string Serialize(const HttpResponse& response);
+
+ private:
+  void Loop(std::stop_token token);
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{-1};
+  std::atomic<uint64_t> requests_{0};
+  int listen_fd_ = -1;
+};
+
+}  // namespace dlb::telemetry

@@ -22,8 +22,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/stats.h"
@@ -71,15 +73,18 @@ inline size_t RingCapacity(size_t capacity) {
 /// Fixed-capacity lock-free ring of the most recent records of type T.
 //
 // Writers claim a slot with one fetch_add and publish with a per-slot
-// version word (seqlock); no writer ever blocks on a reader or another
-// writer. Snapshot() copies whatever is resident, skipping slots that are
-// mid-write — readers get a consistent view of each record, not of the
-// whole ring, which is the right trade for a diagnostics buffer.
+// version word (seqlock) that encodes the owning sequence number; the
+// newest lap always wins, so a writer lapped before it could store simply
+// drops its (already superseded) record. Writers never block on readers;
+// a writer may briefly spin while an older in-flight write on the same
+// slot drains. Snapshot() copies whatever is resident, skipping slots that
+// are mid-write — readers get a consistent view of each record, not of
+// the whole ring, which is the right trade for a diagnostics buffer.
 //
-// T must be trivially copyable enough to tolerate a torn intermediate copy
-// (the seqlock discards it) and carry a `uint64_t seq` field the ring
-// assigns on push. Shared by the span ring, the batch tracer and the
-// structured event log.
+// T must be trivially copyable (payloads move through the slot as relaxed
+// atomic words, so a torn copy is well-defined and the seqlock discards it)
+// and carry a `uint64_t seq` field the ring assigns on push. Shared by the
+// span ring, the batch tracer and the structured event log.
 template <typename T>
 class SeqlockRing {
  public:
@@ -95,14 +100,32 @@ class SeqlockRing {
     const uint64_t seq = cursor_.fetch_add(1, std::memory_order_acq_rel);
     record.seq = seq;
     Slot& slot = slots_[seq & (slots_.size() - 1)];
-    // Seqlock write: bump to odd, store payload, bump to even. A slower
-    // writer lapped by a faster one can interleave versions, but readers
-    // validate the version word around the copy, so a torn read is never
-    // returned — at worst the slot is skipped in that snapshot.
-    const uint64_t v = slot.version.load(std::memory_order_relaxed);
-    slot.version.store(v + 1, std::memory_order_release);
-    slot.record = record;
-    slot.version.store(v + 2, std::memory_order_release);
+    // Seqlock write: CAS the version word to odd-with-our-seq, store the
+    // payload, then publish even-with-our-seq. The seq embedded in the
+    // version word resolves lap races deterministically: if a newer lap
+    // already owns (or is writing) the slot, this record is superseded and
+    // dropped; if an older write is still in flight, spin briefly until it
+    // publishes. Readers validate the version word around the copy and the
+    // embedded seq after it, so a torn read is never returned — at worst
+    // the slot is skipped in that snapshot. The release fence keeps the
+    // odd store ahead of the payload words.
+    const uint64_t claimed = Slot::Owner(seq) | 1;
+    uint64_t cur = slot.version.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur > claimed) return seq;  // a newer lap owns this slot
+      if (cur & 1) {  // older write in flight; wait for it to publish
+        cur = slot.version.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (slot.version.compare_exchange_weak(cur, claimed,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.Store(record);
+    slot.version.store(Slot::Owner(seq), std::memory_order_release);
     return seq;
   }
 
@@ -118,9 +141,9 @@ class SeqlockRing {
       const Slot& slot = slots_[seq & (slots_.size() - 1)];
       const uint64_t before = slot.version.load(std::memory_order_acquire);
       if (before & 1) continue;  // mid-write
-      T copy = slot.record;
+      T copy = slot.Load();
       std::atomic_thread_fence(std::memory_order_acquire);
-      if (slot.version.load(std::memory_order_acquire) != before) continue;
+      if (slot.version.load(std::memory_order_relaxed) != before) continue;
       if (copy.seq != seq) continue;  // already overwritten by a newer lap
       out.push_back(copy);
     }
@@ -136,10 +159,38 @@ class SeqlockRing {
 
  private:
   struct Slot {
-    /// Even = stable, odd = write in progress. Version v publishes the
-    /// record pushed with sequence (v/2 - 1) modulo capacity laps.
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SeqlockRing payloads are copied word-by-word");
+    static constexpr size_t kWords = (sizeof(T) + 7) / 8;
+
+    /// Owner(seq) of the record resident in the slot; the low bit marks a
+    /// write in progress. 0 = never written. Monotonic per slot, so lap
+    /// races resolve newest-wins.
     std::atomic<uint64_t> version{0};
-    T record;
+
+    /// Version-word encoding of the owning sequence number; +1 keeps the
+    /// encoding nonzero so 0 still reads as "empty".
+    static constexpr uint64_t Owner(uint64_t seq) { return (seq + 1) << 1; }
+    /// Payload, staged as relaxed atomic words: concurrent writers lapping
+    /// the same slot stay data-race-free at the language level while the
+    /// version word + seq check give record-level consistency.
+    std::atomic<uint64_t> words[kWords] = {};
+
+    void Store(const T& record) {
+      uint64_t buf[kWords] = {};
+      std::memcpy(buf, &record, sizeof(T));
+      for (size_t i = 0; i < kWords; ++i)
+        words[i].store(buf[i], std::memory_order_relaxed);
+    }
+
+    T Load() const {
+      uint64_t buf[kWords];
+      for (size_t i = 0; i < kWords; ++i)
+        buf[i] = words[i].load(std::memory_order_relaxed);
+      T out;
+      std::memcpy(&out, buf, sizeof(T));
+      return out;
+    }
   };
 
   std::vector<Slot> slots_;

@@ -59,7 +59,10 @@ std::optional<StallReport> Watchdog::Probe() {
       any_progress = true;
     }
   }
-  if (any_progress) armed_since_ns_ = now;
+  if (any_progress) {
+    armed_since_ns_ = now;
+    stalled_.store(false, std::memory_order_release);
+  }
 
   const uint64_t quiet_ms = (now - armed_since_ns_) / 1'000'000;
   if (quiet_ms < options_.deadline_ms) return std::nullopt;
@@ -70,10 +73,16 @@ std::optional<StallReport> Watchdog::Probe() {
   Tracer* tracer = telemetry_->tracer();
   if (tracer == nullptr) return std::nullopt;
   std::vector<Tracer::InFlight> inflight = tracer->InFlightBatches();
-  if (inflight.empty()) return std::nullopt;
+  if (inflight.empty()) {
+    // Healthy-idle: the stream drained. A previously-latched stall state is
+    // over — nothing is wedged when nothing is pending.
+    stalled_.store(false, std::memory_order_release);
+    return std::nullopt;
+  }
 
   StallReport report = BuildReport(now, quiet_ms, std::move(inflight));
   stalls_.fetch_add(1, std::memory_order_relaxed);
+  stalled_.store(true, std::memory_order_release);
   if (EventLog* events = telemetry_->events()) {
     events->Log(EventType::kStallDetected, 0, quiet_ms,
                 report.inflight.size());

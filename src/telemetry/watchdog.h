@@ -80,6 +80,12 @@ class Watchdog {
   uint64_t StallsDetected() const {
     return stalls_.load(std::memory_order_relaxed);
   }
+
+  /// True from the probe that detected a stall until a later probe observes
+  /// stage progress again — the health-endpoint signal (/healthz 503).
+  bool CurrentlyStalled() const {
+    return stalled_.load(std::memory_order_acquire);
+  }
   const WatchdogOptions& Options() const { return options_; }
 
  private:
@@ -93,6 +99,7 @@ class Watchdog {
   std::jthread thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> stalls_{0};
+  std::atomic<bool> stalled_{false};
 
   // Probe state (only the probing thread mutates; a mutex keeps Probe()
   // safe if tests call it while the thread runs).

@@ -107,5 +107,57 @@ TEST(MetricRegistryTest, ReportIncludesHistograms) {
   EXPECT_NE(report.find("count=1"), std::string::npos);
 }
 
+TEST(GaugeTest, MaxTracksHighWatermark) {
+  Gauge g;
+  g.Set(5.0);
+  g.Set(42.0);
+  g.Set(7.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 7.0);
+  EXPECT_DOUBLE_EQ(g.Max(), 42.0);  // the spike survives the lower Set()
+}
+
+TEST(GaugeTest, MaxAndResetReturnsPeakAndReArms) {
+  Gauge g;
+  g.Set(10.0);
+  g.Set(3.0);
+  EXPECT_DOUBLE_EQ(g.MaxAndReset(), 10.0);
+  // The new window starts from the current value, not zero: a steady
+  // gauge keeps reporting its level as the watermark.
+  EXPECT_DOUBLE_EQ(g.Max(), 3.0);
+  g.Set(8.0);
+  EXPECT_DOUBLE_EQ(g.MaxAndReset(), 8.0);
+  EXPECT_DOUBLE_EQ(g.Max(), 8.0);
+}
+
+TEST(MetricRegistryTest, VisitCoversEveryMetricInNameOrder) {
+  MetricRegistry reg;
+  reg.GetCounter("b.counter")->Add(2);
+  reg.GetCounter("a.counter")->Add(1);
+  reg.GetGauge("depth")->Set(3.0);
+  reg.GetHistogram("lat")->Record(50);
+
+  struct Collector : MetricVisitor {
+    std::vector<std::string> counters, gauges, histograms;
+    void OnCounter(const std::string& name, const Counter& c) override {
+      counters.push_back(name + "=" + std::to_string(c.Value()));
+    }
+    void OnGauge(const std::string& name, Gauge& g) override {
+      gauges.push_back(name + "=" + std::to_string(int(g.Value())));
+    }
+    void OnHistogram(const std::string& name, const Histogram& h) override {
+      histograms.push_back(name + "=" + std::to_string(h.Count()));
+    }
+  } v;
+  reg.Visit(v);
+
+  ASSERT_EQ(v.counters.size(), 2u);
+  EXPECT_EQ(v.counters[0], "a.counter=1");  // name order
+  EXPECT_EQ(v.counters[1], "b.counter=2");
+  ASSERT_EQ(v.gauges.size(), 1u);
+  EXPECT_EQ(v.gauges[0], "depth=3");
+  ASSERT_EQ(v.histograms.size(), 1u);
+  EXPECT_EQ(v.histograms[0], "lat=1");
+}
+
 }  // namespace
 }  // namespace dlb

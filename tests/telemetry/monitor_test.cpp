@@ -1,0 +1,453 @@
+// The monitoring plane end to end: Prometheus rendering (golden-parsed),
+// sampler rate/utilization/watermark math (deterministic via SampleAt),
+// HTTP routing, and a real-socket scrape of a live pipeline — including
+// /healthz flipping to 503 on a watchdog stall, driven by Probe().
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dataplane/synthetic_dataset.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics_sampler.h"
+#include "telemetry/monitor_server.h"
+#include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
+
+namespace dlb::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden parser for the Prometheus text format (the contract /metrics and
+// any scraper agree on). Returns samples keyed by full name (labels kept);
+// fails the test on any malformed line.
+struct PrometheusDoc {
+  std::map<std::string, std::string> types;   // family -> counter|gauge|summary
+  std::map<std::string, double> samples;      // "name{labels}" -> value
+};
+
+PrometheusDoc GoldenParse(const std::string& text) {
+  PrometheusDoc doc;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t sp = line.rfind(' ');
+      const std::string family = line.substr(7, sp - 7);
+      const std::string type = line.substr(sp + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "summary")
+          << line;
+      doc.types[family] = type;
+      continue;
+    }
+    if (line[0] == '#') {
+      ADD_FAILURE() << "unknown comment form: " << line;
+      continue;
+    }
+
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) {
+      ADD_FAILURE() << "no value on sample line: " << line;
+      continue;
+    }
+    const std::string key = line.substr(0, sp);
+    char* parse_end = nullptr;
+    const double value = std::strtod(line.c_str() + sp + 1, &parse_end);
+    if (*parse_end != '\0') {
+      ADD_FAILURE() << "bad sample value: " << line;
+      continue;
+    }
+
+    // Metric name = key up to the label block; must trace back to a
+    // declared family (exactly, or via the summary's _sum/_count).
+    std::string name = key.substr(0, key.find('{'));
+    EXPECT_EQ(name.rfind("dlb_", 0), 0u) << "unprefixed metric: " << line;
+    bool declared = doc.types.count(name) > 0;
+    for (const char* suffix : {"_sum", "_count"}) {
+      if (declared) break;
+      if (name.ends_with(suffix)) {
+        declared =
+            doc.types.count(name.substr(0, name.size() - strlen(suffix))) > 0;
+      }
+    }
+    EXPECT_TRUE(declared) << "sample before # TYPE: " << line;
+    doc.samples[key] = value;
+  }
+  return doc;
+}
+
+// Short blocking HTTP GET against loopback; returns (status, body,
+// content-type).
+struct GetResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+GetResult HttpGet(int port, const std::string& target) {
+  GetResult r;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return r;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return r;
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+  std::string raw;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos) return r;
+  r.status = std::atoi(raw.c_str() + sp + 1);
+  const size_t ct = raw.find("Content-Type: ");
+  if (ct != std::string::npos) {
+    r.content_type = raw.substr(ct + 14, raw.find("\r\n", ct) - ct - 14);
+  }
+  const size_t body = raw.find("\r\n\r\n");
+  if (body != std::string::npos) r.body = raw.substr(body + 4);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(ExpositionTest, PrometheusNameSanitization) {
+  EXPECT_EQ(PrometheusName("stage.decode.items"), "dlb_stage_decode_items");
+  EXPECT_EQ(PrometheusName("fpga.cmd-fifo depth"), "dlb_fpga_cmd_fifo_depth");
+  EXPECT_EQ(PrometheusName("plain"), "dlb_plain");
+}
+
+TEST(ExpositionTest, RenderedRegistryGoldenParses) {
+  MetricRegistry reg;
+  reg.GetCounter("images.ok")->Add(42);
+  reg.GetGauge("queue.depth")->Set(3.0);
+  reg.GetGauge("queue.depth")->Set(1.0);
+  for (uint64_t v : {100, 200, 300, 400}) {
+    reg.GetHistogram("lat.ns")->Record(v);
+  }
+
+  const PrometheusDoc doc = GoldenParse(RenderPrometheus(reg, nullptr));
+
+  EXPECT_EQ(doc.types.at("dlb_images_ok_total"), "counter");
+  EXPECT_DOUBLE_EQ(doc.samples.at("dlb_images_ok_total"), 42.0);
+
+  EXPECT_EQ(doc.types.at("dlb_queue_depth"), "gauge");
+  EXPECT_DOUBLE_EQ(doc.samples.at("dlb_queue_depth"), 1.0);
+  // The _peak twin carries the high-watermark (Gauge::Max).
+  EXPECT_DOUBLE_EQ(doc.samples.at("dlb_queue_depth_peak"), 3.0);
+
+  EXPECT_EQ(doc.types.at("dlb_lat_ns"), "summary");
+  EXPECT_GT(doc.samples.at("dlb_lat_ns{quantile=\"0.5\"}"), 0.0);
+  EXPECT_GT(doc.samples.at("dlb_lat_ns{quantile=\"0.99\"}"), 0.0);
+  EXPECT_DOUBLE_EQ(doc.samples.at("dlb_lat_ns_count"), 4.0);
+  EXPECT_GE(doc.samples.at("dlb_lat_ns_sum"), 1000.0);
+}
+
+TEST(ExpositionTest, SamplerSeriesExportAsGauges) {
+  Telemetry telemetry;
+  Counter* images = telemetry.Registry().GetCounter("images");
+  MetricsSampler sampler(&telemetry, {.sample_ms = 100, .history = 8});
+  const uint64_t t0 = 1'000'000'000;
+  sampler.SampleAt(t0);
+  images->Add(250);
+  sampler.SampleAt(t0 + 500'000'000);  // +0.5 s -> 500/s
+
+  const PrometheusDoc doc =
+      GoldenParse(RenderPrometheus(telemetry.Registry(), &sampler));
+  EXPECT_EQ(doc.types.at("dlb_images_rate_per_s"), "gauge");
+  EXPECT_DOUBLE_EQ(doc.samples.at("dlb_images_rate_per_s"), 500.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler math (deterministic timestamps)
+
+TEST(MetricsSamplerTest, CounterRatePerWindow) {
+  Telemetry telemetry;
+  Counter* c = telemetry.Registry().GetCounter("stage.decode.items");
+  MetricsSampler sampler(&telemetry, {.sample_ms = 100, .history = 8});
+
+  const uint64_t t0 = 5'000'000'000;
+  sampler.SampleAt(t0);
+  c->Add(300);
+  sampler.SampleAt(t0 + 1'000'000'000);  // 1 s window
+  c->Add(100);
+  sampler.SampleAt(t0 + 3'000'000'000);  // 2 s window -> 50/s
+
+  double last = -1, high = -1;
+  for (const SeriesSnapshot& s : sampler.Snapshot()) {
+    if (s.name == "stage.decode.items.rate_per_s") {
+      EXPECT_EQ(s.kind, SeriesKind::kRate);
+      last = s.last;
+      high = s.high;
+    }
+  }
+  EXPECT_DOUBLE_EQ(last, 50.0);
+  EXPECT_DOUBLE_EQ(high, 300.0);  // the 1 s window's 300/s
+  EXPECT_EQ(sampler.SamplesTaken(), 3u);
+}
+
+TEST(MetricsSamplerTest, BusyNsCounterDerivesUtilization) {
+  Telemetry telemetry;
+  Counter* busy = telemetry.Registry().GetCounter("fpga.huffman.busy_ns");
+  telemetry.Registry().GetGauge("fpga.huffman.ways")->Set(2.0);
+  Counter* solo = telemetry.Registry().GetCounter("solo.busy_ns");
+  MetricsSampler sampler(&telemetry, {.sample_ms = 100, .history = 8});
+
+  const uint64_t t0 = 1'000'000'000;
+  sampler.SampleAt(t0);
+  busy->Add(500'000'000);  // 0.5 s busy over a 1 s window, 2 ways -> 0.25
+  solo->Add(500'000'000);  // no ways gauge -> 1 way -> 0.5
+  sampler.SampleAt(t0 + 1'000'000'000);
+
+  std::map<std::string, double> last;
+  for (const SeriesSnapshot& s : sampler.Snapshot()) last[s.name] = s.last;
+  EXPECT_DOUBLE_EQ(last.at("fpga.huffman.utilization"), 0.25);
+  EXPECT_DOUBLE_EQ(last.at("solo.utilization"), 0.5);
+}
+
+TEST(MetricsSamplerTest, GaugeWatermarkIsPerWindow) {
+  Telemetry telemetry;
+  Gauge* depth = telemetry.Registry().GetGauge("queue.depth");
+  MetricsSampler sampler(&telemetry, {.sample_ms = 100, .history = 8});
+
+  const uint64_t t0 = 1'000'000'000;
+  depth->Set(10.0);
+  depth->Set(3.0);  // spike to 10 happened inside window 1
+  sampler.SampleAt(t0);
+  sampler.SampleAt(t0 + 1'000'000'000);  // window 2: steady at 3
+
+  std::vector<double> watermarks;
+  for (const SeriesSnapshot& s : sampler.Snapshot(/*with_points=*/true)) {
+    if (s.name == "queue.depth.watermark") {
+      for (const SeriesPoint& p : s.points) watermarks.push_back(p.value);
+    }
+  }
+  ASSERT_EQ(watermarks.size(), 2u);
+  EXPECT_DOUBLE_EQ(watermarks[0], 10.0);  // spike captured
+  EXPECT_DOUBLE_EQ(watermarks[1], 3.0);   // and not re-reported
+}
+
+TEST(MetricsSamplerTest, HistogramQuantileSeries) {
+  Telemetry telemetry;
+  Histogram* lat = telemetry.Registry().GetHistogram("stage.decode.ns");
+  MetricsSampler sampler(&telemetry, {.sample_ms = 100, .history = 8});
+  for (int i = 0; i < 100; ++i) lat->Record(1000);
+  sampler.SampleAt(1'000'000'000);
+
+  std::map<std::string, double> last;
+  for (const SeriesSnapshot& s : sampler.Snapshot()) last[s.name] = s.last;
+  EXPECT_NEAR(last.at("stage.decode.ns.p50"), 1000.0, 40.0);
+  EXPECT_NEAR(last.at("stage.decode.ns.p99"), 1000.0, 40.0);
+  EXPECT_TRUE(last.count("stage.decode.ns.count.rate_per_s"));
+}
+
+TEST(MetricsSamplerTest, JsonIsWellFormedAndCarriesKinds) {
+  Telemetry telemetry;
+  telemetry.Registry().GetCounter("n")->Add(7);
+  MetricsSampler sampler(&telemetry, {.sample_ms = 100, .history = 4});
+  sampler.SampleAt(1'000'000'000);
+  const std::string json = sampler.Json(/*with_points=*/true);
+  EXPECT_NE(json.find("\"sample_ms\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"n\":{\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"n.rate_per_s\":{\"kind\":\"rate\""),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server: socketless routing seam, then a real socket round trip.
+
+TEST(MonitorServerTest, DispatchRoutesExactPaths) {
+  MonitorServer server;
+  server.AddHandler("/ping", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "pong " + request.query};
+  });
+
+  HttpResponse ok = server.Dispatch({"GET", "/ping", "a=1"});
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, "pong a=1");
+
+  HttpResponse missing = server.Dispatch({"GET", "/nope", ""});
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("/ping"), std::string::npos)
+      << "404 should list the registered endpoints";
+
+  HttpResponse post = server.Dispatch({"POST", "/ping", ""});
+  EXPECT_EQ(post.status, 405);
+}
+
+TEST(MonitorServerTest, SerializeProducesValidHttp11) {
+  const std::string wire =
+      MonitorServer::Serialize({503, "text/plain", "stalled\n"});
+  EXPECT_EQ(wire.rfind("HTTP/1.1 503 Service Unavailable\r\n", 0), 0u);
+  EXPECT_NE(wire.find("Content-Length: 8\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\nstalled\n"));
+}
+
+TEST(MonitorServerTest, RealSocketRoundTrip) {
+  MonitorServer::Options options;
+  options.port = 0;  // ephemeral
+  MonitorServer server(options);
+  server.AddHandler("/hello", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "hi\n"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.Port(), 0);
+
+  GetResult r = HttpGet(server.Port(), "/hello?x=1");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "hi\n");
+
+  GetResult missing = HttpGet(server.Port(), "/other");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_GE(server.RequestsServed(), 2u);
+  server.Stop();
+  EXPECT_FALSE(server.Running());
+}
+
+// ---------------------------------------------------------------------------
+// The full plane against a live pipeline fed by a network source (the
+// inference_server shape), scraped over real sockets.
+
+TEST(MonitorPlaneTest, LivePipelineScrapeAndHealthFlip) {
+  auto ds = GenerateDataset([] {
+    DatasetSpec spec = ImageNetLikeSpec(8);
+    spec.width = 64;
+    spec.height = 48;
+    return spec;
+  }());
+  ASSERT_TRUE(ds.ok());
+
+  BoundedQueue<NetworkImage> rx(16);
+  for (size_t i = 0; i < 8; ++i) {
+    auto bytes = ds.value().store->Read(ds.value().manifest.At(i));
+    ASSERT_TRUE(bytes.ok());
+    NetworkImage img;
+    img.payload.assign(bytes.value().begin(), bytes.value().end());
+    img.request_id = i;
+    ASSERT_TRUE(rx.Push(std::move(img)).ok());
+  }
+  rx.Close();
+
+  core::PipelineConfig config;
+  config.backend = "dlbooster";
+  config.options.batch_size = 4;
+  config.options.resize_w = 32;
+  config.options.resize_h = 32;
+  config.monitor_port = 0;  // ephemeral
+  config.monitor_sample_ms = 50;
+  config.event_log_level = "info";
+  config.watchdog_deadline_ms = 1;  // stall after 1 ms of quiet
+  auto pipeline =
+      core::PipelineBuilder().WithConfig(config).WithNetworkSource(&rx).Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const int port = pipeline.value()->MonitorPort();
+  ASSERT_GT(port, 0);
+
+  size_t images = 0;
+  while (true) {
+    auto batch = pipeline.value()->NextBatch();
+    if (!batch.ok()) break;
+    images += batch.value()->OkCount();
+  }
+  EXPECT_EQ(images, 8u);
+
+  // Two explicit samples give every rate series a full window.
+  ASSERT_NE(pipeline.value()->Sampler(), nullptr);
+  pipeline.value()->Sampler()->SampleOnce();
+  pipeline.value()->Sampler()->SampleOnce();
+
+  // /metrics: valid Prometheus text carrying stage + unit families.
+  GetResult metrics = HttpGet(port, "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  const PrometheusDoc doc = GoldenParse(metrics.body);
+  EXPECT_GT(doc.samples.at("dlb_stage_decode_ops_total"), 0.0);
+  EXPECT_GT(doc.samples.at("dlb_stage_decode_latency_ns{quantile=\"0.5\"}"),
+            0.0);
+  EXPECT_GT(doc.samples.at("dlb_fpga_huffman_busy_ns_total"), 0.0);
+  EXPECT_TRUE(doc.samples.count("dlb_fpga_huffman_utilization"));
+  EXPECT_TRUE(doc.samples.count("dlb_pool_free_buffers"));
+  EXPECT_TRUE(doc.samples.count("dlb_stage_decode_items_rate_per_s"));
+
+  // /stats and /metrics.json: JSON bodies with the headline numbers.
+  GetResult stats = HttpGet(port, "/stats");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"backend\":\"dlbooster\""), std::string::npos);
+  EXPECT_NE(stats.body.find("\"images_ok\":8"), std::string::npos);
+  GetResult mjson = HttpGet(port, "/metrics.json");
+  ASSERT_EQ(mjson.status, 200);
+  EXPECT_NE(mjson.body.find("\"sampler\""), std::string::npos);
+
+  // /events: JSONL tail.
+  GetResult events = HttpGet(port, "/events?n=4");
+  ASSERT_EQ(events.status, 200);
+  if (!events.body.empty()) {
+    EXPECT_EQ(events.body.front(), '{');
+    EXPECT_NE(events.body.find("\"seq\":"), std::string::npos);
+  }
+
+  // /healthz: drained stream is healthy-idle...
+  Watchdog* watchdog = pipeline.value()->StallWatchdog();
+  ASSERT_NE(watchdog, nullptr);
+  (void)watchdog->Probe();
+  EXPECT_EQ(HttpGet(port, "/healthz").status, 200);
+
+  // ...until a batch is in flight with no stage progress: Probe() (the
+  // deterministic seam — the watchdog thread calls the same function)
+  // latches the stall and /healthz flips to 503.
+  Tracer* tracer = pipeline.value()->Tracer();
+  ASSERT_NE(tracer, nullptr);
+  TraceContext wedged = tracer->StartBatch();
+  (void)watchdog->Probe();  // absorb any residual progress, re-arm
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto report = watchdog->Probe();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(watchdog->CurrentlyStalled());
+  GetResult sick = HttpGet(port, "/healthz");
+  EXPECT_EQ(sick.status, 503);
+  EXPECT_NE(sick.body.find("stall"), std::string::npos);
+
+  // Abandoning the batch returns the plane to healthy.
+  tracer->AbandonBatch(wedged);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  (void)watchdog->Probe();
+  EXPECT_FALSE(watchdog->CurrentlyStalled());
+  EXPECT_EQ(HttpGet(port, "/healthz").status, 200);
+
+  pipeline.value()->Shutdown();
+  EXPECT_LT(pipeline.value()->MonitorPort(), 0);
+}
+
+}  // namespace
+}  // namespace dlb::telemetry

@@ -1,0 +1,242 @@
+// dlb_monitor: live terminal dashboard over a pipeline's monitoring plane.
+//
+// Polls the embedded exposition server (core/pipeline.cpp wires it at
+// monitor_port=<p>) and renders stage throughput, latency quantiles,
+// offload-unit utilization bars, buffer-pool occupancy and the last few
+// structured events. Speaks plain HTTP/1.1 and parses the Prometheus text
+// format — no libraries, so it runs anywhere the pipeline does.
+//
+// Usage: dlb_monitor port=9090 [host=127.0.0.1 interval_ms=1000
+//                               iterations=0 once=0 plain=0]
+//   iterations=N  stop after N refreshes (0 = until the server goes away)
+//   once=1        render a single frame and exit (scripting / tests)
+//   plain=1       never emit ANSI clear-screen escapes
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+
+namespace {
+
+struct HttpResult {
+  int status = 0;  // 0 = transport failure
+  std::string body;
+};
+
+// Minimal blocking HTTP/1.1 GET. The server always answers with
+// Connection: close, so "read until EOF" delimits the response.
+HttpResult HttpGet(const std::string& host, int port, const std::string& path,
+                   int timeout_ms = 2000) {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return result;
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buf[8192];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK" — status is the second token.
+  if (raw.compare(0, 5, "HTTP/") != 0) return result;
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos) return result;
+  result.status = std::atoi(raw.c_str() + sp + 1);
+  const size_t body = raw.find("\r\n\r\n");
+  if (body != std::string::npos) result.body = raw.substr(body + 4);
+  return result;
+}
+
+// Prometheus text parse: "name{labels} value" per line, comments skipped.
+// Keys keep their label block verbatim, so quantiles address as
+// `dlb_stage_decode_latency_ns{quantile="0.95"}`.
+std::map<std::string, double> ParsePrometheus(const std::string& text) {
+  std::map<std::string, double> metrics;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0) continue;
+    errno = 0;
+    char* parsed_end = nullptr;
+    const double value = std::strtod(line.c_str() + sp + 1, &parsed_end);
+    if (parsed_end == line.c_str() + sp + 1 || errno == ERANGE) continue;
+    metrics[line.substr(0, sp)] = value;
+  }
+  return metrics;
+}
+
+double Get(const std::map<std::string, double>& m, const std::string& key,
+           double fallback = 0.0) {
+  const auto it = m.find(key);
+  return it == m.end() ? fallback : it->second;
+}
+
+std::string Bar(double fraction, int width = 24) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  const int filled = static_cast<int>(std::lround(fraction * width));
+  std::string bar;
+  for (int i = 0; i < width; ++i) bar += i < filled ? '#' : '.';
+  return bar;
+}
+
+void RenderFrame(const std::map<std::string, double>& m, int health_status,
+                 const std::vector<std::string>& events, uint64_t frame) {
+  std::printf("dlb_monitor  frame=%llu  health=%s\n",
+              static_cast<unsigned long long>(frame),
+              health_status == 200  ? "OK"
+              : health_status == 503 ? "STALLED"
+                                     : "UNKNOWN");
+
+  static const char* kStages[] = {"fetch",    "decode",   "resize",
+                                  "collect",  "dispatch", "consume"};
+  std::printf("\n%-9s %12s %12s %12s %12s\n", "stage", "items/s", "p50_ms",
+              "p95_ms", "p99_ms");
+  for (const char* stage : kStages) {
+    const std::string base = std::string("dlb_stage_") + stage;
+    const double rate = Get(m, base + "_items_rate_per_s");
+    const double p50 = Get(m, base + "_latency_ns{quantile=\"0.5\"}") / 1e6;
+    const double p95 = Get(m, base + "_latency_ns{quantile=\"0.95\"}") / 1e6;
+    const double p99 = Get(m, base + "_latency_ns{quantile=\"0.99\"}") / 1e6;
+    std::printf("%-9s %12.1f %12.2f %12.2f %12.2f\n", stage, rate, p50, p95,
+                p99);
+  }
+
+  static const char* kUnits[] = {"huffman", "idct", "resizer"};
+  std::printf("\noffload units\n");
+  for (const char* unit : kUnits) {
+    const std::string base = std::string("dlb_fpga_") + unit;
+    const double util = Get(m, base + "_utilization");
+    const double ways = Get(m, base + "_ways", 1);
+    std::printf("  %-8s [%s] %5.1f%%  (%g ways)\n", unit,
+                Bar(util).c_str(), util * 100.0, ways);
+  }
+
+  const double free_bufs = Get(m, "dlb_pool_free_buffers");
+  const double total_bufs = Get(m, "dlb_pool_buffers");
+  const double occupancy =
+      total_bufs > 0 ? 1.0 - free_bufs / total_bufs : 0.0;
+  std::printf("\nbuffers    [%s] %5.1f%% of %.0f in use\n",
+              Bar(occupancy).c_str(), occupancy * 100.0, total_bufs);
+  std::printf("queues     cmd_fifo=%.0f (peak %.0f)  dispatcher=%.0f "
+              "(peak %.0f)\n",
+              Get(m, "dlb_fpga_cmd_fifo_depth"),
+              Get(m, "dlb_fpga_cmd_fifo_depth_peak"),
+              Get(m, "dlb_dispatcher_queue_depth"),
+              Get(m, "dlb_dispatcher_queue_depth_peak"));
+  std::printf("copied     %.1f MiB  (%.1f MiB/s)\n",
+              Get(m, "dlb_dispatcher_bytes_copied_total") / (1 << 20),
+              Get(m, "dlb_dispatcher_bytes_copied_rate_per_s") / (1 << 20));
+
+  if (!events.empty()) {
+    std::printf("\nlast events\n");
+    for (const std::string& e : events) std::printf("  %s\n", e.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config_or = dlb::Config::FromArgs({argv + 1, argv + argc});
+  if (!config_or.ok()) {
+    std::fprintf(stderr, "bad args: %s\n",
+                 config_or.status().ToString().c_str());
+    return 1;
+  }
+  const dlb::Config& args = config_or.value();
+  const int port = static_cast<int>(args.GetInt("port", -1));
+  if (port < 0) {
+    std::fprintf(stderr,
+                 "usage: dlb_monitor port=<monitor_port> [host=127.0.0.1 "
+                 "interval_ms=1000 iterations=0 once=0 plain=0]\n");
+    return 1;
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const int interval_ms =
+      static_cast<int>(args.GetInt("interval_ms", 1000));
+  const uint64_t iterations = args.GetInt("iterations", 0);
+  const bool once = args.GetInt("once", 0) != 0;
+  const bool plain = once || args.GetInt("plain", 0) != 0;
+
+  uint64_t frame = 0;
+  int misses = 0;
+  while (true) {
+    const HttpResult metrics = HttpGet(host, port, "/metrics");
+    if (metrics.status != 200) {
+      if (frame == 0 || ++misses >= 3) {
+        std::fprintf(stderr, "dlb_monitor: no exposition server at %s:%d\n",
+                     host.c_str(), port);
+        return frame == 0 ? 1 : 0;  // clean exit once the run just ended
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    misses = 0;
+
+    const HttpResult health = HttpGet(host, port, "/healthz");
+    const HttpResult tail = HttpGet(host, port, "/events?n=5");
+    std::vector<std::string> events;
+    size_t pos = 0;
+    while (pos < tail.body.size() && events.size() < 5) {
+      size_t end = tail.body.find('\n', pos);
+      if (end == std::string::npos) end = tail.body.size();
+      if (end > pos) events.push_back(tail.body.substr(pos, end - pos));
+      pos = end + 1;
+    }
+
+    if (!plain) std::printf("\x1b[2J\x1b[H");  // clear + home
+    ++frame;
+    RenderFrame(ParsePrometheus(metrics.body), health.status, events, frame);
+    std::fflush(stdout);
+
+    if (once || (iterations != 0 && frame >= iterations)) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
