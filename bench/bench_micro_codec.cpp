@@ -2,11 +2,23 @@
 // functional payload the runtime pipeline executes. (The paper's absolute
 // rates come from Xeon E5 / Arria-10 hardware; these numbers characterise
 // the reproduction's software decoder.)
+//
+// `--json` emits a fast-vs-reference kernel comparison as one JSON document
+// (for bench/run_benches.sh and regression tooling); without it the stock
+// google-benchmark harness runs.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "codec/jpeg_decoder.h"
 #include "codec/jpeg_encoder.h"
 #include "codec/png.h"
+#include "common/simd.h"
 #include "dataplane/synthetic_dataset.h"
 
 namespace {
@@ -113,4 +125,124 @@ void BM_JpegEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_JpegEncode);
 
+// --- `--json` mode: fast kernels vs seed reference path ------------------
+
+/// Milliseconds per call, self-timed. Warms up for ~100 ms (clock ramp,
+/// caches), then times several batches and returns the fastest batch mean —
+/// robust to scheduler interference, like the stock harness's repetitions.
+template <typename Fn>
+double TimeMs(Fn&& fn, double batch_ms = 100.0) {
+  using clock = std::chrono::steady_clock;
+  auto run_batch = [&](double target_ms) {
+    int iters = 0;
+    const auto start = clock::now();
+    double elapsed_ms = 0;
+    do {
+      fn();
+      ++iters;
+      elapsed_ms =
+          std::chrono::duration<double, std::milli>(clock::now() - start)
+              .count();
+    } while (elapsed_ms < target_ms);
+    return elapsed_ms / iters;
+  };
+  run_batch(batch_ms);  // warmup
+  double best = run_batch(batch_ms);
+  for (int i = 1; i < 4; ++i) {
+    const double t = run_batch(batch_ms);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+int RunJson() {
+#if defined(__GLIBC__)
+  // Keep freed pages in the arena. The runtime pipeline decodes into
+  // pooled buffers, so per-op heap trim (and the page re-faulting it
+  // causes) would be measurement noise here, not kernel cost.
+  mallopt(M_TRIM_THRESHOLD, 256 << 20);
+  mallopt(M_MMAP_THRESHOLD, 64 << 20);
+#endif
+  const dlb::Bytes data = EncodedScene(500, 375);
+  auto decode = [&] {
+    auto img = dlb::jpeg::Decode(data);
+    benchmark::DoNotOptimize(img);
+  };
+
+  struct Stage {
+    const char* key;
+    double fast_ms;
+    double ref_ms;
+  };
+  Stage stages[] = {{"full_decode", 0, 0},
+                    {"entropy_decode", 0, 0},
+                    {"inverse_transform", 0, 0},
+                    {"color_reconstruct", 0, 0}};
+
+  // The headline number first, on a clean heap.
+  {
+    dlb::simd::ScopedKernelMode mode(dlb::simd::KernelMode::kFast);
+    stages[0].fast_ms = TimeMs(decode, 150.0);
+  }
+  {
+    dlb::simd::ScopedKernelMode mode(dlb::simd::KernelMode::kReference);
+    stages[0].ref_ms = TimeMs(decode, 150.0);
+  }
+
+  auto header = dlb::jpeg::ParseHeaders(data);
+  auto entropy = [&] {
+    auto coeffs = dlb::jpeg::EntropyDecode(header.value(), data);
+    benchmark::DoNotOptimize(coeffs);
+  };
+  auto coeffs = dlb::jpeg::EntropyDecode(header.value(), data);
+  auto idct = [&] {
+    auto planes = dlb::jpeg::InverseTransform(header.value(), coeffs.value());
+    benchmark::DoNotOptimize(planes);
+  };
+  auto planes = dlb::jpeg::InverseTransform(header.value(), coeffs.value());
+  auto color = [&] {
+    auto img = dlb::jpeg::ColorReconstruct(header.value(), planes.value());
+    benchmark::DoNotOptimize(img);
+  };
+  {
+    dlb::simd::ScopedKernelMode mode(dlb::simd::KernelMode::kFast);
+    stages[1].fast_ms = TimeMs(entropy);
+    stages[2].fast_ms = TimeMs(idct);
+    stages[3].fast_ms = TimeMs(color);
+  }
+  {
+    dlb::simd::ScopedKernelMode mode(dlb::simd::KernelMode::kReference);
+    stages[1].ref_ms = TimeMs(entropy);
+    stages[2].ref_ms = TimeMs(idct);
+    stages[3].ref_ms = TimeMs(color);
+  }
+
+  std::printf("{\n");
+  std::printf("  \"kernels\": \"%s\",\n", dlb::simd::KernelInfo().c_str());
+  std::printf("  \"image\": \"500x375\",\n");
+  std::printf("  \"jpeg_bytes\": %zu,\n", data.size());
+  bool first = true;
+  for (const Stage& s : stages) {
+    std::printf("%s  \"%s\": {\"fast_ms\": %.4f, \"reference_ms\": %.4f, "
+                "\"fast_img_s\": %.1f, \"reference_img_s\": %.1f, "
+                "\"speedup\": %.2f}",
+                first ? "" : ",\n", s.key, s.fast_ms, s.ref_ms,
+                1000.0 / s.fast_ms, 1000.0 / s.ref_ms, s.ref_ms / s.fast_ms);
+    first = false;
+  }
+  std::printf("\n}\n");
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return RunJson();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,6 +26,8 @@ BENCHES=(
   "fig7_infer_throughput:bench_fig7_infer_throughput"
   "bottleneck_report:bench_misc_bottleneck_report"
   "monitor_overhead:bench_monitor_overhead"
+  "micro_codec:bench_micro_codec"
+  "micro_resize:bench_micro_resize"
 )
 
 failures=0

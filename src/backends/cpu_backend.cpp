@@ -4,6 +4,7 @@
 
 #include "codec/jpeg_decoder.h"
 #include "common/log.h"
+#include "common/simd.h"
 #include "image/resize.h"
 #include "telemetry/event_log.h"
 
@@ -24,7 +25,8 @@ std::string CpuBackend::Describe() const {
   return "cpu(threads=" + std::to_string(options_.num_threads) +
          ", batch=" + std::to_string(options_.batch_size) + ", resize=" +
          std::to_string(options_.resize_w) + "x" +
-         std::to_string(options_.resize_h) + ")";
+         std::to_string(options_.resize_h) + ", kernels=" +
+         simd::KernelInfo() + ")";
 }
 
 Status CpuBackend::Start() {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "codec/jpeg_common.h"
 #include "common/bytes.h"
@@ -48,35 +49,77 @@ class BitWriter {
 /// Reader over an entropy-coded segment. Un-stuffs 0xFF00 and treats any
 /// other 0xFF-prefixed byte as end-of-data (a marker), leaving the cursor
 /// on the 0xFF.
+///
+/// Internally a 64-bit accumulator refilled 32 bits at a time: a SWAR probe
+/// checks the next four bytes for 0xFF and, in the overwhelmingly common
+/// clean case, appends them with two shifts; only windows containing 0xFF
+/// (stuffing or a marker) take the byte-wise path. Because refill runs
+/// ahead of consumption, byte-oriented operations (AlignToByte, Position,
+/// restart markers) rewind the cursor over still-buffered whole bytes; the
+/// rewind is unambiguous since a consumed 0x00 preceded by 0xFF is always a
+/// stuffed pair (an unstuffed 0xFF never enters the accumulator).
 class BitReader {
  public:
   explicit BitReader(ByteSpan data) : data_(data) {}
 
-  /// Read `count` bits; returns -1 on exhausted data (caller treats as
-  /// corrupt stream or expected marker).
+  /// Read `count` bits, 0 <= count <= 24 (checked; 24 is the widest value
+  /// the -1 error sentinel cannot collide with, and matches BitWriter::Put).
+  /// Returns -1 on exhausted data (caller treats as corrupt stream or
+  /// expected marker).
   int32_t Get(int count) {
-    while (bit_count_ < count) {
-      if (!FillByte()) return -1;
+    DLB_CHECK(count >= 0 && count <= kMaxGetBits);
+    if (bit_count_ < count) {
+      Refill();
+      if (bit_count_ < count) return -1;
     }
-    const int32_t v =
-        static_cast<int32_t>((acc_ >> (bit_count_ - count)) & ((1u << count) - 1));
     bit_count_ -= count;
-    return v;
+    return static_cast<int32_t>((acc_ >> bit_count_) &
+                                ((1u << count) - 1));
   }
 
-  /// Read a single bit (hot path of Huffman decode); -1 when exhausted.
+  /// Widest Get() supported; reads of up to 32 buffered bits are possible
+  /// via Peek8/Drop composition, but Get() itself stays sentinel-safe.
+  static constexpr int kMaxGetBits = 24;
+
+  /// Read a single bit; -1 when exhausted.
   int GetBit() {
-    if (bit_count_ == 0 && !FillByte()) return -1;
+    if (bit_count_ == 0) {
+      Refill();
+      if (bit_count_ == 0) return -1;
+    }
     --bit_count_;
     return static_cast<int>((acc_ >> bit_count_) & 1u);
   }
 
-  /// Byte position of the cursor within the span (next unread byte).
-  size_t Position() const { return pos_; }
+  /// Peek at the next 8 bits without consuming them (Huffman fast path);
+  /// -1 when fewer than 8 bits remain before a marker / end of data.
+  int Peek8() {
+    if (bit_count_ < 8) {
+      Refill();
+      if (bit_count_ < 8) return -1;
+    }
+    return static_cast<int>((acc_ >> (bit_count_ - 8)) & 0xFFu);
+  }
 
-  /// Discard buffered bits and re-align to the next byte boundary
-  /// (used at restart markers).
+  /// Discard `count` already-peeked bits (count <= buffered bits).
+  void Drop(int count) {
+    DLB_CHECK(count >= 0 && count <= bit_count_);
+    bit_count_ -= count;
+  }
+
+  /// Byte position of the logical cursor within the span: the next byte
+  /// that holds unconsumed bits (buffered-but-unread whole bytes count as
+  /// unconsumed; a partially consumed byte counts as consumed).
+  size_t Position() const {
+    size_t p = pos_;
+    for (int n = bit_count_ / 8; n > 0; --n) p = RewindOne(p);
+    return p;
+  }
+
+  /// Discard buffered bits, give back buffered whole bytes, and re-align
+  /// the cursor to the next byte boundary (used at restart markers).
   void AlignToByte() {
+    for (int n = bit_count_ / 8; n > 0; --n) pos_ = RewindOne(pos_);
     acc_ = 0;
     bit_count_ = 0;
   }
@@ -84,6 +127,7 @@ class BitReader {
   /// True if the next two bytes are a restart marker; advances past it.
   /// Skips any stuffed padding bytes (0xFF00) that precede the marker.
   bool ConsumeRestartMarker(int expected_index) {
+    AlignToByte();
     while (pos_ + 1 < data_.size() && data_[pos_] == 0xFF &&
            data_[pos_ + 1] == 0x00) {
       pos_ += 2;
@@ -93,17 +137,42 @@ class BitReader {
     const uint8_t m = data_[pos_ + 1];
     if (m != (kRST0 + (expected_index & 7))) return false;
     pos_ += 2;
-    AlignToByte();
+    acc_ = 0;
+    bit_count_ = 0;
     return true;
   }
 
   bool Exhausted() const { return pos_ >= data_.size() && bit_count_ == 0; }
 
  private:
+  /// Top the accumulator up to >32 (= enough for any Get) buffered bits,
+  /// or as many as remain before a marker / end of data.
+  void Refill() {
+    while (bit_count_ <= 32) {
+      if (data_.size() >= 4 && pos_ <= data_.size() - 4) {
+        uint8_t b[4];
+        std::memcpy(b, data_.data() + pos_, sizeof(b));
+        uint32_t w;
+        std::memcpy(&w, b, sizeof(w));
+        // SWAR: any byte of w equal to 0xFF <=> ~w has a zero byte.
+        if ((((~w) - 0x01010101u) & w & 0x80808080u) == 0) {
+          const uint64_t be = (static_cast<uint64_t>(b[0]) << 24) |
+                              (static_cast<uint32_t>(b[1]) << 16) |
+                              (static_cast<uint32_t>(b[2]) << 8) | b[3];
+          acc_ = (acc_ << 32) | be;
+          bit_count_ += 32;
+          pos_ += 4;
+          continue;
+        }
+      }
+      if (!FillByte()) return;  // marker or end of data
+    }
+  }
+
   /// Load one (un-stuffed) data byte into the accumulator.
   bool FillByte() {
     if (pos_ >= data_.size()) return false;
-    uint8_t byte = data_[pos_];
+    const uint8_t byte = data_[pos_];
     if (byte == 0xFF) {
       if (pos_ + 1 < data_.size() && data_[pos_ + 1] == 0x00) {
         pos_ += 2;  // stuffed 0xFF
@@ -116,6 +185,13 @@ class BitReader {
     acc_ = (acc_ << 8) | byte;
     bit_count_ += 8;
     return true;
+  }
+
+  /// Step the cursor back over the most recently consumed source token:
+  /// two bytes for a stuffed 0xFF00 pair, one otherwise.
+  size_t RewindOne(size_t p) const {
+    if (p >= 2 && data_[p - 1] == 0x00 && data_[p - 2] == 0xFF) return p - 2;
+    return p - 1;
   }
 
   ByteSpan data_;

@@ -8,16 +8,17 @@ namespace dlb::jpeg {
 
 namespace {
 
+constexpr double kPi = 3.14159265358979323846;
+
 // Precomputed DCT-II basis: basis[u][x] = C(u)/2 * cos((2x+1)u*pi/16).
 struct Basis {
   float b[8][8];
   Basis() {
-    const double pi = 3.14159265358979323846;
     for (int u = 0; u < 8; ++u) {
       const double cu = (u == 0) ? std::sqrt(0.5) : 1.0;
       for (int x = 0; x < 8; ++x) {
         b[u][x] = static_cast<float>(
-            0.5 * cu * std::cos((2.0 * x + 1.0) * u * pi / 16.0));
+            0.5 * cu * std::cos((2.0 * x + 1.0) * u * kPi / 16.0));
       }
     }
   }
@@ -28,9 +29,133 @@ const Basis& GetBasis() {
   return basis;
 }
 
+// AAN butterfly constants.
+constexpr float kA1414 = 1.414213562f;  // sqrt(2)
+constexpr float kA1847 = 1.847759065f;
+constexpr float kA1082 = 1.082392200f;
+constexpr float kA2613 = 2.613125930f;
+constexpr float kA0707 = 0.707106781f;  // 1/sqrt(2)
+constexpr float kA0382 = 0.382683433f;
+constexpr float kA0541 = 0.541196100f;
+constexpr float kA1306 = 1.306562965f;
+
+// Interface scale tables: the AAN flowgraph computes the transform up to a
+// per-coefficient factor of 8*s[r]*s[c] (s[0]=1, s[k]=cos(k*pi/16)*sqrt(2)),
+// which scaled implementations fold into the (de)quantisation tables. This
+// module's contract is the unscaled transform, so apply the factors here.
+struct AanScales {
+  float inverse[64];  // multiply coefficients before the inverse flowgraph
+  float forward[64];  // multiply outputs after the forward flowgraph
+  AanScales() {
+    double s[8];
+    s[0] = 1.0;
+    for (int k = 1; k < 8; ++k) s[k] = std::cos(k * kPi / 16.0) * std::sqrt(2.0);
+    for (int i = 0; i < 64; ++i) {
+      const double f = 8.0 * s[i >> 3] * s[i & 7];
+      forward[i] = static_cast<float>(1.0 / f);
+      inverse[i] = static_cast<float>(s[i >> 3] * s[i & 7] / 8.0);
+    }
+  }
+};
+
+const AanScales& GetScales() {
+  static const AanScales scales;
+  return scales;
+}
+
+// One 8-point inverse AAN butterfly over p[0], p[s], ..., p[7s].
+template <int S>
+inline void InverseButterfly(float* p) {
+  const float tmp10 = p[0 * S] + p[4 * S];
+  const float tmp11 = p[0 * S] - p[4 * S];
+  const float tmp13 = p[2 * S] + p[6 * S];
+  const float tmp12 = (p[2 * S] - p[6 * S]) * kA1414 - tmp13;
+  const float e0 = tmp10 + tmp13;
+  const float e3 = tmp10 - tmp13;
+  const float e1 = tmp11 + tmp12;
+  const float e2 = tmp11 - tmp12;
+  const float z13 = p[5 * S] + p[3 * S];
+  const float z10 = p[5 * S] - p[3 * S];
+  const float z11 = p[1 * S] + p[7 * S];
+  const float z12 = p[1 * S] - p[7 * S];
+  const float o7 = z11 + z13;
+  const float t11 = (z11 - z13) * kA1414;
+  const float z5 = (z10 + z12) * kA1847;
+  const float t10 = kA1082 * z12 - z5;
+  const float t12 = z5 - kA2613 * z10;
+  const float o6 = t12 - o7;
+  const float o5 = t11 - o6;
+  const float o4 = t10 + o5;
+  p[0 * S] = e0 + o7;
+  p[7 * S] = e0 - o7;
+  p[1 * S] = e1 + o6;
+  p[6 * S] = e1 - o6;
+  p[2 * S] = e2 + o5;
+  p[5 * S] = e2 - o5;
+  p[4 * S] = e3 + o4;
+  p[3 * S] = e3 - o4;
+}
+
+// One 8-point forward AAN butterfly over p[0], p[s], ..., p[7s].
+template <int S>
+inline void ForwardButterfly(float* p) {
+  const float tmp0 = p[0 * S] + p[7 * S];
+  const float tmp7 = p[0 * S] - p[7 * S];
+  const float tmp1 = p[1 * S] + p[6 * S];
+  const float tmp6 = p[1 * S] - p[6 * S];
+  const float tmp2 = p[2 * S] + p[5 * S];
+  const float tmp5 = p[2 * S] - p[5 * S];
+  const float tmp3 = p[3 * S] + p[4 * S];
+  const float tmp4 = p[3 * S] - p[4 * S];
+  // Even part.
+  float tmp10 = tmp0 + tmp3;
+  const float tmp13 = tmp0 - tmp3;
+  float tmp11 = tmp1 + tmp2;
+  float tmp12 = tmp1 - tmp2;
+  p[0 * S] = tmp10 + tmp11;
+  p[4 * S] = tmp10 - tmp11;
+  const float z1 = (tmp12 + tmp13) * kA0707;
+  p[2 * S] = tmp13 + z1;
+  p[6 * S] = tmp13 - z1;
+  // Odd part.
+  tmp10 = tmp4 + tmp5;
+  tmp11 = tmp5 + tmp6;
+  tmp12 = tmp6 + tmp7;
+  const float z5 = (tmp10 - tmp12) * kA0382;
+  const float z2 = kA0541 * tmp10 + z5;
+  const float z4 = kA1306 * tmp12 + z5;
+  const float z3 = tmp11 * kA0707;
+  const float z11 = tmp7 + z3;
+  const float z13 = tmp7 - z3;
+  p[5 * S] = z13 + z2;
+  p[3 * S] = z13 - z2;
+  p[1 * S] = z11 + z4;
+  p[7 * S] = z11 - z4;
+}
+
 }  // namespace
 
 void ForwardDct8x8(const float in[64], float out[64]) {
+  const AanScales& sc = GetScales();
+  for (int i = 0; i < 64; ++i) out[i] = in[i];
+  for (int y = 0; y < 8; ++y) ForwardButterfly<1>(out + y * 8);
+  for (int x = 0; x < 8; ++x) ForwardButterfly<8>(out + x);
+  for (int i = 0; i < 64; ++i) out[i] *= sc.forward[i];
+}
+
+void InverseDct8x8(const float coeffs[64], uint8_t out[64]) {
+  const AanScales& sc = GetScales();
+  float ws[64];
+  for (int i = 0; i < 64; ++i) ws[i] = coeffs[i] * sc.inverse[i];
+  for (int x = 0; x < 8; ++x) InverseButterfly<8>(ws + x);
+  for (int y = 0; y < 8; ++y) InverseButterfly<1>(ws + y * 8);
+  for (int i = 0; i < 64; ++i) {
+    const int v = static_cast<int>(std::lrintf(ws[i] + 128.0f));
+    out[i] = static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  }
+}
+
+void ForwardDct8x8Basis(const float in[64], float out[64]) {
   const Basis& B = GetBasis();
   float tmp[64];
   // Rows: tmp[y][u] = sum_x in[y][x] * b[u][x]
@@ -51,7 +176,7 @@ void ForwardDct8x8(const float in[64], float out[64]) {
   }
 }
 
-void InverseDct8x8(const float coeffs[64], uint8_t out[64]) {
+void InverseDct8x8Basis(const float coeffs[64], uint8_t out[64]) {
   const Basis& B = GetBasis();
   float tmp[64];
   // Columns first: tmp[y][u] = sum_v coeffs[v][u] * b[v][y]

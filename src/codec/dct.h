@@ -1,9 +1,11 @@
 // 8x8 forward and inverse DCT (type II / III) for the JPEG codec.
 //
-// The inverse transform is the AAN (Arai-Agui-Nakajima) factorisation — the
-// same structure hardware implementations (including the paper's FPGA iDCT
-// unit) use, with the scale factors folded into the dequantisation table.
-// For clarity and testability we keep an unscaled float reference path too.
+// The production transforms use the AAN (Arai-Agui-Nakajima) factorisation
+// — 5 multiplies per 1-D pass instead of 64, the same structure hardware
+// implementations (including the paper's FPGA iDCT unit) use — with the
+// AAN scale factors applied at the interface so the unscaled contract is
+// unchanged. The seed basis-matmul implementations stay compiled in as the
+// *Basis reference oracles for the golden/kernel tests.
 #pragma once
 
 #include <array>
@@ -18,6 +20,11 @@ void ForwardDct8x8(const float in[64], float out[64]);
 /// Inverse DCT: `coeffs` are dequantised coefficients in natural order;
 /// output samples are clamped to [0,255] after the +128 level shift.
 void InverseDct8x8(const float coeffs[64], uint8_t out[64]);
+
+/// Seed reference implementations (direct basis matmul). Used as the
+/// accuracy oracle by tests and by the kReference kernel mode.
+void ForwardDct8x8Basis(const float in[64], float out[64]);
+void InverseDct8x8Basis(const float coeffs[64], uint8_t out[64]);
 
 /// Dequantise a zig-zag-ordered int16 coefficient block into natural-order
 /// floats ready for InverseDct8x8. (This is the "dequant" half of the FPGA

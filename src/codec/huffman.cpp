@@ -88,10 +88,35 @@ Result<HuffmanDecoder> HuffmanDecoder::Build(const HuffmanSpec& spec) {
 }
 
 int HuffmanDecoder::Decode(BitReader& br) const {
-  // The fast path needs 8 lookahead bits; near the end of the stream we
-  // fall back to bit-by-bit. Peeking is implemented by reading bit-by-bit
-  // here to keep BitReader simple; the fast table still pays off through
-  // the slow path's early exit below.
+  const int peek = br.Peek8();
+  if (peek < 0) {
+    // Fewer than 8 bits remain before a marker / end of data: the tail of
+    // the stream decodes bit-by-bit (at most a handful of symbols).
+    return DecodeReference(br);
+  }
+  const FastEntry fe = fast_[peek];
+  if (fe.symbol >= 0) {
+    br.Drop(fe.length);
+    return fe.symbol;
+  }
+  // Code longer than 8 bits: consume the peeked prefix and extend it. A
+  // canonical table guarantees no code of length <= 8 matches a longer
+  // code's prefix, so starting the MINCODE walk at length 9 is exact.
+  int code = br.Get(8);
+  for (int length = 9; length <= 16; ++length) {
+    const int bit = br.GetBit();
+    if (bit < 0) return -1;
+    code = (code << 1) | bit;
+    if (max_code_[length] >= 0 && code <= max_code_[length]) {
+      const int index = val_ptr_[length] + (code - min_code_[length]);
+      if (index < 0 || index >= static_cast<int>(vals_.size())) return -1;
+      return vals_[index];
+    }
+  }
+  return -1;  // no code longer than 16 bits exists
+}
+
+int HuffmanDecoder::DecodeReference(BitReader& br) const {
   int code = br.GetBit();
   if (code < 0) return -1;
   for (int length = 1; length <= 16; ++length) {

@@ -44,7 +44,15 @@ class HuffmanDecoder {
   static Result<HuffmanDecoder> Build(const HuffmanSpec& spec);
 
   /// Decode one symbol; returns -1 on malformed stream / exhausted input.
+  /// Fast path: one 8-bit peek resolves every code of length <= 8 (the
+  /// overwhelmingly common case) straight from the lookup table; longer
+  /// codes consume the peeked byte and finish via MINCODE/MAXCODE.
   int Decode(BitReader& br) const;
+
+  /// The seed bit-by-bit MINCODE walk, kept as the reference oracle and as
+  /// the fallback when fewer than 8 bits remain before a marker. Identical
+  /// symbol stream to Decode() on every valid input.
+  int DecodeReference(BitReader& br) const;
 
  private:
   // Slow path state (per code length 1..16).

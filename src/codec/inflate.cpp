@@ -35,6 +35,7 @@ class LsbBitReader {
   /// Copy `n` raw bytes (must be byte-aligned); false on underrun.
   bool CopyBytes(uint8_t* dst, size_t n) {
     if (pos_ + n > data_.size()) return false;
+    if (n == 0) return true;  // dst may be null for an empty output buffer
     std::memcpy(dst, data_.data() + pos_, n);
     pos_ += n;
     return true;

@@ -7,6 +7,8 @@
 #include "codec/color.h"
 #include "codec/dct.h"
 #include "codec/huffman.h"
+#include "codec/kernels.h"
+#include "common/simd.h"
 
 namespace dlb::jpeg {
 
@@ -157,11 +159,13 @@ Status FinalizeGeometry(JpegHeader* h) {
 }
 
 /// Decode one 8x8 block's coefficients into zig-zag order (T.81 F.2.2).
+/// `reference` selects the seed bit-by-bit Huffman walk (kReference mode);
+/// the default is the LUT fast path — identical symbols either way.
 Status DecodeBlockCoeffs(BitReader& br, const HuffmanDecoder& dc_tbl,
                          const HuffmanDecoder& ac_tbl, int* dc_pred,
-                         int16_t zz[64]) {
+                         int16_t zz[64], bool reference) {
   std::memset(zz, 0, 64 * sizeof(int16_t));
-  const int ssss = dc_tbl.Decode(br);
+  const int ssss = reference ? dc_tbl.DecodeReference(br) : dc_tbl.Decode(br);
   if (ssss < 0 || ssss > 15) return CorruptData("bad DC category");
   if (ssss > 0) {
     const int32_t bits = br.Get(ssss);
@@ -172,7 +176,7 @@ Status DecodeBlockCoeffs(BitReader& br, const HuffmanDecoder& dc_tbl,
 
   int k = 1;
   while (k < 64) {
-    const int rs = ac_tbl.Decode(br);
+    const int rs = reference ? ac_tbl.DecodeReference(br) : ac_tbl.Decode(br);
     if (rs < 0) return CorruptData("bad AC symbol");
     const int run = rs >> 4;
     const int size = rs & 0x0F;
@@ -318,6 +322,8 @@ Result<CoeffData> EntropyDecode(const JpegHeader& h, ByteSpan jpeg) {
   int rst_index = 0;
   int mcus_done = 0;
   int16_t zz[64];
+  const bool reference =
+      simd::GetKernelMode() == simd::KernelMode::kReference;
 
   for (int my = 0; my < h.mcus_h; ++my) {
     for (int mx = 0; mx < h.mcus_w; ++mx) {
@@ -338,7 +344,7 @@ Result<CoeffData> EntropyDecode(const JpegHeader& h, ByteSpan jpeg) {
             const int block_y = my * c.v_samp + by;
             DLB_RETURN_IF_ERROR(DecodeBlockCoeffs(
                 br, dc[c.dc_table].value(), ac[c.ac_table].value(),
-                &dc_pred[ci], zz));
+                &dc_pred[ci], zz, reference));
             int16_t* dst =
                 out.coeffs[ci].data() +
                 (static_cast<size_t>(block_y) * c.blocks_w + block_x) * 64;
@@ -359,6 +365,8 @@ Result<PlaneData> InverseTransform(const JpegHeader& h,
   }
   PlaneData out;
   out.planes.resize(h.components.size());
+  const bool reference =
+      simd::GetKernelMode() == simd::KernelMode::kReference;
   float dq[64];
   uint8_t samples[64];
   for (size_t ci = 0; ci < h.components.size(); ++ci) {
@@ -370,16 +378,31 @@ Result<PlaneData> InverseTransform(const JpegHeader& h,
     if (coeffs.coeffs[ci].size() != nblocks * 64) {
       return InvalidArgument("coefficient block count mismatch");
     }
+    if (reference) {
+      // Seed path: float dequant + basis-matmul iDCT + row copies.
+      for (size_t b = 0; b < nblocks; ++b) {
+        DequantizeZigZag(coeffs.coeffs[ci].data() + b * 64, quant.data(), dq);
+        InverseDct8x8Basis(dq, samples);
+        const int bx = static_cast<int>(b % c.blocks_w);
+        const int by = static_cast<int>(b / c.blocks_w);
+        uint8_t* base = plane.data() +
+                        (static_cast<size_t>(by) * 8 * c.plane_w) + bx * 8;
+        for (int y = 0; y < 8; ++y) {
+          std::memcpy(base + static_cast<size_t>(y) * c.plane_w,
+                      samples + y * 8, 8);
+        }
+      }
+      continue;
+    }
+    // Fast path: fused integer dequant+iDCT straight into the plane.
+    const kernels::IdctTable table = kernels::BuildIdctTable(quant.data());
     for (size_t b = 0; b < nblocks; ++b) {
-      DequantizeZigZag(coeffs.coeffs[ci].data() + b * 64, quant.data(), dq);
-      InverseDct8x8(dq, samples);
       const int bx = static_cast<int>(b % c.blocks_w);
       const int by = static_cast<int>(b / c.blocks_w);
       uint8_t* base = plane.data() +
                       (static_cast<size_t>(by) * 8 * c.plane_w) + bx * 8;
-      for (int y = 0; y < 8; ++y) {
-        std::memcpy(base + static_cast<size_t>(y) * c.plane_w, samples + y * 8, 8);
-      }
+      kernels::DequantIdct8x8(coeffs.coeffs[ci].data() + b * 64, table, base,
+                              c.plane_w);
     }
   }
   return out;
@@ -408,19 +431,66 @@ Result<Image> ColorReconstruct(const JpegHeader& h, const PlaneData& planes) {
   const auto& py = planes.planes[0];
   const auto& pcb = planes.planes[1];
   const auto& pcr = planes.planes[2];
+
+  if (simd::GetKernelMode() == simd::KernelMode::kReference) {
+    // Seed path: per-pixel accessors.
+    for (int y = 0; y < h.height; ++y) {
+      uint8_t* row = img.Row(y);
+      const int yy = y * cy.v_samp / h.max_v;
+      const int cby = y * ccb.v_samp / h.max_v;
+      const int cry = y * ccr.v_samp / h.max_v;
+      for (int x = 0; x < h.width; ++x) {
+        const int yx = x * cy.h_samp / h.max_h;
+        const int cbx = x * ccb.h_samp / h.max_h;
+        const int crx = x * ccr.h_samp / h.max_h;
+        const int Y = py[static_cast<size_t>(yy) * cy.plane_w + yx];
+        const int Cb = pcb[static_cast<size_t>(cby) * ccb.plane_w + cbx];
+        const int Cr = pcr[static_cast<size_t>(cry) * ccr.plane_w + crx];
+        YcbcrToRgbPixel(Y, Cb, Cr, row + x * 3, row + x * 3 + 1,
+                        row + x * 3 + 2);
+      }
+    }
+    return img;
+  }
+
+  // Fast path: row-pointer kernels. The common layouts (luma full-res,
+  // chroma full- or half-resolution horizontally) get dedicated loops; any
+  // other sampling goes through precomputed per-x index maps. All variants
+  // reproduce the x * h_samp / max_h indexing above exactly.
+  const bool y_full = cy.h_samp == h.max_h;
+  const bool all_full =
+      y_full && ccb.h_samp == h.max_h && ccr.h_samp == h.max_h;
+  const bool chroma_half =
+      y_full && 2 * ccb.h_samp == h.max_h && 2 * ccr.h_samp == h.max_h;
+  std::vector<int32_t> xmap_y, xmap_cb, xmap_cr;
+  if (!all_full && !chroma_half) {
+    xmap_y.resize(h.width);
+    xmap_cb.resize(h.width);
+    xmap_cr.resize(h.width);
+    for (int x = 0; x < h.width; ++x) {
+      xmap_y[x] = x * cy.h_samp / h.max_h;
+      xmap_cb[x] = x * ccb.h_samp / h.max_h;
+      xmap_cr[x] = x * ccr.h_samp / h.max_h;
+    }
+  }
   for (int y = 0; y < h.height; ++y) {
     uint8_t* row = img.Row(y);
-    const int yy = y * cy.v_samp / h.max_v;
-    const int cby = y * ccb.v_samp / h.max_v;
-    const int cry = y * ccr.v_samp / h.max_v;
-    for (int x = 0; x < h.width; ++x) {
-      const int yx = x * cy.h_samp / h.max_h;
-      const int cbx = x * ccb.h_samp / h.max_h;
-      const int crx = x * ccr.h_samp / h.max_h;
-      const int Y = py[static_cast<size_t>(yy) * cy.plane_w + yx];
-      const int Cb = pcb[static_cast<size_t>(cby) * ccb.plane_w + cbx];
-      const int Cr = pcr[static_cast<size_t>(cry) * ccr.plane_w + crx];
-      YcbcrToRgbPixel(Y, Cb, Cr, row + x * 3, row + x * 3 + 1, row + x * 3 + 2);
+    const uint8_t* yrow =
+        py.data() + static_cast<size_t>(y * cy.v_samp / h.max_v) * cy.plane_w;
+    const uint8_t* cbrow =
+        pcb.data() +
+        static_cast<size_t>(y * ccb.v_samp / h.max_v) * ccb.plane_w;
+    const uint8_t* crrow =
+        pcr.data() +
+        static_cast<size_t>(y * ccr.v_samp / h.max_v) * ccr.plane_w;
+    if (all_full) {
+      kernels::YcbcrRowToRgb(yrow, cbrow, crrow, h.width, row);
+    } else if (chroma_half) {
+      kernels::YcbcrRowToRgbHalfX(yrow, cbrow, crrow, h.width, row);
+    } else {
+      kernels::YcbcrRowToRgbMapped(yrow, cbrow, crrow, xmap_y.data(),
+                                   xmap_cb.data(), xmap_cr.data(), h.width,
+                                   row);
     }
   }
   return img;

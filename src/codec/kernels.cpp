@@ -1,0 +1,404 @@
+#include "codec/kernels.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "codec/jpeg_common.h"
+#include "common/simd.h"
+
+#if defined(DLB_SIMD_SSE2) || defined(DLB_SIMD_AVX2)
+#include <immintrin.h>
+#endif
+#if defined(DLB_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace dlb::jpeg::kernels {
+
+namespace {
+
+// AAN butterfly multipliers at 2^13. The transform works on coefficients
+// pre-scaled by the folded dequant table (2^kDqBits), so one block costs
+// 2*8*5 = 80 multiplies instead of the 1024 of the basis matmul.
+constexpr int kConstBits = 13;
+constexpr int32_t kF1414 = 11585;  // sqrt(2)      * 2^13
+constexpr int32_t kF1847 = 15137;  // 1.847759065  * 2^13
+constexpr int32_t kF1082 = 8867;   // 1.082392200  * 2^13
+constexpr int32_t kF2613 = 21407;  // 2.613125930  * 2^13
+
+// Overflow guards (not accuracy bounds): the per-pass worst-case growth of
+// the flowgraph is < 22x, so clamping scatter output to +/-2^23 and pass-1
+// output to +/-2^25 keeps every intermediate below 2^30 — no int32 overflow,
+// UBSan-clean. Valid JPEG data stays 2 orders of magnitude below both
+// clamps; only adversarial coefficient/quant combinations ever touch them,
+// and both arms clamp identically.
+constexpr int32_t kInClamp = 1 << 23;
+constexpr int32_t kMidClamp = 1 << 25;
+
+// Final descale: values carry pixel * 2^(kDqBits + 3).
+constexpr int kOutShift = kDqBits + 3;
+constexpr int32_t kOutRound = 1 << (kOutShift - 1);
+
+inline int32_t Mul(int32_t v, int32_t c) {
+  return static_cast<int32_t>((static_cast<int64_t>(v) * c) >> kConstBits);
+}
+
+inline int32_t Clamp32(int64_t v, int32_t limit) {
+  if (v < -limit) return -limit;
+  if (v > limit) return limit;
+  return static_cast<int32_t>(v);
+}
+
+inline uint8_t ClampU8(int v) {
+  return static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+inline uint8_t DescaleToU8(int32_t v) {
+  return ClampU8(((v + kOutRound) >> kOutShift) + 128);
+}
+
+// Dequantise zz into a natural-order workspace. Returns a bitmask of
+// columns that have at least one nonzero AC row (bit c = column c).
+inline uint32_t Scatter(const int16_t zz[64], const IdctTable& t,
+                        int32_t ws[64]) {
+  std::memset(ws, 0, 64 * sizeof(int32_t));
+  uint32_t col_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (zz[i] == 0) continue;
+    const int nat = kZigZag[i];
+    ws[nat] = Clamp32(static_cast<int64_t>(zz[i]) * t.m[i], kInClamp);
+    if (nat >= 8) col_ac |= 1u << (nat & 7);
+  }
+  return col_ac;
+}
+
+inline void FillDcOnly(const int16_t zz[64], const IdctTable& t, uint8_t* out,
+                       int stride) {
+  // Matches the general path exactly: with only ws[0] nonzero both butterfly
+  // passes degenerate to pass-through, so every sample descales ws[0].
+  const int32_t dc =
+      Clamp32(static_cast<int64_t>(zz[0]) * t.m[0], kInClamp);
+  const uint8_t v = DescaleToU8(dc);
+  for (int y = 0; y < 8; ++y) std::memset(out + y * stride, v, 8);
+}
+
+}  // namespace
+
+IdctTable BuildIdctTable(const uint16_t quant_natural[64]) {
+  // AAN output scale factors: s[0] = 1, s[k] = cos(k*pi/16) * sqrt(2).
+  double s[8];
+  s[0] = 1.0;
+  for (int k = 1; k < 8; ++k) {
+    s[k] = std::cos(k * 3.14159265358979323846 / 16.0) * 1.41421356237309505;
+  }
+  IdctTable t;
+  for (int i = 0; i < 64; ++i) {
+    const int nat = kZigZag[i];
+    const int r = nat >> 3, c = nat & 7;
+    t.m[i] = static_cast<int32_t>(std::lround(
+        quant_natural[nat] * s[r] * s[c] * (1 << kDqBits)));
+  }
+  return t;
+}
+
+bool BlockHasAc(const int16_t zz[64]) {
+#if defined(DLB_SIMD_SSE2)
+  const __m128i* p = reinterpret_cast<const __m128i*>(zz);
+  // Mask off zz[0] (element 0 of the first vector).
+  const __m128i dc_mask =
+      _mm_set_epi16(-1, -1, -1, -1, -1, -1, -1, 0);
+  __m128i acc = _mm_and_si128(_mm_loadu_si128(p), dc_mask);
+  for (int i = 1; i < 8; ++i) acc = _mm_or_si128(acc, _mm_loadu_si128(p + i));
+  const __m128i zero = _mm_setzero_si128();
+  return _mm_movemask_epi8(_mm_cmpeq_epi8(acc, zero)) != 0xFFFF;
+#elif defined(DLB_SIMD_NEON) && defined(__aarch64__)
+  uint16x8_t acc = vreinterpretq_u16_s16(vld1q_s16(zz));
+  const uint16x8_t dc_mask = {0, 0xFFFF, 0xFFFF, 0xFFFF,
+                              0xFFFF, 0xFFFF, 0xFFFF, 0xFFFF};
+  acc = vandq_u16(acc, dc_mask);
+  for (int i = 1; i < 8; ++i) {
+    acc = vorrq_u16(acc, vreinterpretq_u16_s16(vld1q_s16(zz + i * 8)));
+  }
+  return vmaxvq_u16(acc) != 0;
+#else
+  uint32_t agg = static_cast<uint16_t>(zz[1]) | static_cast<uint16_t>(zz[2]) |
+                 static_cast<uint16_t>(zz[3]);
+  uint64_t wide = 0;
+  for (int i = 1; i < 16; ++i) {
+    uint64_t w;
+    std::memcpy(&w, zz + i * 4, sizeof(w));
+    wide |= w;
+  }
+  return (agg | wide) != 0;
+#endif
+}
+
+void DequantIdct8x8Scalar(const int16_t zz[64], const IdctTable& t,
+                          uint8_t* out, int stride) {
+  if (!BlockHasAc(zz)) {
+    FillDcOnly(zz, t, out, stride);
+    return;
+  }
+  int32_t ws[64];
+  const uint32_t col_ac = Scatter(zz, t, ws);
+
+  // Pass 1: 1-D transform down each column.
+  for (int c = 0; c < 8; ++c) {
+    int32_t* col = ws + c;
+    if (!(col_ac & (1u << c))) {
+      // AC rows all zero: the butterfly passes the DC through unchanged.
+      const int32_t dc = col[0];
+      col[8] = col[16] = col[24] = col[32] = col[40] = col[48] = col[56] = dc;
+      continue;
+    }
+    // Even part.
+    const int32_t tmp10 = col[0] + col[32];
+    const int32_t tmp11 = col[0] - col[32];
+    const int32_t tmp13 = col[16] + col[48];
+    const int32_t tmp12 = Mul(col[16] - col[48], kF1414) - tmp13;
+    const int32_t e0 = tmp10 + tmp13;
+    const int32_t e3 = tmp10 - tmp13;
+    const int32_t e1 = tmp11 + tmp12;
+    const int32_t e2 = tmp11 - tmp12;
+    // Odd part.
+    const int32_t z13 = col[40] + col[24];
+    const int32_t z10 = col[40] - col[24];
+    const int32_t z11 = col[8] + col[56];
+    const int32_t z12 = col[8] - col[56];
+    const int32_t o7 = z11 + z13;
+    const int32_t t11 = Mul(z11 - z13, kF1414);
+    const int32_t z5 = Mul(z10 + z12, kF1847);
+    const int32_t t10 = Mul(z12, kF1082) - z5;
+    const int32_t t12 = z5 - Mul(z10, kF2613);
+    const int32_t o6 = t12 - o7;
+    const int32_t o5 = t11 - o6;
+    const int32_t o4 = t10 + o5;
+    col[0] = Clamp32(static_cast<int64_t>(e0) + o7, kMidClamp);
+    col[56] = Clamp32(static_cast<int64_t>(e0) - o7, kMidClamp);
+    col[8] = Clamp32(static_cast<int64_t>(e1) + o6, kMidClamp);
+    col[48] = Clamp32(static_cast<int64_t>(e1) - o6, kMidClamp);
+    col[16] = Clamp32(static_cast<int64_t>(e2) + o5, kMidClamp);
+    col[40] = Clamp32(static_cast<int64_t>(e2) - o5, kMidClamp);
+    col[32] = Clamp32(static_cast<int64_t>(e3) + o4, kMidClamp);
+    col[24] = Clamp32(static_cast<int64_t>(e3) - o4, kMidClamp);
+  }
+
+  // Pass 2: 1-D transform along each row, descale, level shift, clamp.
+  for (int r = 0; r < 8; ++r) {
+    const int32_t* row = ws + r * 8;
+    uint8_t* o = out + r * stride;
+    const int32_t tmp10 = row[0] + row[4];
+    const int32_t tmp11 = row[0] - row[4];
+    const int32_t tmp13 = row[2] + row[6];
+    const int32_t tmp12 = Mul(row[2] - row[6], kF1414) - tmp13;
+    const int32_t e0 = tmp10 + tmp13;
+    const int32_t e3 = tmp10 - tmp13;
+    const int32_t e1 = tmp11 + tmp12;
+    const int32_t e2 = tmp11 - tmp12;
+    const int32_t z13 = row[5] + row[3];
+    const int32_t z10 = row[5] - row[3];
+    const int32_t z11 = row[1] + row[7];
+    const int32_t z12 = row[1] - row[7];
+    const int32_t o7 = z11 + z13;
+    const int32_t t11 = Mul(z11 - z13, kF1414);
+    const int32_t z5 = Mul(z10 + z12, kF1847);
+    const int32_t t10 = Mul(z12, kF1082) - z5;
+    const int32_t t12 = z5 - Mul(z10, kF2613);
+    const int32_t o6 = t12 - o7;
+    const int32_t o5 = t11 - o6;
+    const int32_t o4 = t10 + o5;
+    o[0] = DescaleToU8(e0 + o7);
+    o[7] = DescaleToU8(e0 - o7);
+    o[1] = DescaleToU8(e1 + o6);
+    o[6] = DescaleToU8(e1 - o6);
+    o[2] = DescaleToU8(e2 + o5);
+    o[5] = DescaleToU8(e2 - o5);
+    o[4] = DescaleToU8(e3 + o4);
+    o[3] = DescaleToU8(e3 - o4);
+  }
+}
+
+#if defined(DLB_SIMD_AVX2)
+
+namespace {
+
+// (v * c) >> 13 per 32-bit lane with the full 64-bit product, matching the
+// scalar Mul() bit for bit.
+inline __m256i Mul13(__m256i v, __m256i c) {
+  __m256i even = _mm256_mul_epi32(v, c);
+  __m256i odd = _mm256_mul_epi32(_mm256_srli_epi64(v, 32), c);
+  even = _mm256_srli_epi64(even, kConstBits);
+  odd = _mm256_slli_epi64(_mm256_srli_epi64(odd, kConstBits), 32);
+  return _mm256_blend_epi32(even, odd, 0xAA);
+}
+
+inline __m256i ClampVec(__m256i v, int32_t limit) {
+  v = _mm256_min_epi32(v, _mm256_set1_epi32(limit));
+  return _mm256_max_epi32(v, _mm256_set1_epi32(-limit));
+}
+
+// One 8-point AAN butterfly across v[0..7], element-wise per lane. The
+// arithmetic is the exact vector twin of the scalar passes: same multiplier
+// constants, same truncating shifts, same evaluation order.
+inline void Butterfly(__m256i v[8]) {
+  const __m256i c1414 = _mm256_set1_epi32(kF1414);
+  const __m256i c1847 = _mm256_set1_epi32(kF1847);
+  const __m256i c1082 = _mm256_set1_epi32(kF1082);
+  const __m256i c2613 = _mm256_set1_epi32(kF2613);
+  const __m256i tmp10 = _mm256_add_epi32(v[0], v[4]);
+  const __m256i tmp11 = _mm256_sub_epi32(v[0], v[4]);
+  const __m256i tmp13 = _mm256_add_epi32(v[2], v[6]);
+  const __m256i tmp12 =
+      _mm256_sub_epi32(Mul13(_mm256_sub_epi32(v[2], v[6]), c1414), tmp13);
+  const __m256i e0 = _mm256_add_epi32(tmp10, tmp13);
+  const __m256i e3 = _mm256_sub_epi32(tmp10, tmp13);
+  const __m256i e1 = _mm256_add_epi32(tmp11, tmp12);
+  const __m256i e2 = _mm256_sub_epi32(tmp11, tmp12);
+  const __m256i z13 = _mm256_add_epi32(v[5], v[3]);
+  const __m256i z10 = _mm256_sub_epi32(v[5], v[3]);
+  const __m256i z11 = _mm256_add_epi32(v[1], v[7]);
+  const __m256i z12 = _mm256_sub_epi32(v[1], v[7]);
+  const __m256i o7 = _mm256_add_epi32(z11, z13);
+  const __m256i t11 = Mul13(_mm256_sub_epi32(z11, z13), c1414);
+  const __m256i z5 = Mul13(_mm256_add_epi32(z10, z12), c1847);
+  const __m256i t10 = _mm256_sub_epi32(Mul13(z12, c1082), z5);
+  const __m256i t12 = _mm256_sub_epi32(z5, Mul13(z10, c2613));
+  const __m256i o6 = _mm256_sub_epi32(t12, o7);
+  const __m256i o5 = _mm256_sub_epi32(t11, o6);
+  const __m256i o4 = _mm256_add_epi32(t10, o5);
+  v[0] = _mm256_add_epi32(e0, o7);
+  v[7] = _mm256_sub_epi32(e0, o7);
+  v[1] = _mm256_add_epi32(e1, o6);
+  v[6] = _mm256_sub_epi32(e1, o6);
+  v[2] = _mm256_add_epi32(e2, o5);
+  v[5] = _mm256_sub_epi32(e2, o5);
+  v[4] = _mm256_add_epi32(e3, o4);
+  v[3] = _mm256_sub_epi32(e3, o4);
+}
+
+inline void Transpose8x8(__m256i r[8]) {
+  const __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+  const __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+  const __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+  const __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+  const __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+  const __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+  const __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+  const __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+  const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+  r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+void DequantIdct8x8Avx2(const int16_t zz[64], const IdctTable& t, uint8_t* out,
+                        int stride) {
+  if (!BlockHasAc(zz)) {
+    FillDcOnly(zz, t, out, stride);
+    return;
+  }
+  alignas(32) int32_t ws[64];
+  Scatter(zz, t, ws);  // column mask unused: the vector path runs all 8
+
+  __m256i v[8];
+  for (int r = 0; r < 8; ++r) {
+    v[r] = _mm256_load_si256(reinterpret_cast<const __m256i*>(ws + r * 8));
+  }
+  // Pass 1 down the columns (lanes = columns), clamped like the scalar arm.
+  Butterfly(v);
+  for (int r = 0; r < 8; ++r) v[r] = ClampVec(v[r], kMidClamp);
+  // Pass 2 along the rows: transpose so lanes = rows.
+  Transpose8x8(v);
+  Butterfly(v);
+  const __m256i round = _mm256_set1_epi32(kOutRound);
+  const __m256i bias = _mm256_set1_epi32(128);
+  for (int k = 0; k < 8; ++k) {
+    v[k] = _mm256_add_epi32(
+        _mm256_srai_epi32(_mm256_add_epi32(v[k], round), kOutShift), bias);
+  }
+  Transpose8x8(v);  // back to vector = output row
+  // Saturating pack to bytes (identical to the scalar 0..255 clamp).
+  const __m256i p01 =
+      _mm256_permute4x64_epi64(_mm256_packs_epi32(v[0], v[1]), 0xD8);
+  const __m256i p23 =
+      _mm256_permute4x64_epi64(_mm256_packs_epi32(v[2], v[3]), 0xD8);
+  const __m256i p45 =
+      _mm256_permute4x64_epi64(_mm256_packs_epi32(v[4], v[5]), 0xD8);
+  const __m256i p67 =
+      _mm256_permute4x64_epi64(_mm256_packs_epi32(v[6], v[7]), 0xD8);
+  alignas(32) uint8_t bytes[64];
+  _mm256_store_si256(
+      reinterpret_cast<__m256i*>(bytes),
+      _mm256_permute4x64_epi64(_mm256_packus_epi16(p01, p23), 0xD8));
+  _mm256_store_si256(
+      reinterpret_cast<__m256i*>(bytes + 32),
+      _mm256_permute4x64_epi64(_mm256_packus_epi16(p45, p67), 0xD8));
+  for (int r = 0; r < 8; ++r) std::memcpy(out + r * stride, bytes + r * 8, 8);
+}
+
+}  // namespace
+
+#endif  // DLB_SIMD_AVX2
+
+void DequantIdct8x8(const int16_t zz[64], const IdctTable& t, uint8_t* out,
+                    int stride) {
+#if defined(DLB_SIMD_AVX2)
+  if (simd::GetKernelMode() != simd::KernelMode::kScalar) {
+    DequantIdct8x8Avx2(zz, t, out, stride);
+    return;
+  }
+#endif
+  DequantIdct8x8Scalar(zz, t, out, stride);
+}
+
+// --- Colour rows ----------------------------------------------------------
+
+namespace {
+
+// The exact fixed-point arithmetic of YcbcrToRgbPixel, inlined.
+inline void YccPixel(int y, int cb, int cr, uint8_t* p) {
+  const int c = cr - 128;
+  const int d = cb - 128;
+  p[0] = ClampU8(y + ((91881 * c + 32768) >> 16));
+  p[1] = ClampU8(y - ((22554 * d + 46802 * c + 32768) >> 16));
+  p[2] = ClampU8(y + ((116130 * d + 32768) >> 16));
+}
+
+}  // namespace
+
+void YcbcrRowToRgb(const uint8_t* y, const uint8_t* cb, const uint8_t* cr,
+                   int width, uint8_t* rgb) {
+  for (int x = 0; x < width; ++x) {
+    YccPixel(y[x], cb[x], cr[x], rgb + x * 3);
+  }
+}
+
+void YcbcrRowToRgbHalfX(const uint8_t* y, const uint8_t* cb,
+                        const uint8_t* cr, int width, uint8_t* rgb) {
+  for (int x = 0; x < width; ++x) {
+    YccPixel(y[x], cb[x >> 1], cr[x >> 1], rgb + x * 3);
+  }
+}
+
+void YcbcrRowToRgbMapped(const uint8_t* y, const uint8_t* cb,
+                         const uint8_t* cr, const int32_t* xmap_y,
+                         const int32_t* xmap_cb, const int32_t* xmap_cr,
+                         int width, uint8_t* rgb) {
+  for (int x = 0; x < width; ++x) {
+    YccPixel(y[xmap_y[x]], cb[xmap_cb[x]], cr[xmap_cr[x]], rgb + x * 3);
+  }
+}
+
+}  // namespace dlb::jpeg::kernels

@@ -1,0 +1,76 @@
+// Fast decode kernels for the JPEG hot path (dequant+iDCT, colour rows).
+//
+// These are the software twins of the FPGA decoder's iDCT and colour units,
+// rebuilt for CPU throughput:
+//
+//  * DequantIdct8x8 fuses dequantisation, the inverse DCT and the +128
+//    level shift into one pass that writes straight into the destination
+//    plane (no float intermediate, no per-block memcpy). The transform is
+//    the AAN (Arai-Agui-Nakajima) factorisation in 32-bit fixed point with
+//    the AAN scale factors folded into the dequantisation multipliers, plus
+//    two sparse-block short-circuits: an all-AC-zero (DC-only) block fill
+//    and a per-column AC-rows-all-zero skip keyed off the coefficient mask.
+//  * The row converters apply the exact BT.601 fixed-point arithmetic of
+//    YcbcrToRgbPixel over raw row pointers (no per-pixel accessor calls).
+//
+// Bit-exactness contract: every kernel is pure integer arithmetic, so the
+// scalar arm and the SIMD arms produce byte-identical output on every
+// input, on every platform (golden_decode_test proves it end-to-end). The
+// seed float iDCT (InverseDct8x8Basis) remains compiled in as the
+// reference oracle; the integer transform tracks it within +/-1 LSB per
+// sample (kernels_test bounds it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dlb::jpeg::kernels {
+
+/// Fixed-point fractional bits folded into the dequantisation multipliers.
+inline constexpr int kDqBits = 10;
+
+/// Folded dequantisation table: m[i] multiplies the zig-zag coefficient
+/// zz[i] and carries quant * aan_scale(row) * aan_scale(col) * 2^kDqBits
+/// for the natural position kZigZag[i].
+struct IdctTable {
+  std::array<int32_t, 64> m{};
+};
+
+/// Build the folded table from a natural-order dequantisation table
+/// (JpegHeader::quant).
+IdctTable BuildIdctTable(const uint16_t quant_natural[64]);
+
+/// Dequantise + inverse-transform one 8x8 block of zig-zag coefficients and
+/// write the level-shifted, clamped samples to out[y*stride + x].
+/// Dispatches to the best compiled arm unless the kernel mode forces
+/// scalar; both arms are byte-identical.
+void DequantIdct8x8(const int16_t zz[64], const IdctTable& table, uint8_t* out,
+                    int stride);
+
+/// Scalar arm, exposed for tests and for the DLB_SIMD=off build.
+void DequantIdct8x8Scalar(const int16_t zz[64], const IdctTable& table,
+                          uint8_t* out, int stride);
+
+/// True if any AC coefficient (zz[1..63]) is nonzero. SIMD-accelerated
+/// where available; exact on every arm.
+bool BlockHasAc(const int16_t zz[64]);
+
+// --- YCbCr -> interleaved RGB row converters ------------------------------
+// All three reproduce YcbcrToRgbPixel bit-exactly. `rgb` receives width*3
+// bytes.
+
+/// Chroma sampled 1:1 with luma (4:4:4).
+void YcbcrRowToRgb(const uint8_t* y, const uint8_t* cb, const uint8_t* cr,
+                   int width, uint8_t* rgb);
+
+/// Chroma at half horizontal resolution (4:2:0 / 4:2:2): index = x >> 1.
+void YcbcrRowToRgbHalfX(const uint8_t* y, const uint8_t* cb,
+                        const uint8_t* cr, int width, uint8_t* rgb);
+
+/// Fully general sampling: per-component precomputed x index maps.
+void YcbcrRowToRgbMapped(const uint8_t* y, const uint8_t* cb,
+                         const uint8_t* cr, const int32_t* xmap_y,
+                         const int32_t* xmap_cb, const int32_t* xmap_cr,
+                         int width, uint8_t* rgb);
+
+}  // namespace dlb::jpeg::kernels

@@ -1,0 +1,126 @@
+// SIMD capability detection and the kernel dispatch switch.
+//
+// Detection is compile-time: each kernel translation unit guards its
+// vector arms with the DLB_SIMD_* macros below, which reflect what the
+// compiler was asked to target (-march=...; see the DLB_SIMD / DLB_NATIVE
+// CMake options). There is no runtime CPUID probing — the binary either
+// contains an arm or it does not — but there IS a runtime mode switch so
+// tests and benches can force the scalar arm (the reference oracle for
+// bit-exactness checks) without rebuilding.
+//
+// Modes:
+//   kFast      — best compiled arm (AVX2 > NEON > SSE2 > scalar).
+//   kScalar    — the new scalar kernels, vector arms disabled. Output is
+//                bit-identical to kFast by construction (integer kernels).
+//   kReference — the seed textbook implementations (float basis-matmul
+//                iDCT, per-pixel colour/resize accessors, bit-by-bit
+//                Huffman). The oracle golden tests compare against.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#if !defined(DLB_DISABLE_SIMD)
+#if defined(__AVX2__)
+#define DLB_SIMD_AVX2 1
+#endif
+#if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define DLB_SIMD_SSE2 1
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define DLB_SIMD_NEON 1
+#endif
+#endif  // !DLB_DISABLE_SIMD
+
+namespace dlb::simd {
+
+enum class KernelMode {
+  kFast = 0,       // dispatch to the best compiled arm
+  kScalar = 1,     // new kernels, scalar arm only (bit-identical to kFast)
+  kReference = 2,  // seed implementations (the golden-test oracle)
+};
+
+namespace internal {
+
+inline KernelMode ModeFromEnv() {
+  const char* v = std::getenv("DLB_KERNELS");
+  if (v == nullptr) return KernelMode::kFast;
+  const std::string s(v);
+  if (s == "scalar") return KernelMode::kScalar;
+  if (s == "reference") return KernelMode::kReference;
+  return KernelMode::kFast;
+}
+
+inline std::atomic<KernelMode>& ModeFlag() {
+  static std::atomic<KernelMode> mode{ModeFromEnv()};
+  return mode;
+}
+
+}  // namespace internal
+
+/// Current kernel mode (relaxed load; hot paths read this once per batch of
+/// work, e.g. per image or per row, never per pixel).
+inline KernelMode GetKernelMode() {
+  return internal::ModeFlag().load(std::memory_order_relaxed);
+}
+
+/// Override the kernel mode (tests/benches; also settable via the
+/// DLB_KERNELS=fast|scalar|reference environment variable at startup).
+inline void SetKernelMode(KernelMode mode) {
+  internal::ModeFlag().store(mode, std::memory_order_relaxed);
+}
+
+/// RAII mode override for tests.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : prev_(GetKernelMode()) {
+    SetKernelMode(mode);
+  }
+  ~ScopedKernelMode() { SetKernelMode(prev_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode prev_;
+};
+
+/// Name of the widest vector arm compiled into this binary.
+inline const char* CompiledIsa() {
+#if defined(DLB_SIMD_AVX2)
+  return "avx2";
+#elif defined(DLB_SIMD_NEON)
+  return "neon";
+#elif defined(DLB_SIMD_SSE2)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+/// True when the vector arms were compiled out (DLB_SIMD=OFF).
+inline bool SimdDisabledAtBuild() {
+#if defined(DLB_DISABLE_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// One-line human/JSON-friendly report of what the decode hot path runs,
+/// e.g. "isa=avx2 mode=fast simd=on". Surfaced by backend Describe() and
+/// the micro-bench JSON documents.
+inline std::string KernelInfo() {
+  std::string out = "isa=";
+  out += CompiledIsa();
+  out += " mode=";
+  switch (GetKernelMode()) {
+    case KernelMode::kFast: out += "fast"; break;
+    case KernelMode::kScalar: out += "scalar"; break;
+    case KernelMode::kReference: out += "reference"; break;
+  }
+  out += SimdDisabledAtBuild() ? " simd=off" : " simd=on";
+  return out;
+}
+
+}  // namespace dlb::simd

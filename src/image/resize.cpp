@@ -1,17 +1,24 @@
 #include "image/resize.h"
 
+#include "common/simd.h"
 #include "image/transform.h"
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <vector>
 
 namespace dlb {
 
-namespace {
+namespace detail {
+
+// Seed reference implementations, kept compiled in as the oracle for the
+// row-pointer kernels below (golden/resize tests assert byte-identity) and
+// as the kReference kernel-mode path.
 
 // Fixed-point bilinear with 16-bit fractional weights. Deterministic across
 // platforms (no float rounding differences).
-Image ResizeBilinear(const Image& src, int out_w, int out_h) {
+Image ResizeBilinearReference(const Image& src, int out_w, int out_h) {
   const int ch = src.Channels();
   Image dst(out_w, out_h, ch);
   constexpr int kShift = 16;
@@ -47,7 +54,7 @@ Image ResizeBilinear(const Image& src, int out_w, int out_h) {
   return dst;
 }
 
-Image ResizeNearest(const Image& src, int out_w, int out_h) {
+Image ResizeNearestReference(const Image& src, int out_w, int out_h) {
   const int ch = src.Channels();
   Image dst(out_w, out_h, ch);
   for (int y = 0; y < out_h; ++y) {
@@ -67,7 +74,7 @@ Image ResizeNearest(const Image& src, int out_w, int out_h) {
 // Box-average over the exact source footprint of each output pixel,
 // computed with integer endpoints (suitable for hardware: the FPGA resizer
 // accumulates then divides once).
-Image ResizeArea(const Image& src, int out_w, int out_h) {
+Image ResizeAreaReference(const Image& src, int out_w, int out_h) {
   const int ch = src.Channels();
   Image dst(out_w, out_h, ch);
   for (int y = 0; y < out_h; ++y) {
@@ -93,10 +100,8 @@ Image ResizeArea(const Image& src, int out_w, int out_h) {
   return dst;
 }
 
-}  // namespace
-
-Result<Image> Resize(const Image& src, int out_w, int out_h,
-                     ResizeFilter filter) {
+Result<Image> ResizeReference(const Image& src, int out_w, int out_h,
+                              ResizeFilter filter) {
   if (src.Empty()) return InvalidArgument("resize of empty image");
   if (out_w <= 0 || out_h <= 0) {
     return InvalidArgument("resize target must be positive");
@@ -104,11 +109,179 @@ Result<Image> Resize(const Image& src, int out_w, int out_h,
   if (out_w == src.Width() && out_h == src.Height()) return Image(src);
   switch (filter) {
     case ResizeFilter::kNearest:
-      return ResizeNearest(src, out_w, out_h);
+      return ResizeNearestReference(src, out_w, out_h);
     case ResizeFilter::kBilinear:
-      return ResizeBilinear(src, out_w, out_h);
+      return ResizeBilinearReference(src, out_w, out_h);
     case ResizeFilter::kArea:
-      return ResizeArea(src, out_w, out_h);
+      return ResizeAreaReference(src, out_w, out_h);
+  }
+  return InvalidArgument("unknown resize filter");
+}
+
+}  // namespace detail
+
+namespace {
+
+// Row-pointer bilinear. Bit-exact with the reference: every intermediate in
+// the reference fits in 31 bits (max term 255 << 16, sums < 2^26), so the
+// narrowed int32 arithmetic computes identical values, and the per-x
+// endpoint/weight tables hold exactly the reference's per-pixel results.
+// Templated on the channel count so the per-pixel loop fully unrolls for
+// the gray/RGB cases.
+template <int CH>
+void BilinearRows(const Image& src, Image& dst, const int32_t* off0,
+                  const int32_t* off1, const int32_t* wxs, int64_t sy) {
+  constexpr int kShift = 16;
+  constexpr int64_t kOne = 1ll << kShift;
+  const int out_w = dst.Width();
+  const int out_h = dst.Height();
+  const int ch = src.Channels();
+  for (int y = 0; y < out_h; ++y) {
+    int64_t fy = (y * sy) + (sy >> 1) - (kOne >> 1);
+    fy = std::clamp<int64_t>(fy, 0,
+                             (static_cast<int64_t>(src.Height() - 1)) << kShift);
+    const int y0 = static_cast<int>(fy >> kShift);
+    const int y1 = std::min(y0 + 1, src.Height() - 1);
+    const int32_t wy = static_cast<int32_t>(fy & (kOne - 1));
+    const int32_t iwy = static_cast<int32_t>(kOne) - wy;
+    const uint8_t* r0 = src.Row(y0);
+    const uint8_t* r1 = src.Row(y1);
+    uint8_t* d = dst.Row(y);
+    for (int x = 0; x < out_w; ++x) {
+      const int32_t wx = wxs[x];
+      const int32_t iwx = static_cast<int32_t>(kOne) - wx;
+      const uint8_t* p00 = r0 + off0[x];
+      const uint8_t* p01 = r0 + off1[x];
+      const uint8_t* p10 = r1 + off0[x];
+      const uint8_t* p11 = r1 + off1[x];
+      uint8_t* o = d + x * (CH > 0 ? CH : ch);
+      for (int c = 0; c < (CH > 0 ? CH : ch); ++c) {
+        const int32_t top = p00[c] * iwx + p01[c] * wx;  // << 16
+        const int32_t bot = p10[c] * iwx + p11[c] * wx;  // << 16
+        const int32_t val = (top >> kShift) * iwy + (bot >> kShift) * wy;
+        o[c] = static_cast<uint8_t>(
+            (val + static_cast<int32_t>(kOne >> 1)) >> kShift);
+      }
+    }
+  }
+}
+
+Image ResizeBilinearFast(const Image& src, int out_w, int out_h) {
+  const int ch = src.Channels();
+  Image dst(out_w, out_h, ch);
+  constexpr int kShift = 16;
+  constexpr int64_t kOne = 1ll << kShift;
+  const int64_t sx = (static_cast<int64_t>(src.Width()) << kShift) / out_w;
+  const int64_t sy = (static_cast<int64_t>(src.Height()) << kShift) / out_h;
+
+  std::vector<int32_t> off0(out_w), off1(out_w), wxs(out_w);
+  for (int x = 0; x < out_w; ++x) {
+    int64_t fx = (x * sx) + (sx >> 1) - (kOne >> 1);
+    fx = std::clamp<int64_t>(fx, 0,
+                             (static_cast<int64_t>(src.Width() - 1)) << kShift);
+    const int x0 = static_cast<int>(fx >> kShift);
+    const int x1 = std::min(x0 + 1, src.Width() - 1);
+    off0[x] = x0 * ch;
+    off1[x] = x1 * ch;
+    wxs[x] = static_cast<int32_t>(fx & (kOne - 1));
+  }
+
+  switch (ch) {
+    case 1:
+      BilinearRows<1>(src, dst, off0.data(), off1.data(), wxs.data(), sy);
+      break;
+    case 3:
+      BilinearRows<3>(src, dst, off0.data(), off1.data(), wxs.data(), sy);
+      break;
+    default:
+      BilinearRows<0>(src, dst, off0.data(), off1.data(), wxs.data(), sy);
+      break;
+  }
+  return dst;
+}
+
+Image ResizeNearestFast(const Image& src, int out_w, int out_h) {
+  const int ch = src.Channels();
+  Image dst(out_w, out_h, ch);
+  std::vector<int32_t> off(out_w);
+  for (int x = 0; x < out_w; ++x) {
+    const int sx = std::min(
+        static_cast<int>((static_cast<int64_t>(x) * src.Width()) / out_w),
+        src.Width() - 1);
+    off[x] = sx * ch;
+  }
+  for (int y = 0; y < out_h; ++y) {
+    const int sy = std::min(
+        static_cast<int>((static_cast<int64_t>(y) * src.Height()) / out_h),
+        src.Height() - 1);
+    const uint8_t* r = src.Row(sy);
+    uint8_t* d = dst.Row(y);
+    for (int x = 0; x < out_w; ++x) {
+      const uint8_t* p = r + off[x];
+      uint8_t* o = d + x * ch;
+      for (int c = 0; c < ch; ++c) o[c] = p[c];
+    }
+  }
+  return dst;
+}
+
+Image ResizeAreaFast(const Image& src, int out_w, int out_h) {
+  const int ch = src.Channels();
+  Image dst(out_w, out_h, ch);
+  std::vector<int32_t> xs0(out_w), xs1(out_w);
+  for (int x = 0; x < out_w; ++x) {
+    int x0 = static_cast<int>(static_cast<int64_t>(x) * src.Width() / out_w);
+    int x1 =
+        static_cast<int>(static_cast<int64_t>(x + 1) * src.Width() / out_w);
+    if (x1 <= x0) x1 = x0 + 1;
+    xs0[x] = x0;
+    xs1[x] = std::min(x1, src.Width());
+  }
+  for (int y = 0; y < out_h; ++y) {
+    int y0 = static_cast<int>(static_cast<int64_t>(y) * src.Height() / out_h);
+    int y1 =
+        static_cast<int>(static_cast<int64_t>(y + 1) * src.Height() / out_h);
+    if (y1 <= y0) y1 = y0 + 1;
+    y1 = std::min(y1, src.Height());
+    uint8_t* d = dst.Row(y);
+    for (int x = 0; x < out_w; ++x) {
+      const int x0 = xs0[x], x1 = xs1[x];
+      const int64_t area = static_cast<int64_t>(y1 - y0) * (x1 - x0);
+      uint8_t* o = d + x * ch;
+      for (int c = 0; c < ch; ++c) {
+        // int64 accumulator: a huge footprint (whole-image box) can exceed
+        // 2^31 at 255 per sample.
+        int64_t acc = 0;
+        for (int yy = y0; yy < y1; ++yy) {
+          const uint8_t* r = src.Row(yy) + x0 * ch + c;
+          for (int xx = x0; xx < x1; ++xx, r += ch) acc += *r;
+        }
+        o[c] = static_cast<uint8_t>((acc + area / 2) / area);
+      }
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
+Result<Image> Resize(const Image& src, int out_w, int out_h,
+                     ResizeFilter filter) {
+  if (simd::GetKernelMode() == simd::KernelMode::kReference) {
+    return detail::ResizeReference(src, out_w, out_h, filter);
+  }
+  if (src.Empty()) return InvalidArgument("resize of empty image");
+  if (out_w <= 0 || out_h <= 0) {
+    return InvalidArgument("resize target must be positive");
+  }
+  if (out_w == src.Width() && out_h == src.Height()) return Image(src);
+  switch (filter) {
+    case ResizeFilter::kNearest:
+      return ResizeNearestFast(src, out_w, out_h);
+    case ResizeFilter::kBilinear:
+      return ResizeBilinearFast(src, out_w, out_h);
+    case ResizeFilter::kArea:
+      return ResizeAreaFast(src, out_w, out_h);
   }
   return InvalidArgument("unknown resize filter");
 }

@@ -29,4 +29,14 @@ Result<Image> ResizeShorterSide(const Image& src, int target,
 Result<Image> ResizeCoverCrop(const Image& src, int out_w, int out_h,
                               ResizeFilter filter = ResizeFilter::kBilinear);
 
+namespace detail {
+
+/// Seed per-pixel-accessor implementation, kept as the oracle for the
+/// row-pointer kernels (and the kReference kernel-mode path). The fast path
+/// is bit-identical to this on every input.
+Result<Image> ResizeReference(const Image& src, int out_w, int out_h,
+                              ResizeFilter filter = ResizeFilter::kBilinear);
+
+}  // namespace detail
+
 }  // namespace dlb

@@ -110,5 +110,177 @@ TEST(BitRoundTripTest, ManyRandomValues) {
   }
 }
 
+TEST(BitReaderTest, BulkRefillAcrossStuffedBytes) {
+  // Every other byte is a stuffed 0xFF: the SWAR bulk path must reject the
+  // window and fall back to byte-wise un-stuffing without losing alignment.
+  Bytes data;
+  for (int i = 0; i < 64; ++i) {
+    data.push_back(0xFF);
+    data.push_back(0x00);
+    data.push_back(static_cast<uint8_t>(i));
+  }
+  BitReader br(data);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(br.Get(8), 0xFF) << "pair " << i;
+    EXPECT_EQ(br.Get(8), i) << "pair " << i;
+  }
+  EXPECT_EQ(br.Get(8), -1);
+}
+
+TEST(BitReaderTest, WideReadsSpanRefillBoundary) {
+  // 24-bit reads at every offset modulo 32 exercise the refill running
+  // ahead of consumption with clean (no-0xFF) windows.
+  Bytes data;
+  Rng rng(77);
+  std::vector<uint32_t> values;
+  {
+    BitWriter bw(&data);
+    for (int i = 0; i < 200; ++i) {
+      const uint32_t v = static_cast<uint32_t>(rng.UniformU64(1u << 24));
+      values.push_back(v);
+      bw.Put(v, 24);
+    }
+    bw.Flush();
+  }
+  BitReader br(data);
+  for (uint32_t v : values) {
+    EXPECT_EQ(br.Get(24), static_cast<int32_t>(v));
+  }
+}
+
+TEST(BitReaderTest, MarkerTerminatedStreamDeliversAllDataBits) {
+  // 5 data bytes then EOI: the bulk path must not read through the marker,
+  // and Get must return the 40 data bits then the -1 sentinel.
+  const Bytes data = {0x11, 0x22, 0x33, 0x44, 0x55, 0xFF, 0xD9};
+  BitReader br(data);
+  EXPECT_EQ(br.Get(24), 0x112233);
+  EXPECT_EQ(br.Get(16), 0x4455);
+  EXPECT_EQ(br.Get(1), -1);
+}
+
+TEST(BitReaderTest, GetWidthIsChecked) {
+  const Bytes data = {0x00, 0x01, 0x02, 0x03, 0x04};
+  EXPECT_EQ(BitReader::kMaxGetBits, 24);
+  BitReader ok(data);
+  EXPECT_EQ(ok.Get(BitReader::kMaxGetBits), 0x000102);
+  EXPECT_DEATH(
+      {
+        BitReader br(data);
+        br.Get(BitReader::kMaxGetBits + 1);
+      },
+      "check failed");
+  EXPECT_DEATH(
+      {
+        BitReader br(data);
+        br.Get(-1);
+      },
+      "check failed");
+}
+
+TEST(BitReaderTest, Peek8DoesNotConsume) {
+  const Bytes data = {0b10110100, 0x5A};
+  BitReader br(data);
+  EXPECT_EQ(br.Peek8(), 0b10110100);
+  EXPECT_EQ(br.Peek8(), 0b10110100);  // still there
+  br.Drop(3);
+  EXPECT_EQ(br.Peek8(), 0b10100010);  // window slid by 3 bits
+  EXPECT_EQ(br.Get(8), 0b10100010);
+  EXPECT_EQ(br.Get(5), 0b11010);
+  EXPECT_EQ(br.Peek8(), -1);  // only padding left
+}
+
+TEST(BitReaderTest, Peek8ShortTail) {
+  const Bytes data = {0xC0};
+  BitReader br(data);
+  br.Drop(0);  // no-op allowed
+  EXPECT_EQ(br.GetBit(), 1);
+  EXPECT_EQ(br.Peek8(), -1);  // 7 bits left, not enough for a peek
+  EXPECT_EQ(br.GetBit(), 1);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(br.GetBit(), 0);
+  EXPECT_EQ(br.GetBit(), -1);
+}
+
+TEST(BitReaderTest, PositionAccountsForBufferedBytes) {
+  // 8 clean bytes: the bulk refill buffers 4+ bytes ahead, but Position()
+  // must report where the logical cursor is.
+  const Bytes data = {0, 1, 2, 3, 4, 5, 6, 7};
+  BitReader br(data);
+  EXPECT_EQ(br.Position(), 0u);
+  EXPECT_EQ(br.Get(8), 0);
+  EXPECT_EQ(br.Position(), 1u);
+  EXPECT_EQ(br.Get(4), 0);
+  EXPECT_EQ(br.Position(), 2u);  // byte 1 partially consumed counts consumed
+  EXPECT_EQ(br.Get(4), 1);
+  EXPECT_EQ(br.Position(), 2u);
+  EXPECT_EQ(br.Get(16), 0x0203);
+  EXPECT_EQ(br.Position(), 4u);
+}
+
+TEST(BitReaderTest, PositionRewindsOverStuffedPairs) {
+  // Stuffed pair inside a buffered window: the backward walk must step two
+  // bytes for the FF00 token, not one.
+  const Bytes data = {0x12, 0xFF, 0x00, 0x34, 0x56, 0x78, 0x9A, 0xBC};
+  BitReader br(data);
+  EXPECT_EQ(br.Get(8), 0x12);
+  EXPECT_EQ(br.Position(), 1u);
+  EXPECT_EQ(br.Get(8), 0xFF);
+  EXPECT_EQ(br.Position(), 3u);  // past the stuffed pair
+  EXPECT_EQ(br.Get(8), 0x34);
+  EXPECT_EQ(br.Position(), 4u);
+}
+
+TEST(BitReaderTest, AlignToByteGivesBackBufferedBytes) {
+  const Bytes data = {0xA5, 0x5A, 0xC3, 0x3C, 0x0F};
+  BitReader br(data);
+  EXPECT_EQ(br.Get(3), 0b101);  // triggers a bulk refill of 4 bytes
+  br.AlignToByte();
+  // Partial byte 0xA5 is discarded; cursor re-aligns to byte 1.
+  EXPECT_EQ(br.Get(8), 0x5A);
+  EXPECT_EQ(br.Get(8), 0xC3);
+}
+
+TEST(BitReaderTest, RestartMarkerAfterBufferedBits) {
+  // Scan data, then RST0, then more data: ConsumeRestartMarker must
+  // re-align even though the reader buffered bytes past the marker's
+  // position... which it cannot here, because the marker byte stops the
+  // refill; the interesting part is the partial-byte discard.
+  const Bytes data = {0xAB, 0xFF, 0xD0, 0xCD};
+  BitReader br(data);
+  EXPECT_EQ(br.Get(4), 0xA);
+  EXPECT_TRUE(br.ConsumeRestartMarker(0));
+  EXPECT_EQ(br.Get(8), 0xCD);
+}
+
+TEST(BitRoundTripTest, RandomValuesWithManyFfBytes) {
+  // Bias writes towards 0xFF-heavy patterns so the stream is dense with
+  // stuffed pairs; reader must agree with writer bit for bit.
+  Rng rng(99);
+  std::vector<std::pair<uint32_t, int>> values;
+  Bytes out;
+  BitWriter bw(&out);
+  for (int i = 0; i < 2000; ++i) {
+    const int count = 1 + static_cast<int>(rng.UniformU64(16));
+    uint32_t v;
+    if (rng.Bernoulli(0.5)) {
+      v = (1u << count) - 1;  // all ones -> 0xFF runs
+    } else {
+      v = static_cast<uint32_t>(rng.UniformU64(1u << count));
+    }
+    values.emplace_back(v, count);
+    bw.Put(v, count);
+  }
+  bw.Flush();
+  // The biased stream really must contain stuffing to test what we claim.
+  size_t stuffed = 0;
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i] == 0xFF && out[i + 1] == 0x00) ++stuffed;
+  }
+  EXPECT_GT(stuffed, 10u);
+  BitReader br(out);
+  for (const auto& [v, count] : values) {
+    ASSERT_EQ(br.Get(count), static_cast<int32_t>(v));
+  }
+}
+
 }  // namespace
 }  // namespace dlb::jpeg

@@ -89,6 +89,43 @@ TEST(DequantizeTest, AppliesTableAndDeZigZags) {
   EXPECT_FLOAT_EQ(out[2], 0.0f);
 }
 
+TEST(DctAanVsBasisTest, InverseMatchesBasisWithinOneLsb) {
+  // The AAN-factored float iDCT and the O(n^4) basis matmul compute the same
+  // transform; after rounding to uint8 they may straddle a rounding boundary
+  // by at most one level.
+  Rng rng(31);
+  float coeffs[64];
+  uint8_t aan[64], basis[64];
+  for (int iter = 0; iter < 200; ++iter) {
+    for (auto& v : coeffs) {
+      v = static_cast<float>(rng.UniformInt(-1800, 1800));
+    }
+    InverseDct8x8(coeffs, aan);
+    InverseDct8x8Basis(coeffs, basis);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(static_cast<int>(aan[i]), static_cast<int>(basis[i]), 1)
+          << "iter " << iter << " sample " << i;
+    }
+  }
+}
+
+TEST(DctAanVsBasisTest, ForwardMatchesBasisClosely) {
+  Rng rng(32);
+  float in[64], aan[64], basis[64];
+  for (int iter = 0; iter < 200; ++iter) {
+    for (auto& v : in) {
+      v = static_cast<float>(rng.UniformInt(0, 255)) - 128.0f;
+    }
+    ForwardDct8x8(in, aan);
+    ForwardDct8x8Basis(in, basis);
+    for (int i = 0; i < 64; ++i) {
+      // Both are float; agreement is to float rounding noise, far below the
+      // quantiser step the encoder divides by next.
+      EXPECT_NEAR(aan[i], basis[i], 0.01f) << "iter " << iter << " at " << i;
+    }
+  }
+}
+
 TEST(ZigZagTest, IsAPermutation) {
   bool seen[64] = {false};
   for (int i = 0; i < 64; ++i) {

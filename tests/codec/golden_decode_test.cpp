@@ -1,0 +1,199 @@
+// Golden decode regression tests for the fast kernel path.
+//
+// Contract under test (see DESIGN.md "Fast kernels & SIMD dispatch"):
+//   * kFast and kScalar produce byte-identical images — the vector arms are
+//     exact twins of the integer scalar kernels, on every build arm
+//     (DLB_SIMD=ON and OFF).
+//   * Entropy decoding emits identical coefficients in all three modes — the
+//     Huffman LUT is an exact accelerator, not an approximation.
+//   * kFast pixels stay within ±1 of kReference (the seed float-basis iDCT
+//     oracle, also the FPGA-sim functional model) on every channel.
+//
+// Fixtures are encoded in-test with our own encoder: baseline Huffman,
+// 4:4:4 / 4:2:2 / 4:2:0, grayscale, restart markers, odd (non-MCU-aligned)
+// sizes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "image/image.h"
+
+namespace dlb::jpeg {
+namespace {
+
+using simd::KernelMode;
+using simd::ScopedKernelMode;
+
+Image NoisyScene(int w, int h, int channels, uint64_t seed) {
+  // Gradient base plus full-range noise: exercises long Huffman codes and
+  // dense AC blocks, the paths most likely to diverge between kernel arms.
+  Rng rng(seed);
+  Image img(w, h, channels);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        const int base = (x * 3 + y * 2 + c * 60) % 256;
+        const int noise = static_cast<int>(rng.UniformInt(-90, 90));
+        int v = base + noise;
+        v = v < 0 ? 0 : (v > 255 ? 255 : v);
+        img.Set(x, y, c, static_cast<uint8_t>(v));
+      }
+    }
+  }
+  return img;
+}
+
+struct GoldenParam {
+  int width;
+  int height;
+  int channels;
+  int quality;
+  Subsampling subsampling;
+  int restart_interval;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<GoldenParam>& info) {
+  const GoldenParam& p = info.param;
+  const char* sub = p.subsampling == Subsampling::k420
+                        ? "s420"
+                        : (p.subsampling == Subsampling::k422 ? "s422" : "s444");
+  return std::to_string(p.width) + "x" + std::to_string(p.height) + "c" +
+         std::to_string(p.channels) + "q" + std::to_string(p.quality) + sub +
+         "r" + std::to_string(p.restart_interval);
+}
+
+class GoldenDecodeTest : public ::testing::TestWithParam<GoldenParam> {
+ protected:
+  Bytes Fixture() {
+    const GoldenParam& p = GetParam();
+    Image src = NoisyScene(p.width, p.height, p.channels, 0xD1B0057E);
+    EncodeOptions opts;
+    opts.quality = p.quality;
+    opts.subsampling = p.subsampling;
+    opts.restart_interval = p.restart_interval;
+    auto encoded = Encode(src, opts);
+    EXPECT_TRUE(encoded.ok()) << encoded.status().ToString();
+    return encoded.ok() ? encoded.value() : Bytes{};
+  }
+};
+
+TEST_P(GoldenDecodeTest, FastAndScalarArmsAreByteIdentical) {
+  const Bytes jpeg = Fixture();
+  ASSERT_FALSE(jpeg.empty());
+  Result<Image> fast = [&] {
+    ScopedKernelMode mode(KernelMode::kFast);
+    return Decode(jpeg);
+  }();
+  Result<Image> scalar = [&] {
+    ScopedKernelMode mode(KernelMode::kScalar);
+    return Decode(jpeg);
+  }();
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+  EXPECT_TRUE(fast.value() == scalar.value())
+      << "fast/scalar divergence, kernels: " << simd::KernelInfo();
+}
+
+TEST_P(GoldenDecodeTest, CoefficientsIdenticalInAllModes) {
+  const Bytes jpeg = Fixture();
+  ASSERT_FALSE(jpeg.empty());
+  auto header = ParseHeaders(jpeg);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+
+  std::vector<CoeffData> runs;
+  for (KernelMode mode :
+       {KernelMode::kFast, KernelMode::kScalar, KernelMode::kReference}) {
+    ScopedKernelMode scoped(mode);
+    auto coeffs = EntropyDecode(header.value(), jpeg);
+    ASSERT_TRUE(coeffs.ok()) << coeffs.status().ToString();
+    runs.push_back(std::move(coeffs.value()));
+  }
+  ASSERT_EQ(runs.size(), 3u);
+  for (size_t mode = 1; mode < runs.size(); ++mode) {
+    ASSERT_EQ(runs[mode].coeffs.size(), runs[0].coeffs.size());
+    for (size_t comp = 0; comp < runs[0].coeffs.size(); ++comp) {
+      EXPECT_EQ(runs[mode].coeffs[comp], runs[0].coeffs[comp])
+          << "mode " << static_cast<int>(mode) << " component " << comp;
+    }
+  }
+}
+
+TEST_P(GoldenDecodeTest, FastTracksReferenceWithinOneLsb) {
+  const Bytes jpeg = Fixture();
+  ASSERT_FALSE(jpeg.empty());
+  Result<Image> fast = [&] {
+    ScopedKernelMode mode(KernelMode::kFast);
+    return Decode(jpeg);
+  }();
+  Result<Image> reference = [&] {
+    ScopedKernelMode mode(KernelMode::kReference);
+    return Decode(jpeg);
+  }();
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const Image& a = fast.value();
+  const Image& b = reference.value();
+  ASSERT_EQ(a.Width(), b.Width());
+  ASSERT_EQ(a.Height(), b.Height());
+  ASSERT_EQ(a.Channels(), b.Channels());
+  // The integer iDCT may differ from the float oracle by one rounding step;
+  // the colour convert is integer-exact, so ±1 per sample going in can become
+  // at most ±2 per channel coming out of the BT.601 mix.
+  int worst = 0;
+  for (size_t i = 0; i < a.SizeBytes(); ++i) {
+    const int d = std::abs(static_cast<int>(a.Data()[i]) -
+                           static_cast<int>(b.Data()[i]));
+    worst = d > worst ? d : worst;
+  }
+  EXPECT_LE(worst, 2) << "fast vs float-reference drift too large";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, GoldenDecodeTest,
+    ::testing::Values(
+        GoldenParam{64, 64, 3, 85, Subsampling::k444, 0},
+        GoldenParam{64, 64, 3, 85, Subsampling::k422, 0},
+        GoldenParam{64, 64, 3, 85, Subsampling::k420, 0},
+        GoldenParam{65, 63, 3, 90, Subsampling::k420, 0},
+        GoldenParam{65, 63, 3, 75, Subsampling::k422, 0},
+        GoldenParam{17, 9, 3, 85, Subsampling::k420, 3},
+        GoldenParam{64, 48, 3, 85, Subsampling::k444, 2},
+        GoldenParam{128, 96, 3, 50, Subsampling::k420, 7},
+        GoldenParam{96, 80, 1, 85, Subsampling::k444, 0},
+        GoldenParam{28, 28, 1, 95, Subsampling::k444, 1},
+        GoldenParam{500, 375, 3, 85, Subsampling::k420, 0}),
+    ParamName);
+
+TEST(KernelModeEnvTest, ScopedOverrideRestores) {
+  const KernelMode before = simd::GetKernelMode();
+  {
+    ScopedKernelMode scoped(KernelMode::kReference);
+    EXPECT_EQ(simd::GetKernelMode(), KernelMode::kReference);
+    {
+      ScopedKernelMode nested(KernelMode::kScalar);
+      EXPECT_EQ(simd::GetKernelMode(), KernelMode::kScalar);
+    }
+    EXPECT_EQ(simd::GetKernelMode(), KernelMode::kReference);
+  }
+  EXPECT_EQ(simd::GetKernelMode(), before);
+}
+
+TEST(KernelModeEnvTest, CompiledIsaIsStable) {
+  const char* isa = simd::CompiledIsa();
+  ASSERT_NE(isa, nullptr);
+  const std::string s(isa);
+  EXPECT_TRUE(s == "avx2" || s == "sse2" || s == "neon" || s == "scalar") << s;
+#ifdef DLB_DISABLE_SIMD
+  EXPECT_EQ(s, "scalar");
+  EXPECT_TRUE(simd::SimdDisabledAtBuild());
+#endif
+}
+
+}  // namespace
+}  // namespace dlb::jpeg

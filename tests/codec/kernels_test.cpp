@@ -1,0 +1,201 @@
+#include "codec/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "codec/color.h"
+#include "codec/dct.h"
+#include "codec/jpeg_common.h"
+#include "common/rng.h"
+#include "common/simd.h"
+
+namespace dlb::jpeg::kernels {
+namespace {
+
+// Coefficients bounded so |zz * quant| stays well inside the kernel's input
+// clamp (engaged only by adversarial streams); see RandomExtremeBlock for
+// the clamped regime.
+void RandomQuant(Rng& rng, uint16_t quant[64]) {
+  for (int i = 0; i < 64; ++i) {
+    quant[i] = static_cast<uint16_t>(rng.UniformInt(1, 32));
+  }
+}
+
+void RandomBlock(Rng& rng, int16_t zz[64], int density_pct) {
+  std::memset(zz, 0, 64 * sizeof(int16_t));
+  zz[0] = static_cast<int16_t>(rng.UniformInt(-120, 120));
+  for (int i = 1; i < 64; ++i) {
+    if (rng.UniformInt(0, 99) < density_pct) {
+      zz[i] = static_cast<int16_t>(rng.UniformInt(-120, 120));
+    }
+  }
+}
+
+void RandomExtremeBlock(Rng& rng, int16_t zz[64]) {
+  for (int i = 0; i < 64; ++i) {
+    zz[i] = static_cast<int16_t>(rng.UniformInt(-32768, 32767));
+  }
+}
+
+TEST(IdctTableTest, DcMultiplierIsQuantTimesScale) {
+  uint16_t quant[64];
+  for (int i = 0; i < 64; ++i) quant[i] = 1;
+  quant[0] = 16;
+  const IdctTable t = BuildIdctTable(quant);
+  // s[0]*s[0] = 1, so m[0] = quant[0] << kDqBits exactly.
+  EXPECT_EQ(t.m[0], 16 << kDqBits);
+}
+
+TEST(IdctKernelTest, TracksFloatReferenceWithinOneLsb) {
+  Rng rng(7);
+  uint16_t quant[64];
+  int16_t zz[64];
+  uint8_t fast[64], ref[64];
+  float dq[64];
+  for (int iter = 0; iter < 300; ++iter) {
+    RandomQuant(rng, quant);
+    const IdctTable t = BuildIdctTable(quant);
+    RandomBlock(rng, zz, iter % 101);
+    DequantIdct8x8Scalar(zz, t, fast, 8);
+    DequantizeZigZag(zz, quant, dq);
+    InverseDct8x8Basis(dq, ref);
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_NEAR(static_cast<int>(fast[i]), static_cast<int>(ref[i]), 1)
+          << "iter " << iter << " sample " << i;
+    }
+  }
+}
+
+TEST(IdctKernelTest, DispatchArmMatchesScalarExactly) {
+  // On an AVX2 build this pits the vector arm against the scalar arm; on a
+  // scalar-only build it degenerates to a self-check. Extreme inputs engage
+  // the overflow clamps, which must also match bit for bit.
+  Rng rng(21);
+  uint16_t quant[64];
+  int16_t zz[64];
+  uint8_t fast[64], scalar[64];
+  for (int iter = 0; iter < 500; ++iter) {
+    for (int i = 0; i < 64; ++i) {
+      quant[i] = static_cast<uint16_t>(rng.UniformInt(1, 255));
+    }
+    const IdctTable t = BuildIdctTable(quant);
+    if (iter % 3 == 0) {
+      RandomExtremeBlock(rng, zz);
+    } else {
+      RandomBlock(rng, zz, iter % 101);
+    }
+    DequantIdct8x8(zz, t, fast, 8);
+    DequantIdct8x8Scalar(zz, t, scalar, 8);
+    EXPECT_EQ(0, std::memcmp(fast, scalar, 64)) << "iter " << iter;
+  }
+}
+
+TEST(IdctKernelTest, DcOnlyBlockIsConstantFill) {
+  uint16_t quant[64];
+  for (int i = 0; i < 64; ++i) quant[i] = 8;
+  const IdctTable t = BuildIdctTable(quant);
+  int16_t zz[64] = {0};
+  zz[0] = 16;  // dequantised DC = 128 -> pixel 16 -> 144 after level shift
+  uint8_t out[64];
+  DequantIdct8x8Scalar(zz, t, out, 8);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[i], 144);
+}
+
+TEST(IdctKernelTest, WritesRespectStride) {
+  uint16_t quant[64];
+  for (int i = 0; i < 64; ++i) quant[i] = 4;
+  const IdctTable t = BuildIdctTable(quant);
+  Rng rng(3);
+  int16_t zz[64];
+  RandomBlock(rng, zz, 50);
+  // Render into a 16-wide canvas and check columns 8..15 stay untouched.
+  std::vector<uint8_t> canvas(16 * 8, 0xAB);
+  uint8_t dense[64];
+  DequantIdct8x8Scalar(zz, t, canvas.data(), 16);
+  DequantIdct8x8Scalar(zz, t, dense, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(canvas[y * 16 + x], dense[y * 8 + x]);
+    }
+    for (int x = 8; x < 16; ++x) EXPECT_EQ(canvas[y * 16 + x], 0xAB);
+  }
+}
+
+TEST(BlockHasAcTest, DetectsEveryAcPosition) {
+  int16_t zz[64] = {0};
+  EXPECT_FALSE(BlockHasAc(zz));
+  zz[0] = 1234;
+  EXPECT_FALSE(BlockHasAc(zz));  // DC is not AC
+  for (int i = 1; i < 64; ++i) {
+    std::memset(zz, 0, sizeof(zz));
+    zz[i] = 1;
+    EXPECT_TRUE(BlockHasAc(zz)) << "position " << i;
+    zz[i] = -1;
+    EXPECT_TRUE(BlockHasAc(zz)) << "position " << i;
+  }
+}
+
+TEST(ColorRowKernelTest, MatchesPixelConverter) {
+  Rng rng(11);
+  const int w = 253;
+  std::vector<uint8_t> y(w), cb(w), cr(w);
+  for (int i = 0; i < w; ++i) {
+    y[i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    cb[i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    cr[i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  std::vector<uint8_t> row(w * 3);
+  YcbcrRowToRgb(y.data(), cb.data(), cr.data(), w, row.data());
+  for (int x = 0; x < w; ++x) {
+    uint8_t r, g, b;
+    YcbcrToRgbPixel(y[x], cb[x], cr[x], &r, &g, &b);
+    EXPECT_EQ(row[x * 3 + 0], r);
+    EXPECT_EQ(row[x * 3 + 1], g);
+    EXPECT_EQ(row[x * 3 + 2], b);
+  }
+}
+
+TEST(ColorRowKernelTest, HalfXMatchesMappedAndPixelConverter) {
+  Rng rng(12);
+  const int w = 101;
+  const int cw = (w + 1) / 2;
+  std::vector<uint8_t> y(w), cb(cw), cr(cw);
+  for (int i = 0; i < w; ++i) y[i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  for (int i = 0; i < cw; ++i) {
+    cb[i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    cr[i] = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  std::vector<uint8_t> half(w * 3), mapped(w * 3);
+  YcbcrRowToRgbHalfX(y.data(), cb.data(), cr.data(), w, half.data());
+  std::vector<int32_t> ident(w), halves(w);
+  for (int x = 0; x < w; ++x) {
+    ident[x] = x;
+    halves[x] = x >> 1;
+  }
+  YcbcrRowToRgbMapped(y.data(), cb.data(), cr.data(), ident.data(),
+                      halves.data(), halves.data(), w, mapped.data());
+  EXPECT_EQ(0, std::memcmp(half.data(), mapped.data(), half.size()));
+  for (int x = 0; x < w; ++x) {
+    uint8_t r, g, b;
+    YcbcrToRgbPixel(y[x], cb[x >> 1], cr[x >> 1], &r, &g, &b);
+    EXPECT_EQ(half[x * 3 + 0], r);
+    EXPECT_EQ(half[x * 3 + 1], g);
+    EXPECT_EQ(half[x * 3 + 2], b);
+  }
+}
+
+TEST(KernelInfoTest, ReportsModeAndIsa) {
+  const std::string info = dlb::simd::KernelInfo();
+  EXPECT_NE(info.find("isa="), std::string::npos);
+  EXPECT_NE(info.find("mode=fast"), std::string::npos);
+  {
+    dlb::simd::ScopedKernelMode scoped(dlb::simd::KernelMode::kScalar);
+    EXPECT_NE(dlb::simd::KernelInfo().find("mode=scalar"), std::string::npos);
+  }
+  EXPECT_EQ(dlb::simd::GetKernelMode(), dlb::simd::KernelMode::kFast);
+}
+
+}  // namespace
+}  // namespace dlb::jpeg::kernels
