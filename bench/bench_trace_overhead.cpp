@@ -5,8 +5,11 @@
 //      (the per-span delta every stage pays on the hot path).
 //   2. End-to-end: dlbooster pipeline throughput with observability off vs
 //      fully on (tracing + debug event log). Acceptance: on/off >= 0.95.
+//
+// `--json` emits the measurements as one JSON document.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "core/pipeline.h"
 #include "dataplane/synthetic_dataset.h"
@@ -76,14 +79,18 @@ RunResult RunPipeline(const Dataset& ds, size_t num_images,
 
 }  // namespace
 
-int main() {
-  std::printf("=== Trace overhead ===\n\n");
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  if (!json) std::printf("=== Trace overhead ===\n\n");
 
   constexpr size_t kMicroIters = 200000;
   const double off_ns = MicroRecordSpanNs(false, kMicroIters);
   const double on_ns = MicroRecordSpanNs(true, kMicroIters);
-  std::printf("micro, RecordSpan x%zu:\n", kMicroIters);
-  {
+  if (!json) {
+    std::printf("micro, RecordSpan x%zu:\n", kMicroIters);
     Table t({"tracing", "ns / span", "delta ns"});
     t.AddRow({"off", Fmt(off_ns, 1), "-"});
     t.AddRow({"on", Fmt(on_ns, 1), Fmt(on_ns - off_ns, 1)});
@@ -93,7 +100,7 @@ int main() {
   }
 
   constexpr size_t kImages = 256;
-  constexpr int kReps = 3;
+  constexpr int kReps = 5;
   auto ds = GenerateDataset(ImageNetLikeSpec(kImages));
   if (!ds.ok()) {
     std::printf("dataset generation failed: %s\n",
@@ -112,14 +119,26 @@ int main() {
     spans = on.spans;
   }
 
+  const double ratio = best_off > 0.0 ? best_on / best_off : 0.0;
+
+  if (json) {
+    std::printf("{\n  \"images\": %zu,\n  \"micro_off_ns\": %s,\n"
+                "  \"micro_on_ns\": %s,\n  \"off_img_s\": %s,\n"
+                "  \"on_img_s\": %s,\n  \"spans\": %llu,\n"
+                "  \"on_off_ratio\": %s,\n  \"pass\": %s\n}\n",
+                kImages, Fmt(off_ns, 1).c_str(), Fmt(on_ns, 1).c_str(),
+                Fmt(best_off, 1).c_str(), Fmt(best_on, 1).c_str(),
+                static_cast<unsigned long long>(spans),
+                Fmt(ratio, 3).c_str(), ratio >= 0.95 ? "true" : "false");
+    return ratio >= 0.95 ? 0 : 1;
+  }
+
   std::printf("end-to-end, dlbooster pipeline, %zu images, best of %d:\n",
               kImages, kReps);
   Table t({"observability", "images / s", "spans"});
   t.AddRow({"off", Fmt(best_off, 0), "0"});
   t.AddRow({"tracing + events", Fmt(best_on, 0), std::to_string(spans)});
   std::printf("%s", t.Render().c_str());
-
-  const double ratio = best_off > 0.0 ? best_on / best_off : 0.0;
   std::printf("-> tracing-on keeps %.1f%% of tracing-off throughput ",
               100.0 * ratio);
   if (ratio >= 0.95) {

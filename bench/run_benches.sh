@@ -3,13 +3,20 @@
 # aggregates the documents into BENCH_<label>.json files in the output
 # directory (plus a combined BENCH_all.json manifest).
 #
-# Usage: bench/run_benches.sh [build_dir] [out_dir]
+# Usage: bench/run_benches.sh [--quick] [build_dir] [out_dir]
+#   --quick    CI smoke subset: micro_codec + the two overhead benches
+#              (each self-gates its >= 95% acceptance via its exit code)
 #   build_dir  where the bench binaries live (default: build)
 #   out_dir    where BENCH_*.json land (default: <build_dir>/bench_results)
 #
 # Also available as a build target: `cmake --build build --target run_benches`.
 set -u
 
+QUICK=0
+if [ "${1:-}" = "--quick" ]; then
+  QUICK=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
 BENCH_DIR="${BUILD_DIR}/bench"
@@ -21,14 +28,23 @@ fi
 mkdir -p "${OUT_DIR}"
 
 # label -> binary; every entry must support --json on stdout.
-BENCHES=(
-  "fig5_train_throughput:bench_fig5_train_throughput"
-  "fig7_infer_throughput:bench_fig7_infer_throughput"
-  "bottleneck_report:bench_misc_bottleneck_report"
-  "monitor_overhead:bench_monitor_overhead"
-  "micro_codec:bench_micro_codec"
-  "micro_resize:bench_micro_resize"
-)
+if [ "${QUICK}" = 1 ]; then
+  BENCHES=(
+    "micro_codec:bench_micro_codec"
+    "monitor_overhead:bench_monitor_overhead"
+    "trace_overhead:bench_trace_overhead"
+  )
+else
+  BENCHES=(
+    "fig5_train_throughput:bench_fig5_train_throughput"
+    "fig7_infer_throughput:bench_fig7_infer_throughput"
+    "bottleneck_report:bench_misc_bottleneck_report"
+    "monitor_overhead:bench_monitor_overhead"
+    "trace_overhead:bench_trace_overhead"
+    "micro_codec:bench_micro_codec"
+    "micro_resize:bench_micro_resize"
+  )
+fi
 
 failures=0
 ran=()

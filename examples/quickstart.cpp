@@ -12,6 +12,10 @@
 //   monitor_port=9090       HTTP exposition server (/metrics, /stats,
 //                           /events, /healthz); 0 = ephemeral, -1 = off
 //   sample_ms=500           metrics sampler period while monitoring is on
+//   faults=<spec>           fault injection, e.g. "corrupt_jpeg=0.05,
+//                           dma_error=0.01" (the DLB_FAULTS environment
+//                           variable overrides this; see DESIGN.md)
+//   fault_seed=0            overrides the fault spec's RNG seed (0 = keep)
 #include <chrono>
 #include <cstdio>
 
@@ -58,6 +62,8 @@ int main(int argc, char** argv) {
   config.watchdog_deadline_ms = args.GetInt("watchdog", 0);
   config.monitor_port = static_cast<int>(args.GetInt("monitor_port", -1));
   config.monitor_sample_ms = args.GetInt("sample_ms", 500);
+  config.faults = args.GetString("faults", "");
+  config.fault_seed = args.GetInt("fault_seed", 0);
   auto pipeline = dlb::core::PipelineBuilder()
                       .WithConfig(config)
                       .WithDataset(&dataset.value().manifest,
@@ -75,14 +81,16 @@ int main(int argc, char** argv) {
                 pipeline.value()->MonitorPort());
   }
 
-  // 3. Consume decoded batches.
+  // 3. Consume decoded batches. Failed decodes (corrupt inputs, exhausted
+  //    device retries) are per-image skips, never fatal.
   const auto start = std::chrono::steady_clock::now();
-  size_t batches = 0, images = 0;
+  size_t batches = 0, images = 0, skipped = 0;
   while (true) {
     auto decoded = pipeline.value()->NextBatch();
     if (!decoded.ok()) break;
     ++batches;
     images += decoded.value()->OkCount();
+    skipped += decoded.value()->Size() - decoded.value()->OkCount();
     if (batches == 1) {
       const dlb::ImageRef first = decoded.value()->At(0);
       std::printf("first sample: %dx%dx%d label=%d\n", first.width,
@@ -95,6 +103,22 @@ int main(int argc, char** argv) {
   std::printf("%s backend: %zu images in %zu batches, %.0f images/s\n",
               pipeline.value()->BackendName().c_str(), images, batches,
               images / seconds);
+
+  // Fault plane summary (faults=<spec> or DLB_FAULTS): what was injected
+  // and how the pipeline degraded — see DESIGN.md "Fault model".
+  if (dlb::fault::FaultInjector* faults = pipeline.value()->Faults()) {
+    dlb::MetricRegistry& reg = pipeline.value()->Metrics();
+    std::printf("\nfault injection (seed %llu): %llu faults injected, "
+                "%zu images skipped, %llu decode errors, %llu retries, "
+                "%.0f FPGA ways quarantined\n",
+                static_cast<unsigned long long>(faults->Spec().seed),
+                static_cast<unsigned long long>(faults->TotalInjected()),
+                skipped, static_cast<unsigned long long>(
+                             reg.GetCounter("decode.errors")->Value()),
+                static_cast<unsigned long long>(
+                    reg.GetCounter("retry.attempts")->Value()),
+                reg.GetGauge("fpga.ways_quarantined")->Value());
+  }
 
   // 4. Observability: Stats() carries a per-stage breakdown recorded by the
   //    pipeline's telemetry; MetricsJson() dumps every metric for tooling.

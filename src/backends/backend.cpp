@@ -40,6 +40,7 @@ ImageRef PreprocessBatch::At(size_t i) const {
   ref.label = item.label;
   ref.cookie = item.cookie;
   ref.ok = item.ok;
+  ref.error = item.error;
   return ref;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "hostbridge/hugepage_pool.h"
 #include "image/image.h"
@@ -30,12 +31,24 @@ struct ImageRef {
   int32_t label = 0;
   uint64_t cookie = 0;  // request id on the inference path
   bool ok = false;      // decode succeeded
+  /// Failure category when !ok (kCorruptData for bad inputs, kUnavailable
+  /// for device errors that exhausted their retries, ...).
+  StatusCode error = StatusCode::kOk;
 
   size_t SizeBytes() const {
     return static_cast<size_t>(width) * height * channels;
   }
   /// Deep copy into an Image (tests / augmentation steps that mutate).
   Image ToImage() const;
+};
+
+/// Structured record of one skipped image: which request failed and why.
+/// Surfaced by Pipeline::NextTensorBatch so engines can count and attribute
+/// skips without aborting on them.
+struct ImageError {
+  uint64_t cookie = 0;
+  int32_t label = 0;
+  StatusCode code = StatusCode::kInternal;
 };
 
 /// One decoded batch. Destroying the batch recycles its memory to whatever
@@ -126,8 +139,15 @@ class PreprocessBackend {
     telemetry_ = telemetry;
   }
 
+  /// Attach a fault injector (tests, chaos runs). Must happen before
+  /// Start(); backends query it at their injection points. Null detaches.
+  virtual void AttachFaultInjector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
  protected:
   telemetry::Telemetry* telemetry_ = nullptr;
+  fault::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace dlb

@@ -1,6 +1,8 @@
 #include "backends/cpu_backend.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "codec/jpeg_decoder.h"
 #include "common/log.h"
@@ -77,6 +79,19 @@ void CpuBackend::Worker(uint32_t worker) {
       telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
   telemetry::EventLog* events =
       telemetry_ != nullptr ? telemetry_->events() : nullptr;
+  Counter* decode_errors =
+      telemetry_ != nullptr ? telemetry_->Registry().GetCounter("decode.errors")
+                            : nullptr;
+  auto record_failure = [&](BatchItem& item, StatusCode code,
+                            uint64_t batch_id, size_t slot) {
+    failures_.Add();
+    item.error = code;
+    if (decode_errors != nullptr) decode_errors->Add();
+    if (events != nullptr) {
+      events->Log(telemetry::EventType::kDecodeError, batch_id, slot,
+                  static_cast<uint64_t>(code));
+    }
+  };
   while (true) {
     // Admit the batch before pulling: the fetch belongs to its trace. If
     // the stream turned out to be drained, the admission is retracted.
@@ -114,6 +129,21 @@ void CpuBackend::Worker(uint32_t worker) {
       item.offset = static_cast<uint32_t>(i * stride);
       item.label = samples[i].label;
       item.cookie = samples[i].request_id;
+      if (fault_injector_ != nullptr) {
+        if (fault_injector_->Fire(fault::FaultKind::kCorruptJpeg)) {
+          samples[i].bytes = fault_injector_->Corrupt(
+              ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()));
+          if (events != nullptr) {
+            events->Log(telemetry::EventType::kFaultInjected, trace.batch_id,
+                        static_cast<uint64_t>(fault::FaultKind::kCorruptJpeg),
+                        i);
+          }
+        }
+        if (fault_injector_->Fire(fault::FaultKind::kLatencySpike)) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(fault_injector_->SpikeNs()));
+        }
+      }
       uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
       auto decoded =
           jpeg::Decode(ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()));
@@ -126,7 +156,7 @@ void CpuBackend::Worker(uint32_t worker) {
         decode_ns += t1 - t0;
       }
       if (!decoded.ok()) {
-        failures_.Add();
+        record_failure(item, decoded.status().code(), trace.batch_id, i);
         continue;
       }
       t0 = telemetry_ ? telemetry::NowNs() : 0;
@@ -145,14 +175,15 @@ void CpuBackend::Worker(uint32_t worker) {
         resize_ns += t1 - t0;
       }
       if (!resized.ok()) {
-        failures_.Add();
+        record_failure(item, resized.status().code(), trace.batch_id, i);
         continue;
       }
       const Image& img = resized.value();
       // Grayscale sources produce 1-channel output; that still fits the
       // slot (slot stride assumes the max channel count).
       if (img.SizeBytes() > stride) {
-        failures_.Add();
+        record_failure(item, StatusCode::kResourceExhausted, trace.batch_id,
+                       i);
         continue;
       }
       std::memcpy(storage.data() + item.offset, img.Data(), img.SizeBytes());

@@ -58,7 +58,13 @@ std::string DlboosterBackend::Describe() const {
   os << "dlbooster(devices=" << devices_.size() << ", batch=" << b.batch_size
      << ", resize=" << b.resize_w << "x" << b.resize_h
      << ", pool_buffers=" << pool_->BufferCount()
-     << ", engines=" << std::max(1, b.num_engines) << ")";
+     << ", engines=" << std::max(1, b.num_engines);
+  // Degraded-mode visibility: name the quarantined units per device.
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    const std::string q = devices_[d]->QuarantineSummary();
+    if (!q.empty()) os << ", quarantined[dev" << d << "]={" << q << "}";
+  }
+  os << ")";
   return os.str();
 }
 
@@ -68,6 +74,12 @@ void DlboosterBackend::AttachTelemetry(telemetry::Telemetry* telemetry) {
   for (auto& reader : readers_) reader->SetTelemetry(telemetry);
   pool_->SetTelemetry(telemetry);
   dispatcher_->SetTelemetry(telemetry);
+}
+
+void DlboosterBackend::AttachFaultInjector(fault::FaultInjector* injector) {
+  PreprocessBackend::AttachFaultInjector(injector);
+  for (auto& device : devices_) device->SetFaultInjector(injector);
+  for (auto& reader : readers_) reader->SetFaultInjector(injector);
 }
 
 uint64_t DlboosterBackend::ImagesDecoded() const {

@@ -50,6 +50,10 @@ class DlboosterBackend : public PreprocessBackend {
   /// gauges, dispatcher dispatch spans. Call before Start().
   void AttachTelemetry(telemetry::Telemetry* telemetry) override;
 
+  /// Fans the injector out to every device (unit stalls, DMA faults) and
+  /// reader (payload corruption, retry policy). Call before Start().
+  void AttachFaultInjector(fault::FaultInjector* injector) override;
+
   uint64_t ImagesDecoded() const;
   uint64_t DecodeFailures() const;
   const fpga::FpgaDevice& Device(int i = 0) const { return *devices_[i]; }

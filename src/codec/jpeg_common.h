@@ -28,6 +28,13 @@ inline constexpr uint8_t kAPP0 = 0xE0;
 inline constexpr uint8_t kCOM = 0xFE;
 inline constexpr uint8_t kRST0 = 0xD0;  // .. kRST0+7
 
+/// Decode-size cap: total MCU-padded samples (sum over components of
+/// plane_w * plane_h) a single image may expand to. Headers are untrusted
+/// bytes; without a cap a crafted 65535x65535 SOF drives multi-GB plane
+/// allocations before a single entropy bit is read. 2^27 samples (~128 MB
+/// of planes) comfortably covers any real camera JPEG.
+inline constexpr uint64_t kMaxDecodedSamples = uint64_t{1} << 27;
+
 /// Zig-zag scan order: index = zigzag position, value = natural position.
 extern const std::array<uint8_t, 64> kZigZag;
 

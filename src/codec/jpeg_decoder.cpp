@@ -143,11 +143,18 @@ Status FinalizeGeometry(JpegHeader* h) {
   const int mcu_px_h = h->max_v * 8;
   h->mcus_w = (h->width + mcu_px_w - 1) / mcu_px_w;
   h->mcus_h = (h->height + mcu_px_h - 1) / mcu_px_h;
+  uint64_t total_samples = 0;
   for (auto& c : h->components) {
     c.blocks_w = h->mcus_w * c.h_samp;
     c.blocks_h = h->mcus_h * c.v_samp;
     c.plane_w = c.blocks_w * 8;
     c.plane_h = c.blocks_h * 8;
+    total_samples +=
+        static_cast<uint64_t>(c.plane_w) * static_cast<uint64_t>(c.plane_h);
+    if (total_samples > kMaxDecodedSamples) {
+      // Untrusted header: cap the expansion before any plane is allocated.
+      return CorruptData("image exceeds decode size cap");
+    }
     if (!h->quant_present[c.quant_idx]) {
       return CorruptData("component references missing quant table");
     }

@@ -1,0 +1,184 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dlb::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCorruptJpeg: return "corrupt_jpeg";
+    case FaultKind::kFpgaUnitStall: return "fpga_unit_stall";
+    case FaultKind::kDmaError: return "dma_error";
+    case FaultKind::kDmaDrop: return "dma_drop";
+    case FaultKind::kLatencySpike: return "latency_spike";
+  }
+  return "unknown";
+}
+
+double FaultSpec::Rate(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kCorruptJpeg: return corrupt_jpeg;
+    case FaultKind::kFpgaUnitStall: return fpga_unit_stall;
+    case FaultKind::kDmaError: return dma_error;
+    case FaultKind::kDmaDrop: return dma_drop;
+    case FaultKind::kLatencySpike: return latency_spike;
+  }
+  return 0.0;
+}
+
+bool FaultSpec::Any() const {
+  return corrupt_jpeg > 0.0 || fpga_unit_stall > 0.0 || dma_error > 0.0 ||
+         dma_drop > 0.0 || latency_spike > 0.0;
+}
+
+namespace {
+
+Status ParseRate(const std::string& key, const std::string& value,
+                 double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return InvalidArgument("fault spec: bad number for " + key + ": \"" +
+                           value + "\"");
+  }
+  if (v < 0.0 || v > 1.0) {
+    return InvalidArgument("fault spec: " + key + " must be in [0,1], got " +
+                           value);
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+Status ParseU64(const std::string& key, const std::string& value,
+                uint64_t* out) {
+  char* end = nullptr;
+  const uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return InvalidArgument("fault spec: bad integer for " + key + ": \"" +
+                           value + "\"");
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<FaultSpec> ParseFaultSpec(const std::string& spec) {
+  FaultSpec out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgument("fault spec: expected key=value, got \"" + entry +
+                             "\"");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "corrupt_jpeg") {
+      DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.corrupt_jpeg));
+    } else if (key == "fpga_unit_stall") {
+      DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.fpga_unit_stall));
+    } else if (key == "dma_error") {
+      DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.dma_error));
+    } else if (key == "dma_drop") {
+      DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.dma_drop));
+    } else if (key == "latency_spike") {
+      DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.latency_spike));
+    } else if (key == "latency_spike_us") {
+      DLB_RETURN_IF_ERROR(ParseU64(key, value, &out.latency_spike_us));
+    } else if (key == "latency_spike_ms") {
+      uint64_t ms = 0;
+      DLB_RETURN_IF_ERROR(ParseU64(key, value, &ms));
+      out.latency_spike_us = ms * 1000;
+    } else if (key == "seed") {
+      DLB_RETURN_IF_ERROR(ParseU64(key, value, &out.seed));
+    } else {
+      return InvalidArgument("fault spec: unknown key \"" + key + "\"");
+    }
+  }
+  return out;
+}
+
+Result<FaultSpec> FaultSpecFromEnv() {
+  const char* env = std::getenv("DLB_FAULTS");
+  if (env == nullptr) return FaultSpec{};
+  return ParseFaultSpec(env);
+}
+
+void FaultInjector::AttachRegistry(MetricRegistry* registry) {
+  if (registry == nullptr) {
+    registry_total_.store(nullptr, std::memory_order_relaxed);
+    for (auto& c : registry_kind_) c.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    registry_kind_[k].store(
+        registry->GetCounter(std::string("faults.injected.") +
+                             FaultKindName(static_cast<FaultKind>(k))),
+        std::memory_order_relaxed);
+  }
+  registry_total_.store(registry->GetCounter("faults.injected"),
+                        std::memory_order_release);
+}
+
+bool FaultInjector::Fire(FaultKind kind) {
+  const double rate = spec_.Rate(kind);
+  if (rate <= 0.0) return false;
+  {
+    std::scoped_lock lock(mu_);
+    if (!rng_.Bernoulli(rate)) return false;
+  }
+  injected_[static_cast<int>(kind)].Add();
+  if (Counter* c = registry_kind_[static_cast<int>(kind)].load(
+          std::memory_order_acquire)) {
+    c->Add();
+  }
+  if (Counter* c = registry_total_.load(std::memory_order_acquire)) c->Add();
+  return true;
+}
+
+Bytes FaultInjector::Corrupt(ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  if (out.empty()) return out;
+  std::scoped_lock lock(mu_);
+  switch (rng_.UniformU64(3)) {
+    case 0: {
+      // Flip 1..8 bytes; XOR with a non-zero value so each flip is real.
+      const uint64_t flips = 1 + rng_.UniformU64(8);
+      for (uint64_t i = 0; i < flips; ++i) {
+        const size_t at = static_cast<size_t>(rng_.UniformU64(out.size()));
+        out[at] ^= static_cast<uint8_t>(1 + rng_.UniformU64(255));
+      }
+      break;
+    }
+    case 1:
+      // Truncate to a strict prefix (possibly empty).
+      out.resize(static_cast<size_t>(rng_.UniformU64(out.size())));
+      break;
+    default: {
+      // Overwrite a run with garbage.
+      const size_t at = static_cast<size_t>(rng_.UniformU64(out.size()));
+      const size_t len = std::min(
+          out.size() - at, static_cast<size_t>(1 + rng_.UniformU64(64)));
+      for (size_t i = 0; i < len; ++i) {
+        out[at + i] = static_cast<uint8_t>(rng_.UniformU64(256));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  uint64_t total = 0;
+  for (const Counter& c : injected_) total += c.Value();
+  return total;
+}
+
+}  // namespace dlb::fault

@@ -1,0 +1,110 @@
+// Deterministic fault injection for the DLBooster pipeline.
+//
+// Production preprocessing must survive bad inputs and flaky devices: a
+// corrupt JPEG, a wedged decode way or a lost DMA completion must degrade
+// the pipeline, never stop it. The FaultInjector is how we prove that
+// continuously — a seeded source of synthetic faults that components query
+// at well-defined points (before submit, before DMA, before FINISH). Every
+// probability is a Bernoulli draw from one xoshiro stream, so a given seed
+// reproduces the exact same fault schedule on every run and machine.
+//
+// The spec travels as a compact string ("corrupt_jpeg=0.01,dma_error=0.005")
+// through PipelineConfig::faults or the DLB_FAULTS environment variable;
+// see ParseFaultSpec for the grammar.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace dlb::fault {
+
+/// The fault vocabulary. Each kind is armed by its rate in the spec and
+/// fired at one specific point in the pipeline:
+enum class FaultKind : uint8_t {
+  kCorruptJpeg = 0,   // flip/truncate/garbage compressed bytes before decode
+  kFpgaUnitStall,     // latch one simulated FPGA unit way as dead
+  kDmaError,          // a completion reports a transient DMA failure
+  kDmaDrop,           // the FINISH record is lost (DMA itself landed)
+  kLatencySpike,      // a stage sleeps for latency_spike_us
+};
+inline constexpr int kNumFaultKinds = 5;
+
+const char* FaultKindName(FaultKind kind);
+
+/// Parsed fault configuration. All rates are probabilities in [0, 1].
+struct FaultSpec {
+  double corrupt_jpeg = 0.0;
+  double fpga_unit_stall = 0.0;
+  double dma_error = 0.0;
+  double dma_drop = 0.0;
+  double latency_spike = 0.0;
+  /// Duration of one injected latency spike.
+  uint64_t latency_spike_us = 2000;
+  /// Seed for the injector's RNG; same seed => same fault schedule.
+  uint64_t seed = 42;
+
+  double Rate(FaultKind kind) const;
+  /// True when any rate is armed (> 0).
+  bool Any() const;
+};
+
+/// Parse a "key=value,key=value" spec. Keys: corrupt_jpeg, fpga_unit_stall,
+/// dma_error, dma_drop, latency_spike (rates in [0,1]); latency_spike_us,
+/// latency_spike_ms, seed (integers). Empty string => all-zero spec.
+/// kInvalidArgument on unknown keys or out-of-range rates.
+Result<FaultSpec> ParseFaultSpec(const std::string& spec);
+
+/// Spec from the DLB_FAULTS environment variable (all-zero when unset).
+Result<FaultSpec> FaultSpecFromEnv();
+
+/// Seeded fault source, shared by every component of one pipeline. Fire()
+/// is serialised on an internal mutex — fault paths are cold by design, so
+/// the lock never shows up in profiles, and one stream keeps the schedule
+/// deterministic for single-threaded tests.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultSpec& Spec() const { return spec_; }
+
+  /// Publish injection counters ("faults.injected" plus one
+  /// "faults.injected.<kind>" per kind) into `registry`. Null detaches.
+  void AttachRegistry(MetricRegistry* registry);
+
+  /// One Bernoulli draw at this kind's rate; true means the caller must
+  /// inject the fault now (already counted).
+  bool Fire(FaultKind kind);
+
+  /// Deterministically mutate a compressed payload: flip a few bytes,
+  /// truncate, or overwrite a run with garbage. The result is always a
+  /// fresh copy; the input is never touched.
+  Bytes Corrupt(ByteSpan data);
+
+  /// Duration of one latency spike in ns.
+  uint64_t SpikeNs() const { return spec_.latency_spike_us * 1000; }
+
+  uint64_t Injected(FaultKind kind) const {
+    return injected_[static_cast<int>(kind)].Value();
+  }
+  uint64_t TotalInjected() const;
+
+ private:
+  FaultSpec spec_;
+  std::mutex mu_;
+  Rng rng_;
+  Counter injected_[kNumFaultKinds];
+  std::atomic<Counter*> registry_total_{nullptr};
+  std::atomic<Counter*> registry_kind_[kNumFaultKinds] = {};
+};
+
+}  // namespace dlb::fault

@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kClosed,  ///< operating on a closed queue/channel/pipeline
+  kUnavailable,  ///< transient device/transport failure; safe to retry
 };
 
 /// Human-readable name for a StatusCode (for logs and test failures).
@@ -38,6 +39,7 @@ inline const char* StatusCodeName(StatusCode c) {
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kClosed: return "CLOSED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -93,6 +95,9 @@ inline Status Internal(std::string m) {
 }
 inline Status Closed(std::string m) {
   return {StatusCode::kClosed, std::move(m)};
+}
+inline Status Unavailable(std::string m) {
+  return {StatusCode::kUnavailable, std::move(m)};
 }
 
 /// Either a value or an error status. Minimal `expected`-style carrier.

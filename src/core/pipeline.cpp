@@ -84,24 +84,38 @@ Result<BatchPtr> Pipeline::NextBatch(int engine) {
 }
 
 Result<std::pair<Tensor, std::vector<int32_t>>> Pipeline::NextTensorBatch(
-    int engine, const Normalization& norm) {
-  auto batch = NextBatch(engine);
-  if (!batch.ok()) return batch.status();
-  const PreprocessBatch& b = *batch.value();
+    int engine, const Normalization& norm, std::vector<ImageError>* errors) {
+  // Per-image decode failures are skips, never aborts: a batch whose every
+  // image failed (possible under fault injection) is dropped whole and the
+  // next one is pulled. Only stream end (kClosed) or a transport error
+  // propagates to the caller.
+  while (true) {
+    auto batch = NextBatch(engine);
+    if (!batch.ok()) return batch.status();
+    const PreprocessBatch& b = *batch.value();
 
-  std::vector<Image> images;
-  std::vector<int32_t> labels;
-  images.reserve(b.Size());
-  for (size_t i = 0; i < b.Size(); ++i) {
-    const ImageRef ref = b.At(i);
-    if (!ref.ok) continue;
-    images.push_back(ref.ToImage());
-    labels.push_back(ref.label);
+    std::vector<Image> images;
+    std::vector<int32_t> labels;
+    images.reserve(b.Size());
+    for (size_t i = 0; i < b.Size(); ++i) {
+      const ImageRef ref = b.At(i);
+      if (!ref.ok) {
+        if (errors != nullptr) {
+          errors->push_back(ImageError{ref.cookie, ref.label,
+                                       ref.error != StatusCode::kOk
+                                           ? ref.error
+                                           : StatusCode::kInternal});
+        }
+        continue;
+      }
+      images.push_back(ref.ToImage());
+      labels.push_back(ref.label);
+    }
+    if (images.empty()) continue;
+    auto tensor = BatchToTensor(images, norm);
+    if (!tensor.ok()) return tensor.status();
+    return std::make_pair(std::move(tensor).value(), std::move(labels));
   }
-  if (images.empty()) return Internal("batch contained no decodable images");
-  auto tensor = BatchToTensor(images, norm);
-  if (!tensor.ok()) return tensor.status();
-  return std::make_pair(std::move(tensor).value(), std::move(labels));
 }
 
 PipelineStats Pipeline::Stats() const {
@@ -208,6 +222,21 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   auto level = telemetry::ParseEventLevel(config_.event_log_level);
   if (!level.ok()) return level.status();
 
+  // Fault plane: the DLB_FAULTS environment variable overrides the config
+  // spec, so chaos runs need no rebuild. fault_seed (when set) overrides
+  // the spec's seed — same seed, same fault schedule.
+  fault::FaultSpec fault_spec;
+  if (const char* env = std::getenv("DLB_FAULTS"); env != nullptr) {
+    auto spec = fault::ParseFaultSpec(env);
+    if (!spec.ok()) return spec.status();
+    fault_spec = spec.value();
+  } else if (!config_.faults.empty()) {
+    auto spec = fault::ParseFaultSpec(config_.faults);
+    if (!spec.ok()) return spec.status();
+    fault_spec = spec.value();
+  }
+  if (config_.fault_seed != 0) fault_spec.seed = config_.fault_seed;
+
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
   pipeline->backend_name_ = config_.backend;
   pipeline->num_engines_ = o.num_engines;
@@ -290,6 +319,11 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   }
   pipeline->backend_ = std::move(backend);
   pipeline->backend_->AttachTelemetry(pipeline->telemetry_.get());
+  if (fault_spec.Any()) {
+    pipeline->injector_ = std::make_unique<fault::FaultInjector>(fault_spec);
+    pipeline->injector_->AttachRegistry(&pipeline->telemetry_->Registry());
+    pipeline->backend_->AttachFaultInjector(pipeline->injector_.get());
+  }
   pipeline->start_time_ = std::chrono::steady_clock::now();
   DLB_RETURN_IF_ERROR(pipeline->backend_->Start());
   if (pipeline->watchdog_) pipeline->watchdog_->Start();
@@ -362,6 +396,20 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
             return telemetry::HttpResponse{
                 503, "text/plain; charset=utf-8",
                 "stalled: no stage progress past the watchdog deadline\n"};
+          }
+          // Degraded-but-serving: quarantined ways or skipped images mean
+          // reduced capacity, not an outage — still 200, but flagged so
+          // operators (and the soak harness) can see it.
+          MetricRegistry& reg = p->telemetry_->Registry();
+          const uint64_t quarantined =
+              static_cast<uint64_t>(reg.GetGauge("fpga.ways_quarantined")->Value());
+          const uint64_t decode_errors =
+              reg.GetCounter("decode.errors")->Value();
+          if (quarantined > 0 || decode_errors > 0) {
+            return telemetry::HttpResponse{
+                200, "text/plain; charset=utf-8",
+                "degraded ways_quarantined=" + std::to_string(quarantined) +
+                    " decode_errors=" + std::to_string(decode_errors) + "\n"};
           }
           return telemetry::HttpResponse{200, "text/plain; charset=utf-8",
                                          "ok\n"};

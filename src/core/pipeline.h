@@ -69,6 +69,15 @@ struct PipelineConfig {
   /// many ms while batches are in flight (0 = disabled). Implies tracing.
   uint64_t watchdog_deadline_ms = 0;
 
+  // --- Fault injection (DESIGN.md "Fault model") ---
+  /// Fault spec, e.g. "corrupt_jpeg=0.01,fpga_unit_stall=0.001,dma_error=
+  /// 0.005". The DLB_FAULTS environment variable, when set, overrides this
+  /// field. Empty (and no env) = fault plane off.
+  std::string faults;
+  /// Overrides the spec's RNG seed when non-zero (the spec's own `seed=`
+  /// key applies otherwise; default 42). Same seed = same fault schedule.
+  uint64_t fault_seed = 0;
+
   // --- Monitoring plane (DESIGN.md §5.5) ---
   /// Embedded HTTP exposition server port: -1 = off, 0 = pick an ephemeral
   /// port (read it back via Pipeline::MonitorPort()), else the TCP port to
@@ -114,9 +123,13 @@ class Pipeline {
 
   /// Convenience: next batch staged as a normalised NCHW float tensor with
   /// labels (what a compute engine actually consumes). Failed decodes are
-  /// skipped.
+  /// skipped — never fatal: a batch whose every image failed is skipped
+  /// whole and the next batch is pulled (kClosed still ends the stream).
+  /// When `errors` is non-null, each skipped image appends a structured
+  /// ImageError {cookie, label, status code} for the caller to inspect.
   Result<std::pair<Tensor, std::vector<int32_t>>> NextTensorBatch(
-      int engine = 0, const Normalization& norm = {});
+      int engine = 0, const Normalization& norm = {},
+      std::vector<ImageError>* errors = nullptr);
 
   /// Structured snapshot: legacy counters plus elapsed time, throughput and
   /// the per-stage latency/throughput breakdown.
@@ -138,6 +151,9 @@ class Pipeline {
   telemetry::EventLog* Events() const { return telemetry_->events(); }
   /// Stall watchdog; null unless watchdog_deadline_ms > 0.
   telemetry::Watchdog* StallWatchdog() { return watchdog_.get(); }
+  /// Fault injector; null unless a fault spec was configured (config.faults
+  /// or the DLB_FAULTS environment variable).
+  fault::FaultInjector* Faults() { return injector_.get(); }
   /// Metrics sampler; null unless monitoring was enabled (monitor_port >= 0).
   telemetry::MetricsSampler* Sampler() { return sampler_.get(); }
   /// Exposition server; null unless monitoring was enabled.
@@ -167,6 +183,7 @@ class Pipeline {
   std::string backend_name_;
   int num_engines_ = 1;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<telemetry::Watchdog> watchdog_;
   std::unique_ptr<telemetry::MetricsSampler> sampler_;
   std::unique_ptr<telemetry::MonitorServer> monitor_;

@@ -1,11 +1,23 @@
 #include "fpga/fpga_device.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "codec/jpeg_decoder.h"
 #include "common/log.h"
+#include "telemetry/event_log.h"
 
 namespace dlb::fpga {
+
+const char* FpgaDevice::UnitName(Unit unit) {
+  switch (unit) {
+    case Unit::kHuffman: return "huffman";
+    case Unit::kIdct: return "idct";
+    case Unit::kResizer: return "resizer";
+  }
+  return "unknown";
+}
 
 FpgaDevice::FpgaDevice(const FpgaDeviceOptions& options)
     : options_(options),
@@ -17,10 +29,11 @@ FpgaDevice::FpgaDevice(const FpgaDeviceOptions& options)
   // Worker threads mirror the hardware unit ways. In the emulation the
   // parser is folded into the Huffman stage (it is negligible work).
   for (int i = 0; i < options_.config.huffman_ways; ++i) {
-    workers_.emplace_back([this] { HuffmanWorker(); });
+    workers_.emplace_back(
+        [this, i] { HuffmanWorker(static_cast<uint32_t>(i)); });
   }
   for (int i = 0; i < options_.config.idct_ways; ++i) {
-    workers_.emplace_back([this] { IdctWorker(); });
+    workers_.emplace_back([this, i] { IdctWorker(static_cast<uint32_t>(i)); });
   }
   for (int i = 0; i < options_.config.resizer_ways; ++i) {
     workers_.emplace_back(
@@ -51,12 +64,15 @@ void FpgaDevice::SetTelemetry(telemetry::Telemetry* telemetry) {
                       std::memory_order_relaxed);
     inflight_gauge_.store(reg.GetGauge("fpga.inflight"),
                           std::memory_order_relaxed);
+    cpu_fallback_reg_.store(reg.GetCounter("decode.cpu_fallback"),
+                            std::memory_order_relaxed);
   } else {
     huffman_busy_.store(nullptr, std::memory_order_relaxed);
     idct_busy_.store(nullptr, std::memory_order_relaxed);
     resizer_busy_.store(nullptr, std::memory_order_relaxed);
     fifo_depth_.store(nullptr, std::memory_order_relaxed);
     inflight_gauge_.store(nullptr, std::memory_order_relaxed);
+    cpu_fallback_reg_.store(nullptr, std::memory_order_relaxed);
   }
   telemetry_.store(telemetry, std::memory_order_release);
 }
@@ -100,8 +116,71 @@ std::vector<FpgaCompletion> FpgaDevice::WaitCompletions() {
   return out;
 }
 
+std::vector<FpgaCompletion> FpgaDevice::WaitCompletionsFor(
+    uint64_t timeout_ms) {
+  std::vector<FpgaCompletion> out;
+  auto first = finish_ring_.PopFor(std::chrono::milliseconds(timeout_ms));
+  if (!first.has_value()) return out;  // timed out or shut down
+  out.push_back(std::move(*first));
+  auto rest = finish_ring_.DrainAll();
+  for (auto& c : rest) out.push_back(std::move(c));
+  return out;
+}
+
+int FpgaDevice::QuarantinedWays() const {
+  int total = 0;
+  for (const auto& q : quarantined_) {
+    total += q.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FpgaDevice::QuarantineSummary() const {
+  std::string out;
+  for (int u = 0; u < kNumUnits; ++u) {
+    const int n = quarantined_[u].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (!out.empty()) out += ",";
+    out += UnitName(static_cast<Unit>(u));
+    out += "=";
+    out += std::to_string(n);
+  }
+  return out;
+}
+
+bool FpgaDevice::MaybeQuarantine(Unit unit, uint32_t way,
+                                 bool already_quarantined) {
+  if (already_quarantined) return true;
+  fault::FaultInjector* inj = injector_.load(std::memory_order_acquire);
+  if (inj == nullptr || !inj->Fire(fault::FaultKind::kFpgaUnitStall)) {
+    return false;
+  }
+  const int unit_count =
+      quarantined_[static_cast<int>(unit)].fetch_add(
+          1, std::memory_order_relaxed) + 1;
+  if (telemetry::Telemetry* telem =
+          telemetry_.load(std::memory_order_acquire)) {
+    MetricRegistry& reg = telem->Registry();
+    reg.GetGauge("fpga.ways_quarantined")
+        ->Set(static_cast<double>(QuarantinedWays()));
+    reg.GetGauge(std::string("fpga.") + UnitName(unit) + ".quarantined")
+        ->Set(static_cast<double>(unit_count));
+    if (telemetry::EventLog* events = telem->events()) {
+      events->Log(telemetry::EventType::kUnitQuarantined, 0,
+                  static_cast<uint64_t>(unit), way);
+    }
+  }
+  return true;
+}
+
+void FpgaDevice::MaybeSpike() {
+  fault::FaultInjector* inj = injector_.load(std::memory_order_acquire);
+  if (inj == nullptr || !inj->Fire(fault::FaultKind::kLatencySpike)) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(inj->SpikeNs()));
+}
+
 void FpgaDevice::Complete(const FpgaCmd& cmd, Status status, int w, int h,
-                          int c, size_t bytes) {
+                          int c, size_t bytes, bool drop_finish) {
   FpgaCompletion done;
   done.cookie = cmd.cookie;
   done.status = std::move(status);
@@ -114,12 +193,21 @@ void FpgaDevice::Complete(const FpgaCmd& cmd, Status status, int w, int h,
   if (Gauge* inflight = inflight_gauge_.load(std::memory_order_acquire)) {
     inflight->Set(static_cast<double>(InFlight()));
   }
+  if (drop_finish) {
+    // Injected dma_drop: the work happened (pixels already landed), but the
+    // FINISH record is lost. The reader's completion timeout must recover.
+    dropped_finish_.Add();
+    return;
+  }
   // Push may fail only at shutdown, when nobody is listening anyway.
   (void)finish_ring_.Push(std::move(done));
 }
 
-void FpgaDevice::HuffmanWorker() {
+void FpgaDevice::HuffmanWorker(uint32_t way) {
+  bool quarantined = false;
   while (auto cmd = cmd_fifo_.Pop()) {
+    MaybeSpike();
+    quarantined = MaybeQuarantine(Unit::kHuffman, way, quarantined);
     // Busy time charges only the compute section, never a blocked push —
     // so busy_ns / wall gives true unit utilisation under backpressure.
     Counter* busy = huffman_busy_.load(std::memory_order_acquire);
@@ -127,6 +215,28 @@ void FpgaDevice::HuffmanWorker() {
     auto charge = [&] {
       if (busy != nullptr) busy->Add(telemetry::NowNs() - t0);
     };
+    if (quarantined) {
+      // Dead way, degraded mode: this lane's commands fall back to the full
+      // CPU decode (one-shot jpeg::Decode composes the exact same stages,
+      // so the output is byte-identical) instead of wedging the pipeline.
+      auto img = options_.custom_decoder ? options_.custom_decoder(cmd->jpeg)
+                                         : jpeg::Decode(cmd->jpeg);
+      charge();
+      cpu_fallback_.Add();
+      if (Counter* c = cpu_fallback_reg_.load(std::memory_order_acquire)) {
+        c->Add();
+      }
+      if (!img.ok()) {
+        Complete(*cmd, img.status(), 0, 0, 0, 0);
+        continue;
+      }
+      HuffmanOut out;
+      out.cmd = std::move(*cmd);
+      out.direct = std::move(img).value();
+      out.has_direct = true;
+      if (!huffman_out_.Push(std::move(out)).ok()) return;
+      continue;
+    }
     if (options_.custom_decoder) {
       auto img = options_.custom_decoder(cmd->jpeg);
       charge();
@@ -161,8 +271,19 @@ void FpgaDevice::HuffmanWorker() {
   }
 }
 
-void FpgaDevice::IdctWorker() {
+void FpgaDevice::IdctWorker(uint32_t way) {
+  bool quarantined = false;
   while (auto item = huffman_out_.Pop()) {
+    // A quarantined iDCT way keeps draining its queue — in the emulation
+    // the "CPU fallback" runs the identical transform, so latching here is
+    // purely an accounting event (counted, reported, never a stall).
+    quarantined = MaybeQuarantine(Unit::kIdct, way, quarantined);
+    if (quarantined && !item->has_direct) {
+      cpu_fallback_.Add();
+      if (Counter* c = cpu_fallback_reg_.load(std::memory_order_acquire)) {
+        c->Add();
+      }
+    }
     if (item->has_direct) {
       IdctOut out;
       out.cmd = std::move(item->cmd);
@@ -188,7 +309,15 @@ void FpgaDevice::IdctWorker() {
 }
 
 void FpgaDevice::ResizerWorker(uint32_t way) {
+  bool quarantined = false;
   while (auto item = idct_out_.Pop()) {
+    quarantined = MaybeQuarantine(Unit::kResizer, way, quarantined);
+    if (quarantined) {
+      cpu_fallback_.Add();
+      if (Counter* c = cpu_fallback_reg_.load(std::memory_order_acquire)) {
+        c->Add();
+      }
+    }
     telemetry::Telemetry* telem = telemetry_.load(std::memory_order_acquire);
     Counter* busy = resizer_busy_.load(std::memory_order_acquire);
     // Everything up to here — FIFO wait, Huffman, iDCT, colour — is the
@@ -235,6 +364,21 @@ void FpgaDevice::ResizerWorker(uint32_t way) {
     }
     // "DMA" the pixels into the host batch buffer.
     std::memcpy(cmd.out, image.Data(), image.SizeBytes());
+    if (fault::FaultInjector* inj =
+            injector_.load(std::memory_order_acquire)) {
+      if (inj->Fire(fault::FaultKind::kDmaError)) {
+        // Transient transfer failure: the reader may resubmit (retryable).
+        Complete(cmd, Unavailable("injected DMA error"), 0, 0, 0, 0);
+        continue;
+      }
+      if (inj->Fire(fault::FaultKind::kDmaDrop)) {
+        // The copy landed but the FINISH record is lost; only the reader's
+        // completion timeout can retire this slot.
+        Complete(cmd, Status::Ok(), image.Width(), image.Height(),
+                 image.Channels(), image.SizeBytes(), /*drop_finish=*/true);
+        continue;
+      }
+    }
     if (resize_start != 0) {
       const uint64_t now = telemetry::NowNs();
       if (telem != nullptr) {

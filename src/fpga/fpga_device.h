@@ -18,6 +18,7 @@
 
 #include "codec/jpeg_common.h"
 #include "common/bounded_queue.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "fpga/decoder_config.h"
 #include "image/image.h"
@@ -73,6 +74,11 @@ struct FpgaDeviceOptions {
 
 class FpgaDevice {
  public:
+  /// The three unit types of Fig. 4 (quarantine is tracked per unit).
+  enum class Unit : uint8_t { kHuffman = 0, kIdct, kResizer };
+  static constexpr int kNumUnits = 3;
+  static const char* UnitName(Unit unit);
+
   explicit FpgaDevice(const FpgaDeviceOptions& options = {});
   ~FpgaDevice();
 
@@ -91,8 +97,15 @@ class FpgaDevice {
   /// down); then drain.
   std::vector<FpgaCompletion> WaitCompletions();
 
+  /// Like WaitCompletions, but gives up after `timeout_ms` (empty result).
+  /// Lets the FPGAReader bound its wait when completions may be lost.
+  std::vector<FpgaCompletion> WaitCompletionsFor(uint64_t timeout_ms);
+
   /// Commands accepted but not yet completed.
   int InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  /// True once Shutdown() ran (no further completions will arrive).
+  bool IsClosed() const { return shutdown_.load(std::memory_order_acquire); }
 
   uint64_t Completed() const { return completed_.Value(); }
 
@@ -105,6 +118,30 @@ class FpgaDevice {
   /// completion. Safe to call after construction (workers already running)
   /// as long as no command has been submitted yet.
   void SetTelemetry(telemetry::Telemetry* telemetry);
+
+  /// Attach a fault injector. A way that draws a `fpga_unit_stall` fault
+  /// latches as quarantined: it stays scheduled but routes every further
+  /// command through the full CPU decode path (graceful degradation — the
+  /// output stays byte-identical; only the routing and the health metrics
+  /// change). `dma_error` / `dma_drop` / `latency_spike` fire at the DMA
+  /// completion point. Null detaches.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Ways currently quarantined, total and per unit.
+  int QuarantinedWays() const;
+  int QuarantinedWays(Unit unit) const {
+    return quarantined_[static_cast<int>(unit)].load(
+        std::memory_order_relaxed);
+  }
+  /// "huffman=1,resizer=2" (empty when healthy) — for Describe()/reports.
+  std::string QuarantineSummary() const;
+
+  /// Commands a quarantined way served via the CPU-decode fallback.
+  uint64_t CpuFallbackDecodes() const { return cpu_fallback_.Value(); }
+  /// FINISH records lost to injected dma_drop faults.
+  uint64_t DroppedCompletions() const { return dropped_finish_.Value(); }
 
   void Shutdown();
 
@@ -126,11 +163,16 @@ class FpgaDevice {
     bool has_direct = false;
   };
 
-  void HuffmanWorker();
-  void IdctWorker();
+  void HuffmanWorker(uint32_t way);
+  void IdctWorker(uint32_t way);
   void ResizerWorker(uint32_t way);
   void Complete(const FpgaCmd& cmd, Status status, int w, int h, int c,
-                size_t bytes);
+                size_t bytes, bool drop_finish = false);
+  /// One Bernoulli draw for a unit-stall fault; latches + reports the way
+  /// on the first hit. Returns the (possibly fresh) quarantine state.
+  bool MaybeQuarantine(Unit unit, uint32_t way, bool already_quarantined);
+  /// Injected latency spike at a unit's service point (no-op when unarmed).
+  void MaybeSpike();
 
   FpgaDeviceOptions options_;
   BoundedQueue<FpgaCmd> cmd_fifo_;
@@ -151,6 +193,13 @@ class FpgaDevice {
   // submit/complete avoid the registry lock.
   std::atomic<Gauge*> fifo_depth_{nullptr};
   std::atomic<Gauge*> inflight_gauge_{nullptr};
+  // Fault plane: injector hook, per-unit quarantine tallies, fallback and
+  // lost-FINISH counters (cached registry twins where the path is warm).
+  std::atomic<fault::FaultInjector*> injector_{nullptr};
+  std::atomic<int> quarantined_[kNumUnits] = {};
+  Counter cpu_fallback_;
+  Counter dropped_finish_;
+  std::atomic<Counter*> cpu_fallback_reg_{nullptr};
 };
 
 }  // namespace dlb::fpga

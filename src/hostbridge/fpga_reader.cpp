@@ -1,6 +1,8 @@
 #include "hostbridge/fpga_reader.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/log.h"
 
@@ -10,6 +12,16 @@ namespace {
 // Cookie layout: high bits batch sequence, low 20 bits slot index.
 constexpr int kSlotBits = 20;
 constexpr uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+
+// FINISH-arbiter timeout armed automatically with a fault injector.
+constexpr uint64_t kDefaultCompletionTimeoutMs = 2000;
+
+// Exponential backoff before a DMA resubmit, capped so a burst of injected
+// errors cannot stall the reader for long.
+uint64_t BackoffUs(uint64_t base_us, int attempt) {
+  const int shift = std::min(attempt - 1, 6);
+  return std::min<uint64_t>(base_us << shift, 5000);
+}
 }  // namespace
 
 FpgaReader::FpgaReader(fpga::FpgaDevice* device, DataCollector* collector,
@@ -23,6 +35,27 @@ FpgaReader::FpgaReader(fpga::FpgaDevice* device, DataCollector* collector,
 
 FpgaReader::~FpgaReader() { Stop(); }
 
+void FpgaReader::SetTelemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry != nullptr) {
+    MetricRegistry& reg = telemetry->Registry();
+    decode_errors_reg_ = reg.GetCounter("decode.errors");
+    retry_attempts_reg_ = reg.GetCounter("retry.attempts");
+    retry_exhausted_reg_ = reg.GetCounter("retry.exhausted");
+  } else {
+    decode_errors_reg_ = nullptr;
+    retry_attempts_reg_ = nullptr;
+    retry_exhausted_reg_ = nullptr;
+  }
+}
+
+void FpgaReader::SetFaultInjector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  if (injector_ != nullptr && options_.completion_timeout_ms == 0) {
+    options_.completion_timeout_ms = kDefaultCompletionTimeoutMs;
+  }
+}
+
 void FpgaReader::Start() {
   if (running_.exchange(true)) return;
   thread_ = std::jthread([this] { Loop(); });
@@ -34,12 +67,12 @@ void FpgaReader::Stop() {
   if (thread_.joinable()) thread_.join();
 }
 
-bool FpgaReader::SubmitOne(uint64_t batch_seq, size_t slot,
-                           const CollectedFile& file, BatchBuffer* buffer,
-                           const telemetry::TraceContext& trace) {
+FpgaReader::SubmitOutcome FpgaReader::SubmitOne(
+    uint64_t batch_seq, size_t slot, ByteSpan jpeg, BatchBuffer* buffer,
+    const telemetry::TraceContext& trace) {
   fpga::FpgaCmd cmd;
   cmd.cookie = (batch_seq << kSlotBits) | slot;
-  cmd.jpeg = file.bytes;
+  cmd.jpeg = jpeg;
   cmd.trace = trace;
   // The cmd carries a *physical* address in hardware; here we translate
   // eagerly and hand the device the virtual alias, asserting the mapping
@@ -55,17 +88,45 @@ bool FpgaReader::SubmitOne(uint64_t batch_seq, size_t slot,
   cmd.aspect_crop = options_.aspect_crop;
 
   // Aggressive submit: when the FIFO is full, drain completions and retry
-  // (the blocking branch of Algorithm 1).
+  // (the blocking branch of Algorithm 1) — bounded per attempt so a lossy
+  // FINISH ring cannot park the reader forever, and bounded in count when
+  // submit_retry_limit caps it.
+  int attempts = 0;
   while (running_.load(std::memory_order_relaxed)) {
     Status s = device_->SubmitCmd(cmd);
     if (s.ok()) {
       submitted_.Add();
-      return true;
+      return SubmitOutcome::kSubmitted;
     }
-    if (s.code() == StatusCode::kClosed) return false;
-    ProcessCompletions(device_->WaitCompletions());
+    if (s.code() == StatusCode::kClosed) return SubmitOutcome::kClosed;
+    ++attempts;
+    if (options_.submit_retry_limit > 0 &&
+        attempts >= options_.submit_retry_limit) {
+      return SubmitOutcome::kExhausted;
+    }
+    ProcessCompletions(device_->WaitCompletionsFor(
+        std::max<uint64_t>(1, BackoffUs(options_.retry_backoff_us, attempts) /
+                                  1000)));
+    ReapTimedOutBatches();
   }
-  return false;
+  return SubmitOutcome::kClosed;
+}
+
+void FpgaReader::MarkSlotFailed(std::map<uint64_t, BatchState>::iterator it,
+                                size_t slot, StatusCode code) {
+  BatchState& state = it->second;
+  BatchItem& item = state.items[slot];
+  item.ok = false;
+  item.error = code;
+  completed_.Add();
+  failures_.Add();
+  if (decode_errors_reg_ != nullptr) decode_errors_reg_->Add();
+  if (telemetry::EventLog* events = EventsSink()) {
+    events->Log(telemetry::EventType::kDecodeError, state.trace.batch_id,
+                slot, static_cast<uint64_t>(code));
+  }
+  ++state.done;
+  if (state.done == state.expected) FinishBatch(it);
 }
 
 void FpgaReader::ProcessCompletions(
@@ -76,16 +137,100 @@ void FpgaReader::ProcessCompletions(
     auto it = in_flight_.find(batch_seq);
     if (it == in_flight_.end()) continue;  // batch abandoned at shutdown
     BatchState& state = it->second;
+    state.last_progress_ns = telemetry::NowNs();
+    if (c.status.code() == StatusCode::kUnavailable &&
+        state.attempts[slot] <
+            static_cast<uint8_t>(std::max(0, options_.dma_retry_limit))) {
+      // Transient device/DMA error: back off and resubmit this slot from
+      // its retained source bytes.
+      const int attempt = ++state.attempts[slot];
+      retry_attempts_.Add();
+      if (retry_attempts_reg_ != nullptr) retry_attempts_reg_->Add();
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          BackoffUs(options_.retry_backoff_us, attempt)));
+      if (SubmitOne(batch_seq, slot, state.sources[slot], state.buffer,
+                    state.trace) == SubmitOutcome::kSubmitted) {
+        continue;  // the slot is in flight again, not done
+      }
+      // Resubmit impossible (device closed / submit budget exhausted):
+      // fall through and record the failure. SubmitOne may have mutated the
+      // map (nested completion processing), so re-find the batch.
+      it = in_flight_.find(batch_seq);
+      if (it == in_flight_.end()) continue;
+      MarkSlotFailed(it, slot, c.status.code());
+      continue;
+    }
+    if (c.status.code() == StatusCode::kUnavailable) {
+      // Retries exhausted: a counted, event-logged per-image failure.
+      retry_exhausted_.Add();
+      if (retry_exhausted_reg_ != nullptr) retry_exhausted_reg_->Add();
+      if (telemetry::EventLog* events = EventsSink()) {
+        events->Log(telemetry::EventType::kRetryExhausted,
+                    state.trace.batch_id, slot, state.attempts[slot]);
+      }
+      MarkSlotFailed(it, slot, c.status.code());
+      continue;
+    }
     BatchItem& item = state.items[slot];
     item.ok = c.status.ok();
+    item.error = c.status.code();
     item.bytes = static_cast<uint32_t>(c.bytes_written);
     item.width = static_cast<uint16_t>(c.width);
     item.height = static_cast<uint16_t>(c.height);
     item.channels = static_cast<uint8_t>(c.channels);
     completed_.Add();
-    if (!c.status.ok()) failures_.Add();
+    if (!c.status.ok()) {
+      failures_.Add();
+      if (decode_errors_reg_ != nullptr) decode_errors_reg_->Add();
+      if (telemetry::EventLog* events = EventsSink()) {
+        events->Log(telemetry::EventType::kDecodeError, state.trace.batch_id,
+                    slot, static_cast<uint64_t>(c.status.code()));
+      }
+    }
     ++state.done;
     if (state.done == state.expected) FinishBatch(it);
+  }
+}
+
+void FpgaReader::ReapTimedOutBatches() {
+  if (options_.completion_timeout_ms == 0 || in_flight_.empty()) return;
+  // Only reap once the device has serviced everything it was given: then a
+  // pending slot's completion is definitively lost (dropped FINISH), never
+  // still in flight — so a timed-out retire can't race a late DMA write.
+  if (device_->InFlight() != 0) return;
+  const uint64_t now = telemetry::NowNs();
+  const uint64_t deadline_ns = options_.completion_timeout_ms * 1'000'000ull;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    auto next = std::next(it);
+    BatchState& state = it->second;
+    const uint64_t anchor =
+        std::max(state.start_ns, state.last_progress_ns);
+    if (state.done < state.expected && anchor != 0 &&
+        now - anchor > deadline_ns) {
+      size_t pending = 0;
+      for (size_t slot = 0; slot < state.expected; ++slot) {
+        // Pending slots are the ones no completion ever touched.
+        if (!state.items[slot].ok &&
+            state.items[slot].error == StatusCode::kOk) {
+          ++pending;
+        }
+      }
+      batch_timeouts_.Add();
+      if (telemetry::EventLog* events = EventsSink()) {
+        events->Log(telemetry::EventType::kBatchTimeout, state.trace.batch_id,
+                    pending);
+      }
+      // MarkSlotFailed retires the batch when the last pending slot is
+      // recorded, invalidating `it` — walk via the slot list carefully.
+      for (size_t slot = 0; slot < state.expected && pending > 0; ++slot) {
+        if (!state.items[slot].ok &&
+            state.items[slot].error == StatusCode::kOk) {
+          --pending;
+          MarkSlotFailed(it, slot, StatusCode::kUnavailable);
+        }
+      }
+    }
+    it = next;
   }
 }
 
@@ -149,6 +294,7 @@ void FpgaReader::Loop() {
         }
       }
       ProcessCompletions(device_->DrainCompletions());
+      ReapTimedOutBatches();
     }
     if (buffer == nullptr) break;
     pool_->PublishOccupancy();
@@ -161,9 +307,11 @@ void FpgaReader::Loop() {
       BatchState fresh;
       fresh.buffer = buffer;
       fresh.expected = options_.batch_size;
-      fresh.start_ns = telemetry_ != nullptr ? telemetry::NowNs() : 0;
+      fresh.start_ns = telemetry::NowNs();
       fresh.items.resize(options_.batch_size);
       fresh.payloads.resize(options_.batch_size);
+      fresh.sources.resize(options_.batch_size);
+      fresh.attempts.assign(options_.batch_size, 0);
       // Batch admission: mint the trace context that every downstream span
       // of this batch will link into, and stamp it on the buffer.
       if (telemetry::Tracer* tracer = TracerSink()) {
@@ -196,7 +344,19 @@ void FpgaReader::Loop() {
         break;
       }
       CollectedFile cf = std::move(file).value();
-      if (cf.OwnsPayload()) {
+      if (injector_ != nullptr &&
+          injector_->Fire(fault::FaultKind::kCorruptJpeg)) {
+        // Corrupt the compressed payload before it reaches the decoder; the
+        // mutated copy is pinned like a network payload.
+        state->payloads[slot] = injector_->Corrupt(cf.bytes);
+        cf.bytes = ByteSpan(state->payloads[slot].data(),
+                            state->payloads[slot].size());
+        if (telemetry::EventLog* events = EventsSink()) {
+          events->Log(
+              telemetry::EventType::kFaultInjected, state->trace.batch_id,
+              static_cast<uint64_t>(fault::FaultKind::kCorruptJpeg), slot);
+        }
+      } else if (cf.OwnsPayload()) {
         // Pin network payloads for the async decode's lifetime.
         state->payloads[slot] = std::move(cf.owned);
         cf.bytes = ByteSpan(state->payloads[slot].data(),
@@ -206,9 +366,27 @@ void FpgaReader::Loop() {
       state->items[slot].label = cf.label;
       state->items[slot].offset =
           static_cast<uint32_t>(slot * options_.SlotStride());
+      state->sources[slot] = cf.bytes;
       const telemetry::TraceContext cmd_trace =
           fetch_span != 0 ? state->trace.Child(fetch_span) : state->trace;
-      if (!SubmitOne(batch_seq, slot, cf, state->buffer, cmd_trace)) {
+      const SubmitOutcome outcome =
+          SubmitOne(batch_seq, slot, cf.bytes, state->buffer, cmd_trace);
+      if (outcome == SubmitOutcome::kExhausted) {
+        // Submit budget spent on a full FIFO: the image fails, the batch
+        // and the stream carry on. `state` stays valid — the batch cannot
+        // retire mid-assembly (expected > submitted slots).
+        retry_exhausted_.Add();
+        if (retry_exhausted_reg_ != nullptr) retry_exhausted_reg_->Add();
+        if (telemetry::EventLog* events = EventsSink()) {
+          events->Log(telemetry::EventType::kRetryExhausted,
+                      state->trace.batch_id, slot,
+                      static_cast<uint64_t>(options_.submit_retry_limit));
+        }
+        MarkSlotFailed(in_flight_.find(batch_seq), slot,
+                       StatusCode::kResourceExhausted);
+        continue;
+      }
+      if (outcome == SubmitOutcome::kClosed) {
         source_exhausted = true;
         ++slot;
         break;
@@ -237,11 +415,19 @@ void FpgaReader::Loop() {
     }
   }
 
-  // Flush: wait for every in-flight batch to finish.
+  // Flush: wait for every in-flight batch to finish. With a completion
+  // timeout armed the wait is polled, so lost FINISH records cannot park
+  // the flush forever.
   while (running_.load(std::memory_order_relaxed) && !in_flight_.empty()) {
-    auto completions = device_->WaitCompletions();
-    if (completions.empty()) break;  // device shut down
-    ProcessCompletions(std::move(completions));
+    if (options_.completion_timeout_ms > 0) {
+      ProcessCompletions(device_->WaitCompletionsFor(10));
+      ReapTimedOutBatches();
+      if (device_->IsClosed()) break;
+    } else {
+      auto completions = device_->WaitCompletions();
+      if (completions.empty()) break;  // device shut down
+      ProcessCompletions(std::move(completions));
+    }
   }
   // Batches still unfinished at shutdown never reach a consumer.
   if (telemetry::Tracer* tracer = TracerSink()) {

@@ -13,6 +13,7 @@
 #include <map>
 #include <thread>
 
+#include "common/fault.h"
 #include "fpga/fpga_device.h"
 #include "hostbridge/data_collector.h"
 #include "hostbridge/hugepage_pool.h"
@@ -28,6 +29,22 @@ struct FpgaReaderOptions {
   int resize_h = 256;
   int channels = 3;
   bool aspect_crop = false;  // cover-resize + centre crop in the resizer
+
+  // --- Fault-recovery policy ---
+  /// Resubmits per slot after a transient (kUnavailable) completion before
+  /// the image is declared failed.
+  int dma_retry_limit = 3;
+  /// Base backoff before a resubmit; doubles per attempt, capped at 5 ms.
+  uint64_t retry_backoff_us = 100;
+  /// Bound on cmd-FIFO-full submit retries per command (0 = retry until
+  /// the device closes, the plain backpressure behaviour).
+  int submit_retry_limit = 0;
+  /// FINISH-arbiter timeout: once the device is idle, a batch that has seen
+  /// no completion for this long is force-retired with its pending slots
+  /// marked failed — how the reader survives lost completions (0 = off;
+  /// armed with a default when a fault injector is attached).
+  uint64_t completion_timeout_ms = 0;
+
   /// Slot stride in bytes (derived): resize_w * resize_h * channels.
   size_t SlotStride() const {
     return static_cast<size_t>(resize_w) * resize_h * channels;
@@ -44,10 +61,16 @@ class FpgaReader {
   FpgaReader& operator=(const FpgaReader&) = delete;
 
   /// Attach a telemetry sink before Start(): the reader records fetch spans
-  /// (collector pulls) and collect spans (batch assembly latency).
-  void SetTelemetry(telemetry::Telemetry* telemetry) {
-    telemetry_ = telemetry;
-  }
+  /// (collector pulls), collect spans (batch assembly latency) and the
+  /// fault-plane counters ("decode.errors", "retry.attempts",
+  /// "retry.exhausted").
+  void SetTelemetry(telemetry::Telemetry* telemetry);
+
+  /// Attach a fault injector before Start(): compressed payloads may be
+  /// corrupted pre-submit (`corrupt_jpeg`), and the completion timeout is
+  /// armed (default 2000 ms) so injected completion losses cannot wedge
+  /// the reader. Null detaches.
+  void SetFaultInjector(fault::FaultInjector* injector);
 
   /// Launch the daemon thread.
   void Start();
@@ -62,6 +85,9 @@ class FpgaReader {
   uint64_t ImagesCompleted() const { return completed_.Value(); }
   uint64_t DecodeFailures() const { return failures_.Value(); }
   uint64_t BatchesProduced() const { return batches_.Value(); }
+  uint64_t RetryAttempts() const { return retry_attempts_.Value(); }
+  uint64_t RetriesExhausted() const { return retry_exhausted_.Value(); }
+  uint64_t BatchTimeouts() const { return batch_timeouts_.Value(); }
 
  private:
   /// Per-batch assembly state, keyed by batch sequence number. `payloads`
@@ -71,15 +97,31 @@ class FpgaReader {
     size_t expected = 0;
     size_t done = 0;
     uint64_t start_ns = 0;  // buffer acquisition time (collect span start)
+    uint64_t last_progress_ns = 0;  // last completion seen for this batch
     telemetry::TraceContext trace;  // root context minted at admission
     std::vector<BatchItem> items;
     std::vector<Bytes> payloads;
+    /// Submitted input span per slot, retained so a transient DMA failure
+    /// can be resubmitted without re-fetching.
+    std::vector<ByteSpan> sources;
+    /// DMA resubmit count per slot (bounded by dma_retry_limit).
+    std::vector<uint8_t> attempts;
   };
+
+  enum class SubmitOutcome { kSubmitted, kExhausted, kClosed };
 
   void Loop();
   void ProcessCompletions(std::vector<fpga::FpgaCompletion> completions);
-  bool SubmitOne(uint64_t batch_seq, size_t slot, const CollectedFile& file,
-                 BatchBuffer* buffer, const telemetry::TraceContext& trace);
+  SubmitOutcome SubmitOne(uint64_t batch_seq, size_t slot, ByteSpan jpeg,
+                          BatchBuffer* buffer,
+                          const telemetry::TraceContext& trace);
+  /// Record one slot's terminal failure (counts, event, batch progress).
+  /// May retire the batch; the caller must re-find iterators afterwards.
+  void MarkSlotFailed(std::map<uint64_t, BatchState>::iterator it, size_t slot,
+                      StatusCode code);
+  /// FINISH-arbiter timeout: retire batches whose pending completions are
+  /// definitively lost (device idle + quiet past completion_timeout_ms).
+  void ReapTimedOutBatches();
   /// Retire a fully assembled batch: collect span, hand-off, events.
   void FinishBatch(std::map<uint64_t, BatchState>::iterator it);
 
@@ -105,6 +147,14 @@ class FpgaReader {
   Counter completed_;
   Counter failures_;
   Counter batches_;
+  Counter retry_attempts_;
+  Counter retry_exhausted_;
+  Counter batch_timeouts_;
+  fault::FaultInjector* injector_ = nullptr;
+  // Registry twins of the fault-plane counters (null when detached).
+  Counter* decode_errors_reg_ = nullptr;
+  Counter* retry_attempts_reg_ = nullptr;
+  Counter* retry_exhausted_reg_ = nullptr;
 };
 
 }  // namespace dlb

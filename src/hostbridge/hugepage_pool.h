@@ -32,6 +32,9 @@ struct BatchItem {
   uint8_t channels = 0;
   int32_t label = 0;
   bool ok = false;        // decode succeeded
+  /// StatusCode of the decode failure when !ok (kOk while pending); lets
+  /// consumers distinguish corrupt inputs from device errors per image.
+  StatusCode error = StatusCode::kOk;
 };
 
 /// One recycled batch-granular memory unit.

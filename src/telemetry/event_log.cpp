@@ -46,6 +46,16 @@ const char* EventTypeName(EventType type) {
       return "stall_detected";
     case EventType::kTraceExported:
       return "trace_exported";
+    case EventType::kDecodeError:
+      return "decode_error";
+    case EventType::kFaultInjected:
+      return "fault_injected";
+    case EventType::kUnitQuarantined:
+      return "unit_quarantined";
+    case EventType::kRetryExhausted:
+      return "retry_exhausted";
+    case EventType::kBatchTimeout:
+      return "batch_timeout";
   }
   return "unknown";
 }
@@ -55,13 +65,18 @@ EventLevel EventTypeLevel(EventType type) {
     case EventType::kBatchAdmitted:
     case EventType::kBatchDispatched:
     case EventType::kBatchCompleted:
+    case EventType::kFaultInjected:
       return EventLevel::kDebug;
     case EventType::kBatchDropped:
     case EventType::kPoolExhausted:
     case EventType::kQueueHighWatermark:
     case EventType::kTraceExported:
+    case EventType::kDecodeError:
       return EventLevel::kInfo;
     case EventType::kStallDetected:
+    case EventType::kUnitQuarantined:
+    case EventType::kRetryExhausted:
+    case EventType::kBatchTimeout:
       return EventLevel::kWarn;
   }
   return EventLevel::kInfo;

@@ -40,6 +40,13 @@ enum class EventType : uint8_t {
   kQueueHighWatermark,  // queue full; arg0 = depth, arg1 = capacity [info]
   kStallDetected,       // watchdog fired; arg0 = quiet ms           [warn]
   kTraceExported,       // trace file written; arg0 = span count     [info]
+  kDecodeError,         // one image failed; arg0 = slot, arg1 = code [info]
+  kFaultInjected,       // injector fired; arg0 = FaultKind          [debug]
+  kUnitQuarantined,     // dead FPGA way latched; arg0 = unit,
+                        // arg1 = way                                [warn]
+  kRetryExhausted,      // slot gave up retrying; arg0 = slot,
+                        // arg1 = attempts                           [warn]
+  kBatchTimeout,        // completion deadline hit; arg0 = pending   [warn]
 };
 
 const char* EventTypeName(EventType type);

@@ -119,6 +119,23 @@ StallReport Watchdog::BuildReport(uint64_t now_ns, uint64_t quiet_ms,
     os << "    " << StageName(p.stage) << ": ops=" << p.ops << " quiet="
        << p.quiet_ms << "ms" << (p.stalled ? " [stalled]" : "") << "\n";
   }
+  // Name quarantined decode units: a dead way explains decode-stage silence
+  // better than any span tree.
+  {
+    MetricRegistry& reg = telemetry_->Registry();
+    bool header = false;
+    for (const char* unit : {"huffman", "idct", "resizer"}) {
+      const double n =
+          reg.GetGauge(std::string("fpga.") + unit + ".quarantined")->Value();
+      if (n <= 0.0) continue;
+      if (!header) {
+        os << "  quarantined FPGA ways:";
+        header = true;
+      }
+      os << " " << unit << "=" << static_cast<uint64_t>(n);
+    }
+    if (header) os << " (served via CPU-decode fallback)\n";
+  }
   if (!report.recent_events.empty()) {
     const uint64_t epoch = report.recent_events.front().ts_ns;
     os << "  last " << report.recent_events.size() << " events:\n";

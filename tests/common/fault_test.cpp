@@ -1,0 +1,204 @@
+// The fault plane is only useful if it is deterministic: a seed must pin
+// the whole fault schedule, and the spec grammar must reject bad input
+// loudly (a chaos run with a silently-ignored rate tests nothing).
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace dlb::fault {
+namespace {
+
+TEST(FaultSpecTest, EmptySpecIsAllZero) {
+  auto spec = ParseFaultSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec.value().Any());
+  EXPECT_EQ(spec.value().seed, 42u);
+}
+
+TEST(FaultSpecTest, ParsesEveryKey) {
+  auto spec = ParseFaultSpec(
+      "corrupt_jpeg=0.05,fpga_unit_stall=0.01,dma_error=0.5,dma_drop=1,"
+      "latency_spike=0.25,latency_spike_us=700,seed=9");
+  ASSERT_TRUE(spec.ok());
+  const FaultSpec& s = spec.value();
+  EXPECT_DOUBLE_EQ(s.corrupt_jpeg, 0.05);
+  EXPECT_DOUBLE_EQ(s.fpga_unit_stall, 0.01);
+  EXPECT_DOUBLE_EQ(s.dma_error, 0.5);
+  EXPECT_DOUBLE_EQ(s.dma_drop, 1.0);
+  EXPECT_DOUBLE_EQ(s.latency_spike, 0.25);
+  EXPECT_EQ(s.latency_spike_us, 700u);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_TRUE(s.Any());
+}
+
+TEST(FaultSpecTest, SpikeMillisecondsAlias) {
+  auto spec = ParseFaultSpec("latency_spike_ms=3");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().latency_spike_us, 3000u);
+}
+
+TEST(FaultSpecTest, EmptyEntriesAreSkipped) {
+  auto spec = ParseFaultSpec(",corrupt_jpeg=0.1,,");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec.value().corrupt_jpeg, 0.1);
+}
+
+TEST(FaultSpecTest, RejectsUnknownKey) {
+  auto spec = ParseFaultSpec("jitterbug=0.5");
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSpecTest, RejectsOutOfRangeRate) {
+  EXPECT_EQ(ParseFaultSpec("dma_error=1.5").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("dma_error=-0.1").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSpecTest, RejectsMalformedEntries) {
+  EXPECT_EQ(ParseFaultSpec("corrupt_jpeg").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("corrupt_jpeg=abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("seed=12x").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSpecTest, RateLookupMatchesFields) {
+  auto spec = ParseFaultSpec("corrupt_jpeg=0.3,dma_drop=0.7");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec.value().Rate(FaultKind::kCorruptJpeg), 0.3);
+  EXPECT_DOUBLE_EQ(spec.value().Rate(FaultKind::kDmaDrop), 0.7);
+  EXPECT_DOUBLE_EQ(spec.value().Rate(FaultKind::kDmaError), 0.0);
+}
+
+TEST(FaultSpecTest, FromEnvReadsDlbFaults) {
+  ASSERT_EQ(setenv("DLB_FAULTS", "dma_error=0.125,seed=77", 1), 0);
+  auto spec = FaultSpecFromEnv();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec.value().dma_error, 0.125);
+  EXPECT_EQ(spec.value().seed, 77u);
+  ASSERT_EQ(unsetenv("DLB_FAULTS"), 0);
+  auto unset = FaultSpecFromEnv();
+  ASSERT_TRUE(unset.ok());
+  EXPECT_FALSE(unset.value().Any());
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  auto spec = ParseFaultSpec("corrupt_jpeg=0.2,dma_error=0.1,seed=123");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector a(spec.value());
+  FaultInjector b(spec.value());
+  for (int i = 0; i < 2000; ++i) {
+    const FaultKind kind =
+        (i % 2 == 0) ? FaultKind::kCorruptJpeg : FaultKind::kDmaError;
+    EXPECT_EQ(a.Fire(kind), b.Fire(kind)) << "draw " << i;
+  }
+  EXPECT_EQ(a.TotalInjected(), b.TotalInjected());
+}
+
+TEST(FaultInjectorTest, SameSeedSameCorruption) {
+  auto spec = ParseFaultSpec("corrupt_jpeg=1,seed=5");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector a(spec.value());
+  FaultInjector b(spec.value());
+  Bytes payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<uint8_t>(i));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Corrupt(payload), b.Corrupt(payload)) << "round " << i;
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  auto s1 = ParseFaultSpec("corrupt_jpeg=0.5,seed=1");
+  auto s2 = ParseFaultSpec("corrupt_jpeg=0.5,seed=2");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  FaultInjector a(s1.value());
+  FaultInjector b(s2.value());
+  std::vector<bool> fa, fb;
+  for (int i = 0; i < 256; ++i) {
+    fa.push_back(a.Fire(FaultKind::kCorruptJpeg));
+    fb.push_back(b.Fire(FaultKind::kCorruptJpeg));
+  }
+  EXPECT_NE(fa, fb);
+}
+
+TEST(FaultInjectorTest, UnarmedKindNeverFiresNorPerturbsTheStream) {
+  // A zero-rate kind must not consume RNG state: otherwise adding probes
+  // for kinds the spec never arms would shift the armed kinds' schedule.
+  auto armed_only = ParseFaultSpec("dma_error=0.5,seed=10");
+  auto with_probes = ParseFaultSpec("dma_error=0.5,seed=10");
+  ASSERT_TRUE(armed_only.ok());
+  ASSERT_TRUE(with_probes.ok());
+  FaultInjector a(armed_only.value());
+  FaultInjector b(with_probes.value());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(b.Fire(FaultKind::kFpgaUnitStall));
+    EXPECT_EQ(a.Fire(FaultKind::kDmaError), b.Fire(FaultKind::kDmaError));
+  }
+  EXPECT_EQ(b.Injected(FaultKind::kFpgaUnitStall), 0u);
+}
+
+TEST(FaultInjectorTest, FireRateIsRoughlyHonoured) {
+  auto spec = ParseFaultSpec("latency_spike=0.1,seed=3");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(spec.value());
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (inj.Fire(FaultKind::kLatencySpike)) ++fired;
+  }
+  EXPECT_GT(fired, 700);
+  EXPECT_LT(fired, 1300);
+  EXPECT_EQ(inj.Injected(FaultKind::kLatencySpike),
+            static_cast<uint64_t>(fired));
+  EXPECT_EQ(inj.TotalInjected(), static_cast<uint64_t>(fired));
+}
+
+TEST(FaultInjectorTest, CorruptAlwaysReturnsFreshBytes) {
+  auto spec = ParseFaultSpec("corrupt_jpeg=1,seed=8");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(spec.value());
+  Bytes payload(512, 0xAB);
+  const Bytes original = payload;
+  int mutated = 0;
+  for (int i = 0; i < 100; ++i) {
+    Bytes out = inj.Corrupt(payload);
+    EXPECT_EQ(payload, original);  // input untouched
+    EXPECT_LE(out.size(), payload.size());
+    if (out != original) ++mutated;
+  }
+  // Every mode (flip, truncate, garbage-run) changes the bytes; only a
+  // garbage run that happens to write 0xAB everywhere could no-op, which
+  // is vanishingly rare across 100 rounds.
+  EXPECT_GT(mutated, 90);
+  EXPECT_TRUE(inj.Corrupt(ByteSpan{}).empty());
+}
+
+TEST(FaultInjectorTest, RegistryTwinsTrackLocalCounters) {
+  auto spec = ParseFaultSpec("dma_drop=1,seed=4");
+  ASSERT_TRUE(spec.ok());
+  FaultInjector inj(spec.value());
+  MetricRegistry registry;
+  inj.AttachRegistry(&registry);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_TRUE(inj.Fire(FaultKind::kDmaDrop));
+  }
+  EXPECT_EQ(registry.GetCounter("faults.injected")->Value(), 25u);
+  EXPECT_EQ(registry.GetCounter("faults.injected.dma_drop")->Value(), 25u);
+  EXPECT_EQ(registry.GetCounter("faults.injected.corrupt_jpeg")->Value(), 0u);
+}
+
+TEST(FaultKindTest, NamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kCorruptJpeg), "corrupt_jpeg");
+  EXPECT_STREQ(FaultKindName(FaultKind::kFpgaUnitStall), "fpga_unit_stall");
+  EXPECT_STREQ(FaultKindName(FaultKind::kDmaError), "dma_error");
+  EXPECT_STREQ(FaultKindName(FaultKind::kDmaDrop), "dma_drop");
+  EXPECT_STREQ(FaultKindName(FaultKind::kLatencySpike), "latency_spike");
+}
+
+}  // namespace
+}  // namespace dlb::fault

@@ -1,0 +1,210 @@
+// Fault injection against the emulated FPGA device: a quarantined way must
+// keep serving byte-identical output through the CPU-decode fallback, DMA
+// faults must surface as retryable completions or lost FINISH records, and
+// none of it may wedge the device.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "common/fault.h"
+#include "dataplane/synthetic_dataset.h"
+#include "fpga/fpga_device.h"
+#include "image/resize.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb::fpga {
+namespace {
+
+Bytes EncodeScene(int w, int h, uint64_t seed) {
+  DatasetSpec spec = ImageNetLikeSpec(1, seed);
+  spec.width = w;
+  spec.height = h;
+  spec.dim_jitter = 0;
+  Image img = RenderScene(spec, 0, nullptr);
+  auto encoded = jpeg::Encode(img);
+  EXPECT_TRUE(encoded.ok());
+  return encoded.value();
+}
+
+fault::FaultSpec Spec(const std::string& text) {
+  auto spec = fault::ParseFaultSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  return spec.value();
+}
+
+TEST(FpgaFaultTest, QuarantinedWaysServeByteIdenticalViaCpuFallback) {
+  // Stall rate 1: every way latches on its first command. The device must
+  // keep producing output identical to the plain software decode path.
+  fault::FaultInjector injector(Spec("fpga_unit_stall=1,seed=11"));
+  FpgaDevice device;
+  device.SetFaultInjector(&injector);
+
+  constexpr int kImages = 12;
+  std::vector<Bytes> blobs;
+  std::vector<std::vector<uint8_t>> outs(kImages,
+                                         std::vector<uint8_t>(32 * 32 * 3));
+  for (int i = 0; i < kImages; ++i) {
+    blobs.push_back(EncodeScene(64, 48, 100 + i));
+  }
+  for (int i = 0; i < kImages; ++i) {
+    FpgaCmd cmd;
+    cmd.cookie = static_cast<uint64_t>(i);
+    cmd.jpeg = blobs[i];
+    cmd.out = outs[i].data();
+    cmd.out_capacity = outs[i].size();
+    cmd.resize_w = 32;
+    cmd.resize_h = 32;
+    ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  }
+  int done = 0;
+  while (done < kImages) {
+    auto completions = device.WaitCompletions();
+    ASSERT_FALSE(completions.empty());
+    for (const auto& c : completions) {
+      EXPECT_TRUE(c.status.ok()) << c.status.message();
+      ++done;
+    }
+  }
+  EXPECT_GT(device.QuarantinedWays(), 0);
+  EXPECT_GT(device.CpuFallbackDecodes(), 0u);
+  EXPECT_FALSE(device.QuarantineSummary().empty());
+  for (int i = 0; i < kImages; ++i) {
+    auto sw = jpeg::Decode(blobs[i]);
+    ASSERT_TRUE(sw.ok());
+    auto resized = Resize(sw.value(), 32, 32, ResizeFilter::kArea);
+    ASSERT_TRUE(resized.ok());
+    EXPECT_EQ(0, std::memcmp(outs[i].data(), resized.value().Data(),
+                             outs[i].size()))
+        << "image " << i;
+  }
+}
+
+TEST(FpgaFaultTest, QuarantineGaugesReachTheRegistry) {
+  telemetry::Telemetry telemetry;
+  fault::FaultInjector injector(Spec("fpga_unit_stall=1,seed=21"));
+  FpgaDevice device;
+  device.SetTelemetry(&telemetry);
+  device.SetFaultInjector(&injector);
+
+  Bytes blob = EncodeScene(48, 32, 7);
+  std::vector<uint8_t> out(32 * 32 * 3);
+  FpgaCmd cmd;
+  cmd.jpeg = blob;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  cmd.resize_w = 32;
+  cmd.resize_h = 32;
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_TRUE(completions[0].status.ok());
+
+  MetricRegistry& reg = telemetry.Registry();
+  EXPECT_GE(reg.GetGauge("fpga.ways_quarantined")->Value(), 1.0);
+  // One command touches exactly one huffman way; that way latched.
+  EXPECT_GE(reg.GetGauge("fpga.huffman.quarantined")->Value(), 1.0);
+  EXPECT_EQ(device.QuarantinedWays(FpgaDevice::Unit::kHuffman),
+            static_cast<int>(reg.GetGauge("fpga.huffman.quarantined")->Value()));
+  EXPECT_GE(reg.GetCounter("decode.cpu_fallback")->Value(), 1u);
+}
+
+TEST(FpgaFaultTest, DmaErrorCompletionsAreRetryable) {
+  fault::FaultInjector injector(Spec("dma_error=1,seed=31"));
+  FpgaDevice device;
+  device.SetFaultInjector(&injector);
+
+  Bytes blob = EncodeScene(64, 48, 3);
+  std::vector<uint8_t> out(32 * 32 * 3);
+  FpgaCmd cmd;
+  cmd.cookie = 5;
+  cmd.jpeg = blob;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  cmd.resize_w = 32;
+  cmd.resize_h = 32;
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].cookie, 5u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(device.InFlight(), 0);
+  EXPECT_EQ(injector.Injected(fault::FaultKind::kDmaError), 1u);
+}
+
+TEST(FpgaFaultTest, DmaDropLosesTheFinishRecordButNotTheWork) {
+  fault::FaultInjector injector(Spec("dma_drop=1,seed=41"));
+  FpgaDevice device;
+  device.SetFaultInjector(&injector);
+
+  constexpr int kImages = 4;
+  std::vector<Bytes> blobs;
+  std::vector<std::vector<uint8_t>> outs(kImages,
+                                         std::vector<uint8_t>(32 * 32 * 3));
+  for (int i = 0; i < kImages; ++i) blobs.push_back(EncodeScene(64, 48, i));
+  for (int i = 0; i < kImages; ++i) {
+    FpgaCmd cmd;
+    cmd.cookie = static_cast<uint64_t>(i);
+    cmd.jpeg = blobs[i];
+    cmd.out = outs[i].data();
+    cmd.out_capacity = outs[i].size();
+    cmd.resize_w = 32;
+    cmd.resize_h = 32;
+    ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  }
+  // Every FINISH record is dropped: the work retires (in-flight drains to
+  // zero, drop counter reaches kImages) but no completion ever surfaces.
+  for (int spin = 0; spin < 2000 && device.DroppedCompletions() <
+                                        static_cast<uint64_t>(kImages);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(device.DroppedCompletions(), static_cast<uint64_t>(kImages));
+  EXPECT_EQ(device.InFlight(), 0);
+  EXPECT_TRUE(device.WaitCompletionsFor(50).empty());
+  // The DMA itself landed before the FINISH was lost.
+  auto sw = jpeg::Decode(blobs[0]);
+  ASSERT_TRUE(sw.ok());
+  auto resized = Resize(sw.value(), 32, 32, ResizeFilter::kArea);
+  ASSERT_TRUE(resized.ok());
+  EXPECT_EQ(0, std::memcmp(outs[0].data(), resized.value().Data(),
+                           outs[0].size()));
+}
+
+TEST(FpgaFaultTest, WaitCompletionsForTimesOutWhenIdle) {
+  FpgaDevice device;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(device.WaitCompletionsFor(20).empty());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(15));
+  EXPECT_FALSE(device.IsClosed());
+  device.Shutdown();
+  EXPECT_TRUE(device.IsClosed());
+}
+
+TEST(FpgaFaultTest, LatencySpikesDelayButNeverFail) {
+  fault::FaultInjector injector(
+      Spec("latency_spike=1,latency_spike_us=100,seed=51"));
+  FpgaDevice device;
+  device.SetFaultInjector(&injector);
+
+  Bytes blob = EncodeScene(48, 32, 9);
+  std::vector<uint8_t> out(32 * 32 * 3);
+  FpgaCmd cmd;
+  cmd.jpeg = blob;
+  cmd.out = out.data();
+  cmd.out_capacity = out.size();
+  cmd.resize_w = 32;
+  cmd.resize_h = 32;
+  ASSERT_TRUE(device.SubmitCmd(cmd).ok());
+  auto completions = device.WaitCompletions();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_TRUE(completions[0].status.ok());
+  EXPECT_GE(injector.Injected(fault::FaultKind::kLatencySpike), 1u);
+}
+
+}  // namespace
+}  // namespace dlb::fpga

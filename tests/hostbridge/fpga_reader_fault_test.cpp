@@ -1,0 +1,186 @@
+// Recovery policy of the FPGAReader under injected faults: bounded
+// retry-with-backoff on transient DMA errors, forced batch retirement when
+// FINISH records are lost, and per-image skip (never batch abort) on
+// corrupted payloads. Fault schedules interleave across device worker
+// threads, so tests assert invariants, not exact fault positions.
+#include "hostbridge/fpga_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/fault.h"
+#include "dataplane/synthetic_dataset.h"
+
+namespace dlb {
+namespace {
+
+Dataset SmallDataset(size_t n) {
+  DatasetSpec spec = ImageNetLikeSpec(n);
+  spec.width = 64;
+  spec.height = 48;
+  spec.dim_jitter = 0.1;
+  auto ds = GenerateDataset(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+fault::FaultSpec Spec(const std::string& text) {
+  auto spec = fault::ParseFaultSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  return spec.value();
+}
+
+struct FaultRig {
+  FaultRig(size_t images, size_t batch_size, const std::string& faults,
+           FpgaReaderOptions opts = {})
+      : dataset(SmallDataset(images)),
+        collector(&dataset.manifest, dataset.store.get(), false, 1),
+        bounded(&collector, images),
+        pool(batch_size * 32 * 32 * 3, 4),
+        injector(Spec(faults)) {
+    opts.batch_size = batch_size;
+    opts.resize_w = 32;
+    opts.resize_h = 32;
+    options = opts;
+    device.SetFaultInjector(&injector);
+    reader = std::make_unique<FpgaReader>(&device, &bounded, &pool, options);
+    reader->SetFaultInjector(&injector);
+  }
+
+  /// Drain every produced batch; returns (ok items, failed items).
+  std::pair<size_t, size_t> DrainAll(size_t expect_images) {
+    size_t ok = 0, failed = 0;
+    while (ok + failed < expect_images) {
+      auto buffer = pool.FullQueue().Pop();
+      if (!buffer.has_value()) break;
+      for (const BatchItem& item : (*buffer)->items) {
+        if (item.ok) {
+          ++ok;
+          EXPECT_EQ(item.error, StatusCode::kOk);
+        } else {
+          ++failed;
+          EXPECT_NE(item.error, StatusCode::kOk);
+        }
+      }
+      pool.Recycle(*buffer);
+    }
+    return {ok, failed};
+  }
+
+  Dataset dataset;
+  DiskDataCollector collector;
+  BoundedCollector bounded;
+  fpga::FpgaDevice device;
+  HugePagePool pool;
+  fault::FaultInjector injector;
+  FpgaReaderOptions options;
+  std::unique_ptr<FpgaReader> reader;
+};
+
+TEST(FpgaReaderFaultTest, TransientDmaErrorsAreRetriedToSuccess) {
+  FpgaReaderOptions opts;
+  opts.dma_retry_limit = 10;  // dma_error=0.3 => P(10 straight fails) ~ 1e-5
+  opts.retry_backoff_us = 10;
+  FaultRig rig(/*images=*/16, /*batch=*/8, "dma_error=0.3,seed=1", opts);
+  rig.reader->Start();
+  auto [ok, failed] = rig.DrainAll(16);
+  rig.reader->Stop();
+  EXPECT_EQ(ok, 16u);
+  EXPECT_EQ(failed, 0u);
+  // The rate guarantees at least one transient completion across 16 slots.
+  EXPECT_GT(rig.reader->RetryAttempts(), 0u);
+  EXPECT_EQ(rig.reader->RetriesExhausted(), 0u);
+  EXPECT_EQ(rig.reader->DecodeFailures(), 0u);
+}
+
+TEST(FpgaReaderFaultTest, RetryExhaustionFailsTheSlotNotTheBatch) {
+  FpgaReaderOptions opts;
+  opts.dma_retry_limit = 2;
+  opts.retry_backoff_us = 10;
+  FaultRig rig(/*images=*/8, /*batch=*/4, "dma_error=1,seed=2", opts);
+  rig.reader->Start();
+  auto [ok, failed] = rig.DrainAll(8);
+  rig.reader->Stop();
+  // Permanent DMA failure: every slot exhausts its retries and is marked
+  // failed with the transient code — but both batches still retire.
+  EXPECT_EQ(ok, 0u);
+  EXPECT_EQ(failed, 8u);
+  EXPECT_EQ(rig.reader->BatchesProduced(), 2u);
+  EXPECT_EQ(rig.reader->RetriesExhausted(), 8u);
+  EXPECT_EQ(rig.reader->RetryAttempts(), 8u * 2u);
+  EXPECT_EQ(rig.reader->DecodeFailures(), 8u);
+}
+
+TEST(FpgaReaderFaultTest, ExhaustedSlotsCarryTheUnavailableCode) {
+  FpgaReaderOptions opts;
+  opts.dma_retry_limit = 1;
+  opts.retry_backoff_us = 10;
+  FaultRig rig(/*images=*/4, /*batch=*/4, "dma_error=1,seed=3", opts);
+  rig.reader->Start();
+  auto buffer = rig.pool.FullQueue().Pop();
+  ASSERT_TRUE(buffer.has_value());
+  for (const BatchItem& item : (*buffer)->items) {
+    EXPECT_FALSE(item.ok);
+    EXPECT_EQ(item.error, StatusCode::kUnavailable);
+  }
+  rig.pool.Recycle(*buffer);
+  rig.reader->Stop();
+}
+
+TEST(FpgaReaderFaultTest, LostFinishRecordsAreReapedByTimeout) {
+  FpgaReaderOptions opts;
+  opts.completion_timeout_ms = 50;
+  FaultRig rig(/*images=*/8, /*batch=*/4, "dma_drop=1,seed=4", opts);
+  rig.reader->Start();
+  // Every FINISH record is lost; without the timeout reaper this would
+  // hang forever. The reaper retires the batches with all slots failed.
+  auto [ok, failed] = rig.DrainAll(8);
+  rig.reader->Stop();
+  EXPECT_EQ(ok, 0u);
+  EXPECT_EQ(failed, 8u);
+  EXPECT_GE(rig.reader->BatchTimeouts(), 1u);
+  EXPECT_EQ(rig.reader->BatchesProduced(), 2u);
+  for (int spin = 0; spin < 200 && !rig.reader->Finished(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(rig.reader->Finished());
+}
+
+TEST(FpgaReaderFaultTest, CorruptedPayloadsAreSkippedNotFatal) {
+  FaultRig rig(/*images=*/16, /*batch=*/8, "corrupt_jpeg=0.5,seed=5");
+  rig.reader->Start();
+  auto [ok, failed] = rig.DrainAll(16);
+  rig.reader->Stop();
+  EXPECT_EQ(ok + failed, 16u);
+  // Corruption can only explain the failures that occurred (a truncated
+  // tail can still decode, so failed <= injected), and at rate 0.5 over 16
+  // images at least one corruption fires.
+  EXPECT_GT(rig.injector.Injected(fault::FaultKind::kCorruptJpeg), 0u);
+  EXPECT_LE(failed, rig.injector.Injected(fault::FaultKind::kCorruptJpeg));
+  EXPECT_EQ(rig.reader->DecodeFailures(), failed);
+  EXPECT_EQ(rig.reader->ImagesCompleted(), 16u);  // counts failed slots too
+}
+
+TEST(FpgaReaderFaultTest, AggressiveMixedFaultsNeverHangTheReader) {
+  FpgaReaderOptions opts;
+  opts.dma_retry_limit = 3;
+  opts.retry_backoff_us = 10;
+  opts.completion_timeout_ms = 100;
+  FaultRig rig(/*images=*/32, /*batch=*/8,
+               "corrupt_jpeg=0.2,dma_error=0.2,dma_drop=0.1,"
+               "fpga_unit_stall=0.05,seed=6",
+               opts);
+  rig.reader->Start();
+  auto [ok, failed] = rig.DrainAll(32);
+  rig.reader->Stop();
+  // Every image is accounted exactly once, whatever mix of faults hit it.
+  EXPECT_EQ(ok + failed, 32u);
+  EXPECT_EQ(rig.reader->ImagesCompleted(), 32u);
+  EXPECT_EQ(rig.reader->DecodeFailures(), failed);
+  EXPECT_EQ(rig.reader->BatchesProduced(), 4u);
+}
+
+}  // namespace
+}  // namespace dlb
