@@ -20,6 +20,7 @@
 #include "codec/png.h"
 #include "common/simd.h"
 #include "dataplane/synthetic_dataset.h"
+#include "image/resize.h"
 
 namespace {
 
@@ -47,6 +48,21 @@ BENCHMARK(BM_JpegFullDecode)
     ->Args({500, 375})   // paper's average inference input
     ->Args({224, 224})
     ->Args({28, 28});    // MNIST
+
+void BM_JpegScaledDecode(benchmark::State& state) {
+  // DCT-domain decode-to-scale at 1/denom; compare against BM_JpegFullDecode
+  // plus a resize to gauge the preprocessing saving.
+  const dlb::Bytes data = EncodedScene(500, 375);
+  dlb::jpeg::DecodeOptions opts;
+  opts.scale_denom = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto img = dlb::jpeg::Decode(data, opts);
+    benchmark::DoNotOptimize(img);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_JpegScaledDecode)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_JpegParseHeaders(benchmark::State& state) {
   const dlb::Bytes data = EncodedScene(500, 375);
@@ -217,6 +233,38 @@ int RunJson() {
     stages[3].ref_ms = TimeMs(color);
   }
 
+  // Decode-to-scale vs the full-decode-equivalent: full decode + bilinear
+  // resize to the same output size (what a pipeline without scaled decode
+  // must run to produce the same geometry). Both sides use fast kernels.
+  struct ScaledStage {
+    const char* key;
+    int denom;
+    double scaled_ms;
+    double full_ms;
+  };
+  ScaledStage scaled[] = {{"scaled_decode_1_2", 2, 0, 0},
+                          {"scaled_decode_1_4", 4, 0, 0},
+                          {"scaled_decode_1_8", 8, 0, 0}};
+  {
+    dlb::simd::ScopedKernelMode mode(dlb::simd::KernelMode::kFast);
+    for (ScaledStage& s : scaled) {
+      dlb::jpeg::DecodeOptions opts;
+      opts.scale_denom = s.denom;
+      const int out_w = dlb::jpeg::ScaledDim(500, s.denom);
+      const int out_h = dlb::jpeg::ScaledDim(375, s.denom);
+      s.scaled_ms = TimeMs([&] {
+        auto img = dlb::jpeg::Decode(data, opts);
+        benchmark::DoNotOptimize(img);
+      });
+      s.full_ms = TimeMs([&] {
+        auto img = dlb::jpeg::Decode(data);
+        auto resized =
+            dlb::Resize(img.value(), out_w, out_h, dlb::ResizeFilter::kBilinear);
+        benchmark::DoNotOptimize(resized);
+      });
+    }
+  }
+
   std::printf("{\n");
   std::printf("  \"kernels\": \"%s\",\n", dlb::simd::KernelInfo().c_str());
   std::printf("  \"image\": \"500x375\",\n");
@@ -229,6 +277,13 @@ int RunJson() {
                 first ? "" : ",\n", s.key, s.fast_ms, s.ref_ms,
                 1000.0 / s.fast_ms, 1000.0 / s.ref_ms, s.ref_ms / s.fast_ms);
     first = false;
+  }
+  for (const ScaledStage& s : scaled) {
+    std::printf(",\n  \"%s\": {\"scaled_ms\": %.4f, "
+                "\"full_decode_resize_ms\": %.4f, \"scaled_img_s\": %.1f, "
+                "\"full_img_s\": %.1f, \"speedup\": %.2f}",
+                s.key, s.scaled_ms, s.full_ms, 1000.0 / s.scaled_ms,
+                1000.0 / s.full_ms, s.full_ms / s.scaled_ms);
   }
   std::printf("\n}\n");
   return 0;

@@ -6,6 +6,11 @@
 //
 // Usage: quickstart [key=value ...]
 //   images=256 batch=32 resize=224 backend=dlbooster|cpu|synthetic
+//   fit=stretch|cover        output geometry: plain resize or aspect-
+//                            preserving resize + center crop
+//   decode_scale=0|1         decode-to-scale: emit 1/2, 1/4 or 1/8-size
+//                            pixels straight from the DCT coefficients
+//                            when the output is that much smaller
 //   trace=/tmp/trace.json   emit a Chrome/Perfetto batch trace
 //   events=info             structured event log (off|warn|info|debug)
 //   watchdog=2000           stall watchdog deadline in ms (0 = off)
@@ -54,8 +59,12 @@ int main(int argc, char** argv) {
   dlb::core::PipelineConfig config;
   config.backend = args.GetString("backend", "dlbooster");
   config.options.batch_size = batch;
-  config.options.resize_w = resize;
-  config.options.resize_h = resize;
+  config.options.output.width = resize;
+  config.options.output.height = resize;
+  config.options.output.fit = args.GetString("fit", "stretch") == "cover"
+                                  ? dlb::FitMode::kCoverCrop
+                                  : dlb::FitMode::kStretch;
+  config.options.decode_to_scale = args.GetInt("decode_scale", 0) != 0;
   config.max_images = num_images;
   config.trace_path = args.GetString("trace", "");
   config.event_log_level = args.GetString("events", "off");

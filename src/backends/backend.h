@@ -89,23 +89,75 @@ class PreprocessBatch {
 
 using BatchPtr = std::unique_ptr<PreprocessBatch>;
 
+/// How a decoded image is fitted into the output geometry.
+enum class FitMode {
+  /// Plain resize to exactly (width, height); aspect ratio not preserved.
+  kStretch,
+  /// Aspect-preserving cover resize + centre crop (the ImageNet
+  /// Resize+CenterCrop recipe).
+  kCoverCrop,
+};
+
+/// The unified output contract of a preprocessing backend: every sample a
+/// backend emits is exactly this geometry, so slot sizing, tensor packing
+/// and engine-side reshapes all derive from one place.
+struct OutputSpec {
+  int width = 256;
+  int height = 256;
+  int channels = 3;  // 3 = RGB, 1 = grayscale
+  FitMode fit = FitMode::kStretch;
+
+  /// Bytes of one packed HWC sample — the per-slot stride in batch arenas
+  /// and hugepage buffers.
+  size_t SlotBytes() const {
+    return static_cast<size_t>(width) * height * channels;
+  }
+
+  friend bool operator==(const OutputSpec& a, const OutputSpec& b) {
+    return a.width == b.width && a.height == b.height &&
+           a.channels == b.channels && a.fit == b.fit;
+  }
+};
+
 struct BackendOptions {
   size_t batch_size = 32;
-  int resize_w = 256;
-  int resize_h = 256;
-  int channels = 3;
+  /// The output contract (geometry + fit). Prefer setting this; the loose
+  /// legacy fields below survive as a deprecated shim.
+  OutputSpec output;
   int num_engines = 1;   // consumers pulling batches
   int num_threads = 4;   // decode parallelism (CPU/LMDB backends)
   uint64_t seed = 42;
   bool shuffle = true;
   size_t queue_depth = 4;  // decoded batches buffered per engine
-  /// Aspect-preserving cover-resize + centre crop (ImageNet recipe) instead
-  /// of a plain stretch to (resize_w, resize_h).
+  /// Decode JPEGs at a reduced DCT scale (1/2, 1/4, 1/8) chosen so the
+  /// scaled image still covers the output geometry, then finish with a
+  /// small residual resize. Cuts iDCT + resize work roughly by the square
+  /// of the scale; outputs remain identical across backends but differ
+  /// from full-resolution decode + resize (different low-pass filter).
+  bool decode_to_scale = false;
+
+  /// Deprecated shim — pre-OutputSpec call sites set these loose fields.
+  /// A legacy field wins over `output` only when it was moved off its
+  /// default, so old and new call sites both keep working unchanged.
+  /// [[deprecated]] in spirit; left warning-free so the seed builds stay
+  /// clean while call sites migrate.
+  int resize_w = 256;
+  int resize_h = 256;
+  int channels = 3;
   bool aspect_preserving_crop = false;
 
-  size_t SlotStride() const {
-    return static_cast<size_t>(resize_w) * resize_h * channels;
+  /// The effective output contract: `output` overlaid with any legacy
+  /// field that differs from its default.
+  OutputSpec ResolvedOutput() const {
+    OutputSpec spec = output;
+    if (resize_w != 256) spec.width = resize_w;
+    if (resize_h != 256) spec.height = resize_h;
+    if (channels != 3) spec.channels = channels;
+    if (aspect_preserving_crop) spec.fit = FitMode::kCoverCrop;
+    return spec;
   }
+
+  size_t SlotStride() const { return ResolvedOutput().SlotBytes(); }
 };
 
 class PreprocessBackend {

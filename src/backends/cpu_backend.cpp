@@ -24,11 +24,14 @@ CpuBackend::CpuBackend(DataCollector* collector, const BackendOptions& options,
 CpuBackend::~CpuBackend() { Stop(); }
 
 std::string CpuBackend::Describe() const {
+  const OutputSpec out = options_.ResolvedOutput();
   return "cpu(threads=" + std::to_string(options_.num_threads) +
-         ", batch=" + std::to_string(options_.batch_size) + ", resize=" +
-         std::to_string(options_.resize_w) + "x" +
-         std::to_string(options_.resize_h) + ", kernels=" +
-         simd::KernelInfo() + ")";
+         ", batch=" + std::to_string(options_.batch_size) + ", out=" +
+         std::to_string(out.width) + "x" + std::to_string(out.height) + "x" +
+         std::to_string(out.channels) +
+         (out.fit == FitMode::kCoverCrop ? ", fit=cover" : ", fit=stretch") +
+         (options_.decode_to_scale ? ", decode_to_scale" : "") +
+         ", kernels=" + simd::KernelInfo() + ")";
 }
 
 Status CpuBackend::Start() {
@@ -74,7 +77,16 @@ std::vector<OwnedSample> CpuBackend::PullBatch() {
 }
 
 void CpuBackend::Worker(uint32_t worker) {
-  const size_t stride = options_.SlotStride();
+  const OutputSpec out = options_.ResolvedOutput();
+  const size_t stride = out.SlotBytes();
+  // Decode-to-scale: ask the decoder for the largest DCT scale that still
+  // covers the output geometry; the residual resize below is then a small
+  // downscale instead of a full-resolution one.
+  jpeg::DecodeOptions decode_opts;
+  if (options_.decode_to_scale) {
+    decode_opts.target_w = out.width;
+    decode_opts.target_h = out.height;
+  }
   telemetry::Tracer* tracer =
       telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
   telemetry::EventLog* events =
@@ -145,8 +157,9 @@ void CpuBackend::Worker(uint32_t worker) {
         }
       }
       uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
-      auto decoded =
-          jpeg::Decode(ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()));
+      auto decoded = jpeg::Decode(
+          ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()),
+          decode_opts);
       uint64_t decode_span = 0;
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
@@ -160,12 +173,18 @@ void CpuBackend::Worker(uint32_t worker) {
         continue;
       }
       t0 = telemetry_ ? telemetry::NowNs() : 0;
+      Image& source = decoded.value().image;
+      // Skip the residual resize when decode-to-scale landed exactly on the
+      // output geometry — the same condition the FPGA resizer unit applies,
+      // keeping the two backends byte-identical.
       auto resized =
-          options_.aspect_preserving_crop
-              ? ResizeCoverCrop(decoded.value(), options_.resize_w,
-                                options_.resize_h, ResizeFilter::kArea)
-              : Resize(decoded.value(), options_.resize_w, options_.resize_h,
-                       ResizeFilter::kArea);
+          source.Width() == out.width && source.Height() == out.height
+              ? Result<Image>(std::move(source))
+              : (out.fit == FitMode::kCoverCrop
+                     ? ResizeCoverCrop(source, out.width, out.height,
+                                       ResizeFilter::kArea)
+                     : Resize(source, out.width, out.height,
+                              ResizeFilter::kArea));
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
         telemetry_->RecordSpan(

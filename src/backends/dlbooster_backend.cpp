@@ -20,12 +20,14 @@ DlboosterBackend::DlboosterBackend(DataCollector* collector,
   // Several readers share one sample stream; serialise access.
   shared_collector_ = std::make_unique<LockedCollector>(collector);
 
+  const OutputSpec out = b.ResolvedOutput();
   FpgaReaderOptions reader_opts;
   reader_opts.batch_size = b.batch_size;
-  reader_opts.resize_w = b.resize_w;
-  reader_opts.resize_h = b.resize_h;
-  reader_opts.channels = b.channels;
-  reader_opts.aspect_crop = b.aspect_preserving_crop;
+  reader_opts.resize_w = out.width;
+  reader_opts.resize_h = out.height;
+  reader_opts.channels = out.channels;
+  reader_opts.aspect_crop = out.fit == FitMode::kCoverCrop;
+  reader_opts.decode_to_scale = b.decode_to_scale;
   for (int d = 0; d < num_devices; ++d) {
     devices_.push_back(std::make_unique<fpga::FpgaDevice>(options_.device));
     readers_.push_back(std::make_unique<FpgaReader>(
@@ -54,9 +56,12 @@ Status DlboosterBackend::Start() {
 
 std::string DlboosterBackend::Describe() const {
   const BackendOptions& b = options_.backend;
+  const OutputSpec out = b.ResolvedOutput();
   std::ostringstream os;
   os << "dlbooster(devices=" << devices_.size() << ", batch=" << b.batch_size
-     << ", resize=" << b.resize_w << "x" << b.resize_h
+     << ", out=" << out.width << "x" << out.height << "x" << out.channels
+     << (out.fit == FitMode::kCoverCrop ? ", fit=cover" : ", fit=stretch")
+     << (b.decode_to_scale ? ", decode_to_scale" : "")
      << ", pool_buffers=" << pool_->BufferCount()
      << ", engines=" << std::max(1, b.num_engines);
   // Degraded-mode visibility: name the quarantined units per device.

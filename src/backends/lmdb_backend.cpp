@@ -53,7 +53,8 @@ std::vector<uint32_t> LmdbBackend::PullBatchIndices() {
 }
 
 void LmdbBackend::Worker(uint32_t worker) {
-  const size_t stride = options_.SlotStride();
+  const OutputSpec out = options_.ResolvedOutput();
+  const size_t stride = out.SlotBytes();
   telemetry::Tracer* tracer =
       telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
   telemetry::EventLog* events =
@@ -114,11 +115,13 @@ void LmdbBackend::Worker(uint32_t worker) {
         continue;
       }
       Image img = std::move(datum.value().second);
-      if (img.Width() != options_.resize_w ||
-          img.Height() != options_.resize_h) {
+      if (img.Width() != out.width || img.Height() != out.height) {
         t0 = telemetry_ ? telemetry::NowNs() : 0;
-        auto resized = Resize(img, options_.resize_w, options_.resize_h,
-                              ResizeFilter::kBilinear);
+        auto resized =
+            out.fit == FitMode::kCoverCrop
+                ? ResizeCoverCrop(img, out.width, out.height,
+                                  ResizeFilter::kBilinear)
+                : Resize(img, out.width, out.height, ResizeFilter::kBilinear);
         if (telemetry_ != nullptr) {
           const uint64_t t1 = telemetry::NowNs();
           telemetry_->RecordSpan(

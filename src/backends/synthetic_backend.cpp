@@ -5,16 +5,17 @@ namespace dlb {
 SyntheticBackend::SyntheticBackend(const BackendOptions& options,
                                    uint64_t max_batches)
     : options_(options), max_batches_(max_batches) {
-  const size_t stride = options_.SlotStride();
+  const OutputSpec out = options_.ResolvedOutput();
+  const size_t stride = out.SlotBytes();
   pixels_.assign(stride * options_.batch_size, 127);
   items_.resize(options_.batch_size);
   for (size_t i = 0; i < items_.size(); ++i) {
     BatchItem& item = items_[i];
     item.offset = static_cast<uint32_t>(i * stride);
     item.bytes = static_cast<uint32_t>(stride);
-    item.width = static_cast<uint16_t>(options_.resize_w);
-    item.height = static_cast<uint16_t>(options_.resize_h);
-    item.channels = static_cast<uint8_t>(options_.channels);
+    item.width = static_cast<uint16_t>(out.width);
+    item.height = static_cast<uint16_t>(out.height);
+    item.channels = static_cast<uint8_t>(out.channels);
     item.label = static_cast<int32_t>(i % 10);
     item.ok = true;
   }

@@ -198,6 +198,32 @@ void InverseDct8x8Basis(const float coeffs[64], uint8_t out[64]) {
   }
 }
 
+void InverseDctScaledBasis(const float coeffs[64], int n, uint8_t* out) {
+  // bn[u][x] = C(u)/2 * cos((2x+1)u*pi/(2n)) — the n-point DCT-III basis
+  // with the 8-point coefficient weights, so amplitudes (and the DC mean)
+  // match the full transform.
+  float bn[8][8];
+  for (int u = 0; u < n; ++u) {
+    const double cu = (u == 0) ? std::sqrt(0.5) : 1.0;
+    for (int x = 0; x < n; ++x) {
+      bn[u][x] = static_cast<float>(
+          0.5 * cu * std::cos((2.0 * x + 1.0) * u * kPi / (2.0 * n)));
+    }
+  }
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      float acc = 0.0f;
+      for (int v = 0; v < n; ++v) {
+        for (int u = 0; u < n; ++u) {
+          acc += coeffs[v * 8 + u] * bn[v][y] * bn[u][x];
+        }
+      }
+      const int px = static_cast<int>(std::lrintf(acc + 128.0f));
+      out[y * n + x] = static_cast<uint8_t>(px < 0 ? 0 : (px > 255 ? 255 : px));
+    }
+  }
+}
+
 void DequantizeZigZag(const int16_t zz[64], const uint16_t quant[64],
                       float out[64]) {
   for (int i = 0; i < 64; ++i) {

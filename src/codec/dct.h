@@ -26,6 +26,15 @@ void InverseDct8x8(const float coeffs[64], uint8_t out[64]);
 void ForwardDct8x8Basis(const float in[64], float out[64]);
 void InverseDct8x8Basis(const float coeffs[64], uint8_t out[64]);
 
+/// Scaled inverse DCT reference (direct basis matmul): reconstruct an
+/// n x n pixel tile (n in {1, 2, 4, 8}) from the top-left n x n frequency
+/// window of a natural-order dequantised 8x8 coefficient block. The
+/// per-coefficient weights match the full transform (C(0)=1/sqrt(2)), so
+/// the block mean is preserved at every scale: a DC-only block yields
+/// dc/8 + 128 whether n is 8 or 1. Oracle for the scaled integer kernels
+/// and the kReference path of the decode-to-scale pipeline.
+void InverseDctScaledBasis(const float coeffs[64], int n, uint8_t* out);
+
 /// Dequantise a zig-zag-ordered int16 coefficient block into natural-order
 /// floats ready for InverseDct8x8. (This is the "dequant" half of the FPGA
 /// iDCT unit.)

@@ -367,9 +367,22 @@ Result<CoeffData> EntropyDecode(const JpegHeader& h, ByteSpan jpeg) {
 
 Result<PlaneData> InverseTransform(const JpegHeader& h,
                                    const CoeffData& coeffs) {
+  return InverseTransformScaled(h, coeffs, 1);
+}
+
+Result<PlaneData> InverseTransformScaled(const JpegHeader& h,
+                                         const CoeffData& coeffs,
+                                         int scale_denom) {
+  if (scale_denom != 1 && scale_denom != 2 && scale_denom != 4 &&
+      scale_denom != 8) {
+    return InvalidArgument("scale_denom must be 1, 2, 4 or 8");
+  }
   if (coeffs.coeffs.size() != h.components.size()) {
     return InvalidArgument("coefficient data does not match header");
   }
+  // Each block emits an n x n tile; planes keep their MCU-grid structure at
+  // 1/denom size, so the downstream sampling-ratio indexing is unchanged.
+  const int n = 8 / scale_denom;
   PlaneData out;
   out.planes.resize(h.components.size());
   const bool reference =
@@ -379,8 +392,10 @@ Result<PlaneData> InverseTransform(const JpegHeader& h,
   for (size_t ci = 0; ci < h.components.size(); ++ci) {
     const ComponentInfo& c = h.components[ci];
     const auto& quant = h.quant[c.quant_idx];
+    const int plane_w = c.blocks_w * n;
+    const int plane_h = c.blocks_h * n;
     auto& plane = out.planes[ci];
-    plane.assign(static_cast<size_t>(c.plane_w) * c.plane_h, 0);
+    plane.assign(static_cast<size_t>(plane_w) * plane_h, 0);
     const size_t nblocks = static_cast<size_t>(c.blocks_w) * c.blocks_h;
     if (coeffs.coeffs[ci].size() != nblocks * 64) {
       return InvalidArgument("coefficient block count mismatch");
@@ -389,70 +404,96 @@ Result<PlaneData> InverseTransform(const JpegHeader& h,
       // Seed path: float dequant + basis-matmul iDCT + row copies.
       for (size_t b = 0; b < nblocks; ++b) {
         DequantizeZigZag(coeffs.coeffs[ci].data() + b * 64, quant.data(), dq);
-        InverseDct8x8Basis(dq, samples);
+        if (n == 8) {
+          InverseDct8x8Basis(dq, samples);
+        } else {
+          InverseDctScaledBasis(dq, n, samples);
+        }
         const int bx = static_cast<int>(b % c.blocks_w);
         const int by = static_cast<int>(b / c.blocks_w);
-        uint8_t* base = plane.data() +
-                        (static_cast<size_t>(by) * 8 * c.plane_w) + bx * 8;
-        for (int y = 0; y < 8; ++y) {
-          std::memcpy(base + static_cast<size_t>(y) * c.plane_w,
-                      samples + y * 8, 8);
+        uint8_t* base =
+            plane.data() +
+            (static_cast<size_t>(by) * n * plane_w) + bx * n;
+        for (int y = 0; y < n; ++y) {
+          std::memcpy(base + static_cast<size_t>(y) * plane_w,
+                      samples + y * n, n);
         }
       }
       continue;
     }
     // Fast path: fused integer dequant+iDCT straight into the plane.
-    const kernels::IdctTable table = kernels::BuildIdctTable(quant.data());
+    const kernels::IdctTable table =
+        kernels::BuildIdctTableScaled(quant.data(), n);
     for (size_t b = 0; b < nblocks; ++b) {
       const int bx = static_cast<int>(b % c.blocks_w);
       const int by = static_cast<int>(b / c.blocks_w);
-      uint8_t* base = plane.data() +
-                      (static_cast<size_t>(by) * 8 * c.plane_w) + bx * 8;
-      kernels::DequantIdct8x8(coeffs.coeffs[ci].data() + b * 64, table, base,
-                              c.plane_w);
+      uint8_t* base =
+          plane.data() + (static_cast<size_t>(by) * n * plane_w) + bx * n;
+      kernels::DequantIdctScaled(coeffs.coeffs[ci].data() + b * 64, table, n,
+                                 base, plane_w);
     }
   }
   return out;
 }
 
 Result<Image> ColorReconstruct(const JpegHeader& h, const PlaneData& planes) {
+  return ColorReconstructScaled(h, planes, 1);
+}
+
+Result<Image> ColorReconstructScaled(const JpegHeader& h,
+                                     const PlaneData& planes,
+                                     int scale_denom) {
+  if (scale_denom != 1 && scale_denom != 2 && scale_denom != 4 &&
+      scale_denom != 8) {
+    return InvalidArgument("scale_denom must be 1, 2, 4 or 8");
+  }
   if (planes.planes.size() != h.components.size()) {
     return InvalidArgument("plane data does not match header");
   }
+  // Scaled planes shrink by the same factor as the output, so the
+  // x * h_samp / max_h sampling-ratio indexing below is scale-invariant:
+  // 4:2:0 / 4:2:2 chroma upsampling composes identically at every scale.
+  const int n = 8 / scale_denom;
+  const int width = ScaledDim(h.width, scale_denom);
+  const int height = ScaledDim(h.height, scale_denom);
   if (h.components.size() == 1) {
     const ComponentInfo& c = h.components[0];
-    Image img(h.width, h.height, 1);
-    for (int y = 0; y < h.height; ++y) {
+    const int plane_w = c.blocks_w * n;
+    Image img(width, height, 1);
+    for (int y = 0; y < height; ++y) {
       std::memcpy(img.Row(y),
-                  planes.planes[0].data() + static_cast<size_t>(y) * c.plane_w,
-                  h.width);
+                  planes.planes[0].data() + static_cast<size_t>(y) * plane_w,
+                  width);
     }
     return img;
   }
 
   // 3-component YCbCr with per-component sampling ratios relative to max.
-  Image img(h.width, h.height, 3);
+  Image img(width, height, 3);
   const ComponentInfo& cy = h.components[0];
   const ComponentInfo& ccb = h.components[1];
   const ComponentInfo& ccr = h.components[2];
+  const int yw = cy.blocks_w * n;
+  const int cbw = ccb.blocks_w * n;
+  const int crw = ccr.blocks_w * n;
   const auto& py = planes.planes[0];
   const auto& pcb = planes.planes[1];
   const auto& pcr = planes.planes[2];
 
   if (simd::GetKernelMode() == simd::KernelMode::kReference) {
     // Seed path: per-pixel accessors.
-    for (int y = 0; y < h.height; ++y) {
+    for (int y = 0; y < height; ++y) {
       uint8_t* row = img.Row(y);
       const int yy = y * cy.v_samp / h.max_v;
       const int cby = y * ccb.v_samp / h.max_v;
       const int cry = y * ccr.v_samp / h.max_v;
-      for (int x = 0; x < h.width; ++x) {
+      for (int x = 0; x < width; ++x) {
         const int yx = x * cy.h_samp / h.max_h;
         const int cbx = x * ccb.h_samp / h.max_h;
         const int crx = x * ccr.h_samp / h.max_h;
-        const int Y = py[static_cast<size_t>(yy) * cy.plane_w + yx];
-        const int Cb = pcb[static_cast<size_t>(cby) * ccb.plane_w + cbx];
-        const int Cr = pcr[static_cast<size_t>(cry) * ccr.plane_w + crx];
+        const int Y = py[static_cast<size_t>(yy) * yw + yx];
+        const int Cb = pcb[static_cast<size_t>(cby) * cbw + cbx];
+        const int Cr = pcr[static_cast<size_t>(cry) * crw + crx];
         YcbcrToRgbPixel(Y, Cb, Cr, row + x * 3, row + x * 3 + 1,
                         row + x * 3 + 2);
       }
@@ -471,46 +512,78 @@ Result<Image> ColorReconstruct(const JpegHeader& h, const PlaneData& planes) {
       y_full && 2 * ccb.h_samp == h.max_h && 2 * ccr.h_samp == h.max_h;
   std::vector<int32_t> xmap_y, xmap_cb, xmap_cr;
   if (!all_full && !chroma_half) {
-    xmap_y.resize(h.width);
-    xmap_cb.resize(h.width);
-    xmap_cr.resize(h.width);
-    for (int x = 0; x < h.width; ++x) {
+    xmap_y.resize(width);
+    xmap_cb.resize(width);
+    xmap_cr.resize(width);
+    for (int x = 0; x < width; ++x) {
       xmap_y[x] = x * cy.h_samp / h.max_h;
       xmap_cb[x] = x * ccb.h_samp / h.max_h;
       xmap_cr[x] = x * ccr.h_samp / h.max_h;
     }
   }
-  for (int y = 0; y < h.height; ++y) {
+  for (int y = 0; y < height; ++y) {
     uint8_t* row = img.Row(y);
     const uint8_t* yrow =
-        py.data() + static_cast<size_t>(y * cy.v_samp / h.max_v) * cy.plane_w;
+        py.data() + static_cast<size_t>(y * cy.v_samp / h.max_v) * yw;
     const uint8_t* cbrow =
-        pcb.data() +
-        static_cast<size_t>(y * ccb.v_samp / h.max_v) * ccb.plane_w;
+        pcb.data() + static_cast<size_t>(y * ccb.v_samp / h.max_v) * cbw;
     const uint8_t* crrow =
-        pcr.data() +
-        static_cast<size_t>(y * ccr.v_samp / h.max_v) * ccr.plane_w;
+        pcr.data() + static_cast<size_t>(y * ccr.v_samp / h.max_v) * crw;
     if (all_full) {
-      kernels::YcbcrRowToRgb(yrow, cbrow, crrow, h.width, row);
+      kernels::YcbcrRowToRgb(yrow, cbrow, crrow, width, row);
     } else if (chroma_half) {
-      kernels::YcbcrRowToRgbHalfX(yrow, cbrow, crrow, h.width, row);
+      kernels::YcbcrRowToRgbHalfX(yrow, cbrow, crrow, width, row);
     } else {
       kernels::YcbcrRowToRgbMapped(yrow, cbrow, crrow, xmap_y.data(),
-                                   xmap_cb.data(), xmap_cr.data(), h.width,
+                                   xmap_cb.data(), xmap_cr.data(), width,
                                    row);
     }
   }
   return img;
 }
 
-Result<Image> Decode(ByteSpan jpeg) {
+int ChooseScaleDenom(int width, int height, int target_w, int target_h) {
+  if (target_w <= 0 || target_h <= 0 || width <= 0 || height <= 0) return 1;
+  // Largest DCT scale whose output still covers the target: the residual
+  // resize is always a (small) downscale, never an upscale.
+  for (int denom : {8, 4, 2}) {
+    if (ScaledDim(width, denom) >= target_w &&
+        ScaledDim(height, denom) >= target_h) {
+      return denom;
+    }
+  }
+  return 1;
+}
+
+Result<DecodeResult> Decode(ByteSpan jpeg, const DecodeOptions& options) {
+  if (options.scale_num != 1) {
+    return InvalidArgument("only scale_num == 1 is supported");
+  }
   auto header = ParseHeaders(jpeg);
   if (!header.ok()) return header.status();
+  int denom = options.scale_denom;
+  if (options.target_w > 0 && options.target_h > 0) {
+    denom = ChooseScaleDenom(header.value().width, header.value().height,
+                             options.target_w, options.target_h);
+  } else if (denom != 1 && denom != 2 && denom != 4 && denom != 8) {
+    return InvalidArgument("scale_denom must be 1, 2, 4 or 8");
+  }
   auto coeffs = EntropyDecode(header.value(), jpeg);
   if (!coeffs.ok()) return coeffs.status();
-  auto planes = InverseTransform(header.value(), coeffs.value());
+  auto planes = InverseTransformScaled(header.value(), coeffs.value(), denom);
   if (!planes.ok()) return planes.status();
-  return ColorReconstruct(header.value(), planes.value());
+  auto image = ColorReconstructScaled(header.value(), planes.value(), denom);
+  if (!image.ok()) return image.status();
+  DecodeResult result;
+  result.image = std::move(image.value());
+  result.scale_denom = denom;
+  return result;
+}
+
+Result<Image> Decode(ByteSpan jpeg) {
+  auto result = Decode(jpeg, DecodeOptions{});
+  if (!result.ok()) return result.status();
+  return std::move(result.value().image);
 }
 
 }  // namespace dlb::jpeg

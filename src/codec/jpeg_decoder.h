@@ -16,6 +16,40 @@
 
 namespace dlb::jpeg {
 
+/// Decode-time options. Two ways to ask for DCT-domain decode-to-scale:
+///
+///   * scale_num/scale_denom — an explicit ratio. Only 1/1, 1/2, 1/4 and
+///     1/8 are representable (the DCT block sizes 8, 4, 2, 1).
+///   * target_w/target_h — let the decoder pick: the largest denominator
+///     whose scaled dimensions still cover the target (never an upscale),
+///     leaving only a small residual resize to the caller. Takes precedence
+///     over an explicit ratio when both are set.
+///
+/// Defaults decode at full resolution, exactly like the legacy signature.
+struct DecodeOptions {
+  int scale_num = 1;    // must be 1
+  int scale_denom = 1;  // 1, 2, 4 or 8
+  int target_w = 0;     // >0 (with target_h): derive scale_denom
+  int target_h = 0;
+};
+
+/// Full-decode output plus what the decoder actually did, so telemetry and
+/// tests can assert the chosen DCT scale.
+struct DecodeResult {
+  Image image;
+  int scale_denom = 1;  // 1 = full resolution
+};
+
+/// The scale-selection rule: largest denom in {8, 4, 2, 1} such that the
+/// scaled dimensions (ceil(width/denom), ceil(height/denom)) still cover
+/// (target_w, target_h). Returns 1 when the target is unset/degenerate.
+int ChooseScaleDenom(int width, int height, int target_w, int target_h);
+
+/// Scaled output dimension: ceil(full / denom).
+inline int ScaledDim(int full, int denom) {
+  return (full + denom - 1) / denom;
+}
+
 /// Parse all marker segments up to (and including) SOS. Rejects anything
 /// that is not baseline sequential 8-bit with 1 or 3 components.
 Result<JpegHeader> ParseHeaders(ByteSpan jpeg);
@@ -32,12 +66,31 @@ Result<CoeffData> EntropyDecode(const JpegHeader& header, ByteSpan jpeg);
 Result<PlaneData> InverseTransform(const JpegHeader& header,
                                    const CoeffData& coeffs);
 
+/// Scale-aware variant: emit (8/denom)x(8/denom) pixels per block, so each
+/// component plane is blocks_w*(8/denom) x blocks_h*(8/denom). denom == 1
+/// is exactly InverseTransform.
+Result<PlaneData> InverseTransformScaled(const JpegHeader& header,
+                                         const CoeffData& coeffs,
+                                         int scale_denom);
+
 /// Upsample chroma and convert to interleaved RGB (or pass through
 /// grayscale), cropped to the true width/height.
 Result<Image> ColorReconstruct(const JpegHeader& header,
                                const PlaneData& planes);
 
-/// Convenience full decode.
+/// Scale-aware variant for planes produced by InverseTransformScaled:
+/// output is ScaledDim(width, denom) x ScaledDim(height, denom). The
+/// per-component sampling-ratio indexing is scale-invariant, so 4:2:0 and
+/// 4:2:2 chroma compose identically at every scale.
+Result<Image> ColorReconstructScaled(const JpegHeader& header,
+                                     const PlaneData& planes,
+                                     int scale_denom);
+
+/// Full decode with options (decode-to-scale); reports the chosen scale.
+Result<DecodeResult> Decode(ByteSpan jpeg, const DecodeOptions& options);
+
+/// Legacy convenience signature: forwards to the options overload with a
+/// default-constructed DecodeOptions (full resolution).
 Result<Image> Decode(ByteSpan jpeg);
 
 }  // namespace dlb::jpeg

@@ -82,6 +82,57 @@ inline void FillDcOnly(const int16_t zz[64], const IdctTable& t, uint8_t* out,
   for (int y = 0; y < 8; ++y) std::memset(out + y * stride, v, 8);
 }
 
+// Butterfly constants for the scaled (explicit-cosine) passes, at 2^13.
+constexpr int32_t kC0707 = 5793;  // cos(pi/4)   * 2^13
+constexpr int32_t kC0924 = 7568;  // cos(pi/8)   * 2^13
+constexpr int32_t kC0383 = 3135;  // cos(3*pi/8) * 2^13
+
+// Dequantise the n x n low-frequency window of zz into a natural-order
+// n x n workspace. Returns true when any in-window AC is nonzero.
+inline bool ScatterScaled(const int16_t zz[64], const IdctTable& t, int n,
+                          int32_t* ws) {
+  std::memset(ws, 0, static_cast<size_t>(n) * n * sizeof(int32_t));
+  bool has_ac = false;
+  // Every natural position with row,col < n sits on an anti-diagonal of sum
+  // <= 2n-2, and zigzag order exhausts those diagonals within the first
+  // n*(2n-1) indices — everything beyond is outside the window by
+  // construction, so the scan stops there (28 of 64 for n=4, 6 for n=2).
+  const int limit = n * (2 * n - 1);
+  for (int i = 0; i < limit; ++i) {
+    if (zz[i] == 0) continue;
+    const int nat = kZigZag[i];
+    const int r = nat >> 3, c = nat & 7;
+    if (r >= n || c >= n) continue;  // frequency outside the window: dropped
+    ws[r * n + c] = Clamp32(static_cast<int64_t>(zz[i]) * t.m[i], kInClamp);
+    if (nat != 0) has_ac = true;
+  }
+  return has_ac;
+}
+
+inline void FillDcOnlyScaled(const int16_t zz[64], const IdctTable& t, int n,
+                             uint8_t* out, int stride) {
+  const int32_t dc = Clamp32(static_cast<int64_t>(zz[0]) * t.m[0], kInClamp);
+  const uint8_t v = DescaleToU8(dc);
+  for (int y = 0; y < n; ++y) {
+    std::memset(out + static_cast<size_t>(y) * stride, v,
+                static_cast<size_t>(n));
+  }
+}
+
+// 4-point DCT-III butterfly. The folded table carries s[0]=1, s[u>0]=sqrt(2)
+// so two passes land on the same 8x amplitude (and descale) as the 8x8 path.
+inline void Idct4Pass(const int32_t w[4], int32_t out[4]) {
+  const int32_t r2 = Mul(w[2], kC0707);
+  const int32_t e0 = w[0] + r2;
+  const int32_t e1 = w[0] - r2;
+  const int32_t o0 = Mul(w[1], kC0924) + Mul(w[3], kC0383);
+  const int32_t o1 = Mul(w[1], kC0383) - Mul(w[3], kC0924);
+  out[0] = e0 + o0;
+  out[1] = e1 + o1;
+  out[2] = e1 - o1;
+  out[3] = e0 - o0;
+}
+
 }  // namespace
 
 IdctTable BuildIdctTable(const uint16_t quant_natural[64]) {
@@ -97,6 +148,29 @@ IdctTable BuildIdctTable(const uint16_t quant_natural[64]) {
     const int r = nat >> 3, c = nat & 7;
     t.m[i] = static_cast<int32_t>(std::lround(
         quant_natural[nat] * s[r] * s[c] * (1 << kDqBits)));
+  }
+  return t;
+}
+
+IdctTable BuildIdctTableScaled(const uint16_t quant_natural[64], int n) {
+  if (n >= 8) return BuildIdctTable(quant_natural);
+  // The explicit-cosine butterflies take their scale factors from the table:
+  // s[0] = 1, s[u>0] = sqrt(2) makes each pass contribute exactly
+  // cos((2x+1)u*pi/(2n)) per coefficient, which after two passes and the
+  // shared 2^(kDqBits+3) descale reproduces the full transform's weights
+  // (C(0)=1/sqrt(2)) — the block mean is scale-invariant.
+  IdctTable t;
+  for (int i = 0; i < 64; ++i) {
+    const int nat = kZigZag[i];
+    const int r = nat >> 3, c = nat & 7;
+    if (r >= n || c >= n) {
+      t.m[i] = 0;
+      continue;
+    }
+    const double sr = r == 0 ? 1.0 : 1.41421356237309505;
+    const double sc = c == 0 ? 1.0 : 1.41421356237309505;
+    t.m[i] = static_cast<int32_t>(
+        std::lround(quant_natural[nat] * sr * sc * (1 << kDqBits)));
   }
   return t;
 }
@@ -216,6 +290,58 @@ void DequantIdct8x8Scalar(const int16_t zz[64], const IdctTable& t,
     o[4] = DescaleToU8(e3 + o4);
     o[3] = DescaleToU8(e3 - o4);
   }
+}
+
+void DequantIdct4x4Scalar(const int16_t zz[64], const IdctTable& t,
+                          uint8_t* out, int stride) {
+  int32_t ws[16];
+  if (!ScatterScaled(zz, t, 4, ws)) {
+    FillDcOnlyScaled(zz, t, 4, out, stride);
+    return;
+  }
+  // Pass 1 down each column.
+  for (int c = 0; c < 4; ++c) {
+    const int32_t in[4] = {ws[c], ws[4 + c], ws[8 + c], ws[12 + c]};
+    int32_t o[4];
+    Idct4Pass(in, o);
+    for (int y = 0; y < 4; ++y) {
+      ws[y * 4 + c] = Clamp32(o[y], kMidClamp);
+    }
+  }
+  // Pass 2 along each row, descale, level shift, clamp.
+  for (int r = 0; r < 4; ++r) {
+    int32_t o[4];
+    Idct4Pass(ws + r * 4, o);
+    uint8_t* dst = out + static_cast<size_t>(r) * stride;
+    for (int x = 0; x < 4; ++x) dst[x] = DescaleToU8(o[x]);
+  }
+}
+
+void DequantIdct2x2(const int16_t zz[64], const IdctTable& t, uint8_t* out,
+                    int stride) {
+  int32_t ws[4];
+  if (!ScatterScaled(zz, t, 2, ws)) {
+    FillDcOnlyScaled(zz, t, 2, out, stride);
+    return;
+  }
+  // Columns then rows; each 2-point pass is one multiply.
+  int32_t col[4];
+  for (int c = 0; c < 2; ++c) {
+    const int32_t r = Mul(ws[2 + c], kC0707);
+    col[c] = Clamp32(static_cast<int64_t>(ws[c]) + r, kMidClamp);
+    col[2 + c] = Clamp32(static_cast<int64_t>(ws[c]) - r, kMidClamp);
+  }
+  for (int y = 0; y < 2; ++y) {
+    const int32_t r = Mul(col[y * 2 + 1], kC0707);
+    out[y * stride + 0] = DescaleToU8(col[y * 2] + r);
+    out[y * stride + 1] = DescaleToU8(col[y * 2] - r);
+  }
+}
+
+void DequantIdct1x1(const int16_t zz[64], const IdctTable& t, uint8_t* out,
+                    int /*stride*/) {
+  const int32_t dc = Clamp32(static_cast<int64_t>(zz[0]) * t.m[0], kInClamp);
+  out[0] = DescaleToU8(dc);
 }
 
 #if defined(DLB_SIMD_AVX2)
@@ -348,6 +474,84 @@ void DequantIdct8x8Avx2(const int16_t zz[64], const IdctTable& t, uint8_t* out,
   for (int r = 0; r < 8; ++r) std::memcpy(out + r * stride, bytes + r * 8, 8);
 }
 
+// (v * c) >> 13 per 32-bit lane over one 128-bit vector (lanes = the four
+// columns/rows of a scaled block), matching the scalar Mul() bit for bit.
+inline __m128i Mul13x4(__m128i v, __m128i c) {
+  __m128i even = _mm_mul_epi32(v, c);
+  __m128i odd = _mm_mul_epi32(_mm_srli_epi64(v, 32), c);
+  even = _mm_srli_epi64(even, kConstBits);
+  odd = _mm_slli_epi64(_mm_srli_epi64(odd, kConstBits), 32);
+  return _mm_blend_epi32(even, odd, 0xA);
+}
+
+inline __m128i ClampVec4(__m128i v, int32_t limit) {
+  v = _mm_min_epi32(v, _mm_set1_epi32(limit));
+  return _mm_max_epi32(v, _mm_set1_epi32(-limit));
+}
+
+// Vector twin of Idct4Pass: same constants, same truncating shifts, same
+// evaluation order, element-wise per lane.
+inline void Butterfly4(__m128i v[4]) {
+  const __m128i c0707 = _mm_set1_epi32(kC0707);
+  const __m128i c0924 = _mm_set1_epi32(kC0924);
+  const __m128i c0383 = _mm_set1_epi32(kC0383);
+  const __m128i r2 = Mul13x4(v[2], c0707);
+  const __m128i e0 = _mm_add_epi32(v[0], r2);
+  const __m128i e1 = _mm_sub_epi32(v[0], r2);
+  const __m128i o0 =
+      _mm_add_epi32(Mul13x4(v[1], c0924), Mul13x4(v[3], c0383));
+  const __m128i o1 =
+      _mm_sub_epi32(Mul13x4(v[1], c0383), Mul13x4(v[3], c0924));
+  v[0] = _mm_add_epi32(e0, o0);
+  v[1] = _mm_add_epi32(e1, o1);
+  v[2] = _mm_sub_epi32(e1, o1);
+  v[3] = _mm_sub_epi32(e0, o0);
+}
+
+inline void Transpose4x4(__m128i r[4]) {
+  const __m128i t0 = _mm_unpacklo_epi32(r[0], r[1]);
+  const __m128i t1 = _mm_unpackhi_epi32(r[0], r[1]);
+  const __m128i t2 = _mm_unpacklo_epi32(r[2], r[3]);
+  const __m128i t3 = _mm_unpackhi_epi32(r[2], r[3]);
+  r[0] = _mm_unpacklo_epi64(t0, t2);
+  r[1] = _mm_unpackhi_epi64(t0, t2);
+  r[2] = _mm_unpacklo_epi64(t1, t3);
+  r[3] = _mm_unpackhi_epi64(t1, t3);
+}
+
+void DequantIdct4x4Avx2(const int16_t zz[64], const IdctTable& t, uint8_t* out,
+                        int stride) {
+  alignas(16) int32_t ws[16];
+  if (!ScatterScaled(zz, t, 4, ws)) {
+    FillDcOnlyScaled(zz, t, 4, out, stride);
+    return;
+  }
+  __m128i v[4];
+  for (int r = 0; r < 4; ++r) {
+    v[r] = _mm_load_si128(reinterpret_cast<const __m128i*>(ws + r * 4));
+  }
+  // Pass 1 down the columns (lanes = columns), clamped like the scalar arm.
+  Butterfly4(v);
+  for (int r = 0; r < 4; ++r) v[r] = ClampVec4(v[r], kMidClamp);
+  // Pass 2 along the rows: transpose so lanes = rows.
+  Transpose4x4(v);
+  Butterfly4(v);
+  const __m128i round = _mm_set1_epi32(kOutRound);
+  const __m128i bias = _mm_set1_epi32(128);
+  for (int k = 0; k < 4; ++k) {
+    v[k] = _mm_add_epi32(
+        _mm_srai_epi32(_mm_add_epi32(v[k], round), kOutShift), bias);
+  }
+  Transpose4x4(v);  // back to vector = output row
+  // Saturating pack to bytes (identical to the scalar 0..255 clamp).
+  const __m128i p01 = _mm_packs_epi32(v[0], v[1]);
+  const __m128i p23 = _mm_packs_epi32(v[2], v[3]);
+  alignas(16) uint8_t bytes[16];
+  _mm_store_si128(reinterpret_cast<__m128i*>(bytes),
+                  _mm_packus_epi16(p01, p23));
+  for (int r = 0; r < 4; ++r) std::memcpy(out + r * stride, bytes + r * 4, 4);
+}
+
 }  // namespace
 
 #endif  // DLB_SIMD_AVX2
@@ -361,6 +565,37 @@ void DequantIdct8x8(const int16_t zz[64], const IdctTable& t, uint8_t* out,
   }
 #endif
   DequantIdct8x8Scalar(zz, t, out, stride);
+}
+
+void DequantIdct4x4(const int16_t zz[64], const IdctTable& t, uint8_t* out,
+                    int stride) {
+#if defined(DLB_SIMD_AVX2)
+  if (simd::GetKernelMode() != simd::KernelMode::kScalar) {
+    DequantIdct4x4Avx2(zz, t, out, stride);
+    return;
+  }
+#endif
+  DequantIdct4x4Scalar(zz, t, out, stride);
+}
+
+void DequantIdctScaled(const int16_t zz[64], const IdctTable& t, int n,
+                       uint8_t* out, int stride) {
+  // 2x2 and 1x1 are a handful of scalar ops per block — below the useful
+  // vector granularity — so their fast and scalar arms coincide.
+  switch (n) {
+    case 8:
+      DequantIdct8x8(zz, t, out, stride);
+      break;
+    case 4:
+      DequantIdct4x4(zz, t, out, stride);
+      break;
+    case 2:
+      DequantIdct2x2(zz, t, out, stride);
+      break;
+    default:
+      DequantIdct1x1(zz, t, out, stride);
+      break;
+  }
 }
 
 // --- Colour rows ----------------------------------------------------------

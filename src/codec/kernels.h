@@ -55,6 +55,45 @@ void DequantIdct8x8Scalar(const int16_t zz[64], const IdctTable& table,
 /// where available; exact on every arm.
 bool BlockHasAc(const int16_t zz[64]);
 
+// --- Scaled (decode-to-scale) transforms ----------------------------------
+// n-point inverse transforms over the top-left n x n frequency window of a
+// block, emitting an n x n pixel tile: the DCT-domain downscale the paper's
+// workloads want (decode 500x375 straight towards 224x224 instead of
+// reconstructing pixels that the resizer immediately discards). The
+// coefficient weights match the 8-point transform (C(0)=1/sqrt(2)), so the
+// block mean — and therefore overall image brightness — is preserved at
+// every scale, and a DC-only block costs one multiply. Same bit-exactness
+// contract as the 8x8 kernels: scalar and SIMD arms are byte-identical;
+// InverseDctScaledBasis is the float oracle (+/-1 LSB).
+
+/// Build the folded table for an n-point scaled transform (n in {1,2,4,8}).
+/// Positions outside the n x n window get a zero multiplier; n == 8 is
+/// exactly BuildIdctTable. The folded factors are quant * s[r] * s[c] *
+/// 2^kDqBits with s[0] = 1 and s[u>0] = sqrt(2) (the explicit-cosine
+/// butterflies below absorb the rest), so the 8x amplitude and the final
+/// descale are shared with the 8x8 path.
+IdctTable BuildIdctTableScaled(const uint16_t quant_natural[64], int n);
+
+/// 4x4: two 4-point DCT-III butterfly passes (3 multiplies each).
+void DequantIdct4x4(const int16_t zz[64], const IdctTable& table, uint8_t* out,
+                    int stride);
+void DequantIdct4x4Scalar(const int16_t zz[64], const IdctTable& table,
+                          uint8_t* out, int stride);
+
+/// 2x2: one butterfly multiply per pass.
+void DequantIdct2x2(const int16_t zz[64], const IdctTable& table, uint8_t* out,
+                    int stride);
+
+/// 1x1: the DC term alone (dc * quant / 8 + 128), one multiply per block.
+void DequantIdct1x1(const int16_t zz[64], const IdctTable& table, uint8_t* out,
+                    int stride);
+
+/// Dispatch by block size: n == 8 routes to DequantIdct8x8, else to the
+/// matching scaled kernel. `table` must come from BuildIdctTableScaled with
+/// the same n.
+void DequantIdctScaled(const int16_t zz[64], const IdctTable& table, int n,
+                       uint8_t* out, int stride);
+
 // --- YCbCr -> interleaved RGB row converters ------------------------------
 // All three reproduce YcbcrToRgbPixel bit-exactly. `rgb` receives width*3
 // bytes.

@@ -207,8 +207,14 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   if (o.num_threads < 1) {
     return InvalidArgument("options.num_threads must be >= 1");
   }
-  if (o.resize_w < 1 || o.resize_h < 1) {
-    return InvalidArgument("options.resize_w/resize_h must be >= 1");
+  // Geometry is validated on the *resolved* output spec, so both the new
+  // OutputSpec field and the legacy resize_w/resize_h shim are covered.
+  const OutputSpec out = o.ResolvedOutput();
+  if (out.width < 1 || out.height < 1) {
+    return InvalidArgument("options output width/height must be >= 1");
+  }
+  if (out.channels != 1 && out.channels != 3) {
+    return InvalidArgument("options output channels must be 1 or 3");
   }
   if (o.queue_depth == 0) {
     return InvalidArgument("options.queue_depth must be >= 1");

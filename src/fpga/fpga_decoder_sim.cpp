@@ -40,13 +40,21 @@ sim::SimTime FpgaDecoderSim::HuffmanTime(const DecodeJob& job) const {
 }
 
 sim::SimTime FpgaDecoderSim::IdctTime(const DecodeJob& job) const {
+  // Decode-to-scale: the scaled transform emits (8/denom)^2 pixels per
+  // block, and its flowgraph shrinks accordingly — model the unit as
+  // denom^2-fold faster per block (block *count* is unchanged: every block
+  // still arrives from the Huffman unit).
+  const double scale = static_cast<double>(job.scale_denom) * job.scale_denom;
   return sim::Seconds(static_cast<double>(BlocksFor(job.pixels)) /
-                      rates_.idct_blocks_per_sec);
+                      (rates_.idct_blocks_per_sec * scale));
 }
 
 sim::SimTime FpgaDecoderSim::ResizerTime(const DecodeJob& job) const {
+  // The resizer streams the iDCT's output planes, which decode-to-scale
+  // already shrank by denom^2.
+  const double scale = static_cast<double>(job.scale_denom) * job.scale_denom;
   return sim::Seconds(static_cast<double>(job.pixels) /
-                      rates_.resizer_pixels_per_sec);
+                      (rates_.resizer_pixels_per_sec * scale));
 }
 
 sim::SimTime FpgaDecoderSim::DmaTime(const DecodeJob& job) const {

@@ -32,6 +32,11 @@ struct DecodeJob {
   uint64_t pixels = 0;         // source width*height
   uint64_t out_bytes = 0;      // resized output bytes DMA'd to the host
   DataSource source = DataSource::kDisk;
+  /// Decode-to-scale denominator (1, 2, 4, 8). The Huffman unit still
+  /// chews every bit, but the iDCT emits denom^2-fold fewer pixels and the
+  /// resizer sees the already-shrunk planes, so both get proportionally
+  /// cheaper — the service-time twin of the runtime's scaled kernels.
+  int scale_denom = 1;
 };
 
 class FpgaDecoderSim {

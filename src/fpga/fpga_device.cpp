@@ -216,11 +216,22 @@ void FpgaDevice::HuffmanWorker(uint32_t way) {
       if (busy != nullptr) busy->Add(telemetry::NowNs() - t0);
     };
     if (quarantined) {
-      // Dead way, degraded mode: this lane's commands fall back to the full
-      // CPU decode (one-shot jpeg::Decode composes the exact same stages,
-      // so the output is byte-identical) instead of wedging the pipeline.
+      // Dead way, degraded mode: this lane's commands fall back to the CPU
+      // decode (one-shot jpeg::Decode composes the exact same stages — with
+      // the same decode-to-scale options, so the scale choice matches — and
+      // the output is byte-identical) instead of wedging the pipeline.
+      auto decode_cpu = [&]() -> Result<Image> {
+        jpeg::DecodeOptions dopts;
+        if (cmd->decode_to_scale) {
+          dopts.target_w = cmd->resize_w;
+          dopts.target_h = cmd->resize_h;
+        }
+        auto result = jpeg::Decode(cmd->jpeg, dopts);
+        if (!result.ok()) return result.status();
+        return std::move(result.value().image);
+      };
       auto img = options_.custom_decoder ? options_.custom_decoder(cmd->jpeg)
-                                         : jpeg::Decode(cmd->jpeg);
+                                         : decode_cpu();
       charge();
       cpu_fallback_.Add();
       if (Counter* c = cpu_fallback_reg_.load(std::memory_order_acquire)) {
@@ -267,6 +278,14 @@ void FpgaDevice::HuffmanWorker(uint32_t way) {
     out.cmd = std::move(*cmd);
     out.header = std::move(header).value();
     out.coeffs = std::move(coeffs).value();
+    // Decode-to-scale decision point: the parser knows the source geometry,
+    // so the scale rides the command through the iDCT and resizer units.
+    if (out.cmd.decode_to_scale && out.cmd.resize_w > 0 &&
+        out.cmd.resize_h > 0) {
+      out.scale_denom = jpeg::ChooseScaleDenom(
+          out.header.width, out.header.height, out.cmd.resize_w,
+          out.cmd.resize_h);
+    }
     if (!huffman_out_.Push(std::move(out)).ok()) return;
   }
 }
@@ -294,7 +313,8 @@ void FpgaDevice::IdctWorker(uint32_t way) {
     }
     Counter* busy = idct_busy_.load(std::memory_order_acquire);
     const uint64_t t0 = busy != nullptr ? telemetry::NowNs() : 0;
-    auto planes = jpeg::InverseTransform(item->header, item->coeffs);
+    auto planes = jpeg::InverseTransformScaled(item->header, item->coeffs,
+                                               item->scale_denom);
     if (busy != nullptr) busy->Add(telemetry::NowNs() - t0);
     if (!planes.ok()) {
       Complete(item->cmd, planes.status(), 0, 0, 0, 0);
@@ -304,6 +324,7 @@ void FpgaDevice::IdctWorker(uint32_t way) {
     out.cmd = std::move(item->cmd);
     out.header = std::move(item->header);
     out.planes = std::move(planes).value();
+    out.scale_denom = item->scale_denom;
     if (!idct_out_.Push(std::move(out)).ok()) return;
   }
 }
@@ -335,7 +356,8 @@ void FpgaDevice::ResizerWorker(uint32_t way) {
     if (item->has_direct) {
       image = std::move(item->direct);
     } else {
-      auto rgb = jpeg::ColorReconstruct(item->header, item->planes);
+      auto rgb = jpeg::ColorReconstructScaled(item->header, item->planes,
+                                              item->scale_denom);
       if (!rgb.ok()) {
         Complete(item->cmd, rgb.status(), 0, 0, 0, 0);
         continue;

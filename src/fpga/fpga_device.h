@@ -41,6 +41,11 @@ struct FpgaCmd {
   /// Aspect-preserving cover-resize + centre crop instead of a plain
   /// stretch (the real ImageNet recipe).
   bool aspect_crop = false;
+  /// Decode at a reduced DCT scale: the Huffman unit picks the largest
+  /// denominator (1/2, 1/4, 1/8) whose scaled dimensions still cover
+  /// (resize_w, resize_h); the iDCT and resizer units then run on the
+  /// smaller planes. Ignored when resize_w/resize_h are unset.
+  bool decode_to_scale = false;
   /// Submit timestamp (ns), stamped by the device when telemetry is
   /// attached; the decode span is measured from here.
   uint64_t submit_ns = 0;
@@ -154,6 +159,8 @@ class FpgaDevice {
     jpeg::CoeffData coeffs;
     Image direct;
     bool has_direct = false;
+    /// DCT scale chosen at parse time (decode-to-scale); 1 = full size.
+    int scale_denom = 1;
   };
   struct IdctOut {
     FpgaCmd cmd;
@@ -161,6 +168,7 @@ class FpgaDevice {
     jpeg::PlaneData planes;
     Image direct;
     bool has_direct = false;
+    int scale_denom = 1;
   };
 
   void HuffmanWorker(uint32_t way);

@@ -86,6 +86,7 @@ FpgaReader::SubmitOutcome FpgaReader::SubmitOne(
   cmd.resize_w = options_.resize_w;
   cmd.resize_h = options_.resize_h;
   cmd.aspect_crop = options_.aspect_crop;
+  cmd.decode_to_scale = options_.decode_to_scale;
 
   // Aggressive submit: when the FIFO is full, drain completions and retry
   // (the blocking branch of Algorithm 1) — bounded per attempt so a lossy

@@ -29,6 +29,9 @@ struct FpgaReaderOptions {
   int resize_h = 256;
   int channels = 3;
   bool aspect_crop = false;  // cover-resize + centre crop in the resizer
+  /// Ask the device to decode at a reduced DCT scale covering
+  /// (resize_w, resize_h); the resizer then only does the residual shrink.
+  bool decode_to_scale = false;
 
   // --- Fault-recovery policy ---
   /// Resubmits per slot after a transient (kUnavailable) completion before

@@ -102,6 +102,7 @@ struct InferSim {
         job.out_bytes = static_cast<uint64_t>(cfg.model->input_w) *
                         cfg.model->input_h * cfg.model->input_c;
         job.source = fpga::DataSource::kDram;
+        job.scale_denom = cfg.decode_scale_denom;
         const size_t idx = rr_decode++ % fpgas.size();
         if (!fpgas[idx]->SubmitDecode(job,
                                       [this, req] { EnqueueDecoded(req); })) {

@@ -36,6 +36,9 @@ struct InferConfig {
   double sim_seconds = 20.0;
   double avg_image_bytes = cal::kAvgJpegBytes;
   uint64_t source_pixels = 500ull * 375;  // paper: 500x375 averages
+  /// Decode-to-scale denominator applied by the FPGA decoder model (1, 2,
+  /// 4, 8): iDCT and resizer service times shrink by denom^2.
+  int decode_scale_denom = 1;
   /// §7 future work (2): the decoder DMAs straight into GPU memory,
   /// skipping the host staging copy. DLBooster backend only.
   bool direct_gpu_write = false;

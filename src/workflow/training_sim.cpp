@@ -181,6 +181,7 @@ struct TrainSim {
     job.pixels = cfg.source_pixels;
     job.out_bytes = 256ull * 256 * 3;
     job.source = fpga::DataSource::kDisk;
+    job.scale_denom = cfg.decode_scale_denom;
     int submitted = 0;
     while (submitted < n && fpgas[idx]->SubmitDecode(job, on_one)) {
       ++submitted;

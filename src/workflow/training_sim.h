@@ -37,6 +37,9 @@ struct TrainConfig {
   double sim_seconds = 30.0;
   double avg_image_bytes = cal::kAvgJpegBytes;
   uint64_t source_pixels = 500ull * 375;
+  /// Decode-to-scale denominator applied by the FPGA decoder model (1, 2,
+  /// 4, 8): iDCT and resizer service times shrink by denom^2.
+  int decode_scale_denom = 1;
   /// Ablation override: force per-item H2D copies even for DLBooster.
   bool force_per_item_copies = false;
   /// Ablation override: fragment the FPGA decoder into per-GPU instances

@@ -95,6 +95,64 @@ TEST(BackendEquivalenceTest, HoldsWithAspectPreservingCrop) {
   EXPECT_EQ(cpu_hashes, dlb_hashes);
 }
 
+TEST(BackendEquivalenceTest, HoldsWithDecodeToScale) {
+  // Decode-to-scale changes the work split (scaled iDCT + residual resize)
+  // but not the invariant: both backends run the identical stage functions,
+  // so their outputs must still match byte-for-byte. Configured through the
+  // new OutputSpec field rather than the legacy shim.
+  constexpr size_t kImages = 12;
+  Dataset ds = SmallDataset(kImages);
+
+  BackendOptions options;
+  options.batch_size = 4;
+  options.output.width = 24;
+  options.output.height = 24;
+  options.decode_to_scale = true;
+  options.shuffle = false;
+  options.num_threads = 2;
+
+  DiskDataCollector cpu_collector(&ds.manifest, ds.store.get(), false, 1);
+  CpuBackend cpu(&cpu_collector, options, kImages);
+  auto cpu_hashes = Collect(cpu, kImages);
+
+  DiskDataCollector dlb_collector(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&dlb_collector, kImages);
+  DlboosterOptions dlb_options;
+  dlb_options.backend = options;
+  DlboosterBackend dlbooster(&bounded, dlb_options);
+  auto dlb_hashes = Collect(dlbooster, kImages);
+
+  ASSERT_EQ(cpu_hashes.size(), kImages);
+  EXPECT_EQ(cpu_hashes, dlb_hashes);
+}
+
+TEST(BackendEquivalenceTest, HoldsWithDecodeToScaleAndCoverCrop) {
+  constexpr size_t kImages = 8;
+  Dataset ds = SmallDataset(kImages);
+
+  BackendOptions options;
+  options.batch_size = 4;
+  options.output.width = 32;
+  options.output.height = 32;
+  options.output.fit = FitMode::kCoverCrop;
+  options.decode_to_scale = true;
+  options.shuffle = false;
+
+  DiskDataCollector cpu_collector(&ds.manifest, ds.store.get(), false, 1);
+  CpuBackend cpu(&cpu_collector, options, kImages);
+  auto cpu_hashes = Collect(cpu, kImages);
+
+  DiskDataCollector dlb_collector(&ds.manifest, ds.store.get(), false, 1);
+  BoundedCollector bounded(&dlb_collector, kImages);
+  DlboosterOptions dlb_options;
+  dlb_options.backend = options;
+  DlboosterBackend dlbooster(&bounded, dlb_options);
+  auto dlb_hashes = Collect(dlbooster, kImages);
+
+  ASSERT_EQ(cpu_hashes.size(), kImages);
+  EXPECT_EQ(cpu_hashes, dlb_hashes);
+}
+
 TEST(BackendEquivalenceTest, HoldsForGrayscaleMnistShapes) {
   constexpr size_t kImages = 8;
   auto generated = GenerateDataset(MnistLikeSpec(kImages));

@@ -1,0 +1,82 @@
+// OutputSpec and the legacy-field shim: the resolved output contract must
+// honour the new field, let moved legacy fields win (so seed call sites keep
+// their meaning), and drive slot sizing from one place.
+#include <gtest/gtest.h>
+
+#include "backends/backend.h"
+
+namespace dlb {
+namespace {
+
+TEST(OutputSpecTest, DefaultsMatchLegacyDefaults) {
+  BackendOptions options;
+  const OutputSpec out = options.ResolvedOutput();
+  EXPECT_EQ(out.width, 256);
+  EXPECT_EQ(out.height, 256);
+  EXPECT_EQ(out.channels, 3);
+  EXPECT_EQ(out.fit, FitMode::kStretch);
+  EXPECT_EQ(options.SlotStride(), 256u * 256 * 3);
+}
+
+TEST(OutputSpecTest, NewFieldDrivesResolution) {
+  BackendOptions options;
+  options.output.width = 224;
+  options.output.height = 224;
+  options.output.channels = 1;
+  options.output.fit = FitMode::kCoverCrop;
+  const OutputSpec out = options.ResolvedOutput();
+  EXPECT_EQ(out.width, 224);
+  EXPECT_EQ(out.height, 224);
+  EXPECT_EQ(out.channels, 1);
+  EXPECT_EQ(out.fit, FitMode::kCoverCrop);
+  EXPECT_EQ(options.SlotStride(), 224u * 224);
+}
+
+TEST(OutputSpecTest, MovedLegacyFieldWins) {
+  // A legacy call site that sets resize_w/resize_h must keep working even
+  // though it never touches `output`.
+  BackendOptions options;
+  options.resize_w = 64;
+  options.resize_h = 48;
+  options.channels = 1;
+  options.aspect_preserving_crop = true;
+  const OutputSpec out = options.ResolvedOutput();
+  EXPECT_EQ(out.width, 64);
+  EXPECT_EQ(out.height, 48);
+  EXPECT_EQ(out.channels, 1);
+  EXPECT_EQ(out.fit, FitMode::kCoverCrop);
+  EXPECT_EQ(options.SlotStride(), 64u * 48);
+}
+
+TEST(OutputSpecTest, LegacyOverridesOnlyTheFieldsItMoved) {
+  // Mixed usage: `output` carries the geometry, one legacy field nudges the
+  // fit. Only the moved legacy field overrides.
+  BackendOptions options;
+  options.output.width = 96;
+  options.output.height = 96;
+  options.aspect_preserving_crop = true;
+  const OutputSpec out = options.ResolvedOutput();
+  EXPECT_EQ(out.width, 96);
+  EXPECT_EQ(out.height, 96);
+  EXPECT_EQ(out.channels, 3);
+  EXPECT_EQ(out.fit, FitMode::kCoverCrop);
+}
+
+TEST(OutputSpecTest, SlotBytesIsWidthHeightChannels) {
+  OutputSpec spec;
+  spec.width = 17;
+  spec.height = 9;
+  spec.channels = 3;
+  EXPECT_EQ(spec.SlotBytes(), 17u * 9 * 3);
+}
+
+TEST(OutputSpecTest, EqualityComparesAllFields) {
+  OutputSpec a;
+  OutputSpec b;
+  EXPECT_TRUE(a == b);
+  b.fit = FitMode::kCoverCrop;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -61,6 +61,22 @@ void DecodeMustNotCrash(ByteSpan data) {
     EXPECT_NE(decoded.status().code(), StatusCode::kOk);
     EXPECT_FALSE(decoded.status().message().empty());
   }
+  // The decode-to-scale path swaps in the scaled iDCT kernels and the
+  // scale-aware assembly/upsampling; it must honour the same contract on
+  // the same corrupt bytes (1/8 exercises the DC-only fast path).
+  DecodeOptions eighth;
+  eighth.scale_denom = 8;
+  auto scaled = Decode(data, eighth);
+  if (scaled.ok()) {
+    const Image& img = scaled.value().image;
+    EXPECT_EQ(scaled.value().scale_denom, 8);
+    EXPECT_GT(img.Width(), 0);
+    EXPECT_GT(img.Height(), 0);
+    EXPECT_EQ(img.SizeBytes(), static_cast<size_t>(img.Width()) *
+                                   img.Height() * img.Channels());
+  } else {
+    EXPECT_NE(scaled.status().code(), StatusCode::kOk);
+  }
   // The header-only probe shares the parsing path and the same contract.
   (void)PeekInfo(data);
 }

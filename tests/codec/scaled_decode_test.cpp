@@ -1,0 +1,380 @@
+// Golden tests for DCT-domain decode-to-scale (DESIGN.md §5.8).
+//
+// Contract under test:
+//   * kFast and kScalar produce byte-identical images at every scale
+//     (1/1, 1/2, 1/4, 1/8) — the scaled vector arms are exact twins of the
+//     scaled integer kernels.
+//   * The integer scaled transforms track the float scaled-basis oracle
+//     (kReference mode) within the same bound as the full-resolution path.
+//   * Scaled decode approximates full decode + reference area resize to the
+//     same dimensions: the DCT window is a different low-pass filter than a
+//     box average, so the comparison is bounded in the mean, with the DC
+//     path (1/8 scale ≈ per-block means) agreeing most tightly.
+//   * The scale-selection rule picks the largest denominator that still
+//     covers the target, and the legacy Decode() signature stays a faithful
+//     forwarding wrapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "codec/dct.h"
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "codec/kernels.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "image/image.h"
+#include "image/resize.h"
+
+namespace dlb::jpeg {
+namespace {
+
+using simd::KernelMode;
+using simd::ScopedKernelMode;
+
+Image NoisyScene(int w, int h, int channels, uint64_t seed) {
+  Rng rng(seed);
+  Image img(w, h, channels);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        const int base = (x * 3 + y * 2 + c * 60) % 256;
+        const int noise = static_cast<int>(rng.UniformInt(-90, 90));
+        int v = base + noise;
+        v = v < 0 ? 0 : (v > 255 ? 255 : v);
+        img.Set(x, y, c, static_cast<uint8_t>(v));
+      }
+    }
+  }
+  return img;
+}
+
+Image SmoothScene(int w, int h, int channels) {
+  Image img(w, h, channels);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        const double v = 128.0 + 100.0 * std::sin(x * 0.05 + c) *
+                                     std::cos(y * 0.04);
+        img.Set(x, y, c,
+                static_cast<uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v)));
+      }
+    }
+  }
+  return img;
+}
+
+struct ScaledParam {
+  int width;
+  int height;
+  int channels;
+  int quality;
+  Subsampling subsampling;
+  int restart_interval;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<ScaledParam>& info) {
+  const ScaledParam& p = info.param;
+  const char* sub = p.subsampling == Subsampling::k420
+                        ? "s420"
+                        : (p.subsampling == Subsampling::k422 ? "s422" : "s444");
+  return std::to_string(p.width) + "x" + std::to_string(p.height) + "c" +
+         std::to_string(p.channels) + "q" + std::to_string(p.quality) + sub +
+         "r" + std::to_string(p.restart_interval);
+}
+
+class ScaledDecodeTest : public ::testing::TestWithParam<ScaledParam> {
+ protected:
+  Bytes Fixture() {
+    const ScaledParam& p = GetParam();
+    Image src = NoisyScene(p.width, p.height, p.channels, 0x5CA1ED);
+    EncodeOptions opts;
+    opts.quality = p.quality;
+    opts.subsampling = p.subsampling;
+    opts.restart_interval = p.restart_interval;
+    auto encoded = Encode(src, opts);
+    EXPECT_TRUE(encoded.ok()) << encoded.status().ToString();
+    return encoded.ok() ? encoded.value() : Bytes{};
+  }
+};
+
+constexpr int kScales[] = {1, 2, 4, 8};
+
+TEST_P(ScaledDecodeTest, FastAndScalarArmsAreByteIdenticalAtEveryScale) {
+  const Bytes jpeg = Fixture();
+  ASSERT_FALSE(jpeg.empty());
+  for (int denom : kScales) {
+    DecodeOptions opts;
+    opts.scale_denom = denom;
+    auto fast = [&] {
+      ScopedKernelMode mode(KernelMode::kFast);
+      return Decode(jpeg, opts);
+    }();
+    auto scalar = [&] {
+      ScopedKernelMode mode(KernelMode::kScalar);
+      return Decode(jpeg, opts);
+    }();
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    EXPECT_EQ(fast.value().scale_denom, denom);
+    EXPECT_EQ(scalar.value().scale_denom, denom);
+    EXPECT_TRUE(fast.value().image == scalar.value().image)
+        << "fast/scalar divergence at 1/" << denom
+        << ", kernels: " << simd::KernelInfo();
+  }
+}
+
+TEST_P(ScaledDecodeTest, ScaledDimensionsAreCeilOfFullOverDenom) {
+  const Bytes jpeg = Fixture();
+  ASSERT_FALSE(jpeg.empty());
+  const ScaledParam& p = GetParam();
+  for (int denom : kScales) {
+    DecodeOptions opts;
+    opts.scale_denom = denom;
+    auto result = Decode(jpeg, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().image.Width(), ScaledDim(p.width, denom));
+    EXPECT_EQ(result.value().image.Height(), ScaledDim(p.height, denom));
+    EXPECT_EQ(result.value().image.Channels(), p.channels);
+  }
+}
+
+TEST_P(ScaledDecodeTest, FastTracksScaledFloatReferenceWithinTwoLsb) {
+  const Bytes jpeg = Fixture();
+  ASSERT_FALSE(jpeg.empty());
+  for (int denom : kScales) {
+    DecodeOptions opts;
+    opts.scale_denom = denom;
+    auto fast = [&] {
+      ScopedKernelMode mode(KernelMode::kFast);
+      return Decode(jpeg, opts);
+    }();
+    auto reference = [&] {
+      ScopedKernelMode mode(KernelMode::kReference);
+      return Decode(jpeg, opts);
+    }();
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const Image& a = fast.value().image;
+    const Image& b = reference.value().image;
+    ASSERT_EQ(a.SizeBytes(), b.SizeBytes());
+    // +/-1 per fixed-point iDCT sample in each of Y, Cb, Cr can align
+    // through the BT.601 mix (1.402 * dCr + dY ~= 2.4), so the per-channel
+    // bound is 3 codes.
+    int worst = 0;
+    for (size_t i = 0; i < a.SizeBytes(); ++i) {
+      const int d = std::abs(static_cast<int>(a.Data()[i]) -
+                             static_cast<int>(b.Data()[i]));
+      worst = d > worst ? d : worst;
+    }
+    EXPECT_LE(worst, 3) << "drift vs float scaled oracle at 1/" << denom;
+  }
+}
+
+TEST_P(ScaledDecodeTest, ScaledDecodeApproximatesFullDecodePlusResize) {
+  const Bytes jpeg = Fixture();
+  ASSERT_FALSE(jpeg.empty());
+  auto full = Decode(jpeg);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  for (int denom : {2, 4, 8}) {
+    DecodeOptions opts;
+    opts.scale_denom = denom;
+    auto scaled = Decode(jpeg, opts);
+    ASSERT_TRUE(scaled.ok()) << scaled.status().ToString();
+    const Image& s = scaled.value().image;
+    auto resized = detail::ResizeReference(full.value(), s.Width(),
+                                           s.Height(), ResizeFilter::kArea);
+    ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+    auto mad = Image::MeanAbsDiff(s, resized.value());
+    ASSERT_TRUE(mad.ok()) << mad.status().ToString();
+    // The n-point DCT window and the box average are different low-pass
+    // filters; on a noise-dominated scene much of the energy sits in bands
+    // the two filters treat differently, so the pointwise comparison is only
+    // a coarse sanity net here (the smooth-scene test below carries the
+    // tight pointwise claim).
+    EXPECT_LE(mad.value(), 30.0)
+        << "1/" << denom << " diverged from full-decode + area resize";
+    // Systematic errors (wrong amplitude, misindexed planes) shift the
+    // global mean; low-pass filter choice does not. Ragged edge blocks see
+    // replicated padding in the DCT path but only real pixels in the box
+    // average, so outputs that are all boundary (tiny images) get slack.
+    double sum_s = 0.0;
+    double sum_r = 0.0;
+    for (size_t i = 0; i < s.SizeBytes(); ++i) {
+      sum_s += s.Data()[i];
+      sum_r += resized.value().Data()[i];
+    }
+    const double mean_bound = s.Width() * s.Height() < 100 ? 6.0 : 3.0;
+    EXPECT_LE(std::abs(sum_s - sum_r) / static_cast<double>(s.SizeBytes()),
+              mean_bound)
+        << "global mean shifted at 1/" << denom;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fixtures, ScaledDecodeTest,
+    ::testing::Values(
+        ScaledParam{64, 64, 3, 85, Subsampling::k444, 0},
+        ScaledParam{64, 64, 3, 85, Subsampling::k422, 0},
+        ScaledParam{64, 64, 3, 85, Subsampling::k420, 0},
+        ScaledParam{65, 63, 3, 90, Subsampling::k420, 0},
+        ScaledParam{65, 63, 3, 75, Subsampling::k422, 0},
+        ScaledParam{17, 9, 3, 85, Subsampling::k420, 3},
+        ScaledParam{128, 96, 3, 50, Subsampling::k420, 7},
+        ScaledParam{96, 80, 1, 85, Subsampling::k444, 0},
+        ScaledParam{500, 375, 3, 85, Subsampling::k420, 0}),
+    ParamName);
+
+// A smooth scene keeps both low-pass filters near each other pointwise, so
+// the scaled decode must agree with full decode + area resize tightly, not
+// just in the mean.
+TEST(ScaledDecodeSmoothTest, SmoothSceneAgreesPointwise) {
+  Image src = SmoothScene(160, 120, 3);
+  EncodeOptions eopts;
+  eopts.quality = 92;
+  eopts.subsampling = Subsampling::k444;
+  auto encoded = Encode(src, eopts);
+  ASSERT_TRUE(encoded.ok());
+  auto full = Decode(encoded.value());
+  ASSERT_TRUE(full.ok());
+  for (int denom : {2, 4, 8}) {
+    DecodeOptions opts;
+    opts.scale_denom = denom;
+    auto scaled = Decode(encoded.value(), opts);
+    ASSERT_TRUE(scaled.ok());
+    const Image& s = scaled.value().image;
+    auto resized = detail::ResizeReference(full.value(), s.Width(),
+                                           s.Height(), ResizeFilter::kArea);
+    ASSERT_TRUE(resized.ok());
+    auto mad = Image::MeanAbsDiff(s, resized.value());
+    ASSERT_TRUE(mad.ok());
+    EXPECT_LE(mad.value(), 2.5) << "smooth-scene drift at 1/" << denom;
+  }
+}
+
+TEST(ScaledDecodeApiTest, ChooseScaleDenomPicksLargestCoveringScale) {
+  // Covering requires BOTH scaled dimensions >= target: 500x375 at 1/2 is
+  // 250x188, which covers 224x160 but not 224x224 (188 < 224).
+  EXPECT_EQ(ChooseScaleDenom(500, 375, 224, 160), 2);
+  EXPECT_EQ(ChooseScaleDenom(500, 375, 224, 224), 1);
+  // 2000x1500 at 1/8 is 250x188 (height short of 224) -> 1/4 (500x375).
+  EXPECT_EQ(ChooseScaleDenom(2000, 1500, 224, 224), 4);
+  EXPECT_EQ(ChooseScaleDenom(2048, 2048, 224, 224), 8);
+  EXPECT_EQ(ChooseScaleDenom(256, 256, 32, 32), 8);
+  EXPECT_EQ(ChooseScaleDenom(256, 256, 33, 32), 4);
+  EXPECT_EQ(ChooseScaleDenom(64, 64, 64, 64), 1);
+  EXPECT_EQ(ChooseScaleDenom(64, 64, 65, 65), 1);  // never upscale
+  EXPECT_EQ(ChooseScaleDenom(64, 64, 0, 0), 1);    // unset target
+  EXPECT_EQ(ChooseScaleDenom(0, 0, 224, 224), 1);
+}
+
+TEST(ScaledDecodeApiTest, TargetDimensionsDriveScaleSelection) {
+  Image src = NoisyScene(500, 375, 3, 0xBEEF);
+  EncodeOptions eopts;
+  eopts.quality = 85;
+  eopts.subsampling = Subsampling::k420;
+  auto encoded = Encode(src, eopts);
+  ASSERT_TRUE(encoded.ok());
+  DecodeOptions opts;
+  opts.target_w = 224;
+  opts.target_h = 160;
+  auto result = Decode(encoded.value(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().scale_denom, 2);
+  EXPECT_EQ(result.value().image.Width(), 250);
+  EXPECT_EQ(result.value().image.Height(), 188);
+}
+
+TEST(ScaledDecodeApiTest, LegacySignatureForwardsToFullResolution) {
+  Image src = NoisyScene(64, 48, 3, 0xFACE);
+  auto encoded = Encode(src, EncodeOptions{});
+  ASSERT_TRUE(encoded.ok());
+  auto legacy = Decode(encoded.value());
+  auto options = Decode(encoded.value(), DecodeOptions{});
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options.value().scale_denom, 1);
+  EXPECT_TRUE(legacy.value() == options.value().image);
+}
+
+TEST(ScaledDecodeApiTest, InvalidOptionsRejected) {
+  Image src = NoisyScene(32, 32, 3, 1);
+  auto encoded = Encode(src, EncodeOptions{});
+  ASSERT_TRUE(encoded.ok());
+  DecodeOptions bad_denom;
+  bad_denom.scale_denom = 3;
+  EXPECT_EQ(Decode(encoded.value(), bad_denom).status().code(),
+            StatusCode::kInvalidArgument);
+  DecodeOptions bad_num;
+  bad_num.scale_num = 2;
+  EXPECT_EQ(Decode(encoded.value(), bad_num).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScaledDecodeApiTest, DcOnlyBlockPreservesMeanAtEveryScale) {
+  // A flat image is DC-only after quantisation; every scale must reproduce
+  // the same flat value (the scaled transforms share the full transform's
+  // coefficient weights, so the block mean is scale-invariant).
+  Image src(64, 64, 1);
+  for (size_t i = 0; i < src.SizeBytes(); ++i) src.Data()[i] = 200;
+  EncodeOptions eopts;
+  eopts.quality = 90;
+  auto encoded = Encode(src, eopts);
+  ASSERT_TRUE(encoded.ok());
+  auto full = Decode(encoded.value());
+  ASSERT_TRUE(full.ok());
+  const uint8_t expect = full.value().At(0, 0, 0);
+  for (int denom : kScales) {
+    DecodeOptions opts;
+    opts.scale_denom = denom;
+    auto scaled = Decode(encoded.value(), opts);
+    ASSERT_TRUE(scaled.ok());
+    for (size_t i = 0; i < scaled.value().image.SizeBytes(); ++i) {
+      ASSERT_EQ(scaled.value().image.Data()[i], expect)
+          << "flat-field drift at 1/" << denom;
+    }
+  }
+}
+
+TEST(ScaledDecodeKernelTest, ScaledTableMatchesFullTableAtN8) {
+  std::array<uint16_t, 64> quant = kStdLumaQuant;
+  const kernels::IdctTable full = kernels::BuildIdctTable(quant.data());
+  const kernels::IdctTable scaled =
+      kernels::BuildIdctTableScaled(quant.data(), 8);
+  EXPECT_EQ(full.m, scaled.m);
+}
+
+TEST(ScaledDecodeKernelTest, ScaledKernelsMatchFloatOracleDirectly) {
+  // Drive the kernels with random coefficient blocks (not just encoder
+  // output) and bound them against InverseDctScaledBasis per block.
+  Rng rng(0xD1CE);
+  std::array<uint16_t, 64> quant = kStdLumaQuant;
+  for (int n : {4, 2, 1}) {
+    const kernels::IdctTable table =
+        kernels::BuildIdctTableScaled(quant.data(), n);
+    for (int trial = 0; trial < 200; ++trial) {
+      int16_t zz[64];
+      for (int i = 0; i < 64; ++i) {
+        zz[i] = static_cast<int16_t>(rng.UniformInt(-64, 64));
+      }
+      float dq[64];
+      DequantizeZigZag(zz, quant.data(), dq);
+      uint8_t expect[64];
+      InverseDctScaledBasis(dq, n, expect);
+      uint8_t got[64];
+      kernels::DequantIdctScaled(zz, table, n, got, n);
+      for (int i = 0; i < n * n; ++i) {
+        ASSERT_LE(std::abs(static_cast<int>(got[i]) -
+                           static_cast<int>(expect[i])),
+                  1)
+            << "n=" << n << " trial=" << trial << " sample=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlb::jpeg
