@@ -3,22 +3,52 @@
 # aggregates the documents into BENCH_<label>.json files in the output
 # directory (plus a combined BENCH_all.json manifest).
 #
-# Usage: bench/run_benches.sh [--quick] [build_dir] [out_dir]
-#   --quick    CI smoke subset: micro_codec + the two overhead benches
-#              (each self-gates its >= 95% acceptance via its exit code)
-#   build_dir  where the bench binaries live (default: build)
-#   out_dir    where BENCH_*.json land (default: <build_dir>/bench_results)
+# Usage: bench/run_benches.sh [--quick] [--out DIR] [--diff[=BASELINE_DIR]]
+#                             [build_dir] [out_dir]
+#   --quick     CI smoke subset: micro_codec + the overhead benches
+#               (each self-gates its >= 95% acceptance via its exit code)
+#   --out DIR   where BENCH_*.json land (default: <build_dir>/bench_results)
+#   --diff      after the run, compare against a committed baseline set with
+#               tools/dlb_benchdiff (default baseline: bench/baselines).
+#               Writes <out_dir>/benchdiff.md and fails on regression.
+#               DIFF_GATE=ratio|all picks the gate class (default: ratio —
+#               dimensionless metrics only, safe across machines).
+#   build_dir   where the bench binaries live (default: build)
+#   out_dir     positional form of --out
 #
 # Also available as a build target: `cmake --build build --target run_benches`.
 set -u
 
 QUICK=0
-if [ "${1:-}" = "--quick" ]; then
-  QUICK=1
-  shift
-fi
+DIFF=0
+BASELINE_DIR="bench/baselines"
+OUT_FLAG=""
+while :; do
+  case "${1:-}" in
+    --quick)
+      QUICK=1
+      shift
+      ;;
+    --out)
+      OUT_FLAG="${2:?--out needs a directory}"
+      shift 2
+      ;;
+    --diff)
+      DIFF=1
+      shift
+      ;;
+    --diff=*)
+      DIFF=1
+      BASELINE_DIR="${1#--diff=}"
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 BUILD_DIR="${1:-build}"
-OUT_DIR="${2:-${BUILD_DIR}/bench_results}"
+OUT_DIR="${OUT_FLAG:-${2:-${BUILD_DIR}/bench_results}}"
 BENCH_DIR="${BUILD_DIR}/bench"
 
 if [ ! -d "${BENCH_DIR}" ]; then
@@ -33,6 +63,7 @@ if [ "${QUICK}" = 1 ]; then
     "micro_codec:bench_micro_codec"
     "monitor_overhead:bench_monitor_overhead"
     "trace_overhead:bench_trace_overhead"
+    "profiler_overhead:bench_profiler_overhead"
   )
 else
   BENCHES=(
@@ -41,6 +72,7 @@ else
     "bottleneck_report:bench_misc_bottleneck_report"
     "monitor_overhead:bench_monitor_overhead"
     "trace_overhead:bench_trace_overhead"
+    "profiler_overhead:bench_profiler_overhead"
     "micro_codec:bench_micro_codec"
     "micro_resize:bench_micro_resize"
   )
@@ -81,4 +113,18 @@ combined="${OUT_DIR}/BENCH_all.json"
 } > "${combined}"
 
 echo "wrote ${combined} (${#ran[@]} benches, ${failures} failures)"
+
+if [ "${DIFF}" = 1 ]; then
+  BENCHDIFF="${BUILD_DIR}/tools/dlb_benchdiff"
+  if [ ! -x "${BENCHDIFF}" ]; then
+    echo "error: ${BENCHDIFF} not found — build the dlb_benchdiff target" >&2
+    exit 1
+  fi
+  echo "diff  ${OUT_DIR} vs ${BASELINE_DIR} (gate=${DIFF_GATE:-ratio})"
+  if ! "${BENCHDIFF}" --baseline "${BASELINE_DIR}" --candidate "${OUT_DIR}" \
+       --gate "${DIFF_GATE:-ratio}" --markdown "${OUT_DIR}/benchdiff.md"; then
+    echo "FAIL  bench regression vs ${BASELINE_DIR} (see ${OUT_DIR}/benchdiff.md)" >&2
+    failures=$((failures + 1))
+  fi
+fi
 exit "${failures}"

@@ -35,7 +35,7 @@ Result<BatchPtr> CachedBackend::NextBatch(int engine) {
         telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
     telemetry::TraceContext trace;
     if (tracer != nullptr) trace = tracer->StartBatch();
-    const uint64_t t0 = telemetry_ != nullptr ? telemetry::NowNs() : 0;
+    telemetry::StageTimer fetch_timer(telemetry::Stage::kFetch);
     std::scoped_lock lock(mu_);
     if (cache_.empty()) {
       if (tracer != nullptr) tracer->AbandonBatch(trace);
@@ -45,9 +45,8 @@ Result<BatchPtr> CachedBackend::NextBatch(int engine) {
     const CachedBatch& cb = *cache_[idx];
     hits_.Add();
     if (telemetry_ != nullptr) {
-      telemetry_->RecordSpan(telemetry::Stage::kFetch, t0, telemetry::NowNs(),
-                             cb.items.size(), trace,
-                             telemetry::Subsystem::kBackend);
+      telemetry_->RecordTimed(fetch_timer, cb.items.size(), trace,
+                              telemetry::Subsystem::kBackend);
       telemetry_->Registry().GetCounter("cache.hits")->Add();
     }
     auto out = std::make_unique<PreprocessBatch>(cb.items, cb.storage.data(),

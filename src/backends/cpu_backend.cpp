@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 #include "codec/jpeg_decoder.h"
@@ -109,17 +110,20 @@ void CpuBackend::Worker(uint32_t worker) {
     // the stream turned out to be drained, the admission is retracted.
     telemetry::TraceContext trace;
     if (tracer != nullptr) trace = tracer->StartBatch();
-    const uint64_t fetch_start = telemetry_ ? telemetry::NowNs() : 0;
-    std::vector<OwnedSample> samples = PullBatch();
+    std::vector<OwnedSample> samples;
+    uint64_t fetch_span = 0;
+    {
+      telemetry::StageTimer fetch(telemetry::Stage::kFetch);
+      samples = PullBatch();
+      if (!samples.empty() && telemetry_ != nullptr) {
+        fetch_span =
+            telemetry_->RecordTimed(fetch, samples.size(), trace,
+                                    telemetry::Subsystem::kBackend, worker);
+      }
+    }
     if (samples.empty()) {
       if (tracer != nullptr) tracer->AbandonBatch(trace);
       break;
-    }
-    uint64_t fetch_span = 0;
-    if (telemetry_ != nullptr) {
-      fetch_span = telemetry_->RecordSpan(
-          telemetry::Stage::kFetch, fetch_start, telemetry::NowNs(),
-          samples.size(), trace, telemetry::Subsystem::kBackend, worker);
     }
     if (events != nullptr) {
       events->Log(telemetry::EventType::kBatchAdmitted, trace.batch_id,
@@ -130,9 +134,16 @@ void CpuBackend::Worker(uint32_t worker) {
 
     // Batch assembly time splits into per-image decode/resize spans plus a
     // collect span for the staging remainder (allocation, memcpy, metadata).
+    // The whole assembly runs under a collect stage tag (popped before the
+    // dispatch push), so sampled stacks read "collect;decode" /
+    // "collect;resize" while inside the kernels.
+    std::optional<prof::ScopedStageTag> collect_tag;
+    collect_tag.emplace(static_cast<int>(telemetry::Stage::kCollect));
     const uint64_t assemble_start = telemetry_ ? telemetry::NowNs() : 0;
+    const uint64_t assemble_cpu0 = telemetry_ ? prof::ThreadCpuNs() : 0;
     uint64_t decode_ns = 0;
     uint64_t resize_ns = 0;
+    uint64_t staged_cpu_ns = 0;
 
     std::vector<uint8_t> storage(stride * samples.size());
     std::vector<BatchItem> items(samples.size());
@@ -157,41 +168,52 @@ void CpuBackend::Worker(uint32_t worker) {
         }
       }
       uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
-      auto decoded = jpeg::Decode(
-          ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()),
-          decode_opts);
+      uint64_t c0 = telemetry_ ? prof::ThreadCpuNs() : 0;
+      auto decoded = [&] {
+        prof::ScopedStageTag tag(static_cast<int>(telemetry::Stage::kDecode));
+        return jpeg::Decode(
+            ByteSpan(samples[i].bytes.data(), samples[i].bytes.size()),
+            decode_opts);
+      }();
       uint64_t decode_span = 0;
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
+        const uint64_t c1 = prof::ThreadCpuNs();
         decode_span = telemetry_->RecordSpan(
             telemetry::Stage::kDecode, t0, t1, 1, fetch_ctx,
-            telemetry::Subsystem::kBackend, worker);
+            telemetry::Subsystem::kBackend, worker, c1 - c0);
         decode_ns += t1 - t0;
+        staged_cpu_ns += c1 - c0;
       }
       if (!decoded.ok()) {
         record_failure(item, decoded.status().code(), trace.batch_id, i);
         continue;
       }
       t0 = telemetry_ ? telemetry::NowNs() : 0;
+      c0 = telemetry_ ? prof::ThreadCpuNs() : 0;
       Image& source = decoded.value().image;
       // Skip the residual resize when decode-to-scale landed exactly on the
       // output geometry — the same condition the FPGA resizer unit applies,
       // keeping the two backends byte-identical.
-      auto resized =
-          source.Width() == out.width && source.Height() == out.height
-              ? Result<Image>(std::move(source))
-              : (out.fit == FitMode::kCoverCrop
-                     ? ResizeCoverCrop(source, out.width, out.height,
-                                       ResizeFilter::kArea)
-                     : Resize(source, out.width, out.height,
-                              ResizeFilter::kArea));
+      auto resized = [&] {
+        prof::ScopedStageTag tag(static_cast<int>(telemetry::Stage::kResize));
+        return source.Width() == out.width && source.Height() == out.height
+                   ? Result<Image>(std::move(source))
+                   : (out.fit == FitMode::kCoverCrop
+                          ? ResizeCoverCrop(source, out.width, out.height,
+                                            ResizeFilter::kArea)
+                          : Resize(source, out.width, out.height,
+                                   ResizeFilter::kArea));
+      }();
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
+        const uint64_t c1 = prof::ThreadCpuNs();
         telemetry_->RecordSpan(
             telemetry::Stage::kResize, t0, t1, 1,
             decode_span != 0 ? trace.Child(decode_span) : trace,
-            telemetry::Subsystem::kBackend, worker);
+            telemetry::Subsystem::kBackend, worker, c1 - c0);
         resize_ns += t1 - t0;
+        staged_cpu_ns += c1 - c0;
       }
       if (!resized.ok()) {
         record_failure(item, resized.status().code(), trace.batch_id, i);
@@ -213,23 +235,29 @@ void CpuBackend::Worker(uint32_t worker) {
       item.ok = true;
       decoded_.Add();
     }
-    if (telemetry_ != nullptr) {
-      const uint64_t busy = telemetry::NowNs() - assemble_start;
-      const uint64_t stage_ns = decode_ns + resize_ns;
-      const uint64_t overhead = busy > stage_ns ? busy - stage_ns : 0;
-      telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
-                             assemble_start + overhead, samples.size(), trace,
-                             telemetry::Subsystem::kBackend, worker);
-    }
     auto batch =
         std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
     batch->SetTrace(trace);
-    const uint64_t dispatch_start = telemetry_ ? telemetry::NowNs() : 0;
+    if (telemetry_ != nullptr) {
+      // The collect span carries the assembly *overhead* (everything but the
+      // per-image kernel spans), both in wall and on-CPU terms.
+      const uint64_t busy = telemetry::NowNs() - assemble_start;
+      const uint64_t assemble_cpu = prof::ThreadCpuNs() - assemble_cpu0;
+      const uint64_t stage_ns = decode_ns + resize_ns;
+      const uint64_t overhead = busy > stage_ns ? busy - stage_ns : 0;
+      const uint64_t overhead_cpu =
+          assemble_cpu > staged_cpu_ns ? assemble_cpu - staged_cpu_ns : 0;
+      telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
+                             assemble_start + overhead, samples.size(), trace,
+                             telemetry::Subsystem::kBackend, worker,
+                             overhead_cpu);
+    }
+    collect_tag.reset();
+    telemetry::StageTimer dispatch_timer(telemetry::Stage::kDispatch);
     const bool pushed = out_queue_.Push(std::move(batch)).ok();
     if (telemetry_ != nullptr) {
-      telemetry_->RecordSpan(telemetry::Stage::kDispatch, dispatch_start,
-                             telemetry::NowNs(), samples.size(), trace,
-                             telemetry::Subsystem::kBackend, worker);
+      telemetry_->RecordTimed(dispatch_timer, samples.size(), trace,
+                              telemetry::Subsystem::kBackend, worker);
       if (events != nullptr) {
         events->Log(pushed ? telemetry::EventType::kBatchDispatched
                            : telemetry::EventType::kBatchDropped,

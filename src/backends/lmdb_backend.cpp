@@ -1,6 +1,7 @@
 #include "backends/lmdb_backend.h"
 
 #include <cstring>
+#include <optional>
 
 #include "common/log.h"
 #include "image/resize.h"
@@ -72,8 +73,14 @@ void LmdbBackend::Worker(uint32_t worker) {
                   worker);
     }
 
+    // Assembly runs under a collect stage tag; per-item sections push their
+    // own tag on top, so sampled stacks read "collect;fetch" etc.
+    std::optional<prof::ScopedStageTag> collect_tag;
+    collect_tag.emplace(static_cast<int>(telemetry::Stage::kCollect));
     const uint64_t assemble_start = telemetry_ ? telemetry::NowNs() : 0;
+    const uint64_t assemble_cpu0 = telemetry_ ? prof::ThreadCpuNs() : 0;
     uint64_t staged_ns = 0;  // fetch + decode + resize, netted out of collect
+    uint64_t staged_cpu_ns = 0;
 
     std::vector<uint8_t> storage(stride * indices.size());
     std::vector<BatchItem> items(indices.size());
@@ -85,14 +92,20 @@ void LmdbBackend::Worker(uint32_t worker) {
       // Shared reader path — this Get is where multi-engine contention
       // happens (shared_mutex + chained page walks).
       uint64_t t0 = telemetry_ ? telemetry::NowNs() : 0;
-      auto value = db_->Get(rec.name);
+      uint64_t c0 = telemetry_ ? prof::ThreadCpuNs() : 0;
+      auto value = [&] {
+        prof::ScopedStageTag tag(static_cast<int>(telemetry::Stage::kFetch));
+        return db_->Get(rec.name);
+      }();
       uint64_t fetch_span = 0;
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
+        const uint64_t c1 = prof::ThreadCpuNs();
         fetch_span = telemetry_->RecordSpan(
             telemetry::Stage::kFetch, t0, t1, 1, trace,
-            telemetry::Subsystem::kBackend, worker);
+            telemetry::Subsystem::kBackend, worker, c1 - c0);
         staged_ns += t1 - t0;
+        staged_cpu_ns += c1 - c0;
       }
       if (!value.ok()) {
         failures_.Add();
@@ -100,15 +113,21 @@ void LmdbBackend::Worker(uint32_t worker) {
       }
       // "Decode" here is datum deserialisation: the DB stores pixels.
       t0 = telemetry_ ? telemetry::NowNs() : 0;
-      auto datum = db::DecodeDatum(value.value());
+      c0 = telemetry_ ? prof::ThreadCpuNs() : 0;
+      auto datum = [&] {
+        prof::ScopedStageTag tag(static_cast<int>(telemetry::Stage::kDecode));
+        return db::DecodeDatum(value.value());
+      }();
       uint64_t decode_span = 0;
       if (telemetry_ != nullptr) {
         const uint64_t t1 = telemetry::NowNs();
+        const uint64_t c1 = prof::ThreadCpuNs();
         decode_span = telemetry_->RecordSpan(
             telemetry::Stage::kDecode, t0, t1, 1,
             fetch_span != 0 ? trace.Child(fetch_span) : trace,
-            telemetry::Subsystem::kBackend, worker);
+            telemetry::Subsystem::kBackend, worker, c1 - c0);
         staged_ns += t1 - t0;
+        staged_cpu_ns += c1 - c0;
       }
       if (!datum.ok()) {
         failures_.Add();
@@ -117,18 +136,25 @@ void LmdbBackend::Worker(uint32_t worker) {
       Image img = std::move(datum.value().second);
       if (img.Width() != out.width || img.Height() != out.height) {
         t0 = telemetry_ ? telemetry::NowNs() : 0;
-        auto resized =
-            out.fit == FitMode::kCoverCrop
-                ? ResizeCoverCrop(img, out.width, out.height,
-                                  ResizeFilter::kBilinear)
-                : Resize(img, out.width, out.height, ResizeFilter::kBilinear);
+        c0 = telemetry_ ? prof::ThreadCpuNs() : 0;
+        auto resized = [&] {
+          prof::ScopedStageTag tag(
+              static_cast<int>(telemetry::Stage::kResize));
+          return out.fit == FitMode::kCoverCrop
+                     ? ResizeCoverCrop(img, out.width, out.height,
+                                       ResizeFilter::kBilinear)
+                     : Resize(img, out.width, out.height,
+                              ResizeFilter::kBilinear);
+        }();
         if (telemetry_ != nullptr) {
           const uint64_t t1 = telemetry::NowNs();
+          const uint64_t c1 = prof::ThreadCpuNs();
           telemetry_->RecordSpan(
               telemetry::Stage::kResize, t0, t1, 1,
               decode_span != 0 ? trace.Child(decode_span) : trace,
-              telemetry::Subsystem::kBackend, worker);
+              telemetry::Subsystem::kBackend, worker, c1 - c0);
           staged_ns += t1 - t0;
+          staged_cpu_ns += c1 - c0;
         }
         if (!resized.ok()) {
           failures_.Add();
@@ -148,22 +174,26 @@ void LmdbBackend::Worker(uint32_t worker) {
       item.ok = true;
       served_.Add();
     }
-    if (telemetry_ != nullptr) {
-      const uint64_t busy = telemetry::NowNs() - assemble_start;
-      const uint64_t overhead = busy > staged_ns ? busy - staged_ns : 0;
-      telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
-                             assemble_start + overhead, indices.size(), trace,
-                             telemetry::Subsystem::kBackend, worker);
-    }
     auto batch =
         std::make_unique<PreprocessBatch>(std::move(items), std::move(storage));
     batch->SetTrace(trace);
-    const uint64_t dispatch_start = telemetry_ ? telemetry::NowNs() : 0;
+    if (telemetry_ != nullptr) {
+      const uint64_t busy = telemetry::NowNs() - assemble_start;
+      const uint64_t assemble_cpu = prof::ThreadCpuNs() - assemble_cpu0;
+      const uint64_t overhead = busy > staged_ns ? busy - staged_ns : 0;
+      const uint64_t overhead_cpu =
+          assemble_cpu > staged_cpu_ns ? assemble_cpu - staged_cpu_ns : 0;
+      telemetry_->RecordSpan(telemetry::Stage::kCollect, assemble_start,
+                             assemble_start + overhead, indices.size(), trace,
+                             telemetry::Subsystem::kBackend, worker,
+                             overhead_cpu);
+    }
+    collect_tag.reset();
+    telemetry::StageTimer dispatch_timer(telemetry::Stage::kDispatch);
     const bool pushed = out_queue_.Push(std::move(batch)).ok();
     if (telemetry_ != nullptr) {
-      telemetry_->RecordSpan(telemetry::Stage::kDispatch, dispatch_start,
-                             telemetry::NowNs(), indices.size(), trace,
-                             telemetry::Subsystem::kBackend, worker);
+      telemetry_->RecordTimed(dispatch_timer, indices.size(), trace,
+                              telemetry::Subsystem::kBackend, worker);
       if (events != nullptr) {
         events->Log(pushed ? telemetry::EventType::kBatchDispatched
                            : telemetry::EventType::kBatchDropped,

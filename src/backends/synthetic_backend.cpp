@@ -35,14 +35,13 @@ Result<BatchPtr> SyntheticBackend::NextBatch(int /*engine*/) {
       telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
   telemetry::TraceContext trace;
   if (tracer != nullptr) trace = tracer->StartBatch();
-  const uint64_t t0 = telemetry_ != nullptr ? telemetry::NowNs() : 0;
+  telemetry::StageTimer collect_timer(telemetry::Stage::kCollect);
   auto batch =
       std::make_unique<PreprocessBatch>(items_, pixels_.data(), nullptr);
   batch->SetTrace(trace);
   if (telemetry_ != nullptr) {
-    telemetry_->RecordSpan(telemetry::Stage::kCollect, t0, telemetry::NowNs(),
-                           items_.size(), trace,
-                           telemetry::Subsystem::kBackend);
+    telemetry_->RecordTimed(collect_timer, items_.size(), trace,
+                            telemetry::Subsystem::kBackend);
   }
   return batch;
 }

@@ -1,0 +1,272 @@
+#include "common/benchdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace dlb::benchdiff {
+
+namespace {
+
+bool Contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// True if the final path segment is exactly "pass" (e.g. "gate.pass").
+bool IsPassFlag(const std::string& metric) {
+  const size_t dot = metric.rfind('.');
+  const std::string leaf =
+      dot == std::string::npos ? metric : metric.substr(dot + 1);
+  return leaf == "pass";
+}
+
+double Better(Direction direction, double a, double b) {
+  switch (direction) {
+    case Direction::kLowerBetter:
+      return std::min(a, b);
+    case Direction::kHigherBetter:
+    case Direction::kRatio:
+    case Direction::kPassFlag:
+      return std::max(a, b);
+    case Direction::kInfo:
+      return a;  // keep the first run's value
+  }
+  return a;
+}
+
+std::string FormatNumber(double v) {
+  std::ostringstream os;
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    os << static_cast<int64_t>(v);
+  } else {
+    os.precision(4);
+    os << v;
+  }
+  return os.str();
+}
+
+std::string FormatPct(double rel) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << (rel >= 0 ? "+" : "") << rel * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace
+
+Direction Classify(const std::string& metric) {
+  if (IsPassFlag(metric)) return Direction::kPassFlag;
+  if (Contains(metric, "ratio") || Contains(metric, "speedup") ||
+      Contains(metric, "utilization") || Contains(metric, "hit_rate")) {
+    return Direction::kRatio;
+  }
+  if (Contains(metric, "img_s") || Contains(metric, "_per_s") ||
+      Contains(metric, "throughput") || Contains(metric, "mb_s")) {
+    return Direction::kHigherBetter;
+  }
+  if (Contains(metric, "_ns") || Contains(metric, "_us") ||
+      Contains(metric, "_ms") || Contains(metric, "latency") ||
+      Contains(metric, "seconds")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kInfo;
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kMissing: return "MISSING";
+    case Verdict::kNew: return "new";
+  }
+  return "?";
+}
+
+Result<BenchSet> LoadDir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return NotFound("bench dir not found: " + dir);
+  }
+  BenchSet set;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || entry.path().extension() != ".json") {
+      continue;
+    }
+    const std::string label = name.substr(6, name.size() - 6 - 5);
+    if (label == "all") continue;  // the run manifest, not a bench
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto parsed = json::Parse(buf.str());
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    name + ": " + parsed.status().message());
+    }
+    set[label] = json::FlattenNumbers(parsed.value());
+  }
+  if (set.empty()) {
+    return NotFound("no BENCH_*.json files in " + dir);
+  }
+  return set;
+}
+
+BenchSet MergeBest(const std::vector<BenchSet>& runs) {
+  BenchSet merged;
+  for (const BenchSet& run : runs) {
+    for (const auto& [label, metrics] : run) {
+      auto& out = merged[label];
+      for (const auto& [metric, value] : metrics) {
+        auto it = out.find(metric);
+        if (it == out.end()) {
+          out[metric] = value;
+        } else {
+          it->second = Better(Classify(metric), it->second, value);
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+DiffReport Diff(const BenchSet& baseline, const BenchSet& candidate,
+                const Thresholds& thresholds, Gate gate) {
+  DiffReport report;
+  for (const auto& [label, base_metrics] : baseline) {
+    const auto cand_label = candidate.find(label);
+    if (cand_label == candidate.end()) {
+      MetricDiff d;
+      d.label = label;
+      d.metric = "*";
+      d.verdict = Verdict::kMissing;
+      d.gated = !thresholds.allow_missing;
+      if (d.gated) ++report.regressions;
+      report.diffs.push_back(std::move(d));
+      continue;
+    }
+    for (const auto& [metric, base_value] : base_metrics) {
+      MetricDiff d;
+      d.label = label;
+      d.metric = metric;
+      d.direction = Classify(metric);
+      d.baseline = base_value;
+      const auto cand_metric = cand_label->second.find(metric);
+      if (cand_metric == cand_label->second.end()) {
+        d.verdict = Verdict::kMissing;
+        d.gated =
+            !thresholds.allow_missing && d.direction != Direction::kInfo;
+        if (d.gated) ++report.regressions;
+        report.diffs.push_back(std::move(d));
+        continue;
+      }
+      d.candidate = cand_metric->second;
+      const double delta = d.candidate - d.baseline;
+      d.delta_rel =
+          d.baseline != 0.0
+              ? delta / std::abs(d.baseline)
+              : (delta == 0.0 ? 0.0 : std::copysign(1e9, delta));
+
+      const bool gateable =
+          d.direction == Direction::kPassFlag ||
+          d.direction == Direction::kRatio ||
+          (gate == Gate::kAll && (d.direction == Direction::kHigherBetter ||
+                                  d.direction == Direction::kLowerBetter));
+      if (d.direction == Direction::kPassFlag) {
+        // Strict: a pass-flag flip ignores thresholds entirely.
+        if (d.baseline >= 0.5 && d.candidate < 0.5) {
+          d.verdict = Verdict::kRegressed;
+        } else if (d.baseline < 0.5 && d.candidate >= 0.5) {
+          d.verdict = Verdict::kImproved;
+        }
+      } else if (d.direction != Direction::kInfo &&
+                 std::abs(delta) > thresholds.abs) {
+        const double threshold = d.direction == Direction::kRatio
+                                     ? thresholds.ratio_rel
+                                     : thresholds.rel;
+        const double worse_rel = d.direction == Direction::kLowerBetter
+                                     ? d.delta_rel
+                                     : -d.delta_rel;
+        if (worse_rel > threshold) {
+          d.verdict = Verdict::kRegressed;
+        } else if (-worse_rel > threshold) {
+          d.verdict = Verdict::kImproved;
+        }
+      }
+      d.gated = gateable && d.verdict == Verdict::kRegressed;
+      if (d.gated) ++report.regressions;
+      if (d.verdict == Verdict::kImproved) ++report.improvements;
+      report.diffs.push_back(std::move(d));
+    }
+    // Candidate-only metrics within a shared label: informational.
+    for (const auto& [metric, value] : cand_label->second) {
+      if (base_metrics.count(metric) != 0) continue;
+      MetricDiff d;
+      d.label = label;
+      d.metric = metric;
+      d.direction = Classify(metric);
+      d.candidate = value;
+      d.verdict = Verdict::kNew;
+      report.diffs.push_back(std::move(d));
+    }
+  }
+  for (const auto& [label, metrics] : candidate) {
+    if (baseline.count(label) != 0) continue;
+    MetricDiff d;
+    d.label = label;
+    d.metric = "*";
+    d.verdict = Verdict::kNew;
+    report.diffs.push_back(std::move(d));
+    (void)metrics;
+  }
+  std::stable_sort(report.diffs.begin(), report.diffs.end(),
+                   [](const MetricDiff& a, const MetricDiff& b) {
+                     if (a.gated != b.gated) return a.gated;
+                     if (a.label != b.label) return a.label < b.label;
+                     return a.metric < b.metric;
+                   });
+  return report;
+}
+
+std::string DiffReport::Markdown() const {
+  std::ostringstream os;
+  if (regressions > 0) {
+    os << "## ❌ bench diff: " << regressions << " regression"
+       << (regressions == 1 ? "" : "s") << "\n\n";
+  } else {
+    os << "## ✅ bench diff: no regressions";
+    if (improvements > 0) {
+      os << " (" << improvements << " improvement"
+         << (improvements == 1 ? "" : "s") << ")";
+    }
+    os << "\n\n";
+  }
+  os << "| bench | metric | baseline | candidate | delta | verdict |\n"
+     << "|---|---|---:|---:|---:|---|\n";
+  for (const MetricDiff& d : diffs) {
+    // Keep the table focused: skip unchanged informational rows.
+    if (d.verdict == Verdict::kOk && d.direction == Direction::kInfo) {
+      continue;
+    }
+    os << "| " << d.label << " | " << d.metric << " | "
+       << (d.verdict == Verdict::kNew ? "—" : FormatNumber(d.baseline))
+       << " | "
+       << (d.verdict == Verdict::kMissing ? "—" : FormatNumber(d.candidate))
+       << " | ";
+    if (d.verdict == Verdict::kMissing || d.verdict == Verdict::kNew) {
+      os << "—";
+    } else {
+      os << FormatPct(d.delta_rel);
+    }
+    os << " | " << VerdictName(d.verdict) << (d.gated ? " (gated)" : "")
+       << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace dlb::benchdiff

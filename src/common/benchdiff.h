@@ -1,0 +1,100 @@
+// Bench-result diffing: the performance-regression plane's core.
+//
+// Benches emit BENCH_<label>.json (bench/run_benches.sh collects them); this
+// library loads two such sets — a committed baseline and a fresh run —
+// flattens every numeric leaf to a dotted-path metric, classifies each
+// metric by its name, and reports which moved beyond noise thresholds.
+//
+// Classification is heuristic but closed over this repo's bench schema:
+//
+//   pass-flag   *.pass booleans — a true→false flip is always a regression
+//   ratio       "ratio"/"speedup"/"utilization"/"hit_rate" — dimensionless,
+//               machine-independent, so CI can gate on them across runner
+//               generations (--gate ratio, the CI default)
+//   throughput  "img_s"/"_per_s"/"throughput"/"mb_s" — higher is better
+//   latency     "_ns"/"_us"/"_ms"/"latency"/"seconds" — lower is better
+//   info        everything else — reported, never gated
+//
+// Absolute-unit metrics (throughput, latency) are only gated with
+// --gate all, for same-machine comparisons; committed baselines come from a
+// different box than CI runners, so CI gates on the dimensionless classes.
+// Noise handling: best-of-N (MergeBest over several candidate runs) plus a
+// relative threshold per class and an absolute floor under which deltas are
+// ignored.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlb::benchdiff {
+
+enum class Direction {
+  kHigherBetter,  // throughput
+  kLowerBetter,   // latency / wall time
+  kRatio,         // dimensionless, higher better, loose threshold
+  kPassFlag,      // boolean gate emitted by a self-gating bench
+  kInfo,          // never gated (counts, sizes, config echoes)
+};
+
+/// Metric class from its dotted path (see header comment).
+Direction Classify(const std::string& metric);
+
+enum class Gate {
+  kRatioOnly,  // gate pass-flags + ratio metrics (cross-machine safe)
+  kAll,        // additionally gate throughput/latency (same-machine runs)
+};
+
+struct Thresholds {
+  double rel = 0.25;        // flag throughput/latency moves beyond ±25%
+  double ratio_rel = 0.30;  // ratios are noisier relative to their size
+  double abs = 1e-9;        // ignore |delta| below this, whatever the class
+  bool allow_missing = false;  // missing labels/metrics don't fail the gate
+};
+
+enum class Verdict { kOk, kImproved, kRegressed, kMissing, kNew };
+
+const char* VerdictName(Verdict verdict);
+
+struct MetricDiff {
+  std::string label;   // bench label (BENCH_<label>.json)
+  std::string metric;  // dotted path within the file
+  Direction direction = Direction::kInfo;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta_rel = 0.0;  // (candidate - baseline) / |baseline|
+  Verdict verdict = Verdict::kOk;
+  bool gated = false;  // counted toward the exit code
+};
+
+struct DiffReport {
+  std::vector<MetricDiff> diffs;  // regressions first, then by label/metric
+  int regressions = 0;  // gated kRegressed (+ kMissing unless allowed)
+  int improvements = 0;
+
+  bool HasRegressions() const { return regressions > 0; }
+  /// Human-facing markdown: summary line + a table of every gated metric
+  /// and every non-gated metric that moved.
+  std::string Markdown() const;
+};
+
+/// label -> (metric path -> value).
+using BenchSet = std::map<std::string, std::map<std::string, double>>;
+
+/// Load every BENCH_<label>.json in `dir` (BENCH_all.json, the manifest, is
+/// skipped). Fails if the directory is missing or a file does not parse.
+Result<BenchSet> LoadDir(const std::string& dir);
+
+/// Best-of-N merge: per metric, keep the most favourable value across runs
+/// (min for latency, max for throughput/ratio/pass; first seen for info).
+BenchSet MergeBest(const std::vector<BenchSet>& runs);
+
+/// Compare candidate against baseline. Labels/metrics present only in the
+/// candidate report as kNew (never gated); present only in the baseline as
+/// kMissing (gated unless thresholds.allow_missing).
+DiffReport Diff(const BenchSet& baseline, const BenchSet& candidate,
+                const Thresholds& thresholds = {}, Gate gate = Gate::kRatioOnly);
+
+}  // namespace dlb::benchdiff

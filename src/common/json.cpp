@@ -1,0 +1,247 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dlb::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<ValuePtr> Run() {
+    SkipWs();
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return CorruptData("json: " + what + " at offset " +
+                       std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ValuePtr> ParseValue() {
+    if (depth_ > 64) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      auto v = Value::Make(Kind::kString);
+      v->str = std::move(s).value();
+      return v;
+    }
+    if (ConsumeWord("true")) {
+      auto v = Value::Make(Kind::kBool);
+      v->boolean = true;
+      return v;
+    }
+    if (ConsumeWord("false")) return Value::Make(Kind::kBool);
+    if (ConsumeWord("null")) return Value::Make(Kind::kNull);
+    return ParseNumber();
+  }
+
+  Result<ValuePtr> ParseObject() {
+    ++depth_;
+    ++pos_;  // '{'
+    auto v = Value::Make(Kind::kObject);
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      auto member = ParseValue();
+      if (!member.ok()) return member;
+      if (v->object.emplace(key.value(), member.value()).second) {
+        v->keys.push_back(key.value());
+      }
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}'");
+    }
+    --depth_;
+    return v;
+  }
+
+  Result<ValuePtr> ParseArray() {
+    ++depth_;
+    ++pos_;  // '['
+    auto v = Value::Make(Kind::kArray);
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      SkipWs();
+      auto element = ParseValue();
+      if (!element.ok()) return element;
+      v->array.push_back(element.value());
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']'");
+    }
+    --depth_;
+    return v;
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          const unsigned long cp =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // UTF-8 encode the BMP code point; surrogate pairs are out of
+          // scope for metric files and pass through as two 3-byte units.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<ValuePtr> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    auto v = Value::Make(Kind::kNumber);
+    v->number = d;
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void FlattenInto(const ValuePtr& value, const std::string& prefix,
+                 std::map<std::string, double>& out) {
+  if (value == nullptr) return;
+  switch (value->kind()) {
+    case Kind::kNumber:
+      out[prefix] = value->number;
+      break;
+    case Kind::kBool:
+      out[prefix] = value->boolean ? 1.0 : 0.0;
+      break;
+    case Kind::kObject:
+      for (const std::string& key : value->keys) {
+        FlattenInto(value->Get(key),
+                    prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case Kind::kArray:
+      for (size_t i = 0; i < value->array.size(); ++i) {
+        const std::string seg = std::to_string(i);
+        FlattenInto(value->array[i],
+                    prefix.empty() ? seg : prefix + "." + seg, out);
+      }
+      break;
+    case Kind::kString:
+    case Kind::kNull:
+      break;
+  }
+}
+
+}  // namespace
+
+Result<ValuePtr> Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+std::map<std::string, double> FlattenNumbers(const ValuePtr& value) {
+  std::map<std::string, double> out;
+  FlattenInto(value, "", out);
+  return out;
+}
+
+}  // namespace dlb::json

@@ -1,0 +1,68 @@
+// A small recursive-descent JSON reader for tooling (benchdiff, tests).
+//
+// This is deliberately not a general-purpose JSON library: the repo's data
+// interchange is the bench `--json` output and the monitor endpoints, all of
+// which this code produces itself. It parses the full JSON grammar (objects,
+// arrays, strings with escapes, numbers, booleans, null) into a Value tree,
+// and offers FlattenNumbers() — the projection benchdiff runs on: every
+// numeric leaf keyed by its dotted path ("scaled.img_s", "gate.pass").
+// Booleans flatten as 0/1 so pass/fail gates diff like any other metric.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlb::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Kind kind() const { return kind_; }
+  bool IsNumber() const { return kind_ == Kind::kNumber; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+
+  double number = 0.0;
+  bool boolean = false;
+  std::string str;
+  std::vector<ValuePtr> array;
+  // Insertion-ordered keys alongside the map keep object iteration stable.
+  std::map<std::string, ValuePtr> object;
+  std::vector<std::string> keys;
+
+  static ValuePtr Make(Kind kind) {
+    auto v = std::make_shared<Value>();
+    v->kind_ = kind;
+    return v;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  ValuePtr Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+};
+
+/// Parse one JSON document (surrounding whitespace allowed, trailing junk
+/// rejected).
+Result<ValuePtr> Parse(const std::string& text);
+
+/// Every numeric leaf of `value`, keyed by dotted path. Booleans map to
+/// 0/1; array elements use their index as the path segment ("runs.0.ms").
+/// Strings and nulls are skipped.
+std::map<std::string, double> FlattenNumbers(const ValuePtr& value);
+
+}  // namespace dlb::json

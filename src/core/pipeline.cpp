@@ -4,11 +4,13 @@
 #include "backends/cpu_backend.h"
 #include "backends/lmdb_backend.h"
 #include "backends/synthetic_backend.h"
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
 #include "common/log.h"
 #include "telemetry/exposition.h"
+#include "telemetry/profiler.h"
 #include "telemetry/trace_exporter.h"
 
 namespace dlb::core {
@@ -53,7 +55,7 @@ Result<BatchPtr> Pipeline::NextBatch(int engine) {
   // the pipeline-is-the-bottleneck signal. Recorded with the batch's trace
   // context, then the batch's root span is closed: consume is the last
   // stage of the tree.
-  const uint64_t consume_start = telemetry::NowNs();
+  telemetry::StageTimer consume_timer(telemetry::Stage::kConsume);
   auto batch = backend_->NextBatch(engine);
   if (!batch.ok()) {
     return batch.status();
@@ -61,10 +63,9 @@ Result<BatchPtr> Pipeline::NextBatch(int engine) {
   const size_t size = batch.value()->Size();
   const size_t ok = batch.value()->OkCount();
   const telemetry::TraceContext trace = batch.value()->Trace();
-  telemetry_->RecordSpan(telemetry::Stage::kConsume, consume_start,
-                         telemetry::NowNs(), size, trace,
-                         telemetry::Subsystem::kCore,
-                         static_cast<uint32_t>(engine));
+  telemetry_->RecordTimed(consume_timer, size, trace,
+                          telemetry::Subsystem::kCore,
+                          static_cast<uint32_t>(engine));
   if (trace.Enabled()) {
     if (telemetry::Tracer* tracer = telemetry_->tracer()) {
       tracer->EndBatch(trace, size);
@@ -152,6 +153,7 @@ std::string Pipeline::StatsJson() const {
     first = false;
     os << "{\"stage\":\"" << s.name << "\",\"ops\":" << s.ops
        << ",\"items\":" << s.items << ",\"busy_ns\":" << s.busy_ns
+       << ",\"cpu_ns\":" << s.cpu_ns << ",\"wait_ns\":" << s.wait_ns
        << ",\"mean_ns\":" << s.mean_ns << ",\"p50_ns\":" << s.p50_ns
        << ",\"p95_ns\":" << s.p95_ns << ",\"p99_ns\":" << s.p99_ns
        << ",\"max_ns\":" << s.max_ns << "}";
@@ -395,6 +397,46 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
           }
           return telemetry::HttpResponse{200, "application/x-ndjson",
                                          std::move(body)};
+        });
+    pipeline->monitor_->AddHandler(
+        "/profile", [p](const telemetry::HttpRequest& request) {
+          // Sampling profile over a bounded window. The monitor poll loop
+          // is single-threaded, so collection blocks other endpoints for
+          // the window — hence the 30 s ceiling. ?seconds=N or ?ms=N pick
+          // the window (default 2 s), ?hz=N the tick rate, ?format=json
+          // the full report (default: collapsed stacks for flamegraph.pl).
+          uint64_t window_ms = 2000;
+          const size_t sec = request.query.find("seconds=");
+          if (sec != std::string::npos) {
+            window_ms = 1000 * std::strtoull(
+                                   request.query.c_str() + sec + 8, nullptr,
+                                   10);
+          }
+          const size_t ms = request.query.find("ms=");
+          // "ms=" also matches inside "seconds=...&ms=..."; a bare prefix
+          // match is fine — the last spelled knob wins via this ordering.
+          if (ms != std::string::npos &&
+              (ms == 0 || request.query[ms - 1] == '&' ||
+               request.query[ms - 1] == '?')) {
+            window_ms =
+                std::strtoull(request.query.c_str() + ms + 3, nullptr, 10);
+          }
+          window_ms = std::clamp<uint64_t>(window_ms, 10, 30'000);
+          prof::ProfilerOptions opts;
+          const size_t hz = request.query.find("hz=");
+          if (hz != std::string::npos) {
+            const uint64_t rate =
+                std::strtoull(request.query.c_str() + hz + 3, nullptr, 10);
+            if (rate > 0) opts.interval_us = 1'000'000 / rate;
+          }
+          const auto report = prof::Profiler::ProfileFor(
+              window_ms, opts, &p->telemetry_->Registry());
+          if (request.query.find("format=json") != std::string::npos) {
+            return telemetry::HttpResponse{200, "application/json",
+                                           report.Json()};
+          }
+          return telemetry::HttpResponse{200, "text/plain; charset=utf-8",
+                                         report.Collapsed()};
         });
     pipeline->monitor_->AddHandler(
         "/healthz", [p](const telemetry::HttpRequest&) {

@@ -7,6 +7,7 @@
 #include "codec/jpeg_decoder.h"
 #include "common/log.h"
 #include "telemetry/event_log.h"
+#include "telemetry/stage_tag.h"
 
 namespace dlb::fpga {
 
@@ -204,6 +205,9 @@ void FpgaDevice::Complete(const FpgaCmd& cmd, Status status, int w, int h,
 }
 
 void FpgaDevice::HuffmanWorker(uint32_t way) {
+  // Whole-loop stage tag: FIFO waits sample as decode wait, compute as
+  // decode cpu — per-unit queue starvation shows up in /profile directly.
+  prof::ScopedStageTag tag(static_cast<int>(telemetry::Stage::kDecode));
   bool quarantined = false;
   while (auto cmd = cmd_fifo_.Pop()) {
     MaybeSpike();
@@ -291,6 +295,7 @@ void FpgaDevice::HuffmanWorker(uint32_t way) {
 }
 
 void FpgaDevice::IdctWorker(uint32_t way) {
+  prof::ScopedStageTag tag(static_cast<int>(telemetry::Stage::kDecode));
   bool quarantined = false;
   while (auto item = huffman_out_.Pop()) {
     // A quarantined iDCT way keeps draining its queue — in the emulation
@@ -330,6 +335,7 @@ void FpgaDevice::IdctWorker(uint32_t way) {
 }
 
 void FpgaDevice::ResizerWorker(uint32_t way) {
+  prof::ScopedStageTag tag(static_cast<int>(telemetry::Stage::kResize));
   bool quarantined = false;
   while (auto item = idct_out_.Pop()) {
     quarantined = MaybeQuarantine(Unit::kResizer, way, quarantined);

@@ -92,8 +92,7 @@ void Dispatcher::Loop() {
     }
     DeviceBatch* dst = *device;
 
-    const uint64_t dispatch_start =
-        telemetry_ != nullptr ? telemetry::NowNs() : 0;
+    telemetry::StageTimer dispatch_timer(telemetry::Stage::kDispatch);
     size_t copied = 0;
 
     // The CudaMemcpyAsync + stream-sync pair of Algorithm 3, collapsed to
@@ -128,10 +127,9 @@ void Dispatcher::Loop() {
     const size_t batch_items = dst->items.size();
     Status pushed = engine->full_q.Push(dst);
     if (telemetry_ != nullptr) {
-      telemetry_->RecordSpan(telemetry::Stage::kDispatch, dispatch_start,
-                             telemetry::NowNs(), batch_items, trace,
-                             telemetry::Subsystem::kHostbridge,
-                             static_cast<uint32_t>(engine_idx));
+      telemetry_->RecordTimed(dispatch_timer, batch_items, trace,
+                              telemetry::Subsystem::kHostbridge,
+                              static_cast<uint32_t>(engine_idx));
       telemetry_->Registry()
           .GetCounter("dispatcher.bytes_copied")
           ->Add(copied);

@@ -331,15 +331,17 @@ void FpgaReader::Loop() {
       // Fetch span covers only the collector pull, not the device submit.
       // Recorded manually (not ScopedSpan) because the decode command it
       // causes must parent to this span's id.
-      const uint64_t fetch_start =
-          telemetry_ != nullptr ? telemetry::NowNs() : 0;
-      auto file = collector_->Next();
       uint64_t fetch_span = 0;
-      if (telemetry_ != nullptr && file.ok()) {
-        fetch_span = telemetry_->RecordSpan(
-            telemetry::Stage::kFetch, fetch_start, telemetry::NowNs(), 1,
-            state->trace, telemetry::Subsystem::kHostbridge);
-      }
+      auto file = [&] {
+        telemetry::StageTimer fetch_timer(telemetry::Stage::kFetch);
+        auto pulled = collector_->Next();
+        if (telemetry_ != nullptr && pulled.ok()) {
+          fetch_span =
+              telemetry_->RecordTimed(fetch_timer, 1, state->trace,
+                                      telemetry::Subsystem::kHostbridge);
+        }
+        return pulled;
+      }();
       if (!file.ok()) {
         source_exhausted = true;
         break;

@@ -1,0 +1,364 @@
+#include "telemetry/profiler.h"
+
+#include <pthread.h>
+#include <time.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/telemetry.h"
+
+namespace dlb::prof {
+
+namespace {
+
+uint64_t ClockNs(clockid_t clock) {
+  timespec ts{};
+  if (clock_gettime(clock, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+/// Stage-tag rendering: the canonical stage names, "untagged" for a thread
+/// outside any span, "tag<N>" for out-of-taxonomy tags.
+std::string TagName(int tag) {
+  if (tag < 0) return "untagged";
+  if (tag < telemetry::kNumStages) {
+    return telemetry::StageName(static_cast<telemetry::Stage>(tag));
+  }
+  return "tag" + std::to_string(tag);
+}
+
+/// Unpack a stack key (one byte per frame, stage+1, deepest frame in the
+/// low byte) back into "outer;inner" text.
+std::string UnpackStack(uint64_t key) {
+  uint8_t frames[kMaxTagDepth];
+  int depth = 0;
+  while (key != 0 && depth < kMaxTagDepth) {
+    frames[depth++] = static_cast<uint8_t>(key & 0xff);
+    key >>= 8;
+  }
+  if (depth == 0) return "untagged";
+  std::string out;
+  for (int i = depth - 1; i >= 0; --i) {
+    if (!out.empty()) out += ';';
+    out += TagName(static_cast<int>(frames[i]) - 1);
+  }
+  return out;
+}
+
+/// Registers the calling thread on first tag push and marks it dead at
+/// thread exit. The registry is leaked, so this destructor is safe in any
+/// shutdown order.
+struct TlsHandle {
+  std::shared_ptr<ThreadState> state;
+  TlsHandle() : state(ThreadRegistry::Global().RegisterCurrentThread()) {}
+  ~TlsHandle() {
+    state->MarkDead();
+    ThreadRegistry::Global().Unregister(state.get());
+  }
+};
+
+ThreadState& Local() {
+  thread_local TlsHandle tls;
+  return *tls.state;
+}
+
+}  // namespace
+
+void PushStageTag(int stage) { Local().Push(stage); }
+void PopStageTag() { Local().Pop(); }
+
+uint64_t ThreadCpuNs() { return ClockNs(CLOCK_THREAD_CPUTIME_ID); }
+
+// ---------------------------------------------------------------------------
+// ThreadState
+
+ThreadState::ThreadState() {
+  has_clock_ = pthread_getcpuclockid(pthread_self(), &cpu_clock_) == 0;
+}
+
+void ThreadState::Push(int stage) {
+  const int32_t d = depth_.load(std::memory_order_relaxed);
+  if (d < 0 || d >= kMaxTagDepth) {
+    // Beyond the visible window: keep the depth balanced for the pops but
+    // leave the sampled stack untouched (no version bump needed — nothing
+    // a reader can see changes).
+    depth_.store(d + 1, std::memory_order_relaxed);
+    return;
+  }
+  // Seqlock write: odd version -> mutate -> even version. Readers retry on
+  // an odd or changed version, so they never observe a half-pushed stack.
+  version_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  const int clamped = stage < 0 ? 0 : (stage > 254 ? 254 : stage);
+  stack_[d].store(static_cast<uint8_t>(clamped), std::memory_order_relaxed);
+  depth_.store(d + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+void ThreadState::Pop() {
+  const int32_t d = depth_.load(std::memory_order_relaxed);
+  if (d <= 0) return;  // unbalanced pop: ignore rather than corrupt
+  if (d > kMaxTagDepth) {
+    depth_.store(d - 1, std::memory_order_relaxed);
+    return;
+  }
+  version_.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  depth_.store(d - 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+int ThreadState::ReadStack(uint8_t (&out)[kMaxTagDepth]) const {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint32_t before = version_.load(std::memory_order_acquire);
+    if (before & 1) continue;  // mutation in flight
+    int32_t d = depth_.load(std::memory_order_relaxed);
+    if (d < 0) d = 0;
+    if (d > kMaxTagDepth) d = kMaxTagDepth;
+    for (int i = 0; i < d; ++i) {
+      out[i] = stack_[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version_.load(std::memory_order_relaxed) == before) return d;
+  }
+  return -1;
+}
+
+uint64_t ThreadState::CpuNs() const {
+  if (!has_clock_) return 0;
+  return ClockNs(cpu_clock_);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadRegistry
+
+ThreadRegistry& ThreadRegistry::Global() {
+  // Leaked: thread-exit hooks and profilers may run at any shutdown stage.
+  static ThreadRegistry* registry = new ThreadRegistry();
+  return *registry;
+}
+
+std::shared_ptr<ThreadState> ThreadRegistry::RegisterCurrentThread() {
+  auto state = std::make_shared<ThreadState>();
+  std::scoped_lock lock(mu_);
+  state->id_ = next_id_++;
+  threads_.push_back(state);
+  return state;
+}
+
+void ThreadRegistry::Unregister(const ThreadState* state) {
+  std::scoped_lock lock(mu_);
+  threads_.erase(std::remove_if(threads_.begin(), threads_.end(),
+                                [state](const auto& t) {
+                                  return t.get() == state;
+                                }),
+                 threads_.end());
+}
+
+std::vector<std::shared_ptr<ThreadState>> ThreadRegistry::LiveThreads() const {
+  std::scoped_lock lock(mu_);
+  return threads_;
+}
+
+size_t ThreadRegistry::LiveCount() const {
+  std::scoped_lock lock(mu_);
+  return threads_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+Profiler::Profiler(ProfilerOptions options, MetricRegistry* registry)
+    : options_(options), registry_(registry) {
+  if (options_.interval_us < 100) options_.interval_us = 100;
+}
+
+Profiler::~Profiler() { Stop(); }
+
+void Profiler::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::scoped_lock lock(mu_);
+    if (started_ns_ == 0) started_ns_ = telemetry::NowNs();
+    stopped_ns_ = 0;
+  }
+  thread_ = std::jthread([this](std::stop_token token) { Loop(token); });
+}
+
+void Profiler::Stop() {
+  if (!running_.exchange(false)) return;
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+  std::scoped_lock lock(mu_);
+  stopped_ns_ = telemetry::NowNs();
+}
+
+void Profiler::Loop(std::stop_token token) {
+  while (!token.stop_requested()) {
+    Tick(telemetry::NowNs());
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.interval_us));
+  }
+  // One closing tick so the final partial window is attributed too.
+  Tick(telemetry::NowNs());
+}
+
+void Profiler::TickOnce() { Tick(telemetry::NowNs()); }
+
+void Profiler::Tick(uint64_t now_ns) {
+  const auto threads = ThreadRegistry::Global().LiveThreads();
+  std::scoped_lock lock(mu_);
+  if (started_ns_ == 0) started_ns_ = now_ns;
+  max_threads_ = std::max(max_threads_, threads.size());
+  for (const auto& t : threads) {
+    if (!t->Alive()) continue;
+    uint8_t stack[kMaxTagDepth];
+    const int depth = t->ReadStack(stack);
+    if (depth < 0) continue;  // torn read: skip this thread this tick
+    const uint64_t cpu = t->CpuNs();
+    PrevSample& prev = prev_[t->Id()];
+    if (prev.wall_ns != 0 && now_ns > prev.wall_ns) {
+      const uint64_t dwall = now_ns - prev.wall_ns;
+      uint64_t dcpu = cpu >= prev.cpu_ns ? cpu - prev.cpu_ns : 0;
+      if (dcpu > dwall) dcpu = dwall;
+
+      const int top = depth > 0 ? static_cast<int>(stack[depth - 1]) : -1;
+      StageAccum& accum = stages_[top];
+      ++accum.samples;
+      accum.cpu_ns += dcpu;
+      accum.wait_ns += dwall - dcpu;
+      ++samples_;
+
+      uint64_t key = 0;
+      for (int i = 0; i < depth; ++i) {
+        key = (key << 8) | (static_cast<uint64_t>(stack[i]) + 1);
+      }
+      if (stack_counts_.size() < options_.max_stacks ||
+          stack_counts_.count(key) != 0) {
+        ++stack_counts_[key];
+      }
+    }
+    prev.wall_ns = now_ns;
+    prev.cpu_ns = cpu;
+  }
+
+  if (registry_ != nullptr) {
+    // Pool watermarks: read the occupancy gauges if the pipeline has a
+    // hugepage pool (never create them — Visit only sees what exists).
+    struct PoolVisitor : MetricVisitor {
+      double buffers = -1.0, free_buffers = -1.0, full_buffers = -1.0;
+      void OnGauge(const std::string& name, Gauge& gauge) override {
+        if (name == "pool.buffers") buffers = gauge.Value();
+        if (name == "pool.free_buffers") free_buffers = gauge.Value();
+        if (name == "pool.full_buffers") full_buffers = gauge.Value();
+      }
+    } v;
+    registry_->Visit(v);
+    if (v.buffers >= 0.0) {
+      if (!pool_.present) {
+        pool_.present = true;
+        pool_.free_min = v.free_buffers;
+      }
+      pool_.buffers = v.buffers;
+      pool_.free_min = std::min(pool_.free_min, v.free_buffers);
+      pool_.full_max = std::max(pool_.full_max, v.full_buffers);
+    }
+  }
+  ++ticks_;
+}
+
+ProfileReport Profiler::Report() const {
+  std::scoped_lock lock(mu_);
+  ProfileReport report;
+  const uint64_t end =
+      stopped_ns_ != 0 ? stopped_ns_
+                       : (started_ns_ != 0 ? telemetry::NowNs() : 0);
+  report.duration_ns = end > started_ns_ ? end - started_ns_ : 0;
+  report.ticks = ticks_;
+  report.samples = samples_;
+  report.threads = max_threads_;
+  report.pool = pool_;
+
+  report.stacks.reserve(stack_counts_.size());
+  for (const auto& [key, count] : stack_counts_) {
+    report.stacks.push_back(StackCount{UnpackStack(key), count});
+  }
+  std::sort(report.stacks.begin(), report.stacks.end(),
+            [](const StackCount& a, const StackCount& b) {
+              return a.samples != b.samples ? a.samples > b.samples
+                                            : a.stack < b.stack;
+            });
+
+  // Stages in dataflow order, then any out-of-taxonomy tags, untagged last.
+  std::vector<std::pair<int, StageAccum>> tagged;
+  for (const auto& [tag, accum] : stages_) {
+    if (tag >= 0) tagged.emplace_back(tag, accum);
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [tag, accum] : tagged) {
+    report.stages.push_back(
+        StageBreakdown{TagName(tag), accum.samples, accum.cpu_ns,
+                       accum.wait_ns});
+  }
+  if (auto it = stages_.find(-1); it != stages_.end()) {
+    report.stages.push_back(StageBreakdown{
+        "untagged", it->second.samples, it->second.cpu_ns,
+        it->second.wait_ns});
+  }
+  return report;
+}
+
+ProfileReport Profiler::ProfileFor(uint64_t duration_ms,
+                                   ProfilerOptions options,
+                                   MetricRegistry* registry) {
+  Profiler profiler(options, registry);
+  profiler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  profiler.Stop();
+  return profiler.Report();
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+
+std::string ProfileReport::Collapsed() const {
+  std::string out;
+  for (const StackCount& s : stacks) {
+    out += s.stack;
+    out += ' ';
+    out += std::to_string(s.samples);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProfileReport::Json() const {
+  std::ostringstream os;
+  os << "{\"duration_ns\":" << duration_ns << ",\"ticks\":" << ticks
+     << ",\"samples\":" << samples << ",\"threads\":" << threads
+     << ",\"stages\":[";
+  bool first = true;
+  for (const StageBreakdown& s : stages) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"stage\":\"" << s.stage << "\",\"samples\":" << s.samples
+       << ",\"cpu_ns\":" << s.cpu_ns << ",\"wait_ns\":" << s.wait_ns << "}";
+  }
+  os << "],\"stacks\":[";
+  first = true;
+  for (const StackCount& s : stacks) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"stack\":\"" << s.stack << "\",\"samples\":" << s.samples << "}";
+  }
+  os << "],\"pool\":{\"present\":" << (pool.present ? "true" : "false")
+     << ",\"buffers\":" << pool.buffers << ",\"free_min\":" << pool.free_min
+     << ",\"full_max\":" << pool.full_max << "}}";
+  return os.str();
+}
+
+}  // namespace dlb::prof

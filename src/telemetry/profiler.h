@@ -1,0 +1,216 @@
+// dlb::prof — an always-available, low-overhead sampling profiler.
+//
+// The per-stage histograms answer "how long did decode take"; they cannot
+// answer "which stage is this thread in *right now*, and is it computing or
+// waiting". The profiler closes that gap without perturbing the pipeline:
+//
+//   - every span pushes a thread-local stage tag (telemetry/stage_tag.h);
+//     tags nest, so a decode span inside a collect section reads as the
+//     stack "collect;decode",
+//   - a dedicated sampler thread ticks at ~1 kHz, reads each registered
+//     thread's tag stack (seqlock, torn reads skipped) and its on-CPU time
+//     (pthread_getcpuclockid + CLOCK_THREAD_CPUTIME_ID), and
+//   - attributes the tick's per-thread wall delta to the stack it saw,
+//     split into cpu (on-CPU delta) and wait (the remainder: queue waits,
+//     blocking pops, page faults — anything off-CPU).
+//
+// Because attribution is per-thread-per-tick (every live thread counts at
+// every tick, scheduled or not), sample *shares* are scheduling-independent:
+// two threads tagged decode and one tagged resize yield a 2:1 decode:resize
+// sample ratio regardless of CPU contention — which is what makes the
+// stage-attribution test deterministic.
+//
+// The report renders as collapsed-stack text ("collect;decode 412" lines —
+// pipe straight into flamegraph.pl) or JSON, and also carries hugepage-pool
+// watermarks (peak buffer usage during the window) sampled from a
+// MetricRegistry when one is supplied. The pipeline serves all of this at
+// GET /profile?seconds=N (core/pipeline.cpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "telemetry/stage_tag.h"
+
+namespace dlb::prof {
+
+/// Per-thread profiling state, shared between the owner thread (tag pushes)
+/// and sampler threads (stack reads + CPU clock queries). Lifetime is
+/// shared_ptr-managed: the registry and any sampler mid-tick keep it alive
+/// after its thread exits.
+class ThreadState {
+ public:
+  ThreadState();
+
+  /// Owner-thread side: push/pop the current stage tag. Seqlock-published
+  /// so a sampler never sees a half-updated stack.
+  void Push(int stage);
+  void Pop();
+
+  /// Sampler side: copy a consistent stack snapshot; returns the depth
+  /// (clamped to kMaxTagDepth) or -1 when a consistent read could not be
+  /// taken (a tag mutation was in flight — skip the thread this tick).
+  int ReadStack(uint8_t (&out)[kMaxTagDepth]) const;
+
+  /// The thread's cumulative on-CPU nanoseconds, 0 when unavailable (the
+  /// thread exited, or the platform lacks per-thread CPU clocks).
+  uint64_t CpuNs() const;
+
+  void MarkDead() { alive_.store(false, std::memory_order_release); }
+  bool Alive() const { return alive_.load(std::memory_order_acquire); }
+
+  /// Registration ordinal — a process-unique, reuse-free thread key.
+  uint64_t Id() const { return id_; }
+
+ private:
+  friend class ThreadRegistry;
+
+  std::atomic<uint32_t> version_{0};
+  std::atomic<int32_t> depth_{0};
+  std::array<std::atomic<uint8_t>, kMaxTagDepth> stack_{};
+  clockid_t cpu_clock_{};
+  bool has_clock_ = false;
+  std::atomic<bool> alive_{true};
+  uint64_t id_ = 0;
+};
+
+/// Process-wide registry of tagged threads. Tags are thread-scoped, not
+/// pipeline-scoped, so one (leaked) singleton serves every profiler in the
+/// process.
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& Global();
+
+  /// Register the calling thread (called once per thread by the TLS hook).
+  std::shared_ptr<ThreadState> RegisterCurrentThread();
+  void Unregister(const ThreadState* state);
+
+  /// Snapshot of the currently-live thread states.
+  std::vector<std::shared_ptr<ThreadState>> LiveThreads() const;
+  size_t LiveCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadState>> threads_;
+  uint64_t next_id_ = 1;
+};
+
+struct ProfilerOptions {
+  /// Sampling tick period. ~1 kHz keeps the sampler far below the 5%
+  /// overhead budget (bench_profiler_overhead gates ≥95% of profiling-off
+  /// throughput).
+  uint64_t interval_us = 1000;
+  /// Distinct stacks retained; the stage taxonomy is 6 deep, so this never
+  /// binds in practice — it bounds memory against pathological tagging.
+  size_t max_stacks = 1024;
+};
+
+/// One collapsed stack ("fetch;decode") and its sample count.
+struct StackCount {
+  std::string stack;
+  uint64_t samples = 0;
+};
+
+/// Per-stage sample/cpu/wait totals, attributed by top-of-stack tag.
+/// "untagged" collects threads registered but outside any span.
+struct StageBreakdown {
+  std::string stage;
+  uint64_t samples = 0;
+  uint64_t cpu_ns = 0;
+  uint64_t wait_ns = 0;
+};
+
+/// Hugepage-pool occupancy watermarks over the profile window, sampled from
+/// the registry's pool gauges (hostbridge/hugepage_pool.cpp publishes them).
+struct PoolWatermarks {
+  bool present = false;   // false when the pipeline has no pool
+  double buffers = 0.0;   // pool size (buffers)
+  double free_min = 0.0;  // fewest free buffers seen -> peak arena usage
+  double full_max = 0.0;  // most decoded-but-undispatched buffers seen
+};
+
+struct ProfileReport {
+  uint64_t duration_ns = 0;
+  uint64_t ticks = 0;    // sampler iterations completed
+  uint64_t samples = 0;  // thread-samples attributed (≈ ticks × threads)
+  size_t threads = 0;    // peak concurrently-registered threads observed
+  std::vector<StackCount> stacks;      // most samples first
+  std::vector<StageBreakdown> stages;  // dataflow order, then untagged
+  PoolWatermarks pool;
+
+  /// Flamegraph-ready collapsed-stack text: "stage;stage count\n" lines.
+  std::string Collapsed() const;
+  /// Everything (stacks, per-stage cpu/wait, pool watermarks) as one
+  /// deterministic JSON object.
+  std::string Json() const;
+};
+
+class Profiler {
+ public:
+  /// `registry`, when non-null, is sampled each tick for pool watermarks;
+  /// it must outlive the profiler.
+  explicit Profiler(ProfilerOptions options = {},
+                    MetricRegistry* registry = nullptr);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Launch / stop the sampler thread. Idempotent.
+  void Start();
+  void Stop();
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of everything collected so far (callable while running).
+  ProfileReport Report() const;
+
+  /// One synchronous sampling step — the deterministic seam tests use.
+  void TickOnce();
+
+  /// Blocking convenience: collect for `duration_ms`, then report. This is
+  /// what the /profile endpoint calls.
+  static ProfileReport ProfileFor(uint64_t duration_ms,
+                                  ProfilerOptions options = {},
+                                  MetricRegistry* registry = nullptr);
+
+ private:
+  struct PrevSample {
+    uint64_t wall_ns = 0;
+    uint64_t cpu_ns = 0;
+  };
+  struct StageAccum {
+    uint64_t samples = 0;
+    uint64_t cpu_ns = 0;
+    uint64_t wait_ns = 0;
+  };
+
+  void Loop(std::stop_token token);
+  void Tick(uint64_t now_ns);
+
+  ProfilerOptions options_;
+  MetricRegistry* registry_;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex mu_;
+  uint64_t started_ns_ = 0;
+  uint64_t stopped_ns_ = 0;
+  uint64_t ticks_ = 0;
+  uint64_t samples_ = 0;
+  size_t max_threads_ = 0;
+  std::map<uint64_t, PrevSample> prev_;        // by ThreadState::Id()
+  std::map<uint64_t, uint64_t> stack_counts_;  // packed stack -> samples
+  std::map<int, StageAccum> stages_;           // top tag (-1 untagged)
+  PoolWatermarks pool_;
+};
+
+}  // namespace dlb::prof

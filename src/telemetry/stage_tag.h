@@ -1,0 +1,44 @@
+// Thread-local stage tags: the bridge between spans and the sampling
+// profiler (dlb::prof, telemetry/profiler.h).
+//
+// Every span (RAII ScopedSpan or a manual telemetry::StageTimer) pushes the
+// stage it measures onto a small per-thread tag stack; a Profiler's sampler
+// thread reads the stacks of all live tagged threads at each tick and
+// attributes the sample to the stack it sees. Pushing is a handful of
+// relaxed atomic stores — no locks, no allocation after a thread's first
+// tag — so tagging is always on whether or not a profiler is collecting.
+//
+// This header is deliberately tiny (no telemetry.h dependency): it is what
+// the hot recording path includes.
+#pragma once
+
+#include <cstdint>
+
+namespace dlb::prof {
+
+/// Maximum nested tag depth the sampler can see. Deeper pushes still
+/// balance with their pops but are invisible to sampling.
+inline constexpr int kMaxTagDepth = 8;
+
+/// Push/pop the calling thread's current stage tag (a telemetry::Stage
+/// value). Registers the thread with the profiler's global thread registry
+/// on first use.
+void PushStageTag(int stage);
+void PopStageTag();
+
+/// The calling thread's cumulative on-CPU time (CLOCK_THREAD_CPUTIME_ID),
+/// in nanoseconds. Subtracting two reads brackets a section's compute time;
+/// wall minus cpu is its queue/IO wait.
+uint64_t ThreadCpuNs();
+
+/// RAII stage tag for manually-recorded span sections.
+class ScopedStageTag {
+ public:
+  explicit ScopedStageTag(int stage) { PushStageTag(stage); }
+  ~ScopedStageTag() { PopStageTag(); }
+
+  ScopedStageTag(const ScopedStageTag&) = delete;
+  ScopedStageTag& operator=(const ScopedStageTag&) = delete;
+};
+
+}  // namespace dlb::prof

@@ -39,13 +39,23 @@ StageMetrics::StageMetrics(Stage stage, MetricRegistry* registry)
   const std::string prefix = std::string("stage.") + StageName(stage);
   ops_ = registry->GetCounter(prefix + ".ops");
   items_ = registry->GetCounter(prefix + ".items");
+  cpu_ = registry->GetCounter(prefix + ".cpu_ns");
+  wait_ = registry->GetCounter(prefix + ".wait_ns");
   latency_ = registry->GetHistogram(prefix + ".latency_ns");
 }
 
-void StageMetrics::Record(uint64_t duration_ns, uint64_t items) {
+void StageMetrics::Record(uint64_t duration_ns, uint64_t items,
+                          uint64_t cpu_ns) {
   ops_->Add();
   items_->Add(items);
   latency_->Record(duration_ns);
+  if (cpu_ns != kCpuUnknown) {
+    // Clamp: a thread migrating between clock reads (or clock granularity)
+    // can report cpu slightly above wall; cpu+wait must sum to duration.
+    const uint64_t cpu = cpu_ns < duration_ns ? cpu_ns : duration_ns;
+    cpu_->Add(cpu);
+    wait_->Add(duration_ns - cpu);
+  }
 }
 
 StageSnapshot StageMetrics::Snapshot() const {
@@ -54,6 +64,8 @@ StageSnapshot StageMetrics::Snapshot() const {
   snap.name = StageName(stage_);
   snap.ops = ops_->Value();
   snap.items = items_->Value();
+  snap.cpu_ns = cpu_->Value();
+  snap.wait_ns = wait_->Value();
   // One frozen bucket copy for every percentile: separate Quantile() calls
   // racing with recorders could report p99 < p50 (each call walks a
   // different bucket state); the snapshot cannot.
@@ -94,23 +106,36 @@ EventLog* Telemetry::EnableEvents() {
 
 uint64_t Telemetry::RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
                                uint64_t items, const TraceContext& ctx,
-                               Subsystem subsystem, uint32_t tid) {
-  RecordSpan(stage, start_ns, end_ns, items);
+                               Subsystem subsystem, uint32_t tid,
+                               uint64_t cpu_ns) {
+  RecordSpan(stage, start_ns, end_ns, items, cpu_ns);
   if (tracer_ == nullptr || !ctx.Enabled()) return 0;
   return tracer_->RecordSpan(ctx, stage, subsystem, tid, start_ns, end_ns,
                              items);
 }
 
 void Telemetry::RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
-                           uint64_t items) {
+                           uint64_t items, uint64_t cpu_ns) {
   if (end_ns < start_ns) end_ns = start_ns;
-  Get(stage).Record(end_ns - start_ns, items);
+  Get(stage).Record(end_ns - start_ns, items, cpu_ns);
   SpanRecord record;
   record.stage = stage;
   record.start_ns = start_ns;
   record.end_ns = end_ns;
   record.items = items;
   spans_.Push(record);
+}
+
+void Telemetry::RecordTimed(const StageTimer& timer, uint64_t items) {
+  RecordSpan(timer.ForStage(), timer.StartNs(), NowNs(), items,
+             timer.CpuNs());
+}
+
+uint64_t Telemetry::RecordTimed(const StageTimer& timer, uint64_t items,
+                                const TraceContext& ctx, Subsystem subsystem,
+                                uint32_t tid) {
+  return RecordSpan(timer.ForStage(), timer.StartNs(), NowNs(), items, ctx,
+                    subsystem, tid, timer.CpuNs());
 }
 
 std::vector<StageSnapshot> Telemetry::SnapshotStages() const {

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "telemetry/stage_tag.h"
 
 namespace dlb::telemetry {
 
@@ -46,6 +47,12 @@ inline constexpr int kNumStages = 6;
 
 /// Stable lowercase stage name ("fetch", "decode", ...).
 const char* StageName(Stage stage);
+
+/// Sentinel for "no on-CPU measurement for this span". Cross-thread and
+/// cross-unit spans (e.g. the FPGA-sim decode span, which brackets
+/// submit→complete across worker threads) pass this: their duration is real
+/// wall time but no single thread's CPU clock covers it.
+inline constexpr uint64_t kCpuUnknown = ~uint64_t{0};
 
 /// Monotonic wall-clock in nanoseconds (steady_clock).
 uint64_t NowNs();
@@ -208,6 +215,8 @@ struct StageSnapshot {
   uint64_t ops = 0;       // spans recorded
   uint64_t items = 0;     // samples covered by those spans
   uint64_t busy_ns = 0;   // sum of span durations
+  uint64_t cpu_ns = 0;    // on-CPU share of busy_ns (spans that measured it)
+  uint64_t wait_ns = 0;   // off-CPU share (queue waits, blocking IO)
   double mean_ns = 0.0;
   uint64_t p50_ns = 0;
   uint64_t p95_ns = 0;
@@ -222,7 +231,12 @@ class StageMetrics {
  public:
   StageMetrics(Stage stage, MetricRegistry* registry);
 
-  void Record(uint64_t duration_ns, uint64_t items = 1);
+  /// `cpu_ns` is the recording thread's on-CPU time over the span (from
+  /// StageTimer / prof::ThreadCpuNs()); it is clamped to `duration_ns`, and
+  /// the remainder accrues to the stage's wait counter. kCpuUnknown leaves
+  /// both untouched.
+  void Record(uint64_t duration_ns, uint64_t items = 1,
+              uint64_t cpu_ns = kCpuUnknown);
 
   StageSnapshot Snapshot() const;
   Stage ForStage() const { return stage_; }
@@ -231,6 +245,8 @@ class StageMetrics {
   Stage stage_;
   Counter* ops_;
   Counter* items_;
+  Counter* cpu_;
+  Counter* wait_;
   Histogram* latency_;
 };
 
@@ -242,6 +258,35 @@ class EventLog;
 struct TraceContext;
 enum class Subsystem : uint8_t;
 enum class EventLevel : uint8_t;
+
+/// Manual span timer for call sites that record explicitly (most backends
+/// do: the span's item count or trace parent is only known at the end).
+/// Construction pushes the profiler stage tag and snapshots wall + on-CPU
+/// clocks; pass the timer to Telemetry::RecordTimed() (or read the clocks
+/// yourself) before it goes out of scope. The tag pops at destruction, so
+/// keep the timer scoped to exactly the section it measures.
+class StageTimer {
+ public:
+  explicit StageTimer(Stage stage)
+      : stage_(stage),
+        tag_(static_cast<int>(stage)),
+        start_ns_(NowNs()),
+        start_cpu_ns_(prof::ThreadCpuNs()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  Stage ForStage() const { return stage_; }
+  uint64_t StartNs() const { return start_ns_; }
+  /// On-CPU nanoseconds this thread spent since construction.
+  uint64_t CpuNs() const { return prof::ThreadCpuNs() - start_cpu_ns_; }
+
+ private:
+  Stage stage_;
+  prof::ScopedStageTag tag_;
+  uint64_t start_ns_;
+  uint64_t start_cpu_ns_;
+};
 
 /// The per-pipeline telemetry hub: one MetricRegistry, one SpanRing, one
 /// StageMetrics per stage, plus two opt-in facilities — a batch `Tracer`
@@ -265,9 +310,11 @@ class Telemetry {
     return *stages_[static_cast<int>(stage)];
   }
 
-  /// Record one span into both sinks (stage histogram + ring).
+  /// Record one span into both sinks (stage histogram + ring). `cpu_ns` is
+  /// the recording thread's on-CPU time over the span; pass kCpuUnknown
+  /// (default) for spans no single thread computed.
   void RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
-                  uint64_t items = 1);
+                  uint64_t items = 1, uint64_t cpu_ns = kCpuUnknown);
 
   /// Record one span into both sinks AND into the batch trace identified by
   /// `ctx` (parented under ctx.parent_span). Returns the trace span id so
@@ -275,7 +322,16 @@ class Telemetry {
   /// off or `ctx` is not live.
   uint64_t RecordSpan(Stage stage, uint64_t start_ns, uint64_t end_ns,
                       uint64_t items, const TraceContext& ctx,
-                      Subsystem subsystem, uint32_t tid = 0);
+                      Subsystem subsystem, uint32_t tid = 0,
+                      uint64_t cpu_ns = kCpuUnknown);
+
+  /// Close a StageTimer: record [timer.StartNs(), now) with the timer's
+  /// on-CPU delta. The plain overload feeds the stage sinks; the traced one
+  /// also parents a trace span (same contract as the traced RecordSpan).
+  void RecordTimed(const StageTimer& timer, uint64_t items = 1);
+  uint64_t RecordTimed(const StageTimer& timer, uint64_t items,
+                       const TraceContext& ctx, Subsystem subsystem,
+                       uint32_t tid = 0);
 
   /// Snapshots for all six stages, in dataflow order.
   std::vector<StageSnapshot> SnapshotStages() const;
@@ -307,22 +363,26 @@ class Telemetry {
 };
 
 /// RAII span: starts timing at construction, records at destruction.
-/// A null telemetry pointer makes every operation a no-op, so call sites
-/// need no branching.
+/// A null telemetry pointer disables recording (the stage tag is still
+/// pushed — profiler tagging is always on), so call sites need no
+/// branching.
 class ScopedSpan {
  public:
   ScopedSpan(Telemetry* telemetry, Stage stage, uint64_t items = 1)
       : telemetry_(telemetry),
         stage_(stage),
+        tag_(static_cast<int>(stage)),
         items_(items),
-        start_ns_(telemetry ? NowNs() : 0) {}
+        start_ns_(telemetry ? NowNs() : 0),
+        start_cpu_ns_(telemetry ? prof::ThreadCpuNs() : 0) {}
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
     if (telemetry_ != nullptr) {
-      telemetry_->RecordSpan(stage_, start_ns_, NowNs(), items_);
+      telemetry_->RecordSpan(stage_, start_ns_, NowNs(), items_,
+                             prof::ThreadCpuNs() - start_cpu_ns_);
     }
   }
 
@@ -336,8 +396,10 @@ class ScopedSpan {
  private:
   Telemetry* telemetry_;
   Stage stage_;
+  prof::ScopedStageTag tag_;
   uint64_t items_;
   uint64_t start_ns_;
+  uint64_t start_cpu_ns_;
 };
 
 }  // namespace dlb::telemetry

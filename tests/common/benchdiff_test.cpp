@@ -1,0 +1,210 @@
+// The performance-regression plane's diff engine: metric classification,
+// noise-aware gating, pass-flag strictness, best-of-N merging, the markdown
+// report, and loading BENCH_*.json sets from disk.
+#include "common/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dlb::benchdiff {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ClassifyTest, MetricNameHeuristics) {
+  EXPECT_EQ(Classify("gate.pass"), Direction::kPassFlag);
+  EXPECT_EQ(Classify("pass"), Direction::kPassFlag);
+  EXPECT_EQ(Classify("on_off_ratio"), Direction::kRatio);
+  EXPECT_EQ(Classify("decode.speedup"), Direction::kRatio);
+  EXPECT_EQ(Classify("fpga.utilization"), Direction::kRatio);
+  EXPECT_EQ(Classify("cache.hit_rate"), Direction::kRatio);
+  EXPECT_EQ(Classify("scaled.img_s"), Direction::kHigherBetter);
+  EXPECT_EQ(Classify("items_rate_per_s"), Direction::kHigherBetter);
+  EXPECT_EQ(Classify("decode.latency_ns"), Direction::kLowerBetter);
+  EXPECT_EQ(Classify("p99_ms"), Direction::kLowerBetter);
+  EXPECT_EQ(Classify("images"), Direction::kInfo);
+  EXPECT_EQ(Classify("batch_size"), Direction::kInfo);
+  // "pass" must be the leaf, not a substring elsewhere in the path.
+  EXPECT_NE(Classify("passes.count"), Direction::kPassFlag);
+}
+
+BenchSet OneMetric(const std::string& metric, double value) {
+  return {{"bench", {{metric, value}}}};
+}
+
+TEST(DiffTest, RatioRegressionGatesUnderDefaultGate) {
+  const DiffReport r = Diff(OneMetric("on_off_ratio", 1.0),
+                            OneMetric("on_off_ratio", 0.5));
+  ASSERT_EQ(r.diffs.size(), 1u);
+  EXPECT_EQ(r.diffs[0].verdict, Verdict::kRegressed);
+  EXPECT_TRUE(r.diffs[0].gated);
+  EXPECT_TRUE(r.HasRegressions());
+}
+
+TEST(DiffTest, WithinNoiseIsOk) {
+  // -10% on a ratio is inside the 30% ratio threshold.
+  const DiffReport r = Diff(OneMetric("on_off_ratio", 1.0),
+                            OneMetric("on_off_ratio", 0.9));
+  ASSERT_EQ(r.diffs.size(), 1u);
+  EXPECT_EQ(r.diffs[0].verdict, Verdict::kOk);
+  EXPECT_FALSE(r.HasRegressions());
+}
+
+TEST(DiffTest, ImprovementReportedNotGated) {
+  const DiffReport r = Diff(OneMetric("decode.speedup", 1.0),
+                            OneMetric("decode.speedup", 2.0));
+  ASSERT_EQ(r.diffs.size(), 1u);
+  EXPECT_EQ(r.diffs[0].verdict, Verdict::kImproved);
+  EXPECT_EQ(r.improvements, 1);
+  EXPECT_FALSE(r.HasRegressions());
+}
+
+TEST(DiffTest, PassFlagFlipIsStrict) {
+  // true -> false regresses regardless of thresholds; false -> true
+  // improves. No relative-noise allowance applies to booleans.
+  const DiffReport broke = Diff(OneMetric("gate.pass", 1.0),
+                                OneMetric("gate.pass", 0.0));
+  ASSERT_EQ(broke.diffs.size(), 1u);
+  EXPECT_EQ(broke.diffs[0].verdict, Verdict::kRegressed);
+  EXPECT_TRUE(broke.HasRegressions());
+
+  const DiffReport fixed = Diff(OneMetric("gate.pass", 0.0),
+                                OneMetric("gate.pass", 1.0));
+  EXPECT_EQ(fixed.diffs[0].verdict, Verdict::kImproved);
+}
+
+TEST(DiffTest, GateClassControlsAbsoluteMetrics) {
+  // A 2x throughput drop: machine-dependent, so the cross-machine default
+  // gate only reports it; --gate all turns it into a failure.
+  const BenchSet base = OneMetric("scaled.img_s", 1000.0);
+  const BenchSet cand = OneMetric("scaled.img_s", 400.0);
+
+  const DiffReport ratio_gate = Diff(base, cand, {}, Gate::kRatioOnly);
+  ASSERT_EQ(ratio_gate.diffs.size(), 1u);
+  EXPECT_EQ(ratio_gate.diffs[0].verdict, Verdict::kRegressed);
+  EXPECT_FALSE(ratio_gate.diffs[0].gated);
+  EXPECT_FALSE(ratio_gate.HasRegressions());
+
+  const DiffReport all_gate = Diff(base, cand, {}, Gate::kAll);
+  EXPECT_TRUE(all_gate.diffs[0].gated);
+  EXPECT_TRUE(all_gate.HasRegressions());
+}
+
+TEST(DiffTest, LatencyDirectionInverts) {
+  // Latency going up is a regression; going down is an improvement.
+  const DiffReport worse = Diff(OneMetric("p99_ms", 10.0),
+                                OneMetric("p99_ms", 20.0), {}, Gate::kAll);
+  EXPECT_EQ(worse.diffs[0].verdict, Verdict::kRegressed);
+  const DiffReport better = Diff(OneMetric("p99_ms", 20.0),
+                                 OneMetric("p99_ms", 10.0), {}, Gate::kAll);
+  EXPECT_EQ(better.diffs[0].verdict, Verdict::kImproved);
+}
+
+TEST(DiffTest, MissingLabelAndMetricGateUnlessAllowed) {
+  BenchSet base;
+  base["gone"] = {{"on_off_ratio", 1.0}};
+  base["bench"] = {{"on_off_ratio", 1.0}, {"extra.speedup", 2.0}};
+  BenchSet cand;
+  cand["bench"] = {{"on_off_ratio", 1.0}};
+
+  const DiffReport strict = Diff(base, cand);
+  EXPECT_TRUE(strict.HasRegressions());
+  bool saw_label = false, saw_metric = false;
+  for (const auto& d : strict.diffs) {
+    if (d.label == "gone" && d.verdict == Verdict::kMissing) saw_label = true;
+    if (d.metric == "extra.speedup" && d.verdict == Verdict::kMissing) {
+      saw_metric = true;
+    }
+  }
+  EXPECT_TRUE(saw_label);
+  EXPECT_TRUE(saw_metric);
+
+  Thresholds lenient;
+  lenient.allow_missing = true;
+  EXPECT_FALSE(Diff(base, cand, lenient).HasRegressions());
+}
+
+TEST(DiffTest, CandidateOnlyMetricsReportAsNew) {
+  BenchSet base = OneMetric("on_off_ratio", 1.0);
+  BenchSet cand = OneMetric("on_off_ratio", 1.0);
+  cand["fresh"] = {{"img_s", 50.0}};
+  const DiffReport r = Diff(base, cand);
+  bool saw_new = false;
+  for (const auto& d : r.diffs) {
+    if (d.label == "fresh") {
+      EXPECT_EQ(d.verdict, Verdict::kNew);
+      EXPECT_FALSE(d.gated);
+      saw_new = true;
+    }
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_FALSE(r.HasRegressions());
+}
+
+TEST(MergeBestTest, KeepsMostFavourablePerMetric) {
+  BenchSet run1;
+  run1["bench"] = {{"img_s", 100.0}, {"p99_ms", 9.0},
+                   {"on_off_ratio", 0.96}, {"images", 256.0}};
+  BenchSet run2;
+  run2["bench"] = {{"img_s", 120.0}, {"p99_ms", 12.0},
+                   {"on_off_ratio", 0.91}, {"images", 512.0}};
+
+  const BenchSet best = MergeBest({run1, run2});
+  const auto& m = best.at("bench");
+  EXPECT_DOUBLE_EQ(m.at("img_s"), 120.0);         // max: higher better
+  EXPECT_DOUBLE_EQ(m.at("p99_ms"), 9.0);          // min: lower better
+  EXPECT_DOUBLE_EQ(m.at("on_off_ratio"), 0.96);   // max: ratio
+  EXPECT_DOUBLE_EQ(m.at("images"), 256.0);        // first seen: info
+}
+
+TEST(MarkdownTest, SummaryLineAndGatedRows) {
+  BenchSet base = OneMetric("on_off_ratio", 1.0);
+  base["bench"]["images"] = 256.0;
+  const DiffReport bad = Diff(base, OneMetric("on_off_ratio", 0.4));
+  const std::string md = bad.Markdown();
+  EXPECT_NE(md.find("on_off_ratio"), std::string::npos) << md;
+  EXPECT_NE(md.find("REGRESSED"), std::string::npos) << md;
+  EXPECT_NE(md.find("(gated)"), std::string::npos) << md;
+  EXPECT_NE(md.find("|"), std::string::npos) << md;  // it renders a table
+
+  const DiffReport ok = Diff(base, base);
+  const std::string clean = ok.Markdown();
+  // Unchanged info metrics don't clutter the table.
+  EXPECT_EQ(clean.find("images"), std::string::npos) << clean;
+}
+
+TEST(LoadDirTest, ReadsBenchFilesAndSkipsManifest) {
+  const fs::path dir =
+      fs::temp_directory_path() / "dlb_benchdiff_test_load";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "BENCH_alpha.json")
+      << "{\"img_s\": 10.0, \"gate\": {\"pass\": true}}";
+  std::ofstream(dir / "BENCH_all.json") << "{\"alpha\": {\"img_s\": 10.0}}";
+  std::ofstream(dir / "notes.txt") << "ignored";
+
+  auto set = LoadDir(dir.string());
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set.value().size(), 1u);  // manifest + stray file skipped
+  const auto& alpha = set.value().at("alpha");
+  EXPECT_DOUBLE_EQ(alpha.at("img_s"), 10.0);
+  EXPECT_DOUBLE_EQ(alpha.at("gate.pass"), 1.0);
+
+  // A corrupt file fails the load and names the culprit.
+  std::ofstream(dir / "BENCH_broken.json") << "{not json";
+  auto broken = LoadDir(dir.string());
+  ASSERT_FALSE(broken.ok());
+  EXPECT_NE(broken.status().ToString().find("BENCH_broken.json"),
+            std::string::npos);
+
+  fs::remove_all(dir);
+  EXPECT_FALSE(LoadDir(dir.string()).ok());  // missing dir is an error
+}
+
+}  // namespace
+}  // namespace dlb::benchdiff

@@ -1,0 +1,87 @@
+// The tooling JSON reader: full-grammar parsing, error positions, and the
+// FlattenNumbers projection benchdiff gates on.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace dlb::json {
+namespace {
+
+TEST(JsonParseTest, ParsesScalarsAndStructure) {
+  auto v = Parse(R"({
+    "num": -12.5e1,
+    "flag": true,
+    "none": null,
+    "name": "dlb",
+    "arr": [1, 2, 3],
+    "nested": {"inner": 7}
+  })");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const ValuePtr root = v.value();
+  ASSERT_TRUE(root->IsObject());
+  EXPECT_DOUBLE_EQ(root->Get("num")->number, -125.0);
+  EXPECT_TRUE(root->Get("flag")->boolean);
+  EXPECT_EQ(root->Get("none")->kind(), Kind::kNull);
+  EXPECT_EQ(root->Get("name")->str, "dlb");
+  ASSERT_EQ(root->Get("arr")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(root->Get("arr")->array[1]->number, 2.0);
+  EXPECT_DOUBLE_EQ(root->Get("nested")->Get("inner")->number, 7.0);
+  // Insertion order preserved for stable reports.
+  ASSERT_EQ(root->keys.size(), 6u);
+  EXPECT_EQ(root->keys.front(), "num");
+  EXPECT_EQ(root->keys.back(), "nested");
+}
+
+TEST(JsonParseTest, ParsesStringEscapes) {
+  auto v = Parse(R"(["a\"b", "tab\there", "A\u00e9"])");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value()->array[0]->str, "a\"b");
+  EXPECT_EQ(v.value()->array[1]->str, "tab\there");
+  EXPECT_EQ(v.value()->array[2]->str, "A\xc3\xa9");  // \u escapes -> UTF-8
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("{\"a\": }").ok());
+  EXPECT_FALSE(Parse("[1, 2,]").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  // Trailing junk after a valid document is an error, not silently ignored.
+  EXPECT_FALSE(Parse("{} x").ok());
+  // Errors carry a position for diagnostics.
+  auto bad = Parse("[1, !]");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonParseTest, RejectsPathologicalNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Parse(deep).ok());  // depth cap, not a stack overflow
+}
+
+TEST(JsonFlattenTest, DottedPathsForNumbersAndBools) {
+  auto v = Parse(R"({
+    "img_s": 100.5,
+    "gate": {"pass": true, "note": "ok"},
+    "runs": [10, 20],
+    "skipped": null
+  })");
+  ASSERT_TRUE(v.ok());
+  const std::map<std::string, double> flat = FlattenNumbers(v.value());
+  EXPECT_DOUBLE_EQ(flat.at("img_s"), 100.5);
+  EXPECT_DOUBLE_EQ(flat.at("gate.pass"), 1.0);  // booleans diff as 0/1
+  EXPECT_DOUBLE_EQ(flat.at("runs.0"), 10.0);
+  EXPECT_DOUBLE_EQ(flat.at("runs.1"), 20.0);
+  // Strings and nulls are not metrics.
+  EXPECT_EQ(flat.count("gate.note"), 0u);
+  EXPECT_EQ(flat.count("skipped"), 0u);
+  EXPECT_EQ(flat.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dlb::json

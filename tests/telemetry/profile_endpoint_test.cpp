@@ -1,0 +1,126 @@
+// GET /profile end to end against a live pipeline: the endpoint runs a
+// blocking in-process profile for the requested window and returns either
+// collapsed-stack text (default) or the full JSON report. Also checks that
+// /stats carries the new per-stage cpu_ns/wait_ns fields.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "core/pipeline.h"
+#include "dataplane/synthetic_dataset.h"
+#include "telemetry/stage_tag.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb::telemetry {
+namespace {
+
+struct GetResult {
+  int status = -1;
+  std::string body;
+};
+
+GetResult HttpGet(int port, const std::string& target) {
+  GetResult r;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return r;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return r;
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(req.size()));
+  std::string raw;
+  char buf[8192];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos) return r;
+  r.status = std::atoi(raw.c_str() + sp + 1);
+  const size_t body = raw.find("\r\n\r\n");
+  if (body != std::string::npos) r.body = raw.substr(body + 4);
+  return r;
+}
+
+TEST(ProfileEndpointTest, ServesCollapsedTextAndJson) {
+  auto ds = GenerateDataset([] {
+    DatasetSpec spec = ImageNetLikeSpec(32);
+    spec.width = 64;
+    spec.height = 48;
+    return spec;
+  }());
+  ASSERT_TRUE(ds.ok());
+
+  core::PipelineConfig config;
+  config.backend = "dlbooster";
+  config.options.batch_size = 4;
+  config.options.resize_w = 32;
+  config.options.resize_h = 32;
+  config.max_images = 32;   // one pass; the puller drains and exits
+  config.monitor_port = 0;  // ephemeral
+  auto pipeline = core::PipelineBuilder()
+                      .WithConfig(config)
+                      .WithDataset(&ds.value().manifest, ds.value().store.get())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  const int port = pipeline.value()->MonitorPort();
+  ASSERT_GT(port, 0);
+
+  std::jthread puller([&pipeline] {
+    while (pipeline.value()->NextBatch().ok()) {
+    }
+  });
+  puller.join();
+
+  // The profiler samples every tagged thread in the process, so a spinner
+  // tagged decode guarantees the windows below see a stack — no race
+  // against how fast the pipeline drained.
+  std::atomic<bool> stop{false};
+  std::jthread spinner([&stop] {
+    prof::ScopedStageTag tag(static_cast<int>(Stage::kDecode));
+    volatile uint64_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) sink = sink + 1;
+  });
+
+  // Default window is 2 s; ms= keeps the test fast. Collapsed text is
+  // "stack count" lines.
+  GetResult text = HttpGet(port, "/profile?ms=150");
+  ASSERT_EQ(text.status, 200);
+  EXPECT_FALSE(text.body.empty());
+  EXPECT_NE(text.body.find(' '), std::string::npos);
+
+  GetResult json = HttpGet(port, "/profile?ms=120&format=json");
+  ASSERT_EQ(json.status, 200);
+  EXPECT_EQ(json.body.front(), '{');
+  EXPECT_NE(json.body.find("\"stages\""), std::string::npos) << json.body;
+  EXPECT_NE(json.body.find("\"stacks\""), std::string::npos) << json.body;
+  EXPECT_NE(json.body.find("\"samples\""), std::string::npos) << json.body;
+
+  stop.store(true, std::memory_order_relaxed);
+  spinner.join();
+
+  // /stats now exposes the cpu/wait split per stage.
+  GetResult stats = HttpGet(port, "/stats");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"cpu_ns\""), std::string::npos);
+  EXPECT_NE(stats.body.find("\"wait_ns\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlb::telemetry

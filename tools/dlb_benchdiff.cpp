@@ -1,0 +1,122 @@
+// dlb_benchdiff — compare bench result sets and gate on regressions.
+//
+//   dlb_benchdiff --baseline bench/baselines --candidate build/bench_results
+//   dlb_benchdiff --baseline A --candidate run1 --candidate run2 --gate all
+//
+// Multiple --candidate dirs merge best-of-N before diffing (re-run a noisy
+// suite and let the best repetition represent it). Exit codes: 0 clean,
+// 1 regression past thresholds, 2 usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/benchdiff.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --baseline DIR --candidate DIR [--candidate DIR ...]\n"
+      "          [--gate ratio|all] [--rel X] [--ratio-rel X] [--abs X]\n"
+      "          [--allow-missing] [--markdown FILE]\n"
+      "\n"
+      "Compares BENCH_*.json sets; exits 1 when a gated metric regressed.\n"
+      "--gate ratio (default) gates only dimensionless metrics (speedups,\n"
+      "ratios, pass flags) — safe across machines. --gate all also gates\n"
+      "throughput and latency, for same-machine comparisons.\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dlb::benchdiff::BenchSet;
+  std::string baseline_dir;
+  std::vector<std::string> candidate_dirs;
+  std::string markdown_path;
+  dlb::benchdiff::Thresholds thresholds;
+  dlb::benchdiff::Gate gate = dlb::benchdiff::Gate::kRatioOnly;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_dir = next();
+    } else if (arg == "--candidate") {
+      candidate_dirs.push_back(next());
+    } else if (arg == "--gate") {
+      const std::string mode = next();
+      if (mode == "ratio") {
+        gate = dlb::benchdiff::Gate::kRatioOnly;
+      } else if (mode == "all") {
+        gate = dlb::benchdiff::Gate::kAll;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--rel") {
+      thresholds.rel = std::atof(next());
+    } else if (arg == "--ratio-rel") {
+      thresholds.ratio_rel = std::atof(next());
+    } else if (arg == "--abs") {
+      thresholds.abs = std::atof(next());
+    } else if (arg == "--allow-missing") {
+      thresholds.allow_missing = true;
+    } else if (arg == "--markdown") {
+      markdown_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (baseline_dir.empty() || candidate_dirs.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto baseline = dlb::benchdiff::LoadDir(baseline_dir);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<BenchSet> runs;
+  for (const std::string& dir : candidate_dirs) {
+    auto run = dlb::benchdiff::LoadDir(dir);
+    if (!run.ok()) {
+      std::fprintf(stderr, "candidate: %s\n",
+                   run.status().ToString().c_str());
+      return 2;
+    }
+    runs.push_back(std::move(run).value());
+  }
+  const BenchSet candidate = dlb::benchdiff::MergeBest(runs);
+
+  const dlb::benchdiff::DiffReport report =
+      dlb::benchdiff::Diff(baseline.value(), candidate, thresholds, gate);
+  const std::string markdown = report.Markdown();
+  std::fputs(markdown.c_str(), stdout);
+  if (!markdown_path.empty()) {
+    std::ofstream out(markdown_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", markdown_path.c_str());
+      return 2;
+    }
+    out << markdown;
+  }
+  return report.HasRegressions() ? 1 : 0;
+}
