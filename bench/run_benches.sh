@@ -64,6 +64,7 @@ if [ "${QUICK}" = 1 ]; then
     "monitor_overhead:bench_monitor_overhead"
     "trace_overhead:bench_trace_overhead"
     "profiler_overhead:bench_profiler_overhead"
+    "flight_overhead:bench_flight_overhead"
   )
 else
   BENCHES=(
@@ -73,10 +74,26 @@ else
     "monitor_overhead:bench_monitor_overhead"
     "trace_overhead:bench_trace_overhead"
     "profiler_overhead:bench_profiler_overhead"
+    "flight_overhead:bench_flight_overhead"
     "micro_codec:bench_micro_codec"
     "micro_resize:bench_micro_resize"
   )
 fi
+
+# Build provenance: every BENCH_*.json is stamped with the buildinfo
+# record, so dlb_benchdiff reports can say which build produced each side.
+BUILDINFO="{}"
+if [ -x "${BUILD_DIR}/tools/dlb_buildinfo" ]; then
+  BUILDINFO="$("${BUILD_DIR}/tools/dlb_buildinfo" 2>/dev/null || echo '{}')"
+fi
+
+# Insert `"buildinfo": <record>,` after the document's opening brace (the
+# benches all emit "{\n..."); anything else passes through unstamped.
+stamp_buildinfo() {
+  awk -v info="${BUILDINFO}" '
+    NR == 1 && $0 == "{" { print "{"; print "  \"buildinfo\": " info ","; next }
+    { print }'
+}
 
 failures=0
 ran=()
@@ -89,8 +106,9 @@ for entry in "${BENCHES[@]}"; do
     continue
   fi
   echo "run   ${label} -> ${out}"
-  if "${bin}" --json > "${out}" 2> "${OUT_DIR}/BENCH_${label}.stderr"; then
-    rm -f "${OUT_DIR}/BENCH_${label}.stderr"
+  if "${bin}" --json > "${out}.raw" 2> "${OUT_DIR}/BENCH_${label}.stderr"; then
+    stamp_buildinfo < "${out}.raw" > "${out}"
+    rm -f "${out}.raw" "${OUT_DIR}/BENCH_${label}.stderr"
     ran+=("${label}")
   else
     echo "FAIL  ${label} (exit $?, stderr kept alongside)" >&2

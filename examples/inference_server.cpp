@@ -6,12 +6,17 @@
 //
 // Usage: inference_server [requests=200 clients=5 batch=8 backend=dlbooster
 //                          monitor_port=-1 sample_ms=500 events=off
-//                          watchdog=0]
+//                          watchdog=0 slo= flight_dir=]
 //
 // With monitor_port>=0 the pipeline serves its monitoring plane over HTTP
 // (/metrics Prometheus text, /metrics.json, /stats, /events, /healthz) for
 // the lifetime of the run — point `dlb_monitor port=<p>` or a Prometheus
 // scraper at it.
+//
+// With slo=<spec> (e.g. slo=infer_p99<8ms/30s) the pipeline evaluates the
+// declared objectives continuously; add flight_dir=<dir> to arm the flight
+// recorder, which writes a black-box bundle (trace, events, metrics,
+// profile) on SLO breach, stall, or retry exhaustion.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -100,6 +105,8 @@ int main(int argc, char** argv) {
   config.monitor_sample_ms = args.GetInt("sample_ms", 500);
   config.event_log_level = args.GetString("events", "off");
   config.watchdog_deadline_ms = args.GetInt("watchdog", 0);
+  config.slo = args.GetString("slo", "");
+  config.flight_dir = args.GetString("flight_dir", "");
   auto pipeline = dlb::core::PipelineBuilder()
                       .WithConfig(config)
                       .WithNetworkSource(&rx_queue)

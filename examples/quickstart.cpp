@@ -21,6 +21,12 @@
 //                           dma_error=0.01" (the DLB_FAULTS environment
 //                           variable overrides this; see DESIGN.md)
 //   fault_seed=0            overrides the fault spec's RNG seed (0 = keep)
+//   slo=<spec>              declare SLOs, e.g. "infer_p99<8ms/30s,
+//                           decode_errors<0.1%" (DLB_SLO overrides; /slo
+//                           on the monitor port reports burn state)
+//   flight_dir=<dir>        arm the flight recorder: SLO breaches, stalls
+//                           and retry exhaustion write black-box bundles
+//                           (trace + events + metrics + profile) here
 #include <chrono>
 #include <cstdio>
 
@@ -73,6 +79,8 @@ int main(int argc, char** argv) {
   config.monitor_sample_ms = args.GetInt("sample_ms", 500);
   config.faults = args.GetString("faults", "");
   config.fault_seed = args.GetInt("fault_seed", 0);
+  config.slo = args.GetString("slo", "");
+  config.flight_dir = args.GetString("flight_dir", "");
   auto pipeline = dlb::core::PipelineBuilder()
                       .WithConfig(config)
                       .WithDataset(&dataset.value().manifest,
@@ -86,7 +94,7 @@ int main(int argc, char** argv) {
 
   if (pipeline.value()->MonitorPort() >= 0) {
     std::printf("monitoring on http://127.0.0.1:%d (/metrics /metrics.json "
-                "/stats /events /healthz)\n",
+                "/stats /events /healthz /slo /buildinfo /debug/dump)\n",
                 pipeline.value()->MonitorPort());
   }
 
@@ -155,6 +163,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tracer->BatchesCompleted()),
                 static_cast<unsigned long long>(tracer->SpansRecorded()));
   }
+  // SLO + flight recorder (slo=<spec>, flight_dir=<dir>): burn state per
+  // objective and any black-box bundles captured during the run.
+  if (dlb::slo::SloEngine* slo = pipeline.value()->Slo()) {
+    std::printf("slo: %llu evaluations, %llu breaches%s\n",
+                static_cast<unsigned long long>(slo->Evaluations()),
+                static_cast<unsigned long long>(slo->Breaches()),
+                slo->AnyBurning() ? " (BURNING)" : "");
+  }
   if (dlb::telemetry::EventLog* events = pipeline.value()->Events()) {
     std::printf("event log (%llu events):\n%s",
                 static_cast<unsigned long long>(events->TotalLogged()),
@@ -165,12 +181,20 @@ int main(int argc, char** argv) {
     std::printf("wrote %s — load it in ui.perfetto.dev\n",
                 config.trace_path.c_str());
   }
+  // Shutdown() drains the recorder's write queue, so the count is final.
+  if (dlb::flight::FlightRecorder* flight = pipeline.value()->Flight()) {
+    std::printf("flight recorder: %llu bundles in %s\n",
+                static_cast<unsigned long long>(flight->BundlesWritten()),
+                config.flight_dir.c_str());
+  }
 
   // Bonus: the tensor staging engines actually consume. Observability is
   // switched off so this second pipeline cannot overwrite the trace file.
   config.trace_path.clear();
   config.event_log_level = "off";
   config.watchdog_deadline_ms = 0;
+  config.slo.clear();
+  config.flight_dir.clear();
   auto pipeline2 = dlb::core::PipelineBuilder()
                        .WithConfig(config)
                        .WithDataset(&dataset.value().manifest,

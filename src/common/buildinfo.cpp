@@ -1,0 +1,85 @@
+#include "common/buildinfo.h"
+
+#include <sstream>
+
+#include "common/simd.h"
+
+#ifndef DLB_GIT_DESCRIBE
+#define DLB_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DLB_BUILD_TYPE
+#define DLB_BUILD_TYPE "unknown"
+#endif
+#ifndef DLB_SANITIZE_NAME
+#define DLB_SANITIZE_NAME ""
+#endif
+
+namespace dlb {
+
+namespace {
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+const char* KernelModeName(simd::KernelMode mode) {
+  switch (mode) {
+    case simd::KernelMode::kFast: return "fast";
+    case simd::KernelMode::kScalar: return "scalar";
+    case simd::KernelMode::kReference: return "reference";
+  }
+  return "unknown";
+}
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+  info.version = DLB_GIT_DESCRIBE;
+  info.compiler = CompilerString();
+  info.build_type = DLB_BUILD_TYPE;
+  info.sanitizer = DLB_SANITIZE_NAME;
+  info.isa = simd::CompiledIsa();
+  info.kernel_mode = KernelModeName(simd::GetKernelMode());
+  return info;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo info = GetBuildInfo();
+  std::ostringstream os;
+  os << "{\"version\":";
+  AppendJsonString(os, info.version);
+  os << ",\"compiler\":";
+  AppendJsonString(os, info.compiler);
+  os << ",\"build_type\":";
+  AppendJsonString(os, info.build_type);
+  os << ",\"sanitizer\":";
+  AppendJsonString(os, info.sanitizer);
+  os << ",\"isa\":";
+  AppendJsonString(os, info.isa);
+  os << ",\"kernel_mode\":";
+  AppendJsonString(os, info.kernel_mode);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dlb

@@ -1,0 +1,37 @@
+// Build provenance: which build produced this number?
+//
+// Every benchmark JSON, flight-recorder bundle and /buildinfo response
+// carries the same record: the git describe of the tree, the compiler, the
+// build type, the widest vector ISA arm compiled in and the kernel mode the
+// process is actually running (DLB_KERNELS can demote it at runtime). A
+// regression report that cannot say which build produced each side is a
+// guess; stamping the provenance at the source makes dlb_benchdiff's
+// left/right labels trustworthy.
+//
+// The git version is captured at CMake configure time (DLB_GIT_DESCRIBE);
+// re-run cmake after switching commits if you need it exact.
+#pragma once
+
+#include <string>
+
+namespace dlb {
+
+struct BuildInfo {
+  std::string version;      // git describe --always --dirty, or "unknown"
+  std::string compiler;     // e.g. "gcc 12.2.0"
+  std::string build_type;   // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  std::string sanitizer;    // "thread" | "address" | "undefined" | ""
+  std::string isa;          // widest compiled vector arm (dlb::simd)
+  std::string kernel_mode;  // "fast" | "scalar" | "reference" (runtime)
+};
+
+/// The current process's provenance. kernel_mode is read at call time, so a
+/// DLB_KERNELS override is reflected.
+BuildInfo GetBuildInfo();
+
+/// Deterministic JSON object:
+/// {"version":…,"compiler":…,"build_type":…,"sanitizer":…,"isa":…,
+///  "kernel_mode":…}
+std::string BuildInfoJson();
+
+}  // namespace dlb

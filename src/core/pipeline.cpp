@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/buildinfo.h"
 #include "common/log.h"
 #include "telemetry/exposition.h"
 #include "telemetry/profiler.h"
@@ -19,10 +20,15 @@ Pipeline::~Pipeline() { Shutdown(); }
 
 void Pipeline::Shutdown() {
   // The monitor serves sampler snapshots: stop the server before the
-  // sampler, and both before the recording side winds down.
+  // sampler, and both before the recording side winds down. The SLO engine
+  // and watchdog stop before the flight recorder (they pull its trigger),
+  // the recorder before the sampler (bundles snapshot its rings) — Stop()
+  // drains queued triggers, so a breach just before shutdown still lands.
   if (monitor_) monitor_->Stop();
-  if (sampler_) sampler_->Stop();
+  if (slo_) slo_->Stop();
   if (watchdog_) watchdog_->Stop();
+  if (flight_) flight_->Stop();
+  if (sampler_) sampler_->Stop();
   if (backend_) backend_->Stop();
   if (!trace_path_.empty() && !trace_exported_.exchange(true)) {
     Status s = ExportTrace(trace_path_);
@@ -245,21 +251,42 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
   }
   if (config_.fault_seed != 0) fault_spec.seed = config_.fault_seed;
 
+  // SLO plane: the DLB_SLO environment variable overrides the config spec,
+  // mirroring DLB_FAULTS — declare objectives without a rebuild.
+  slo::SloSpec slo_spec;
+  if (const char* env = std::getenv("DLB_SLO"); env != nullptr) {
+    auto spec = slo::ParseSloSpec(env);
+    if (!spec.ok()) return spec.status();
+    slo_spec = std::move(spec).value();
+  } else if (!config_.slo.empty()) {
+    auto spec = slo::ParseSloSpec(config_.slo);
+    if (!spec.ok()) return spec.status();
+    slo_spec = std::move(spec).value();
+  }
+  const bool flight_on = !config_.flight_dir.empty();
+
   auto pipeline = std::unique_ptr<Pipeline>(new Pipeline());
   pipeline->backend_name_ = config_.backend;
   pipeline->num_engines_ = o.num_engines;
 
   // Observability wiring must precede backend construction: components
-  // latch the tracer/event-log pointers when telemetry is attached.
+  // latch the tracer/event-log pointers when telemetry is attached. The
+  // flight recorder implies tracing (bundles carry the breach-window
+  // Perfetto trace) and raises event logging to "info" when left off
+  // (bundles carry the event tail).
   const bool tracing = config_.enable_tracing || !config_.trace_path.empty() ||
-                       config_.watchdog_deadline_ms > 0;
+                       config_.watchdog_deadline_ms > 0 || flight_on;
   if (tracing) {
     pipeline->telemetry_->EnableTracing(config_.trace_span_capacity);
     pipeline->trace_path_ = config_.trace_path;
   }
-  if (level.value() != telemetry::EventLevel::kOff) {
+  telemetry::EventLevel event_level = level.value();
+  if (flight_on && event_level == telemetry::EventLevel::kOff) {
+    event_level = telemetry::EventLevel::kInfo;
+  }
+  if (event_level != telemetry::EventLevel::kOff) {
     pipeline->telemetry_->EnableEvents(config_.event_log_capacity,
-                                       level.value());
+                                       event_level);
   }
   if (config_.watchdog_deadline_ms > 0) {
     telemetry::WatchdogOptions wd;
@@ -332,18 +359,72 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
     pipeline->injector_->AttachRegistry(&pipeline->telemetry_->Registry());
     pipeline->backend_->AttachFaultInjector(pipeline->injector_.get());
   }
-  pipeline->start_time_ = std::chrono::steady_clock::now();
-  DLB_RETURN_IF_ERROR(pipeline->backend_->Start());
-  if (pipeline->watchdog_) pipeline->watchdog_->Start();
-
-  // Monitoring plane: sampler thread + exposition server. Wired last so
-  // every endpoint observes a fully-started pipeline.
-  if (config_.monitor_port >= 0) {
+  // Sampler: the monitoring plane, the SLO engine and the flight recorder
+  // all read its time series, so it exists whenever any of them does.
+  if (config_.monitor_port >= 0 || slo_spec.Any() || flight_on) {
     telemetry::SamplerOptions sampler_opts;
     sampler_opts.sample_ms = config_.monitor_sample_ms;
     pipeline->sampler_ = std::make_unique<telemetry::MetricsSampler>(
         pipeline->telemetry_.get(), sampler_opts);
+  }
 
+  // Flight recorder: armed before the backend starts so fault-plane
+  // trigger sites (retry exhaustion, way quarantine) reach it from the
+  // first batch. Components find it through the telemetry hub.
+  if (flight_on) {
+    flight::FlightOptions fopts;
+    fopts.dir = config_.flight_dir;
+    fopts.max_bundles = config_.flight_max_bundles;
+    fopts.min_interval_ms = config_.flight_min_interval_ms;
+    fopts.profile_ms = config_.flight_profile_ms;
+    fopts.trace_window_ms = config_.flight_trace_window_ms;
+    pipeline->flight_ = std::make_unique<flight::FlightRecorder>(
+        pipeline->telemetry_.get(), fopts);
+    pipeline->flight_->AttachSampler(pipeline->sampler_.get());
+    Pipeline* p = pipeline.get();
+    pipeline->flight_->SetTopologyProvider(
+        [p] { return p->backend_->Describe(); });
+    pipeline->flight_->SetStatsProvider([p] { return p->StatsJson(); });
+    pipeline->telemetry_->AttachFlightRecorder(pipeline->flight_.get());
+    pipeline->flight_->Start();
+  }
+
+  // SLO engine: evaluates the declared objectives over the sampler's
+  // series; a burn-rate breach snapshots a flight bundle when the
+  // recorder is armed.
+  if (slo_spec.Any()) {
+    slo::SloEngineOptions slo_opts;
+    slo_opts.eval_ms = config_.monitor_sample_ms;
+    pipeline->slo_ = std::make_unique<slo::SloEngine>(
+        pipeline->telemetry_.get(), pipeline->sampler_.get(),
+        std::move(slo_spec), slo_opts);
+    if (pipeline->flight_) {
+      flight::FlightRecorder* fr = pipeline->flight_.get();
+      pipeline->slo_->OnBreach([fr](const slo::SloBreach& breach) {
+        fr->Trigger(flight::TriggerKind::kSloBreach, breach.Describe());
+      });
+    }
+  }
+
+  // Watchdog stall → bundle. The callback replaces the watchdog's default
+  // logging, so log the report here before triggering.
+  if (pipeline->watchdog_ && pipeline->flight_) {
+    flight::FlightRecorder* fr = pipeline->flight_.get();
+    pipeline->watchdog_->OnStall([fr](const telemetry::StallReport& report) {
+      DLB_WARN << report.text;
+      fr->Trigger(flight::TriggerKind::kWatchdogStall,
+                  "no stage progress for " + std::to_string(report.quiet_ms) +
+                      " ms");
+    });
+  }
+
+  pipeline->start_time_ = std::chrono::steady_clock::now();
+  DLB_RETURN_IF_ERROR(pipeline->backend_->Start());
+  if (pipeline->watchdog_) pipeline->watchdog_->Start();
+
+  // Monitoring plane: the exposition server. Wired last so every endpoint
+  // observes a fully-started pipeline.
+  if (config_.monitor_port >= 0) {
     telemetry::MonitorServer::Options server_opts;
     server_opts.bind_address = config_.monitor_bind;
     server_opts.port = config_.monitor_port;
@@ -439,33 +520,75 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
                                          report.Collapsed()};
         });
     pipeline->monitor_->AddHandler(
+        "/slo", [p](const telemetry::HttpRequest&) {
+          const std::string body = p->slo_ != nullptr
+                                       ? p->slo_->Json()
+                                       : std::string("{\"enabled\":false}");
+          return telemetry::HttpResponse{200, "application/json", body};
+        });
+    pipeline->monitor_->AddHandler(
+        "/buildinfo", [](const telemetry::HttpRequest&) {
+          return telemetry::HttpResponse{200, "application/json",
+                                         BuildInfoJson()};
+        });
+    pipeline->monitor_->AddHandler(
+        "/debug/dump", [p](const telemetry::HttpRequest& request) {
+          if (p->flight_ == nullptr) {
+            return telemetry::HttpResponse{200, "application/json",
+                                           "{\"enabled\":false}"};
+          }
+          if (request.method == "POST") {
+            // Manual black-box capture: synchronous, bypasses the
+            // automated-trigger rate limit.
+            auto bundle = p->flight_->WriteBundleNow(
+                flight::TriggerKind::kManual, "POST /debug/dump");
+            if (!bundle.ok()) {
+              return telemetry::HttpResponse{
+                  500, "application/json",
+                  "{\"error\":\"" + bundle.status().message() + "\"}"};
+            }
+            return telemetry::HttpResponse{
+                200, "application/json",
+                "{\"bundle\":\"" + bundle.value() + "\"}"};
+          }
+          return telemetry::HttpResponse{200, "application/json",
+                                         p->flight_->ListJson()};
+        });
+    pipeline->monitor_->AddHandler(
         "/healthz", [p](const telemetry::HttpRequest&) {
           if (p->watchdog_ != nullptr && p->watchdog_->CurrentlyStalled()) {
             return telemetry::HttpResponse{
                 503, "text/plain; charset=utf-8",
                 "stalled: no stage progress past the watchdog deadline\n"};
           }
-          // Degraded-but-serving: quarantined ways or skipped images mean
-          // reduced capacity, not an outage — still 200, but flagged so
-          // operators (and the soak harness) can see it.
+          // Degraded-but-serving: quarantined ways, skipped images or a
+          // burning SLO mean reduced capacity, not an outage — still 200,
+          // but flagged so operators (and the soak harness) can see it.
           MetricRegistry& reg = p->telemetry_->Registry();
           const uint64_t quarantined =
               static_cast<uint64_t>(reg.GetGauge("fpga.ways_quarantined")->Value());
           const uint64_t decode_errors =
               reg.GetCounter("decode.errors")->Value();
-          if (quarantined > 0 || decode_errors > 0) {
-            return telemetry::HttpResponse{
-                200, "text/plain; charset=utf-8",
+          const uint64_t slo_burning =
+              p->slo_ != nullptr ? p->slo_->AnyBurning() : 0;
+          if (quarantined > 0 || decode_errors > 0 || slo_burning > 0) {
+            std::string body =
                 "degraded ways_quarantined=" + std::to_string(quarantined) +
-                    " decode_errors=" + std::to_string(decode_errors) + "\n"};
+                " decode_errors=" + std::to_string(decode_errors);
+            if (slo_burning > 0) {
+              body += " slo_burning=" + std::to_string(slo_burning);
+            }
+            return telemetry::HttpResponse{200, "text/plain; charset=utf-8",
+                                           std::move(body) + "\n"};
           }
           return telemetry::HttpResponse{200, "text/plain; charset=utf-8",
                                          "ok\n"};
         });
 
     DLB_RETURN_IF_ERROR(pipeline->monitor_->Start());
-    pipeline->sampler_->Start();
   }
+  if (pipeline->sampler_) pipeline->sampler_->Start();
+  if (pipeline->slo_) pipeline->slo_->Start();
   return pipeline;
 }
 

@@ -30,8 +30,10 @@
 #include "image/tensor.h"
 #include "storagedb/kv_store.h"
 #include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics_sampler.h"
 #include "telemetry/monitor_server.h"
+#include "telemetry/slo.h"
 #include "telemetry/trace.h"
 #include "telemetry/watchdog.h"
 
@@ -87,8 +89,31 @@ struct PipelineConfig {
   /// Bind address for the monitor server (loopback unless exposed).
   std::string monitor_bind = "127.0.0.1";
   /// Metrics sampler period in ms (rates/watermarks are derived per
-  /// window).
+  /// window). Also the SLO engine's evaluation cadence, and the sampler
+  /// runs whenever the SLO engine or flight recorder needs it — even with
+  /// the monitor server off.
   uint64_t monitor_sample_ms = 500;
+
+  // --- SLO engine + flight recorder (DESIGN.md §5.10) ---
+  /// Declared objectives, e.g. "infer_p99<8ms/30s,decode_errors<0.1%"
+  /// (grammar in telemetry/slo.h). The DLB_SLO environment variable, when
+  /// set, overrides this field. Empty (and no env) = engine off.
+  std::string slo;
+  /// Flight-recorder bundle directory; non-empty arms the recorder (and
+  /// implies tracing — bundles carry the breach-window Perfetto trace).
+  /// Event logging is raised to "info" when left "off", so bundles carry an
+  /// event tail.
+  std::string flight_dir;
+  /// Bundles retained on disk; the oldest is deleted past the cap.
+  size_t flight_max_bundles = 8;
+  /// Minimum spacing between automated bundles (manual POST /debug/dump
+  /// bypasses it).
+  uint64_t flight_min_interval_ms = 5000;
+  /// Auto-captured dlb::prof profile window per bundle (0 = skip).
+  uint64_t flight_profile_ms = 200;
+  /// Trace window per bundle: spans ending in the last this-many ms
+  /// (0 = everything resident in the ring).
+  uint64_t flight_trace_window_ms = 10'000;
 };
 
 /// Structured pipeline snapshot. The first three fields are the legacy
@@ -154,12 +179,18 @@ class Pipeline {
   /// Fault injector; null unless a fault spec was configured (config.faults
   /// or the DLB_FAULTS environment variable).
   fault::FaultInjector* Faults() { return injector_.get(); }
-  /// Metrics sampler; null unless monitoring was enabled (monitor_port >= 0).
+  /// Metrics sampler; null unless monitoring, the SLO engine or the flight
+  /// recorder was enabled.
   telemetry::MetricsSampler* Sampler() { return sampler_.get(); }
   /// Exposition server; null unless monitoring was enabled.
   telemetry::MonitorServer* Monitor() { return monitor_.get(); }
   /// The bound monitoring port (resolves monitor_port=0), -1 when off.
   int MonitorPort() const { return monitor_ ? monitor_->Port() : -1; }
+  /// SLO engine; null unless objectives were declared (config.slo or the
+  /// DLB_SLO environment variable).
+  slo::SloEngine* Slo() { return slo_.get(); }
+  /// Flight recorder; null unless config.flight_dir was set.
+  flight::FlightRecorder* Flight() { return flight_.get(); }
 
   /// Stats() as deterministic JSON — the /stats endpoint body.
   std::string StatsJson() const;
@@ -186,6 +217,8 @@ class Pipeline {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<telemetry::Watchdog> watchdog_;
   std::unique_ptr<telemetry::MetricsSampler> sampler_;
+  std::unique_ptr<flight::FlightRecorder> flight_;
+  std::unique_ptr<slo::SloEngine> slo_;
   std::unique_ptr<telemetry::MonitorServer> monitor_;
   std::string trace_path_;
   std::atomic<bool> trace_exported_{false};

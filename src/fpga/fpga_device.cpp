@@ -7,6 +7,7 @@
 #include "codec/jpeg_decoder.h"
 #include "common/log.h"
 #include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/stage_tag.h"
 
 namespace dlb::fpga {
@@ -169,6 +170,11 @@ bool FpgaDevice::MaybeQuarantine(Unit unit, uint32_t way,
     if (telemetry::EventLog* events = telem->events()) {
       events->Log(telemetry::EventType::kUnitQuarantined, 0,
                   static_cast<uint64_t>(unit), way);
+    }
+    if (flight::FlightRecorder* fr = telem->flight()) {
+      fr->Trigger(flight::TriggerKind::kQuarantine,
+                  std::string(UnitName(unit)) + " way " +
+                      std::to_string(way) + " quarantined");
     }
   }
   return true;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "telemetry/flight_recorder.h"
 
 namespace dlb {
 
@@ -168,6 +169,14 @@ void FpgaReader::ProcessCompletions(
       if (telemetry::EventLog* events = EventsSink()) {
         events->Log(telemetry::EventType::kRetryExhausted,
                     state.trace.batch_id, slot, state.attempts[slot]);
+      }
+      if (telemetry_ != nullptr) {
+        if (flight::FlightRecorder* fr = telemetry_->flight()) {
+          fr->Trigger(flight::TriggerKind::kRetryExhausted,
+                      "batch " + std::to_string(state.trace.batch_id) +
+                          " slot " + std::to_string(slot) + " after " +
+                          std::to_string(state.attempts[slot]) + " attempts");
+        }
       }
       MarkSlotFailed(it, slot, c.status.code());
       continue;
@@ -384,6 +393,14 @@ void FpgaReader::Loop() {
           events->Log(telemetry::EventType::kRetryExhausted,
                       state->trace.batch_id, slot,
                       static_cast<uint64_t>(options_.submit_retry_limit));
+        }
+        if (telemetry_ != nullptr) {
+          if (flight::FlightRecorder* fr = telemetry_->flight()) {
+            fr->Trigger(flight::TriggerKind::kRetryExhausted,
+                        "submit budget exhausted: batch " +
+                            std::to_string(state->trace.batch_id) + " slot " +
+                            std::to_string(slot));
+          }
         }
         MarkSlotFailed(in_flight_.find(batch_seq), slot,
                        StatusCode::kResourceExhausted);

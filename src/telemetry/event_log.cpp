@@ -56,6 +56,12 @@ const char* EventTypeName(EventType type) {
       return "retry_exhausted";
     case EventType::kBatchTimeout:
       return "batch_timeout";
+    case EventType::kStageStalled:
+      return "stage_stalled";
+    case EventType::kSloBreach:
+      return "slo_breach";
+    case EventType::kBundleWritten:
+      return "bundle_written";
   }
   return "unknown";
 }
@@ -72,11 +78,14 @@ EventLevel EventTypeLevel(EventType type) {
     case EventType::kQueueHighWatermark:
     case EventType::kTraceExported:
     case EventType::kDecodeError:
+    case EventType::kBundleWritten:
       return EventLevel::kInfo;
     case EventType::kStallDetected:
     case EventType::kUnitQuarantined:
     case EventType::kRetryExhausted:
     case EventType::kBatchTimeout:
+    case EventType::kStageStalled:
+    case EventType::kSloBreach:
       return EventLevel::kWarn;
   }
   return EventLevel::kInfo;

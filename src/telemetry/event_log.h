@@ -47,6 +47,11 @@ enum class EventType : uint8_t {
   kRetryExhausted,      // slot gave up retrying; arg0 = slot,
                         // arg1 = attempts                           [warn]
   kBatchTimeout,        // completion deadline hit; arg0 = pending   [warn]
+  kStageStalled,        // watchdog named this stage; arg0 = Stage,
+                        // arg1 = quiet ms                           [warn]
+  kSloBreach,           // objective entered burning; arg0 = index,
+                        // arg1 = observed value (truncated)         [warn]
+  kBundleWritten,       // flight recorder dumped; arg0 = trigger    [info]
 };
 
 const char* EventTypeName(EventType type);

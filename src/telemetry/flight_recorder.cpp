@@ -1,0 +1,312 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/buildinfo.h"
+#include "common/log.h"
+#include "telemetry/event_log.h"
+#include "telemetry/profiler.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_exporter.h"
+
+namespace dlb::flight {
+
+namespace fs = std::filesystem;
+
+const char* TriggerName(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kManual: return "manual";
+    case TriggerKind::kSloBreach: return "slo_breach";
+    case TriggerKind::kWatchdogStall: return "watchdog_stall";
+    case TriggerKind::kRetryExhausted: return "retry_exhausted";
+    case TriggerKind::kQuarantine: return "quarantine";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Wall-clock ms since the Unix epoch: bundle names must sort across
+// process restarts, which the steady clock cannot give.
+uint64_t WallMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+Status WriteFile(const fs::path& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open bundle file: " + path.string());
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) {
+    return Internal("short write to bundle file: " + path.string());
+  }
+  return Status::Ok();
+}
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (c == '\n') {
+      os << "\\n";
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(telemetry::Telemetry* telemetry,
+                               FlightOptions options)
+    : telemetry_(telemetry), options_(std::move(options)) {
+  DLB_CHECK(telemetry_ != nullptr);
+  DLB_CHECK(!options_.dir.empty());
+  if (options_.max_bundles == 0) options_.max_bundles = 1;
+  // Pre-register the twin counters so the recorder is visible in /metrics
+  // before the first trigger.
+  telemetry_->Registry().GetCounter("flight.bundles");
+  telemetry_->Registry().GetCounter("flight.suppressed");
+}
+
+FlightRecorder::~FlightRecorder() {
+  Stop();
+  telemetry_->AttachFlightRecorder(nullptr);
+}
+
+void FlightRecorder::AttachSampler(telemetry::MetricsSampler* sampler) {
+  sampler_ = sampler;
+}
+
+void FlightRecorder::SetTopologyProvider(
+    std::function<std::string()> provider) {
+  topology_ = std::move(provider);
+}
+
+void FlightRecorder::SetStatsProvider(std::function<std::string()> provider) {
+  stats_ = std::move(provider);
+}
+
+void FlightRecorder::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::scoped_lock lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void FlightRecorder::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::scoped_lock lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool FlightRecorder::Trigger(TriggerKind kind, std::string detail) {
+  if (!running_.load(std::memory_order_acquire)) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    telemetry_->Registry().GetCounter("flight.suppressed")->Add();
+    return false;
+  }
+  const uint64_t now = telemetry::NowNs();
+  if (kind != TriggerKind::kManual) {
+    const uint64_t last = last_accept_ns_.load(std::memory_order_acquire);
+    if (last != 0 && now - last < options_.min_interval_ms * 1'000'000ull) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      telemetry_->Registry().GetCounter("flight.suppressed")->Add();
+      return false;
+    }
+  }
+  {
+    std::scoped_lock lock(mu_);
+    if (queue_.size() >= 4) {  // writer is hopelessly behind; shed
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      telemetry_->Registry().GetCounter("flight.suppressed")->Add();
+      return false;
+    }
+    queue_.push_back(Pending{kind, std::move(detail)});
+  }
+  last_accept_ns_.store(now, std::memory_order_release);
+  cv_.notify_one();
+  return true;
+}
+
+void FlightRecorder::Loop() {
+  for (;;) {
+    Pending item;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_requested_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    auto result = WriteBundleNow(item.kind, item.detail);
+    if (!result.ok()) {
+      DLB_WARN << "flight recorder: bundle write failed: "
+               << result.status().message();
+    }
+  }
+}
+
+std::string FlightRecorder::ManifestJson(TriggerKind kind,
+                                         const std::string& detail,
+                                         uint64_t wall_ms,
+                                         const std::string& name) const {
+  std::ostringstream os;
+  os << "{\"format_version\":1,\"bundle\":\"" << name << "\",\"trigger\":\""
+     << TriggerName(kind) << "\",\"detail\":";
+  AppendJsonString(os, detail);
+  os << ",\"wall_ms\":" << wall_ms << ",\"ts_ns\":" << telemetry::NowNs()
+     << ",\"buildinfo\":" << BuildInfoJson() << "}";
+  return os.str();
+}
+
+Result<std::string> FlightRecorder::WriteBundleNow(TriggerKind kind,
+                                                   const std::string& detail) {
+  const uint64_t wall_ms = WallMs();
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string name = "bundle-" + std::to_string(wall_ms) + "-" +
+                           std::to_string(seq) + "-" + TriggerName(kind);
+
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  const fs::path final_dir = fs::path(options_.dir) / name;
+  const fs::path tmp_dir = fs::path(options_.dir) / ("." + name + ".tmp");
+  fs::remove_all(tmp_dir, ec);
+  fs::create_directories(tmp_dir, ec);
+  if (ec) {
+    return Internal("cannot create bundle dir " + tmp_dir.string() + ": " +
+                    ec.message());
+  }
+
+  DLB_RETURN_IF_ERROR(WriteFile(tmp_dir / "manifest.json",
+                                ManifestJson(kind, detail, wall_ms, name)));
+  if (telemetry::Tracer* tracer = telemetry_->tracer()) {
+    std::vector<telemetry::TraceSpan> spans;
+    if (options_.trace_window_ms > 0) {
+      const uint64_t now = telemetry::NowNs();
+      const uint64_t window = options_.trace_window_ms * 1'000'000ull;
+      spans = tracer->SpansSince(now > window ? now - window : 0);
+    } else {
+      spans = tracer->Spans();
+    }
+    DLB_RETURN_IF_ERROR(WriteFile(
+        tmp_dir / "trace.json", telemetry::TraceExporter::ToChromeJson(spans)));
+  }
+  if (telemetry::EventLog* events = telemetry_->events()) {
+    std::string tail;
+    for (const telemetry::Event& e : events->Tail(options_.event_tail)) {
+      tail += telemetry::EventLog::RenderJson(e);
+      tail += "\n";
+    }
+    DLB_RETURN_IF_ERROR(WriteFile(tmp_dir / "events.jsonl", tail));
+  }
+  DLB_RETURN_IF_ERROR(WriteFile(tmp_dir / "metrics.json",
+                                telemetry_->Registry().ReportJson()));
+  if (sampler_ != nullptr) {
+    DLB_RETURN_IF_ERROR(
+        WriteFile(tmp_dir / "series.json", sampler_->Json(true)));
+  }
+  if (options_.profile_ms > 0) {
+    // Blocking capture on the writer thread: the breach is still live when
+    // the trigger fires, so the window profiles the anomaly itself.
+    const auto report = prof::Profiler::ProfileFor(
+        options_.profile_ms, prof::ProfilerOptions{},
+        &telemetry_->Registry());
+    DLB_RETURN_IF_ERROR(WriteFile(tmp_dir / "profile.json", report.Json()));
+  }
+  if (topology_) {
+    DLB_RETURN_IF_ERROR(WriteFile(tmp_dir / "topology.txt", topology_()));
+  }
+  if (stats_) {
+    DLB_RETURN_IF_ERROR(WriteFile(tmp_dir / "stats.json", stats_()));
+  }
+
+  fs::rename(tmp_dir, final_dir, ec);
+  if (ec) {
+    return Internal("cannot publish bundle " + final_dir.string() + ": " +
+                    ec.message());
+  }
+  written_.fetch_add(1, std::memory_order_relaxed);
+  telemetry_->Registry().GetCounter("flight.bundles")->Add();
+  if (telemetry::EventLog* events = telemetry_->events()) {
+    events->Log(telemetry::EventType::kBundleWritten, 0,
+                static_cast<uint64_t>(kind));
+  }
+  EnforceRetention();
+  return final_dir.string();
+}
+
+std::vector<BundleInfo> FlightRecorder::Bundles() const {
+  std::vector<BundleInfo> out;
+  std::error_code ec;
+  fs::directory_iterator it(options_.dir, ec);
+  if (ec) return out;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_directory(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("bundle-", 0) != 0) continue;
+    out.push_back(BundleInfo{name, entry.path().string()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BundleInfo& a, const BundleInfo& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void FlightRecorder::EnforceRetention() {
+  std::vector<BundleInfo> bundles = Bundles();
+  std::error_code ec;
+  while (bundles.size() > options_.max_bundles) {
+    fs::remove_all(bundles.front().path, ec);
+    bundles.erase(bundles.begin());
+  }
+}
+
+std::string FlightRecorder::ListJson() const {
+  std::ostringstream os;
+  os << "{\"enabled\":true,\"dir\":";
+  AppendJsonString(os, options_.dir);
+  os << ",\"written\":" << BundlesWritten()
+     << ",\"suppressed\":" << TriggersSuppressed() << ",\"bundles\":[";
+  bool first = true;
+  for (const BundleInfo& b : Bundles()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << b.name << "\",\"manifest\":";
+    // Embed the bundle's own manifest verbatim — it is valid JSON by
+    // construction, and re-parsing it here would only re-serialise it.
+    std::string manifest = "null";
+    if (std::FILE* f = std::fopen((fs::path(b.path) / "manifest.json").c_str(),
+                                  "r")) {
+      char buf[4096];
+      std::string body;
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+      std::fclose(f);
+      if (!body.empty()) manifest = std::move(body);
+    }
+    os << manifest << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dlb::flight

@@ -1,0 +1,159 @@
+// Flight recorder: anomaly-triggered black-box capture.
+//
+// Export-on-shutdown tracing answers "what happened over the whole run";
+// an SLO breach at 03:12 needs "what happened in the last ten seconds",
+// captured *at 03:12*, with nobody watching. The recorder leans on the
+// telemetry substrate's always-on retained rings — the tracer's span ring,
+// the event log, the sampler's time-series — and adds a trigger bus: when
+// an objective starts burning, the watchdog fires, the fault plane
+// exhausts its retries or quarantines a way, or an operator POSTs
+// /debug/dump, a background writer atomically materialises a bundle
+// directory:
+//
+//   <dir>/bundle-<wall_ms>-<seq>-<trigger>/
+//     manifest.json   trigger kind + detail, timestamps, build provenance
+//     trace.json      Perfetto trace of the breach window (SpansSince)
+//     events.jsonl    structured event tail
+//     metrics.json    full MetricRegistry snapshot
+//     series.json     sampler time-series rings (when attached)
+//     profile.json    auto-captured dlb::prof sampling profile
+//     topology.txt    backend Describe() (when wired)
+//     stats.json      pipeline StatsJson() (when wired)
+//
+// Bundles are written to a dotted temp dir and renamed into place, so a
+// reader never sees a half-written bundle. Automated triggers are
+// rate-limited (min_interval_ms) and retention-capped (max_bundles, oldest
+// deleted); manual triggers bypass the rate limit but not retention.
+// Triggering is enqueue-and-return — the hot path and the watchdog thread
+// never block on file I/O or the profile window.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics_sampler.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb::flight {
+
+/// Who pulled the trigger. Stable ordinals: event-log records carry them.
+enum class TriggerKind : uint8_t {
+  kManual = 0,      // POST /debug/dump or a direct call
+  kSloBreach,       // an SLO objective entered burning
+  kWatchdogStall,   // the stall watchdog fired
+  kRetryExhausted,  // hostbridge gave up retrying a slot
+  kQuarantine,      // an FPGA way was latched dead
+};
+inline constexpr int kNumTriggerKinds = 5;
+
+const char* TriggerName(TriggerKind kind);
+
+struct FlightOptions {
+  /// Bundle root directory (created on demand). Must be non-empty.
+  std::string dir;
+  /// Bundles retained; the oldest is deleted when the cap is exceeded.
+  size_t max_bundles = 8;
+  /// Minimum spacing between automated bundles. A fault storm that trips
+  /// ten triggers a second still produces one bundle per interval.
+  uint64_t min_interval_ms = 5000;
+  /// Auto-captured profile window per bundle (0 = skip the profile).
+  uint64_t profile_ms = 200;
+  /// Events included in the bundle's tail.
+  size_t event_tail = 256;
+  /// Trace window: spans that ended in the last this-many ms make the
+  /// bundle (0 = everything resident in the ring).
+  uint64_t trace_window_ms = 10'000;
+};
+
+struct BundleInfo {
+  std::string name;  // directory name, "bundle-<wall_ms>-<seq>-<trigger>"
+  std::string path;  // full path
+};
+
+class FlightRecorder {
+ public:
+  /// `telemetry` must outlive the recorder.
+  FlightRecorder(telemetry::Telemetry* telemetry, FlightOptions options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Wire the sampler whose rings land in series.json. Call before Start().
+  void AttachSampler(telemetry::MetricsSampler* sampler);
+  /// Optional bundle extras. Call before Start(); invoked from the writer
+  /// thread, so providers must be thread-safe snapshot APIs.
+  void SetTopologyProvider(std::function<std::string()> provider);
+  void SetStatsProvider(std::function<std::string()> provider);
+
+  /// Launch / stop the writer thread. Stop() drains queued triggers first,
+  /// so a breach just before shutdown still lands on disk. Idempotent.
+  void Start();
+  void Stop();
+
+  /// Request a bundle. Returns true when accepted (the writer thread will
+  /// materialise it), false when suppressed — recorder not running, rate
+  /// limit, or queue full. Automated kinds are rate-limited; kManual is
+  /// not. Never blocks on I/O.
+  bool Trigger(TriggerKind kind, std::string detail);
+
+  /// Write a bundle synchronously on the calling thread (the /debug/dump
+  /// POST path and the deterministic test seam — no rate limit). Returns
+  /// the bundle path.
+  Result<std::string> WriteBundleNow(TriggerKind kind,
+                                     const std::string& detail);
+
+  /// Bundles currently on disk, oldest first.
+  std::vector<BundleInfo> Bundles() const;
+
+  /// The GET /debug/dump body: {"enabled":true,"dir":…,"bundles":[
+  /// {"name":…,"manifest":{…}},…]} with each bundle's manifest embedded.
+  std::string ListJson() const;
+
+  uint64_t BundlesWritten() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  uint64_t TriggersSuppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+  const FlightOptions& Options() const { return options_; }
+
+ private:
+  struct Pending {
+    TriggerKind kind = TriggerKind::kManual;
+    std::string detail;
+  };
+
+  void Loop();
+  void EnforceRetention();
+  std::string ManifestJson(TriggerKind kind, const std::string& detail,
+                           uint64_t wall_ms, const std::string& name) const;
+
+  telemetry::Telemetry* telemetry_;
+  FlightOptions options_;
+  telemetry::MetricsSampler* sampler_ = nullptr;
+  std::function<std::string()> topology_;
+  std::function<std::string()> stats_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> written_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  std::atomic<uint64_t> last_accept_ns_{0};
+  std::atomic<uint64_t> seq_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dlb::flight

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -23,6 +24,7 @@ const char* StatusText(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 400: return "Bad Request";
+    case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "OK";
   }
@@ -41,6 +43,7 @@ struct Connection {
   std::string out;
   size_t written = 0;
   bool responding = false;
+  std::chrono::steady_clock::time_point accepted;
 };
 
 }  // namespace
@@ -58,7 +61,7 @@ void MonitorServer::AddHandler(std::string path, Handler handler) {
 }
 
 HttpResponse MonitorServer::Dispatch(const HttpRequest& request) const {
-  if (request.method != "GET") {
+  if (request.method != "GET" && request.method != "POST") {
     return {405, "text/plain; charset=utf-8", "method not allowed\n"};
   }
   auto it = handlers_.find(request.path);
@@ -150,23 +153,34 @@ void MonitorServer::Loop(std::stop_token token) {
     }
     const int ready = ::poll(fds.data(), fds.size(), kPollMs);
     if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
+    if (ready <= 0 && conns.empty()) continue;
+    // A timed-out poll still sweeps the connection table below: a wedged
+    // connection generates no poll events, so the request timeout must not
+    // depend on one.
 
     // Accept while there is room in the connection table.
-    if ((fds[0].revents & POLLIN) != 0) {
+    if (ready > 0 && (fds[0].revents & POLLIN) != 0) {
       while (conns.size() < static_cast<size_t>(options_.max_connections)) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
         SetNonBlocking(fd);
         Connection c;
         c.fd = fd;
+        c.accepted = std::chrono::steady_clock::now();
         conns.push_back(std::move(c));
       }
     }
 
+    const auto now = std::chrono::steady_clock::now();
     for (size_t i = 0; i < conns.size();) {
       Connection& c = conns[i];
-      bool close_conn = false;
+      // A connection still waiting for complete request headers past the
+      // timeout (truncated request line, slow-loris) is dropped so it
+      // cannot pin a slot and wedge the accept loop.
+      bool close_conn =
+          !c.responding &&
+          now - c.accepted >
+              std::chrono::milliseconds(options_.request_timeout_ms);
       // Connections accepted this round have no pollfd entry yet, and an
       // erase above shifts indices — match on fd before trusting revents.
       const short revents = (i + 1 < fds.size() && fds[i + 1].fd == c.fd)

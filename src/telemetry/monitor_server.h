@@ -52,6 +52,10 @@ class MonitorServer {
     /// Connections the poll loop tracks at once; accepts beyond this are
     /// served as soon as a slot frees (the backlog holds them).
     int max_connections = 16;
+    /// A connection that has not completed its request headers within this
+    /// many ms is dropped — a truncated request line (or a slow-loris
+    /// client) must not pin a connection slot forever.
+    uint64_t request_timeout_ms = 5000;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -83,8 +87,9 @@ class MonitorServer {
   }
 
   /// Route a request through the registered handlers without a socket —
-  /// the deterministic seam tests use. 404 on unknown path, 405 on
-  /// non-GET.
+  /// the deterministic seam tests use. 404 (with an endpoint listing body)
+  /// on unknown path, 405 on anything but GET/POST. Handlers that care
+  /// about the method (POST /debug/dump) branch on request.method.
   HttpResponse Dispatch(const HttpRequest& request) const;
 
   /// Serialize a response as an HTTP/1.1 wire message.

@@ -1,0 +1,415 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
+#include "telemetry/event_log.h"
+
+namespace dlb::slo {
+
+const char* SloStateName(SloState state) {
+  switch (state) {
+    case SloState::kOk: return "ok";
+    case SloState::kWarning: return "warning";
+    case SloState::kBurning: return "burning";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Parse "<number>[unit]" where unit scales into the objective's canonical
+// domain: durations land in ns, percentages in fractions.
+Status ParseThreshold(const std::string& entry, const std::string& text,
+                      double* out, bool* is_percent, bool* is_duration) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) {
+    return InvalidArgument("slo spec: bad threshold in \"" + entry + "\"");
+  }
+  const std::string unit(end);
+  *is_percent = false;
+  *is_duration = true;
+  if (unit.empty()) {
+    *is_duration = false;
+    *out = v;
+  } else if (unit == "ns") {
+    *out = v;
+  } else if (unit == "us") {
+    *out = v * 1e3;
+  } else if (unit == "ms") {
+    *out = v * 1e6;
+  } else if (unit == "s") {
+    *out = v * 1e9;
+  } else if (unit == "%") {
+    *is_percent = true;
+    *is_duration = false;
+    *out = v / 100.0;
+  } else {
+    return InvalidArgument("slo spec: unknown threshold unit \"" + unit +
+                           "\" in \"" + entry + "\" (want ns|us|ms|s|%)");
+  }
+  return Status::Ok();
+}
+
+Status ParseWindow(const std::string& entry, const std::string& text,
+                   uint64_t* out_ms) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || v <= 0) {
+    return InvalidArgument("slo spec: bad window in \"" + entry + "\"");
+  }
+  const std::string unit(end);
+  if (unit == "ms") {
+    *out_ms = static_cast<uint64_t>(v);
+  } else if (unit == "s" || unit.empty()) {
+    *out_ms = static_cast<uint64_t>(v * 1000.0);
+  } else if (unit == "m") {
+    *out_ms = static_cast<uint64_t>(v * 60'000.0);
+  } else {
+    return InvalidArgument("slo spec: unknown window unit \"" + unit +
+                           "\" in \"" + entry + "\" (want ms|s|m)");
+  }
+  if (*out_ms == 0) *out_ms = 1;
+  return Status::Ok();
+}
+
+// Map the metric vocabulary onto sampler series. Quantile shorthands
+// resolve against the stage taxonomy; two error-ratio shorthands cover the
+// fault plane; everything else is watched as a literal series name.
+Status ResolveMetric(SloObjective* obj) {
+  const std::string& name = obj->name;
+  const size_t p = name.rfind("_p");
+  if (p != std::string::npos && p > 0) {
+    const std::string q = name.substr(p + 2);
+    if (q == "50" || q == "95" || q == "99") {
+      std::string stage = name.substr(0, p);
+      if (stage == "infer") stage = "consume";
+      for (int i = 0; i < telemetry::kNumStages; ++i) {
+        if (stage == telemetry::StageName(static_cast<telemetry::Stage>(i))) {
+          obj->kind = ObjectiveKind::kQuantile;
+          obj->series = "stage." + stage + ".latency_ns.p" + q;
+          return Status::Ok();
+        }
+      }
+      return InvalidArgument(
+          "slo spec: unknown stage in \"" + name +
+          "\" (want infer or fetch|decode|resize|collect|dispatch|consume)");
+    }
+  }
+  if (name == "decode_errors") {
+    obj->kind = ObjectiveKind::kRatio;
+    obj->numerator = "decode.errors";
+    obj->denominator = "stage.decode.items";
+    return Status::Ok();
+  }
+  if (name == "retry_exhausted") {
+    obj->kind = ObjectiveKind::kRatio;
+    obj->numerator = "retry.exhausted";
+    obj->denominator = "stage.decode.items";
+    return Status::Ok();
+  }
+  obj->kind = ObjectiveKind::kSeries;
+  obj->series = name;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SloSpec> ParseSloSpec(const std::string& spec) {
+  SloSpec out;
+  out.text = spec;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    const size_t op = entry.find_first_of("<>");
+    if (op == std::string::npos || op == 0) {
+      return InvalidArgument(
+          "slo spec: expected <metric><op><threshold>[/window], got \"" +
+          entry + "\"");
+    }
+    SloObjective obj;
+    obj.name = entry.substr(0, op);
+    obj.op = entry[op];
+    std::string rest = entry.substr(op + 1);
+    const size_t slash = rest.find('/');
+    if (slash != std::string::npos) {
+      DLB_RETURN_IF_ERROR(
+          ParseWindow(entry, rest.substr(slash + 1), &obj.window_ms));
+      rest.resize(slash);
+    }
+    bool is_percent = false;
+    bool is_duration = false;
+    DLB_RETURN_IF_ERROR(
+        ParseThreshold(entry, rest, &obj.threshold, &is_percent, &is_duration));
+    DLB_RETURN_IF_ERROR(ResolveMetric(&obj));
+
+    if (obj.kind == ObjectiveKind::kRatio) {
+      if (is_duration) {
+        return InvalidArgument("slo spec: \"" + obj.name +
+                               "\" is a ratio; threshold wants % or a "
+                               "fraction, not a duration");
+      }
+      if (obj.threshold < 0.0 || obj.threshold > 1.0) {
+        return InvalidArgument("slo spec: ratio threshold for \"" + obj.name +
+                               "\" must be in [0,1] (or 0%..100%)");
+      }
+    }
+    if (obj.kind == ObjectiveKind::kQuantile && is_percent) {
+      return InvalidArgument("slo spec: \"" + obj.name +
+                             "\" is a latency quantile; threshold wants a "
+                             "duration (ns|us|ms|s), not %");
+    }
+    out.objectives.push_back(std::move(obj));
+  }
+  return out;
+}
+
+Result<SloSpec> SloSpecFromEnv() {
+  const char* env = std::getenv("DLB_SLO");
+  if (env == nullptr) return SloSpec{};
+  return ParseSloSpec(env);
+}
+
+std::string SloBreach::Describe() const {
+  std::ostringstream os;
+  os << objective << ": value " << value << " vs threshold " << threshold
+     << " over " << window_ms << "ms";
+  return os.str();
+}
+
+SloEngine::SloEngine(telemetry::Telemetry* telemetry,
+                     telemetry::MetricsSampler* sampler, SloSpec spec,
+                     SloEngineOptions options)
+    : telemetry_(telemetry),
+      sampler_(sampler),
+      spec_(std::move(spec)),
+      options_(options) {
+  DLB_CHECK(telemetry_ != nullptr);
+  DLB_CHECK(sampler_ != nullptr);
+  if (options_.eval_ms == 0) options_.eval_ms = 1;
+  prev_state_.assign(spec_.objectives.size(), SloState::kOk);
+  // Pre-register the exported gauges/counters so the spec is visible in
+  // /metrics from the first scrape, before the first evaluation.
+  MetricRegistry& reg = telemetry_->Registry();
+  reg.GetCounter("slo.breaches");
+  for (const SloObjective& o : spec_.objectives) {
+    reg.GetGauge("slo." + o.name + ".state");
+    reg.GetGauge("slo." + o.name + ".value");
+    reg.GetGauge("slo." + o.name + ".burn_fast");
+    reg.GetGauge("slo." + o.name + ".burn_slow");
+    reg.GetGauge("slo." + o.name + ".threshold")->Set(o.threshold);
+    reg.GetCounter("slo." + o.name + ".breaches");
+  }
+}
+
+SloEngine::~SloEngine() { Stop(); }
+
+void SloEngine::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::jthread([this](std::stop_token token) { Loop(token); });
+}
+
+void SloEngine::Stop() {
+  if (!running_.exchange(false)) return;
+  thread_.request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void SloEngine::OnBreach(std::function<void(const SloBreach&)> callback) {
+  on_breach_ = std::move(callback);
+}
+
+void SloEngine::Loop(std::stop_token token) {
+  const auto period = std::chrono::milliseconds(options_.eval_ms);
+  while (!token.stop_requested()) {
+    std::this_thread::sleep_for(period);
+    if (token.stop_requested()) break;
+    EvaluateOnce();
+  }
+}
+
+std::vector<SloStatus> SloEngine::EvaluateAt(uint64_t now_ns) {
+  const std::vector<telemetry::SeriesSnapshot> series =
+      sampler_->Snapshot(/*with_points=*/true);
+  auto find = [&series](const std::string& name)
+      -> const telemetry::SeriesSnapshot* {
+    for (const telemetry::SeriesSnapshot& s : series) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+
+  // Counter delta over [lo_ns, now]: last - first of the points inside the
+  // window. Fewer than two points means the window has no measurable delta.
+  auto delta_over = [&](const telemetry::SeriesSnapshot* s, uint64_t lo_ns,
+                        uint64_t* samples) -> double {
+    if (s == nullptr) return 0.0;
+    double first = 0.0, last = 0.0;
+    uint64_t n = 0;
+    for (const telemetry::SeriesPoint& p : s->points) {
+      if (p.ts_ns < lo_ns || p.ts_ns > now_ns) continue;
+      if (n == 0) first = p.value;
+      last = p.value;
+      ++n;
+    }
+    if (samples != nullptr) *samples = n;
+    if (n < 2) return 0.0;
+    return std::max(0.0, last - first);
+  };
+
+  std::vector<SloStatus> out;
+  std::vector<SloBreach> fired;
+  out.reserve(spec_.objectives.size());
+
+  {
+    std::scoped_lock lock(mu_);
+    int burning = 0;
+    for (size_t i = 0; i < spec_.objectives.size(); ++i) {
+      const SloObjective& obj = spec_.objectives[i];
+      SloStatus st;
+      st.name = obj.name;
+      st.op = obj.op;
+      st.threshold = obj.threshold;
+      st.window_ms = obj.window_ms;
+
+      const uint64_t fast_ns = obj.window_ms * 1'000'000ull;
+      const uint64_t slow_ns = 4 * fast_ns;
+      const uint64_t fast_lo = now_ns > fast_ns ? now_ns - fast_ns : 0;
+      const uint64_t slow_lo = now_ns > slow_ns ? now_ns - slow_ns : 0;
+
+      if (obj.kind == ObjectiveKind::kRatio) {
+        st.series = obj.numerator + "/" + obj.denominator;
+        const telemetry::SeriesSnapshot* num = find(obj.numerator);
+        const telemetry::SeriesSnapshot* den = find(obj.denominator);
+        auto ratio = [&](uint64_t lo, uint64_t* samples) {
+          uint64_t num_n = 0;
+          const double dn = delta_over(num, lo, &num_n);
+          const double dd = delta_over(den, lo, samples);
+          if (dd <= 0.0) return dn > 0.0 ? 1.0 : 0.0;
+          return dn / dd;
+        };
+        uint64_t slow_samples = 0;
+        const double fast = ratio(fast_lo, &st.samples);
+        const double slow = ratio(slow_lo, &slow_samples);
+        st.value = fast;
+        st.burn_fast = obj.Violates(fast) ? 1.0 : 0.0;
+        st.burn_slow = obj.Violates(slow) ? 1.0 : 0.0;
+        // A window with no denominator flow has nothing to violate.
+        if (st.samples < 2) st.burn_fast = 0.0;
+        if (slow_samples < 2) st.burn_slow = 0.0;
+      } else {
+        st.series = obj.series;
+        const telemetry::SeriesSnapshot* s = find(obj.series);
+        uint64_t fast_n = 0, fast_viol = 0, slow_n = 0, slow_viol = 0;
+        if (s != nullptr) {
+          for (const telemetry::SeriesPoint& p : s->points) {
+            if (p.ts_ns > now_ns || p.ts_ns < slow_lo) continue;
+            ++slow_n;
+            if (obj.Violates(p.value)) ++slow_viol;
+            if (p.ts_ns >= fast_lo) {
+              ++fast_n;
+              if (obj.Violates(p.value)) ++fast_viol;
+              st.value = p.value;  // newest in-window point wins
+            }
+          }
+        }
+        st.samples = fast_n;
+        st.burn_fast =
+            fast_n > 0 ? static_cast<double>(fast_viol) / fast_n : 0.0;
+        st.burn_slow =
+            slow_n > 0 ? static_cast<double>(slow_viol) / slow_n : 0.0;
+      }
+
+      // Multi-window burn state: burning needs a majority of the fast
+      // window *and* slow-window confirmation; any violation warns.
+      if (st.samples == 0) {
+        st.state = SloState::kOk;  // no data, nothing to judge
+      } else if (st.burn_fast >= 0.5 && st.burn_slow > 0.0) {
+        st.state = SloState::kBurning;
+      } else if (st.burn_fast > 0.0 || st.burn_slow > 0.0) {
+        st.state = SloState::kWarning;
+      } else {
+        st.state = SloState::kOk;
+      }
+      if (st.state == SloState::kBurning) ++burning;
+
+      MetricRegistry& reg = telemetry_->Registry();
+      reg.GetGauge("slo." + obj.name + ".state")
+          ->Set(static_cast<double>(st.state));
+      reg.GetGauge("slo." + obj.name + ".value")->Set(st.value);
+      reg.GetGauge("slo." + obj.name + ".burn_fast")->Set(st.burn_fast);
+      reg.GetGauge("slo." + obj.name + ".burn_slow")->Set(st.burn_slow);
+
+      if (st.state == SloState::kBurning &&
+          prev_state_[i] != SloState::kBurning) {
+        breaches_.fetch_add(1, std::memory_order_relaxed);
+        reg.GetCounter("slo.breaches")->Add();
+        reg.GetCounter("slo." + obj.name + ".breaches")->Add();
+        if (telemetry::EventLog* events = telemetry_->events()) {
+          events->Log(telemetry::EventType::kSloBreach, 0, i,
+                      static_cast<uint64_t>(st.value));
+        }
+        SloBreach breach;
+        breach.objective = obj.name;
+        breach.value = st.value;
+        breach.threshold = obj.threshold;
+        breach.window_ms = obj.window_ms;
+        breach.ts_ns = now_ns;
+        fired.push_back(std::move(breach));
+      }
+      prev_state_[i] = st.state;
+      out.push_back(std::move(st));
+    }
+    burning_.store(burning, std::memory_order_release);
+    last_ = out;
+    evals_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Callbacks run outside the lock: the flight recorder may call back into
+  // snapshot APIs, and a slow bundle write must not stall Status()/Json().
+  if (on_breach_) {
+    for (const SloBreach& b : fired) on_breach_(b);
+  }
+  return out;
+}
+
+std::vector<SloStatus> SloEngine::Status() const {
+  std::scoped_lock lock(mu_);
+  return last_;
+}
+
+std::string SloEngine::Json() const {
+  std::vector<SloStatus> statuses = Status();
+  std::ostringstream os;
+  os << "{\"enabled\":true,\"spec\":\"" << spec_.text << "\""
+     << ",\"eval_ms\":" << options_.eval_ms
+     << ",\"evals\":" << Evaluations() << ",\"breaches\":" << Breaches()
+     << ",\"burning\":" << (AnyBurning() ? "true" : "false")
+     << ",\"objectives\":[";
+  bool first = true;
+  for (const SloStatus& st : statuses) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << st.name << "\",\"series\":\"" << st.series
+       << "\",\"state\":\"" << SloStateName(st.state) << "\",\"op\":\""
+       << st.op << "\",\"value\":" << st.value
+       << ",\"threshold\":" << st.threshold
+       << ",\"burn_fast\":" << st.burn_fast
+       << ",\"burn_slow\":" << st.burn_slow
+       << ",\"window_ms\":" << st.window_ms
+       << ",\"samples\":" << st.samples << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dlb::slo

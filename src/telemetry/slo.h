@@ -1,0 +1,213 @@
+// Declared service-level objectives, evaluated continuously in-process.
+//
+// The paper's headline claims are tail-latency claims; a pipeline that can
+// only *expose* its p99 leaves "are we meeting it?" to whoever happens to
+// be watching. The SLO engine closes that loop: the operator declares
+// objectives as a compact spec string —
+//
+//   slo=infer_p99<8ms/30s,decode_errors<0.1%
+//
+// — and a background thread evaluates them over the MetricsSampler's
+// time-series rings with multi-window burn-rate state:
+//
+//   ok       no recent violating samples
+//   warning  some violation in the fast or slow window
+//   burning  >= half of the fast window violates, confirmed by the slow
+//            window — the page-worthy state
+//
+// Each objective exports slo.<name>.{state,value,burn_fast,burn_slow}
+// gauges plus slo.breaches counters; /slo serves the full JSON status; a
+// breach (edge into burning) fires a callback the pipeline wires to the
+// flight recorder, so the diagnostic bundle is written the moment the
+// objective starts burning — no human in the loop.
+//
+// Grammar (mirrors ParseFaultSpec: comma-separated entries, DLB_SLO env
+// overrides PipelineConfig::slo):
+//
+//   <metric><op><threshold>[/<window>]
+//
+//   metric     infer_p50|p95|p99           consume-stage latency quantile
+//              <stage>_p50|p95|p99         any stage's latency quantile
+//                                          (fetch, decode, resize, collect,
+//                                          dispatch, consume)
+//              decode_errors               windowed error ratio:
+//                                          delta(decode.errors) /
+//                                          delta(stage.decode.items)
+//              retry_exhausted             delta(retry.exhausted) /
+//                                          delta(stage.decode.items)
+//              anything else               a raw sampler series watched
+//                                          verbatim (e.g.
+//                                          fpga.ways_quarantined<1)
+//   op         '<' (objective: stay below) or '>' (stay above)
+//   threshold  number with optional unit: ns|us|ms|s (durations, stored as
+//              ns) or % (ratio, stored as a fraction)
+//   window     number with optional unit ms|s|m (default 30s). The slow
+//              confirmation window is 4x the fast window.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics_sampler.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb::slo {
+
+enum class SloState : uint8_t {
+  kOk = 0,
+  kWarning = 1,
+  kBurning = 2,
+};
+
+const char* SloStateName(SloState state);
+
+/// How an objective's value is derived from the sampler's series.
+enum class ObjectiveKind : uint8_t {
+  kQuantile,  // a stage latency quantile series (ns)
+  kRatio,     // delta(numerator) / delta(denominator) over the window
+  kSeries,    // a raw sampler series, watched verbatim
+};
+
+struct SloObjective {
+  std::string name;  // spec spelling; also the slo.<name>.* gauge key
+  ObjectiveKind kind = ObjectiveKind::kSeries;
+  std::string series;       // kQuantile/kSeries: the sampler series watched
+  std::string numerator;    // kRatio: counter series
+  std::string denominator;  // kRatio: counter series
+  char op = '<';            // '<' stay below, '>' stay above
+  double threshold = 0.0;   // ns for durations, fraction for ratios
+  uint64_t window_ms = 30'000;
+
+  /// True when `value` violates the objective.
+  bool Violates(double value) const {
+    return op == '<' ? value >= threshold : value <= threshold;
+  }
+};
+
+struct SloSpec {
+  std::vector<SloObjective> objectives;
+  std::string text;  // the original spec string
+
+  bool Any() const { return !objectives.empty(); }
+};
+
+/// Parse the spec grammar above. Empty string => empty spec (engine off).
+/// kInvalidArgument on unknown metrics, bad ops, units or windows.
+Result<SloSpec> ParseSloSpec(const std::string& spec);
+
+/// Spec from the DLB_SLO environment variable (empty spec when unset).
+Result<SloSpec> SloSpecFromEnv();
+
+/// One objective's state after an evaluation pass.
+struct SloStatus {
+  std::string name;
+  std::string series;  // what was watched ("a/b" for ratios)
+  SloState state = SloState::kOk;
+  char op = '<';
+  double value = 0.0;      // latest observed value (fast window)
+  double threshold = 0.0;
+  double burn_fast = 0.0;  // violating fraction of the fast window
+  double burn_slow = 0.0;  // violating fraction of the slow (4x) window
+  uint64_t window_ms = 0;
+  uint64_t samples = 0;    // points the fast window contained
+};
+
+/// Passed to the breach callback on each edge into kBurning.
+struct SloBreach {
+  std::string objective;
+  double value = 0.0;
+  double threshold = 0.0;
+  uint64_t window_ms = 0;
+  uint64_t ts_ns = 0;
+
+  /// "infer_p99: value 1.2e+07 >= threshold 8e+06 over 30000ms"
+  std::string Describe() const;
+};
+
+struct SloEngineOptions {
+  /// Evaluation period of the background thread. The pipeline aligns this
+  /// with the sampler cadence — evaluating faster than the sampler samples
+  /// only re-reads the same points.
+  uint64_t eval_ms = 500;
+};
+
+/// Evaluates a SloSpec over a MetricsSampler's series. All evaluation state
+/// lives behind one mutex; the hot path is never touched — the engine runs
+/// a few times per second over snapshot APIs.
+class SloEngine {
+ public:
+  /// `telemetry` and `sampler` must outlive the engine; the sampler must be
+  /// sampling (the engine only reads its rings).
+  SloEngine(telemetry::Telemetry* telemetry,
+            telemetry::MetricsSampler* sampler, SloSpec spec,
+            SloEngineOptions options = {});
+  ~SloEngine();
+
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  /// Launch / stop the evaluation thread. Idempotent.
+  void Start();
+  void Stop();
+
+  /// Callback invoked (from the evaluation thread) on each edge into
+  /// kBurning, once per transition — not once per evaluation while burning.
+  /// Set before Start().
+  void OnBreach(std::function<void(const SloBreach&)> callback);
+
+  /// One synchronous evaluation pass at the supplied timestamp — the
+  /// deterministic seam tests use (pair with MetricsSampler::SampleAt).
+  std::vector<SloStatus> EvaluateAt(uint64_t now_ns);
+  std::vector<SloStatus> EvaluateOnce() {
+    return EvaluateAt(telemetry::NowNs());
+  }
+
+  /// The most recent evaluation's per-objective statuses.
+  std::vector<SloStatus> Status() const;
+
+  /// True while any objective is burning — the /healthz degraded signal.
+  bool AnyBurning() const {
+    return burning_.load(std::memory_order_acquire) > 0;
+  }
+
+  uint64_t Evaluations() const {
+    return evals_.load(std::memory_order_relaxed);
+  }
+  uint64_t Breaches() const {
+    return breaches_.load(std::memory_order_relaxed);
+  }
+
+  /// The /slo endpoint body: {"enabled":true,"spec":…,"evals":…,
+  /// "breaches":…,"objectives":[{…}]}.
+  std::string Json() const;
+
+  const SloSpec& Spec() const { return spec_; }
+  const SloEngineOptions& Options() const { return options_; }
+
+ private:
+  void Loop(std::stop_token token);
+
+  telemetry::Telemetry* telemetry_;
+  telemetry::MetricsSampler* sampler_;
+  SloSpec spec_;
+  SloEngineOptions options_;
+  std::function<void(const SloBreach&)> on_breach_;
+
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> evals_{0};
+  std::atomic<uint64_t> breaches_{0};
+  std::atomic<int> burning_{0};
+
+  mutable std::mutex mu_;
+  std::vector<SloStatus> last_;        // most recent evaluation
+  std::vector<SloState> prev_state_;   // for edge detection
+};
+
+}  // namespace dlb::slo

@@ -31,6 +31,10 @@
 #include "common/stats.h"
 #include "telemetry/stage_tag.h"
 
+namespace dlb::flight {
+class FlightRecorder;
+}  // namespace dlb::flight
+
 namespace dlb::telemetry {
 
 /// The canonical pipeline stages, in dataflow order.
@@ -349,6 +353,18 @@ class Telemetry {
   /// Null until EnableEvents().
   EventLog* events() const { return events_.get(); }
 
+  /// Attach the pipeline's flight recorder so deep components (hostbridge
+  /// retry exhaustion, FPGA quarantine) can pull its trigger without a
+  /// dependency on the pipeline layer. The recorder is owned elsewhere;
+  /// null detaches (the recorder detaches itself on destruction).
+  void AttachFlightRecorder(flight::FlightRecorder* recorder) {
+    flight_.store(recorder, std::memory_order_release);
+  }
+  /// Null until a recorder is attached — the recorder-off fast path.
+  flight::FlightRecorder* flight() const {
+    return flight_.load(std::memory_order_acquire);
+  }
+
   MetricRegistry& Registry() { return registry_; }
   const MetricRegistry& Registry() const { return registry_; }
   SpanRing& Spans() { return spans_; }
@@ -360,6 +376,7 @@ class Telemetry {
   std::array<std::unique_ptr<StageMetrics>, kNumStages> stages_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<EventLog> events_;
+  std::atomic<flight::FlightRecorder*> flight_{nullptr};
 };
 
 /// RAII span: starts timing at construction, records at destruction.

@@ -125,6 +125,15 @@ class Tracer {
   /// All spans still resident in the ring (oldest first).
   std::vector<TraceSpan> Spans() const { return ring_.Snapshot(); }
 
+  /// Resident spans that ended at or after `since_ns` — the flight
+  /// recorder's breach-window view of the retained ring.
+  std::vector<TraceSpan> SpansSince(uint64_t since_ns) const {
+    std::vector<TraceSpan> all = ring_.Snapshot();
+    std::erase_if(all,
+                  [since_ns](const TraceSpan& s) { return s.end_ns < since_ns; });
+    return all;
+  }
+
   uint64_t TraceId() const { return trace_id_; }
   uint64_t BatchesStarted() const {
     return next_batch_.load(std::memory_order_relaxed) - 1;

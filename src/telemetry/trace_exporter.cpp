@@ -31,7 +31,10 @@ void AppendCommonArgs(std::ostringstream& os, const TraceSpan& span) {
 }  // namespace
 
 std::string TraceExporter::ToChromeJson(const Tracer& tracer) {
-  std::vector<TraceSpan> spans = tracer.Spans();
+  return ToChromeJson(tracer.Spans());
+}
+
+std::string TraceExporter::ToChromeJson(const std::vector<TraceSpan>& spans) {
   uint64_t epoch = UINT64_MAX;
   for (const TraceSpan& s : spans) epoch = std::min(epoch, s.start_ns);
   if (epoch == UINT64_MAX) epoch = 0;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "telemetry/trace.h"
@@ -23,6 +24,10 @@ class TraceExporter {
   /// object ({"displayTimeUnit":...,"traceEvents":[...]}). Timestamps are
   /// rebased so the earliest span starts at ~0 us.
   static std::string ToChromeJson(const Tracer& tracer);
+
+  /// Same rendering over an explicit span set — the flight recorder passes
+  /// Tracer::SpansSince() to export just the breach window.
+  static std::string ToChromeJson(const std::vector<TraceSpan>& spans);
 
   /// Write ToChromeJson() to `path` (load it in ui.perfetto.dev).
   static Status WriteChromeJson(const Tracer& tracer,

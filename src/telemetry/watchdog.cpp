@@ -86,6 +86,15 @@ std::optional<StallReport> Watchdog::Probe() {
   if (EventLog* events = telemetry_->events()) {
     events->Log(EventType::kStallDetected, 0, quiet_ms,
                 report.inflight.size());
+    // One machine-readable record per stalled stage (arg0 = Stage ordinal,
+    // arg1 = that stage's quiet ms), so flight-recorder bundles carry the
+    // diagnosis without parsing the report text.
+    for (const StageProgress& p : report.stages) {
+      if (p.stalled) {
+        events->Log(EventType::kStageStalled, 0,
+                    static_cast<uint64_t>(p.stage), p.quiet_ms);
+      }
+    }
   }
   // Re-arm: require a full fresh deadline before firing again, so a wedged
   // pipeline reports once per deadline instead of once per poll.

@@ -1,0 +1,134 @@
+// End-to-end acceptance: an injected fault storm against a declared
+// infer_p99 SLO must produce, with no human in the loop, a flight bundle
+// containing a loadable Perfetto trace of the breach window, an
+// auto-captured profile, the event tail and the trigger metadata.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "core/pipeline.h"
+#include "dataplane/synthetic_dataset.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slo.h"
+
+namespace dlb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Slurp(const fs::path& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(FlightAcceptanceTest, FaultStormAgainstSloProducesBundle) {
+  auto ds = GenerateDataset([] {
+    DatasetSpec spec = ImageNetLikeSpec(64);
+    spec.width = 64;
+    spec.height = 48;
+    return spec;
+  }());
+  ASSERT_TRUE(ds.ok());
+
+  // CI sets DLB_FLIGHT_ARTIFACT_DIR to a workspace path so the bundle from
+  // a failing run gets uploaded as an artifact; locally it lives in TempDir.
+  std::string base = ::testing::TempDir();
+  if (const char* env = std::getenv("DLB_FLIGHT_ARTIFACT_DIR");
+      env != nullptr && env[0] != '\0') {
+    base = env;
+  }
+  const std::string flight_dir = base + "/dlb_flight_acceptance";
+  fs::remove_all(flight_dir);
+
+  core::PipelineConfig config;
+  config.backend = "dlbooster";
+  config.options.batch_size = 8;
+  config.options.resize_w = 32;
+  config.options.resize_h = 32;
+  // Fault storm: every decode sleeps 5 ms — infer latency blows through the
+  // objective immediately and keeps violating.
+  config.faults = "latency_spike=1.0,latency_spike_ms=5";
+  // A deliberately unmeetable objective over a short burn window, evaluated
+  // at a fast cadence so the breach fires within a couple of seconds.
+  config.slo = "infer_p99<1ms/250ms";
+  config.monitor_sample_ms = 25;
+  config.flight_dir = flight_dir;
+  config.flight_profile_ms = 50;
+
+  auto pipeline = core::PipelineBuilder()
+                      .WithConfig(config)
+                      .WithDataset(&ds.value().manifest, ds.value().store.get())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_NE(pipeline.value()->Slo(), nullptr);
+  flight::FlightRecorder* recorder = pipeline.value()->Flight();
+  ASSERT_NE(recorder, nullptr);
+
+  // Keep the pipeline flowing so the sampler sees violating latency
+  // samples; the SLO engine and flight recorder do the rest autonomously.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (recorder->Bundles().empty() &&
+         std::chrono::steady_clock::now() < deadline) {
+    auto batch = pipeline.value()->NextBatch();
+    if (!batch.ok()) break;  // dataset loops; only an error ends the stream
+  }
+
+  ASSERT_FALSE(recorder->Bundles().empty())
+      << "no bundle written within 30s; slo=" << pipeline.value()->Slo()->Json();
+  EXPECT_GE(pipeline.value()->Slo()->Breaches(), 1u);
+
+  const fs::path bundle = recorder->Bundles().front().path;
+  EXPECT_NE(bundle.filename().string().find("slo_breach"), std::string::npos);
+
+  // manifest.json: the trigger metadata names the breached objective.
+  const std::string manifest = Slurp(bundle / "manifest.json");
+  auto manifest_json = json::Parse(manifest);
+  ASSERT_TRUE(manifest_json.ok()) << manifest;
+  EXPECT_NE(manifest.find("\"trigger\":\"slo_breach\""), std::string::npos);
+  EXPECT_NE(manifest.find("infer_p99"), std::string::npos);
+  EXPECT_NE(manifest.find("\"buildinfo\""), std::string::npos);
+
+  // trace.json: a loadable Perfetto/Chrome trace with real spans from the
+  // breach window.
+  const std::string trace = Slurp(bundle / "trace.json");
+  auto trace_json = json::Parse(trace);
+  ASSERT_TRUE(trace_json.ok()) << "trace.json must parse as JSON";
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\""), std::string::npos)
+      << "trace should contain at least one event";
+
+  // profile.json: the auto-captured profile window.
+  const std::string profile = Slurp(bundle / "profile.json");
+  auto profile_json = json::Parse(profile);
+  ASSERT_TRUE(profile_json.ok());
+  EXPECT_NE(profile.find("\"samples\""), std::string::npos);
+
+  // events.jsonl: a non-empty structured tail (flight mode auto-raises the
+  // event level to info), including the breach record itself.
+  const std::string events = Slurp(bundle / "events.jsonl");
+  EXPECT_FALSE(events.empty());
+  EXPECT_NE(events.find("slo_breach"), std::string::npos);
+
+  // metrics.json + series.json ride along.
+  EXPECT_TRUE(fs::exists(bundle / "metrics.json"));
+  EXPECT_TRUE(fs::exists(bundle / "series.json"));
+  EXPECT_TRUE(fs::exists(bundle / "topology.txt"));
+  EXPECT_TRUE(fs::exists(bundle / "stats.json"));
+
+  // The breach is visible on the health surface: degraded but serving.
+  EXPECT_TRUE(pipeline.value()->Slo()->AnyBurning());
+
+  pipeline.value()->Shutdown();
+  fs::remove_all(flight_dir);
+}
+
+}  // namespace
+}  // namespace dlb

@@ -1,0 +1,194 @@
+// Flight recorder: bundle contents, atomic publication, retention, rate
+// limiting and queue draining on Stop().
+#include "telemetry/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "telemetry/event_log.h"
+#include "telemetry/metrics_sampler.h"
+#include "telemetry/stage_tag.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace dlb::flight {
+namespace {
+
+namespace fs = std::filesystem;
+
+// CI sets DLB_FLIGHT_ARTIFACT_DIR to a workspace path so bundles written by
+// a failing run get uploaded as artifacts; locally they live under TempDir.
+std::string FreshDir(const std::string& tag) {
+  std::string base = ::testing::TempDir();
+  if (const char* env = std::getenv("DLB_FLIGHT_ARTIFACT_DIR");
+      env != nullptr && env[0] != '\0') {
+    base = env;
+  }
+  const std::string dir = base + "/dlb_flight_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string Slurp(const fs::path& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// A telemetry hub with a span, an event and a metric in flight, so bundles
+// have something real to capture.
+void Populate(telemetry::Telemetry* sink) {
+  sink->EnableTracing(1024);
+  sink->EnableEvents(256, telemetry::EventLevel::kInfo);
+  const telemetry::TraceContext ctx = sink->tracer()->StartBatch();
+  const uint64_t t0 = telemetry::NowNs();
+  sink->RecordSpan(telemetry::Stage::kDecode, t0, t0 + 1'000'000, 4, ctx,
+                   telemetry::Subsystem::kFpga);
+  sink->tracer()->EndBatch(ctx, 4);
+  sink->events()->Log(telemetry::EventType::kDecodeError, 7, 2, 1);
+  sink->Registry().GetCounter("decode.errors")->Add(3);
+}
+
+TEST(FlightRecorderTest, WriteBundleNowCapturesAllSections) {
+  telemetry::Telemetry sink;
+  Populate(&sink);
+  telemetry::MetricsSampler sampler(&sink);
+  sampler.SampleAt(telemetry::NowNs());
+
+  FlightOptions options;
+  options.dir = FreshDir("contents");
+  options.profile_ms = 20;
+  FlightRecorder recorder(&sink, options);
+  recorder.AttachSampler(&sampler);
+  recorder.SetTopologyProvider([] { return std::string("backend topo"); });
+  recorder.SetStatsProvider([] { return std::string("{\"batches\":1}"); });
+
+  auto bundle = recorder.WriteBundleNow(TriggerKind::kManual, "unit test");
+  ASSERT_TRUE(bundle.ok()) << bundle.status().message();
+  const fs::path dir = bundle.value();
+  EXPECT_TRUE(fs::is_directory(dir));
+
+  const std::string manifest = Slurp(dir / "manifest.json");
+  EXPECT_NE(manifest.find("\"trigger\":\"manual\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"detail\":\"unit test\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"buildinfo\":{"), std::string::npos);
+  EXPECT_NE(manifest.find("\"format_version\":1"), std::string::npos);
+
+  const std::string trace = Slurp(dir / "trace.json");
+  EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+  EXPECT_NE(trace.find("decode"), std::string::npos);
+
+  const std::string events = Slurp(dir / "events.jsonl");
+  EXPECT_NE(events.find("decode_error"), std::string::npos);
+
+  EXPECT_NE(Slurp(dir / "metrics.json").find("decode.errors"),
+            std::string::npos);
+  EXPECT_FALSE(Slurp(dir / "series.json").empty());
+  EXPECT_NE(Slurp(dir / "profile.json").find("samples"), std::string::npos);
+  EXPECT_EQ(Slurp(dir / "topology.txt"), "backend topo");
+  EXPECT_EQ(Slurp(dir / "stats.json"), "{\"batches\":1}");
+
+  // Published atomically: no temp dir left behind.
+  for (const fs::directory_entry& e : fs::directory_iterator(options.dir)) {
+    EXPECT_EQ(e.path().filename().string().rfind(".", 0), std::string::npos)
+        << "leftover temp dir: " << e.path();
+  }
+  EXPECT_EQ(recorder.BundlesWritten(), 1u);
+  EXPECT_EQ(sink.Registry().GetCounter("flight.bundles")->Value(), 1u);
+  fs::remove_all(options.dir);
+}
+
+TEST(FlightRecorderTest, RetentionDeletesOldestBundles) {
+  telemetry::Telemetry sink;
+  FlightOptions options;
+  options.dir = FreshDir("retention");
+  options.max_bundles = 2;
+  options.profile_ms = 0;  // keep the test fast
+  FlightRecorder recorder(&sink, options);
+
+  std::string first;
+  for (int i = 0; i < 3; ++i) {
+    auto bundle =
+        recorder.WriteBundleNow(TriggerKind::kManual, "n" + std::to_string(i));
+    ASSERT_TRUE(bundle.ok());
+    if (i == 0) first = bundle.value();
+  }
+  const std::vector<BundleInfo> bundles = recorder.Bundles();
+  ASSERT_EQ(bundles.size(), 2u);
+  EXPECT_FALSE(fs::exists(first)) << "oldest bundle should be deleted";
+  fs::remove_all(options.dir);
+}
+
+TEST(FlightRecorderTest, AutomatedTriggersAreRateLimitedManualIsNot) {
+  telemetry::Telemetry sink;
+  FlightOptions options;
+  options.dir = FreshDir("ratelimit");
+  options.min_interval_ms = 60'000;  // nothing automated gets through twice
+  options.profile_ms = 0;
+  FlightRecorder recorder(&sink, options);
+
+  // Not running yet: suppressed.
+  EXPECT_FALSE(recorder.Trigger(TriggerKind::kSloBreach, "early"));
+
+  recorder.Start();
+  EXPECT_TRUE(recorder.Trigger(TriggerKind::kSloBreach, "first"));
+  EXPECT_FALSE(recorder.Trigger(TriggerKind::kRetryExhausted, "storm"))
+      << "second automated trigger inside the interval must be suppressed";
+  EXPECT_TRUE(recorder.Trigger(TriggerKind::kManual, "operator"))
+      << "manual triggers bypass the rate limit";
+  recorder.Stop();  // drains the queue before returning
+
+  EXPECT_EQ(recorder.BundlesWritten(), 2u);
+  EXPECT_GE(recorder.TriggersSuppressed(), 2u);
+  EXPECT_GE(sink.Registry().GetCounter("flight.suppressed")->Value(), 2u);
+  ASSERT_EQ(recorder.Bundles().size(), 2u);
+  EXPECT_NE(recorder.Bundles()[0].name.find("slo_breach"), std::string::npos);
+  EXPECT_NE(recorder.Bundles()[1].name.find("manual"), std::string::npos);
+  fs::remove_all(options.dir);
+}
+
+TEST(FlightRecorderTest, ListJsonEmbedsManifests) {
+  telemetry::Telemetry sink;
+  FlightOptions options;
+  options.dir = FreshDir("listjson");
+  options.profile_ms = 0;
+  FlightRecorder recorder(&sink, options);
+  ASSERT_TRUE(
+      recorder.WriteBundleNow(TriggerKind::kQuarantine, "idct way 3").ok());
+
+  const std::string json = recorder.ListJson();
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"trigger\":\"quarantine\""), std::string::npos);
+  EXPECT_NE(json.find("idct way 3"), std::string::npos);
+  fs::remove_all(options.dir);
+}
+
+TEST(FlightRecorderTest, BundleWrittenEventIsLogged) {
+  telemetry::Telemetry sink;
+  sink.EnableEvents(64, telemetry::EventLevel::kInfo);
+  FlightOptions options;
+  options.dir = FreshDir("event");
+  options.profile_ms = 0;
+  FlightRecorder recorder(&sink, options);
+  ASSERT_TRUE(recorder.WriteBundleNow(TriggerKind::kWatchdogStall, "x").ok());
+
+  bool saw = false;
+  for (const telemetry::Event& e : sink.events()->Snapshot()) {
+    if (e.type == telemetry::EventType::kBundleWritten) {
+      saw = true;
+      EXPECT_EQ(e.arg0,
+                static_cast<uint64_t>(TriggerKind::kWatchdogStall));
+    }
+  }
+  EXPECT_TRUE(saw);
+  fs::remove_all(options.dir);
+}
+
+}  // namespace
+}  // namespace dlb::flight

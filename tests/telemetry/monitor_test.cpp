@@ -301,8 +301,14 @@ TEST(MonitorServerTest, DispatchRoutesExactPaths) {
   EXPECT_NE(missing.body.find("/ping"), std::string::npos)
       << "404 should list the registered endpoints";
 
+  // POST routes like GET (handlers that care branch on request.method);
+  // anything else is refused outright.
   HttpResponse post = server.Dispatch({"POST", "/ping", ""});
-  EXPECT_EQ(post.status, 405);
+  EXPECT_EQ(post.status, 200);
+  HttpResponse put = server.Dispatch({"PUT", "/ping", ""});
+  EXPECT_EQ(put.status, 405);
+  HttpResponse del = server.Dispatch({"DELETE", "/ping", ""});
+  EXPECT_EQ(del.status, 405);
 }
 
 TEST(MonitorServerTest, SerializeProducesValidHttp11) {
@@ -333,6 +339,125 @@ TEST(MonitorServerTest, RealSocketRoundTrip) {
   EXPECT_GE(server.RequestsServed(), 2u);
   server.Stop();
   EXPECT_FALSE(server.Running());
+}
+
+// Send raw bytes (possibly not valid HTTP) and read whatever comes back.
+std::string HttpRaw(int port, const std::string& wire) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return raw;
+}
+
+TEST(MonitorServerTest, MalformedRequestLineGets400) {
+  MonitorServer::Options options;
+  options.port = 0;
+  MonitorServer server(options);
+  server.AddHandler("/hello", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "hi\n"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string raw = HttpRaw(server.Port(), "GARBAGE\r\n\r\n");
+  EXPECT_NE(raw.find("400 Bad Request"), std::string::npos);
+  server.Stop();
+}
+
+TEST(MonitorServerTest, TruncatedRequestIsReapedAndDoesNotWedge) {
+  MonitorServer::Options options;
+  options.port = 0;
+  options.request_timeout_ms = 150;
+  MonitorServer server(options);
+  server.AddHandler("/hello", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "hi\n"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // A client that sends half a request line and then goes quiet.
+  const int wedge = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(wedge, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.Port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(wedge, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_GT(::send(wedge, "GET /hel", 8, MSG_NOSIGNAL), 0);
+
+  // Well-formed requests on other connections are still served.
+  GetResult ok = HttpGet(server.Port(), "/hello");
+  EXPECT_EQ(ok.status, 200);
+
+  // The truncated connection is dropped once the request timeout passes —
+  // read() observing EOF proves the server closed it, not us.
+  timeval tv{2, 0};
+  ::setsockopt(wedge, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char buf[16];
+  EXPECT_EQ(::read(wedge, buf, sizeof(buf)), 0)
+      << "server should close a connection stuck before its header end";
+  ::close(wedge);
+
+  // And the slot is genuinely free again.
+  EXPECT_EQ(HttpGet(server.Port(), "/hello").status, 200);
+  server.Stop();
+}
+
+// Endpoint hardening against hostile query strings, routed through the
+// deterministic Dispatch seam of a live pipeline's monitor.
+TEST(MonitorHardeningTest, MalformedAndOverflowingQueriesAreHarmless) {
+  core::PipelineConfig config;
+  config.backend = "synthetic";
+  config.options.batch_size = 4;
+  config.max_images = 8;
+  config.monitor_port = 0;
+  config.event_log_level = "info";
+  auto pipeline = core::PipelineBuilder().WithConfig(config).Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  MonitorServer* monitor = pipeline.value()->Monitor();
+  ASSERT_NE(monitor, nullptr);
+
+  // /events: garbage, zero and overflowing counts all produce a valid
+  // (possibly empty) JSONL body, never a crash or a huge allocation.
+  for (const char* q :
+       {"n=abc", "n=0", "n=", "n=99999999999999999999999999", "n=-5",
+        "nonsense&&&=1"}) {
+    HttpResponse r = monitor->Dispatch({"GET", "/events", q});
+    EXPECT_EQ(r.status, 200) << q;
+    if (!r.body.empty()) EXPECT_EQ(r.body.front(), '{') << q;
+  }
+
+  // /profile: malformed windows fall back to defaults and the lower clamp
+  // keeps hostile zero-values from degenerate windows. (Large values are
+  // clamped to 30 s — not exercised here to keep the test fast.)
+  for (const char* q : {"ms=0&format=json", "ms=abc&format=json",
+                        "ms=20&hz=0&format=json", "ms=20&hz=abc&format=json"}) {
+    HttpResponse r = monitor->Dispatch({"GET", "/profile", q});
+    EXPECT_EQ(r.status, 200) << q;
+    EXPECT_FALSE(r.body.empty()) << q;
+    EXPECT_EQ(r.body.front(), '{') << q;
+  }
+
+  // Unknown path: 404 with a usable endpoint listing.
+  HttpResponse missing = monitor->Dispatch({"GET", "/debug/nope", ""});
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(missing.body.find("/healthz"), std::string::npos);
+
+  pipeline.value()->Shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,281 @@
+// SLO spec grammar + burn-rate engine, evaluated deterministically through
+// the SampleAt/EvaluateAt seams (no background threads, no wall clock).
+#include "telemetry/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/event_log.h"
+#include "telemetry/metrics_sampler.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb::slo {
+namespace {
+
+TEST(SloSpecTest, ParsesQuantileRatioAndRawSeries) {
+  auto spec = ParseSloSpec(
+      "infer_p99<8ms/30s,decode_errors<0.1%,fpga.ways_quarantined<1");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  ASSERT_EQ(spec.value().objectives.size(), 3u);
+
+  const SloObjective& q = spec.value().objectives[0];
+  EXPECT_EQ(q.name, "infer_p99");
+  EXPECT_EQ(q.kind, ObjectiveKind::kQuantile);
+  EXPECT_EQ(q.series, "stage.consume.latency_ns.p99");
+  EXPECT_EQ(q.op, '<');
+  EXPECT_DOUBLE_EQ(q.threshold, 8e6);  // 8ms in ns
+  EXPECT_EQ(q.window_ms, 30'000u);
+
+  const SloObjective& r = spec.value().objectives[1];
+  EXPECT_EQ(r.kind, ObjectiveKind::kRatio);
+  EXPECT_EQ(r.numerator, "decode.errors");
+  EXPECT_EQ(r.denominator, "stage.decode.items");
+  EXPECT_DOUBLE_EQ(r.threshold, 0.001);  // 0.1% as a fraction
+  EXPECT_EQ(r.window_ms, 30'000u);       // default window
+
+  const SloObjective& s = spec.value().objectives[2];
+  EXPECT_EQ(s.kind, ObjectiveKind::kSeries);
+  EXPECT_EQ(s.series, "fpga.ways_quarantined");
+  EXPECT_DOUBLE_EQ(s.threshold, 1.0);
+}
+
+TEST(SloSpecTest, StageQuantilesWindowUnitsAndAboveObjectives) {
+  auto spec = ParseSloSpec("decode_p95<500us/2m,throughput.images_per_s>100/10");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  ASSERT_EQ(spec.value().objectives.size(), 2u);
+  EXPECT_EQ(spec.value().objectives[0].series, "stage.decode.latency_ns.p95");
+  EXPECT_DOUBLE_EQ(spec.value().objectives[0].threshold, 500e3);
+  EXPECT_EQ(spec.value().objectives[0].window_ms, 120'000u);  // 2m
+  EXPECT_EQ(spec.value().objectives[1].op, '>');
+  EXPECT_EQ(spec.value().objectives[1].window_ms, 10'000u);  // bare = seconds
+}
+
+TEST(SloSpecTest, EmptySpecIsOff) {
+  auto spec = ParseSloSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec.value().Any());
+}
+
+TEST(SloSpecTest, RejectsMalformedSpecs) {
+  // Unknown stage, missing op, bad threshold, bad units, ratio/duration and
+  // quantile/percent mismatches — all kInvalidArgument, never a crash.
+  for (const char* bad :
+       {"bogus_p99<1ms", "infer_p99", "<1ms", "infer_p99<abc",
+        "infer_p99<1parsec", "infer_p99<1ms/1h", "infer_p99<1ms/0",
+        "decode_errors<10ms", "decode_errors<5", "infer_p99<5%"}) {
+    auto spec = ParseSloSpec(bad);
+    EXPECT_FALSE(spec.ok()) << "accepted: " << bad;
+    EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(SloSpecTest, EnvOverride) {
+  ::setenv("DLB_SLO", "infer_p99<2ms/5s", 1);
+  auto spec = SloSpecFromEnv();
+  ::unsetenv("DLB_SLO");
+  ASSERT_TRUE(spec.ok());
+  ASSERT_EQ(spec.value().objectives.size(), 1u);
+  EXPECT_EQ(spec.value().objectives[0].series, "stage.consume.latency_ns.p99");
+
+  auto off = SloSpecFromEnv();
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.value().Any());
+}
+
+// Drive a quantile objective from ok to burning with hand-fed samples.
+TEST(SloEngineTest, QuantileObjectiveBurnsAndFiresBreachOnce) {
+  telemetry::Telemetry sink;
+  sink.EnableEvents(64, telemetry::EventLevel::kInfo);
+  telemetry::MetricsSampler sampler(&sink);
+  auto spec = ParseSloSpec("infer_p99<1ms/1s");
+  ASSERT_TRUE(spec.ok());
+  SloEngine engine(&sink, &sampler, std::move(spec).value());
+
+  std::vector<SloBreach> breaches;
+  engine.OnBreach([&breaches](const SloBreach& b) { breaches.push_back(b); });
+
+  Histogram* lat = sink.Registry().GetHistogram("stage.consume.latency_ns");
+  uint64_t t = 1'000'000'000;  // arbitrary epoch
+  const uint64_t step = 250'000'000;  // 250ms cadence
+
+  // Healthy: every window sample sees a sub-threshold p99.
+  for (int i = 0; i < 8; ++i) {
+    lat->Record(100'000);  // 0.1ms
+    t += step;
+    sampler.SampleAt(t);
+  }
+  auto statuses = engine.EvaluateAt(t);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+  EXPECT_DOUBLE_EQ(statuses[0].burn_fast, 0.0);
+  EXPECT_FALSE(engine.AnyBurning());
+
+  // Latency regression: the cumulative p99 jumps over the threshold and
+  // every subsequent sample violates — fast window majority + slow window
+  // confirmation = burning.
+  for (int i = 0; i < 8; ++i) {
+    lat->RecordN(5'000'000, 100);  // 5ms, swamping the early mass
+    t += step;
+    sampler.SampleAt(t);
+  }
+  statuses = engine.EvaluateAt(t);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, SloState::kBurning);
+  EXPECT_GE(statuses[0].burn_fast, 0.5);
+  EXPECT_GT(statuses[0].burn_slow, 0.0);
+  EXPECT_GE(statuses[0].value, 1e6);
+  EXPECT_TRUE(engine.AnyBurning());
+  EXPECT_EQ(engine.Breaches(), 1u);
+  ASSERT_EQ(breaches.size(), 1u);
+  EXPECT_EQ(breaches[0].objective, "infer_p99");
+  EXPECT_NE(breaches[0].Describe().find("infer_p99"), std::string::npos);
+
+  // Still burning on the next evaluation — but the breach callback is
+  // edge-triggered, not level-triggered.
+  t += step;
+  sampler.SampleAt(t);
+  statuses = engine.EvaluateAt(t);
+  EXPECT_EQ(statuses[0].state, SloState::kBurning);
+  EXPECT_EQ(engine.Breaches(), 1u);
+  EXPECT_EQ(breaches.size(), 1u);
+
+  // The state landed in the exported gauges, counters and the event log.
+  MetricRegistry& reg = sink.Registry();
+  EXPECT_DOUBLE_EQ(reg.GetGauge("slo.infer_p99.state")->Value(), 2.0);
+  EXPECT_EQ(reg.GetCounter("slo.breaches")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("slo.infer_p99.breaches")->Value(), 1u);
+  bool saw_event = false;
+  for (const telemetry::Event& e : sink.events()->Snapshot()) {
+    if (e.type == telemetry::EventType::kSloBreach) saw_event = true;
+  }
+  EXPECT_TRUE(saw_event);
+}
+
+// A raw-series objective recovers to ok when the series drops back under
+// the threshold and the violating points age out of both windows.
+TEST(SloEngineTest, SeriesObjectiveRecovers) {
+  telemetry::Telemetry sink;
+  telemetry::MetricsSampler sampler(&sink);
+  auto spec = ParseSloSpec("fpga.ways_quarantined<1/1s");
+  ASSERT_TRUE(spec.ok());
+  SloEngine engine(&sink, &sampler, std::move(spec).value());
+
+  Gauge* ways = sink.Registry().GetGauge("fpga.ways_quarantined");
+  uint64_t t = 1'000'000'000;
+  const uint64_t step = 250'000'000;
+
+  ways->Set(2.0);  // violating
+  for (int i = 0; i < 8; ++i) {
+    t += step;
+    sampler.SampleAt(t);
+  }
+  auto statuses = engine.EvaluateAt(t);
+  EXPECT_EQ(statuses[0].state, SloState::kBurning);
+
+  ways->Set(0.0);  // healthy again; age the violations out of the slow window
+  for (int i = 0; i < 24; ++i) {
+    t += step;
+    sampler.SampleAt(t);
+  }
+  statuses = engine.EvaluateAt(t);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+  EXPECT_FALSE(engine.AnyBurning());
+}
+
+// decode_errors is a windowed delta ratio: only new failures relative to
+// new decode flow count against the objective.
+TEST(SloEngineTest, RatioObjectiveUsesWindowedDeltas) {
+  telemetry::Telemetry sink;
+  telemetry::MetricsSampler sampler(&sink);
+  auto spec = ParseSloSpec("decode_errors<10%/1s");
+  ASSERT_TRUE(spec.ok());
+  SloEngine engine(&sink, &sampler, std::move(spec).value());
+
+  Counter* errors = sink.Registry().GetCounter("decode.errors");
+  Counter* items = sink.Registry().GetCounter("stage.decode.items");
+  uint64_t t = 1'000'000'000;
+  const uint64_t step = 250'000'000;
+
+  // Clean flow: lots of items, no errors.
+  for (int i = 0; i < 8; ++i) {
+    items->Add(100);
+    t += step;
+    sampler.SampleAt(t);
+  }
+  auto statuses = engine.EvaluateAt(t);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+  EXPECT_DOUBLE_EQ(statuses[0].value, 0.0);
+
+  // Error storm: half the new flow fails — far over 10%.
+  for (int i = 0; i < 8; ++i) {
+    items->Add(100);
+    errors->Add(50);
+    t += step;
+    sampler.SampleAt(t);
+  }
+  statuses = engine.EvaluateAt(t);
+  EXPECT_EQ(statuses[0].state, SloState::kBurning);
+  EXPECT_GT(statuses[0].value, 0.1);
+
+  // Storm over: fresh windows see clean deltas again.
+  for (int i = 0; i < 24; ++i) {
+    items->Add(100);
+    t += step;
+    sampler.SampleAt(t);
+  }
+  statuses = engine.EvaluateAt(t);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+}
+
+TEST(SloEngineTest, NoSamplesMeansOkNotWarning) {
+  telemetry::Telemetry sink;
+  telemetry::MetricsSampler sampler(&sink);
+  auto spec = ParseSloSpec("infer_p99<1ms/1s");
+  ASSERT_TRUE(spec.ok());
+  SloEngine engine(&sink, &sampler, std::move(spec).value());
+  auto statuses = engine.EvaluateAt(telemetry::NowNs());
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+  EXPECT_EQ(statuses[0].samples, 0u);
+}
+
+TEST(SloEngineTest, JsonCarriesSpecAndObjectives) {
+  telemetry::Telemetry sink;
+  telemetry::MetricsSampler sampler(&sink);
+  auto spec = ParseSloSpec("infer_p99<8ms/30s,decode_errors<1%");
+  ASSERT_TRUE(spec.ok());
+  SloEngine engine(&sink, &sampler, std::move(spec).value());
+  engine.EvaluateOnce();
+  const std::string json = engine.Json();
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("infer_p99<8ms/30s"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"infer_p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"decode_errors\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"ok\""), std::string::npos);
+}
+
+TEST(SloEngineTest, BackgroundThreadEvaluates) {
+  telemetry::Telemetry sink;
+  telemetry::MetricsSampler sampler(&sink, {.sample_ms = 5});
+  auto spec = ParseSloSpec("infer_p99<1ms/1s");
+  ASSERT_TRUE(spec.ok());
+  SloEngine engine(&sink, &sampler, std::move(spec).value(),
+                   SloEngineOptions{.eval_ms = 5});
+  sampler.Start();
+  engine.Start();
+  for (int i = 0; i < 200 && engine.Evaluations() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  engine.Stop();
+  sampler.Stop();
+  EXPECT_GE(engine.Evaluations(), 1u);
+}
+
+}  // namespace
+}  // namespace dlb::slo

@@ -248,10 +248,21 @@ TEST(WatchdogTest, FiresOnInjectedStallAndRearms) {
   EXPECT_NE(report->text.find("fetch"), std::string::npos);
   EXPECT_EQ(watchdog.StallsDetected(), 1u);
 
-  // The stall landed in the event log.
+  // The stall landed in the event log: one kStallDetected record plus a
+  // machine-readable kStageStalled record per stalled stage.
   const std::vector<Event> events = sink.events()->Snapshot();
   ASSERT_FALSE(events.empty());
-  EXPECT_EQ(events.back().type, EventType::kStallDetected);
+  bool saw_stall = false, saw_stage = false;
+  for (const Event& e : events) {
+    if (e.type == EventType::kStallDetected) saw_stall = true;
+    if (e.type == EventType::kStageStalled) {
+      saw_stage = true;
+      EXPECT_LT(e.arg0, static_cast<uint64_t>(kNumStages));
+      EXPECT_GE(e.arg1, 5u);  // that stage's quiet ms
+    }
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_stage);
 
   // Re-armed: the very next probe does not fire again...
   EXPECT_FALSE(watchdog.Probe().has_value());

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -16,6 +17,34 @@
 #include "common/benchdiff.h"
 
 namespace {
+
+// The "buildinfo" stamp run_benches.sh injects into each BENCH_*.json
+// (balanced-brace extraction; the stamp is a flat string-valued object).
+// Empty when the set predates stamping — committed baselines may.
+std::string DirBuildInfo(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return "";
+  for (const std::filesystem::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || !name.ends_with(".json")) continue;
+    std::ifstream in(entry.path());
+    const std::string body((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const size_t key = body.find("\"buildinfo\"");
+    if (key == std::string::npos) continue;
+    const size_t open = body.find('{', key);
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    for (size_t i = open; i < body.size(); ++i) {
+      if (body[i] == '{') ++depth;
+      if (body[i] == '}' && --depth == 0) {
+        return body.substr(open, i - open + 1);
+      }
+    }
+  }
+  return "";
+}
 
 void Usage(const char* argv0) {
   std::fprintf(
@@ -108,7 +137,28 @@ int main(int argc, char** argv) {
 
   const dlb::benchdiff::DiffReport report =
       dlb::benchdiff::Diff(baseline.value(), candidate, thresholds, gate);
-  const std::string markdown = report.Markdown();
+  std::string markdown = report.Markdown();
+
+  // Provenance footer: which build produced each side. Sides without a
+  // stamp (older sets) are reported as unknown rather than omitted, so a
+  // missing stamp is visible.
+  {
+    const std::string base_info = DirBuildInfo(baseline_dir);
+    std::string cand_info;
+    for (const std::string& dir : candidate_dirs) {
+      cand_info = DirBuildInfo(dir);
+      if (!cand_info.empty()) break;
+    }
+    markdown += "\n## Builds\n\n";
+    markdown += "- baseline: `" +
+                (base_info.empty() ? std::string("unknown (no stamp)")
+                                   : base_info) +
+                "`\n";
+    markdown += "- candidate: `" +
+                (cand_info.empty() ? std::string("unknown (no stamp)")
+                                   : cand_info) +
+                "`\n";
+  }
   std::fputs(markdown.c_str(), stdout);
   if (!markdown_path.empty()) {
     std::ofstream out(markdown_path);

@@ -1,0 +1,23 @@
+// dlb_buildinfo — print this build's provenance record as JSON.
+//
+// The same record backs GET /buildinfo on a running pipeline's monitor
+// port and the "buildinfo" stamp bench/run_benches.sh injects into every
+// BENCH_*.json, so benchdiff reports can say which build produced each
+// side of a comparison.
+#include <cstdio>
+#include <cstring>
+
+#include "common/buildinfo.h"
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      std::fprintf(stderr, "usage: %s\nPrints build provenance JSON.\n",
+                   argv[0]);
+      return 0;
+    }
+  }
+  std::printf("%s\n", dlb::BuildInfoJson().c_str());
+  return 0;
+}

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/json.h"
 
 namespace {
 
@@ -159,6 +160,75 @@ void RenderProfile(const std::string& collapsed, int window_ms) {
   }
 }
 
+// SLO panel: one row per declared objective from GET /slo. Absent or
+// `{"enabled":false}` responses render nothing — most pipelines declare no
+// SLO and the dashboard should not nag about it.
+void RenderSlo(const std::string& body) {
+  auto doc = dlb::json::Parse(body);
+  if (!doc.ok()) return;
+  const dlb::json::ValuePtr root = doc.value();
+  const dlb::json::ValuePtr enabled = root->Get("enabled");
+  if (enabled == nullptr || !enabled->boolean) return;
+  const dlb::json::ValuePtr objectives = root->Get("objectives");
+  if (objectives == nullptr || !objectives->IsArray()) return;
+
+  std::printf("\nslo  (%.0f evals, %.0f breaches)\n",
+              root->Get("evals") ? root->Get("evals")->number : 0.0,
+              root->Get("breaches") ? root->Get("breaches")->number : 0.0);
+  std::printf("  %-16s %-8s %12s %12s %6s %6s\n", "objective", "state",
+              "value", "threshold", "burn", "n");
+  for (const dlb::json::ValuePtr& obj : objectives->array) {
+    if (obj == nullptr || !obj->IsObject()) continue;
+    auto str = [&](const char* key) {
+      const dlb::json::ValuePtr v = obj->Get(key);
+      return v != nullptr && v->IsString() ? v->str : std::string("?");
+    };
+    auto num = [&](const char* key) {
+      const dlb::json::ValuePtr v = obj->Get(key);
+      return v != nullptr ? v->number : 0.0;
+    };
+    std::printf("  %-16s %-8s %12.3g %12.3g %6.2f %6.0f\n",
+                str("name").c_str(), str("state").c_str(), num("value"),
+                num("threshold"), num("burn_fast"), num("samples"));
+  }
+}
+
+// Flight-recorder panel: bundle names from GET /debug/dump (black-box
+// captures waiting on disk). Silent when no recorder is armed.
+void RenderBundles(const std::string& body) {
+  auto doc = dlb::json::Parse(body);
+  if (!doc.ok()) return;
+  const dlb::json::ValuePtr root = doc.value();
+  const dlb::json::ValuePtr enabled = root->Get("enabled");
+  if (enabled == nullptr || !enabled->boolean) return;
+  const dlb::json::ValuePtr bundles = root->Get("bundles");
+  const dlb::json::ValuePtr dir = root->Get("dir");
+  std::printf("\nflight bundles  (%s)\n",
+              dir != nullptr && dir->IsString() ? dir->str.c_str() : "?");
+  if (bundles == nullptr || !bundles->IsArray() || bundles->array.empty()) {
+    std::printf("  none captured\n");
+    return;
+  }
+  size_t shown = 0;
+  for (auto it = bundles->array.rbegin();
+       it != bundles->array.rend() && shown < 3; ++it, ++shown) {
+    const dlb::json::ValuePtr bundle = *it;
+    if (bundle == nullptr || !bundle->IsObject()) continue;
+    const dlb::json::ValuePtr name = bundle->Get("name");
+    std::string trigger = "?";
+    if (const dlb::json::ValuePtr manifest = bundle->Get("manifest");
+        manifest != nullptr && manifest->IsObject()) {
+      if (const dlb::json::ValuePtr t = manifest->Get("trigger");
+          t != nullptr && t->IsString()) {
+        trigger = t->str;
+      }
+    }
+    std::printf("  %-44s %s\n",
+                name != nullptr && name->IsString() ? name->str.c_str() : "?",
+                trigger.c_str());
+  }
+}
+
 void RenderFrame(const std::map<std::string, double>& m, int health_status,
                  const std::vector<std::string>& events, uint64_t frame) {
   std::printf("dlb_monitor  frame=%llu  health=%s\n",
@@ -260,6 +330,8 @@ int main(int argc, char** argv) {
     misses = 0;
 
     const HttpResult health = HttpGet(host, port, "/healthz");
+    const HttpResult slo = HttpGet(host, port, "/slo");
+    const HttpResult dump = HttpGet(host, port, "/debug/dump");
     const HttpResult tail = HttpGet(host, port, "/events?n=5");
     std::vector<std::string> events;
     size_t pos = 0;
@@ -281,6 +353,8 @@ int main(int argc, char** argv) {
     if (!plain) std::printf("\x1b[2J\x1b[H");  // clear + home
     ++frame;
     RenderFrame(ParsePrometheus(metrics.body), health.status, events, frame);
+    if (slo.status == 200) RenderSlo(slo.body);
+    if (dump.status == 200) RenderBundles(dump.body);
     if (profile.status == 200) RenderProfile(profile.body, profile_ms);
     std::fflush(stdout);
 
