@@ -1,0 +1,195 @@
+// Multi-device scale-out: N emulated FPGA decoders behind the
+// work-stealing dispatcher, measured on the deterministic DES.
+//
+// Two questions, mirroring the tentpole:
+//   1. Does adding devices scale? Uniform corpus, round-robin sharding,
+//      1/2/4 devices. Acceptance: >= 1.7x at 2 devices, >= 3x at 4.
+//   2. Does stealing rescue a skewed shard? Two devices where shard 0's
+//      images are ~8x the work of shard 1's. Static sharding (steal off)
+//      leaves device 1 idle while device 0 drowns; the watermark thief
+//      rebalances. Acceptance: steal-on recovers >= 1.25x steal-off.
+//
+// Each device is an independent FpgaDecoderSim on one shared scheduler;
+// the feed loop reproduces the router's policy (local deque first, then
+// steal from the deepest victim backlogged beyond the watermark), so the
+// measured effect is the dispatch policy, not host thread scheduling.
+//
+// `--json` emits the measurements as one JSON document.
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "fpga/fpga_decoder_sim.h"
+#include "workflow/report.h"
+
+using namespace dlb;
+using namespace dlb::fpga;
+using namespace dlb::workflow;
+
+namespace {
+
+constexpr int kWatermark = 4;
+
+DecodeJob UniformJob() {
+  DecodeJob job;
+  job.encoded_bytes = 60 * 1024;
+  job.pixels = 500 * 375;
+  job.out_bytes = 224 * 224 * 3;
+  return job;
+}
+
+DecodeJob HeavyJob() {
+  // ~8x the decode work of the uniform job (entropy bytes and pixels).
+  DecodeJob job;
+  job.encoded_bytes = 480 * 1024;
+  job.pixels = 1500 * 1000;
+  job.out_bytes = 224 * 224 * 3;
+  return job;
+}
+
+struct RunResult {
+  double img_s = 0.0;
+  uint64_t steals = 0;
+};
+
+// Drive `shards` of pending jobs through one device per shard with the
+// router's policy. Returns emergent throughput and the steal count.
+RunResult RunShards(std::vector<std::deque<DecodeJob>> shards, bool steal) {
+  sim::Scheduler sched;
+  const int n = static_cast<int>(shards.size());
+  size_t total = 0;
+  for (const auto& q : shards) total += q.size();
+  std::vector<std::unique_ptr<FpgaDecoderSim>> devices;
+  for (int d = 0; d < n; ++d) {
+    devices.push_back(std::make_unique<FpgaDecoderSim>(&sched,
+                                                       DecoderConfig{}));
+  }
+  size_t completed = 0;
+  uint64_t steals = 0;
+  while (completed < total) {
+    bool progress = false;
+    for (int d = 0; d < n; ++d) {
+      while (devices[d]->FifoSpace() > 0) {
+        std::deque<DecodeJob>* src = nullptr;
+        bool is_steal = false;
+        if (!shards[static_cast<size_t>(d)].empty()) {
+          src = &shards[static_cast<size_t>(d)];
+        } else if (steal) {
+          // Deepest victim backlogged beyond the watermark; take the back
+          // (the router's thief end).
+          size_t deepest = kWatermark;
+          for (int v = 0; v < n; ++v) {
+            if (v == d) continue;
+            if (shards[static_cast<size_t>(v)].size() > deepest) {
+              deepest = shards[static_cast<size_t>(v)].size();
+              src = &shards[static_cast<size_t>(v)];
+              is_steal = true;
+            }
+          }
+        }
+        if (src == nullptr) break;
+        DecodeJob job = is_steal ? src->back() : src->front();
+        if (!devices[d]->SubmitDecode(job, [&completed] { ++completed; })) {
+          break;  // FIFO full despite FifoSpace — be safe, step the clock
+        }
+        if (is_steal) {
+          src->pop_back();
+          ++steals;
+        } else {
+          src->pop_front();
+        }
+        progress = true;
+      }
+    }
+    if (!progress && !sched.Step()) break;
+  }
+  sched.Run();
+  const double seconds = sim::ToSeconds(sched.Now());
+  return {seconds > 0.0 ? static_cast<double>(completed) / seconds : 0.0,
+          steals};
+}
+
+// Uniform corpus dealt round-robin across the shards.
+RunResult RunUniform(int devices, size_t images) {
+  std::vector<std::deque<DecodeJob>> shards(static_cast<size_t>(devices));
+  for (size_t i = 0; i < images; ++i) {
+    shards[i % static_cast<size_t>(devices)].push_back(UniformJob());
+  }
+  return RunShards(std::move(shards), /*steal=*/true);
+}
+
+// Skewed two-device corpus: shard 0's half is ~8x heavier.
+RunResult RunSkewed(size_t images, bool steal) {
+  std::vector<std::deque<DecodeJob>> shards(2);
+  for (size_t i = 0; i < images; ++i) {
+    if (i % 2 == 0) {
+      shards[0].push_back(HeavyJob());
+    } else {
+      shards[1].push_back(UniformJob());
+    }
+  }
+  return RunShards(std::move(shards), steal);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  constexpr size_t kImages = 512;
+
+  const RunResult one = RunUniform(1, kImages);
+  const RunResult two = RunUniform(2, kImages);
+  const RunResult four = RunUniform(4, kImages);
+  const double speedup2 = one.img_s > 0.0 ? two.img_s / one.img_s : 0.0;
+  const double speedup4 = one.img_s > 0.0 ? four.img_s / one.img_s : 0.0;
+
+  const RunResult skew_off = RunSkewed(kImages / 2, /*steal=*/false);
+  const RunResult skew_on = RunSkewed(kImages / 2, /*steal=*/true);
+  const double recovery =
+      skew_off.img_s > 0.0 ? skew_on.img_s / skew_off.img_s : 0.0;
+
+  const bool pass = speedup2 >= 1.7 && speedup4 >= 3.0 && recovery >= 1.25 &&
+                    skew_on.steals > 0;
+
+  if (json) {
+    std::printf(
+        "{\n  \"images\": %zu,\n  \"dev1_img_s\": %s,\n"
+        "  \"dev2_img_s\": %s,\n  \"dev4_img_s\": %s,\n"
+        "  \"speedup_2dev\": %s,\n  \"speedup_4dev\": %s,\n"
+        "  \"skew_steal_off_img_s\": %s,\n  \"skew_steal_on_img_s\": %s,\n"
+        "  \"steal_recovery_ratio\": %s,\n  \"steals\": %llu,\n"
+        "  \"pass\": %s\n}\n",
+        kImages, Fmt(one.img_s, 1).c_str(), Fmt(two.img_s, 1).c_str(),
+        Fmt(four.img_s, 1).c_str(), Fmt(speedup2, 3).c_str(),
+        Fmt(speedup4, 3).c_str(), Fmt(skew_off.img_s, 1).c_str(),
+        Fmt(skew_on.img_s, 1).c_str(), Fmt(recovery, 3).c_str(),
+        static_cast<unsigned long long>(skew_on.steals),
+        pass ? "true" : "false");
+    return pass ? 0 : 1;
+  }
+
+  std::printf("=== Multi-device scale-out & work stealing ===\n\n");
+  std::printf("uniform corpus, %zu images, round-robin shards:\n", kImages);
+  Table t({"devices", "img/s", "speedup"});
+  t.AddRow({"1", FmtCount(one.img_s), "1.0x"});
+  t.AddRow({"2", FmtCount(two.img_s), Fmt(speedup2, 2) + "x"});
+  t.AddRow({"4", FmtCount(four.img_s), Fmt(speedup4, 2) + "x"});
+  std::printf("%s\n", t.Render().c_str());
+
+  std::printf("skewed corpus (shard 0 ~8x heavier), 2 devices, %zu images:\n",
+              kImages / 2);
+  Table s({"stealing", "img/s", "steals"});
+  s.AddRow({"off (static shards)", FmtCount(skew_off.img_s),
+            FmtCount(static_cast<double>(skew_off.steals))});
+  s.AddRow({"on (watermark thief)", FmtCount(skew_on.img_s),
+            FmtCount(static_cast<double>(skew_on.steals))});
+  std::printf("%s\n", s.Render().c_str());
+  std::printf("-> 2-dev speedup %.2fx (need >= 1.7), 4-dev %.2fx (need >= 3),"
+              " steal recovery %.2fx (need >= 1.25): %s\n",
+              speedup2, speedup4, recovery, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

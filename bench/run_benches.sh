@@ -65,6 +65,7 @@ if [ "${QUICK}" = 1 ]; then
     "trace_overhead:bench_trace_overhead"
     "profiler_overhead:bench_profiler_overhead"
     "flight_overhead:bench_flight_overhead"
+    "scaleout:bench_scaleout"
   )
 else
   BENCHES=(
@@ -77,6 +78,7 @@ else
     "flight_overhead:bench_flight_overhead"
     "micro_codec:bench_micro_codec"
     "micro_resize:bench_micro_resize"
+    "scaleout:bench_scaleout"
   )
 fi
 

@@ -5,6 +5,7 @@
 // with the originating request id. Latency is measured per request.
 //
 // Usage: inference_server [requests=200 clients=5 batch=8 backend=dlbooster
+//                          devices=1 numa=1 placement=interleave steal=1
 //                          monitor_port=-1 sample_ms=500 events=off
 //                          watchdog=0 slo= flight_dir=]
 //
@@ -101,6 +102,10 @@ int main(int argc, char** argv) {
   config.options.resize_w = 64;
   config.options.resize_h = 64;
   config.options.queue_depth = 4;
+  config.devices = static_cast<int>(args.GetInt("devices", 1));
+  config.numa_nodes = static_cast<int>(args.GetInt("numa", 1));
+  config.placement = args.GetString("placement", "interleave");
+  config.steal = args.GetInt("steal", 1) != 0;
   config.monitor_port = static_cast<int>(args.GetInt("monitor_port", -1));
   config.monitor_sample_ms = args.GetInt("sample_ms", 500);
   config.event_log_level = args.GetString("events", "off");

@@ -11,6 +11,12 @@
 //   decode_scale=0|1         decode-to-scale: emit 1/2, 1/4 or 1/8-size
 //                            pixels straight from the DCT coefficients
 //                            when the output is that much smaller
+//   devices=1                emulated FPGA decoder devices; > 1 shards the
+//                            data plane (per-device arena + queues) behind
+//                            the work-stealing dispatcher
+//   numa=1                   NUMA nodes the device shards spread across
+//   placement=interleave     shard placement policy (interleave|pack)
+//   steal=1                  cross-device work stealing (0 = static shards)
 //   trace=/tmp/trace.json   emit a Chrome/Perfetto batch trace
 //   events=info             structured event log (off|warn|info|debug)
 //   watchdog=2000           stall watchdog deadline in ms (0 = off)
@@ -71,6 +77,10 @@ int main(int argc, char** argv) {
                                   ? dlb::FitMode::kCoverCrop
                                   : dlb::FitMode::kStretch;
   config.options.decode_to_scale = args.GetInt("decode_scale", 0) != 0;
+  config.devices = static_cast<int>(args.GetInt("devices", 1));
+  config.numa_nodes = static_cast<int>(args.GetInt("numa", 1));
+  config.placement = args.GetString("placement", "interleave");
+  config.steal = args.GetInt("steal", 1) != 0;
   config.max_images = num_images;
   config.trace_path = args.GetString("trace", "");
   config.event_log_level = args.GetString("events", "off");

@@ -12,10 +12,33 @@ DlboosterBackend::DlboosterBackend(DataCollector* collector,
   DLB_CHECK(collector != nullptr);
   const BackendOptions& b = options_.backend;
   const int num_devices = std::max(1, options_.num_devices);
+  const bool sharded = num_devices > 1;
 
-  pool_ = std::make_unique<HugePagePool>(
-      b.SlotStride() * b.batch_size,
-      std::max(options_.pool_buffers, static_cast<size_t>(num_devices) * 2));
+  // Topology plan: which NUMA node each device shard (arena + host
+  // workers) is pinned to.
+  auto plan = topo::PlanPlacement(num_devices, std::max(1, options_.numa_nodes),
+                                  options_.placement);
+  DLB_CHECK(plan.ok());
+  plan_ = std::move(plan).value();
+
+  // Sharded data plane: one HugePage arena + Free/Full queue pair per
+  // device, allocated on (modelled as tagged with) the shard's NUMA node.
+  // Single-device keeps the one unsharded pool and its legacy metrics.
+  const size_t buffer_bytes = b.SlotStride() * b.batch_size;
+  const size_t total_buffers =
+      std::max(options_.pool_buffers, static_cast<size_t>(num_devices) * 2);
+  if (!sharded) {
+    pools_.push_back(
+        std::make_unique<HugePagePool>(buffer_bytes, total_buffers));
+  } else {
+    const size_t per_shard = std::max<size_t>(
+        2, (total_buffers + num_devices - 1) / num_devices);
+    for (int d = 0; d < num_devices; ++d) {
+      auto pool = std::make_unique<HugePagePool>(buffer_bytes, per_shard);
+      pool->SetShard(d, plan_.NodeOf(d));
+      pools_.push_back(std::move(pool));
+    }
+  }
 
   // Several readers share one sample stream; serialise access.
   shared_collector_ = std::make_unique<LockedCollector>(collector);
@@ -29,16 +52,36 @@ DlboosterBackend::DlboosterBackend(DataCollector* collector,
   reader_opts.aspect_crop = out.fit == FitMode::kCoverCrop;
   reader_opts.decode_to_scale = b.decode_to_scale;
   for (int d = 0; d < num_devices; ++d) {
-    devices_.push_back(std::make_unique<fpga::FpgaDevice>(options_.device));
+    fpga::FpgaDeviceOptions dev_opts = options_.device;
+    if (sharded) dev_opts.device_index = d;
+    devices_.push_back(std::make_unique<fpga::FpgaDevice>(dev_opts));
+  }
+  if (sharded) {
+    StealRouterOptions router_opts;
+    router_opts.steal_enabled = options_.steal_enabled;
+    router_opts.steal_watermark = options_.steal_watermark;
+    router_opts.assign_policy = options_.assign_policy;
+    std::vector<fpga::FpgaDevice*> device_ptrs;
+    for (auto& device : devices_) device_ptrs.push_back(device.get());
+    router_ = std::make_unique<WorkStealingRouter>(std::move(device_ptrs),
+                                                   router_opts);
+    for (int d = 0; d < num_devices; ++d) {
+      readers_.push_back(std::make_unique<FpgaReader>(
+          router_->Channel(d), shared_collector_.get(), pools_[d].get(),
+          reader_opts));
+    }
+  } else {
     readers_.push_back(std::make_unique<FpgaReader>(
-        devices_.back().get(), shared_collector_.get(), pool_.get(),
+        devices_[0].get(), shared_collector_.get(), pools_[0].get(),
         reader_opts));
   }
 
   DispatcherOptions disp_opts;
   disp_opts.queue_depth = b.queue_depth;
   disp_opts.per_item_copies = options_.per_item_copies;
-  dispatcher_ = std::make_unique<Dispatcher>(pool_.get(), disp_opts);
+  std::vector<HugePagePool*> pool_ptrs;
+  for (auto& pool : pools_) pool_ptrs.push_back(pool.get());
+  dispatcher_ = std::make_unique<Dispatcher>(std::move(pool_ptrs), disp_opts);
   for (int e = 0; e < std::max(1, b.num_engines); ++e) {
     dispatcher_->RegisterEngine();
   }
@@ -62,8 +105,19 @@ std::string DlboosterBackend::Describe() const {
      << ", out=" << out.width << "x" << out.height << "x" << out.channels
      << (out.fit == FitMode::kCoverCrop ? ", fit=cover" : ", fit=stretch")
      << (b.decode_to_scale ? ", decode_to_scale" : "")
-     << ", pool_buffers=" << pool_->BufferCount()
-     << ", engines=" << std::max(1, b.num_engines);
+     << ", pool_buffers=";
+  size_t total_buffers = 0;
+  for (const auto& pool : pools_) total_buffers += pool->BufferCount();
+  os << total_buffers << ", engines=" << std::max(1, b.num_engines);
+  if (router_ != nullptr) {
+    os << ", topology=" << plan_.ToString()
+       << ", steal=" << (options_.steal_enabled ? "on" : "off")
+       << ", watermark=" << options_.steal_watermark
+       << ", assign=" << options_.assign_policy;
+    if (router_->DevicesQuarantined() > 0) {
+      os << ", devices_quarantined=" << router_->DevicesQuarantined();
+    }
+  }
   // Degraded-mode visibility: name the quarantined units per device.
   for (size_t d = 0; d < devices_.size(); ++d) {
     const std::string q = devices_[d]->QuarantineSummary();
@@ -77,7 +131,34 @@ void DlboosterBackend::AttachTelemetry(telemetry::Telemetry* telemetry) {
   PreprocessBackend::AttachTelemetry(telemetry);
   for (auto& device : devices_) device->SetTelemetry(telemetry);
   for (auto& reader : readers_) reader->SetTelemetry(telemetry);
-  pool_->SetTelemetry(telemetry);
+  for (auto& pool : pools_) pool->SetTelemetry(telemetry);
+  if (router_ != nullptr) router_->SetTelemetry(telemetry);
+  if (pools_.size() > 1) {
+    if (telemetry != nullptr) {
+      // Aggregate hook: keep the legacy "pool.*" gauges (hardcoded in the
+      // profiler and monitor) meaningful as sums over the shard arenas.
+      std::vector<HugePagePool*> all;
+      for (auto& pool : pools_) all.push_back(pool.get());
+      auto hook = [telemetry, all] {
+        size_t buffers = 0, free_buffers = 0, full_buffers = 0;
+        for (HugePagePool* pool : all) {
+          buffers += pool->BufferCount();
+          free_buffers += pool->FreeQueue().Size();
+          full_buffers += pool->FullQueue().Size();
+        }
+        MetricRegistry& reg = telemetry->Registry();
+        reg.GetGauge("pool.buffers")->Set(static_cast<double>(buffers));
+        reg.GetGauge("pool.free_buffers")
+            ->Set(static_cast<double>(free_buffers));
+        reg.GetGauge("pool.full_buffers")
+            ->Set(static_cast<double>(full_buffers));
+      };
+      for (auto& pool : pools_) pool->SetOccupancyHook(hook);
+      hook();
+    } else {
+      for (auto& pool : pools_) pool->SetOccupancyHook({});
+    }
+  }
   dispatcher_->SetTelemetry(telemetry);
 }
 
@@ -85,6 +166,7 @@ void DlboosterBackend::AttachFaultInjector(fault::FaultInjector* injector) {
   PreprocessBackend::AttachFaultInjector(injector);
   for (auto& device : devices_) device->SetFaultInjector(injector);
   for (auto& reader : readers_) reader->SetFaultInjector(injector);
+  if (router_ != nullptr) router_->SetFaultInjector(injector);
 }
 
 uint64_t DlboosterBackend::ImagesDecoded() const {
@@ -142,12 +224,14 @@ Result<BatchPtr> DlboosterBackend::NextBatch(int engine) {
 void DlboosterBackend::Stop() {
   if (!started_) {
     for (auto& device : devices_) device->Shutdown();
+    if (router_ != nullptr) router_->Shutdown();
     return;
   }
   for (auto& reader : readers_) reader->Stop();
   for (auto& device : devices_) device->Shutdown();
+  if (router_ != nullptr) router_->Shutdown();
   dispatcher_->Stop();
-  pool_->Close();
+  for (auto& pool : pools_) pool->Close();
 }
 
 }  // namespace dlb

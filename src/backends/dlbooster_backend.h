@@ -9,13 +9,16 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "backends/backend.h"
+#include "common/topology.h"
 #include "fpga/fpga_device.h"
 #include "hostbridge/data_collector.h"
 #include "hostbridge/dispatcher.h"
 #include "hostbridge/fpga_reader.h"
 #include "hostbridge/hugepage_pool.h"
+#include "hostbridge/steal_router.h"
 
 namespace dlb {
 
@@ -28,9 +31,23 @@ struct DlboosterOptions {
   /// paper's large-block copy).
   bool per_item_copies = false;
   /// Decoder devices. "Plugging more FPGA devices" (§5.3) raises the
-  /// decode bound: each device gets its own FPGAReader; all share the
-  /// sample stream, the batch pool and the dispatcher.
+  /// decode bound: each device gets its own FPGAReader and (when > 1) its
+  /// own shard of the data plane — a per-device HugePage arena and
+  /// Free/Full queue pair — behind the work-stealing router; all share the
+  /// sample stream and the dispatcher.
   int num_devices = 1;
+  /// NUMA nodes the device shards are placed across (1 = flat memory).
+  int numa_nodes = 1;
+  /// Placement policy: "interleave" (round-robin shards across nodes) or
+  /// "pack" (fill node 0 first).
+  std::string placement = "interleave";
+  /// Cross-device work stealing (multi-device only). Off = static
+  /// sharding; a skewed shard then bounds throughput.
+  bool steal_enabled = true;
+  /// Steal only from shards backlogged beyond this depth.
+  int steal_watermark = 4;
+  /// Home-shard assignment for submitted commands: "local" or "rr".
+  std::string assign_policy = "local";
 };
 
 class DlboosterBackend : public PreprocessBackend {
@@ -59,14 +76,30 @@ class DlboosterBackend : public PreprocessBackend {
   const fpga::FpgaDevice& Device(int i = 0) const { return *devices_[i]; }
   int NumDevices() const { return static_cast<int>(devices_.size()); }
 
+  /// The work-stealing router (null in single-device mode).
+  WorkStealingRouter* Router() { return router_.get(); }
+  /// Latch device `device` dead and fail its shard over to the survivors
+  /// (fault-drill / test API). False in single-device mode or for the
+  /// last healthy device.
+  bool QuarantineDevice(int device) {
+    return router_ != nullptr && router_->QuarantineDevice(device);
+  }
+  const topo::TopologyPlan& Topology() const { return plan_; }
+
  private:
   uint64_t BatchesProduced() const;
   bool AllReadersFinished() const;
 
   DlboosterOptions options_;
+  topo::TopologyPlan plan_;
   std::unique_ptr<LockedCollector> shared_collector_;
+  // Declared before devices_ so devices (whose workers call the router's
+  // completion sinks) are destroyed — workers joined — first.
+  std::unique_ptr<WorkStealingRouter> router_;
   std::vector<std::unique_ptr<fpga::FpgaDevice>> devices_;
-  std::unique_ptr<HugePagePool> pool_;
+  /// One pool per device shard when sharded; a single unsharded pool
+  /// otherwise (legacy metric names preserved).
+  std::vector<std::unique_ptr<HugePagePool>> pools_;
   std::vector<std::unique_ptr<FpgaReader>> readers_;
   std::unique_ptr<Dispatcher> dispatcher_;
   bool started_ = false;

@@ -14,6 +14,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/log.h"
 #include "common/status.h"
 
 namespace dlb {
@@ -21,7 +22,11 @@ namespace dlb {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+  /// `capacity` must be >= 1: a zero-capacity queue can never pass an item,
+  /// so it is a programmer error, not a degenerate configuration.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    DLB_CHECK(capacity > 0);
+  }
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -47,6 +52,27 @@ class BoundedQueue {
     }
     not_empty_.notify_one();
     return Status::Ok();
+  }
+
+  /// Batched non-blocking push: move items from [first, last) into the
+  /// queue under ONE lock acquisition and wake consumers once — the
+  /// software twin of a doorbell that announces a whole batch of slots.
+  /// Returns how many items were accepted (a prefix; the queue may fill
+  /// mid-batch, and a closed queue accepts none).
+  template <typename It>
+  size_t TryPushMany(It first, It last) {
+    size_t pushed = 0;
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) return 0;
+      while (first != last && items_.size() < capacity_) {
+        items_.push_back(std::move(*first));
+        ++first;
+        ++pushed;
+      }
+    }
+    if (pushed > 0) not_empty_.notify_all();
+    return pushed;
   }
 
   /// Blocking pop; empty optional means closed-and-drained.

@@ -12,6 +12,7 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kDmaError: return "dma_error";
     case FaultKind::kDmaDrop: return "dma_drop";
     case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kDeviceFail: return "device_fail";
   }
   return "unknown";
 }
@@ -23,13 +24,14 @@ double FaultSpec::Rate(FaultKind kind) const {
     case FaultKind::kDmaError: return dma_error;
     case FaultKind::kDmaDrop: return dma_drop;
     case FaultKind::kLatencySpike: return latency_spike;
+    case FaultKind::kDeviceFail: return device_fail;
   }
   return 0.0;
 }
 
 bool FaultSpec::Any() const {
   return corrupt_jpeg > 0.0 || fpga_unit_stall > 0.0 || dma_error > 0.0 ||
-         dma_drop > 0.0 || latency_spike > 0.0;
+         dma_drop > 0.0 || latency_spike > 0.0 || device_fail > 0.0;
 }
 
 namespace {
@@ -90,6 +92,8 @@ Result<FaultSpec> ParseFaultSpec(const std::string& spec) {
       DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.dma_drop));
     } else if (key == "latency_spike") {
       DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.latency_spike));
+    } else if (key == "device_fail") {
+      DLB_RETURN_IF_ERROR(ParseRate(key, value, &out.device_fail));
     } else if (key == "latency_spike_us") {
       DLB_RETURN_IF_ERROR(ParseU64(key, value, &out.latency_spike_us));
     } else if (key == "latency_spike_ms") {

@@ -33,8 +33,9 @@ enum class FaultKind : uint8_t {
   kDmaError,          // a completion reports a transient DMA failure
   kDmaDrop,           // the FINISH record is lost (DMA itself landed)
   kLatencySpike,      // a stage sleeps for latency_spike_us
+  kDeviceFail,        // a whole device latches dead; its shard fails over
 };
-inline constexpr int kNumFaultKinds = 5;
+inline constexpr int kNumFaultKinds = 6;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -45,6 +46,7 @@ struct FaultSpec {
   double dma_error = 0.0;
   double dma_drop = 0.0;
   double latency_spike = 0.0;
+  double device_fail = 0.0;
   /// Duration of one injected latency spike.
   uint64_t latency_spike_us = 2000;
   /// Seed for the injector's RNG; same seed => same fault schedule.
@@ -56,8 +58,9 @@ struct FaultSpec {
 };
 
 /// Parse a "key=value,key=value" spec. Keys: corrupt_jpeg, fpga_unit_stall,
-/// dma_error, dma_drop, latency_spike (rates in [0,1]); latency_spike_us,
-/// latency_spike_ms, seed (integers). Empty string => all-zero spec.
+/// dma_error, dma_drop, latency_spike, device_fail (rates in [0,1]);
+/// latency_spike_us, latency_spike_ms, seed (integers). Empty string =>
+/// all-zero spec.
 /// kInvalidArgument on unknown keys or out-of-range rates.
 Result<FaultSpec> ParseFaultSpec(const std::string& spec);
 

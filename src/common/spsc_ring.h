@@ -2,8 +2,10 @@
 //
 // Used on latency-critical hand-offs where exactly one producer and one
 // consumer exist by construction (e.g. the emulated FPGA FINISH signal path).
-// Capacity is rounded up to a power of two; one slot is sacrificed to
-// distinguish full from empty.
+// The slot count must be a power of two (the index mask depends on it —
+// anything else would silently wrap to the wrong slot); one slot is
+// sacrificed to distinguish full from empty, so a ring of N slots holds
+// N - 1 items.
 #pragma once
 
 #include <atomic>
@@ -13,14 +15,19 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.h"
+
 namespace dlb {
 
 template <typename T>
 class SpscRing {
  public:
-  explicit SpscRing(size_t min_capacity)
-      : mask_(std::bit_ceil(min_capacity < 2 ? size_t{2} : min_capacity + 1) - 1),
-        slots_(mask_ + 1) {}
+  /// `slot_count` must be a power of two >= 2. Rejected loudly instead of
+  /// rounded: a silently adjusted capacity hides sizing bugs at the call
+  /// site (the caller's occupancy math would be computed against a
+  /// different ring than the one it got).
+  explicit SpscRing(size_t slot_count)
+      : mask_(ValidatedSlots(slot_count) - 1), slots_(slot_count) {}
 
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
@@ -54,6 +61,11 @@ class SpscRing {
   size_t Capacity() const { return mask_; }
 
  private:
+  static size_t ValidatedSlots(size_t slot_count) {
+    DLB_CHECK(slot_count >= 2 && std::has_single_bit(slot_count));
+    return slot_count;
+  }
+
   const size_t mask_;
   std::vector<T> slots_;
   alignas(64) std::atomic<size_t> head_{0};

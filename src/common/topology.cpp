@@ -1,0 +1,54 @@
+#include "common/topology.h"
+
+namespace dlb::topo {
+
+int TopologyPlan::DevicesOn(int node) const {
+  int count = 0;
+  for (int n : node_of_device) {
+    if (n == node) ++count;
+  }
+  return count;
+}
+
+std::string TopologyPlan::ToString() const {
+  std::string out = policy + "(" + std::to_string(numa_nodes) + " node" +
+                    (numa_nodes == 1 ? "" : "s") + "):";
+  for (size_t d = 0; d < node_of_device.size(); ++d) {
+    out += " dev" + std::to_string(d) + ":n" +
+           std::to_string(node_of_device[d]);
+  }
+  return out;
+}
+
+Result<TopologyPlan> PlanPlacement(int devices, int numa_nodes,
+                                   const std::string& policy) {
+  if (devices < 1) {
+    return InvalidArgument("placement needs >= 1 device, got " +
+                           std::to_string(devices));
+  }
+  if (numa_nodes < 1) {
+    return InvalidArgument("placement needs >= 1 NUMA node, got " +
+                           std::to_string(numa_nodes));
+  }
+  if (policy != "interleave" && policy != "pack") {
+    return InvalidArgument("unknown placement policy \"" + policy +
+                           "\" (want interleave|pack)");
+  }
+  TopologyPlan plan;
+  plan.numa_nodes = numa_nodes;
+  plan.policy = policy;
+  plan.node_of_device.resize(static_cast<size_t>(devices));
+  for (int d = 0; d < devices; ++d) {
+    if (policy == "interleave") {
+      plan.node_of_device[d] = d % numa_nodes;
+    } else {
+      // pack: devices fill nodes in contiguous runs, node 0 first. With
+      // devices not divisible by nodes the earlier nodes take the extra.
+      plan.node_of_device[d] =
+          static_cast<int>((static_cast<long long>(d) * numa_nodes) / devices);
+    }
+  }
+  return plan;
+}
+
+}  // namespace dlb::topo

@@ -1,0 +1,48 @@
+// NUMA-node placement model for the sharded data plane.
+//
+// Scaling past one FPGA device only pays off when each device's host-side
+// resources — its FPGAReader thread and its hugepage arena — sit on the
+// same NUMA node as the device's PCIe root, otherwise every DMA and every
+// batch copy crosses the interconnect. With no real multi-socket host
+// attached, the model is declarative: PlanPlacement assigns each device a
+// node under a policy, the backend tags arenas and metrics with the node,
+// and the plan surfaces through Describe()/metrics so tests and the monitor
+// can verify the topology a run used.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlb::topo {
+
+/// One device -> node assignment plan.
+struct TopologyPlan {
+  int numa_nodes = 1;
+  std::string policy = "interleave";
+  /// node_of_device[d] = the NUMA node device d (and its reader + arena)
+  /// is pinned to.
+  std::vector<int> node_of_device;
+
+  int NodeOf(int device) const {
+    return device >= 0 && device < static_cast<int>(node_of_device.size())
+               ? node_of_device[device]
+               : 0;
+  }
+  /// Devices placed on `node`.
+  int DevicesOn(int node) const;
+  /// "interleave(2 nodes): dev0:n0 dev1:n1" — for Describe()/logs.
+  std::string ToString() const;
+};
+
+/// Plan the device -> node map. Policies:
+///   "interleave"  round-robin devices across nodes (balances memory
+///                 bandwidth; the default)
+///   "pack"        fill node 0 first (minimises cross-node steal traffic
+///                 when the corpus is uniform)
+/// kInvalidArgument on an unknown policy or non-positive counts.
+Result<TopologyPlan> PlanPlacement(int devices, int numa_nodes,
+                                   const std::string& policy);
+
+}  // namespace dlb::topo

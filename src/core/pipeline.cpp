@@ -233,6 +233,20 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
                            std::to_string(config_.monitor_port) + ")");
   }
 
+  if (config_.devices < 1) {
+    return InvalidArgument("devices must be >= 1");
+  }
+  if (config_.numa_nodes < 1) {
+    return InvalidArgument("numa_nodes must be >= 1");
+  }
+  if (config_.placement != "interleave" && config_.placement != "pack") {
+    return InvalidArgument("placement must be \"interleave\" or \"pack\" (got " +
+                           config_.placement + ")");
+  }
+  if (config_.steal_watermark < 1) {
+    return InvalidArgument("steal_watermark must be >= 1");
+  }
+
   auto level = telemetry::ParseEventLevel(config_.event_log_level);
   if (!level.ok()) return level.status();
 
@@ -318,6 +332,14 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
     }
     DlboosterOptions opts = config_.dlbooster;
     opts.backend = config_.options;
+    // Scale-out knobs: the pipeline-level fields win over whatever the
+    // embedded DlboosterOptions carried (the larger device count wins so
+    // neither knob silently shrinks the fleet).
+    opts.num_devices = std::max(opts.num_devices, config_.devices);
+    opts.numa_nodes = config_.numa_nodes;
+    opts.placement = config_.placement;
+    opts.steal_enabled = config_.steal;
+    opts.steal_watermark = config_.steal_watermark;
     if (config_.decoder_mirror != "jpeg" && !opts.device.custom_decoder) {
       auto mirror = DecoderRegistry::Global().Create(config_.decoder_mirror);
       if (!mirror.ok()) return mirror.status();

@@ -45,6 +45,19 @@ struct PipelineConfig {
   BackendOptions options;
   /// DLBooster-specific knobs (FPGA config, pool sizing).
   DlboosterOptions dlbooster;
+  /// Emulated FPGA decoder devices (scale-out shards). Values > 1 shard
+  /// the data plane: per-device arenas + Free/Full queues behind the
+  /// work-stealing router. Takes precedence over dlbooster.num_devices
+  /// when larger.
+  int devices = 1;
+  /// NUMA nodes the device shards are placed across (1 = flat memory).
+  int numa_nodes = 1;
+  /// Shard placement across nodes: "interleave" | "pack".
+  std::string placement = "interleave";
+  /// Cross-device work stealing (multi-device only).
+  bool steal = true;
+  /// Steal only from shards backlogged beyond this depth.
+  int steal_watermark = 4;
   /// Decoder mirror to load ("jpeg" default; see DecoderRegistry).
   std::string decoder_mirror = "jpeg";
   /// Stop after this many images (0 = stream until the source closes).

@@ -68,6 +68,27 @@ void FpgaDevice::SetTelemetry(telemetry::Telemetry* telemetry) {
                           std::memory_order_relaxed);
     cpu_fallback_reg_.store(reg.GetCounter("decode.cpu_fallback"),
                             std::memory_order_relaxed);
+    doorbells_.store(reg.GetCounter("fpga.doorbells"),
+                     std::memory_order_relaxed);
+    if (options_.device_index >= 0) {
+      // Per-device twins: the busy counter plus a ways gauge lets the
+      // sampler derive "fpga.dev<N>.utilization" exactly like the per-unit
+      // fractions; completed/doorbell counters feed the monitor rows.
+      const std::string p =
+          "fpga.dev" + std::to_string(options_.device_index) + ".";
+      dev_busy_.store(reg.GetCounter(p + "busy_ns"),
+                      std::memory_order_relaxed);
+      dev_completed_.store(reg.GetCounter(p + "completed"),
+                           std::memory_order_relaxed);
+      dev_fifo_depth_.store(reg.GetGauge(p + "cmd_fifo.depth"),
+                            std::memory_order_relaxed);
+      dev_doorbells_.store(reg.GetCounter(p + "doorbells"),
+                           std::memory_order_relaxed);
+      reg.GetGauge(p + "ways")
+          ->Set(static_cast<double>(options_.config.huffman_ways +
+                                    options_.config.idct_ways +
+                                    options_.config.resizer_ways));
+    }
   } else {
     huffman_busy_.store(nullptr, std::memory_order_relaxed);
     idct_busy_.store(nullptr, std::memory_order_relaxed);
@@ -75,8 +96,32 @@ void FpgaDevice::SetTelemetry(telemetry::Telemetry* telemetry) {
     fifo_depth_.store(nullptr, std::memory_order_relaxed);
     inflight_gauge_.store(nullptr, std::memory_order_relaxed);
     cpu_fallback_reg_.store(nullptr, std::memory_order_relaxed);
+    doorbells_.store(nullptr, std::memory_order_relaxed);
+    dev_busy_.store(nullptr, std::memory_order_relaxed);
+    dev_completed_.store(nullptr, std::memory_order_relaxed);
+    dev_fifo_depth_.store(nullptr, std::memory_order_relaxed);
+    dev_doorbells_.store(nullptr, std::memory_order_relaxed);
   }
   telemetry_.store(telemetry, std::memory_order_release);
+}
+
+void FpgaDevice::SetCompletionSink(std::function<void(FpgaCompletion)> sink) {
+  sink_ = std::move(sink);
+  has_sink_.store(sink_ != nullptr, std::memory_order_release);
+}
+
+void FpgaDevice::PublishFifoDepth() {
+  const double depth = static_cast<double>(cmd_fifo_.Size());
+  if (Gauge* g = fifo_depth_.load(std::memory_order_acquire)) g->Set(depth);
+  if (Gauge* g = dev_fifo_depth_.load(std::memory_order_acquire)) {
+    g->Set(depth);
+  }
+}
+
+void FpgaDevice::PublishInflight() {
+  if (Gauge* g = inflight_gauge_.load(std::memory_order_acquire)) {
+    g->Set(static_cast<double>(InFlight()));
+  }
 }
 
 Status FpgaDevice::SubmitCmd(FpgaCmd cmd) {
@@ -91,13 +136,33 @@ Status FpgaDevice::SubmitCmd(FpgaCmd cmd) {
   }
   Status s = cmd_fifo_.TryPush(std::move(cmd));
   if (s.ok()) in_flight_.fetch_add(1, std::memory_order_relaxed);
-  if (Gauge* depth = fifo_depth_.load(std::memory_order_acquire)) {
-    depth->Set(static_cast<double>(cmd_fifo_.Size()));
-  }
-  if (Gauge* inflight = inflight_gauge_.load(std::memory_order_acquire)) {
-    inflight->Set(static_cast<double>(InFlight()));
-  }
+  PublishFifoDepth();
+  PublishInflight();
   return s;
+}
+
+size_t FpgaDevice::SubmitCmds(std::vector<FpgaCmd>& cmds) {
+  if (cmds.empty() || shutdown_.load(std::memory_order_relaxed)) return 0;
+  if (telemetry_.load(std::memory_order_acquire) != nullptr) {
+    const uint64_t now = telemetry::NowNs();
+    for (FpgaCmd& cmd : cmds) cmd.submit_ns = now;
+  }
+  const size_t accepted = cmd_fifo_.TryPushMany(cmds.begin(), cmds.end());
+  if (accepted > 0) {
+    in_flight_.fetch_add(static_cast<int>(accepted),
+                         std::memory_order_relaxed);
+    cmds.erase(cmds.begin(),
+               cmds.begin() + static_cast<ptrdiff_t>(accepted));
+    // One doorbell per accepted batch, however many commands it moved —
+    // the cmds/doorbell ratio is the batching win.
+    if (Counter* c = doorbells_.load(std::memory_order_acquire)) c->Add();
+    if (Counter* c = dev_doorbells_.load(std::memory_order_acquire)) {
+      c->Add();
+    }
+  }
+  PublishFifoDepth();
+  PublishInflight();
+  return accepted;
 }
 
 std::vector<FpgaCompletion> FpgaDevice::DrainCompletions() {
@@ -195,17 +260,27 @@ void FpgaDevice::Complete(const FpgaCmd& cmd, Status status, int w, int h,
   done.height = h;
   done.channels = c;
   done.bytes_written = bytes;
-  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   completed_.Add();
-  if (Gauge* inflight = inflight_gauge_.load(std::memory_order_acquire)) {
-    inflight->Set(static_cast<double>(InFlight()));
-  }
+  if (Counter* c = dev_completed_.load(std::memory_order_acquire)) c->Add();
   if (drop_finish) {
     // Injected dma_drop: the work happened (pixels already landed), but the
     // FINISH record is lost. The reader's completion timeout must recover.
     dropped_finish_.Add();
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    PublishInflight();
     return;
   }
+  if (has_sink_.load(std::memory_order_acquire)) {
+    // Sink mode: deliver first, decrement after, so a router that observes
+    // InFlight()==0 is guaranteed the completion is already visible in its
+    // per-shard queue (Quiescent() can't race ahead of delivery).
+    sink_(std::move(done));
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    PublishInflight();
+    return;
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  PublishInflight();
   // Push may fail only at shutdown, when nobody is listening anyway.
   (void)finish_ring_.Push(std::move(done));
 }
@@ -223,7 +298,10 @@ void FpgaDevice::HuffmanWorker(uint32_t way) {
     Counter* busy = huffman_busy_.load(std::memory_order_acquire);
     const uint64_t t0 = busy != nullptr ? telemetry::NowNs() : 0;
     auto charge = [&] {
-      if (busy != nullptr) busy->Add(telemetry::NowNs() - t0);
+      if (busy == nullptr) return;
+      const uint64_t d = telemetry::NowNs() - t0;
+      busy->Add(d);
+      ChargeDevBusy(d);
     };
     if (quarantined) {
       // Dead way, degraded mode: this lane's commands fall back to the CPU
@@ -326,7 +404,11 @@ void FpgaDevice::IdctWorker(uint32_t way) {
     const uint64_t t0 = busy != nullptr ? telemetry::NowNs() : 0;
     auto planes = jpeg::InverseTransformScaled(item->header, item->coeffs,
                                                item->scale_denom);
-    if (busy != nullptr) busy->Add(telemetry::NowNs() - t0);
+    if (busy != nullptr) {
+      const uint64_t d = telemetry::NowNs() - t0;
+      busy->Add(d);
+      ChargeDevBusy(d);
+    }
     if (!planes.ok()) {
       Complete(item->cmd, planes.status(), 0, 0, 0, 0);
       continue;
@@ -421,7 +503,10 @@ void FpgaDevice::ResizerWorker(uint32_t way) {
         telem->RecordSpan(telemetry::Stage::kResize, resize_start, now, 1,
                           rctx, telemetry::Subsystem::kFpga, way);
       }
-      if (busy != nullptr) busy->Add(now - resize_start);
+      if (busy != nullptr) {
+        busy->Add(now - resize_start);
+        ChargeDevBusy(now - resize_start);
+      }
     }
     Complete(cmd, Status::Ok(), image.Width(), image.Height(),
              image.Channels(), image.SizeBytes());

@@ -75,6 +75,12 @@ struct FpgaDeviceOptions {
   /// different preprocessing mirror to the device. The resizer and DMA
   /// stages still apply. Must be thread-safe.
   std::function<Result<Image>(ByteSpan)> custom_decoder;
+  /// Shard index in a multi-device data plane. When >= 0 the device also
+  /// publishes per-device metrics ("fpga.dev<N>.busy_ns", ".ways",
+  /// ".completed", ".cmd_fifo.depth", ".doorbells") alongside the
+  /// aggregate "fpga.*" names, so the sampler derives a per-device
+  /// utilization and the monitor can render one row per device.
+  int device_index = -1;
 };
 
 class FpgaDevice {
@@ -95,6 +101,20 @@ class FpgaDevice {
   /// kClosed after Shutdown.
   Status SubmitCmd(FpgaCmd cmd);
 
+  /// Batched multi-buffer submit: one doorbell moves as many commands as
+  /// the cmd FIFO has room for. The accepted prefix is moved into the FIFO
+  /// and erased from `cmds`; the rejected tail stays for the caller to
+  /// retry after draining completions. Returns the accepted count (0 when
+  /// full or shut down). Commands must already be valid (input bytes and
+  /// an output region) — the batch path skips per-command validation.
+  size_t SubmitCmds(std::vector<FpgaCmd>& cmds);
+
+  /// Slots currently free in the cmd FIFO — how many commands the next
+  /// SubmitCmds doorbell would accept. Advisory under concurrency.
+  int FifoSpace() const {
+    return static_cast<int>(cmd_fifo_.Capacity() - cmd_fifo_.Size());
+  }
+
   /// Drain all completions currently signalled (drain_out in Table 1).
   std::vector<FpgaCompletion> DrainCompletions();
 
@@ -106,8 +126,22 @@ class FpgaDevice {
   /// Lets the FPGAReader bound its wait when completions may be lost.
   std::vector<FpgaCompletion> WaitCompletionsFor(uint64_t timeout_ms);
 
-  /// Commands accepted but not yet completed.
-  int InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+  /// Route completions to `sink` instead of the FINISH ring (the
+  /// work-stealing router uses this to demultiplex completions back to the
+  /// submitting shard). Must be installed before the first submit and not
+  /// changed while commands are in flight. In sink mode InFlight() only
+  /// drops to zero after the completion has been delivered to the sink, so
+  /// a router can use it as a quiescence fence. Null restores ring
+  /// delivery.
+  void SetCompletionSink(std::function<void(FpgaCompletion)> sink);
+
+  /// Shard index from FpgaDeviceOptions (-1 for a standalone device).
+  int DeviceIndex() const { return options_.device_index; }
+
+  /// Commands accepted but not yet completed. Acquire pairs with the
+  /// sink-mode release decrement: a reader that observes 0 also observes
+  /// every effect of the sink call (the router's teardown fence).
+  int InFlight() const { return in_flight_.load(std::memory_order_acquire); }
 
   /// True once Shutdown() ran (no further completions will arrive).
   bool IsClosed() const { return shutdown_.load(std::memory_order_acquire); }
@@ -176,6 +210,15 @@ class FpgaDevice {
   void ResizerWorker(uint32_t way);
   void Complete(const FpgaCmd& cmd, Status status, int w, int h, int c,
                 size_t bytes, bool drop_finish = false);
+  /// Mirror the cmd-FIFO depth / in-flight count into the cached gauges
+  /// (aggregate and per-device twins).
+  void PublishFifoDepth();
+  void PublishInflight();
+  /// Charge `ns` of busy time to the per-device counter (no-op when the
+  /// device has no index or no telemetry).
+  void ChargeDevBusy(uint64_t ns) {
+    if (Counter* c = dev_busy_.load(std::memory_order_acquire)) c->Add(ns);
+  }
   /// One Bernoulli draw for a unit-stall fault; latches + reports the way
   /// on the first hit. Returns the (possibly fresh) quarantine state.
   bool MaybeQuarantine(Unit unit, uint32_t way, bool already_quarantined);
@@ -201,6 +244,17 @@ class FpgaDevice {
   // submit/complete avoid the registry lock.
   std::atomic<Gauge*> fifo_depth_{nullptr};
   std::atomic<Gauge*> inflight_gauge_{nullptr};
+  // Per-device metric twins ("fpga.dev<N>.*"), live only when
+  // options_.device_index >= 0 and telemetry is attached.
+  std::atomic<Counter*> dev_busy_{nullptr};
+  std::atomic<Counter*> dev_completed_{nullptr};
+  std::atomic<Gauge*> dev_fifo_depth_{nullptr};
+  std::atomic<Counter*> doorbells_{nullptr};
+  std::atomic<Counter*> dev_doorbells_{nullptr};
+  // Completion sink (router demux). Written before the first submit, read
+  // by workers under the has_sink_ acquire flag.
+  std::function<void(FpgaCompletion)> sink_;
+  std::atomic<bool> has_sink_{false};
   // Fault plane: injector hook, per-unit quarantine tallies, fallback and
   // lost-FINISH counters (cached registry twins where the path is warm).
   std::atomic<fault::FaultInjector*> injector_{nullptr};

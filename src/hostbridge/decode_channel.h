@@ -1,0 +1,81 @@
+// Submission-side abstraction over the decode data plane.
+//
+// The FPGAReader of Algorithm 1 talks to "the FPGA channel": it submits
+// decode commands and drains FINISH completions. With one device that is
+// literally the device's cmd FIFO and FINISH ring (DirectChannel). In the
+// sharded data plane the channel is one shard of the WorkStealingRouter,
+// which may run a command on any device and demultiplexes the completion
+// back to the submitting shard. The reader is identical either way — the
+// channel is the seam the scale-out plugs into.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "fpga/fpga_device.h"
+
+namespace dlb {
+
+class DecodeChannel {
+ public:
+  virtual ~DecodeChannel() = default;
+
+  /// Non-blocking single-command submit. kResourceExhausted when the
+  /// channel cannot accept the command right now (drain completions and
+  /// retry), kClosed after shutdown.
+  virtual Status Submit(fpga::FpgaCmd cmd) = 0;
+
+  /// Batched submit: moves the accepted prefix out of `cmds` (erasing it)
+  /// and returns the accepted count. One call is one doorbell however many
+  /// commands it moves.
+  virtual size_t SubmitMany(std::vector<fpga::FpgaCmd>& cmds) = 0;
+
+  /// Completions currently signalled for THIS channel (drain_out).
+  virtual std::vector<fpga::FpgaCompletion> DrainCompletions() = 0;
+
+  /// Block until at least one completion (or shutdown); then drain.
+  virtual std::vector<fpga::FpgaCompletion> WaitCompletions() = 0;
+
+  /// Like WaitCompletions but bounded by `timeout_ms` (empty on timeout).
+  virtual std::vector<fpga::FpgaCompletion> WaitCompletionsFor(
+      uint64_t timeout_ms) = 0;
+
+  /// True when no submitted command can still produce a completion on any
+  /// path reachable from this channel — the FINISH-timeout reap gate. A
+  /// false answer is always safe (reaping is merely delayed).
+  virtual bool Quiescent() const = 0;
+
+  /// True once the channel shut down (no further completions will arrive).
+  virtual bool IsClosed() const = 0;
+};
+
+/// The single-device channel: thin forwarding onto one FpgaDevice, with
+/// the exact semantics the FPGAReader always had.
+class DirectChannel final : public DecodeChannel {
+ public:
+  explicit DirectChannel(fpga::FpgaDevice* device) : device_(device) {}
+
+  Status Submit(fpga::FpgaCmd cmd) override {
+    return device_->SubmitCmd(std::move(cmd));
+  }
+  size_t SubmitMany(std::vector<fpga::FpgaCmd>& cmds) override {
+    return device_->SubmitCmds(cmds);
+  }
+  std::vector<fpga::FpgaCompletion> DrainCompletions() override {
+    return device_->DrainCompletions();
+  }
+  std::vector<fpga::FpgaCompletion> WaitCompletions() override {
+    return device_->WaitCompletions();
+  }
+  std::vector<fpga::FpgaCompletion> WaitCompletionsFor(
+      uint64_t timeout_ms) override {
+    return device_->WaitCompletionsFor(timeout_ms);
+  }
+  bool Quiescent() const override { return device_->InFlight() == 0; }
+  bool IsClosed() const override { return device_->IsClosed(); }
+
+ private:
+  fpga::FpgaDevice* device_;
+};
+
+}  // namespace dlb

@@ -8,9 +8,22 @@
 namespace dlb {
 
 Dispatcher::Dispatcher(HugePagePool* pool, const DispatcherOptions& options)
-    : pool_(pool), options_(options) {
-  DLB_CHECK(pool_ != nullptr);
+    : Dispatcher(std::vector<HugePagePool*>{pool}, options) {}
+
+Dispatcher::Dispatcher(std::vector<HugePagePool*> pools,
+                       const DispatcherOptions& options)
+    : pools_(std::move(pools)), options_(options) {
+  DLB_CHECK(!pools_.empty());
+  for (HugePagePool* pool : pools_) DLB_CHECK(pool != nullptr);
   DLB_CHECK(options_.queue_depth > 0);
+}
+
+size_t Dispatcher::MaxBufferBytes() const {
+  size_t max_bytes = 0;
+  for (const HugePagePool* pool : pools_) {
+    max_bytes = std::max(max_bytes, pool->BufferBytes());
+  }
+  return max_bytes;
 }
 
 Dispatcher::~Dispatcher() { Stop(); }
@@ -24,7 +37,7 @@ int Dispatcher::RegisterEngine() {
   for (size_t i = 0; i < options_.queue_depth; ++i) {
     auto batch = std::make_unique<DeviceBatch>();
     batch->engine = index;
-    batch->mem.resize(pool_->BufferBytes());
+    batch->mem.resize(MaxBufferBytes());
     DLB_CHECK(engines_[index]->free_q.TryPush(batch.get()).ok());
     device_buffers_[index].push_back(std::move(batch));
   }
@@ -44,7 +57,7 @@ void Dispatcher::Start() {
 
 void Dispatcher::Stop() {
   if (!running_.exchange(false)) return;
-  pool_->Close();
+  for (HugePagePool* pool : pools_) pool->Close();
   for (auto& engine : engines_) {
     engine->free_q.Close();
     engine->full_q.Close();
@@ -64,11 +77,38 @@ uint64_t Dispatcher::TotalBatchesDispatched() const {
 }
 
 void Dispatcher::Loop() {
+  using namespace std::chrono_literals;
   size_t rr = 0;
+  size_t pool_rr = 0;
   while (running_.load(std::memory_order_relaxed)) {
-    auto host = pool_->FullQueue().Pop();
-    if (!host.has_value()) break;  // pool closed
-    BatchBuffer* src = *host;
+    // Pull the next full batch fairly across the shard pools: sweep every
+    // pool non-blocking, then park briefly on a rotating one so an idle
+    // plane doesn't spin. Exits once every pool is closed and drained.
+    BatchBuffer* src = nullptr;
+    HugePagePool* src_pool = nullptr;
+    while (running_.load(std::memory_order_relaxed) && src == nullptr) {
+      size_t closed = 0;
+      for (size_t i = 0; i < pools_.size() && src == nullptr; ++i) {
+        HugePagePool* pool = pools_[(pool_rr + i) % pools_.size()];
+        auto popped = pool->FullQueue().TryPop();
+        if (popped.has_value()) {
+          src = *popped;
+          src_pool = pool;
+        } else if (pool->FullQueue().IsClosed()) {
+          ++closed;
+        }
+      }
+      if (src != nullptr) break;
+      if (closed == pools_.size()) return;  // every shard closed + drained
+      HugePagePool* pool = pools_[pool_rr % pools_.size()];
+      ++pool_rr;
+      auto popped = pool->FullQueue().PopFor(1ms);
+      if (popped.has_value()) {
+        src = *popped;
+        src_pool = pool;
+      }
+    }
+    if (src == nullptr) break;  // running_ cleared
 
     // Round-robin engine selection (line 1-11 of Algorithm 3).
     TransQueues* engine = engines_[rr % engines_.size()].get();
@@ -87,7 +127,7 @@ void Dispatcher::Loop() {
                       src->trace.batch_id, /*reason: engine closed*/ 2);
         }
       }
-      pool_->Recycle(src);
+      src_pool->Recycle(src);
       break;
     }
     DeviceBatch* dst = *device;
@@ -123,7 +163,7 @@ void Dispatcher::Loop() {
 
     // Recycle the host buffer for the FPGAReader, then hand the device
     // batch to the engine.
-    pool_->Recycle(src);
+    src_pool->Recycle(src);
     const size_t batch_items = dst->items.size();
     Status pushed = engine->full_q.Push(dst);
     if (telemetry_ != nullptr) {

@@ -55,6 +55,10 @@ struct DispatcherOptions {
 class Dispatcher {
  public:
   Dispatcher(HugePagePool* pool, const DispatcherOptions& options = {});
+  /// Sharded data plane: pull full batches fairly across one pool per
+  /// device shard. Pools are borrowed and must outlive the dispatcher.
+  Dispatcher(std::vector<HugePagePool*> pools,
+             const DispatcherOptions& options = {});
   ~Dispatcher();
 
   Dispatcher(const Dispatcher&) = delete;
@@ -82,8 +86,11 @@ class Dispatcher {
 
  private:
   void Loop();
+  /// Largest buffer size across the shard pools (device batches must fit
+  /// any source buffer).
+  size_t MaxBufferBytes() const;
 
-  HugePagePool* pool_;
+  std::vector<HugePagePool*> pools_;
   DispatcherOptions options_;
   telemetry::Telemetry* telemetry_ = nullptr;
   std::vector<std::unique_ptr<TransQueues>> engines_;

@@ -27,8 +27,22 @@ uint64_t BackoffUs(uint64_t base_us, int attempt) {
 
 FpgaReader::FpgaReader(fpga::FpgaDevice* device, DataCollector* collector,
                        HugePagePool* pool, const FpgaReaderOptions& options)
-    : device_(device), collector_(collector), pool_(pool), options_(options) {
-  DLB_CHECK(device_ && collector_ && pool_);
+    : owned_channel_(std::make_unique<DirectChannel>(device)),
+      channel_(owned_channel_.get()),
+      collector_(collector),
+      pool_(pool),
+      options_(options) {
+  DLB_CHECK(device && collector_ && pool_);
+  DLB_CHECK(options_.batch_size > 0);
+  DLB_CHECK(options_.batch_size < kSlotMask);
+  DLB_CHECK(options_.SlotStride() * options_.batch_size <= pool_->BufferBytes());
+}
+
+FpgaReader::FpgaReader(DecodeChannel* channel, DataCollector* collector,
+                       HugePagePool* pool, const FpgaReaderOptions& options)
+    : channel_(channel), collector_(collector), pool_(pool),
+      options_(options) {
+  DLB_CHECK(channel_ && collector_ && pool_);
   DLB_CHECK(options_.batch_size > 0);
   DLB_CHECK(options_.batch_size < kSlotMask);
   DLB_CHECK(options_.SlotStride() * options_.batch_size <= pool_->BufferBytes());
@@ -68,9 +82,10 @@ void FpgaReader::Stop() {
   if (thread_.joinable()) thread_.join();
 }
 
-FpgaReader::SubmitOutcome FpgaReader::SubmitOne(
-    uint64_t batch_seq, size_t slot, ByteSpan jpeg, BatchBuffer* buffer,
-    const telemetry::TraceContext& trace) {
+fpga::FpgaCmd FpgaReader::BuildCmd(uint64_t batch_seq, size_t slot,
+                                   ByteSpan jpeg, BatchBuffer* buffer,
+                                   const telemetry::TraceContext& trace)
+    const {
   fpga::FpgaCmd cmd;
   cmd.cookie = (batch_seq << kSlotBits) | slot;
   cmd.jpeg = jpeg;
@@ -88,6 +103,13 @@ FpgaReader::SubmitOutcome FpgaReader::SubmitOne(
   cmd.resize_h = options_.resize_h;
   cmd.aspect_crop = options_.aspect_crop;
   cmd.decode_to_scale = options_.decode_to_scale;
+  return cmd;
+}
+
+FpgaReader::SubmitOutcome FpgaReader::SubmitOne(
+    uint64_t batch_seq, size_t slot, ByteSpan jpeg, BatchBuffer* buffer,
+    const telemetry::TraceContext& trace) {
+  fpga::FpgaCmd cmd = BuildCmd(batch_seq, slot, jpeg, buffer, trace);
 
   // Aggressive submit: when the FIFO is full, drain completions and retry
   // (the blocking branch of Algorithm 1) — bounded per attempt so a lossy
@@ -95,7 +117,7 @@ FpgaReader::SubmitOutcome FpgaReader::SubmitOne(
   // submit_retry_limit caps it.
   int attempts = 0;
   while (running_.load(std::memory_order_relaxed)) {
-    Status s = device_->SubmitCmd(cmd);
+    Status s = channel_->Submit(cmd);
     if (s.ok()) {
       submitted_.Add();
       return SubmitOutcome::kSubmitted;
@@ -106,12 +128,66 @@ FpgaReader::SubmitOutcome FpgaReader::SubmitOne(
         attempts >= options_.submit_retry_limit) {
       return SubmitOutcome::kExhausted;
     }
-    ProcessCompletions(device_->WaitCompletionsFor(
+    ProcessCompletions(channel_->WaitCompletionsFor(
         std::max<uint64_t>(1, BackoffUs(options_.retry_backoff_us, attempts) /
                                   1000)));
     ReapTimedOutBatches();
   }
   return SubmitOutcome::kClosed;
+}
+
+bool FpgaReader::SubmitBatch(std::vector<fpga::FpgaCmd>& cmds) {
+  // Batched variant of the aggressive submit: one SubmitMany doorbell
+  // moves as many commands as the channel has room for; a full channel is
+  // drained between rounds. A command that exhausts its submit budget
+  // fails its slot in place and the batch carries on.
+  int attempts = 0;
+  while (!cmds.empty() && running_.load(std::memory_order_relaxed)) {
+    const size_t accepted = channel_->SubmitMany(cmds);
+    if (accepted > 0) {
+      submitted_.Add(accepted);
+      attempts = 0;
+      // Opportunistic drain between doorbells keeps completions flowing
+      // while the rest of the batch queues up.
+      ProcessCompletions(channel_->DrainCompletions());
+      continue;
+    }
+    if (channel_->IsClosed()) return false;
+    ++attempts;
+    if (options_.submit_retry_limit > 0 &&
+        attempts >= options_.submit_retry_limit) {
+      // The front command's submit budget is spent; fail that slot and
+      // move on so one wedged slot can't starve the rest of the batch.
+      const uint64_t cookie = cmds.front().cookie;
+      cmds.erase(cmds.begin());
+      attempts = 0;
+      retry_exhausted_.Add();
+      if (retry_exhausted_reg_ != nullptr) retry_exhausted_reg_->Add();
+      auto it = in_flight_.find(cookie >> kSlotBits);
+      if (it == in_flight_.end()) continue;
+      const size_t slot = static_cast<size_t>(cookie & kSlotMask);
+      if (telemetry::EventLog* events = EventsSink()) {
+        events->Log(telemetry::EventType::kRetryExhausted,
+                    it->second.trace.batch_id, slot,
+                    static_cast<uint64_t>(options_.submit_retry_limit));
+      }
+      if (telemetry_ != nullptr) {
+        if (flight::FlightRecorder* fr = telemetry_->flight()) {
+          fr->Trigger(flight::TriggerKind::kRetryExhausted,
+                      "submit budget exhausted: batch " +
+                          std::to_string(it->second.trace.batch_id) +
+                          " slot " + std::to_string(slot));
+        }
+      }
+      MarkSlotFailed(it, slot, StatusCode::kResourceExhausted);
+      continue;
+    }
+    ProcessCompletions(channel_->WaitCompletionsFor(
+        std::max<uint64_t>(1, BackoffUs(options_.retry_backoff_us, attempts) /
+                                  1000)));
+    ReapTimedOutBatches();
+  }
+  return running_.load(std::memory_order_relaxed) && cmds.empty();
 }
 
 void FpgaReader::MarkSlotFailed(std::map<uint64_t, BatchState>::iterator it,
@@ -204,10 +280,11 @@ void FpgaReader::ProcessCompletions(
 
 void FpgaReader::ReapTimedOutBatches() {
   if (options_.completion_timeout_ms == 0 || in_flight_.empty()) return;
-  // Only reap once the device has serviced everything it was given: then a
+  // Only reap once the data plane has serviced everything it was given
+  // (deques empty, devices idle, completion queues drained): then a
   // pending slot's completion is definitively lost (dropped FINISH), never
   // still in flight — so a timed-out retire can't race a late DMA write.
-  if (device_->InFlight() != 0) return;
+  if (!channel_->Quiescent()) return;
   const uint64_t now = telemetry::NowNs();
   const uint64_t deadline_ns = options_.completion_timeout_ms * 1'000'000ull;
   for (auto it = in_flight_.begin(); it != in_flight_.end();) {
@@ -303,7 +380,7 @@ void FpgaReader::Loop() {
                       pool_->FullQueue().Size());
         }
       }
-      ProcessCompletions(device_->DrainCompletions());
+      ProcessCompletions(channel_->DrainCompletions());
       ReapTimedOutBatches();
     }
     if (buffer == nullptr) break;
@@ -335,6 +412,11 @@ void FpgaReader::Loop() {
       state = &in_flight_.emplace(batch_seq, std::move(fresh)).first->second;
     }
 
+    // Assemble the whole batch's commands first, then move them with as
+    // few doorbells as the channel allows (batched multi-buffer DMA): one
+    // SubmitMany replaces batch_size individual MMIO writes.
+    std::vector<fpga::FpgaCmd> cmds;
+    cmds.reserve(options_.batch_size);
     size_t slot = 0;
     for (; slot < options_.batch_size; ++slot) {
       // Fetch span covers only the collector pull, not the device submit.
@@ -381,43 +463,15 @@ void FpgaReader::Loop() {
       state->sources[slot] = cf.bytes;
       const telemetry::TraceContext cmd_trace =
           fetch_span != 0 ? state->trace.Child(fetch_span) : state->trace;
-      const SubmitOutcome outcome =
-          SubmitOne(batch_seq, slot, cf.bytes, state->buffer, cmd_trace);
-      if (outcome == SubmitOutcome::kExhausted) {
-        // Submit budget spent on a full FIFO: the image fails, the batch
-        // and the stream carry on. `state` stays valid — the batch cannot
-        // retire mid-assembly (expected > submitted slots).
-        retry_exhausted_.Add();
-        if (retry_exhausted_reg_ != nullptr) retry_exhausted_reg_->Add();
-        if (telemetry::EventLog* events = EventsSink()) {
-          events->Log(telemetry::EventType::kRetryExhausted,
-                      state->trace.batch_id, slot,
-                      static_cast<uint64_t>(options_.submit_retry_limit));
-        }
-        if (telemetry_ != nullptr) {
-          if (flight::FlightRecorder* fr = telemetry_->flight()) {
-            fr->Trigger(flight::TriggerKind::kRetryExhausted,
-                        "submit budget exhausted: batch " +
-                            std::to_string(state->trace.batch_id) + " slot " +
-                            std::to_string(slot));
-          }
-        }
-        MarkSlotFailed(in_flight_.find(batch_seq), slot,
-                       StatusCode::kResourceExhausted);
-        continue;
-      }
-      if (outcome == SubmitOutcome::kClosed) {
-        source_exhausted = true;
-        ++slot;
-        break;
-      }
-      // Opportunistic drain. This can only retire THIS batch after its
-      // final slot was submitted, so `state` stays valid inside the loop.
-      ProcessCompletions(device_->DrainCompletions());
+      cmds.push_back(
+          BuildCmd(batch_seq, slot, cf.bytes, state->buffer, cmd_trace));
+      // Opportunistic drain during assembly — nothing of THIS batch is
+      // submitted yet, so `state` stays valid inside the loop.
+      ProcessCompletions(channel_->DrainCompletions());
     }
 
     if (slot == 0) {
-      // Nothing submitted into this buffer: recycle it untouched.
+      // Nothing fetched into this buffer: recycle it untouched.
       auto it = in_flight_.find(batch_seq);
       if (telemetry::Tracer* tracer = TracerSink()) {
         tracer->AbandonBatch(it->second.trace);
@@ -426,13 +480,14 @@ void FpgaReader::Loop() {
       pool_->Recycle(buffer);
       break;
     }
-    // Shrink a partial final batch to what was actually submitted.
-    auto it = in_flight_.find(batch_seq);
-    if (it != in_flight_.end() && slot < options_.batch_size) {
+    // Shrink a partial final batch to what was actually fetched — before
+    // the submit, so completions racing in can retire it.
+    if (slot < options_.batch_size) {
+      auto it = in_flight_.find(batch_seq);
       it->second.expected = slot;
       it->second.items.resize(slot);
-      if (it->second.done == it->second.expected) FinishBatch(it);
     }
+    if (!SubmitBatch(cmds)) source_exhausted = true;
   }
 
   // Flush: wait for every in-flight batch to finish. With a completion
@@ -440,11 +495,11 @@ void FpgaReader::Loop() {
   // the flush forever.
   while (running_.load(std::memory_order_relaxed) && !in_flight_.empty()) {
     if (options_.completion_timeout_ms > 0) {
-      ProcessCompletions(device_->WaitCompletionsFor(10));
+      ProcessCompletions(channel_->WaitCompletionsFor(10));
       ReapTimedOutBatches();
-      if (device_->IsClosed()) break;
+      if (channel_->IsClosed()) break;
     } else {
-      auto completions = device_->WaitCompletions();
+      auto completions = channel_->WaitCompletions();
       if (completions.empty()) break;  // device shut down
       ProcessCompletions(std::move(completions));
     }

@@ -11,11 +11,13 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "common/fault.h"
 #include "fpga/fpga_device.h"
 #include "hostbridge/data_collector.h"
+#include "hostbridge/decode_channel.h"
 #include "hostbridge/hugepage_pool.h"
 #include "telemetry/event_log.h"
 #include "telemetry/telemetry.h"
@@ -56,7 +58,12 @@ struct FpgaReaderOptions {
 
 class FpgaReader {
  public:
+  /// Single-device reader: wraps `device` in an owned DirectChannel.
   FpgaReader(fpga::FpgaDevice* device, DataCollector* collector,
+             HugePagePool* pool, const FpgaReaderOptions& options);
+  /// Sharded reader: submits through `channel` (one shard of the
+  /// work-stealing router; borrowed, must outlive the reader).
+  FpgaReader(DecodeChannel* channel, DataCollector* collector,
              HugePagePool* pool, const FpgaReaderOptions& options);
   ~FpgaReader();
 
@@ -115,9 +122,19 @@ class FpgaReader {
 
   void Loop();
   void ProcessCompletions(std::vector<fpga::FpgaCompletion> completions);
+  /// Pack one decode command for (batch_seq, slot): cookie, translated
+  /// output address, slot geometry.
+  fpga::FpgaCmd BuildCmd(uint64_t batch_seq, size_t slot, ByteSpan jpeg,
+                         BatchBuffer* buffer,
+                         const telemetry::TraceContext& trace) const;
   SubmitOutcome SubmitOne(uint64_t batch_seq, size_t slot, ByteSpan jpeg,
                           BatchBuffer* buffer,
                           const telemetry::TraceContext& trace);
+  /// Batched submit of one assembled batch: repeated SubmitMany doorbells
+  /// with completion drains between rounds; slots whose submit budget runs
+  /// out are marked failed in place. Returns false when the channel closed
+  /// (commands may remain unsubmitted).
+  bool SubmitBatch(std::vector<fpga::FpgaCmd>& cmds);
   /// Record one slot's terminal failure (counts, event, batch progress).
   /// May retire the batch; the caller must re-find iterators afterwards.
   void MarkSlotFailed(std::map<uint64_t, BatchState>::iterator it, size_t slot,
@@ -135,7 +152,8 @@ class FpgaReader {
     return telemetry_ != nullptr ? telemetry_->events() : nullptr;
   }
 
-  fpga::FpgaDevice* device_;
+  std::unique_ptr<DecodeChannel> owned_channel_;  // legacy device ctor
+  DecodeChannel* channel_;
   DataCollector* collector_;
   HugePagePool* pool_;
   FpgaReaderOptions options_;

@@ -46,16 +46,29 @@ void HugePagePool::Recycle(BatchBuffer* buffer) {
   (void)free_queue_.TryPush(buffer);
   telemetry::Telemetry* t = telemetry_.load(std::memory_order_acquire);
   if (t != nullptr) {
-    t->Registry().GetCounter("pool.recycles")->Add();
+    t->Registry().GetCounter(prefix_ + "recycles")->Add();
+    // The legacy aggregate stays a plain counter sum in sharded mode.
+    if (shard_ >= 0) t->Registry().GetCounter("pool.recycles")->Add();
     PublishOccupancy();
   }
+}
+
+void HugePagePool::SetShard(int shard, int numa_node) {
+  DLB_CHECK(shard >= 0);
+  shard_ = shard;
+  numa_node_ = numa_node;
+  prefix_ = "pool.dev" + std::to_string(shard) + ".";
 }
 
 void HugePagePool::SetTelemetry(telemetry::Telemetry* telemetry) {
   telemetry_.store(telemetry, std::memory_order_release);
   if (telemetry != nullptr) {
-    telemetry->Registry().GetGauge("pool.buffers")->Set(
+    telemetry->Registry().GetGauge(prefix_ + "buffers")->Set(
         static_cast<double>(buffers_.size()));
+    if (shard_ >= 0) {
+      telemetry->Registry().GetGauge(prefix_ + "numa_node")->Set(
+          static_cast<double>(numa_node_));
+    }
     PublishOccupancy();
   }
 }
@@ -63,10 +76,11 @@ void HugePagePool::SetTelemetry(telemetry::Telemetry* telemetry) {
 void HugePagePool::PublishOccupancy() {
   telemetry::Telemetry* t = telemetry_.load(std::memory_order_acquire);
   if (t == nullptr) return;
-  t->Registry().GetGauge("pool.free_buffers")->Set(
+  t->Registry().GetGauge(prefix_ + "free_buffers")->Set(
       static_cast<double>(free_queue_.Size()));
-  t->Registry().GetGauge("pool.full_buffers")->Set(
+  t->Registry().GetGauge(prefix_ + "full_buffers")->Set(
       static_cast<double>(full_queue_.Size()));
+  if (occupancy_hook_) occupancy_hook_();
 }
 
 Result<uint8_t*> HugePagePool::PhysToVirt(uint64_t phys) const {

@@ -12,7 +12,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/bounded_queue.h"
@@ -87,8 +89,29 @@ class HugePagePool {
   /// that pop directly from FreeQueue() should call it after the pop).
   void PublishOccupancy();
 
+  /// Mark this pool as device shard `shard` pinned to NUMA node
+  /// `numa_node`: metric names move to "pool.dev<N>.*" (plus a
+  /// "pool.dev<N>.numa_node" gauge) so per-shard arenas stop clobbering
+  /// each other's gauges. Call before SetTelemetry / before threads run.
+  void SetShard(int shard, int numa_node);
+  int Shard() const { return shard_; }
+  int NumaNode() const { return numa_node_; }
+
+  /// Hook run after every occupancy publish. The multi-pool owner installs
+  /// an aggregator here that keeps the legacy "pool.buffers" /
+  /// "pool.free_buffers" / "pool.full_buffers" names meaningful (summed
+  /// across shards) for the profiler and monitor. Install before threads
+  /// run.
+  void SetOccupancyHook(std::function<void()> hook) {
+    occupancy_hook_ = std::move(hook);
+  }
+
  private:
   size_t buffer_bytes_;
+  int shard_ = -1;       // -1 = unsharded (legacy metric names)
+  int numa_node_ = 0;
+  std::string prefix_ = "pool.";  // "pool.dev<N>." once sharded
+  std::function<void()> occupancy_hook_;
   std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
   std::unique_ptr<uint8_t[], void (*)(uint8_t*)> arena_;
   std::vector<std::unique_ptr<BatchBuffer>> buffers_;

@@ -1,0 +1,361 @@
+#include "hostbridge/steal_router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/log.h"
+#include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
+
+namespace dlb {
+
+namespace {
+// Shard tag in the cookie's top byte (0 = untagged), leaving the low 56
+// bits for the reader's batch_seq/slot encoding. Demultiplexes completions
+// back to the submitting shard when a command ran on a stolen device.
+constexpr int kShardShift = 56;
+constexpr uint64_t kCookieMask = (1ull << kShardShift) - 1;
+
+// Per-shard completion queue depth. Far above any realistic in-flight
+// count (pool buffers x batch size), so the device-side push never blocks
+// in practice; if it ever does, the submitting reader drains it.
+constexpr size_t kCompletionQueueCap = 1 << 14;
+
+// Sentinel "way" for device-level quarantine events (unit events carry a
+// real way index).
+constexpr uint64_t kWholeDeviceWay = 0xFFFF;
+}  // namespace
+
+WorkStealingRouter::WorkStealingRouter(std::vector<fpga::FpgaDevice*> devices,
+                                       const StealRouterOptions& options)
+    : options_(options) {
+  DLB_CHECK(!devices.empty());
+  DLB_CHECK(options_.steal_watermark >= 1);
+  DLB_CHECK(options_.assign_policy == "local" ||
+            options_.assign_policy == "rr");
+  shards_.reserve(devices.size());
+  for (size_t d = 0; d < devices.size(); ++d) {
+    DLB_CHECK(devices[d] != nullptr);
+    auto shard = std::make_unique<Shard>(kCompletionQueueCap);
+    shard->device = devices[d];
+    shard->channel =
+        std::make_unique<ShardChannel>(this, static_cast<int>(d));
+    shards_.push_back(std::move(shard));
+  }
+  // Sinks go in last: once installed, worker threads may call back into
+  // the fully constructed router.
+  for (size_t d = 0; d < devices.size(); ++d) {
+    devices[d]->SetCompletionSink([this, d](fpga::FpgaCompletion c) {
+      OnCompletion(static_cast<int>(d), std::move(c));
+    });
+  }
+}
+
+WorkStealingRouter::~WorkStealingRouter() {
+  Shutdown();
+  // The devices outlive the router and their workers call our completion
+  // sinks. closed_ blocks new submissions, so each device's in-flight
+  // count only falls; once it reads 0 (acquire, pairing with the
+  // sink-mode release decrement) the last sink call has returned and the
+  // sink can be detached before the shards it captures are destroyed.
+  for (auto& s : shards_) {
+    while (s->device->InFlight() != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    s->device->SetCompletionSink(nullptr);
+  }
+}
+
+DecodeChannel* WorkStealingRouter::Channel(int shard) {
+  DLB_CHECK(shard >= 0 && shard < NumShards());
+  return shards_[static_cast<size_t>(shard)]->channel.get();
+}
+
+void WorkStealingRouter::SetTelemetry(telemetry::Telemetry* telemetry) {
+  std::scoped_lock lock(mu_);
+  if (telemetry != nullptr) {
+    MetricRegistry& reg = telemetry->Registry();
+    for (size_t d = 0; d < shards_.size(); ++d) {
+      const std::string p = "fpga.dev" + std::to_string(d) + ".";
+      shards_[d]->steals_reg = reg.GetCounter(p + "steals");
+      shards_[d]->stolen_reg = reg.GetCounter(p + "stolen");
+      shards_[d]->assigned_reg = reg.GetCounter(p + "assigned");
+      shards_[d]->depth_reg = reg.GetGauge(p + "shard_depth");
+    }
+    total_steals_reg_ = reg.GetCounter("fpga.steals");
+    quarantined_reg_ = reg.GetGauge("fpga.devices_quarantined");
+  } else {
+    for (auto& s : shards_) {
+      s->steals_reg = nullptr;
+      s->stolen_reg = nullptr;
+      s->assigned_reg = nullptr;
+      s->depth_reg = nullptr;
+    }
+    total_steals_reg_ = nullptr;
+    quarantined_reg_ = nullptr;
+  }
+  telemetry_.store(telemetry, std::memory_order_release);
+}
+
+int WorkStealingRouter::DevicesQuarantined() const {
+  int n = 0;
+  for (const auto& s : shards_) {
+    if (s->quarantined.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+uint64_t WorkStealingRouter::Steals() const { return total_steals_.Value(); }
+
+uint64_t WorkStealingRouter::Steals(int by) const {
+  return shards_[static_cast<size_t>(by)]->steals.Value();
+}
+
+uint64_t WorkStealingRouter::Stolen(int from) const {
+  return shards_[static_cast<size_t>(from)]->stolen.Value();
+}
+
+size_t WorkStealingRouter::ShardDepth(int shard) const {
+  std::scoped_lock lock(mu_);
+  return shards_[static_cast<size_t>(shard)]->backlog.size();
+}
+
+bool WorkStealingRouter::Quiescent() const {
+  std::scoped_lock lock(mu_);
+  for (const auto& s : shards_) {
+    if (!s->backlog.empty()) return false;
+    // Devices decrement InFlight only after the completion sink returned,
+    // so InFlight()==0 here means every completion is already visible in
+    // its shard queue (checked next) or consumed by its reader.
+    if (s->device->InFlight() != 0) return false;
+    if (!s->completions.Empty()) return false;
+  }
+  return true;
+}
+
+void WorkStealingRouter::MaybeDeviceFail(int shard) {
+  fault::FaultInjector* inj = injector_.load(std::memory_order_acquire);
+  if (inj == nullptr || IsQuarantined(shard)) return;
+  if (!inj->Fire(fault::FaultKind::kDeviceFail)) return;
+  QuarantineDevice(shard);
+}
+
+bool WorkStealingRouter::QuarantineDevice(int device) {
+  if (device < 0 || device >= NumShards()) return false;
+  {
+    std::scoped_lock lock(mu_);
+    Shard& s = *shards_[static_cast<size_t>(device)];
+    if (s.quarantined.load(std::memory_order_relaxed)) return true;
+    int healthy = 0;
+    for (const auto& sh : shards_) {
+      if (!sh->quarantined.load(std::memory_order_relaxed)) ++healthy;
+    }
+    // Never latch the last healthy device: degraded beats dead.
+    if (healthy <= 1) return false;
+    s.quarantined.store(true, std::memory_order_release);
+    // Fail the dead shard's backlog over to the survivors right away.
+    PumpLocked();
+  }
+  if (telemetry::Telemetry* telem =
+          telemetry_.load(std::memory_order_acquire)) {
+    MetricRegistry& reg = telem->Registry();
+    reg.GetGauge("fpga.dev" + std::to_string(device) + ".quarantined")
+        ->Set(1.0);
+    reg.GetGauge("fpga.devices_quarantined")
+        ->Set(static_cast<double>(DevicesQuarantined()));
+    if (telemetry::EventLog* events = telem->events()) {
+      events->Log(telemetry::EventType::kUnitQuarantined, 0,
+                  static_cast<uint64_t>(device), kWholeDeviceWay);
+    }
+    if (flight::FlightRecorder* fr = telem->flight()) {
+      fr->Trigger(flight::TriggerKind::kQuarantine,
+                  "device " + std::to_string(device) +
+                      " quarantined; shard failing over to survivors");
+    }
+  }
+  return true;
+}
+
+int WorkStealingRouter::HomeShardLocked(int submitting_shard) {
+  if (options_.assign_policy != "rr") return submitting_shard;
+  // Deterministic round-robin over healthy shards; falls back to the
+  // submitter when everything is latched (can't happen: the last healthy
+  // device is unquarantinable).
+  const int n = NumShards();
+  for (int i = 0; i < n; ++i) {
+    const int cand = static_cast<int>(rr_next_++ % static_cast<uint64_t>(n));
+    if (!shards_[static_cast<size_t>(cand)]->quarantined.load(
+            std::memory_order_relaxed)) {
+      return cand;
+    }
+  }
+  return submitting_shard;
+}
+
+void WorkStealingRouter::PublishDepthLocked(int shard) {
+  Shard& s = *shards_[static_cast<size_t>(shard)];
+  if (s.depth_reg != nullptr) {
+    s.depth_reg->Set(static_cast<double>(s.backlog.size()));
+  }
+}
+
+Status WorkStealingRouter::SubmitToShard(int shard, fpga::FpgaCmd cmd) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return Closed("decode router is shut down");
+  }
+  if (cmd.out == nullptr || cmd.jpeg.empty()) {
+    return InvalidArgument("cmd needs input bytes and an output region");
+  }
+  MaybeDeviceFail(shard);
+  std::scoped_lock lock(mu_);
+  DLB_CHECK((cmd.cookie >> kShardShift) == 0);
+  cmd.cookie |= static_cast<uint64_t>(shard + 1) << kShardShift;
+  const int home = HomeShardLocked(shard);
+  Shard& s = *shards_[static_cast<size_t>(home)];
+  s.backlog.push_back(std::move(cmd));
+  s.assigned.Add();
+  if (s.assigned_reg != nullptr) s.assigned_reg->Add();
+  PumpLocked();
+  return Status::Ok();
+}
+
+size_t WorkStealingRouter::SubmitManyToShard(int shard,
+                                             std::vector<fpga::FpgaCmd>& cmds) {
+  if (cmds.empty() || closed_.load(std::memory_order_acquire)) return 0;
+  MaybeDeviceFail(shard);
+  const size_t n = cmds.size();
+  std::scoped_lock lock(mu_);
+  for (fpga::FpgaCmd& cmd : cmds) {
+    DLB_CHECK((cmd.cookie >> kShardShift) == 0);
+    cmd.cookie |= static_cast<uint64_t>(shard + 1) << kShardShift;
+    const int home = HomeShardLocked(shard);
+    Shard& s = *shards_[static_cast<size_t>(home)];
+    s.backlog.push_back(std::move(cmd));
+    s.assigned.Add();
+    if (s.assigned_reg != nullptr) s.assigned_reg->Add();
+  }
+  cmds.clear();
+  PumpLocked();
+  return n;
+}
+
+void WorkStealingRouter::PumpLocked() {
+  if (closed_.load(std::memory_order_relaxed)) return;
+  const int n = NumShards();
+  for (int d = 0; d < n; ++d) {
+    Shard& s = *shards_[static_cast<size_t>(d)];
+    if (s.quarantined.load(std::memory_order_relaxed)) continue;
+    int space = s.device->FifoSpace();
+    if (space <= 0) continue;
+    std::vector<fpga::FpgaCmd> batch;
+    batch.reserve(static_cast<size_t>(space));
+    // Local work first, oldest first (owner pops the front).
+    while (space > 0 && !s.backlog.empty()) {
+      batch.push_back(std::move(s.backlog.front()));
+      s.backlog.pop_front();
+      --space;
+    }
+    // Then steal, newest first (thieves take the back), always from the
+    // deepest eligible victim. A healthy victim is eligible only above the
+    // watermark — re-checked per steal, so the owner keeps at least
+    // `watermark` of its own backlog. A quarantined victim is eligible at
+    // any depth, even with stealing disabled: that IS the failover path.
+    while (space > 0) {
+      int victim = -1;
+      size_t deepest = 0;
+      for (int v = 0; v < n; ++v) {
+        if (v == d) continue;
+        Shard& sv = *shards_[static_cast<size_t>(v)];
+        const size_t depth = sv.backlog.size();
+        if (depth == 0) continue;
+        const bool dead = sv.quarantined.load(std::memory_order_relaxed);
+        const bool eligible =
+            dead || (options_.steal_enabled &&
+                     depth > static_cast<size_t>(options_.steal_watermark));
+        if (eligible && depth > deepest) {
+          deepest = depth;
+          victim = v;
+        }
+      }
+      if (victim < 0) break;
+      Shard& sv = *shards_[static_cast<size_t>(victim)];
+      batch.push_back(std::move(sv.backlog.back()));
+      sv.backlog.pop_back();
+      --space;
+      s.steals.Add();
+      sv.stolen.Add();
+      total_steals_.Add();
+      if (s.steals_reg != nullptr) s.steals_reg->Add();
+      if (sv.stolen_reg != nullptr) sv.stolen_reg->Add();
+      if (total_steals_reg_ != nullptr) total_steals_reg_->Add();
+    }
+    if (batch.empty()) continue;
+    // One doorbell moves the whole batch. Sized by FifoSpace under mu_
+    // (workers only free slots concurrently), so the tail is empty in all
+    // but pathological races; anything rejected goes back to the local
+    // front so ordering degrades gracefully.
+    (void)s.device->SubmitCmds(batch);
+    while (!batch.empty()) {
+      s.backlog.push_front(std::move(batch.back()));
+      batch.pop_back();
+    }
+  }
+  for (int d = 0; d < n; ++d) PublishDepthLocked(d);
+}
+
+void WorkStealingRouter::OnCompletion(int device, fpga::FpgaCompletion c) {
+  (void)device;  // the completion routes by submitter, not executor
+  const int shard = static_cast<int>(c.cookie >> kShardShift) - 1;
+  if (shard < 0 || shard >= NumShards()) return;  // untagged: dropped
+  c.cookie &= kCookieMask;
+  // Deliver before any pump: the device decrements InFlight only after
+  // this push, which is what makes Quiescent() sound.
+  (void)shards_[static_cast<size_t>(shard)]->completions.Push(std::move(c));
+  std::scoped_lock lock(mu_);
+  PumpLocked();  // a completion freed FIFO space somewhere
+}
+
+std::vector<fpga::FpgaCompletion>
+WorkStealingRouter::ShardChannel::DrainCompletions() {
+  auto& q = router_->shards_[static_cast<size_t>(shard_)]->completions;
+  std::vector<fpga::FpgaCompletion> out;
+  auto drained = q.DrainAll();
+  out.reserve(drained.size());
+  for (auto& c : drained) out.push_back(std::move(c));
+  return out;
+}
+
+std::vector<fpga::FpgaCompletion>
+WorkStealingRouter::ShardChannel::WaitCompletions() {
+  auto& q = router_->shards_[static_cast<size_t>(shard_)]->completions;
+  std::vector<fpga::FpgaCompletion> out;
+  auto first = q.Pop();
+  if (!first.has_value()) return out;  // shut down
+  out.push_back(std::move(*first));
+  auto rest = q.DrainAll();
+  for (auto& c : rest) out.push_back(std::move(c));
+  return out;
+}
+
+std::vector<fpga::FpgaCompletion>
+WorkStealingRouter::ShardChannel::WaitCompletionsFor(uint64_t timeout_ms) {
+  auto& q = router_->shards_[static_cast<size_t>(shard_)]->completions;
+  std::vector<fpga::FpgaCompletion> out;
+  auto first = q.PopFor(std::chrono::milliseconds(timeout_ms));
+  if (!first.has_value()) return out;  // timed out or shut down
+  out.push_back(std::move(*first));
+  auto rest = q.DrainAll();
+  for (auto& c : rest) out.push_back(std::move(c));
+  return out;
+}
+
+void WorkStealingRouter::Shutdown() {
+  if (closed_.exchange(true)) return;
+  // Unblock every reader waiting on its shard queue. Backlog still queued
+  // is abandoned (channel reset semantics); the devices themselves are the
+  // owner's to shut down, after the readers stopped.
+  for (auto& s : shards_) s->completions.Close();
+}
+
+}  // namespace dlb

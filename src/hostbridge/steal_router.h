@@ -1,0 +1,175 @@
+// Work-stealing decode dispatcher for the sharded data plane.
+//
+// N emulated FPGA devices, N submitting shards (one FPGAReader each). Each
+// shard owns a local deque of pending decode commands; a pump moves
+// commands from the deques into device cmd FIFOs with one batched doorbell
+// per device (FpgaDevice::SubmitCmds). A device whose local deque runs dry
+// steals from the back of the deepest victim deque — but only while the
+// victim's backlog exceeds `steal_watermark`, so the victim's owner always
+// keeps a guaranteed share of its own work (the deflake invariant the
+// backend tests lean on). Completions are demultiplexed back to the
+// submitting shard by a shard tag carried in the cookie's top byte, so a
+// reader sees exactly the completions for the commands it submitted no
+// matter which device ran them.
+//
+// Fault plane: QuarantineDevice() latches a whole device dead — it gets no
+// further submissions and its shard's backlog becomes stealable at any
+// depth, failing the shard over to the surviving devices byte-identically
+// (same decode stages, different device). An injected `device_fail` fault
+// at submit time does the same through the router's injector hook.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/fault.h"
+#include "common/stats.h"
+#include "hostbridge/decode_channel.h"
+#include "telemetry/telemetry.h"
+
+namespace dlb {
+
+struct StealRouterOptions {
+  /// Cross-device stealing on/off (off = static sharding; a skewed shard
+  /// then bounds throughput).
+  bool steal_enabled = true;
+  /// A healthy victim is stealable only while its deque is deeper than
+  /// this. Also the per-device minimum-share floor: an owner always gets
+  /// to run at least min(assigned, watermark) of its own commands.
+  int steal_watermark = 4;
+  /// How Submit picks the home deque: "local" (submitting shard's own
+  /// deque — NUMA-friendly) or "rr" (deterministic round-robin across
+  /// shards — uniform assignment independent of submit interleaving).
+  std::string assign_policy = "local";
+};
+
+class WorkStealingRouter {
+ public:
+  /// One shard per device; `devices[i]` is shard i's home device. Devices
+  /// are borrowed, must outlive the router, and must have no other
+  /// submitter — the router installs their completion sinks.
+  WorkStealingRouter(std::vector<fpga::FpgaDevice*> devices,
+                     const StealRouterOptions& options);
+  ~WorkStealingRouter();
+
+  WorkStealingRouter(const WorkStealingRouter&) = delete;
+  WorkStealingRouter& operator=(const WorkStealingRouter&) = delete;
+
+  /// The per-shard submission facade handed to shard's FPGAReader.
+  DecodeChannel* Channel(int shard);
+
+  /// Publish router metrics: per-shard "fpga.dev<N>.steals" / ".stolen" /
+  /// ".assigned" counters and ".shard_depth" / ".quarantined" gauges, plus
+  /// aggregate "fpga.steals" and "fpga.devices_quarantined".
+  void SetTelemetry(telemetry::Telemetry* telemetry);
+
+  /// Arm the `device_fail` fault: each submit draws once; a hit
+  /// quarantines the submitting shard's device (never the last healthy
+  /// one). Null detaches.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Latch device `device` dead: no further submissions reach it and its
+  /// shard's backlog fails over to the surviving devices (byte-identical
+  /// output — same decode stages elsewhere). Emits a flight-recorder
+  /// trigger. Refused (returning false) for the last healthy device.
+  bool QuarantineDevice(int device);
+  bool IsQuarantined(int device) const {
+    return shards_[static_cast<size_t>(device)]->quarantined.load(
+        std::memory_order_acquire);
+  }
+  int DevicesQuarantined() const;
+
+  int NumShards() const { return static_cast<int>(shards_.size()); }
+  uint64_t Steals() const;           // total cross-shard steals
+  uint64_t Steals(int by) const;     // commands device `by` stole
+  uint64_t Stolen(int from) const;   // commands stolen from shard `from`
+  size_t ShardDepth(int shard) const;
+
+  /// True when every deque is empty, every device is idle and every
+  /// completion queue is drained — no command can still surface.
+  bool Quiescent() const;
+
+  /// Close all shard channels (readers unblock). Does not shut the
+  /// devices down — the owner does that after its readers stopped.
+  void Shutdown();
+
+ private:
+  struct Shard;
+
+  /// DecodeChannel facade for one shard (owned by the router).
+  class ShardChannel final : public DecodeChannel {
+   public:
+    ShardChannel(WorkStealingRouter* router, int shard)
+        : router_(router), shard_(shard) {}
+    Status Submit(fpga::FpgaCmd cmd) override {
+      return router_->SubmitToShard(shard_, std::move(cmd));
+    }
+    size_t SubmitMany(std::vector<fpga::FpgaCmd>& cmds) override {
+      return router_->SubmitManyToShard(shard_, cmds);
+    }
+    std::vector<fpga::FpgaCompletion> DrainCompletions() override;
+    std::vector<fpga::FpgaCompletion> WaitCompletions() override;
+    std::vector<fpga::FpgaCompletion> WaitCompletionsFor(
+        uint64_t timeout_ms) override;
+    bool Quiescent() const override { return router_->Quiescent(); }
+    bool IsClosed() const override {
+      return router_->closed_.load(std::memory_order_acquire);
+    }
+
+   private:
+    WorkStealingRouter* router_;
+    int shard_;
+  };
+
+  struct Shard {
+    fpga::FpgaDevice* device = nullptr;
+    std::deque<fpga::FpgaCmd> backlog;  // guarded by router mu_
+    BoundedQueue<fpga::FpgaCompletion> completions;
+    std::atomic<bool> quarantined{false};
+    Counter steals;    // commands this device stole from other shards
+    Counter stolen;    // commands other devices took from this shard
+    Counter assigned;  // commands whose home deque this was
+    std::unique_ptr<ShardChannel> channel;
+    // Registry twins (null until SetTelemetry).
+    Counter* steals_reg = nullptr;
+    Counter* stolen_reg = nullptr;
+    Counter* assigned_reg = nullptr;
+    Gauge* depth_reg = nullptr;
+
+    explicit Shard(size_t completion_capacity)
+        : completions(completion_capacity) {}
+  };
+
+  Status SubmitToShard(int shard, fpga::FpgaCmd cmd);
+  size_t SubmitManyToShard(int shard, std::vector<fpga::FpgaCmd>& cmds);
+  /// One fault draw per submit batch; may quarantine `shard`'s device.
+  void MaybeDeviceFail(int shard);
+  /// Move backlog into device FIFOs — local first, then steal. Requires
+  /// mu_ held.
+  void PumpLocked();
+  /// Completion sink for device `device` (runs on its worker threads).
+  void OnCompletion(int device, fpga::FpgaCompletion c);
+  int HomeShardLocked(int submitting_shard);
+  void PublishDepthLocked(int shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  StealRouterOptions options_;
+  mutable std::mutex mu_;
+  uint64_t rr_next_ = 0;  // "rr" assign cursor, guarded by mu_
+  std::atomic<bool> closed_{false};
+  std::atomic<fault::FaultInjector*> injector_{nullptr};
+  std::atomic<telemetry::Telemetry*> telemetry_{nullptr};
+  Counter total_steals_;
+  Counter* total_steals_reg_ = nullptr;
+  Gauge* quarantined_reg_ = nullptr;
+};
+
+}  // namespace dlb

@@ -116,12 +116,16 @@ TEST(DlboosterBackendTest, RecycleKeepsSmallPoolFlowing) {
 
 TEST(DlboosterBackendTest, TwoDevicesDecodeEverything) {
   // "Plugging more FPGA devices" (§5.3): two emulated decoders, two
-  // FPGAReaders, one shared sample stream and pool.
+  // FPGAReaders, a sharded data plane (per-device arena + queues) and the
+  // work-stealing router in between.
   Dataset ds = SmallDataset(16);
   DiskDataCollector collector(&ds.manifest, ds.store.get(), false, 1);
   BoundedCollector bounded(&collector, 48);
   DlboosterOptions options = SmallOptions(4);
   options.num_devices = 2;
+  // Round-robin home-shard assignment makes the split deterministic enough
+  // to assert on: each device is assigned 24 of the 48 commands.
+  options.assign_policy = "rr";
   DlboosterBackend backend(&bounded, options);
   EXPECT_EQ(backend.NumDevices(), 2);
   ASSERT_TRUE(backend.Start().ok());
@@ -133,10 +137,15 @@ TEST(DlboosterBackendTest, TwoDevicesDecodeEverything) {
   }
   EXPECT_EQ(images, 48u);
   EXPECT_EQ(backend.ImagesDecoded(), 48u);
-  // Per-device accounting covers the whole stream. How the work splits is
-  // scheduling-dependent (a fast device may drain a small dataset before the
-  // other worker is scheduled), so only the sum is deterministic.
+  // Coverage invariant: per-device accounting covers the whole stream.
   EXPECT_EQ(backend.Device(0).Completed() + backend.Device(1).Completed(), 48u);
+  // Min-share invariant: stealing only drains a healthy victim down to the
+  // watermark (re-checked per stolen item), so with 24 commands assigned
+  // each, every device completes >= min(assigned, watermark) itself. This
+  // holds on any scheduling interleaving — no flaky exact-split assert.
+  const auto watermark = static_cast<uint64_t>(options.steal_watermark);
+  EXPECT_GE(backend.Device(0).Completed(), watermark);
+  EXPECT_GE(backend.Device(1).Completed(), watermark);
   backend.Stop();
 }
 

@@ -21,7 +21,7 @@ TEST(FaultSpecTest, EmptySpecIsAllZero) {
 TEST(FaultSpecTest, ParsesEveryKey) {
   auto spec = ParseFaultSpec(
       "corrupt_jpeg=0.05,fpga_unit_stall=0.01,dma_error=0.5,dma_drop=1,"
-      "latency_spike=0.25,latency_spike_us=700,seed=9");
+      "latency_spike=0.25,latency_spike_us=700,device_fail=0.02,seed=9");
   ASSERT_TRUE(spec.ok());
   const FaultSpec& s = spec.value();
   EXPECT_DOUBLE_EQ(s.corrupt_jpeg, 0.05);
@@ -30,6 +30,7 @@ TEST(FaultSpecTest, ParsesEveryKey) {
   EXPECT_DOUBLE_EQ(s.dma_drop, 1.0);
   EXPECT_DOUBLE_EQ(s.latency_spike, 0.25);
   EXPECT_EQ(s.latency_spike_us, 700u);
+  EXPECT_DOUBLE_EQ(s.device_fail, 0.02);
   EXPECT_EQ(s.seed, 9u);
   EXPECT_TRUE(s.Any());
 }
@@ -198,6 +199,7 @@ TEST(FaultKindTest, NamesAreStable) {
   EXPECT_STREQ(FaultKindName(FaultKind::kDmaError), "dma_error");
   EXPECT_STREQ(FaultKindName(FaultKind::kDmaDrop), "dma_drop");
   EXPECT_STREQ(FaultKindName(FaultKind::kLatencySpike), "latency_spike");
+  EXPECT_STREQ(FaultKindName(FaultKind::kDeviceFail), "device_fail");
 }
 
 }  // namespace

@@ -125,6 +125,42 @@ TEST(BoundedQueueTest, DrainAllEmptiesWithoutBlocking) {
   EXPECT_TRUE(q.Empty());
 }
 
+TEST(BoundedQueueDeathTest, ZeroCapacityIsRejected) {
+  EXPECT_DEATH(BoundedQueue<int>(0), "check failed");
+}
+
+TEST(BoundedQueueTest, TryPushManyAcceptsPrefixUpToCapacity) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(0).ok());
+  std::vector<int> batch = {1, 2, 3, 4, 5};
+  // One doorbell: three slots free, so exactly three items land, in order.
+  EXPECT_EQ(q.TryPushMany(batch.begin(), batch.end()), 3u);
+  EXPECT_EQ(q.Size(), 4u);
+  for (int expect = 0; expect < 4; ++expect) {
+    EXPECT_EQ(q.Pop().value(), expect);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushManyOnClosedQueueAcceptsNothing) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  std::vector<int> batch = {1, 2};
+  EXPECT_EQ(q.TryPushMany(batch.begin(), batch.end()), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushManyWakesBlockedConsumer) {
+  BoundedQueue<int> q(8);
+  std::thread consumer([&q] {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::vector<int> batch = {7, 8};
+  EXPECT_EQ(q.TryPushMany(batch.begin(), batch.end()), 2u);
+  consumer.join();
+}
+
 TEST(SpscRingTest, PushPopOrder) {
   SpscRing<int> ring(4);
   EXPECT_TRUE(ring.TryPush(1));
@@ -140,6 +176,27 @@ TEST(SpscRingTest, FullRejectsPush) {
   while (ring.TryPush(static_cast<int>(pushed))) ++pushed;
   EXPECT_EQ(pushed, ring.Capacity());
   EXPECT_FALSE(ring.TryPush(99));
+}
+
+TEST(SpscRingTest, CapacityIsSlotsMinusReservedSlot) {
+  // One slot is sacrificed to distinguish full from empty.
+  EXPECT_EQ(SpscRing<int>(8).Capacity(), 7u);
+  EXPECT_EQ(SpscRing<int>(2).Capacity(), 1u);
+}
+
+TEST(SpscRingDeathTest, ZeroSlotsIsRejected) {
+  EXPECT_DEATH(SpscRing<int>(0), "check failed");
+}
+
+TEST(SpscRingDeathTest, OneSlotIsRejected) {
+  // A single slot cannot hold anything once the full/empty slot is
+  // reserved, so it is rejected rather than silently rounded up.
+  EXPECT_DEATH(SpscRing<int>(1), "check failed");
+}
+
+TEST(SpscRingDeathTest, NonPowerOfTwoSlotsIsRejected) {
+  EXPECT_DEATH(SpscRing<int>(3), "check failed");
+  EXPECT_DEATH(SpscRing<int>(100), "check failed");
 }
 
 TEST(SpscRingTest, ConcurrentStreamPreservesSequence) {

@@ -1,0 +1,65 @@
+#include "common/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace dlb::topo {
+namespace {
+
+TEST(TopologyTest, InterleaveRoundRobinsDevicesAcrossNodes) {
+  auto plan = PlanPlacement(4, 2, "interleave");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().node_of_device, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(plan.value().DevicesOn(0), 2);
+  EXPECT_EQ(plan.value().DevicesOn(1), 2);
+}
+
+TEST(TopologyTest, PackFillsNodeZeroFirst) {
+  auto plan = PlanPlacement(4, 2, "pack");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().node_of_device, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(TopologyTest, PackSpreadsRemainderOverEarlierNodes) {
+  auto plan = PlanPlacement(5, 2, "pack");
+  ASSERT_TRUE(plan.ok());
+  // 5 devices over 2 nodes: node 0 takes the extra device.
+  EXPECT_EQ(plan.value().node_of_device, (std::vector<int>{0, 0, 0, 1, 1}));
+}
+
+TEST(TopologyTest, MoreNodesThanDevicesLeavesNodesIdle) {
+  auto plan = PlanPlacement(2, 4, "interleave");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().node_of_device, (std::vector<int>{0, 1}));
+}
+
+TEST(TopologyTest, SingleNodeDegeneratesToNodeZero) {
+  for (const char* policy : {"interleave", "pack"}) {
+    auto plan = PlanPlacement(3, 1, policy);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_EQ(plan.value().node_of_device, (std::vector<int>{0, 0, 0}));
+  }
+}
+
+TEST(TopologyTest, RejectsBadArguments) {
+  EXPECT_EQ(PlanPlacement(0, 1, "interleave").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PlanPlacement(1, 0, "interleave").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PlanPlacement(1, 1, "hilbert").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TopologyTest, ToStringNamesEveryDevice) {
+  auto plan = PlanPlacement(2, 2, "interleave");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().ToString(), "interleave(2 nodes): dev0:n0 dev1:n1");
+}
+
+TEST(TopologyTest, NodeOfOutOfRangeDeviceIsNodeZero) {
+  auto plan = PlanPlacement(2, 2, "interleave");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().NodeOf(7), 0);
+}
+
+}  // namespace
+}  // namespace dlb::topo

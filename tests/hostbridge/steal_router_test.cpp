@@ -1,0 +1,322 @@
+// Work-stealing decode dispatcher: skewed shards trigger steals, output
+// stays byte-identical no matter which device ran a command, and a
+// quarantined device fails its shard over to the survivors.
+#include "hostbridge/steal_router.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "codec/jpeg_decoder.h"
+#include "codec/jpeg_encoder.h"
+#include "dataplane/synthetic_dataset.h"
+#include "fpga/fpga_device.h"
+#include "image/resize.h"
+#include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
+
+namespace dlb {
+namespace {
+
+constexpr int kOutW = 32;
+constexpr int kOutH = 32;
+constexpr size_t kOutBytes = kOutW * kOutH * 3;
+
+Bytes EncodeScene(int w, int h, uint64_t seed) {
+  DatasetSpec spec = ImageNetLikeSpec(1, seed);
+  spec.width = w;
+  spec.height = h;
+  spec.dim_jitter = 0;
+  Image img = RenderScene(spec, 0, nullptr);
+  auto encoded = jpeg::Encode(img);
+  EXPECT_TRUE(encoded.ok());
+  return encoded.value();
+}
+
+// The skew fixture: every image targets shard 0, and when `skewed` the
+// blobs are ~8x the pixel count of the uniform ones, so a static shard
+// assignment leaves device 1 idle while device 0 drowns.
+struct Corpus {
+  std::vector<Bytes> jpegs;
+  std::vector<std::vector<uint8_t>> outs;      // device output, per image
+  std::vector<std::vector<uint8_t>> expected;  // software reference
+};
+
+Corpus MakeCorpus(int n, bool skewed) {
+  Corpus c;
+  for (int i = 0; i < n; ++i) {
+    const int w = skewed ? 128 : 48;
+    const int h = skewed ? 96 : 36;
+    c.jpegs.push_back(EncodeScene(w, h, 1000 + static_cast<uint64_t>(i)));
+    c.outs.emplace_back(kOutBytes);
+    auto sw = jpeg::Decode(c.jpegs.back());
+    EXPECT_TRUE(sw.ok());
+    auto resized = Resize(sw.value(), kOutW, kOutH, ResizeFilter::kArea);
+    EXPECT_TRUE(resized.ok());
+    c.expected.emplace_back(
+        resized.value().Data(),
+        resized.value().Data() + resized.value().SizeBytes());
+  }
+  return c;
+}
+
+fpga::FpgaCmd MakeCmd(Corpus& c, int i) {
+  fpga::FpgaCmd cmd;
+  cmd.cookie = static_cast<uint64_t>(i);
+  cmd.jpeg = c.jpegs[static_cast<size_t>(i)];
+  cmd.out = c.outs[static_cast<size_t>(i)].data();
+  cmd.out_capacity = kOutBytes;
+  cmd.resize_w = kOutW;
+  cmd.resize_h = kOutH;
+  return cmd;
+}
+
+// Small cmd FIFOs make backlog (and therefore stealing) deterministic: a
+// single SubmitMany of N >> fifo_depth commands must leave a deep deque.
+std::vector<std::unique_ptr<fpga::FpgaDevice>> MakeDevices(int n) {
+  std::vector<std::unique_ptr<fpga::FpgaDevice>> devices;
+  for (int d = 0; d < n; ++d) {
+    fpga::FpgaDeviceOptions opts;
+    opts.config.cmd_fifo_depth = 4;
+    opts.device_index = d;
+    devices.push_back(std::make_unique<fpga::FpgaDevice>(opts));
+  }
+  return devices;
+}
+
+std::vector<fpga::FpgaDevice*> Ptrs(
+    const std::vector<std::unique_ptr<fpga::FpgaDevice>>& devices) {
+  std::vector<fpga::FpgaDevice*> out;
+  for (const auto& d : devices) out.push_back(d.get());
+  return out;
+}
+
+// InFlight drops only after sink delivery, so quiescence may trail the
+// last drained completion by one worker step.
+bool AwaitQuiescent(const WorkStealingRouter& router) {
+  for (int i = 0; i < 2000; ++i) {
+    if (router.Quiescent()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+// Submit the whole corpus on `shard`'s channel and drain until every
+// completion came back. Returns false on any failed decode.
+bool RunCorpus(WorkStealingRouter* router, int shard, Corpus& corpus) {
+  std::vector<fpga::FpgaCmd> cmds;
+  for (size_t i = 0; i < corpus.jpegs.size(); ++i) {
+    cmds.push_back(MakeCmd(corpus, static_cast<int>(i)));
+  }
+  DecodeChannel* ch = router->Channel(shard);
+  size_t done = 0;
+  bool all_ok = true;
+  while (!cmds.empty()) {
+    (void)ch->SubmitMany(cmds);
+    for (const auto& c : ch->DrainCompletions()) {
+      ++done;
+      all_ok = all_ok && c.status.ok();
+    }
+  }
+  while (done < corpus.jpegs.size()) {
+    auto completions = ch->WaitCompletionsFor(2000);
+    if (completions.empty()) return false;  // stuck
+    for (const auto& c : completions) {
+      ++done;
+      all_ok = all_ok && c.status.ok();
+    }
+  }
+  return all_ok;
+}
+
+TEST(StealRouterTest, SkewedShardTriggersStealsAndMatchesReference) {
+  auto devices = MakeDevices(2);
+  StealRouterOptions opts;
+  opts.steal_watermark = 2;
+  WorkStealingRouter router(Ptrs(devices), opts);
+
+  Corpus corpus = MakeCorpus(24, /*skewed=*/true);
+  ASSERT_TRUE(RunCorpus(&router, /*shard=*/0, corpus));
+
+  // All 24 commands targeted shard 0; with fifo_depth=4 and watermark=2
+  // the first doorbell must leave a deque deep enough for device 1 to
+  // steal from. Device 0 never steals (shard 1's deque stays empty).
+  EXPECT_GT(router.Steals(), 0u);
+  EXPECT_GT(router.Steals(1), 0u);
+  EXPECT_GT(router.Stolen(0), 0u);
+  EXPECT_EQ(router.Steals(0), 0u);
+  EXPECT_GT(devices[1]->Completed(), 0u);
+  // Min-share floor: steals stop at the watermark, so the owner decoded at
+  // least that much of its own backlog.
+  EXPECT_GE(devices[0]->Completed(),
+            static_cast<uint64_t>(opts.steal_watermark));
+
+  // Byte-identity: whichever device decoded an image, its output equals the
+  // plain software decode + resize.
+  for (size_t i = 0; i < corpus.outs.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(corpus.outs[i].data(), corpus.expected[i].data(),
+                             kOutBytes))
+        << "image " << i;
+  }
+  // Devices decrement InFlight *after* sink delivery, so quiescence can
+  // trail the last drained completion by one worker step — poll briefly.
+  EXPECT_TRUE(AwaitQuiescent(router));
+  EXPECT_EQ(router.ShardDepth(0), 0u);
+  EXPECT_EQ(router.ShardDepth(1), 0u);
+}
+
+TEST(StealRouterTest, StealOffIsByteIdenticalToStealOn) {
+  Corpus on_corpus = MakeCorpus(16, /*skewed=*/true);
+  Corpus off_corpus = MakeCorpus(16, /*skewed=*/true);
+  {
+    auto devices = MakeDevices(2);
+    StealRouterOptions opts;
+    opts.steal_watermark = 2;
+    WorkStealingRouter router(Ptrs(devices), opts);
+    ASSERT_TRUE(RunCorpus(&router, 0, on_corpus));
+  }
+  {
+    auto devices = MakeDevices(2);
+    StealRouterOptions opts;
+    opts.steal_enabled = false;
+    WorkStealingRouter router(Ptrs(devices), opts);
+    ASSERT_TRUE(RunCorpus(&router, 0, off_corpus));
+    // Static sharding: everything ran (slowly) on device 0.
+    EXPECT_EQ(router.Steals(), 0u);
+    EXPECT_EQ(devices[1]->Completed(), 0u);
+  }
+  for (size_t i = 0; i < on_corpus.outs.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(on_corpus.outs[i].data(),
+                             off_corpus.outs[i].data(), kOutBytes))
+        << "image " << i;
+  }
+}
+
+TEST(StealRouterTest, RoundRobinAssignSplitsAcrossShards) {
+  auto devices = MakeDevices(2);
+  StealRouterOptions opts;
+  opts.assign_policy = "rr";
+  WorkStealingRouter router(Ptrs(devices), opts);
+  Corpus corpus = MakeCorpus(16, /*skewed=*/false);
+  ASSERT_TRUE(RunCorpus(&router, 0, corpus));
+  // rr assignment puts half the stream on each shard no matter which
+  // channel submitted; the watermark floor then guarantees both devices
+  // decoded some of it.
+  EXPECT_GE(devices[0]->Completed(),
+            static_cast<uint64_t>(opts.steal_watermark));
+  EXPECT_GE(devices[1]->Completed(),
+            static_cast<uint64_t>(opts.steal_watermark));
+  EXPECT_EQ(devices[0]->Completed() + devices[1]->Completed(), 16u);
+}
+
+TEST(StealRouterTest, QuarantineFailsOverByteIdenticallyAndTriggersFlight) {
+  namespace fs = std::filesystem;
+  telemetry::Telemetry telem;
+  telem.EnableEvents(256, telemetry::EventLevel::kInfo);
+  std::string dir = ::testing::TempDir() + "/dlb_steal_router_flight";
+  fs::remove_all(dir);
+  flight::FlightOptions fopts;
+  fopts.dir = dir;
+  fopts.profile_ms = 0;
+  flight::FlightRecorder recorder(&telem, fopts);
+  recorder.Start();
+  telem.AttachFlightRecorder(&recorder);
+
+  auto devices = MakeDevices(2);
+  // Stealing disabled on purpose: failover must not depend on it.
+  StealRouterOptions opts;
+  opts.steal_enabled = false;
+  WorkStealingRouter router(Ptrs(devices), opts);
+  router.SetTelemetry(&telem);
+
+  ASSERT_TRUE(router.QuarantineDevice(0));
+  EXPECT_TRUE(router.IsQuarantined(0));
+  EXPECT_EQ(router.DevicesQuarantined(), 1);
+  // The last healthy device is unquarantinable: degraded beats dead.
+  EXPECT_FALSE(router.QuarantineDevice(1));
+  // Re-latching an already-dead device is a no-op success.
+  EXPECT_TRUE(router.QuarantineDevice(0));
+
+  Corpus corpus = MakeCorpus(8, /*skewed=*/false);
+  ASSERT_TRUE(RunCorpus(&router, /*shard=*/0, corpus));
+
+  // Shard 0's stream failed over entirely to device 1, byte-identically.
+  EXPECT_EQ(devices[0]->Completed(), 0u);
+  EXPECT_EQ(devices[1]->Completed(), 8u);
+  for (size_t i = 0; i < corpus.outs.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(corpus.outs[i].data(), corpus.expected[i].data(),
+                             kOutBytes))
+        << "image " << i;
+  }
+
+  // The quarantine raised an event and a flight-recorder bundle.
+  bool saw_event = false;
+  for (const auto& e : telem.events()->Snapshot()) {
+    if (e.type == telemetry::EventType::kUnitQuarantined && e.arg0 == 0 &&
+        e.arg1 == 0xFFFF) {
+      saw_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_event);
+  recorder.Stop();  // drains the queued trigger
+  EXPECT_EQ(recorder.TriggersSuppressed(), 0u);
+  EXPECT_EQ(recorder.BundlesWritten(), 1u);
+  auto bundles = recorder.Bundles();
+  ASSERT_GE(bundles.size(), 1u);
+  EXPECT_NE(bundles.back().name.find("quarantine"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(StealRouterTest, ShutdownClosesChannels) {
+  auto devices = MakeDevices(2);
+  WorkStealingRouter router(Ptrs(devices), StealRouterOptions{});
+  Corpus corpus = MakeCorpus(1, false);
+  router.Shutdown();
+  EXPECT_TRUE(router.Channel(0)->IsClosed());
+  fpga::FpgaCmd cmd = MakeCmd(corpus, 0);
+  EXPECT_EQ(router.Channel(0)->Submit(cmd).code(), StatusCode::kClosed);
+  std::vector<fpga::FpgaCmd> cmds;
+  cmds.push_back(MakeCmd(corpus, 0));
+  EXPECT_EQ(router.Channel(0)->SubmitMany(cmds), 0u);
+}
+
+TEST(StealRouterTest, CompletionsRouteToSubmittingShardWithCleanCookies) {
+  auto devices = MakeDevices(2);
+  StealRouterOptions opts;
+  opts.steal_watermark = 1;
+  WorkStealingRouter router(Ptrs(devices), opts);
+  Corpus c0 = MakeCorpus(6, true);
+  Corpus c1 = MakeCorpus(6, false);
+
+  std::vector<fpga::FpgaCmd> cmds0, cmds1;
+  for (int i = 0; i < 6; ++i) {
+    cmds0.push_back(MakeCmd(c0, i));
+    cmds1.push_back(MakeCmd(c1, i));
+  }
+  while (!cmds0.empty()) (void)router.Channel(0)->SubmitMany(cmds0);
+  while (!cmds1.empty()) (void)router.Channel(1)->SubmitMany(cmds1);
+
+  // Each shard sees exactly its own six cookies, with the shard tag
+  // stripped, no matter which device executed the command.
+  for (int shard = 0; shard < 2; ++shard) {
+    std::vector<bool> seen(6, false);
+    size_t done = 0;
+    while (done < 6) {
+      auto completions = router.Channel(shard)->WaitCompletionsFor(2000);
+      ASSERT_FALSE(completions.empty()) << "shard " << shard << " stuck";
+      for (const auto& comp : completions) {
+        ASSERT_LT(comp.cookie, 6u);
+        EXPECT_FALSE(seen[static_cast<size_t>(comp.cookie)]);
+        seen[static_cast<size_t>(comp.cookie)] = true;
+        ++done;
+      }
+    }
+  }
+  EXPECT_TRUE(AwaitQuiescent(router));
+}
+
+}  // namespace
+}  // namespace dlb

@@ -266,6 +266,33 @@ void RenderFrame(const std::map<std::string, double>& m, int health_status,
                 Bar(util).c_str(), util * 100.0, ways);
   }
 
+  // Per-device rows (sharded data plane): multi-device backends publish
+  // dlb_fpga_dev<N>_* twins plus router steal/depth metrics. Absent on
+  // single-device runs, so the panel renders nothing there.
+  for (int d = 0;; ++d) {
+    const std::string base = "dlb_fpga_dev" + std::to_string(d) + "_";
+    if (m.count(base + "completed_total") == 0 &&
+        m.count(base + "shard_depth") == 0 &&
+        m.count(base + "utilization") == 0) {
+      break;
+    }
+    if (d == 0) {
+      std::printf("\ndevices  (total steals %.0f, %.1f/s)\n",
+                  Get(m, "dlb_fpga_steals_total"),
+                  Get(m, "dlb_fpga_steals_rate_per_s"));
+      std::printf("  %-5s %-26s %8s %8s %8s %11s %10s\n", "dev",
+                  "utilization", "steals", "stolen", "depth", "completed",
+                  "state");
+    }
+    const double util = Get(m, base + "utilization");
+    const bool dead = Get(m, base + "quarantined") > 0;
+    std::printf("  dev%-2d [%s] %5.1f%% %8.0f %8.0f %8.0f %11.0f %10s\n", d,
+                Bar(util, 16).c_str(), util * 100.0,
+                Get(m, base + "steals_total"), Get(m, base + "stolen_total"),
+                Get(m, base + "shard_depth"), Get(m, base + "completed_total"),
+                dead ? "QUARANTINE" : "ok");
+  }
+
   const double free_bufs = Get(m, "dlb_pool_free_buffers");
   const double total_bufs = Get(m, "dlb_pool_buffers");
   const double occupancy =
