@@ -66,6 +66,7 @@ if [ "${QUICK}" = 1 ]; then
     "profiler_overhead:bench_profiler_overhead"
     "flight_overhead:bench_flight_overhead"
     "scaleout:bench_scaleout"
+    "frontdoor_overload:bench_frontdoor_overload"
   )
 else
   BENCHES=(
@@ -79,6 +80,7 @@ else
     "micro_codec:bench_micro_codec"
     "micro_resize:bench_micro_resize"
     "scaleout:bench_scaleout"
+    "frontdoor_overload:bench_frontdoor_overload"
   )
 fi
 

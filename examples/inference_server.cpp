@@ -1,25 +1,33 @@
-// Online inference server over the network path (Fig. 1 / §5.3):
-// client threads stream JPEGs into a receive queue (the NIC), the DLBooster
-// pipeline decodes them on the emulated FPGA, and a serving loop returns
-// "predictions" (the toy classifier's argmax over pooled pixels) tagged
-// with the originating request id. Latency is measured per request.
+// Online inference server over the network path (Fig. 1 / §5.3).
 //
-// Usage: inference_server [requests=200 clients=5 batch=8 backend=dlbooster
-//                          devices=1 numa=1 placement=interleave steal=1
-//                          monitor_port=-1 sample_ms=500 events=off
-//                          watchdog=0 slo= flight_dir=]
+// Two modes share one pipeline shape (rx queue -> emulated-FPGA decode ->
+// completion):
 //
-// With monitor_port>=0 the pipeline serves its monitoring plane over HTTP
-// (/metrics Prometheus text, /metrics.json, /stats, /events, /healthz) for
-// the lifetime of the run — point `dlb_monitor port=<p>` or a Prometheus
-// scraper at it.
+//   Synthetic (default): in-process client threads stream JPEGs into the
+//   receive queue and the serving loop answers them — the paper's
+//   single-stream measurement, deterministic and self-contained.
 //
-// With slo=<spec> (e.g. slo=infer_p99<8ms/30s) the pipeline evaluates the
-// declared objectives continuously; add flight_dir=<dir> to arm the flight
-// recorder, which writes a black-box bundle (trace, events, metrics,
-// profile) on SLO breach, stall, or retry exhaustion.
+//     inference_server [requests=200 clients=5 batch=8 backend=dlbooster ...]
+//
+//   Serving (serve_port=N): a real multi-tenant front door
+//   (frontdoor::FrontDoor) listens on TCP — admission control, per-tenant
+//   priority queues, token buckets, deadline rejection and overload
+//   shedding. Drive it with tools/dlb_loadgen (or curl) and watch it with
+//   dlb_monitor:
+//
+//     inference_server serve_port=8080 monitor_port=9090 serve_seconds=0
+//         tenants='premium:prio=2,rate=500,deadline=50;batch:prio=0'
+//     (one command line; serve_seconds=0 = run until SIGINT/SIGTERM)
+//
+// Shared knobs: batch, backend, devices, numa, placement, steal,
+// monitor_port, sample_ms, events, watchdog, slo, flight_dir (see
+// core/pipeline.h). With slo=<spec> the pipeline evaluates objectives
+// continuously; flight_dir=<dir> arms the black-box flight recorder. In
+// serving mode the front door's shed level feeds the /healthz
+// degraded-but-serving line.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <mutex>
@@ -30,18 +38,98 @@
 #include "common/stats.h"
 #include "core/pipeline.h"
 #include "dataplane/synthetic_dataset.h"
+#include "frontdoor/front_door.h"
 
-int main(int argc, char** argv) {
-  auto config_or = dlb::Config::FromArgs({argv + 1, argv + argc});
-  if (!config_or.ok()) {
-    std::fprintf(stderr, "bad args: %s\n",
-                 config_or.status().ToString().c_str());
+namespace {
+
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+
+dlb::core::PipelineConfig ConfigFromArgs(const dlb::Config& args) {
+  dlb::core::PipelineConfig config;
+  config.backend = args.GetString("backend", "dlbooster");
+  config.options.batch_size = static_cast<int>(args.GetInt("batch", 8));
+  config.options.resize_w = 64;
+  config.options.resize_h = 64;
+  config.options.queue_depth = 4;
+  config.devices = static_cast<int>(args.GetInt("devices", 1));
+  config.numa_nodes = static_cast<int>(args.GetInt("numa", 1));
+  config.placement = args.GetString("placement", "interleave");
+  config.steal = args.GetInt("steal", 1) != 0;
+  config.monitor_port = static_cast<int>(args.GetInt("monitor_port", -1));
+  config.monitor_sample_ms = args.GetInt("sample_ms", 500);
+  config.event_log_level = args.GetString("events", "off");
+  config.watchdog_deadline_ms = args.GetInt("watchdog", 0);
+  config.slo = args.GetString("slo", "");
+  config.flight_dir = args.GetString("flight_dir", "");
+  return config;
+}
+
+// Serving mode: socket front door over the pipeline, runs until the
+// duration elapses (serve_seconds) or a signal arrives.
+int Serve(const dlb::Config& args) {
+  dlb::BoundedQueue<dlb::NetworkImage> rx_queue(
+      static_cast<size_t>(args.GetInt("rx_queue", 64)));
+  dlb::core::PipelineConfig config = ConfigFromArgs(args);
+  // Online serving must flush partial batches: a lone request cannot wait
+  // for batch_size-1 others that may never arrive.
+  config.options.linger_ms = static_cast<uint64_t>(args.GetInt("linger", 5));
+  auto pipeline = dlb::core::PipelineBuilder()
+                      .WithConfig(config)
+                      .WithNetworkSource(&rx_queue)
+                      .Build();
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline.status().ToString().c_str());
     return 1;
   }
-  const dlb::Config& args = config_or.value();
+
+  dlb::frontdoor::FrontDoorOptions options;
+  options.port = static_cast<int>(args.GetInt("serve_port", 0));
+  options.bind_address = args.GetString("serve_bind", "127.0.0.1");
+  options.tenants =
+      args.GetString("tenants", "default:prio=1,deadline=1000");
+  options.target_wait_ms = args.GetDouble("target_wait_ms", 0.0);
+  dlb::frontdoor::FrontDoor door(pipeline.value().get(), &rx_queue, options);
+  if (auto started = door.Start(); !started.ok()) {
+    std::fprintf(stderr, "front door: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("serving on http://%s:%d (POST /infer?tenant=<t>)\n",
+              options.bind_address.c_str(), door.Port());
+  if (pipeline.value()->MonitorPort() >= 0) {
+    std::printf("monitoring on http://127.0.0.1:%d\n",
+                pipeline.value()->MonitorPort());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const double serve_seconds = args.GetDouble("serve_seconds", 0.0);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(serve_seconds));
+  while (!g_stop.load()) {
+    if (serve_seconds > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  door.Stop();
+  std::printf("served: admitted=%llu completed=%llu shed_level=%d\n",
+              static_cast<unsigned long long>(door.Admitted()),
+              static_cast<unsigned long long>(door.Completed()),
+              door.ShedLevel());
+  return 0;
+}
+
+// Synthetic mode: the original self-driving measurement.
+int RunSynthetic(const dlb::Config& args) {
   const uint64_t total_requests = args.GetInt("requests", 200);
   const int num_clients = static_cast<int>(args.GetInt("clients", 5));
-  const int batch = static_cast<int>(args.GetInt("batch", 8));
 
   // Pre-render the client-side images (each client cycles its own set).
   dlb::DatasetSpec spec = dlb::ImageNetLikeSpec(32);
@@ -95,25 +183,8 @@ int main(int argc, char** argv) {
     rx_queue.Close();
   });
 
-  // Server: DLBooster pipeline on the network source.
-  dlb::core::PipelineConfig config;
-  config.backend = args.GetString("backend", "dlbooster");
-  config.options.batch_size = batch;
-  config.options.resize_w = 64;
-  config.options.resize_h = 64;
-  config.options.queue_depth = 4;
-  config.devices = static_cast<int>(args.GetInt("devices", 1));
-  config.numa_nodes = static_cast<int>(args.GetInt("numa", 1));
-  config.placement = args.GetString("placement", "interleave");
-  config.steal = args.GetInt("steal", 1) != 0;
-  config.monitor_port = static_cast<int>(args.GetInt("monitor_port", -1));
-  config.monitor_sample_ms = args.GetInt("sample_ms", 500);
-  config.event_log_level = args.GetString("events", "off");
-  config.watchdog_deadline_ms = args.GetInt("watchdog", 0);
-  config.slo = args.GetString("slo", "");
-  config.flight_dir = args.GetString("flight_dir", "");
   auto pipeline = dlb::core::PipelineBuilder()
-                      .WithConfig(config)
+                      .WithConfig(ConfigFromArgs(args))
                       .WithNetworkSource(&rx_queue)
                       .Build();
   if (!pipeline.ok()) {
@@ -165,4 +236,18 @@ int main(int argc, char** argv) {
               latency_us.Quantile(0.5) / 1e3, latency_us.Quantile(0.99) / 1e3,
               latency_us.Max() / 1e3);
   return answered == total_requests ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config_or = dlb::Config::FromArgs({argv + 1, argv + argc});
+  if (!config_or.ok()) {
+    std::fprintf(stderr, "bad args: %s\n",
+                 config_or.status().ToString().c_str());
+    return 1;
+  }
+  const dlb::Config& args = config_or.value();
+  if (args.Has("serve_port")) return Serve(args);
+  return RunSynthetic(args);
 }

@@ -135,6 +135,14 @@ struct BackendOptions {
   /// of the scale; outputs remain identical across backends but differ
   /// from full-resolution decode + resize (different low-pass filter).
   bool decode_to_scale = false;
+  /// Streaming batch linger: when assembling a batch from a streaming
+  /// source (the network path), wait at most this long for the next sample
+  /// once the batch is non-empty, then flush the partial batch to the
+  /// decoder. 0 (default) waits for a full batch — right for bulk sources,
+  /// where arrival gaps mean "disk is slow", not "traffic is light". An
+  /// online server MUST set this or a lone request parks until batch_size-1
+  /// more arrive.
+  uint64_t linger_ms = 0;
 
   /// Deprecated shim — pre-OutputSpec call sites set these loose fields.
   /// A legacy field wins over `output` only when it was moved off its

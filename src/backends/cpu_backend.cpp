@@ -62,9 +62,15 @@ std::vector<OwnedSample> CpuBackend::PullBatch() {
       source_done_ = true;
       break;
     }
-    auto file = collector_->Next();
+    // First sample blocks (nothing to flush yet); afterwards a dry
+    // streaming source bounds the wait so a partial batch ships instead of
+    // parking queued requests until batch fill.
+    auto file = out.empty() ? collector_->Next()
+                            : collector_->NextFor(options_.linger_ms);
     if (!file.ok()) {
-      source_done_ = true;
+      if (file.status().code() != StatusCode::kUnavailable) {
+        source_done_ = true;
+      }
       break;
     }
     OwnedSample sample;

@@ -51,6 +51,7 @@ DlboosterBackend::DlboosterBackend(DataCollector* collector,
   reader_opts.channels = out.channels;
   reader_opts.aspect_crop = out.fit == FitMode::kCoverCrop;
   reader_opts.decode_to_scale = b.decode_to_scale;
+  reader_opts.linger_ms = b.linger_ms;
   for (int d = 0; d < num_devices; ++d) {
     fpga::FpgaDeviceOptions dev_opts = options_.device;
     if (sharded) dev_opts.device_index = d;

@@ -1,0 +1,581 @@
+#include "common/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace dlb::http {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "OK";
+  }
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+// Case-insensitive header lookup over the raw header block (between the
+// request line and the terminator). Returns the trimmed value or "".
+std::string HeaderValue(const std::string& headers, const std::string& name) {
+  const std::string lowered = ToLower(headers);
+  const std::string needle = "\r\n" + ToLower(name) + ":";
+  size_t pos = lowered.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  size_t end = headers.find("\r\n", pos);
+  if (end == std::string::npos) end = headers.size();
+  std::string value = headers.substr(pos, end - pos);
+  const size_t first = value.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const size_t last = value.find_last_not_of(" \t");
+  return value.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+// One in-flight client connection.
+struct HttpServer::Conn {
+  enum class State { kReading, kPending, kWriting };
+
+  uint64_t id = 0;
+  int fd = -1;
+  State state = State::kReading;
+  std::string in;
+  std::string out;
+  size_t written = 0;
+  bool keep_alive = true;       // negotiated per request
+  bool close_after_write = true;
+  uint64_t served = 0;          // requests completed on this connection
+  Clock::time_point last_activity;   // read/write progress
+  Clock::time_point pending_since;   // async dispatch time
+};
+
+void HttpServer::Responder::Send(HttpResponse response) const {
+  if (state_ && !state_->done.exchange(true)) {
+    state_->sink(std::move(response));
+  }
+}
+
+HttpServer::HttpServer() : HttpServer(Options()) {}
+
+HttpServer::HttpServer(Options options) : options_(std::move(options)) {
+  if (options_.max_connections < 1) options_.max_connections = 1;
+  if (options_.sweep_interval_ms < 1) options_.sweep_interval_ms = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::AddHandler(std::string path, Handler handler) {
+  async_handlers_.erase(path);
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::AddAsyncHandler(std::string path, AsyncHandler handler) {
+  handlers_.erase(path);
+  async_handlers_[std::move(path)] = std::move(handler);
+}
+
+HttpResponse HttpServer::RouteSync(const HttpRequest& request) const {
+  if (request.method != "GET" && request.method != "POST") {
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  }
+  auto it = handlers_.find(request.path);
+  if (it == handlers_.end()) {
+    std::string body = "not found; endpoints:\n";
+    for (const auto& [path, handler] : handlers_) body += "  " + path + "\n";
+    for (const auto& [path, handler] : async_handlers_) {
+      body += "  " + path + "\n";
+    }
+    return {404, "text/plain; charset=utf-8", std::move(body)};
+  }
+  return it->second(request);
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
+  if (request.method == "GET" || request.method == "POST") {
+    auto it = async_handlers_.find(request.path);
+    if (it != async_handlers_.end()) {
+      // Run the async handler synchronously: the deterministic test seam.
+      std::mutex mu;
+      std::condition_variable cv;
+      bool ready = false;
+      HttpResponse out;
+      auto state = std::make_shared<Responder::State>();
+      state->sink = [&](HttpResponse response) {
+        std::scoped_lock lock(mu);
+        out = std::move(response);
+        ready = true;
+        cv.notify_one();
+      };
+      it->second(request, Responder(state));
+      std::unique_lock lock(mu);
+      cv.wait(lock, [&] { return ready; });
+      return out;
+    }
+  }
+  return RouteSync(request);
+}
+
+std::string HttpServer::Serialize(const HttpResponse& response,
+                                  bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += keep_alive && !response.close_connection
+             ? "Connection: keep-alive\r\n\r\n"
+             : "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+Status HttpServer::Start() {
+  if (running_.exchange(true)) return Status::Ok();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    running_.store(false);
+    return Internal("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    return InvalidArgument("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    return Internal("bind/listen on " + options_.bind_address + ":" +
+                    std::to_string(options_.port) + ": " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+  SetNonBlocking(listen_fd_);
+
+  if (::pipe(wake_fds_) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    return Internal("pipe(): " + err);
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  {
+    std::scoped_lock lock(completed_mu_);
+    accepting_completions_ = true;
+    completed_.clear();
+  }
+  thread_ = std::jthread([this](std::stop_token token) { Loop(token); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  thread_.request_stop();
+  Wake();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::scoped_lock lock(completed_mu_);
+    accepting_completions_ = false;
+    completed_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  port_.store(-1, std::memory_order_release);
+}
+
+void HttpServer::Wake() {
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'w';
+    // A full pipe already guarantees a wake-up; EAGAIN is success here.
+    (void)!::write(wake_fds_[1], &byte, 1);
+  }
+}
+
+void HttpServer::CompleteAsync(uint64_t conn_id, HttpResponse response) {
+  {
+    std::scoped_lock lock(completed_mu_);
+    if (!accepting_completions_) return;
+    completed_.emplace_back(conn_id, std::move(response));
+  }
+  Wake();
+}
+
+void HttpServer::DispatchToConn(Conn& c, const HttpRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (request.method == "GET" || request.method == "POST") {
+    auto it = async_handlers_.find(request.path);
+    if (it != async_handlers_.end()) {
+      c.state = Conn::State::kPending;
+      c.pending_since = Clock::now();
+      auto state = std::make_shared<Responder::State>();
+      const uint64_t id = c.id;
+      HttpServer* server = this;
+      state->sink = [server, id](HttpResponse response) {
+        server->CompleteAsync(id, std::move(response));
+      };
+      it->second(request, Responder(state));
+      return;
+    }
+  }
+  HttpResponse response = RouteSync(request);
+  c.close_after_write = !options_.keep_alive || !c.keep_alive ||
+                        response.close_connection;
+  c.out = Serialize(response, !c.close_after_write);
+  c.written = 0;
+  c.state = Conn::State::kWriting;
+}
+
+bool HttpServer::ProcessInput(Conn& c) {
+  while (c.state == Conn::State::kReading) {
+    const size_t header_end = c.in.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (c.in.size() > options_.max_header_bytes) {
+        c.out = Serialize({431, "text/plain; charset=utf-8",
+                           "header block too large\n"});
+        c.written = 0;
+        c.state = Conn::State::kWriting;
+        c.close_after_write = true;
+        return true;
+      }
+      return true;  // wait for more bytes
+    }
+
+    // Parse the request line: METHOD SP TARGET SP VERSION.
+    const size_t line_end = c.in.find("\r\n");
+    const std::string line = c.in.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      c.out = Serialize({400, "text/plain; charset=utf-8", "bad request\n"});
+      c.written = 0;
+      c.state = Conn::State::kWriting;
+      c.close_after_write = true;
+      return true;
+    }
+
+    const std::string headers =
+        c.in.substr(line_end, header_end - line_end);  // leading CRLF kept
+    const std::string version = line.substr(sp2 + 1);
+    const std::string connection = ToLower(HeaderValue(headers, "Connection"));
+    c.keep_alive = version == "HTTP/1.1" ? connection != "close"
+                                         : connection == "keep-alive";
+
+    size_t content_length = 0;
+    const std::string length_value = HeaderValue(headers, "Content-Length");
+    if (!length_value.empty()) {
+      char* end = nullptr;
+      const unsigned long long parsed =
+          std::strtoull(length_value.c_str(), &end, 10);
+      if (end == length_value.c_str() || *end != '\0') {
+        c.out = Serialize({400, "text/plain; charset=utf-8",
+                           "bad content-length\n"});
+        c.written = 0;
+        c.state = Conn::State::kWriting;
+        c.close_after_write = true;
+        return true;
+      }
+      content_length = static_cast<size_t>(parsed);
+    }
+    if (content_length > options_.max_body_bytes) {
+      c.out = Serialize({413, "text/plain; charset=utf-8",
+                         "body too large\n"});
+      c.written = 0;
+      c.state = Conn::State::kWriting;
+      c.close_after_write = true;
+      return true;
+    }
+    const size_t message_end = header_end + 4 + content_length;
+    if (c.in.size() < message_end) return true;  // body still arriving
+
+    HttpRequest request;
+    request.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t q = target.find('?');
+    if (q != std::string::npos) {
+      request.query = target.substr(q + 1);
+      target.resize(q);
+    }
+    request.path = std::move(target);
+    request.body = c.in.substr(header_end + 4, content_length);
+    c.in.erase(0, message_end);  // keep pipelined bytes for the next round
+    c.last_activity = Clock::now();
+    DispatchToConn(c, request);
+  }
+  return true;
+}
+
+void HttpServer::Loop(std::stop_token token) {
+  std::vector<std::unique_ptr<Conn>> conns;
+  uint64_t next_conn_id = 1;
+  auto next_sweep =
+      Clock::now() + std::chrono::milliseconds(options_.sweep_interval_ms);
+
+  while (!token.stop_requested()) {
+    std::vector<pollfd> fds;
+    fds.reserve(conns.size() + 2);
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const auto& c : conns) {
+      short events = 0;
+      if (c->state == Conn::State::kReading) events = POLLIN;
+      if (c->state == Conn::State::kWriting) events = POLLOUT;
+#ifdef POLLRDHUP
+      // A departed kPending client shows as POLLRDHUP (a plain close is a
+      // FIN, which events=0 would never surface — POLLHUP needs both
+      // directions down). Reaping on it frees the slot immediately instead
+      // of holding it until pending_timeout; the cost is dropping clients
+      // that shutdown(SHUT_WR) while awaiting their response, a pattern no
+      // mainstream HTTP client uses.
+      if (c->state == Conn::State::kPending) events = POLLRDHUP;
+#endif
+      fds.push_back({c->fd, events, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), options_.poll_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    // Drain the wake pipe (level-triggered; a single byte is enough).
+    if (fds[1].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Deliver async completions to their (possibly departed) connections.
+    {
+      std::deque<std::pair<uint64_t, HttpResponse>> done;
+      {
+        std::scoped_lock lock(completed_mu_);
+        done.swap(completed_);
+      }
+      for (auto& [id, response] : done) {
+        for (auto& c : conns) {
+          if (c->id != id || c->state != Conn::State::kPending) continue;
+          c->close_after_write = !options_.keep_alive || !c->keep_alive ||
+                                 response.close_connection;
+          c->out = Serialize(response, !c->close_after_write);
+          c->written = 0;
+          c->state = Conn::State::kWriting;
+          c->last_activity = Clock::now();
+          break;
+        }
+      }
+    }
+
+    // Accept while there is room in the connection table.
+    if (fds[0].revents & POLLIN) {
+      while (conns.size() < static_cast<size_t>(options_.max_connections)) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        SetNonBlocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto c = std::make_unique<Conn>();
+        c->id = next_conn_id++;
+        c->fd = fd;
+        c->last_activity = Clock::now();
+        conns.push_back(std::move(c));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    const auto now = Clock::now();
+    const bool sweep = now >= next_sweep;
+    if (sweep) {
+      next_sweep =
+          now + std::chrono::milliseconds(options_.sweep_interval_ms);
+    }
+
+    for (size_t i = 0; i < conns.size();) {
+      Conn& c = *conns[i];
+      bool close_conn = false;
+      // Connections accepted this round have no pollfd entry yet, and an
+      // erase above shifts indices — match on fd before trusting revents.
+      const short revents = (i + 2 < fds.size() && fds[i + 2].fd == c.fd)
+                                ? fds[i + 2].revents
+                                : 0;
+
+      if (c.state == Conn::State::kReading &&
+          (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char buf[16384];
+        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+        if (n > 0) {
+          c.in.append(buf, static_cast<size_t>(n));
+          c.last_activity = now;
+          ProcessInput(c);
+        } else if (n == 0 ||
+                   (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+          close_conn = true;
+        }
+      } else if (c.state == Conn::State::kPending &&
+                 (revents & (POLLHUP | POLLERR
+#ifdef POLLRDHUP
+                             | POLLRDHUP
+#endif
+                             )) != 0) {
+        // Client hung up while its answer was being produced: drop the
+        // slot now; the eventual Responder::Send finds no connection.
+        close_conn = true;
+      }
+
+      // Attempt the write whenever a response is pending — a fresh socket
+      // is almost always writable, so most requests finish in the same
+      // poll cycle that parsed them; EAGAIN defers to the next POLLOUT.
+      if (c.state == Conn::State::kWriting && !close_conn) {
+        const ssize_t n =
+            ::write(c.fd, c.out.data() + c.written, c.out.size() - c.written);
+        if (n > 0) {
+          c.written += static_cast<size_t>(n);
+          c.last_activity = now;
+          if (c.written == c.out.size()) {
+            if (c.close_after_write) {
+              close_conn = true;
+            } else {
+              // Keep-alive reset; pipelined bytes already buffered are
+              // served without waiting for another POLLIN.
+              c.out.clear();
+              c.written = 0;
+              ++c.served;
+              c.state = Conn::State::kReading;
+              ProcessInput(c);
+            }
+          }
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          close_conn = true;
+        }
+      }
+
+      // The hardening sweep, on its own cadence: a wedged connection
+      // generates no poll events, so every deadline must hold without one.
+      if (sweep && !close_conn) {
+        const auto idle_for = now - c.last_activity;
+        switch (c.state) {
+          case Conn::State::kReading: {
+            // Idle-between-requests keep-alive connections get the longer
+            // leash; a connection mid-request (bytes buffered, or never
+            // served) is held to the request timeout.
+            const uint64_t deadline_ms =
+                (c.served > 0 && c.in.empty()) ? options_.idle_timeout_ms
+                                               : options_.request_timeout_ms;
+            if (idle_for > std::chrono::milliseconds(deadline_ms)) {
+              close_conn = true;
+              timeouts_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case Conn::State::kWriting:
+            if (idle_for >
+                std::chrono::milliseconds(options_.request_timeout_ms)) {
+              close_conn = true;
+              timeouts_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          case Conn::State::kPending:
+            if (now - c.pending_since >
+                std::chrono::milliseconds(options_.pending_timeout_ms)) {
+              HttpResponse timeout{504, "text/plain; charset=utf-8",
+                                   "upstream timed out\n"};
+              c.close_after_write = true;
+              c.out = Serialize(timeout);
+              c.written = 0;
+              c.state = Conn::State::kWriting;
+              timeouts_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        }
+      }
+
+      if (close_conn) {
+        ::close(c.fd);
+        conns.erase(conns.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  for (const auto& c : conns) ::close(c->fd);
+}
+
+}  // namespace dlb::http

@@ -1,0 +1,202 @@
+// Shared dependency-free HTTP/1.1 server — the socket plane under both the
+// monitoring exposition server (telemetry::MonitorServer) and the inference
+// front door (frontdoor::FrontDoor).
+//
+// One background thread runs a poll() loop over the listen socket, a
+// self-pipe wake channel and the client connections. The loop owns every
+// connection's state machine (read headers -> read body -> dispatch ->
+// write -> keep-alive reset or close); handlers never touch a socket.
+//
+// Two handler shapes:
+//   - Handler: request in, response out, on the poll thread. Right for
+//     snapshot endpoints (/metrics, /stats) that answer from memory.
+//   - AsyncHandler: receives a Responder and returns immediately; any
+//     thread may later call Responder::Send() exactly once. Right for
+//     requests whose answer is produced elsewhere (the front door's
+//     /infer completes from the pipeline's consume loop). Send() wakes
+//     the poll loop through the self-pipe, so completion latency is not
+//     quantised to the poll period.
+//
+// Hardening lives here once, for every embedded server (this is the
+// extraction the monitor's request-timeout fix asked for):
+//   - request timeout: a connection that has not completed its request
+//     (headers AND body) within request_timeout_ms is dropped — truncated
+//     request lines and slow-loris writers cannot pin a slot. The sweep
+//     runs on its own cadence (sweep_interval_ms), decoupled from the
+//     poll period.
+//   - bounded buffers: oversized headers (431) and bodies (413) are
+//     refused before they allocate unbounded memory.
+//   - keep-alive: HTTP/1.1 connections are reused unless the client (or a
+//     response) asks for close; idle keep-alive connections are reaped on
+//     the longer idle_timeout_ms. Pipelined bytes left in the input
+//     buffer after a response are served next, not dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlb::http {
+
+struct HttpRequest {
+  std::string method;  // "GET" | "POST"
+  std::string path;    // "/infer" (query string stripped)
+  std::string query;   // "tenant=premium&deadline_ms=50" (without the '?')
+  std::string body;    // POST payload (Content-Length delimited)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Force Connection: close on an otherwise keep-alive connection.
+  bool close_connection = false;
+};
+
+/// Decode "key=value" from a query string; empty string when absent.
+std::string QueryParam(const std::string& query, const std::string& key);
+
+class HttpServer {
+ public:
+  struct Options {
+    /// Bind address. Loopback by default: embedded planes are
+    /// process-local unless the operator opts into exposure.
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via Port()).
+    int port = 0;
+    /// Connections the poll loop tracks at once; accepts beyond this are
+    /// served as soon as a slot frees (the backlog holds them).
+    int max_connections = 64;
+    /// A connection that has not completed its request (header terminator
+    /// AND declared body) within this many ms is dropped, as is one whose
+    /// response write makes no progress for this long.
+    uint64_t request_timeout_ms = 5000;
+    /// A keep-alive connection with no request in flight is reaped after
+    /// this many ms (idle between requests is not slow-loris).
+    uint64_t idle_timeout_ms = 15'000;
+    /// Safety net for async handlers that never complete: the connection
+    /// is answered 504 and closed after this many ms.
+    uint64_t pending_timeout_ms = 30'000;
+    /// Timeout-sweep cadence — deliberately decoupled from poll_ms so
+    /// hardening deadlines hold even if the poll period is retuned.
+    uint64_t sweep_interval_ms = 100;
+    /// poll() timeout; bounds Stop() latency, nothing else (completions
+    /// and socket events wake the loop immediately).
+    int poll_ms = 50;
+    /// Request body cap (413 beyond it) and header-block cap (431).
+    size_t max_body_bytes = 8u << 20;
+    size_t max_header_bytes = 1u << 16;
+    /// Honor HTTP/1.1 keep-alive. Off = one request per connection.
+    bool keep_alive = true;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Completes one async request. Copyable; Send() is thread-safe and
+  /// idempotent (the first call wins). The HttpServer must outlive every
+  /// Responder handed out — callers stop their completion threads before
+  /// destroying the server.
+  class Responder {
+   public:
+    Responder() = default;
+    void Send(HttpResponse response) const;
+
+   private:
+    friend class HttpServer;
+    struct State {
+      std::function<void(HttpResponse)> sink;
+      std::atomic<bool> done{false};
+    };
+    explicit Responder(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  using AsyncHandler = std::function<void(const HttpRequest&, Responder)>;
+
+  HttpServer();
+  explicit HttpServer(Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register handlers for an exact path. Call before Start(). A path is
+  /// either sync or async, not both (the last registration wins).
+  void AddHandler(std::string path, Handler handler);
+  void AddAsyncHandler(std::string path, AsyncHandler handler);
+
+  /// Bind, listen and launch the poll loop.
+  Status Start();
+
+  /// Stop the loop and close all sockets. Pending async requests are
+  /// dropped (their Responder::Send becomes a no-op). Idempotent.
+  void Stop();
+
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (resolves port 0), or -1 before Start().
+  int Port() const { return port_.load(std::memory_order_acquire); }
+
+  uint64_t RequestsServed() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t ConnectionsAccepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Connections reaped by the timeout sweep (request, write or pending).
+  uint64_t TimeoutsReaped() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+
+  /// Route a request through the registered handlers without a socket —
+  /// the deterministic seam tests use. Async handlers run synchronously
+  /// (Dispatch blocks until the Responder is fed). 404 (with an endpoint
+  /// listing body) on unknown path, 405 on anything but GET/POST.
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  /// Serialize a response as an HTTP/1.1 wire message.
+  static std::string Serialize(const HttpResponse& response,
+                               bool keep_alive = false);
+
+ private:
+  struct Conn;
+
+  void Loop(std::stop_token token);
+  void CompleteAsync(uint64_t conn_id, HttpResponse response);
+  void Wake();
+  /// Parse + dispatch as many complete pipelined requests as `c.in`
+  /// holds. Returns false when the connection must close (protocol
+  /// error or cap exceeded).
+  bool ProcessInput(Conn& c);
+  void DispatchToConn(Conn& c, const HttpRequest& request);
+  HttpResponse RouteSync(const HttpRequest& request) const;
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::string, AsyncHandler> async_handlers_;
+  std::jthread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{-1};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+
+  // Async completions cross from caller threads to the poll loop here.
+  mutable std::mutex completed_mu_;
+  std::deque<std::pair<uint64_t, HttpResponse>> completed_;
+  bool accepting_completions_ = false;
+};
+
+}  // namespace dlb::http

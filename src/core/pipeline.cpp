@@ -593,12 +593,20 @@ Result<std::unique_ptr<Pipeline>> PipelineBuilder::Build() {
               reg.GetCounter("decode.errors")->Value();
           const uint64_t slo_burning =
               p->slo_ != nullptr ? p->slo_->AnyBurning() : 0;
-          if (quarantined > 0 || decode_errors > 0 || slo_burning > 0) {
+          // The front door (frontdoor::FrontDoor) publishes its shed level
+          // into this registry; shedding is degraded-but-serving too.
+          const uint64_t shedding = static_cast<uint64_t>(
+              reg.GetGauge("frontdoor.shed_level")->Value());
+          if (quarantined > 0 || decode_errors > 0 || slo_burning > 0 ||
+              shedding > 0) {
             std::string body =
                 "degraded ways_quarantined=" + std::to_string(quarantined) +
                 " decode_errors=" + std::to_string(decode_errors);
             if (slo_burning > 0) {
               body += " slo_burning=" + std::to_string(slo_burning);
+            }
+            if (shedding > 0) {
+              body += " shedding_level=" + std::to_string(shedding);
             }
             return telemetry::HttpResponse{200, "text/plain; charset=utf-8",
                                            std::move(body) + "\n"};

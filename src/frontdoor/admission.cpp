@@ -1,0 +1,180 @@
+#include "frontdoor/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace dlb::frontdoor {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_(rate_per_s),
+      burst_(burst > 0 ? burst : std::max(2.0 * rate_per_s, 32.0)),
+      tokens_(burst_) {}
+
+void TokenBucket::Refill(uint64_t now_ns) {
+  if (!primed_) {
+    primed_ = true;
+    last_ns_ = now_ns;
+    return;
+  }
+  if (now_ns <= last_ns_) return;
+  const double elapsed_s = static_cast<double>(now_ns - last_ns_) / 1e9;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::TryAcquire(uint64_t now_ns) {
+  if (rate_ <= 0) return true;  // unlimited
+  Refill(now_ns);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::TokensAt(uint64_t now_ns) {
+  Refill(now_ns);
+  return rate_ <= 0 ? burst_ : tokens_;
+}
+
+namespace {
+
+bool ValidTenantName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<TenantSpec>> ParseTenantSpecs(const std::string& spec) {
+  std::vector<TenantSpec> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string entry = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) continue;
+
+    TenantSpec tenant;
+    const size_t colon = entry.find(':');
+    tenant.name = entry.substr(0, colon);
+    if (!ValidTenantName(tenant.name)) {
+      return InvalidArgument("bad tenant name \"" + tenant.name +
+                             "\" (want [a-z0-9_]+)");
+    }
+    for (const TenantSpec& existing : out) {
+      if (existing.name == tenant.name) {
+        return InvalidArgument("duplicate tenant \"" + tenant.name + "\"");
+      }
+    }
+
+    if (colon != std::string::npos) {
+      size_t kv = colon + 1;
+      while (kv < entry.size()) {
+        size_t comma = entry.find(',', kv);
+        if (comma == std::string::npos) comma = entry.size();
+        const std::string pair = entry.substr(kv, comma - kv);
+        kv = comma + 1;
+        if (pair.empty()) continue;
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          return InvalidArgument("tenant \"" + tenant.name +
+                                 "\": want key=value, got \"" + pair + "\"");
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        char* end = nullptr;
+        const double number = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || number < 0) {
+          return InvalidArgument("tenant \"" + tenant.name + "\": bad " +
+                                 key + "=" + value);
+        }
+        if (key == "prio") {
+          tenant.priority = static_cast<int>(number);
+        } else if (key == "rate") {
+          tenant.rate_per_s = number;
+        } else if (key == "burst") {
+          tenant.burst = number;
+        } else if (key == "deadline") {
+          tenant.default_deadline_ms = static_cast<uint64_t>(number);
+        } else if (key == "queue") {
+          if (number < 1) {
+            return InvalidArgument("tenant \"" + tenant.name +
+                                   "\": queue must be >= 1");
+          }
+          tenant.queue_capacity = static_cast<size_t>(number);
+        } else {
+          return InvalidArgument("tenant \"" + tenant.name +
+                                 "\": unknown key \"" + key + "\"");
+        }
+      }
+    }
+    out.push_back(std::move(tenant));
+  }
+  if (out.empty()) return InvalidArgument("empty tenant spec");
+  return out;
+}
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {}
+
+void AdmissionController::ObserveProgress(uint64_t images_ok,
+                                          uint64_t now_ns) {
+  if (!primed_) {
+    primed_ = true;
+    last_images_ = images_ok;
+    last_ns_ = now_ns;
+    return;
+  }
+  if (now_ns <= last_ns_) return;
+  const double window_s = static_cast<double>(now_ns - last_ns_) / 1e9;
+  const double delta =
+      images_ok >= last_images_
+          ? static_cast<double>(images_ok - last_images_)
+          : 0.0;  // counter reset: skip the window rather than go negative
+  const double window_rate = delta / window_s;
+  rate_ = rate_ == 0.0
+              ? window_rate
+              : options_.alpha * window_rate + (1.0 - options_.alpha) * rate_;
+  last_images_ = images_ok;
+  last_ns_ = now_ns;
+}
+
+double AdmissionController::ServiceRatePerS() const {
+  return std::max(rate_, options_.min_service_rate);
+}
+
+double AdmissionController::EstimatedWaitMs(size_t queued_ahead) const {
+  return 1000.0 * static_cast<double>(queued_ahead) / ServiceRatePerS();
+}
+
+bool AdmissionController::DeadlineFeasible(size_t queued_ahead,
+                                           uint64_t deadline_ms) const {
+  return EstimatedWaitMs(queued_ahead) <= static_cast<double>(deadline_ms);
+}
+
+int ShedController::Update(double pressure, uint64_t now_ns) {
+  if (!primed_) {
+    primed_ = true;
+    last_change_ns_ = now_ns;
+  }
+  const bool dwelled = now_ns - last_change_ns_ >= options_.dwell_ns;
+  if (pressure > options_.high && level_ < options_.max_level &&
+      (dwelled || level_ == 0)) {
+    // Entering shedding is immediate — overload must not wait out a dwell
+    // window; subsequent escalation steps do.
+    ++level_;
+    last_change_ns_ = now_ns;
+  } else if (pressure < options_.low && level_ > 0 && dwelled) {
+    --level_;
+    last_change_ns_ = now_ns;
+  }
+  return level_;
+}
+
+}  // namespace dlb::frontdoor

@@ -1,0 +1,137 @@
+// Admission-control primitives for the inference front door: per-tenant
+// token buckets, tenant specs, deadline feasibility math and the shed
+// controller. Everything here is clock-parameterised (callers pass now_ns)
+// so unit tests drive the exact refill/hysteresis schedules with a fake
+// clock — determinism is the point, these decisions gate real traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dlb::frontdoor {
+
+/// Classic token bucket: `rate_per_s` tokens/s up to `burst`. Starts full
+/// (a quiet tenant may open with a burst). Externally synchronised — the
+/// front door calls it under its admission lock.
+class TokenBucket {
+ public:
+  /// rate_per_s <= 0 means unlimited (TryAcquire always succeeds).
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Refill to `now_ns` and take one token if available.
+  bool TryAcquire(uint64_t now_ns);
+
+  /// Tokens available at `now_ns` (refills as a side effect).
+  double TokensAt(uint64_t now_ns);
+
+ private:
+  void Refill(uint64_t now_ns);
+
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  uint64_t last_ns_ = 0;
+  bool primed_ = false;
+};
+
+/// One tenant's contract with the front door.
+struct TenantSpec {
+  /// Identifier clients pass as ?tenant=<name>. Lowercase [a-z0-9_]+ so
+  /// the derived metric names survive Prometheus rendering.
+  std::string name;
+  /// Higher = more important. The shed controller drops tenants with
+  /// priority < shed level; the scheduler drains higher priorities first.
+  int priority = 1;
+  /// Token-bucket rate (requests/s); 0 = unlimited.
+  double rate_per_s = 0.0;
+  /// Bucket depth; 0 = max(2 * rate, 32).
+  double burst = 0.0;
+  /// Deadline applied when the request does not carry ?deadline_ms=.
+  uint64_t default_deadline_ms = 100;
+  /// Per-tenant admission queue capacity (503 beyond it).
+  size_t queue_capacity = 256;
+};
+
+/// Parse "premium:prio=2,rate=500,burst=64,deadline=50;batch:prio=0".
+/// Per-tenant keys: prio, rate, burst, deadline (ms), queue. A bare name
+/// takes every default. kInvalidArgument on malformed specs, duplicate or
+/// illegal names, or an empty spec.
+Result<std::vector<TenantSpec>> ParseTenantSpecs(const std::string& spec);
+
+/// Service-rate estimator + deadline feasibility. Feed it pipeline
+/// progress (cumulative images_ok) on a steady cadence; it keeps an EWMA
+/// of the observed service rate and prices the queue in wait-time.
+class AdmissionController {
+ public:
+  struct Options {
+    /// EWMA smoothing for the service-rate estimate (0..1; weight of the
+    /// newest window).
+    double alpha = 0.3;
+    /// Floor before any traffic has been observed, so the first requests
+    /// are never rejected by a zero-rate estimate (requests/s).
+    double min_service_rate = 50.0;
+  };
+
+  AdmissionController() : AdmissionController(Options()) {}
+  explicit AdmissionController(Options options);
+
+  /// Record cumulative completed-image count at `now_ns`; updates the
+  /// service-rate EWMA from the delta. Call on a steady cadence.
+  void ObserveProgress(uint64_t images_ok, uint64_t now_ns);
+
+  /// Smoothed service rate (images/s); never below min_service_rate.
+  double ServiceRatePerS() const;
+
+  /// Expected wait for a request entering behind `queued_ahead` requests.
+  double EstimatedWaitMs(size_t queued_ahead) const;
+
+  /// Can a request with `deadline_ms` budget left still make it, given the
+  /// backlog ahead of it? (Pure function of the rate estimate — the test
+  /// seam for the deadline math.)
+  bool DeadlineFeasible(size_t queued_ahead, uint64_t deadline_ms) const;
+
+ private:
+  Options options_;
+  double rate_ = 0.0;  // EWMA, images/s
+  uint64_t last_images_ = 0;
+  uint64_t last_ns_ = 0;
+  bool primed_ = false;
+};
+
+/// Hysteresis shed-level controller. Level 0 = everyone admitted; level L
+/// sheds tenants with priority < L. Pressure >= 1 means overloaded (the
+/// front door feeds it max(est_wait/target, rx_fill/0.9, slo_burning)).
+/// Steps are rate-limited by a dwell time, and the step-down threshold is
+/// below the step-up threshold, so the level cannot flap at the boundary.
+class ShedController {
+ public:
+  struct Options {
+    /// Step the level up when pressure exceeds this.
+    double high = 1.0;
+    /// Step the level down when pressure falls below this.
+    double low = 0.6;
+    /// Minimum ns between level changes (dwell).
+    uint64_t dwell_ns = 500'000'000;
+    /// Highest level Update() will return (max tenant priority: the top
+    /// tenant is never shed — it degrades by deadline rejection only).
+    int max_level = 1;
+  };
+
+  explicit ShedController(Options options) : options_(options) {}
+
+  /// Feed one pressure sample; returns the (possibly unchanged) level.
+  int Update(double pressure, uint64_t now_ns);
+
+  int Level() const { return level_; }
+
+ private:
+  Options options_;
+  int level_ = 0;
+  uint64_t last_change_ns_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace dlb::frontdoor

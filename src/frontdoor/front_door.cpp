@@ -1,0 +1,465 @@
+#include "frontdoor/front_door.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace dlb::frontdoor {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+http::HttpResponse JsonError(int status, const std::string& kind,
+                             const std::string& extra = "") {
+  std::string body = "{\"error\":\"" + kind + "\"";
+  if (!extra.empty()) body += "," + extra;
+  body += "}\n";
+  return {status, "application/json", std::move(body)};
+}
+
+// The toy classifier the original example used: mean-intensity bucket over
+// strided pixels. The point is a deterministic answer derived from the
+// decoded output, not model quality.
+int ToyPredict(const ImageRef& ref) {
+  long sum = 0;
+  for (size_t p = 0; p < ref.SizeBytes(); p += 97) sum += ref.data[p];
+  return static_cast<int>((sum / (ref.SizeBytes() / 97 + 1)) / 26);
+}
+
+}  // namespace
+
+FrontDoor::FrontDoor(core::Pipeline* pipeline,
+                     BoundedQueue<NetworkImage>* rx_queue,
+                     FrontDoorOptions options)
+    : pipeline_(pipeline),
+      rx_queue_(rx_queue),
+      options_(std::move(options)),
+      http_([&] {
+        http::HttpServer::Options h;
+        h.bind_address = options_.bind_address;
+        h.port = options_.port;
+        h.max_connections = options_.max_connections;
+        h.max_body_bytes = options_.max_body_bytes;
+        return h;
+      }()),
+      admission_([&] {
+        AdmissionController::Options a;
+        a.min_service_rate = options_.min_service_rate;
+        return a;
+      }()) {}
+
+FrontDoor::~FrontDoor() { Stop(); }
+
+Status FrontDoor::Start() {
+  if (started_.exchange(true)) return Status::Ok();
+
+  auto specs = ParseTenantSpecs(options_.tenants);
+  if (!specs.ok()) {
+    started_.store(false);
+    return specs.status();
+  }
+  specs_ = std::move(specs).value();
+
+  int max_priority = 0;
+  uint64_t min_deadline_ms = UINT64_MAX;
+  MetricRegistry& registry = pipeline_->Metrics();
+  tenants_.clear();
+  tenants_.resize(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const TenantSpec& spec = specs_[i];
+    max_priority = std::max(max_priority, spec.priority);
+    min_deadline_ms = std::min(min_deadline_ms, spec.default_deadline_ms);
+    TenantState& t = tenants_[i];
+    t.bucket = TokenBucket(spec.rate_per_s, spec.burst);
+    const std::string prefix = "frontdoor." + spec.name + ".";
+    t.admitted = registry.GetCounter(prefix + "admitted");
+    t.shed = registry.GetCounter(prefix + "shed");
+    t.rejected_rate = registry.GetCounter(prefix + "rejected_rate");
+    t.rejected_deadline = registry.GetCounter(prefix + "rejected_deadline");
+    t.rejected_queue = registry.GetCounter(prefix + "rejected_queue");
+    t.completed = registry.GetCounter(prefix + "completed");
+    t.failed = registry.GetCounter(prefix + "failed");
+    t.deadline_missed = registry.GetCounter(prefix + "deadline_missed");
+    t.queue_depth = registry.GetGauge(prefix + "queue_depth");
+    t.latency_us = registry.GetHistogram(prefix + "latency_us");
+  }
+  shed_level_gauge_ = registry.GetGauge("frontdoor.shed_level");
+  est_wait_gauge_ = registry.GetGauge("frontdoor.est_wait_ms");
+  service_rate_gauge_ = registry.GetGauge("frontdoor.service_rate");
+  inflight_gauge_ = registry.GetGauge("frontdoor.inflight");
+
+  target_wait_ms_ = options_.target_wait_ms > 0
+                        ? options_.target_wait_ms
+                        : static_cast<double>(min_deadline_ms);
+
+  ShedController::Options shed_opts;
+  shed_opts.dwell_ns = options_.shed_dwell_ms * 1'000'000;
+  shed_opts.max_level = max_priority;  // the top tenant is never shed
+  shed_ = ShedController(shed_opts);
+
+  http_.AddAsyncHandler(
+      "/infer", [this](const http::HttpRequest& request,
+                       http::HttpServer::Responder responder) {
+        HandleInfer(request, std::move(responder));
+      });
+  http_.AddHandler("/frontdoor", [this](const http::HttpRequest&) {
+    return http::HttpResponse{200, "application/json", SnapshotJson()};
+  });
+  http_.AddHandler("/healthz", [this](const http::HttpRequest&) {
+    const int level = shed_level_.load(std::memory_order_relaxed);
+    if (level > 0) {
+      return http::HttpResponse{
+          200, "text/plain; charset=utf-8",
+          "degraded shedding level=" + std::to_string(level) + "\n"};
+    }
+    return http::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+
+  const Status started = http_.Start();
+  if (!started.ok()) {
+    started_.store(false);
+    return started;
+  }
+
+  stopping_ = false;
+  scheduler_ = std::jthread([this] { SchedulerLoop(); });
+  completion_ = std::jthread([this] { CompletionLoop(); });
+  control_ =
+      std::jthread([this](std::stop_token token) { ControlLoop(token); });
+  return Status::Ok();
+}
+
+void FrontDoor::Stop() {
+  if (!started_.exchange(false)) return;
+  http_.Stop();  // no new requests; outstanding Responders become no-ops
+  {
+    std::scoped_lock lock(mu_);
+    stopping_ = true;
+    for (TenantState& t : tenants_) t.queue.clear();
+    inflight_.clear();
+  }
+  cv_.notify_all();
+  control_.request_stop();
+  // Closing the rx queue unblocks a scheduler stuck in Push() and ends the
+  // pipeline's input stream, so the completion loop drains to kClosed.
+  rx_queue_->Close();
+  if (scheduler_.joinable()) scheduler_.join();
+  if (completion_.joinable()) completion_.join();
+  if (control_.joinable()) control_.join();
+}
+
+size_t FrontDoor::BacklogLocked() const {
+  size_t backlog = inflight_.size() + rx_queue_->Size();
+  for (const TenantState& t : tenants_) backlog += t.queue.size();
+  return backlog;
+}
+
+size_t FrontDoor::BacklogAheadOfLocked(size_t tenant_index) const {
+  // What a request admitted for `tenant_index` actually waits behind under
+  // strict-priority scheduling: work already committed to the pipeline
+  // (inflight + rx queue, FIFO once pushed) plus queued requests at its
+  // priority or higher. A deep low-priority queue must NOT count — it is
+  // scheduled after this request, so counting it would let bulk traffic
+  // starve premium tenants of admission at exactly the moment priority is
+  // supposed to protect them.
+  const int priority = specs_[tenant_index].priority;
+  size_t backlog = inflight_.size() + rx_queue_->Size();
+  for (size_t i = 0; i < tenants_.size(); ++i) {
+    if (specs_[i].priority >= priority) backlog += tenants_[i].queue.size();
+  }
+  return backlog;
+}
+
+void FrontDoor::HandleInfer(const http::HttpRequest& request,
+                            http::HttpServer::Responder responder) {
+  if (request.method != "POST") {
+    responder.Send(JsonError(405, "method_not_allowed"));
+    return;
+  }
+  if (request.body.empty()) {
+    responder.Send(JsonError(400, "empty_payload"));
+    return;
+  }
+
+  std::string name = http::QueryParam(request.query, "tenant");
+  size_t tenant_index = specs_.size();
+  if (name.empty() && specs_.size() == 1) {
+    tenant_index = 0;
+  } else {
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      if (specs_[i].name == name) {
+        tenant_index = i;
+        break;
+      }
+    }
+  }
+  if (tenant_index == specs_.size()) {
+    responder.Send(JsonError(403, "unknown_tenant",
+                             "\"tenant\":\"" + name + "\""));
+    return;
+  }
+  const TenantSpec& spec = specs_[tenant_index];
+
+  uint64_t deadline_ms = spec.default_deadline_ms;
+  const std::string deadline_param = http::QueryParam(request.query, "deadline_ms");
+  if (!deadline_param.empty()) {
+    const uint64_t parsed = std::strtoull(deadline_param.c_str(), nullptr, 10);
+    if (parsed > 0) deadline_ms = parsed;
+  }
+
+  const uint64_t now = NowNs();
+  {
+    std::scoped_lock lock(mu_);
+    TenantState& tenant = tenants_[tenant_index];
+    if (stopping_) {
+      responder.Send(JsonError(503, "shutting_down"));
+      return;
+    }
+    const int level = shed_level_.load(std::memory_order_relaxed);
+    if (spec.priority < level) {
+      tenant.shed->Add();
+      responder.Send(JsonError(503, "shed",
+                               "\"level\":" + std::to_string(level)));
+      return;
+    }
+    if (!tenant.bucket.TryAcquire(now)) {
+      tenant.rejected_rate->Add();
+      responder.Send(JsonError(429, "rate_limited"));
+      return;
+    }
+    const size_t backlog = BacklogAheadOfLocked(tenant_index);
+    if (!admission_.DeadlineFeasible(backlog, deadline_ms)) {
+      tenant.rejected_deadline->Add();
+      responder.Send(JsonError(
+          503, "deadline_infeasible",
+          "\"est_wait_ms\":" +
+              std::to_string(admission_.EstimatedWaitMs(backlog))));
+      return;
+    }
+    if (tenant.queue.size() >= spec.queue_capacity) {
+      tenant.rejected_queue->Add();
+      responder.Send(JsonError(503, "queue_full"));
+      return;
+    }
+
+    PendingRequest pending;
+    pending.id = next_id_++;
+    pending.responder = std::move(responder);
+    pending.payload.assign(request.body.begin(), request.body.end());
+    pending.admit_ns = now;
+    pending.deadline_ns = now + deadline_ms * 1'000'000;
+    pending.tenant_index = tenant_index;
+    tenant.queue.push_back(std::move(pending));
+    tenant.queue_depth->Set(static_cast<double>(tenant.queue.size()));
+    tenant.admitted->Add();
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+void FrontDoor::SchedulerLoop() {
+  // Tenant indices in strict priority order (stable: spec order breaks
+  // ties, giving equal-priority tenants round-robin-by-arrival fairness
+  // through the per-tenant FIFOs).
+  std::vector<size_t> order(specs_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return specs_[a].priority > specs_[b].priority;
+  });
+
+  while (true) {
+    PendingRequest pending;
+    bool have = false;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        if (stopping_) return true;
+        for (const TenantState& t : tenants_) {
+          if (!t.queue.empty()) return true;
+        }
+        return false;
+      });
+      if (stopping_) return;
+      for (size_t index : order) {
+        TenantState& t = tenants_[index];
+        if (t.queue.empty()) continue;
+        pending = std::move(t.queue.front());
+        t.queue.pop_front();
+        t.queue_depth->Set(static_cast<double>(t.queue.size()));
+        have = true;
+        break;
+      }
+      if (!have) continue;
+      const uint64_t now = NowNs();
+      if (now > pending.deadline_ns) {
+        // Went stale while queued: answering it would only waste decode
+        // capacity the live requests need.
+        tenants_[pending.tenant_index].rejected_deadline->Add();
+        lock.unlock();
+        pending.responder.Send(JsonError(503, "deadline_expired"));
+        continue;
+      }
+      InflightRequest inflight;
+      inflight.responder = pending.responder;
+      inflight.admit_ns = pending.admit_ns;
+      inflight.deadline_ns = pending.deadline_ns;
+      inflight.tenant_index = pending.tenant_index;
+      inflight_.emplace(pending.id, std::move(inflight));
+    }
+
+    NetworkImage image;
+    image.payload = std::move(pending.payload);
+    image.request_id = pending.id;
+    if (!rx_queue_->Push(std::move(image)).ok()) {
+      // Queue closed mid-shutdown; the stopping_ check above ends the loop.
+      std::scoped_lock lock(mu_);
+      inflight_.erase(pending.id);
+    }
+  }
+}
+
+void FrontDoor::CompletionLoop() {
+  while (true) {
+    auto batch = pipeline_->NextBatch();
+    if (!batch.ok()) return;  // kClosed: stream over
+    const uint64_t now = NowNs();
+    for (size_t i = 0; i < batch.value()->Size(); ++i) {
+      const ImageRef ref = batch.value()->At(i);
+      InflightRequest request;
+      {
+        std::scoped_lock lock(mu_);
+        auto it = inflight_.find(ref.cookie);
+        if (it == inflight_.end()) continue;
+        request = std::move(it->second);
+        inflight_.erase(it);
+      }
+      TenantState& tenant = tenants_[request.tenant_index];
+      const uint64_t latency_us = (now - request.admit_ns) / 1000;
+      tenant.latency_us->Record(latency_us);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (!ref.ok) {
+        // The client's payload failed to decode — a 4xx, not a 5xx: the
+        // server is healthy, the data was not (the fault-soak lane relies
+        // on this distinction to detect real 5xx storms).
+        tenant.failed->Add();
+        request.responder.Send(JsonError(
+            422, "decode_failed",
+            "\"id\":" + std::to_string(ref.cookie)));
+        continue;
+      }
+      const bool late = now > request.deadline_ns;
+      if (late) tenant.deadline_missed->Add();
+      tenant.completed->Add();
+      request.responder.Send(http::HttpResponse{
+          200, "application/json",
+          "{\"id\":" + std::to_string(ref.cookie) +
+              ",\"tenant\":\"" + specs_[request.tenant_index].name +
+              "\",\"prediction\":" + std::to_string(ToyPredict(ref)) +
+              ",\"latency_us\":" + std::to_string(latency_us) +
+              ",\"late\":" + (late ? "true" : "false") + "}\n"});
+    }
+  }
+}
+
+void FrontDoor::ControlLoop(std::stop_token token) {
+  const auto interval =
+      std::chrono::milliseconds(options_.control_interval_ms);
+  while (!token.stop_requested()) {
+    // Sleep in small slices so Stop() never waits a full interval.
+    const auto wake = std::chrono::steady_clock::now() + interval;
+    while (!token.stop_requested() &&
+           std::chrono::steady_clock::now() < wake) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (token.stop_requested()) return;
+
+    const core::PipelineStats stats = pipeline_->Stats();
+    const uint64_t now = NowNs();
+    double est_wait_ms = 0;
+    double service_rate = 0;
+    size_t inflight = 0;
+    {
+      std::scoped_lock lock(mu_);
+      admission_.ObserveProgress(stats.images_ok, now);
+      est_wait_ms = admission_.EstimatedWaitMs(BacklogLocked());
+      service_rate = admission_.ServiceRatePerS();
+      inflight = inflight_.size();
+    }
+    const double rx_fill =
+        static_cast<double>(rx_queue_->Size()) /
+        static_cast<double>(std::max<size_t>(rx_queue_->Capacity(), 1));
+    const bool slo_burning =
+        pipeline_->Slo() != nullptr && pipeline_->Slo()->AnyBurning();
+    double pressure =
+        std::max(est_wait_ms / target_wait_ms_, rx_fill / 0.95);
+    if (slo_burning) pressure = std::max(pressure, 1.5);
+
+    int level = 0;
+    {
+      std::scoped_lock lock(mu_);
+      level = shed_.Update(pressure, now);
+    }
+    const int previous = shed_level_.exchange(level);
+    if (level != previous) {
+      DLB_WARN << "frontdoor shed level " << previous << " -> " << level
+               << " (pressure " << pressure << ", est_wait "
+               << est_wait_ms << " ms)";
+      if (telemetry::EventLog* events = pipeline_->Events()) {
+        events->Log(telemetry::EventType::kOverloadShed, 0,
+                    static_cast<uint64_t>(level),
+                    static_cast<uint64_t>(previous));
+      }
+      if (previous == 0 && level > 0 && pipeline_->Flight() != nullptr) {
+        pipeline_->Flight()->Trigger(
+            flight::TriggerKind::kOverloadShed,
+            "shed level " + std::to_string(level) + ", est_wait " +
+                std::to_string(est_wait_ms) + " ms");
+      }
+    }
+    shed_level_gauge_->Set(level);
+    est_wait_gauge_->Set(est_wait_ms);
+    service_rate_gauge_->Set(service_rate);
+    inflight_gauge_->Set(static_cast<double>(inflight));
+  }
+}
+
+std::string FrontDoor::SnapshotJson() const {
+  std::scoped_lock lock(mu_);
+  std::string out = "{\"shed_level\":" +
+                    std::to_string(shed_level_.load()) +
+                    ",\"service_rate\":" +
+                    std::to_string(admission_.ServiceRatePerS()) +
+                    ",\"inflight\":" + std::to_string(inflight_.size()) +
+                    ",\"tenants\":[";
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (i > 0) out += ",";
+    const TenantSpec& spec = specs_[i];
+    const TenantState& t = tenants_[i];
+    out += "{\"name\":\"" + spec.name + "\"";
+    out += ",\"priority\":" + std::to_string(spec.priority);
+    out += ",\"queued\":" + std::to_string(t.queue.size());
+    out += ",\"admitted\":" + std::to_string(t.admitted->Value());
+    out += ",\"shed\":" + std::to_string(t.shed->Value());
+    out += ",\"rejected_rate\":" + std::to_string(t.rejected_rate->Value());
+    out += ",\"rejected_deadline\":" +
+           std::to_string(t.rejected_deadline->Value());
+    out += ",\"completed\":" + std::to_string(t.completed->Value());
+    out += ",\"failed\":" + std::to_string(t.failed->Value());
+    out += ",\"deadline_missed\":" +
+           std::to_string(t.deadline_missed->Value());
+    out += ",\"p99_us\":" + std::to_string(t.latency_us->Quantile(0.99));
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace dlb::frontdoor

@@ -1,0 +1,201 @@
+// Multi-tenant inference front door (DESIGN.md §5.12): the socket-serving
+// edge between many concurrent HTTP clients and one DLBooster pipeline.
+//
+//   clients ──► HttpServer (shared poll loop, common/http_server.h)
+//                  │  POST /infer?tenant=T[&deadline_ms=N]   body = JPEG
+//                  ▼
+//            admission (per-tenant token bucket → shed level → deadline
+//            feasibility → per-tenant queue with bounded depth)
+//                  ▼
+//            scheduler thread (strict priority across tenant queues) ──►
+//            rx queue (the pipeline's network source; blocking push =
+//            backpressure)
+//                  ▼
+//            pipeline (decode on the emulated FPGA)
+//                  ▼
+//            completion thread (NextBatch loop; answers each request's
+//            Responder by cookie — 200 with the toy prediction, 422 when
+//            the client's payload failed to decode)
+//
+// A control thread closes the loop: it feeds pipeline progress into the
+// service-rate EWMA (deadline pricing), publishes frontdoor.* metrics into
+// the pipeline's registry (so /metrics, the sampler, Prometheus and
+// dlb_monitor see them with zero extra wiring), and drives the hysteresis
+// shed controller. Entering shedding raises a kOverloadShed event and a
+// flight-recorder trigger; the pipeline's /healthz reports the level on
+// its degraded-but-serving line.
+//
+// Status codes are the contract the load generator and the overload-soak
+// lane assert on:
+//   200 answered (body carries "late":true past the deadline)
+//   400 empty payload        403 unknown tenant
+//   422 payload failed to decode (client data, not server health)
+//   429 tenant over its token-bucket rate
+//   503 shed / deadline infeasible / tenant queue full (overload — the
+//       only "try later" class, and it must never be a 5xx storm of 500s)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/http_server.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "frontdoor/admission.h"
+#include "hostbridge/data_collector.h"
+
+namespace dlb::frontdoor {
+
+struct FrontDoorOptions {
+  /// Bind address / port for the serving socket (0 = ephemeral).
+  std::string bind_address = "127.0.0.1";
+  int port = 0;
+  /// Concurrent connections the poll loop tracks.
+  int max_connections = 128;
+  /// Tenant spec (admission.h grammar), e.g.
+  /// "premium:prio=2,rate=500,deadline=50;batch:prio=0,deadline=2000".
+  std::string tenants = "default:prio=1,deadline=1000";
+  /// Wait-time target the shed controller defends (ms). 0 derives the
+  /// smallest tenant default deadline.
+  double target_wait_ms = 0.0;
+  /// Control-loop cadence: service-rate EWMA, gauges, shed decisions.
+  uint64_t control_interval_ms = 100;
+  /// Shed-level dwell between steps (hysteresis).
+  uint64_t shed_dwell_ms = 500;
+  /// Admission floor before any throughput was observed (requests/s).
+  double min_service_rate = 50.0;
+  /// Per-request body cap (413 beyond it).
+  size_t max_body_bytes = 4u << 20;
+};
+
+class FrontDoor {
+ public:
+  /// The pipeline must have been built with WithNetworkSource(rx_queue)
+  /// and must outlive the front door. The front door owns the pipeline's
+  /// consume side: nothing else may call NextBatch() while it runs.
+  FrontDoor(core::Pipeline* pipeline, BoundedQueue<NetworkImage>* rx_queue,
+            FrontDoorOptions options);
+  ~FrontDoor();
+
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Parse the tenant spec, bind the serving socket and launch the
+  /// scheduler / completion / control threads.
+  Status Start();
+
+  /// Stop serving: refuses new connections, fails queued requests, closes
+  /// the rx queue (ending the pipeline's input stream — the pipeline
+  /// cannot be re-fed afterwards) and joins all threads. Idempotent.
+  void Stop();
+
+  /// Bound serving port, or -1 before Start().
+  int Port() const { return http_.Port(); }
+
+  /// Current shed level (0 = admitting everyone).
+  int ShedLevel() const {
+    return shed_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests admitted past admission control (all tenants).
+  uint64_t Admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  /// Requests answered (200 or 422).
+  uint64_t Completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Configured tenants (valid after Start()).
+  const std::vector<TenantSpec>& Tenants() const { return specs_; }
+
+  /// Deterministic test seam: route a request without a socket.
+  http::HttpResponse Dispatch(const http::HttpRequest& request) const {
+    return http_.Dispatch(request);
+  }
+
+ private:
+  struct PendingRequest {
+    uint64_t id = 0;
+    http::HttpServer::Responder responder;
+    Bytes payload;
+    uint64_t admit_ns = 0;
+    uint64_t deadline_ns = 0;  // absolute
+    size_t tenant_index = 0;
+  };
+
+  struct InflightRequest {
+    http::HttpServer::Responder responder;
+    uint64_t admit_ns = 0;
+    uint64_t deadline_ns = 0;
+    size_t tenant_index = 0;
+  };
+
+  // Per-tenant runtime state (parallel to specs_).
+  struct TenantState {
+    TokenBucket bucket{0, 0};
+    std::deque<PendingRequest> queue;
+    Counter* admitted = nullptr;
+    Counter* shed = nullptr;
+    Counter* rejected_rate = nullptr;
+    Counter* rejected_deadline = nullptr;
+    Counter* rejected_queue = nullptr;
+    Counter* completed = nullptr;
+    Counter* failed = nullptr;
+    Counter* deadline_missed = nullptr;
+    Gauge* queue_depth = nullptr;
+    Histogram* latency_us = nullptr;
+  };
+
+  void HandleInfer(const http::HttpRequest& request,
+                   http::HttpServer::Responder responder);
+  std::string SnapshotJson() const;
+  void SchedulerLoop();
+  void CompletionLoop();
+  void ControlLoop(std::stop_token token);
+  size_t BacklogLocked() const;  // mu_ held
+  // Backlog scheduled ahead of a new request for this tenant under strict
+  // priority: inflight + rx queue + queues at >= its priority. mu_ held.
+  size_t BacklogAheadOfLocked(size_t tenant_index) const;
+
+  core::Pipeline* pipeline_;
+  BoundedQueue<NetworkImage>* rx_queue_;
+  FrontDoorOptions options_;
+  std::vector<TenantSpec> specs_;
+  double target_wait_ms_ = 0.0;
+
+  http::HttpServer http_;
+  std::jthread scheduler_;
+  std::jthread completion_;
+  std::jthread control_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // scheduler wake: work or stop
+  std::vector<TenantState> tenants_;
+  std::map<uint64_t, InflightRequest> inflight_;
+  AdmissionController admission_;
+  ShedController shed_{ShedController::Options{}};
+  uint64_t next_id_ = 1;
+  bool stopping_ = false;
+
+  std::atomic<bool> started_{false};
+  std::atomic<int> shed_level_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> completed_{0};
+
+  // Global gauges in the pipeline registry (set by the control thread).
+  Gauge* shed_level_gauge_ = nullptr;
+  Gauge* est_wait_gauge_ = nullptr;
+  Gauge* service_rate_gauge_ = nullptr;
+  Gauge* inflight_gauge_ = nullptr;
+};
+
+}  // namespace dlb::frontdoor

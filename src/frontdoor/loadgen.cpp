@@ -1,0 +1,576 @@
+#include "frontdoor/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace dlb::frontdoor {
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough for arrival jitter — the
+// schedule must be reproducible across machines, so no std::random_device.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double UniformDouble(uint64_t& state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+double ExponentialGap(uint64_t& state, double rate) {
+  double u = UniformDouble(state);
+  if (u <= 0.0) u = 1e-12;
+  return -std::log(u) / rate;
+}
+
+// Instantaneous rate multiplier for the shaped patterns; each has mean 1
+// over the run so `rate_per_s` stays the true offered mean.
+double RateMultiplier(ArrivalPattern pattern, double t, double duration) {
+  switch (pattern) {
+    case ArrivalPattern::kBursty: {
+      // 1 s burst at 4x every 5 s; baseline scaled to keep the mean at 1:
+      // mean = (4*1 + b*4)/5 = 1 -> b = 0.25.
+      const double phase = std::fmod(t, 5.0);
+      return phase < 1.0 ? 4.0 : 0.25;
+    }
+    case ArrivalPattern::kDiurnal:
+      // One sinusoidal "day" over the run: 0.25x trough, 1.75x peak.
+      return 1.0 + 0.75 * std::sin(2.0 * M_PI * t / duration);
+    case ArrivalPattern::kStep:
+      return t < duration / 2 ? 0.5 : 1.5;
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+Result<ArrivalPattern> ParseArrivalPattern(const std::string& name) {
+  if (name == "steady") return ArrivalPattern::kSteady;
+  if (name == "poisson") return ArrivalPattern::kPoisson;
+  if (name == "bursty") return ArrivalPattern::kBursty;
+  if (name == "diurnal") return ArrivalPattern::kDiurnal;
+  if (name == "step") return ArrivalPattern::kStep;
+  return InvalidArgument("unknown arrival pattern \"" + name +
+                         "\" (want steady|poisson|bursty|diurnal|step)");
+}
+
+std::vector<double> GenerateArrivals(ArrivalPattern pattern,
+                                     double rate_per_s, double duration_s,
+                                     uint64_t seed) {
+  std::vector<double> out;
+  if (rate_per_s <= 0 || duration_s <= 0) return out;
+  out.reserve(static_cast<size_t>(rate_per_s * duration_s * 1.2) + 16);
+  uint64_t state = seed * 0x2545f4914f6cdd1dULL + 1;
+
+  if (pattern == ArrivalPattern::kSteady) {
+    const double gap = 1.0 / rate_per_s;
+    for (double t = 0.0; t < duration_s; t += gap) out.push_back(t);
+    return out;
+  }
+
+  // Non-homogeneous Poisson by thinning: draw at the envelope rate, keep
+  // each arrival with probability multiplier(t)/envelope.
+  const double envelope =
+      pattern == ArrivalPattern::kPoisson ? 1.0
+      : pattern == ArrivalPattern::kBursty ? 4.0
+      : pattern == ArrivalPattern::kDiurnal ? 1.75
+                                            : 1.5;  // kStep
+  double t = 0.0;
+  while (true) {
+    t += ExponentialGap(state, rate_per_s * envelope);
+    if (t >= duration_s) break;
+    const double keep =
+        RateMultiplier(pattern, t, duration_s) / envelope;
+    if (UniformDouble(state) < keep) out.push_back(t);
+  }
+  return out;
+}
+
+Result<std::vector<TraceArrival>> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("trace file not readable: " + path);
+  std::vector<TraceArrival> out;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    char* end = nullptr;
+    const double t = std::strtod(line.c_str() + first, &end);
+    if (end == line.c_str() + first || t < 0) {
+      return InvalidArgument(path + ":" + std::to_string(lineno) +
+                             ": want \"<seconds> [tenant]\"");
+    }
+    TraceArrival arrival;
+    arrival.t_s = t;
+    while (*end == ' ' || *end == '\t') ++end;
+    const char* tenant_start = end;
+    while (*end && *end != ' ' && *end != '\t' && *end != '\r') ++end;
+    arrival.tenant.assign(tenant_start, static_cast<size_t>(end - tenant_start));
+    out.push_back(std::move(arrival));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceArrival& a, const TraceArrival& b) {
+              return a.t_s < b.t_s;
+            });
+  return out;
+}
+
+Result<std::vector<TenantMix>> ParseTenantMix(const std::string& spec) {
+  std::vector<TenantMix> out;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    TenantMix mix;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      mix.name = entry;
+    } else {
+      mix.name = entry.substr(0, eq);
+      std::string rest = entry.substr(eq + 1);
+      const size_t colon = rest.find(':');
+      if (colon != std::string::npos) {
+        mix.deadline_ms = std::strtoull(rest.c_str() + colon + 1, nullptr, 10);
+        rest.resize(colon);
+      }
+      char* end = nullptr;
+      mix.weight = std::strtod(rest.c_str(), &end);
+      if (end == rest.c_str() || *end != '\0' || mix.weight <= 0) {
+        return InvalidArgument("bad tenant mix entry \"" + entry +
+                               "\" (want name=weight[:deadline_ms])");
+      }
+    }
+    if (mix.name.empty()) {
+      return InvalidArgument("empty tenant name in mix \"" + spec + "\"");
+    }
+    out.push_back(std::move(mix));
+  }
+  if (out.empty()) return InvalidArgument("empty tenant mix");
+  return out;
+}
+
+namespace {
+
+// Minimal blocking HTTP/1.1 keep-alive client: one socket per worker. Any
+// protocol or socket failure closes the connection; the next request
+// reconnects.
+class Client {
+ public:
+  Client(std::string host, int port, uint64_t io_timeout_ms)
+      : host_(std::move(host)), port_(port), io_timeout_ms_(io_timeout_ms) {}
+  ~Client() { Close(); }
+
+  struct Reply {
+    bool transported = false;  // a complete HTTP response was read
+    int status = 0;
+    std::string body;
+  };
+
+  Reply Post(const std::string& target, const std::vector<uint8_t>& payload) {
+    Reply reply;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (fd_ < 0 && !Connect()) return reply;
+      if (!SendRequest(target, payload)) {
+        // A stale keep-alive connection fails on write; one reconnect
+        // retry distinguishes that from a down server.
+        Close();
+        continue;
+      }
+      if (ReadResponse(reply)) return reply;
+      Close();
+    }
+    return reply;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    buffer_.clear();
+  }
+
+ private:
+  bool Connect() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(io_timeout_ms_ / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms_ % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port_));
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool SendRequest(const std::string& target,
+                   const std::vector<uint8_t>& payload) {
+    std::string head = "POST " + target + " HTTP/1.1\r\nHost: " + host_ +
+                       "\r\nContent-Length: " +
+                       std::to_string(payload.size()) + "\r\n\r\n";
+    if (!WriteAll(head.data(), head.size())) return false;
+    return WriteAll(reinterpret_cast<const char*>(payload.data()),
+                    payload.size());
+  }
+
+  bool WriteAll(const char* data, size_t size) {
+    size_t sent = 0;
+    while (sent < size) {
+      const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadResponse(Reply& reply) {
+    // Headers.
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    const std::string headers = buffer_.substr(0, header_end);
+    if (headers.compare(0, 9, "HTTP/1.1 ") != 0 &&
+        headers.compare(0, 9, "HTTP/1.0 ") != 0) {
+      return false;
+    }
+    reply.status = std::atoi(headers.c_str() + 9);
+    size_t content_length = 0;
+    {
+      // Responses are server-generated; exact-case match is fine here.
+      const size_t pos = headers.find("Content-Length:");
+      if (pos != std::string::npos) {
+        content_length = static_cast<size_t>(
+            std::strtoull(headers.c_str() + pos + 15, nullptr, 10));
+      }
+    }
+    const bool close_after =
+        headers.find("Connection: close") != std::string::npos;
+    while (buffer_.size() < header_end + 4 + content_length) {
+      if (!Fill()) return false;
+    }
+    reply.body = buffer_.substr(header_end + 4, content_length);
+    buffer_.erase(0, header_end + 4 + content_length);
+    reply.transported = true;
+    if (close_after) Close();
+    return true;
+  }
+
+  bool Fill() {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  std::string host_;
+  int port_;
+  uint64_t io_timeout_ms_;
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// Mutable per-tenant tally shared by the workers.
+struct TenantTally {
+  std::mutex mu;
+  TenantReport report;   // latency snapshot filled at the end
+  Histogram latency_us;  // live recording target
+};
+
+struct Classified {
+  enum Kind {
+    kOk,
+    kLate,
+    kDecodeFailed,
+    kShed,
+    kRejectedDeadline,
+    kRejectedRate,
+    kRejectedOther,
+    kServerError,
+    kTransport,
+  } kind = kTransport;
+};
+
+Classified::Kind Classify(const Client::Reply& reply) {
+  if (!reply.transported) return Classified::kTransport;
+  switch (reply.status) {
+    case 200:
+      return reply.body.find("\"late\":true") != std::string::npos
+                 ? Classified::kLate
+                 : Classified::kOk;
+    case 422:
+      return Classified::kDecodeFailed;
+    case 429:
+      return Classified::kRejectedRate;
+    case 503:
+      if (reply.body.find("\"shed\"") != std::string::npos) {
+        return Classified::kShed;
+      }
+      if (reply.body.find("deadline") != std::string::npos) {
+        return Classified::kRejectedDeadline;
+      }
+      return Classified::kRejectedOther;
+    default:
+      return reply.status >= 500 ? Classified::kServerError
+                                 : Classified::kRejectedOther;
+  }
+}
+
+}  // namespace
+
+uint64_t LoadReport::TotalStatus(int low, int high) const {
+  uint64_t total = 0;
+  for (const auto& [status, count] : status_counts) {
+    if (status >= low && status <= high) total += count;
+  }
+  return total;
+}
+
+const TenantReport* LoadReport::Tenant(const std::string& name) const {
+  for (const TenantReport& t : tenants) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+LoadReport RunLoad(const LoadgenOptions& options,
+                   const std::vector<TraceArrival>& arrivals) {
+  LoadReport report;
+  if (arrivals.empty() || options.mix.empty()) return report;
+
+  double total_weight = 0;
+  for (const TenantMix& m : options.mix) total_weight += m.weight;
+
+  std::vector<std::unique_ptr<TenantTally>> tallies;
+  for (const TenantMix& m : options.mix) {
+    auto tally = std::make_unique<TenantTally>();
+    tally->report.name = m.name;
+    tallies.push_back(std::move(tally));
+  }
+
+  std::mutex report_mu;  // status_counts + max lag
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> transport_total{0};
+
+  const auto start = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(50);  // connect headroom
+  const int workers = std::max(1, options.connections);
+
+  std::vector<std::jthread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      Client client(options.host, options.port, options.io_timeout_ms);
+      double local_max_lag_ms = 0;
+      std::map<int, uint64_t> local_status;
+
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= arrivals.size()) break;
+        const TraceArrival& arrival = arrivals[i];
+
+        // Tenant: trace override wins; otherwise a seeded draw keyed on
+        // the arrival index, so the assignment is schedule-stable no
+        // matter which worker fires it.
+        size_t mix_index = 0;
+        if (!arrival.tenant.empty()) {
+          for (size_t m = 0; m < options.mix.size(); ++m) {
+            if (options.mix[m].name == arrival.tenant) {
+              mix_index = m;
+              break;
+            }
+          }
+        } else {
+          uint64_t state = options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+          double draw = UniformDouble(state) * total_weight;
+          for (size_t m = 0; m < options.mix.size(); ++m) {
+            draw -= options.mix[m].weight;
+            if (draw <= 0) {
+              mix_index = m;
+              break;
+            }
+          }
+        }
+        const TenantMix& mix = options.mix[mix_index];
+
+        const auto fire_at =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrival.t_s));
+        std::this_thread::sleep_until(fire_at);
+        const double lag_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - fire_at)
+                .count();
+        local_max_lag_ms = std::max(local_max_lag_ms, lag_ms);
+
+        std::string target = "/infer?tenant=" + mix.name;
+        if (mix.deadline_ms > 0) {
+          target += "&deadline_ms=" + std::to_string(mix.deadline_ms);
+        }
+        const auto sent_at = std::chrono::steady_clock::now();
+        const Client::Reply reply = client.Post(target, options.payload);
+        const uint64_t latency_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - sent_at)
+                .count());
+
+        const Classified::Kind kind = Classify(reply);
+        TenantTally& tally = *tallies[mix_index];
+        {
+          std::scoped_lock lock(tally.mu);
+          TenantReport& r = tally.report;
+          ++r.sent;
+          switch (kind) {
+            case Classified::kOk:
+              ++r.ok;
+              break;
+            case Classified::kLate:
+              ++r.late;
+              break;
+            case Classified::kDecodeFailed:
+              ++r.decode_failed;
+              break;
+            case Classified::kShed:
+              ++r.shed;
+              break;
+            case Classified::kRejectedDeadline:
+              ++r.rejected_deadline;
+              break;
+            case Classified::kRejectedRate:
+              ++r.rejected_rate;
+              break;
+            case Classified::kRejectedOther:
+              ++r.rejected_other;
+              break;
+            case Classified::kServerError:
+              ++r.server_errors;
+              break;
+            case Classified::kTransport:
+              ++r.transport_errors;
+              break;
+          }
+        }
+        if (reply.transported) {
+          if (reply.status == 200) tally.latency_us.Record(latency_us);
+          ++local_status[reply.status];
+        } else {
+          transport_total.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+
+      std::scoped_lock lock(report_mu);
+      report.max_send_lag_ms =
+          std::max(report.max_send_lag_ms, local_max_lag_ms);
+      for (const auto& [status, count] : local_status) {
+        report.status_counts[status] += count;
+      }
+    });
+  }
+  pool.clear();  // join
+
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  report.duration_s = elapsed_s;
+  report.sent = arrivals.size();
+  report.offered_rps =
+      elapsed_s > 0 ? static_cast<double>(arrivals.size()) / elapsed_s : 0;
+  report.transport_errors = transport_total.load();
+  for (auto& tally : tallies) {
+    tally->report.latency_us = tally->latency_us.TakeSnapshot();
+    tally->report.goodput_rps =
+        elapsed_s > 0 ? static_cast<double>(tally->report.ok) / elapsed_s : 0;
+    report.tenants.push_back(tally->report);
+  }
+  return report;
+}
+
+double MeasureCapacity(const LoadgenOptions& options, double seconds) {
+  if (options.mix.empty() || seconds <= 0) return 0;
+  // Probe round-robin across every tenant in the mix. Probing a single
+  // tenant is wrong under a shed-capable server: closed-loop saturation
+  // raises the shed level, and if the probe tenant is sheddable every
+  // probe bounces as a 503 and "capacity" collapses to the shed rate. With
+  // all tenants probing, the shed-immune (highest-priority) tenant keeps
+  // the pipeline saturated and the answered rate stays the decode rate.
+  std::vector<std::string> targets;
+  for (const TenantMix& m : options.mix) {
+    targets.push_back("/infer?tenant=" + m.name + "&deadline_ms=60000");
+  }
+
+  std::atomic<uint64_t> answered{0};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> pool;
+    for (int w = 0; w < std::max(1, options.connections); ++w) {
+      pool.emplace_back([&, w] {
+        const std::string& target = targets[w % targets.size()];
+        Client client(options.host, options.port, options.io_timeout_ms);
+        while (std::chrono::steady_clock::now() < deadline) {
+          const Client::Reply reply = client.Post(target, options.payload);
+          if (reply.transported &&
+              (reply.status == 200 || reply.status == 422)) {
+            answered.fetch_add(1, std::memory_order_relaxed);
+          } else if (!reply.transported) {
+            // Server unreachable: back off instead of spinning.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          } else {
+            // Shed/rejected: instant 503s would otherwise spin this worker
+            // at kHz against the same poll loop serving real probes.
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        }
+      });
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return elapsed_s > 0 ? static_cast<double>(answered.load()) / elapsed_s : 0;
+}
+
+}  // namespace dlb::frontdoor

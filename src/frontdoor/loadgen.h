@@ -1,0 +1,122 @@
+// Open-loop load generation against the inference front door.
+//
+// Open-loop means the arrival schedule is fixed up front (a function of
+// pattern, rate, duration and seed — never of response times), so a slow
+// server faces the same offered load a fast one does; that is the only
+// way saturation and shed behaviour are measurable (closed-loop clients
+// self-throttle and hide the overload). Workers pull the next arrival off
+// a shared index and sleep until its timestamp; send lag is recorded so a
+// run can prove its schedule integrity.
+//
+// The same library backs tools/dlb_loadgen (CLI + soak gating) and
+// bench_frontdoor_overload (in-process saturation sweep).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stats.h"
+
+namespace dlb::frontdoor {
+
+enum class ArrivalPattern {
+  kSteady,   // evenly spaced
+  kPoisson,  // exponential inter-arrivals at the mean rate
+  kBursty,   // Poisson baseline + periodic 4x bursts (1 s every 5 s)
+  kDiurnal,  // sinusoidal rate between 0.25x and 1.75x over the run
+  kStep,     // 0.5x for the first half, 1.5x for the second
+};
+
+Result<ArrivalPattern> ParseArrivalPattern(const std::string& name);
+
+/// Arrival offsets in seconds over [0, duration_s), sorted ascending.
+/// Deterministic in (pattern, rate, duration, seed). Mean rate is
+/// `rate_per_s` for every pattern (the shapes redistribute, not add).
+std::vector<double> GenerateArrivals(ArrivalPattern pattern,
+                                     double rate_per_s, double duration_s,
+                                     uint64_t seed);
+
+/// Load a trace file of arrival offsets: one "<seconds> [tenant]" pair per
+/// line, '#' comments. Returns offsets + the optional per-line tenant
+/// override (empty string = pick from the configured mix).
+struct TraceArrival {
+  double t_s = 0.0;
+  std::string tenant;
+};
+Result<std::vector<TraceArrival>> LoadTrace(const std::string& path);
+
+/// One tenant's share of the generated traffic.
+struct TenantMix {
+  std::string name;
+  double weight = 1.0;
+  /// Per-request deadline passed as ?deadline_ms= (0 = server default).
+  uint64_t deadline_ms = 0;
+};
+
+/// Parse "premium=0.3:50,batch=0.7" (name=weight[:deadline_ms], comma
+/// separated). kInvalidArgument on malformed entries.
+Result<std::vector<TenantMix>> ParseTenantMix(const std::string& spec);
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::vector<TenantMix> mix;
+  /// Concurrent keep-alive connections (worker threads). Bounds how far
+  /// the open loop can stay on schedule past saturation — size it well
+  /// above the expected concurrency.
+  int connections = 16;
+  uint64_t seed = 42;
+  /// JPEG payload each request posts.
+  std::vector<uint8_t> payload;
+  /// Per-request socket timeout.
+  uint64_t io_timeout_ms = 10'000;
+};
+
+struct TenantReport {
+  std::string name;
+  uint64_t sent = 0;
+  uint64_t ok = 0;             // 200 within deadline
+  uint64_t late = 0;           // 200 with "late":true
+  uint64_t decode_failed = 0;  // 422
+  uint64_t shed = 0;           // 503 body error=shed
+  uint64_t rejected_deadline = 0;  // 503 deadline_infeasible/_expired
+  uint64_t rejected_rate = 0;      // 429
+  uint64_t rejected_other = 0;     // remaining 4xx/503
+  uint64_t server_errors = 0;      // 5xx other than 503
+  uint64_t transport_errors = 0;   // connect/read/write failures
+  HistogramSnapshot latency_us;    // of 200 responses
+  /// On-time completions per second of wall time.
+  double goodput_rps = 0.0;
+};
+
+struct LoadReport {
+  double duration_s = 0.0;
+  double offered_rps = 0.0;
+  uint64_t sent = 0;
+  std::map<int, uint64_t> status_counts;  // HTTP status -> count
+  uint64_t transport_errors = 0;
+  std::vector<TenantReport> tenants;
+  /// Worst send lag (ms) behind the open-loop schedule; large values mean
+  /// the worker pool, not the schedule, was the bottleneck.
+  double max_send_lag_ms = 0.0;
+
+  uint64_t TotalStatus(int low, int high) const;  // [low, high] inclusive
+  const TenantReport* Tenant(const std::string& name) const;
+};
+
+/// Fire the arrival schedule at the front door and collect the report.
+/// `trace` entries with a tenant override win over the mix draw.
+LoadReport RunLoad(const LoadgenOptions& options,
+                   const std::vector<TraceArrival>& arrivals);
+
+/// Closed-loop capacity probe: `connections` workers (round-robin across
+/// the tenant mix, so a shed-capable server still has shed-immune probes
+/// saturating it) send back-to-back for `seconds`; returns achieved
+/// answered-request throughput (requests/s). This is the saturation point
+/// the overload sweep multiplies.
+double MeasureCapacity(const LoadgenOptions& options, double seconds);
+
+}  // namespace dlb::frontdoor

@@ -35,14 +35,33 @@ NetDataCollector::NetDataCollector(BoundedQueue<NetworkImage>* rx_queue)
   DLB_CHECK(rx_queue_ != nullptr);
 }
 
+namespace {
+
+CollectedFile FromNetwork(NetworkImage img) {
+  CollectedFile out;
+  out.owned = std::move(img.payload);
+  out.bytes = ByteSpan(out.owned.data(), out.owned.size());
+  out.request_id = img.request_id;
+  return out;
+}
+
+}  // namespace
+
 Result<CollectedFile> NetDataCollector::Next() {
   auto img = rx_queue_->Pop();
   if (!img.has_value()) return Closed("network stream closed");
-  CollectedFile out;
-  out.owned = std::move(img->payload);
-  out.bytes = ByteSpan(out.owned.data(), out.owned.size());
-  out.request_id = img->request_id;
-  return out;
+  return FromNetwork(std::move(img).value());
+}
+
+Result<CollectedFile> NetDataCollector::NextFor(uint64_t linger_ms) {
+  if (linger_ms == 0) return Next();
+  auto img = rx_queue_->PopFor(std::chrono::milliseconds(linger_ms));
+  if (!img.has_value()) {
+    // PopFor cannot tell timeout from closed-and-drained; the queue can.
+    if (rx_queue_->IsClosed()) return Closed("network stream closed");
+    return Unavailable("network stream dry");
+  }
+  return FromNetwork(std::move(img).value());
 }
 
 }  // namespace dlb

@@ -37,6 +37,15 @@ class DataCollector {
   /// Next sample in arrival/epoch order. kClosed when the stream ended.
   virtual Result<CollectedFile> Next() = 0;
 
+  /// Like Next(), but streaming sources give up after roughly `linger_ms`
+  /// with kUnavailable when the stream is momentarily dry — the caller
+  /// flushes its partial batch and comes back. Bulk sources (disk) never
+  /// report dry: a slow read is still a read, so the default just blocks.
+  /// linger_ms == 0 always means "wait indefinitely".
+  virtual Result<CollectedFile> NextFor(uint64_t /*linger_ms*/) {
+    return Next();
+  }
+
   /// Samples per epoch (0 = unbounded stream).
   virtual size_t EpochSize() const { return 0; }
 };
@@ -74,6 +83,10 @@ class LockedCollector : public DataCollector {
     std::scoped_lock lock(mu_);
     return inner_->Next();
   }
+  Result<CollectedFile> NextFor(uint64_t linger_ms) override {
+    std::scoped_lock lock(mu_);
+    return inner_->NextFor(linger_ms);
+  }
   size_t EpochSize() const override { return inner_->EpochSize(); }
 
  private:
@@ -93,6 +106,12 @@ class BoundedCollector : public DataCollector {
     --remaining_;
     return inner_->Next();
   }
+  Result<CollectedFile> NextFor(uint64_t linger_ms) override {
+    if (remaining_ == 0) return Closed("sample budget exhausted");
+    auto out = inner_->NextFor(linger_ms);
+    if (out.ok()) --remaining_;
+    return out;
+  }
   size_t EpochSize() const override { return inner_->EpochSize(); }
 
  private:
@@ -106,6 +125,7 @@ class NetDataCollector : public DataCollector {
   explicit NetDataCollector(BoundedQueue<NetworkImage>* rx_queue);
 
   Result<CollectedFile> Next() override;
+  Result<CollectedFile> NextFor(uint64_t linger_ms) override;
 
  private:
   BoundedQueue<NetworkImage>* rx_queue_;

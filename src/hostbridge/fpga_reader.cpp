@@ -423,9 +423,29 @@ void FpgaReader::Loop() {
       // Recorded manually (not ScopedSpan) because the decode command it
       // causes must parent to this span's id.
       uint64_t fetch_span = 0;
+      auto pull = [&]() -> Result<CollectedFile> {
+        // Non-empty batch + dry streaming source: bound the wait so queued
+        // requests are not held hostage to batch fill.
+        if (slot > 0) return collector_->NextFor(options_.linger_ms);
+        if (options_.linger_ms == 0) return collector_->Next();
+        // Slot 0 of a streaming batch: nothing to flush yet, but batches
+        // submitted earlier still need their completions drained while the
+        // source idles — otherwise the last partial batch's results wait
+        // for the NEXT request to arrive. No reaping here: the empty batch
+        // registered above must not be force-retired mid-assembly.
+        while (running_.load(std::memory_order_relaxed)) {
+          auto sample = collector_->NextFor(options_.linger_ms);
+          if (sample.ok() ||
+              sample.status().code() != StatusCode::kUnavailable) {
+            return sample;
+          }
+          ProcessCompletions(channel_->DrainCompletions());
+        }
+        return Closed("reader stopped");
+      };
       auto file = [&] {
         telemetry::StageTimer fetch_timer(telemetry::Stage::kFetch);
-        auto pulled = collector_->Next();
+        auto pulled = pull();
         if (telemetry_ != nullptr && pulled.ok()) {
           fetch_span =
               telemetry_->RecordTimed(fetch_timer, 1, state->trace,
@@ -434,7 +454,11 @@ void FpgaReader::Loop() {
         return pulled;
       }();
       if (!file.ok()) {
-        source_exhausted = true;
+        // kUnavailable = "dry right now": flush what we have, come back.
+        // Anything else ends the stream.
+        if (file.status().code() != StatusCode::kUnavailable) {
+          source_exhausted = true;
+        }
         break;
       }
       CollectedFile cf = std::move(file).value();

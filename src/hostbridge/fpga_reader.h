@@ -34,6 +34,10 @@ struct FpgaReaderOptions {
   /// Ask the device to decode at a reduced DCT scale covering
   /// (resize_w, resize_h); the resizer then only does the residual shrink.
   bool decode_to_scale = false;
+  /// Streaming batch linger (BackendOptions::linger_ms): with a non-empty
+  /// batch under assembly, wait at most this long for the next sample
+  /// before flushing the partial batch. 0 = wait for a full batch.
+  uint64_t linger_ms = 0;
 
   // --- Fault-recovery policy ---
   /// Resubmits per slot after a transient (kUnavailable) completion before

@@ -62,6 +62,8 @@ const char* EventTypeName(EventType type) {
       return "slo_breach";
     case EventType::kBundleWritten:
       return "bundle_written";
+    case EventType::kOverloadShed:
+      return "overload_shed";
   }
   return "unknown";
 }
@@ -86,6 +88,7 @@ EventLevel EventTypeLevel(EventType type) {
     case EventType::kBatchTimeout:
     case EventType::kStageStalled:
     case EventType::kSloBreach:
+    case EventType::kOverloadShed:
       return EventLevel::kWarn;
   }
   return EventLevel::kInfo;

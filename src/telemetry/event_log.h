@@ -52,6 +52,8 @@ enum class EventType : uint8_t {
   kSloBreach,           // objective entered burning; arg0 = index,
                         // arg1 = observed value (truncated)         [warn]
   kBundleWritten,       // flight recorder dumped; arg0 = trigger    [info]
+  kOverloadShed,        // front door changed shed level; arg0 = new
+                        // level, arg1 = previous level               [warn]
 };
 
 const char* EventTypeName(EventType type);

@@ -24,6 +24,7 @@ const char* TriggerName(TriggerKind kind) {
     case TriggerKind::kWatchdogStall: return "watchdog_stall";
     case TriggerKind::kRetryExhausted: return "retry_exhausted";
     case TriggerKind::kQuarantine: return "quarantine";
+    case TriggerKind::kOverloadShed: return "overload_shed";
   }
   return "unknown";
 }

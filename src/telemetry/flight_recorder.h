@@ -51,8 +51,9 @@ enum class TriggerKind : uint8_t {
   kWatchdogStall,   // the stall watchdog fired
   kRetryExhausted,  // hostbridge gave up retrying a slot
   kQuarantine,      // an FPGA way was latched dead
+  kOverloadShed,    // the front door entered load shedding
 };
-inline constexpr int kNumTriggerKinds = 5;
+inline constexpr int kNumTriggerKinds = 6;
 
 const char* TriggerName(TriggerKind kind);
 

@@ -1,255 +1,49 @@
 #include "telemetry/monitor_server.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-#include <vector>
-
-#include "common/log.h"
+#include <algorithm>
 
 namespace dlb::telemetry {
 
 namespace {
 
-const char* StatusText(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 400: return "Bad Request";
-    case 500: return "Internal Server Error";
-    case 503: return "Service Unavailable";
-    default: return "OK";
-  }
+http::HttpServer::Options Translate(const MonitorServer::Options& options) {
+  http::HttpServer::Options out;
+  out.bind_address = options.bind_address;
+  out.port = options.port;
+  out.max_connections = options.max_connections;
+  out.request_timeout_ms = options.request_timeout_ms;
+  // Keep the sweep at least as fine as the configured timeout so tests
+  // with short deadlines observe the reap promptly.
+  out.sweep_interval_ms = std::min<uint64_t>(100, options.request_timeout_ms);
+  // One request per connection: scrapers open a fresh connection per
+  // scrape and read until EOF, so keep-alive would only make them hang.
+  out.keep_alive = false;
+  return out;
 }
-
-void SetNonBlocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-// One in-flight client connection: accumulate the request until the header
-// terminator, then flush the serialized response.
-struct Connection {
-  int fd = -1;
-  std::string in;
-  std::string out;
-  size_t written = 0;
-  bool responding = false;
-  std::chrono::steady_clock::time_point accepted;
-};
 
 }  // namespace
 
 MonitorServer::MonitorServer() : MonitorServer(Options()) {}
 
-MonitorServer::MonitorServer(Options options) : options_(std::move(options)) {
-  if (options_.max_connections < 1) options_.max_connections = 1;
-}
+MonitorServer::MonitorServer(Options options)
+    : server_(Translate(options)) {}
 
 MonitorServer::~MonitorServer() { Stop(); }
 
 void MonitorServer::AddHandler(std::string path, Handler handler) {
-  handlers_[std::move(path)] = std::move(handler);
+  server_.AddHandler(std::move(path), std::move(handler));
 }
 
+Status MonitorServer::Start() { return server_.Start(); }
+
+void MonitorServer::Stop() { server_.Stop(); }
+
 HttpResponse MonitorServer::Dispatch(const HttpRequest& request) const {
-  if (request.method != "GET" && request.method != "POST") {
-    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
-  }
-  auto it = handlers_.find(request.path);
-  if (it == handlers_.end()) {
-    std::string body = "not found; endpoints:\n";
-    for (const auto& [path, handler] : handlers_) body += "  " + path + "\n";
-    return {404, "text/plain; charset=utf-8", std::move(body)};
-  }
-  return it->second(request);
+  return server_.Dispatch(request);
 }
 
 std::string MonitorServer::Serialize(const HttpResponse& response) {
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    StatusText(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  return out;
-}
-
-Status MonitorServer::Start() {
-  if (running_.exchange(true)) return Status::Ok();
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    running_.store(false);
-    return Internal("socket(): " + std::string(std::strerror(errno)));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    running_.store(false);
-    return InvalidArgument("bad bind address: " + options_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, 32) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    running_.store(false);
-    return Internal("bind/listen on " + options_.bind_address + ":" +
-                       std::to_string(options_.port) + ": " + err);
-  }
-
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
-    port_.store(ntohs(bound.sin_port), std::memory_order_release);
-  }
-  SetNonBlocking(listen_fd_);
-
-  thread_ = std::jthread([this](std::stop_token token) { Loop(token); });
-  return Status::Ok();
-}
-
-void MonitorServer::Stop() {
-  if (!running_.exchange(false)) return;
-  thread_.request_stop();
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  port_.store(-1, std::memory_order_release);
-}
-
-void MonitorServer::Loop(std::stop_token token) {
-  std::vector<Connection> conns;
-  // Bounded poll timeout doubles as the stop-flag check interval: Stop()
-  // never needs a wake-up pipe.
-  constexpr int kPollMs = 50;
-
-  while (!token.stop_requested()) {
-    std::vector<pollfd> fds;
-    fds.push_back({listen_fd_, POLLIN, 0});
-    for (const Connection& c : conns) {
-      fds.push_back(
-          {c.fd, static_cast<short>(c.responding ? POLLOUT : POLLIN), 0});
-    }
-    const int ready = ::poll(fds.data(), fds.size(), kPollMs);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0 && conns.empty()) continue;
-    // A timed-out poll still sweeps the connection table below: a wedged
-    // connection generates no poll events, so the request timeout must not
-    // depend on one.
-
-    // Accept while there is room in the connection table.
-    if (ready > 0 && (fds[0].revents & POLLIN) != 0) {
-      while (conns.size() < static_cast<size_t>(options_.max_connections)) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
-        SetNonBlocking(fd);
-        Connection c;
-        c.fd = fd;
-        c.accepted = std::chrono::steady_clock::now();
-        conns.push_back(std::move(c));
-      }
-    }
-
-    const auto now = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < conns.size();) {
-      Connection& c = conns[i];
-      // A connection still waiting for complete request headers past the
-      // timeout (truncated request line, slow-loris) is dropped so it
-      // cannot pin a slot and wedge the accept loop.
-      bool close_conn =
-          !c.responding &&
-          now - c.accepted >
-              std::chrono::milliseconds(options_.request_timeout_ms);
-      // Connections accepted this round have no pollfd entry yet, and an
-      // erase above shifts indices — match on fd before trusting revents.
-      const short revents = (i + 1 < fds.size() && fds[i + 1].fd == c.fd)
-                                ? fds[i + 1].revents
-                                : 0;
-
-      if (!c.responding && (revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        char buf[4096];
-        const ssize_t n = ::read(c.fd, buf, sizeof(buf));
-        if (n > 0) {
-          c.in.append(buf, static_cast<size_t>(n));
-          const size_t header_end = c.in.find("\r\n\r\n");
-          if (header_end != std::string::npos) {
-            // Parse the request line: METHOD SP TARGET SP VERSION.
-            HttpRequest request;
-            const size_t line_end = c.in.find("\r\n");
-            const std::string line = c.in.substr(0, line_end);
-            const size_t sp1 = line.find(' ');
-            const size_t sp2 =
-                sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
-            HttpResponse response;
-            if (sp1 == std::string::npos || sp2 == std::string::npos) {
-              response = {400, "text/plain; charset=utf-8", "bad request\n"};
-            } else {
-              request.method = line.substr(0, sp1);
-              std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-              const size_t q = target.find('?');
-              if (q != std::string::npos) {
-                request.query = target.substr(q + 1);
-                target.resize(q);
-              }
-              request.path = std::move(target);
-              response = Dispatch(request);
-            }
-            c.out = Serialize(response);
-            c.responding = true;
-            requests_.fetch_add(1, std::memory_order_relaxed);
-          } else if (c.in.size() > (1u << 16)) {
-            close_conn = true;  // header flood; drop it
-          }
-        } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
-          close_conn = true;
-        }
-      }
-
-      // Attempt the write whenever a response is pending — a fresh socket
-      // is almost always writable, so most requests finish in the same
-      // poll cycle that parsed them; EAGAIN defers to the next POLLOUT.
-      if (c.responding && !close_conn) {
-        const ssize_t n = ::write(c.fd, c.out.data() + c.written,
-                                  c.out.size() - c.written);
-        if (n > 0) {
-          c.written += static_cast<size_t>(n);
-          if (c.written == c.out.size()) close_conn = true;  // done
-        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
-          close_conn = true;
-        }
-      }
-
-      if (close_conn) {
-        ::close(c.fd);
-        conns.erase(conns.begin() + static_cast<long>(i));
-      } else {
-        ++i;
-      }
-    }
-  }
-
-  for (Connection& c : conns) ::close(c.fd);
+  return http::HttpServer::Serialize(response, /*keep_alive=*/false);
 }
 
 }  // namespace dlb::telemetry

@@ -1,41 +1,30 @@
 // Embedded HTTP/1.1 exposition server: the pipeline's window to the fleet.
 //
-// A single background thread runs a blocking poll() loop over the listen
-// socket and its client connections — no worker pool, no dependencies.
-// That is the right shape for a metrics port: scrapers (Prometheus, the
-// dlb_monitor dashboard, curl) issue one short GET a second; the server
-// never touches the preprocessing hot path and its handlers only read
-// snapshot APIs that were built for concurrent readers.
+// A thin adapter over the shared dlb::http::HttpServer (common/http_server.h)
+// — the socket plane, connection state machine and hardening (request
+// timeouts on their own sweep cadence, header/body caps, slow-loris reaping)
+// live there, shared with the inference front door. This wrapper pins the
+// monitoring-plane policy: one request per TCP connection
+// (Connection: close) — that is what scrapers (Prometheus, dlb_monitor,
+// curl) do anyway, and it keeps every scrape independent.
 //
 // Routing is exact-path over registered handlers; the pipeline wires
 // /metrics, /metrics.json, /stats, /events and /healthz (see
-// core/pipeline.cpp). Responses always close the connection
-// (Connection: close) — one request per TCP connection keeps the state
-// machine trivial and is what scrapers do anyway.
+// core/pipeline.cpp).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
-#include <thread>
 
+#include "common/http_server.h"
 #include "common/status.h"
 
 namespace dlb::telemetry {
 
-struct HttpRequest {
-  std::string method;  // "GET"
-  std::string path;    // "/metrics" (query string stripped)
-  std::string query;   // "window=5" (without the '?')
-};
-
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
+// The monitoring plane speaks the shared HTTP vocabulary; these aliases
+// keep existing call sites (pipeline.cpp, tests) source-compatible.
+using HttpRequest = http::HttpRequest;
+using HttpResponse = http::HttpResponse;
 
 /// Prometheus text exposition content type.
 inline constexpr const char* kPrometheusContentType =
@@ -58,7 +47,7 @@ class MonitorServer {
     uint64_t request_timeout_ms = 5000;
   };
 
-  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using Handler = http::HttpServer::Handler;
 
   MonitorServer();
   explicit MonitorServer(Options options);
@@ -77,14 +66,12 @@ class MonitorServer {
   /// Stop the loop and close all sockets. Idempotent; runs on destruction.
   void Stop();
 
-  bool Running() const { return running_.load(std::memory_order_acquire); }
+  bool Running() const { return server_.Running(); }
 
   /// The bound TCP port (resolves port 0), or -1 before Start().
-  int Port() const { return port_.load(std::memory_order_acquire); }
+  int Port() const { return server_.Port(); }
 
-  uint64_t RequestsServed() const {
-    return requests_.load(std::memory_order_relaxed);
-  }
+  uint64_t RequestsServed() const { return server_.RequestsServed(); }
 
   /// Route a request through the registered handlers without a socket —
   /// the deterministic seam tests use. 404 (with an endpoint listing body)
@@ -92,19 +79,12 @@ class MonitorServer {
   /// about the method (POST /debug/dump) branch on request.method.
   HttpResponse Dispatch(const HttpRequest& request) const;
 
-  /// Serialize a response as an HTTP/1.1 wire message.
+  /// Serialize a response as an HTTP/1.1 wire message (Connection: close —
+  /// the monitoring plane's one-shot semantics).
   static std::string Serialize(const HttpResponse& response);
 
  private:
-  void Loop(std::stop_token token);
-
-  Options options_;
-  std::map<std::string, Handler> handlers_;
-  std::jthread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<int> port_{-1};
-  std::atomic<uint64_t> requests_{0};
-  int listen_fd_ = -1;
+  http::HttpServer server_;
 };
 
 }  // namespace dlb::telemetry

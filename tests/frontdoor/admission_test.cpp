@@ -1,0 +1,237 @@
+// Admission primitives (frontdoor/admission.h) under a fake clock: token
+// bucket refill schedules, tenant-spec parsing, deadline math, and shed
+// hysteresis. These decisions gate real traffic, so the exact arithmetic
+// is pinned here rather than observed statistically through sockets.
+#include "frontdoor/admission.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dlb::frontdoor {
+namespace {
+
+constexpr uint64_t kSecond = 1'000'000'000ull;
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+
+TEST(TokenBucketTest, StartsFullAndDrainsToRejection) {
+  TokenBucket bucket(/*rate_per_s=*/10, /*burst=*/3);
+  uint64_t now = kSecond;
+  // A quiet tenant may open with its full burst...
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  // ...and the next zero-elapsed acquire is refused.
+  EXPECT_FALSE(bucket.TryAcquire(now));
+}
+
+TEST(TokenBucketTest, RefillsAtConfiguredRate) {
+  TokenBucket bucket(/*rate_per_s=*/10, /*burst=*/3);
+  uint64_t now = kSecond;
+  while (bucket.TryAcquire(now)) {
+  }
+  // 10 tokens/s: 50 ms buys half a token (still refused), 100 ms a whole
+  // one (admitted exactly once).
+  now += 50'000'000;
+  EXPECT_FALSE(bucket.TryAcquire(now));
+  now += 50'000'000;
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  EXPECT_FALSE(bucket.TryAcquire(now));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucket bucket(/*rate_per_s=*/1000, /*burst=*/2);
+  uint64_t now = kSecond;
+  EXPECT_EQ(bucket.TokensAt(now), 2.0);  // prime the clock
+  now += 60 * kSecond;                   // a minute idle at 1000/s
+  EXPECT_EQ(bucket.TokensAt(now), 2.0);  // still just the burst depth
+}
+
+TEST(TokenBucketTest, ZeroRateMeansUnlimited) {
+  TokenBucket bucket(/*rate_per_s=*/0, /*burst=*/0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(kSecond));
+  }
+}
+
+TEST(TokenBucketTest, ClockGoingBackwardsIsIgnored) {
+  TokenBucket bucket(/*rate_per_s=*/10, /*burst=*/1);
+  uint64_t now = 10 * kSecond;
+  EXPECT_TRUE(bucket.TryAcquire(now));
+  // A step back in time must not mint tokens (or underflow the elapsed
+  // computation).
+  EXPECT_FALSE(bucket.TryAcquire(now - kSecond));
+  EXPECT_FALSE(bucket.TryAcquire(now));
+}
+
+// ---------------------------------------------------------------------------
+// ParseTenantSpecs
+
+TEST(ParseTenantSpecsTest, FullGrammar) {
+  auto specs = ParseTenantSpecs(
+      "premium:prio=2,rate=500,burst=64,deadline=50,queue=8;batch:prio=0");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs.value().size(), 2u);
+  const TenantSpec& premium = specs.value()[0];
+  EXPECT_EQ(premium.name, "premium");
+  EXPECT_EQ(premium.priority, 2);
+  EXPECT_EQ(premium.rate_per_s, 500.0);
+  EXPECT_EQ(premium.burst, 64.0);
+  EXPECT_EQ(premium.default_deadline_ms, 50u);
+  EXPECT_EQ(premium.queue_capacity, 8u);
+  const TenantSpec& batch = specs.value()[1];
+  EXPECT_EQ(batch.name, "batch");
+  EXPECT_EQ(batch.priority, 0);
+}
+
+TEST(ParseTenantSpecsTest, BareNameTakesDefaults) {
+  auto specs = ParseTenantSpecs("solo");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs.value().size(), 1u);
+  const TenantSpec defaults;
+  EXPECT_EQ(specs.value()[0].priority, defaults.priority);
+  EXPECT_EQ(specs.value()[0].rate_per_s, defaults.rate_per_s);
+  EXPECT_EQ(specs.value()[0].default_deadline_ms,
+            defaults.default_deadline_ms);
+}
+
+TEST(ParseTenantSpecsTest, RejectsMalformedSpecs) {
+  // Each entry names the failure the parser must catch.
+  EXPECT_FALSE(ParseTenantSpecs("").ok()) << "empty spec";
+  EXPECT_FALSE(ParseTenantSpecs(";;").ok()) << "only separators";
+  EXPECT_FALSE(ParseTenantSpecs("Premium:prio=1").ok()) << "uppercase name";
+  EXPECT_FALSE(ParseTenantSpecs("a b:prio=1").ok()) << "space in name";
+  EXPECT_FALSE(ParseTenantSpecs("a:prio=1;a:prio=2").ok()) << "duplicate";
+  EXPECT_FALSE(ParseTenantSpecs("a:prio").ok()) << "missing value";
+  EXPECT_FALSE(ParseTenantSpecs("a:prio=x").ok()) << "non-numeric value";
+  EXPECT_FALSE(ParseTenantSpecs("a:prio=-1").ok()) << "negative value";
+  EXPECT_FALSE(ParseTenantSpecs("a:color=red").ok()) << "unknown key";
+  EXPECT_FALSE(ParseTenantSpecs("a:queue=0").ok()) << "zero queue";
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+TEST(AdmissionControllerTest, FloorAppliesBeforeAnyObservation) {
+  AdmissionController::Options options;
+  options.min_service_rate = 50.0;
+  AdmissionController admission(options);
+  // 50/s floor: 10 queued = 200 ms estimated wait.
+  EXPECT_DOUBLE_EQ(admission.ServiceRatePerS(), 50.0);
+  EXPECT_DOUBLE_EQ(admission.EstimatedWaitMs(10), 200.0);
+  EXPECT_TRUE(admission.DeadlineFeasible(10, 200));
+  EXPECT_FALSE(admission.DeadlineFeasible(11, 200));
+}
+
+TEST(AdmissionControllerTest, EwmaTracksObservedRate) {
+  AdmissionController::Options options;
+  options.alpha = 0.5;
+  options.min_service_rate = 1.0;
+  AdmissionController admission(options);
+  uint64_t now = kSecond;
+  admission.ObserveProgress(0, now);  // priming sample, no rate yet
+  now += kSecond;
+  admission.ObserveProgress(100, now);  // first window seeds the EWMA
+  EXPECT_DOUBLE_EQ(admission.ServiceRatePerS(), 100.0);
+  now += kSecond;
+  admission.ObserveProgress(300, now);  // 200/s window, alpha 0.5
+  EXPECT_DOUBLE_EQ(admission.ServiceRatePerS(), 150.0);
+  EXPECT_DOUBLE_EQ(admission.EstimatedWaitMs(150), 1000.0);
+}
+
+TEST(AdmissionControllerTest, CounterResetSkipsWindow) {
+  AdmissionController::Options options;
+  options.alpha = 0.5;
+  options.min_service_rate = 1.0;
+  AdmissionController admission(options);
+  uint64_t now = kSecond;
+  admission.ObserveProgress(0, now);
+  now += kSecond;
+  admission.ObserveProgress(100, now);
+  now += kSecond;
+  // Counter went backwards (pipeline restarted): the window counts as
+  // zero progress, never as a negative rate.
+  admission.ObserveProgress(10, now);
+  EXPECT_DOUBLE_EQ(admission.ServiceRatePerS(), 50.0);
+  now += kSecond;
+  admission.ObserveProgress(110, now);  // resumes from the reset baseline
+  EXPECT_DOUBLE_EQ(admission.ServiceRatePerS(), 75.0);
+}
+
+TEST(AdmissionControllerTest, NonMonotonicClockSampleIgnored) {
+  AdmissionController admission;
+  uint64_t now = 10 * kSecond;
+  admission.ObserveProgress(0, now);
+  admission.ObserveProgress(1000, now);  // zero-width window: dropped
+  admission.ObserveProgress(1000, now - kSecond);  // backwards: dropped
+  EXPECT_DOUBLE_EQ(admission.ServiceRatePerS(),
+                   AdmissionController::Options().min_service_rate);
+}
+
+// ---------------------------------------------------------------------------
+// ShedController
+
+TEST(ShedControllerTest, FirstStepUpIsImmediate) {
+  ShedController::Options options;
+  options.dwell_ns = kSecond;
+  options.max_level = 3;
+  ShedController shed(options);
+  // Overload must not wait out a dwell window to start shedding.
+  EXPECT_EQ(shed.Update(2.0, kSecond), 1);
+}
+
+TEST(ShedControllerTest, EscalationAndRecoveryAreDwellGated) {
+  ShedController::Options options;
+  options.high = 1.0;
+  options.low = 0.6;
+  options.dwell_ns = kSecond;
+  options.max_level = 3;
+  ShedController shed(options);
+  uint64_t now = kSecond;
+
+  EXPECT_EQ(shed.Update(2.0, now), 1);  // immediate first step
+  now += kSecond / 2;
+  EXPECT_EQ(shed.Update(2.0, now), 1);  // half a dwell: no escalation
+  now += kSecond / 2;
+  EXPECT_EQ(shed.Update(2.0, now), 2);  // dwell elapsed: step up
+  now += kSecond;
+  EXPECT_EQ(shed.Update(2.0, now), 3);
+  now += kSecond;
+  EXPECT_EQ(shed.Update(2.0, now), 3);  // clamped at max_level
+
+  // Recovery steps down one dwell at a time, never instantly to zero.
+  // (The clamped sample above changed nothing, so the dwell since the
+  // step to 3 has already elapsed and the first down-step is allowed.)
+  now += kSecond / 2;
+  EXPECT_EQ(shed.Update(0.1, now), 2);
+  now += kSecond / 2;
+  EXPECT_EQ(shed.Update(0.1, now), 2);  // half a dwell: recovery gated too
+  now += kSecond / 2;
+  EXPECT_EQ(shed.Update(0.1, now), 1);
+  now += kSecond;
+  EXPECT_EQ(shed.Update(0.1, now), 0);
+  EXPECT_EQ(shed.Level(), 0);
+}
+
+TEST(ShedControllerTest, HysteresisBandHoldsLevel) {
+  ShedController::Options options;
+  options.high = 1.0;
+  options.low = 0.6;
+  options.dwell_ns = kSecond;
+  options.max_level = 2;
+  ShedController shed(options);
+  uint64_t now = kSecond;
+  EXPECT_EQ(shed.Update(1.5, now), 1);
+  // Pressure inside (low, high]: the level must hold through any number
+  // of dwell periods — this is what prevents boundary flapping.
+  for (int i = 0; i < 10; ++i) {
+    now += 2 * kSecond;
+    EXPECT_EQ(shed.Update(0.8, now), 1);
+  }
+}
+
+}  // namespace
+}  // namespace dlb::frontdoor

@@ -1,0 +1,246 @@
+// End-to-end front-door coverage: a real pipeline (cpu backend, network
+// source) behind the FrontDoor, exercised through the deterministic
+// Dispatch seam for the status-code contract and through a real socket for
+// the serving path. The admission arithmetic itself is pinned in
+// admission_test.cpp; here the wiring is under test — requests flow
+// admission -> scheduler -> rx queue -> pipeline -> completion -> client.
+#include "frontdoor/front_door.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "dataplane/synthetic_dataset.h"
+#include "frontdoor/loadgen.h"
+
+namespace dlb::frontdoor {
+namespace {
+
+// One pipeline + front door per test: Stop() closes the rx queue, which
+// ends the pipeline's input stream for good.
+class FrontDoorTest : public ::testing::Test {
+ protected:
+  void StartDoor(const std::string& tenants) {
+    core::PipelineConfig config;
+    config.backend = "cpu";
+    config.options.batch_size = 4;
+    config.options.num_threads = 1;
+    config.options.queue_depth = 4;
+    config.options.resize_w = 32;
+    config.options.resize_h = 32;
+    config.options.linger_ms = 2;
+    auto pipeline = core::PipelineBuilder()
+                        .WithConfig(config)
+                        .WithNetworkSource(&rx_queue_)
+                        .Build();
+    ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+    pipeline_ = std::move(pipeline.value());
+
+    FrontDoorOptions options;
+    options.tenants = tenants;
+    options.control_interval_ms = 20;
+    door_ = std::make_unique<FrontDoor>(pipeline_.get(), &rx_queue_,
+                                        options);
+    ASSERT_TRUE(door_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (door_ != nullptr) door_->Stop();
+  }
+
+  // A decodable JPEG payload (what a well-behaved client posts).
+  std::string Payload() {
+    auto dataset = GenerateDataset(ImageNetLikeSpec(1));
+    EXPECT_TRUE(dataset.ok());
+    auto bytes = dataset.value().store->Read(dataset.value().manifest.At(0));
+    EXPECT_TRUE(bytes.ok());
+    return std::string(bytes.value().begin(), bytes.value().end());
+  }
+
+  http::HttpResponse Infer(const std::string& query,
+                           const std::string& body) {
+    return door_->Dispatch({"POST", "/infer", query, body});
+  }
+
+  BoundedQueue<NetworkImage> rx_queue_{16};
+  std::unique_ptr<core::Pipeline> pipeline_;
+  std::unique_ptr<FrontDoor> door_;
+};
+
+TEST_F(FrontDoorTest, StartRejectsMalformedTenantSpec) {
+  core::PipelineConfig config;
+  config.backend = "cpu";
+  auto pipeline = core::PipelineBuilder()
+                      .WithConfig(config)
+                      .WithNetworkSource(&rx_queue_)
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  FrontDoorOptions options;
+  options.tenants = "Bad Tenant:prio=1";
+  FrontDoor door(pipeline.value().get(), &rx_queue_, options);
+  EXPECT_FALSE(door.Start().ok());
+  // The failed door never took ownership of the rx queue; close it so the
+  // local pipeline's input stream ends and its destructor can join.
+  rx_queue_.Close();
+}
+
+TEST_F(FrontDoorTest, StatusCodeContract) {
+  StartDoor("solo:prio=1,deadline=5000");
+  const std::string payload = Payload();
+
+  // 405: /infer is POST-only.
+  EXPECT_EQ(door_->Dispatch({"GET", "/infer", "", ""}).status, 405);
+  // 400: a POST with no payload has nothing to decode.
+  EXPECT_EQ(Infer("tenant=solo", "").status, 400);
+  // 403: tenants are a closed set.
+  http::HttpResponse unknown = Infer("tenant=intruder", payload);
+  EXPECT_EQ(unknown.status, 403);
+  EXPECT_NE(unknown.body.find("unknown_tenant"), std::string::npos);
+  // 200: the full path — admitted, decoded, answered with a prediction.
+  http::HttpResponse ok = Infer("tenant=solo", payload);
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("\"tenant\":\"solo\""), std::string::npos);
+  EXPECT_NE(ok.body.find("\"prediction\":"), std::string::npos);
+  // 422: a payload that fails to decode is the client's problem, not a
+  // server 5xx (the overload-soak lane counts on this distinction).
+  EXPECT_EQ(Infer("tenant=solo", "this is not a jpeg").status, 422);
+}
+
+TEST_F(FrontDoorTest, SingleTenantIsTheDefault) {
+  StartDoor("solo:prio=1,deadline=5000");
+  EXPECT_EQ(Infer("", Payload()).status, 200);
+}
+
+TEST_F(FrontDoorTest, RateLimitReturns429) {
+  // burst=1: the second back-to-back request finds an empty bucket.
+  StartDoor("slow:prio=1,rate=1,burst=1,deadline=5000");
+  const std::string payload = Payload();
+  EXPECT_EQ(Infer("tenant=slow", payload).status, 200);
+  http::HttpResponse limited = Infer("tenant=slow", payload);
+  EXPECT_EQ(limited.status, 429);
+  EXPECT_NE(limited.body.find("rate_limited"), std::string::npos);
+}
+
+TEST_F(FrontDoorTest, SnapshotAndHealthEndpoints) {
+  StartDoor("premium:prio=2,deadline=5000;batch:prio=0,deadline=5000");
+  ASSERT_EQ(Infer("tenant=premium", Payload()).status, 200);
+
+  http::HttpResponse snapshot =
+      door_->Dispatch({"GET", "/frontdoor", "", ""});
+  EXPECT_EQ(snapshot.status, 200);
+  EXPECT_NE(snapshot.body.find("\"shed_level\":0"), std::string::npos);
+  EXPECT_NE(snapshot.body.find("\"name\":\"premium\""), std::string::npos);
+  EXPECT_NE(snapshot.body.find("\"name\":\"batch\""), std::string::npos);
+  EXPECT_NE(snapshot.body.find("\"admitted\":1"), std::string::npos);
+
+  http::HttpResponse health = door_->Dispatch({"GET", "/healthz", "", ""});
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("ok"), std::string::npos);
+}
+
+TEST_F(FrontDoorTest, ServesOverARealSocket) {
+  StartDoor("solo:prio=1,deadline=5000");
+  ASSERT_GT(door_->Port(), 0);
+  const std::string payload = Payload();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(door_->Port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "POST /infer?tenant=solo HTTP/1.1\r\nHost: t\r\n"
+      "Content-Length: " + std::to_string(payload.size()) +
+      "\r\nConnection: close\r\n\r\n" + payload;
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(raw.find("HTTP/1.1 200"), std::string::npos) << raw;
+  EXPECT_NE(raw.find("\"prediction\":"), std::string::npos);
+}
+
+TEST_F(FrontDoorTest, StopIsIdempotentAndAccountsEveryAdmission) {
+  StartDoor("solo:prio=1,deadline=5000");
+  const std::string payload = Payload();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(Infer("tenant=solo", payload).status, 200);
+  }
+  EXPECT_EQ(door_->Admitted(), 6u);
+  EXPECT_EQ(door_->Completed(), 6u);
+  door_->Stop();
+  door_->Stop();  // second Stop must be a no-op
+  // Post-stop requests are refused, not crashed: the HTTP server is down,
+  // but the Dispatch seam still routes — admission answers shutting_down.
+  EXPECT_EQ(Infer("tenant=solo", payload).status, 503);
+}
+
+// ---------------------------------------------------------------------------
+// Loadgen arrival schedules (pure functions; no server involved).
+
+TEST(LoadgenScheduleTest, ArrivalsAreDeterministicAndOnRate) {
+  for (ArrivalPattern pattern :
+       {ArrivalPattern::kSteady, ArrivalPattern::kPoisson,
+        ArrivalPattern::kBursty, ArrivalPattern::kDiurnal,
+        ArrivalPattern::kStep}) {
+    const auto a = GenerateArrivals(pattern, 200.0, 5.0, 7);
+    const auto b = GenerateArrivals(pattern, 200.0, 5.0, 7);
+    EXPECT_EQ(a, b) << "same seed must give the same schedule";
+    // Mean rate holds within 15% for every shape (the shapes
+    // redistribute arrivals, they do not add or remove load).
+    EXPECT_NEAR(static_cast<double>(a.size()), 1000.0, 150.0);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    for (double t : a) {
+      EXPECT_GE(t, 0.0);
+      EXPECT_LT(t, 5.0);
+    }
+  }
+}
+
+TEST(LoadgenScheduleTest, TenantMixParses) {
+  auto mix = ParseTenantMix("premium=0.3:50,batch=0.7");
+  ASSERT_TRUE(mix.ok()) << mix.status().ToString();
+  ASSERT_EQ(mix.value().size(), 2u);
+  EXPECT_EQ(mix.value()[0].name, "premium");
+  EXPECT_DOUBLE_EQ(mix.value()[0].weight, 0.3);
+  EXPECT_EQ(mix.value()[0].deadline_ms, 50u);
+  EXPECT_EQ(mix.value()[1].deadline_ms, 0u);
+
+  // A bare name is a whole-weight tenant.
+  auto bare = ParseTenantMix("solo");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_DOUBLE_EQ(bare.value()[0].weight, 1.0);
+
+  EXPECT_FALSE(ParseTenantMix("").ok());
+  EXPECT_FALSE(ParseTenantMix("a=x").ok());
+  EXPECT_FALSE(ParseTenantMix("a=-1").ok());
+  EXPECT_FALSE(ParseTenantMix("a=0").ok());
+}
+
+TEST(LoadgenScheduleTest, PatternNamesRoundTrip) {
+  EXPECT_TRUE(ParseArrivalPattern("poisson").ok());
+  EXPECT_TRUE(ParseArrivalPattern("bursty").ok());
+  EXPECT_TRUE(ParseArrivalPattern("diurnal").ok());
+  EXPECT_TRUE(ParseArrivalPattern("step").ok());
+  EXPECT_TRUE(ParseArrivalPattern("steady").ok());
+  EXPECT_FALSE(ParseArrivalPattern("chaotic").ok());
+}
+
+}  // namespace
+}  // namespace dlb::frontdoor

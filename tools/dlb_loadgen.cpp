@@ -1,0 +1,251 @@
+// Open-loop load generator for the inference front door.
+//
+// Offered load is a precomputed arrival schedule — a function of pattern,
+// rate, duration and seed, never of server behaviour — so overload is
+// actually applied instead of self-throttled away. Per-tenant mixes,
+// optional trace replay, a closed-loop calibration mode (`load=1.5x`
+// probes saturation first, then offers that multiple), and self-gating
+// flags so the CI overload-soak lane can fail on a 5xx storm without any
+// JSON post-processing.
+//
+// Usage:
+//   dlb_loadgen port=8080 [host=127.0.0.1]
+//               [tenants=premium=0.3:50,batch=0.7]   name=weight[:deadline_ms]
+//               [pattern=poisson]                    steady|poisson|bursty|diurnal|step
+//               [rate=500 | load=1.5x]               absolute rps, or a
+//                                                    multiple of measured
+//                                                    saturation
+//               [duration=10] [seed=42] [connections=16]
+//               [calibrate_s=3]                      closed-loop probe length
+//               [trace=arrivals.txt]                 "<seconds> [tenant]" lines
+//               [width=160 height=120]               synthetic JPEG payload
+//               [max_5xx_pct=N] [max_transport_pct=N] [min_answered=N]
+//               [--json]
+//
+// Exit code: 0 when every configured gate holds (and always when no gate
+// was configured), 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "dataplane/synthetic_dataset.h"
+#include "frontdoor/loadgen.h"
+
+using namespace dlb;
+using namespace dlb::frontdoor;
+
+namespace {
+
+std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+double Pct(uint64_t part, uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> kv;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      kv.emplace_back(argv[i]);
+    }
+  }
+  auto config_or = Config::FromArgs(kv);
+  if (!config_or.ok()) {
+    std::fprintf(stderr, "bad args: %s\n",
+                 config_or.status().ToString().c_str());
+    return 2;
+  }
+  const Config& args = config_or.value();
+  const int port = static_cast<int>(args.GetInt("port", -1));
+  if (port <= 0) {
+    std::fprintf(stderr, "need port=<front door port>\n");
+    return 2;
+  }
+
+  auto mix = ParseTenantMix(args.GetString("tenants", "default"));
+  if (!mix.ok()) {
+    std::fprintf(stderr, "tenants: %s\n", mix.status().ToString().c_str());
+    return 2;
+  }
+  auto pattern = ParseArrivalPattern(args.GetString("pattern", "poisson"));
+  if (!pattern.ok()) {
+    std::fprintf(stderr, "pattern: %s\n", pattern.status().ToString().c_str());
+    return 2;
+  }
+
+  // Synthetic JPEG payload (every request posts the same bytes; the server
+  // decodes each copy independently, so one image is representative load).
+  DatasetSpec spec = ImageNetLikeSpec(4);
+  spec.width = static_cast<int>(args.GetInt("width", 160));
+  spec.height = static_cast<int>(args.GetInt("height", 120));
+  auto dataset = GenerateDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "payload: %s\n",
+                 dataset.status().ToString().c_str());
+    return 2;
+  }
+  auto payload = dataset.value().store->Read(dataset.value().manifest.At(0));
+  if (!payload.ok()) {
+    std::fprintf(stderr, "payload: %s\n", payload.status().ToString().c_str());
+    return 2;
+  }
+
+  LoadgenOptions options;
+  options.host = args.GetString("host", "127.0.0.1");
+  options.port = port;
+  options.mix = std::move(mix).value();
+  options.connections = static_cast<int>(args.GetInt("connections", 16));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.payload.assign(payload.value().begin(), payload.value().end());
+
+  const double duration_s = args.GetDouble("duration", 10.0);
+
+  // Offered rate: trace > load=<mult>x (calibrated) > rate=<rps>.
+  double rate = args.GetDouble("rate", 100.0);
+  double capacity = 0.0;
+  const std::string load = args.GetString("load", "");
+  if (!load.empty()) {
+    const double multiple = std::strtod(load.c_str(), nullptr);
+    if (multiple <= 0) {
+      std::fprintf(stderr, "bad load=%s (want e.g. load=1.5x)\n",
+                   load.c_str());
+      return 2;
+    }
+    const double calibrate_s = args.GetDouble("calibrate_s", 3.0);
+    if (!json) {
+      std::printf("calibrating: closed-loop probe for %.1fs...\n",
+                  calibrate_s);
+    }
+    capacity = MeasureCapacity(options, calibrate_s);
+    if (capacity <= 0) {
+      std::fprintf(stderr, "calibration failed: server answered nothing\n");
+      return 1;
+    }
+    rate = capacity * multiple;
+    if (!json) {
+      std::printf("saturation ~%.0f req/s -> offering %.0f req/s (%sx)\n",
+                  capacity, rate, Fmt(multiple, 2).c_str());
+    }
+  }
+
+  std::vector<TraceArrival> arrivals;
+  const std::string trace_path = args.GetString("trace", "");
+  if (!trace_path.empty()) {
+    auto trace = LoadTrace(trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace: %s\n", trace.status().ToString().c_str());
+      return 2;
+    }
+    arrivals = std::move(trace).value();
+  } else {
+    for (double t :
+         GenerateArrivals(pattern.value(), rate, duration_s, options.seed)) {
+      arrivals.push_back({t, ""});
+    }
+  }
+  if (arrivals.empty()) {
+    std::fprintf(stderr, "empty arrival schedule\n");
+    return 2;
+  }
+
+  const LoadReport report = RunLoad(options, arrivals);
+
+  uint64_t answered_200 = 0;
+  auto it200 = report.status_counts.find(200);
+  if (it200 != report.status_counts.end()) answered_200 = it200->second;
+  const uint64_t fivexx =
+      report.TotalStatus(500, 599) -
+      report.TotalStatus(503, 503);  // 503 is the contracted shed signal
+  const double fivexx_pct = Pct(fivexx, report.sent);
+  const double transport_pct = Pct(report.transport_errors, report.sent);
+
+  // Self-gates (all optional): the CI soak asserts through exit code.
+  bool pass = true;
+  if (args.Has("max_5xx_pct") &&
+      fivexx_pct > args.GetDouble("max_5xx_pct", 100.0)) {
+    pass = false;
+  }
+  if (args.Has("max_transport_pct") &&
+      transport_pct > args.GetDouble("max_transport_pct", 100.0)) {
+    pass = false;
+  }
+  if (args.Has("min_answered") &&
+      answered_200 < static_cast<uint64_t>(args.GetInt("min_answered", 0))) {
+    pass = false;
+  }
+
+  if (json) {
+    std::string out = "{\n";
+    out += "  \"duration_s\": " + Fmt(report.duration_s, 2) + ",\n";
+    out += "  \"offered_rps\": " + Fmt(report.offered_rps, 1) + ",\n";
+    if (capacity > 0) {
+      out += "  \"calibrated_capacity_rps\": " + Fmt(capacity, 1) + ",\n";
+    }
+    out += "  \"sent\": " + std::to_string(report.sent) + ",\n";
+    out += "  \"answered_200\": " + std::to_string(answered_200) + ",\n";
+    out += "  \"hard_5xx\": " + std::to_string(fivexx) + ",\n";
+    out += "  \"hard_5xx_pct\": " + Fmt(fivexx_pct, 2) + ",\n";
+    out += "  \"transport_errors\": " +
+           std::to_string(report.transport_errors) + ",\n";
+    out += "  \"max_send_lag_ms\": " + Fmt(report.max_send_lag_ms, 1) + ",\n";
+    for (const TenantReport& t : report.tenants) {
+      out += "  \"" + t.name + "_sent\": " + std::to_string(t.sent) + ",\n";
+      out += "  \"" + t.name + "_goodput_rps\": " + Fmt(t.goodput_rps, 1) +
+             ",\n";
+      out += "  \"" + t.name + "_p50_ms\": " +
+             Fmt(t.latency_us.Quantile(0.5) / 1e3, 2) + ",\n";
+      out += "  \"" + t.name + "_p99_ms\": " +
+             Fmt(t.latency_us.Quantile(0.99) / 1e3, 2) + ",\n";
+      out += "  \"" + t.name + "_shed_pct\": " + Fmt(Pct(t.shed, t.sent), 2) +
+             ",\n";
+      out += "  \"" + t.name + "_late\": " + std::to_string(t.late) + ",\n";
+    }
+    out += std::string("  \"pass\": ") + (pass ? "true" : "false") + "\n}\n";
+    std::fputs(out.c_str(), stdout);
+    return pass ? 0 : 1;
+  }
+
+  std::printf("\noffered %.0f req/s for %.1fs (%llu requests, max send lag "
+              "%.1f ms)\n",
+              report.offered_rps, report.duration_s,
+              static_cast<unsigned long long>(report.sent),
+              report.max_send_lag_ms);
+  std::printf("%-10s %8s %8s %8s %8s %8s %8s %9s %9s\n", "tenant", "sent",
+              "ok", "late", "shed", "reject", "422", "p50 ms", "p99 ms");
+  for (const TenantReport& t : report.tenants) {
+    std::printf("%-10s %8llu %8llu %8llu %8llu %8llu %8llu %9.2f %9.2f\n",
+                t.name.c_str(), static_cast<unsigned long long>(t.sent),
+                static_cast<unsigned long long>(t.ok),
+                static_cast<unsigned long long>(t.late),
+                static_cast<unsigned long long>(t.shed),
+                static_cast<unsigned long long>(
+                    t.rejected_rate + t.rejected_deadline + t.rejected_other),
+                static_cast<unsigned long long>(t.decode_failed),
+                t.latency_us.Quantile(0.5) / 1e3,
+                t.latency_us.Quantile(0.99) / 1e3);
+  }
+  std::printf("status counts:");
+  for (const auto& [status, count] : report.status_counts) {
+    std::printf(" %d=%llu", status, static_cast<unsigned long long>(count));
+  }
+  if (report.transport_errors > 0) {
+    std::printf(" transport=%llu",
+                static_cast<unsigned long long>(report.transport_errors));
+  }
+  std::printf("\nhard 5xx: %.2f%%  transport: %.2f%%  -> %s\n", fivexx_pct,
+              transport_pct, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
